@@ -1,0 +1,1 @@
+bench/main.ml: Array Baselines Bench_util Events Filename Fun List Oodb Option Printf Sentinel String Sys Workloads

@@ -1,0 +1,43 @@
+(* Measurement helpers shared by the experiments in main.ml. *)
+
+open Bechamel
+open Toolkit
+
+(* Nanoseconds per run of [f], estimated by Bechamel's OLS fit. *)
+let ns_per_run ?(quota = 0.3) name f =
+  let test = Test.make ~name (Staged.stage f) in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second quota) ~kde:None () in
+  let results = Benchmark.all cfg Instance.[ monotonic_clock ] test in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let tbl = Analyze.all ols Instance.monotonic_clock results in
+  match Hashtbl.fold (fun _ v acc -> v :: acc) tbl [] with
+  | [ est ] -> (
+    match Analyze.OLS.estimates est with
+    | Some (ns :: _) -> ns
+    | Some [] | None -> Float.nan)
+  | _ -> Float.nan
+
+(* Wall-clock milliseconds for one execution of [f]; the result of [f] is
+   returned alongside. *)
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let t1 = Unix.gettimeofday () in
+  (result, (t1 -. t0) *. 1000.)
+
+let header title =
+  Printf.printf "\n== %s %s\n" title
+    (String.make (max 0 (72 - String.length title)) '=')
+
+let row fmt = Printf.printf fmt
+
+let fmt_ns ns =
+  if Float.is_nan ns then "n/a"
+  else if ns < 1_000. then Printf.sprintf "%.0f ns" ns
+  else if ns < 1_000_000. then Printf.sprintf "%.2f us" (ns /. 1_000.)
+  else Printf.sprintf "%.2f ms" (ns /. 1_000_000.)
+
+let fmt_ms ms =
+  if ms < 1. then Printf.sprintf "%.3f ms" ms else Printf.sprintf "%.1f ms" ms

@@ -1,0 +1,841 @@
+(* The full benchmark harness: one experiment per entry of DESIGN.md §4.
+   Each experiment prints the rows EXPERIMENTS.md records; shapes (who wins,
+   how things scale) are the reproduction target, not absolute numbers.
+
+   Run with: dune exec bench/main.exe            (all experiments)
+             dune exec bench/main.exe -- e2 e6   (a subset) *)
+
+module Db = Oodb.Db
+module Value = Oodb.Value
+module Oid = Oodb.Oid
+module Schema = Oodb.Schema
+module Transaction = Oodb.Transaction
+module Expr = Events.Expr
+module Detector = Events.Detector
+module Context = Events.Context
+module System = Sentinel.System
+module Prng = Workloads.Prng
+open Bench_util
+
+(* ------------------------------------------------------------------------- *)
+(* E1: reactivity overhead (paper §3.2: "No overhead is incurred in the
+   definition and use of [passive] objects")                                  *)
+(* ------------------------------------------------------------------------- *)
+
+let e1 () =
+  header "E1: method dispatch overhead by object category (§3.2)";
+  let mk_db ~reactive ~in_interface =
+    let db = Db.create () in
+    let events = if in_interface then [ ("poke", Schema.On_end) ] else [] in
+    Db.define_class db
+      (Schema.define "thing" ~reactive
+         ~attrs:[ ("x", Value.Int 0) ]
+         ~methods:[ ("poke", fun _ _ _ -> Value.Null) ]
+         ~events);
+    (db, Db.new_object db "thing")
+  in
+  let bench name (db, o) =
+    row "  %-42s %10s\n" name
+      (fmt_ns (ns_per_run name (fun () -> ignore (Db.send db o "poke" []))))
+  in
+  bench "passive object" (mk_db ~reactive:false ~in_interface:false);
+  bench "reactive, method not in event interface"
+    (mk_db ~reactive:true ~in_interface:false);
+  bench "reactive, event generated, no consumers"
+    (mk_db ~reactive:true ~in_interface:true);
+  let subscribed enabled =
+    let db, o = mk_db ~reactive:true ~in_interface:true in
+    let sys = System.create db in
+    System.register_action sys "noop" (fun _ _ -> ());
+    let r =
+      System.create_rule sys ~monitor:[ o ] ~event:(Expr.eom ~cls:"thing" "poke")
+        ~condition:"true" ~action:"noop" ()
+    in
+    if not enabled then System.disable sys r;
+    (db, o)
+  in
+  bench "reactive, one subscribed rule (disabled)" (subscribed false);
+  bench "reactive, one subscribed rule (firing)" (subscribed true)
+
+(* ------------------------------------------------------------------------- *)
+(* E2: subscription vs centralized rule checking (§3.5 advantage 1)           *)
+(* ------------------------------------------------------------------------- *)
+
+let e2 () =
+  header "E2: subscription (Sentinel) vs centralized scan (ADAM), 10k events";
+  row "  %6s  %12s  %12s  %14s  %14s\n" "#rules" "sentinel" "adam"
+    "adam scans" "deliveries";
+  let n_objects = 1000 and n_updates = 10_000 in
+  let updates rng objs =
+    List.init n_updates (fun _ ->
+        (Prng.choice rng objs, "set_salary", [ Value.Float 1. ]))
+  in
+  let run_sentinel n_rules =
+    let db = Db.create () in
+    Workloads.Payroll.install db;
+    let sys = System.create db in
+    System.register_action sys "noop" (fun _ _ -> ());
+    let rng = Prng.create 1 in
+    let objs =
+      Array.init n_objects (fun i ->
+          Db.new_object db "employee"
+            ~attrs:[ ("name", Value.Str (string_of_int i)) ])
+    in
+    (* each rule monitors one distinct object *)
+    for i = 0 to n_rules - 1 do
+      ignore
+        (System.create_rule sys
+           ~monitor:[ objs.(i mod n_objects) ]
+           ~event:(Expr.eom ~cls:"employee" "set_salary")
+           ~condition:"true" ~action:"noop" ())
+    done;
+    let ops = updates rng objs in
+    Db.reset_stats db;
+    let (), ms = time_ms (fun () -> Workloads.Dsl.apply_ops db ops) in
+    (ms, (Db.stats db).notifications)
+  in
+  let run_adam n_rules =
+    let db = Db.create () in
+    Workloads.Payroll.install db;
+    let adam = Baselines.Adam.create db in
+    let rng = Prng.create 1 in
+    let objs =
+      Array.init n_objects (fun i ->
+          Db.new_object db "employee"
+            ~attrs:[ ("name", Value.Str (string_of_int i)) ])
+    in
+    for i = 0 to n_rules - 1 do
+      let target = objs.(i mod n_objects) in
+      ignore
+        (Baselines.Adam.add_rule adam
+           ~name:(string_of_int i)
+           ~active_class:"employee" ~meth:"set_salary"
+           ~condition:(fun _ occ -> Oid.equal occ.Oodb.Types.source target)
+           ~action:(fun _ _ -> ())
+           ())
+    done;
+    let ops = updates rng objs in
+    let before = Baselines.Adam.scans adam in
+    let (), ms = time_ms (fun () -> Workloads.Dsl.apply_ops db ops) in
+    (ms, Baselines.Adam.scans adam - before)
+  in
+  List.iter
+    (fun n ->
+      let s_ms, deliveries = run_sentinel n in
+      let a_ms, scans = run_adam n in
+      row "  %6d  %12s  %12s  %14d  %14d\n" n (fmt_ms s_ms) (fmt_ms a_ms) scans
+        deliveries)
+    [ 10; 100; 1000 ]
+
+(* ------------------------------------------------------------------------- *)
+(* E3: rule sharing across classes (§3.5 advantage 2)                          *)
+(* ------------------------------------------------------------------------- *)
+
+let e3 () =
+  header "E3: one shared rule over k classes vs k per-class Ode constraints";
+  row "  %4s  %14s  %14s  %12s  %12s\n" "k" "defs(sentinel)" "defs(ode)"
+    "sentinel" "ode";
+  let instances_per_class = 50 and updates_per_class = 2_000 in
+  let define_classes db k =
+    List.init k (fun i ->
+        let cls = Printf.sprintf "cls%d" i in
+        Db.define_class db
+          (Schema.define cls
+             ~attrs:[ ("v", Value.Float 0.) ]
+             ~methods:[ ("set_v", Workloads.Dsl.setter "v") ]
+             ~events:[ ("set_v", Schema.On_end) ]);
+        cls)
+  in
+  let populate db classes =
+    List.concat_map
+      (fun cls -> List.init instances_per_class (fun _ -> Db.new_object db cls))
+      classes
+  in
+  let stream rng objs =
+    List.init (updates_per_class * List.length objs / instances_per_class)
+      (fun _ ->
+        (Prng.choice rng (Array.of_list objs), "set_v", [ Value.Float 5. ]))
+  in
+  List.iter
+    (fun k ->
+      (* Sentinel: ONE rule object, subscribed to every class *)
+      let db = Db.create () in
+      let sys = System.create db in
+      let classes = define_classes db k in
+      let objs = populate db classes in
+      System.register_condition sys "neg" (fun db inst ->
+          match inst.Detector.constituents with
+          | [ occ ] -> Value.to_float (Db.get db occ.source "v") < 0.
+          | _ -> false);
+      System.register_action sys "noop" (fun _ _ -> ());
+      ignore
+        (System.create_rule sys ~name:"shared" ~monitor_classes:classes
+           ~event:(Expr.eom "set_v")
+           ~condition:"neg" ~action:"noop" ());
+      let ops = stream (Prng.create 2) objs in
+      let (), s_ms = time_ms (fun () -> Workloads.Dsl.apply_ops db ops) in
+      (* Ode: k duplicated constraint definitions, one per class *)
+      let db2 = Db.create () in
+      let ode = Baselines.Ode.create db2 in
+      let classes2 = define_classes db2 k in
+      List.iter
+        (fun cls ->
+          Baselines.Ode.declare_constraint ode ~cls ~name:("nonneg-" ^ cls)
+            (fun db o -> Value.to_float (Db.get db o "v") >= 0.))
+        classes2;
+      let objs2 = populate db2 classes2 in
+      let ops2 = stream (Prng.create 2) objs2 in
+      let (), o_ms =
+        time_ms (fun () ->
+            List.iter
+              (fun (o, m, args) -> ignore (Baselines.Ode.send ode o m args))
+              ops2)
+      in
+      row "  %4d  %14d  %14d  %12s  %12s\n" k 1 k (fmt_ms s_ms) (fmt_ms o_ms))
+    [ 2; 4; 8; 16 ]
+
+(* ------------------------------------------------------------------------- *)
+(* E4: composite-event detection cost vs expression depth (§1 issue 3)        *)
+(* ------------------------------------------------------------------------- *)
+
+let occ_stream n =
+  List.init n (fun i ->
+      Oodb.Occurrence.make
+        ~source:(Oid.of_int (1 + (i mod 3)))
+        ~source_class:"c"
+        ~meth:(Printf.sprintf "m%d" (i mod 3))
+        ~modifier:Oodb.Types.After ~params:[] ~at:(i + 1))
+
+let e4 () =
+  header "E4: detection cost vs expression depth (10k occurrences)";
+  row "  %6s  %12s  %12s  %12s\n" "depth" "or-chain" "and-chain" "seq-chain";
+  let prim i = Expr.eom (Printf.sprintf "m%d" (i mod 3)) in
+  let chain op depth =
+    let rec build i = if i = 0 then prim 0 else op (build (i - 1)) (prim i) in
+    build depth
+  in
+  let stream = occ_stream 10_000 in
+  let measure e =
+    let d = Detector.create ~on_signal:(fun _ -> ()) e in
+    let (), ms = time_ms (fun () -> List.iter (Detector.feed d) stream) in
+    ms
+  in
+  List.iter
+    (fun depth ->
+      row "  %6d  %12s  %12s  %12s\n" depth
+        (fmt_ms (measure (chain Expr.disj depth)))
+        (fmt_ms (measure (chain Expr.conj depth)))
+        (fmt_ms (measure (chain Expr.seq depth))))
+    [ 1; 2; 3; 4; 5; 6 ]
+
+(* ------------------------------------------------------------------------- *)
+(* E5: parameter contexts (§3.3)                                              *)
+(* ------------------------------------------------------------------------- *)
+
+let e5 () =
+  header "E5: conjunction detection by parameter context (10k occurrences)";
+  row "  %-12s  %12s  %12s\n" "context" "time" "signals";
+  let stream = occ_stream 10_000 in
+  let e = Expr.conj (Expr.eom "m0") (Expr.eom "m1") in
+  List.iter
+    (fun ctx ->
+      let d = Detector.create ~context:ctx ~on_signal:(fun _ -> ()) e in
+      let (), ms = time_ms (fun () -> List.iter (Detector.feed d) stream) in
+      row "  %-12s  %12s  %12d\n" (Context.to_string ctx) (fmt_ms ms)
+        (Detector.signalled d))
+    Context.all
+
+(* ------------------------------------------------------------------------- *)
+(* E6: the Salary-check workload on all three engines (§5.1)                  *)
+(* ------------------------------------------------------------------------- *)
+
+let e6 () =
+  header "E6: Salary-check end-to-end (500 employees, 50 managers, 5k updates)";
+  row "  %-10s  %12s  %12s  %12s\n" "engine" "time" "rejected" "defs";
+  let managers = 50 and employees = 500 and n_updates = 5_000 in
+  let employee_ok db emp =
+    match Db.get db emp "mgr" with
+    | Value.Obj m ->
+      Value.to_float (Db.get db emp "salary")
+      < Value.to_float (Db.get db m "salary")
+    | _ -> true
+  in
+  (* ~10% of updates try to push an employee above every manager *)
+  let updates rng (pop : Workloads.Payroll.population) =
+    List.init n_updates (fun _ ->
+        let violate = Prng.bool rng 0.1 in
+        let nm = Array.length pop.managers
+        and ne = Array.length pop.employees in
+        let k = Prng.int rng (nm + ne) in
+        let target, is_mgr =
+          if k < nm then (pop.managers.(k), true)
+          else (pop.employees.(k - nm), false)
+        in
+        let salary =
+          if violate && not is_mgr then 50_000.
+          else if is_mgr then 5000. +. Prng.float rng 5000.
+          else 1000. +. Prng.float rng 3000.
+        in
+        (target, salary))
+  in
+  let run_with send db pop =
+    let ops = updates (Prng.create 4) pop in
+    let rejected = ref 0 in
+    let (), ms =
+      time_ms (fun () ->
+          List.iter
+            (fun (target, salary) ->
+              match
+                Transaction.atomically db (fun () ->
+                    ignore (send target "set_salary" [ Value.Float salary ]))
+              with
+              | Ok () -> ()
+              | Error (Oodb.Errors.Rule_abort _) -> incr rejected
+              | Error e -> raise e)
+            ops)
+    in
+    (ms, !rejected)
+  in
+  (* Sentinel: one rule, class-level subscription *)
+  (let db = Db.create () in
+   Workloads.Payroll.install db;
+   let sys = System.create db in
+   System.register_condition sys "viol" (fun db inst ->
+       match inst.Detector.constituents with
+       | [ occ ] ->
+         (not (Db.is_instance_of db occ.source "manager"))
+         && not (employee_ok db occ.source)
+       | _ -> false);
+   ignore
+     (System.create_rule sys ~name:"salary-check" ~monitor_classes:[ "employee" ]
+        ~event:(Expr.eom ~cls:"employee" "set_salary")
+        ~condition:"viol" ~action:"abort" ());
+   let pop = Workloads.Payroll.populate db (Prng.create 3) ~managers ~employees in
+   let ms, rejected = run_with (Db.send db) db pop in
+   row "  %-10s  %12s  %12d  %12d\n" "sentinel" (fmt_ms ms) rejected 1);
+  (* Ode: one constraint per class (employee side only is enough to catch
+     the injected violations, but we declare both as Figure 11 does) *)
+  (let db = Db.create () in
+   Workloads.Payroll.install db;
+   let ode = Baselines.Ode.create db in
+   Baselines.Ode.declare_constraint ode ~cls:"employee" ~name:"lt-mgr"
+     (fun db o ->
+       Db.is_instance_of db o "manager" || employee_ok db o);
+   Baselines.Ode.declare_constraint ode ~cls:"manager" ~name:"gt-emps"
+     (fun _ _ -> true);
+   let pop = Workloads.Payroll.populate db (Prng.create 3) ~managers ~employees in
+   let ms, rejected = run_with (Baselines.Ode.send ode) db pop in
+   row "  %-10s  %12s  %12d  %12d\n" "ode" (fmt_ms ms) rejected 2);
+  (* ADAM: two rule objects, centralized dispatch *)
+  let db = Db.create () in
+  Workloads.Payroll.install db;
+  let adam = Baselines.Adam.create db in
+  ignore
+    (Baselines.Adam.add_rule adam ~name:"emp-rule" ~active_class:"employee"
+       ~meth:"set_salary"
+       ~condition:(fun db occ ->
+         (not (Db.is_instance_of db occ.Oodb.Types.source "manager"))
+         && not (employee_ok db occ.Oodb.Types.source))
+       ~action:(fun _ _ -> raise (Oodb.Errors.Rule_abort "Invalid Salary"))
+       ());
+  ignore
+    (Baselines.Adam.add_rule adam ~name:"mgr-rule" ~active_class:"manager"
+       ~meth:"set_salary"
+       ~condition:(fun _ _ -> false)
+       ~action:(fun _ _ -> ())
+       ());
+  let pop = Workloads.Payroll.populate db (Prng.create 3) ~managers ~employees in
+  let ms, rejected = run_with (Db.send db) db pop in
+  row "  %-10s  %12s  %12d  %12d\n" "adam" (fmt_ms ms) rejected 2
+
+(* ------------------------------------------------------------------------- *)
+(* E7: runtime rule churn vs schema rebuild (§1 issue 1, §3.4)                *)
+(* ------------------------------------------------------------------------- *)
+
+let e7 () =
+  header "E7: adding/removing 100 rules against a live store of 10k objects";
+  let n_objects = 10_000 and n_rules = 100 in
+  let fresh () =
+    let db = Db.create () in
+    Workloads.Payroll.install db;
+    let objs =
+      Array.init n_objects (fun i ->
+          Db.new_object db "employee"
+            ~attrs:[ ("name", Value.Str (string_of_int i)) ])
+    in
+    (db, objs)
+  in
+  (* Sentinel: create + delete rule objects online *)
+  (let db, objs = fresh () in
+   let sys = System.create db in
+   System.register_action sys "noop" (fun _ _ -> ());
+   let (), add_ms =
+     time_ms (fun () ->
+         for i = 0 to n_rules - 1 do
+           ignore
+             (System.create_rule sys
+                ~name:(string_of_int i)
+                ~monitor:[ objs.(i) ]
+                ~event:(Expr.eom ~cls:"employee" "set_salary")
+                ~condition:"true" ~action:"noop" ())
+         done)
+   in
+   let rules = System.rules sys in
+   let (), del_ms =
+     time_ms (fun () -> List.iter (System.delete_rule sys) rules)
+   in
+   row "  %-22s  add %10s   remove %10s\n" "sentinel (online)" (fmt_ms add_ms)
+     (fmt_ms del_ms));
+  (* ADAM: also online *)
+  (let db, _objs = fresh () in
+   let adam = Baselines.Adam.create db in
+   let added = ref [] in
+   let (), add_ms =
+     time_ms (fun () ->
+         for i = 0 to n_rules - 1 do
+           added :=
+             Baselines.Adam.add_rule adam ~name:(string_of_int i)
+               ~active_class:"employee" ~meth:"set_salary"
+               ~condition:(fun _ _ -> false)
+               ~action:(fun _ _ -> ())
+               ()
+             :: !added
+         done)
+   in
+   let (), del_ms =
+     time_ms (fun () -> List.iter (Baselines.Adam.remove_rule adam) !added)
+   in
+   row "  %-22s  add %10s   remove %10s\n" "adam (online)" (fmt_ms add_ms)
+     (fmt_ms del_ms));
+  (* Ode: each addition is a schema rebuild revisiting every instance *)
+  let db, _objs = fresh () in
+  let ode = Baselines.Ode.create db in
+  let (), add_ms =
+    time_ms (fun () ->
+        for i = 0 to n_rules - 1 do
+          ignore
+            (Baselines.Ode.add_constraint_with_rebuild ode ~cls:"employee"
+               ~name:(string_of_int i)
+               (fun _ _ -> true))
+        done)
+  in
+  row "  %-22s  add %10s   (each add revisits all %d instances)\n"
+    "ode (rebuild)" (fmt_ms add_ms) n_objects
+
+(* ------------------------------------------------------------------------- *)
+(* E8: class-level vs instance-level rules (§4.7)                             *)
+(* ------------------------------------------------------------------------- *)
+
+let e8 () =
+  header "E8: class-level vs instance-level rule, 10k updates over N objects";
+  row "  %8s  %16s  %16s  %16s\n" "N" "class rule" "instance(10%)" "firings c/i";
+  let n_updates = 10_000 in
+  List.iter
+    (fun n ->
+      let build instance_fraction =
+        let db = Db.create () in
+        Workloads.Payroll.install db;
+        let sys = System.create db in
+        System.register_action sys "noop" (fun _ _ -> ());
+        let objs =
+          Array.init n (fun i ->
+              Db.new_object db "employee"
+                ~attrs:[ ("name", Value.Str (string_of_int i)) ])
+        in
+        (match instance_fraction with
+        | None ->
+          ignore
+            (System.create_rule sys ~monitor_classes:[ "employee" ]
+               ~event:(Expr.eom ~cls:"employee" "set_salary")
+               ~condition:"true" ~action:"noop" ())
+        | Some frac ->
+          let k = max 1 (n / frac) in
+          ignore
+            (System.create_rule sys
+               ~monitor:(Array.to_list (Array.sub objs 0 k))
+               ~event:(Expr.eom ~cls:"employee" "set_salary")
+               ~condition:"true" ~action:"noop" ()));
+        let rng = Prng.create 5 in
+        let ops =
+          List.init n_updates (fun _ ->
+              (Prng.choice rng objs, "set_salary", [ Value.Float 1. ]))
+        in
+        Db.reset_stats db;
+        let (), ms = time_ms (fun () -> Workloads.Dsl.apply_ops db ops) in
+        (ms, (System.stats sys).actions_executed)
+      in
+      let c_ms, c_fired = build None in
+      let i_ms, i_fired = build (Some 10) in
+      row "  %8d  %16s  %16s  %9d/%d\n" n (fmt_ms c_ms) (fmt_ms i_ms) c_fired
+        i_fired)
+    [ 100; 1000; 10_000 ]
+
+(* ------------------------------------------------------------------------- *)
+(* E9: persistence of rules and events as first-class objects (§3.4, §4)      *)
+(* ------------------------------------------------------------------------- *)
+
+let e9 () =
+  header "E9: save / load / rehydrate a store with first-class rule objects";
+  let n_objects = 10_000 and n_rules = 50 in
+  let db = Db.create () in
+  Workloads.Payroll.install db;
+  let sys = System.create db in
+  System.register_action sys "noop" (fun _ _ -> ());
+  let objs =
+    Array.init n_objects (fun i ->
+        Db.new_object db "employee"
+          ~attrs:[ ("name", Value.Str (string_of_int i)); ("salary", Value.Float 1.) ])
+  in
+  for i = 0 to n_rules - 1 do
+    ignore
+      (System.create_rule sys
+         ~name:(string_of_int i)
+         ~monitor:[ objs.(i) ]
+         ~event:
+           (Expr.conj
+              (Expr.eom ~cls:"employee" "set_salary")
+              (Expr.eom ~cls:"employee" "change_income"))
+         ~condition:"true" ~action:"noop" ())
+  done;
+  let text, save_ms = time_ms (fun () -> Oodb.Persist.to_string db) in
+  let (db2, sys2), load_ms =
+    time_ms (fun () ->
+        let db2 = Db.create () in
+        Workloads.Payroll.install db2;
+        let sys2 = System.create db2 in
+        System.register_action sys2 "noop" (fun _ _ -> ());
+        Oodb.Persist.of_string db2 text;
+        (db2, sys2))
+  in
+  let (), rehydrate_ms = time_ms (fun () -> System.rehydrate sys2) in
+  (* prove the reloaded rules still detect composite events *)
+  ignore (Db.send db2 objs.(0) "set_salary" [ Value.Float 2. ]);
+  ignore (Db.send db2 objs.(0) "change_income" [ Value.Float 3. ]);
+  let fired =
+    (System.rule_info sys2 (Option.get (System.find_rule sys2 "0")))
+      .Sentinel.Rule.fired
+  in
+  row "  store: %d objects + %d composite-event rules, %d KiB serialized\n"
+    n_objects n_rules
+    (String.length text / 1024);
+  row "  save %-12s load %-12s rehydrate %-12s\n" (fmt_ms save_ms)
+    (fmt_ms load_ms) (fmt_ms rehydrate_ms);
+  row "  reloaded rule fires on conjunction: %s\n"
+    (if fired = 1 then "yes" else Printf.sprintf "NO (fired=%d)" fired)
+
+(* ------------------------------------------------------------------------- *)
+(* E10: inter-object, inter-class rule end-to-end (§2.1 Purchase)             *)
+(* ------------------------------------------------------------------------- *)
+
+let e10 () =
+  header "E10: Purchase rule (conjunction spanning two classes), 50k ticks";
+  let db = Db.create () in
+  Workloads.Stock_market.install db;
+  let sys = System.create db in
+  let rng = Prng.create 6 in
+  let market =
+    Workloads.Stock_market.populate db rng ~stocks:100 ~indexes:5 ~portfolios:10
+  in
+  let ibm = market.stocks.(0) and dow = market.indexes.(0) in
+  let parker = market.portfolios.(0) in
+  System.register_condition sys "cheap-and-calm" (fun db _ ->
+      Value.to_float (Db.get db ibm "price") < 80.
+      && Value.to_float (Db.get db dow "change") < 3.4);
+  System.register_action sys "buy" (fun db _ ->
+      ignore (Db.send db parker "purchase" [ Value.Obj ibm; Value.Int 1 ]));
+  ignore
+    (System.create_rule sys ~name:"Purchase" ~monitor:[ ibm; dow ]
+       ~event:
+         (Expr.conj
+            (Expr.eom ~cls:"stock" ~sources:[ ibm ] "set_price")
+            (Expr.eom ~cls:"financial_info" ~sources:[ dow ] "set_value"))
+       ~condition:"cheap-and-calm" ~action:"buy" ());
+  let ops = Workloads.Stock_market.ticks rng market ~n:50_000 in
+  Db.reset_stats db;
+  let (), ms = time_ms (fun () -> Workloads.Dsl.apply_ops db ops) in
+  let info = System.rule_info sys (Option.get (System.find_rule sys "Purchase")) in
+  row "  50k market ticks in %s (%d events generated, %d deliveries)\n"
+    (fmt_ms ms) (Db.stats db).events_generated (Db.stats db).notifications;
+  row "  conjunction detected %d times, condition passed %d times\n"
+    info.Sentinel.Rule.triggered info.Sentinel.Rule.fired;
+  row "  Parker's holdings: %s shares\n"
+    (Value.to_string (Db.get db parker "shares"))
+
+(* ------------------------------------------------------------------------- *)
+(* E11: shared event graph vs naive per-detector dispatch (§1 issue 3)        *)
+(* ------------------------------------------------------------------------- *)
+
+let e11 () =
+  header "E11: event-graph routing vs feeding every detector (10k occurrences)";
+  row "  %8s  %12s  %12s  %14s\n" "#rules" "naive" "graph" "leaf offers";
+  let n_occurrences = 10_000 in
+  List.iter
+    (fun m ->
+      let exprs =
+        List.init m (fun i ->
+            Expr.seq
+              (Expr.eom (Printf.sprintf "open%d" (i mod m)))
+              (Expr.eom (Printf.sprintf "close%d" (i mod m))))
+      in
+      let stream =
+        List.init n_occurrences (fun i ->
+            Oodb.Occurrence.make ~source:(Oid.of_int 1) ~source_class:"c"
+              ~meth:(Printf.sprintf "open%d" (i mod m))
+              ~modifier:Oodb.Types.After ~params:[] ~at:(i + 1))
+      in
+      (* naive: every occurrence offered to every detector *)
+      let detectors =
+        List.map (fun e -> Detector.create ~on_signal:(fun _ -> ()) e) exprs
+      in
+      let (), naive_ms =
+        time_ms (fun () ->
+            List.iter
+              (fun occ -> List.iter (fun d -> Detector.feed d occ) detectors)
+              stream)
+      in
+      (* graph: indexed by (method, modifier) *)
+      let g = Events.Event_graph.create () in
+      List.iter
+        (fun e -> ignore (Events.Event_graph.subscribe g ~on_signal:(fun _ -> ()) e))
+        exprs;
+      let (), graph_ms =
+        time_ms (fun () -> List.iter (Events.Event_graph.feed g) stream)
+      in
+      row "  %8d  %12s  %12s  %14d\n" m (fmt_ms naive_ms) (fmt_ms graph_ms)
+        (Events.Event_graph.routed g))
+    [ 10; 100; 1000 ]
+
+(* ------------------------------------------------------------------------- *)
+(* E12: secondary-index ablation (substrate completeness)                     *)
+(* ------------------------------------------------------------------------- *)
+
+let e12 () =
+  header "E12: query cost -- scan vs hash index vs ordered index (50k objects)";
+  let n = 50_000 in
+  let build () =
+    let db = Db.create () in
+    Workloads.Payroll.install db;
+    let rng = Prng.create 8 in
+    for i = 0 to n - 1 do
+      ignore
+        (Db.new_object db "employee"
+           ~attrs:
+             [
+               ("name", Value.Str (string_of_int i));
+               ("salary", Value.Float (Prng.float rng 10_000.));
+             ])
+    done;
+    db
+  in
+  let eq_pred = Oodb.Query.Eq ("name", Value.Str "123") in
+  let range_pred =
+    Oodb.Query.And
+      ( Oodb.Query.Ge ("salary", Value.Float 5000.),
+        Oodb.Query.Lt ("salary", Value.Float 5050.) )
+  in
+  let measure db pred =
+    let result = ref [] in
+    let (), ms = time_ms (fun () -> result := Oodb.Query.select db "employee" pred) in
+    (ms, List.length !result)
+  in
+  let db = build () in
+  let scan_eq, hits_eq = measure db eq_pred in
+  let scan_rg, hits_rg = measure db range_pred in
+  Db.create_index db ~cls:"employee" ~attr:"name" ();
+  Db.create_index db ~kind:`Ordered ~cls:"employee" ~attr:"salary" ();
+  let ix_eq, hits_eq' = measure db eq_pred in
+  let ix_rg, hits_rg' = measure db range_pred in
+  assert (hits_eq = hits_eq' && hits_rg = hits_rg');
+  row "  equality probe   scan %10s   hash index    %10s  (%d hit)\n"
+    (fmt_ms scan_eq) (fmt_ms ix_eq) hits_eq;
+  row "  range probe      scan %10s   ordered index %10s  (%d hits)\n"
+    (fmt_ms scan_rg) (fmt_ms ix_rg) hits_rg
+
+(* ------------------------------------------------------------------------- *)
+(* E13: write-ahead-log overhead and recovery                                 *)
+(* ------------------------------------------------------------------------- *)
+
+let e13 () =
+  header "E13: WAL overhead and recovery (10k transactional updates)";
+  let n_updates = 10_000 in
+  let build () =
+    let db = Db.create () in
+    Workloads.Payroll.install db;
+    let objs =
+      Array.init 500 (fun i ->
+          Db.new_object db "employee"
+            ~attrs:[ ("name", Value.Str (string_of_int i)) ])
+    in
+    (db, objs)
+  in
+  let run db objs =
+    let rng = Prng.create 9 in
+    for _ = 1 to n_updates do
+      match
+        Transaction.atomically db (fun () ->
+            Db.set db (Prng.choice rng objs) "salary"
+              (Value.Float (Prng.float rng 100.)))
+      with
+      | Ok () -> ()
+      | Error e -> raise e
+    done
+  in
+  (let db, objs = build () in
+   let (), ms = time_ms (fun () -> run db objs) in
+   row "  no journal            %10s\n" (fmt_ms ms));
+  let wal_path = Filename.temp_file "sentinel_bench" ".wal" in
+  let snap_path = Filename.temp_file "sentinel_bench" ".db" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> if Sys.file_exists p then Sys.remove p) [ wal_path; snap_path ])
+    (fun () ->
+      (* attach before populating so creations are in the log too; recovery
+         below replays from an empty store (no snapshot needed) *)
+      let db = Db.create () in
+      Workloads.Payroll.install db;
+      let wal = Oodb.Wal.attach db wal_path in
+      let objs =
+        Array.init 500 (fun i ->
+            Db.new_object db "employee"
+              ~attrs:[ ("name", Value.Str (string_of_int i)) ])
+      in
+      let (), ms = time_ms (fun () -> run db objs) in
+      row "  WAL attached          %10s  (%d batches, %d entries)\n" (fmt_ms ms)
+        (Oodb.Wal.batches_written wal)
+        (Oodb.Wal.entries_written wal);
+      Oodb.Wal.detach wal;
+      let (db2, applied), rec_ms =
+        time_ms (fun () ->
+            let db2 = Db.create () in
+            Workloads.Payroll.install db2;
+            let applied = Oodb.Wal.replay db2 wal_path in
+            (db2, applied))
+      in
+      ignore db2;
+      row "  crash recovery        %10s  (%d batches replayed)\n" (fmt_ms rec_ms)
+        applied)
+
+(* ------------------------------------------------------------------------- *)
+(* E14: coupling-mode ablation (§4.4 rule attribute `mode`)                   *)
+(* ------------------------------------------------------------------------- *)
+
+let e14 () =
+  header "E14: coupling modes -- same rule, 5k transactional updates";
+  row "  %-10s  %12s  %12s\n" "mode" "time" "actions run";
+  let n_updates = 5_000 in
+  List.iter
+    (fun coupling ->
+      let db = Db.create () in
+      Workloads.Payroll.install db;
+      let sys = System.create db in
+      System.register_action sys "noop" (fun _ _ -> ());
+      let objs =
+        Array.init 100 (fun i ->
+            Db.new_object db "employee"
+              ~attrs:[ ("name", Value.Str (string_of_int i)) ])
+      in
+      ignore
+        (System.create_rule sys ~coupling ~monitor_classes:[ "employee" ]
+           ~event:(Expr.eom ~cls:"employee" "set_salary")
+           ~condition:"true" ~action:"noop" ());
+      let rng = Prng.create 10 in
+      let (), ms =
+        time_ms (fun () ->
+            for _ = 1 to n_updates do
+              match
+                Transaction.atomically db (fun () ->
+                    ignore
+                      (Db.send db (Prng.choice rng objs) "set_salary"
+                         [ Value.Float 1. ]))
+              with
+              | Ok () -> ()
+              | Error e -> raise e
+            done)
+      in
+      row "  %-10s  %12s  %12d\n"
+        (Sentinel.Coupling.to_string coupling)
+        (fmt_ms ms) (System.stats sys).actions_executed)
+    Sentinel.Coupling.all
+
+(* ------------------------------------------------------------------------- *)
+(* E15: session isolation overhead (substrate ablation)                       *)
+(* ------------------------------------------------------------------------- *)
+
+let e15 () =
+  header "E15: strict-2PL session overhead, 20k single-write transactions";
+  let n = 20_000 in
+  let fresh () =
+    let db = Db.create () in
+    Workloads.Payroll.install db;
+    let objs =
+      Array.init 100 (fun i ->
+          Db.new_object db "employee"
+            ~attrs:[ ("name", Value.Str (string_of_int i)) ])
+    in
+    (db, objs)
+  in
+  (let db, objs = fresh () in
+   let rng = Prng.create 11 in
+   let (), ms =
+     time_ms (fun () ->
+         for _ = 1 to n do
+           Db.set db (Prng.choice rng objs) "salary" (Value.Float 1.)
+         done)
+   in
+   row "  raw Db.set (no isolation)        %10s\n" (fmt_ms ms));
+  (let db, objs = fresh () in
+   let rng = Prng.create 11 in
+   let (), ms =
+     time_ms (fun () ->
+         for _ = 1 to n do
+           match
+             Transaction.atomically db (fun () ->
+                 Db.set db (Prng.choice rng objs) "salary" (Value.Float 1.))
+           with
+           | Ok () -> ()
+           | Error e -> raise e
+         done)
+   in
+   row "  global transaction per write     %10s\n" (fmt_ms ms));
+  let db, objs = fresh () in
+  let m = Oodb.Session.manager db in
+  let alice = Oodb.Session.session m and bob = Oodb.Session.session m in
+  let rng = Prng.create 11 in
+  let conflicts_before = Oodb.Session.conflicts m in
+  let (), ms =
+    time_ms (fun () ->
+        for i = 1 to n do
+          let s = if i mod 2 = 0 then alice else bob in
+          Oodb.Session.begin_ s;
+          (match
+             Oodb.Session.set s (Prng.choice rng objs) "salary" (Value.Float 1.)
+           with
+          | () -> Oodb.Session.commit s
+          | exception Oodb.Errors.Lock_conflict _ -> Oodb.Session.abort s)
+        done)
+  in
+  row "  2PL session per write (2 clients)%10s  (%d conflicts)\n" (fmt_ms ms)
+    (Oodb.Session.conflicts m - conflicts_before)
+
+let experiments =
+  [
+    ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
+    ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
+    ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
+  ]
+
+let () =
+  let selected =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) ->
+      List.filter (fun (name, _) -> List.mem name names) experiments
+    | _ -> experiments
+  in
+  if selected = [] then begin
+    prerr_endline "unknown experiment; available:";
+    List.iter (fun (name, _) -> prerr_endline ("  " ^ name)) experiments;
+    exit 1
+  end;
+  print_endline "Sentinel reproduction benchmarks (see EXPERIMENTS.md)";
+  List.iter (fun (_, f) -> f ()) selected;
+  print_newline ()

@@ -1,0 +1,1 @@
+examples/banking.ml: Array Events Format List Oodb Printf Sentinel Workloads

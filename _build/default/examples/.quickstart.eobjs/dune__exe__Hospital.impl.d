@@ -1,0 +1,1 @@
+examples/hospital.ml: Array Events List Oodb Option Printf Sentinel Workloads

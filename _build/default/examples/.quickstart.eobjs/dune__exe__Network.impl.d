@@ -1,0 +1,1 @@
+examples/network.ml: Events Oodb Printf Sentinel Workloads

@@ -1,0 +1,1 @@
+examples/operations.ml: Events Filename Format List Oodb Printf Sentinel Sys Workloads

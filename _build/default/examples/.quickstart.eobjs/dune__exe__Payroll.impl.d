@@ -1,0 +1,1 @@
+examples/payroll.ml: Array Baselines Events List Oodb Printexc Printf Sentinel Workloads

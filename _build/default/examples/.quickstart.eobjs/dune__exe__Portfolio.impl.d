@@ -1,0 +1,1 @@
+examples/portfolio.ml: Events Oodb Option Printf Sentinel Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Events List Oodb Printf Sentinel

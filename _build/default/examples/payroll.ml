@@ -1,0 +1,210 @@
+(* The paper's §5 worked example — the Salary-check rule in all three
+   systems, plus the Figure 9/10 rules:
+
+     Salary check: an employee's salary is always less than his/her
+                   manager's salary.
+
+   - Sentinel expresses it ONCE as a rule triggered by a disjunction of
+     events from two classes (employee and manager), subscribed at class
+     level.
+   - Ode needs two complementary hard constraints, one per class (Fig. 11).
+   - ADAM needs two rule objects, one per active-class (Fig. 13).
+
+   Also shown: the Figure 10 instance-level IncomeLevel rule, which keeps
+   one specific employee's income equal to his manager's.
+
+   Run with: dune exec examples/payroll.exe *)
+
+module Db = Oodb.Db
+module Value = Oodb.Value
+module System = Sentinel.System
+module Expr = Events.Expr
+module W = Workloads.Payroll
+
+let salary db oid = Value.to_float (Db.get db oid "salary")
+
+(* An employee violates Salary-check when a manager is set and earns less. *)
+let employee_ok db emp =
+  match Db.get db emp "mgr" with
+  | Value.Obj mgr -> salary db emp < salary db mgr
+  | _ -> true
+
+let manager_ok db mgr =
+  (* the manager must out-earn every direct report *)
+  Oodb.Query.select db W.employee_class (Oodb.Query.Eq ("mgr", Value.Obj mgr))
+  |> List.for_all (fun emp -> salary db emp < salary db mgr)
+
+(* --- 1. Sentinel: one rule, spanning both classes ----------------------- *)
+
+let sentinel_version () =
+  print_endline "== Sentinel: one rule, one definition, both classes ==";
+  let db = Db.create () in
+  let sys = System.create db in
+  W.install db;
+  let rng = Workloads.Prng.create 7 in
+  let pop = W.populate db rng ~managers:3 ~employees:12 in
+
+  System.register_condition sys "salary-check-violated" (fun db inst ->
+      match inst.Events.Detector.constituents with
+      | [ occ ] ->
+        if Db.is_instance_of db occ.source W.manager_class then
+          not (manager_ok db occ.source)
+        else not (employee_ok db occ.source)
+      | _ -> false);
+  System.register_action sys "reject" (fun _db _inst ->
+      raise (Oodb.Errors.Rule_abort "salary check violated"));
+
+  (* Disjunction of the two classes' set_salary events; class-level
+     subscription to employee covers managers too (manager <: employee),
+     but we keep the paper's explicit two-class form. *)
+  let event =
+    Expr.disj
+      (Expr.eom ~cls:W.employee_class "set_salary")
+      (Expr.eom ~cls:W.manager_class "set_salary")
+  in
+  ignore
+    (System.create_rule sys ~name:"Salary-check"
+       ~monitor_classes:[ W.employee_class ]
+       ~event ~condition:"salary-check-violated" ~action:"reject" ());
+
+  let fred = pop.employees.(0) in
+  let mgr = Value.to_oid (Db.get db fred "mgr") in
+  Printf.printf "fred earns %.0f, manager earns %.0f\n" (salary db fred)
+    (salary db mgr);
+  (* A legal raise commits; an illegal one aborts the transaction. *)
+  let attempt amount =
+    let result =
+      Oodb.Transaction.atomically db (fun () ->
+          ignore (Db.send db fred "set_salary" [ Value.Float amount ]))
+    in
+    Printf.printf "set_salary(%.0f): %s (salary now %.0f)\n" amount
+      (match result with
+      | Ok () -> "committed"
+      | Error (Oodb.Errors.Rule_abort m) -> "ABORTED: " ^ m
+      | Error e -> "error: " ^ Printexc.to_string e)
+      (salary db fred)
+  in
+  attempt (salary db mgr -. 1.);
+  attempt (salary db mgr +. 500.)
+
+(* --- 2. Ode: two complementary constraints (Figure 11) ------------------- *)
+
+let ode_version () =
+  print_endline "\n== Ode baseline: two hard constraints, fixed at class definition ==";
+  let db = Db.create () in
+  W.install db;
+  let ode = Baselines.Ode.create db in
+  (* Must be declared before any instance exists. *)
+  Baselines.Ode.declare_constraint ode ~cls:W.employee_class
+    ~name:"sal < mgr->salary()" employee_ok;
+  Baselines.Ode.declare_constraint ode ~cls:W.manager_class
+    ~name:"sal_greater_than_all_employees()" manager_ok;
+  let rng = Workloads.Prng.create 7 in
+  let pop = W.populate db rng ~managers:3 ~employees:12 in
+  let fred = pop.employees.(0) in
+  let mgr = Value.to_oid (Db.get db fred "mgr") in
+  let attempt amount =
+    let result =
+      Oodb.Transaction.atomically db (fun () ->
+          ignore (Baselines.Ode.send ode fred "set_salary" [ Value.Float amount ]))
+    in
+    Printf.printf "set_salary(%.0f): %s\n" amount
+      (match result with
+      | Ok () -> "committed"
+      | Error (Oodb.Errors.Rule_abort m) -> "ABORTED: " ^ m
+      | Error e -> "error: " ^ Printexc.to_string e)
+  in
+  attempt (salary db mgr -. 1.);
+  attempt (salary db mgr +. 500.);
+  Printf.printf "constraint evaluations so far: %d\n"
+    (Baselines.Ode.checks_performed ode)
+
+(* --- 3. ADAM: two rule objects, centralized checking (Figure 13) --------- *)
+
+let adam_version () =
+  print_endline "\n== ADAM baseline: two rules, centralized dispatch ==";
+  let db = Db.create () in
+  W.install db;
+  let adam = Baselines.Adam.create db in
+  let reject_if bad _name =
+    ( (fun db (occ : Oodb.Types.occurrence) -> bad db occ.source),
+      fun _db (_occ : Oodb.Types.occurrence) ->
+        raise (Oodb.Errors.Rule_abort "Invalid Salary") )
+  in
+  let c1, a1 = reject_if (fun db o -> not (employee_ok db o)) "emp" in
+  ignore
+    (Baselines.Adam.add_rule adam ~name:"employee-salary-rule"
+       ~active_class:W.employee_class ~meth:"set_salary" ~condition:c1 ~action:a1
+       ());
+  let c2, a2 = reject_if (fun db o -> not (manager_ok db o)) "mgr" in
+  ignore
+    (Baselines.Adam.add_rule adam ~name:"manager-salary-rule"
+       ~active_class:W.manager_class ~meth:"set_salary" ~condition:c2 ~action:a2
+       ());
+  let rng = Workloads.Prng.create 7 in
+  let pop = W.populate db rng ~managers:3 ~employees:12 in
+  let fred = pop.employees.(0) in
+  let mgr = Value.to_oid (Db.get db fred "mgr") in
+  let attempt amount =
+    let result =
+      Oodb.Transaction.atomically db (fun () ->
+          ignore (Db.send db fred "set_salary" [ Value.Float amount ]))
+    in
+    Printf.printf "set_salary(%.0f): %s\n" amount
+      (match result with
+      | Ok () -> "committed"
+      | Error (Oodb.Errors.Rule_abort m) -> "ABORTED: " ^ m
+      | Error e -> "error: " ^ Printexc.to_string e)
+  in
+  attempt (salary db mgr -. 1.);
+  attempt (salary db mgr +. 500.);
+  Printf.printf "(rule, event) scans so far: %d\n" (Baselines.Adam.scans adam)
+
+(* --- 4. Figure 10: instance-level IncomeLevel rule ------------------------ *)
+
+let income_level () =
+  print_endline "\n== Figure 10: instance-level IncomeLevel rule ==";
+  let db = Db.create () in
+  let sys = System.create db in
+  W.install db;
+  let fred =
+    Db.new_object db W.employee_class ~attrs:[ ("name", Value.Str "Fred") ]
+  in
+  let mike =
+    Db.new_object db W.manager_class ~attrs:[ ("name", Value.Str "Mike") ]
+  in
+  System.register_condition sys "incomes-differ" (fun db _ ->
+      Value.to_float (Db.get db fred "income")
+      <> Value.to_float (Db.get db mike "income"));
+  System.register_action sys "make-equal" (fun db inst ->
+      (* set the other party's income to the one just changed *)
+      match inst.Events.Detector.constituents with
+      | [ occ ] ->
+        let target = if Oodb.Oid.equal occ.source fred then mike else fred in
+        Db.set db target "income" (Db.get db occ.source "income");
+        Printf.printf "  !! IncomeLevel equalized incomes at %s\n"
+          (Value.to_string (Db.get db target "income"))
+      | _ -> ());
+  let equal_event =
+    Expr.disj
+      (Expr.eom ~cls:W.employee_class "change_income")
+      (Expr.eom ~cls:W.manager_class "change_income")
+  in
+  ignore
+    (System.create_rule sys ~name:"IncomeLevel"
+       ~monitor:[ fred; mike ] (* Fred.Subscribe(IncomeLevel); Mike.Subscribe(...) *)
+       ~event:equal_event ~condition:"incomes-differ" ~action:"make-equal" ());
+  ignore (Db.send db fred "change_income" [ Value.Float 4200. ]);
+  Printf.printf "fred=%s mike=%s\n"
+    (Value.to_string (Db.get db fred "income"))
+    (Value.to_string (Db.get db mike "income"));
+  ignore (Db.send db mike "change_income" [ Value.Float 5100. ]);
+  Printf.printf "fred=%s mike=%s\n"
+    (Value.to_string (Db.get db fred "income"))
+    (Value.to_string (Db.get db mike "income"))
+
+let () =
+  sentinel_version ();
+  ode_version ();
+  adam_version ();
+  income_level ()

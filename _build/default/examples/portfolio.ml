@@ -1,0 +1,90 @@
+(* The paper's §2.1 motivating example — the external monitoring viewpoint.
+
+   Three classes (Stock, Portfolio, FinancialInfo) are defined independently
+   of any rule.  Later, at runtime, the Purchase rule is created:
+
+     RULE Purchase :
+       WHEN IBM!SetPrice And DowJones!SetValue
+       IF   IBM!GetPrice < $80 and DowJones!Change < 3.4%
+       THEN Parker!PurchaseIBMStock
+
+   The rule monitors two objects of *different classes* through a composite
+   (conjunction) event whose primitives are filtered to those instances —
+   something neither Ode nor ADAM could express directly.
+
+   Run with: dune exec examples/portfolio.exe *)
+
+module Db = Oodb.Db
+module Value = Oodb.Value
+module System = Sentinel.System
+module Expr = Events.Expr
+module W = Workloads.Stock_market
+
+let () =
+  let db = Db.create () in
+  let sys = System.create db in
+  W.install db;
+
+  let ibm =
+    Db.new_object db W.stock_class
+      ~attrs:[ ("symbol", Value.Str "IBM"); ("price", Value.Float 95.) ]
+  in
+  let dow_jones =
+    Db.new_object db W.financial_info_class
+      ~attrs:[ ("name", Value.Str "DowJones") ]
+  in
+  let parker =
+    Db.new_object db W.portfolio_class ~attrs:[ ("owner", Value.Str "Parker") ]
+  in
+
+  (* WHEN: conjunction of two primitives, each narrowed to one instance. *)
+  let purchase_event =
+    Expr.conj
+      (Expr.eom ~cls:W.stock_class ~sources:[ ibm ] "set_price")
+      (Expr.eom ~cls:W.financial_info_class ~sources:[ dow_jones ] "set_value")
+  in
+
+  (* IF: conditions read the monitored objects' current state. *)
+  System.register_condition sys "ibm-cheap-and-dow-calm" (fun db _inst ->
+      Value.to_float (Db.get db ibm "price") < 80.
+      && Value.to_float (Db.get db dow_jones "change") < 3.4);
+
+  (* THEN: the Parker portfolio buys 10 shares of IBM. *)
+  System.register_action sys "parker-buys-ibm" (fun db _inst ->
+      ignore (Db.send db parker "purchase" [ Value.Obj ibm; Value.Int 10 ]);
+      Printf.printf "  !! Purchase fired: Parker now holds %s shares, cash %s\n"
+        (Value.to_string (Db.get db parker "shares"))
+        (Value.to_string (Db.get db parker "cash")));
+
+  let rule =
+    System.create_rule sys ~name:"Purchase"
+      ~monitor:[ ibm; dow_jones ] (* subscription spans two classes *)
+      ~event:purchase_event ~condition:"ibm-cheap-and-dow-calm"
+      ~action:"parker-buys-ibm" ()
+  in
+  ignore rule;
+
+  let tick label oid meth args =
+    Printf.printf "%s\n" label;
+    ignore (Db.send db oid meth args)
+  in
+  tick "IBM!SetPrice(85) -- only half the conjunction:" ibm "set_price"
+    [ Value.Float 85. ];
+  tick "DowJones!SetValue(3100, +1.2%) -- conjunction completes, but IBM >= $80:"
+    dow_jones "set_value"
+    [ Value.Float 3100.; Value.Float 1.2 ];
+  tick
+    "IBM!SetPrice(75) -- cheap now; fires at once (the recent-context \
+     detector still holds the last DowJones instance):"
+    ibm "set_price" [ Value.Float 75. ];
+  tick "DowJones!SetValue(3150, +0.9%) -- fires again:" dow_jones "set_value"
+    [ Value.Float 3150.; Value.Float 0.9 ];
+
+  (* Other market traffic does not disturb the rule: unsubscribed objects. *)
+  let rng = Workloads.Prng.create 42 in
+  let market = W.populate db rng ~stocks:50 ~indexes:3 ~portfolios:5 in
+  Workloads.Dsl.apply_ops db (W.ticks rng market ~n:1000);
+  Printf.printf
+    "after 1000 unrelated market ticks the rule fired %d time(s) total\n"
+    (System.rule_info sys (Option.get (System.find_rule sys "Purchase")))
+      .Sentinel.Rule.fired

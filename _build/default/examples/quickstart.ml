@@ -1,0 +1,78 @@
+(* Quickstart: the smallest useful active-database program.
+
+   1. Define a reactive class whose event interface marks set_salary as an
+      end-of-method event generator (paper Figure 8).
+   2. Create a rule at runtime — no class recompilation — and subscribe it
+      to one specific instance (paper §4.7, instance-level rules).
+   3. Send messages; watch the rule fire only when its condition holds.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Db = Oodb.Db
+module Value = Oodb.Value
+module Schema = Oodb.Schema
+module System = Sentinel.System
+module Expr = Events.Expr
+
+let () =
+  let db = Db.create () in
+  let sys = System.create db in
+
+  (* A reactive employee class: the event interface is part of the class
+     definition; everything else about rules happens at runtime. *)
+  Db.define_class db
+    (Schema.define "employee"
+       ~attrs:[ ("name", Value.Str ""); ("salary", Value.Float 0.) ]
+       ~methods:
+         [
+           ( "set_salary",
+             fun db self args ->
+               (match args with
+               | [ v ] -> Db.set db self "salary" v
+               | _ -> failwith "set_salary: arity");
+               Value.Null );
+           ("get_salary", fun db self _ -> Db.get db self "salary");
+         ]
+       ~events:[ ("set_salary", Schema.On_end) ]);
+
+  let fred =
+    Db.new_object db "employee"
+      ~attrs:[ ("name", Value.Str "Fred"); ("salary", Value.Float 2000.) ]
+  in
+
+  (* Condition and action are registered under names; the rule object only
+     stores the names, so it can persist and be re-linked after a reload. *)
+  System.register_condition sys "raise-above-5k" (fun _db inst ->
+      match inst.Events.Detector.constituents with
+      | [ occ ] -> (
+        match occ.params with
+        | [ amount ] -> Value.to_float amount > 5000.
+        | _ -> false)
+      | _ -> false);
+  System.register_action sys "report" (fun db inst ->
+      match inst.Events.Detector.constituents with
+      | [ occ ] ->
+        Printf.printf "  !! rule fired: %s got a raise to %s\n"
+          (Value.to_str (Db.get db occ.source "name"))
+          (Value.to_string (List.hd occ.params))
+      | _ -> ());
+
+  let rule =
+    System.create_rule sys ~name:"watch-fred" ~monitor:[ fred ]
+      ~event:(Expr.eom ~cls:"employee" "set_salary")
+      ~condition:"raise-above-5k" ~action:"report" ()
+  in
+
+  print_endline "sending set_salary(3000.) -- below threshold, silent:";
+  ignore (Db.send db fred "set_salary" [ Value.Float 3000. ]);
+  print_endline "sending set_salary(9000.) -- above threshold:";
+  ignore (Db.send db fred "set_salary" [ Value.Float 9000. ]);
+
+  (* Rules are first-class objects: inspect and disable like any object. *)
+  Printf.printf "rule object %s, fired %d time(s)\n"
+    (Oodb.Oid.to_string rule)
+    (System.rule_info sys rule).Sentinel.Rule.fired;
+  System.disable sys rule;
+  print_endline "rule disabled; sending set_salary(9999.) -- silent:";
+  ignore (Db.send db fred "set_salary" [ Value.Float 9999. ]);
+  print_endline "done."

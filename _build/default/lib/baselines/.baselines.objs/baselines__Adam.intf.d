@@ -1,0 +1,1 @@
+lib/baselines/adam.mli: Oodb

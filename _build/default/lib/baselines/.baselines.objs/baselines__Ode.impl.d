@@ -1,0 +1,1 @@
+lib/baselines/ode.ml: Hashtbl List Oodb Option Printf String

@@ -1,0 +1,1 @@
+lib/baselines/ode.mli: Oodb

@@ -1,0 +1,76 @@
+module Db = Oodb.Db
+module Oid = Oodb.Oid
+module Errors = Oodb.Errors
+module Schema = Oodb.Schema
+
+type rule = {
+  r_name : string;
+  r_active_class : string;
+  r_meth : string;
+  r_modifier : Oodb.Types.modifier;
+  mutable r_enabled : bool;
+  mutable r_disabled_for : Oid.Set.t;
+  r_condition : Db.t -> Oodb.Types.occurrence -> bool;
+  r_action : Db.t -> Oodb.Types.occurrence -> unit;
+  mutable r_fired : int;
+}
+
+type t = {
+  db : Db.t;
+  mutable rules : rule list;
+  mutable n_scans : int;
+}
+
+let matches t (r : rule) (occ : Oodb.Types.occurrence) =
+  r.r_enabled
+  && r.r_modifier = occ.modifier
+  && String.equal r.r_meth occ.meth
+  && Schema.is_subclass t.db ~sub:occ.source_class ~super:r.r_active_class
+  && not (Oid.Set.mem occ.source r.r_disabled_for)
+
+let on_event t _db (occ : Oodb.Types.occurrence) =
+  (* Centralized checking: every rule is examined for every event. *)
+  let consider r =
+    t.n_scans <- t.n_scans + 1;
+    if matches t r occ && r.r_condition t.db occ then begin
+      r.r_fired <- r.r_fired + 1;
+      r.r_action t.db occ
+    end
+  in
+  List.iter consider t.rules
+
+let create db =
+  let t = { db; rules = []; n_scans = 0 } in
+  Db.add_tap db (fun db occ -> on_event t db occ);
+  t
+
+let add_rule t ~name ~active_class ~meth ?(modifier = Oodb.Types.After)
+    ?(enabled = true) ~condition ~action () =
+  if not (Db.has_class t.db active_class) then
+    raise (Errors.No_such_class active_class);
+  let r =
+    {
+      r_name = name;
+      r_active_class = active_class;
+      r_meth = meth;
+      r_modifier = modifier;
+      r_enabled = enabled;
+      r_disabled_for = Oid.Set.empty;
+      r_condition = condition;
+      r_action = action;
+      r_fired = 0;
+    }
+  in
+  t.rules <- t.rules @ [ r ];
+  r
+
+let remove_rule t r = t.rules <- List.filter (fun x -> x != r) t.rules
+let enable r = r.r_enabled <- true
+let disable r = r.r_enabled <- false
+let disable_for _t r oid = r.r_disabled_for <- Oid.Set.add oid r.r_disabled_for
+let enable_for _t r oid = r.r_disabled_for <- Oid.Set.remove oid r.r_disabled_for
+let rule_name r = r.r_name
+let fired r = r.r_fired
+let rule_count t = List.length t.rules
+let scans t = t.n_scans
+let total_fired t = List.fold_left (fun acc r -> acc + r.r_fired) 0 t.rules

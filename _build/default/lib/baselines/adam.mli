@@ -1,0 +1,62 @@
+(** ADAM-style baseline: centralized runtime rules.
+
+    Models the second approach of the paper's §1/§5.1 (and Figures 12–13):
+    everything happens at runtime, rules are objects with an [active-class]
+    attribute, and rule checking is {e centralized} — every generated event
+    is matched against {e every} rule in the system ("this is in contrast to
+    adopting a centralized approach where all rules defined in the system
+    are checked when events are generated", §3.5).
+
+    Reproduced consequences:
+
+    - rules are class-level only: a rule applies to all instances of its
+      active class (and subclasses); per-instance scoping is expressed
+      negatively through the [disabled-for] list, as in ADAM;
+    - a rule spanning two classes needs two rule objects sharing an event
+      description (Figure 13);
+    - dispatch cost grows with the total number of rules, measured by
+      {!scans}: experiment E2's contrast with Sentinel's subscription.
+
+    The baseline taps the substrate's event stream (every occurrence,
+    regardless of subscriptions), so monitored classes still declare event
+    interfaces — in ADAM every method invocation is a potential event. *)
+
+type rule
+
+type t
+
+val create : Oodb.Db.t -> t
+(** Installs the centralized tap on the database. *)
+
+val add_rule :
+  t ->
+  name:string ->
+  active_class:string ->
+  meth:string ->
+  ?modifier:Oodb.Types.modifier ->
+  ?enabled:bool ->
+  condition:(Oodb.Db.t -> Oodb.Types.occurrence -> bool) ->
+  action:(Oodb.Db.t -> Oodb.Types.occurrence -> unit) ->
+  unit ->
+  rule
+(** Runtime rule creation ([new ... => integrity-rule]).  [modifier]
+    defaults to [After] (ADAM's [when([after])]). *)
+
+val remove_rule : t -> rule -> unit
+val enable : rule -> unit
+val disable : rule -> unit
+
+val disable_for : t -> rule -> Oodb.Oid.t -> unit
+(** Add an instance to the rule's [disabled-for] list. *)
+
+val enable_for : t -> rule -> Oodb.Oid.t -> unit
+
+val rule_name : rule -> string
+val fired : rule -> int
+
+val rule_count : t -> int
+
+val scans : t -> int
+(** Total (event, rule) matching attempts — the centralized-dispatch cost. *)
+
+val total_fired : t -> int

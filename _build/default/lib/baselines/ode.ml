@@ -1,0 +1,95 @@
+module Db = Oodb.Db
+module Oid = Oodb.Oid
+module Value = Oodb.Value
+module Errors = Oodb.Errors
+module Schema = Oodb.Schema
+
+type kind = Hard | Soft
+
+type constr = {
+  c_name : string;
+  c_kind : kind;
+  c_check : Db.t -> Oid.t -> bool;
+  c_repair : (Db.t -> Oid.t -> unit) option;
+}
+
+type t = {
+  db : Db.t;
+  per_class : (string, constr list) Hashtbl.t; (* declaration order *)
+  mutable n_checks : int;
+  mutable n_violations : int;
+}
+
+let create db = { db; per_class = Hashtbl.create 16; n_checks = 0; n_violations = 0 }
+
+let class_constraints t cls =
+  Option.value ~default:[] (Hashtbl.find_opt t.per_class cls)
+
+(* Constraints applicable to an instance: own class first, then inherited. *)
+let applicable t cls =
+  List.concat_map (class_constraints t) (Schema.ancestry t.db cls)
+
+let constraints_of t cls = List.map (fun c -> c.c_name) (applicable t cls)
+
+let make_constraint t ~cls ~name ~kind ~repair check =
+  if not (Db.has_class t.db cls) then raise (Errors.No_such_class cls);
+  if List.exists (fun c -> String.equal c.c_name name) (applicable t cls) then
+    Errors.type_error "constraint %S already declared for %s" name cls;
+  (match (kind, repair) with
+  | Soft, None -> Errors.type_error "soft constraint %S needs a repair action" name
+  | _ -> ());
+  { c_name = name; c_kind = kind; c_check = check; c_repair = repair }
+
+let attach t cls c =
+  Hashtbl.replace t.per_class cls (class_constraints t cls @ [ c ])
+
+let declare_constraint t ~cls ~name ?(kind = Hard) ?repair check =
+  if Db.extent t.db ~deep:true cls <> [] then
+    Errors.type_error
+      "class %s already has instances; Ode-style constraints are fixed at \
+       class-definition time (use add_constraint_with_rebuild)"
+      cls;
+  attach t cls (make_constraint t ~cls ~name ~kind ~repair check)
+
+let eval_constraint t oid c =
+  t.n_checks <- t.n_checks + 1;
+  if not (c.c_check t.db oid) then begin
+    t.n_violations <- t.n_violations + 1;
+    match (c.c_kind, c.c_repair) with
+    | Hard, _ ->
+      raise
+        (Errors.Rule_abort
+           (Printf.sprintf "hard constraint %S violated by %s" c.c_name
+              (Oid.to_string oid)))
+    | Soft, Some repair ->
+      repair t.db oid;
+      t.n_checks <- t.n_checks + 1;
+      if not (c.c_check t.db oid) then
+        raise
+          (Errors.Rule_abort
+             (Printf.sprintf
+                "soft constraint %S still violated by %s after repair" c.c_name
+                (Oid.to_string oid)))
+    | Soft, None -> assert false
+  end
+
+let check_object t oid =
+  let cls = Db.class_of t.db oid in
+  List.iter (eval_constraint t oid) (applicable t cls)
+
+let add_constraint_with_rebuild t ~cls ~name ?(kind = Hard) ?repair check =
+  let c = make_constraint t ~cls ~name ~kind ~repair check in
+  attach t cls c;
+  (* The "recompilation" pass: every stored instance is revisited and
+     re-validated against the new constraint set. *)
+  let instances = Db.extent t.db ~deep:true cls in
+  List.iter (fun oid -> eval_constraint t oid c) instances;
+  List.length instances
+
+let send t receiver meth args =
+  let result = Db.send t.db receiver meth args in
+  check_object t receiver;
+  result
+
+let checks_performed t = t.n_checks
+let violations t = t.n_violations

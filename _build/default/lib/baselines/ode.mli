@@ -1,0 +1,70 @@
+(** Ode-style baseline: rules as constraints compiled into class definitions.
+
+    Models the first approach of the paper's §1/§5.1: (parameterized) rules
+    are specified only at class-definition time and pre-processed into the
+    host code.  Consequences reproduced here:
+
+    - constraints attach to exactly one class (a rule spanning classes must
+      be declared once per class — Figure 11's two complementary
+      constraints);
+    - constraints are fixed once the class has instances; adding one to a
+      live class requires a {e rebuild} (re-validating and re-linking every
+      stored instance), which {!add_constraint_with_rebuild} performs and
+      which experiment E7 measures;
+    - checking is inlined at every method return on the receiving object
+      (no event objects, no subscriptions): use {!send} instead of
+      {!Oodb.Db.send} for objects of constrained classes;
+    - hard constraints abort the transaction when violated; soft
+      constraints run a repair action.
+
+    Constraints are inherited by subclasses, as in Ode. *)
+
+type kind = Hard | Soft
+
+type t
+
+val create : Oodb.Db.t -> t
+
+val declare_constraint :
+  t ->
+  cls:string ->
+  name:string ->
+  ?kind:kind ->
+  ?repair:(Oodb.Db.t -> Oodb.Oid.t -> unit) ->
+  (Oodb.Db.t -> Oodb.Oid.t -> bool) ->
+  unit
+(** Attach a constraint (a per-instance invariant) to a class.  Allowed only
+    while the class has no instances — the compile-time restriction.
+    @raise Oodb.Errors.Type_error when instances already exist, when the
+    name is taken, or when a [Soft] constraint lacks a [repair]. *)
+
+val add_constraint_with_rebuild :
+  t ->
+  cls:string ->
+  name:string ->
+  ?kind:kind ->
+  ?repair:(Oodb.Db.t -> Oodb.Oid.t -> unit) ->
+  (Oodb.Db.t -> Oodb.Oid.t -> bool) ->
+  int
+(** "Recompile": attach a constraint to a class that already has instances
+    by re-validating every stored instance (deep extent).  Returns the
+    number of instances revisited.  Instances violating a [Hard] constraint
+    raise {!Oodb.Errors.Rule_abort} immediately. *)
+
+val send : t -> Oodb.Oid.t -> string -> Oodb.Value.t list -> Oodb.Value.t
+(** Dispatch a message, then check every constraint applicable to the
+    receiver (its class chain).  Hard violation ⇒ {!Oodb.Errors.Rule_abort};
+    soft violation ⇒ run the repair, then re-check once (a still-violated
+    soft constraint aborts). *)
+
+val check_object : t -> Oodb.Oid.t -> unit
+(** Run the receiver-side checks without sending a message. *)
+
+val constraints_of : t -> string -> string list
+(** Names of the constraints applicable to instances of a class (inherited
+    ones included). *)
+
+val checks_performed : t -> int
+(** Total constraint evaluations, for the benchmarks. *)
+
+val violations : t -> int

@@ -1,0 +1,1 @@
+lib/core/sentinel.ml: Analysis Audit Coupling Function_registry Notifiable Rule Rule_dsl Scheduler Sentinel_classes System Template

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Buffer Expr Format Function_registry Hashtbl Import List Oid Printf Rule String System

@@ -1,0 +1,1 @@
+lib/core/audit.ml: Db Detector Format Import List Oid Oodb Printexc Rule System Value

@@ -1,0 +1,1 @@
+lib/core/coupling.ml: Format Oodb

@@ -1,0 +1,1 @@
+lib/core/function_registry.ml: Db Detector Errors Hashtbl Import List Oodb

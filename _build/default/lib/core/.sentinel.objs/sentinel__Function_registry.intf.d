@@ -1,0 +1,1 @@
+lib/core/function_registry.mli: Db Detector Import Oodb

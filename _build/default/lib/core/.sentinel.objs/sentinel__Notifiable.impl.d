@@ -1,0 +1,1 @@
+lib/core/notifiable.ml: Import List Occurrence

@@ -1,0 +1,1 @@
+lib/core/notifiable.mli: Import Occurrence

@@ -1,0 +1,1 @@
+lib/core/rule.ml: Coupling Detector Expr Function_registry Import Notifiable Oid

@@ -1,0 +1,1 @@
+lib/core/rule.mli: Context Coupling Detector Expr Function_registry Import Notifiable Occurrence Oid

@@ -1,0 +1,1 @@
+lib/core/rule_dsl.ml: Buffer Context Coupling Db Errors Events Expr Import In_channel List Oid Printf Rule String System Transaction

@@ -1,0 +1,1 @@
+lib/core/rule_dsl.mli: Import Oid System

@@ -1,0 +1,1 @@
+lib/core/sentinel_classes.ml: Context Coupling Db Import Oodb Value

@@ -1,0 +1,1 @@
+lib/core/sentinel_classes.mli: Db Import

@@ -1,0 +1,1 @@
+lib/core/system.ml: Codec Context Coupling Db Detector Errors Fun Function_registry Import List Occurrence Oid Oodb Printf Rule Scheduler Sentinel_classes String Transaction Value

@@ -1,0 +1,1 @@
+lib/core/system.mli: Context Coupling Db Events Expr Function_registry Import Occurrence Oid Oodb Rule Scheduler

@@ -1,0 +1,1 @@
+lib/core/template.ml: Codec Context Coupling Db Errors Expr Function_registry Import List Oid Oodb Printf Rule Sentinel_classes String System Value

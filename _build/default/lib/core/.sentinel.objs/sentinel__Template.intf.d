@@ -1,0 +1,1 @@
+lib/core/template.mli: Context Coupling Expr Import Oid System

@@ -1,0 +1,168 @@
+open Import
+
+(* The (method, modifier) pairs that can trigger a rule: its expression's
+   primitive leaves. *)
+let trigger_keys rule =
+  Expr.prims rule.Rule.event
+  |> List.map (fun (p : Expr.prim) -> (p.p_meth, p.p_modifier))
+  |> List.sort_uniq compare
+
+(* The (method, modifier) pairs a rule's action may generate.  A begin
+   event and an end event are both possible for any sent method unless the
+   declaration says otherwise — the declaration is explicit, so we take it
+   verbatim. *)
+let effect_keys sys rule =
+  Function_registry.action_effects (System.registry sys) rule.Rule.action_name
+
+let rules_info sys =
+  List.map (fun oid -> (oid, System.rule_info sys oid)) (System.rules sys)
+
+let edges sys =
+  let all = rules_info sys in
+  let out = ref [] in
+  List.iter
+    (fun (o1, r1) ->
+      let effects = effect_keys sys r1 in
+      if effects <> [] then
+        List.iter
+          (fun (o2, r2) ->
+            let triggers = trigger_keys r2 in
+            if List.exists (fun e -> List.mem e triggers) effects then
+              out := (o1, o2) :: !out)
+          all)
+    all;
+  List.sort compare !out
+
+let may_trigger sys oid =
+  edges sys |> List.filter_map (fun (a, b) -> if Oid.equal a oid then Some b else None)
+
+(* Tarjan's strongly-connected components, iterative enough for rule-set
+   sizes; returns components in reverse topological order. *)
+let sccs nodes succ =
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let components = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.find_opt on_stack w = Some true then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (succ v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.replace on_stack w false;
+          if w = v then w :: acc else pop (w :: acc)
+      in
+      components := pop [] :: !components
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) nodes;
+  List.rev !components
+
+let graph sys =
+  let nodes = System.rules sys in
+  let es = edges sys in
+  let succ v =
+    List.filter_map (fun (a, b) -> if Oid.equal a v then Some b else None) es
+  in
+  (nodes, succ)
+
+let cycles sys =
+  let nodes, succ = graph sys in
+  sccs nodes succ
+  |> List.filter (fun component ->
+         match component with
+         | [] -> false
+         | [ v ] -> List.exists (Oid.equal v) (succ v) (* self-loop *)
+         | _ -> true)
+
+let is_terminating sys = cycles sys = []
+
+let strata sys =
+  let nodes, succ = graph sys in
+  if cycles sys <> [] then None
+  else begin
+    (* stratum v = 0 when v triggers nothing; else 1 + max over successors *)
+    let memo = Hashtbl.create 16 in
+    let rec stratum v =
+      match Hashtbl.find_opt memo v with
+      | Some s -> s
+      | None ->
+        let s =
+          match succ v with
+          | [] -> 0
+          | ws -> 1 + List.fold_left (fun acc w -> max acc (stratum w)) 0 ws
+        in
+        Hashtbl.replace memo v s;
+        s
+    in
+    let max_stratum = List.fold_left (fun acc v -> max acc (stratum v)) 0 nodes in
+    Some
+      (List.init (max_stratum + 1) (fun k ->
+           List.filter (fun v -> stratum v = k) nodes))
+  end
+
+let to_dot sys =
+  let name oid = (System.rule_info sys oid).Rule.name in
+  let looping = List.concat (cycles sys) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph triggering {\n";
+  List.iter
+    (fun oid ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %d [label=%S%s];\n" (Oid.to_int oid) (name oid)
+           (if List.exists (Oid.equal oid) looping then " color=red" else "")))
+    (System.rules sys);
+  List.iter
+    (fun (a, b) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %d -> %d;\n" (Oid.to_int a) (Oid.to_int b)))
+    (edges sys);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp_report ppf sys =
+  let name oid = (System.rule_info sys oid).Rule.name in
+  let es = edges sys in
+  Format.fprintf ppf "triggering graph: %d rule(s), %d edge(s)@."
+    (List.length (System.rules sys))
+    (List.length es);
+  List.iter
+    (fun (a, b) -> Format.fprintf ppf "  %s may trigger %s@." (name a) (name b))
+    es;
+  match cycles sys with
+  | [] ->
+    Format.fprintf ppf "verdict: terminating@.";
+    (match strata sys with
+    | Some layers ->
+      List.iteri
+        (fun k layer ->
+          Format.fprintf ppf "  stratum %d: %s@." k
+            (String.concat ", " (List.map name layer)))
+        layers
+    | None -> ())
+  | cs ->
+    Format.fprintf ppf "verdict: POTENTIALLY NON-TERMINATING@.";
+    List.iter
+      (fun c ->
+        Format.fprintf ppf "  cycle: %s@."
+          (String.concat " -> " (List.map name c)))
+      cs

@@ -1,0 +1,44 @@
+open Import
+
+(** Static analysis of rule sets: the triggering graph.
+
+    Cascading rules (an action sends messages that trigger further rules)
+    are bounded at runtime by the system's cascade limit; this module is the
+    static counterpart, in the tradition of active-database triggering-graph
+    analysis: rule R₁ {e may trigger} R₂ when one of the primitive events
+    R₁'s action declares it can generate ({!Function_registry} [may_send])
+    matches, by (method, modifier), a primitive leaf of R₂'s event
+    expression.  Matching ignores classes and instances — the analysis is
+    deliberately conservative: absence of an edge proves absence of
+    triggering, presence of one does not prove it happens.
+
+    Consequences:
+    - an acyclic triggering graph proves the rule set terminates for any
+      event stream (cascades are bounded by the graph's depth);
+    - cycles identify the rule groups that could loop;
+    - an acyclic graph stratifies: rules in stratum 0 trigger nothing,
+      stratum k+1 rules only trigger strata ≤ k. *)
+
+val edges : System.t -> (Oid.t * Oid.t) list
+(** All may-trigger edges, lexicographically sorted.  Only enabled and
+    disabled rules alike are included (a disabled rule can be re-enabled). *)
+
+val may_trigger : System.t -> Oid.t -> Oid.t list
+(** Direct successors of one rule. *)
+
+val cycles : System.t -> Oid.t list list
+(** Strongly connected components that can actually loop: components of
+    size ≥ 2 and self-looping single rules.  Empty ⇔ the set terminates. *)
+
+val is_terminating : System.t -> bool
+
+val strata : System.t -> Oid.t list list option
+(** Topological layers, leaves (trigger-nothing rules) first; [None] when
+    the graph is cyclic. *)
+
+val pp_report : Format.formatter -> System.t -> unit
+(** Human-readable analysis report (edges, verdict, cycles or strata). *)
+
+val to_dot : System.t -> string
+(** The triggering graph in Graphviz DOT syntax (rules as nodes, may-trigger
+    edges; rules on a cycle drawn in red). *)

@@ -1,0 +1,91 @@
+open Import
+
+type outcome = System.execution_outcome =
+  | Fired
+  | Condition_false
+  | Aborted of string
+  | Action_error of exn
+
+type entry = {
+  e_rule : Oid.t;
+  e_rule_name : string;
+  e_at : Oodb.Types.timestamp;
+  e_outcome : outcome;
+  e_instance : Detector.instance;
+}
+
+type t = {
+  a_sys : System.t;
+  a_limit : int;
+  a_persist : bool;
+  mutable log : entry list; (* newest first *)
+  mutable stored : int;
+  mutable total : int;
+}
+
+let firing_class = "__firing"
+
+let outcome_strings = function
+  | Fired -> ("fired", "")
+  | Condition_false -> ("condition-false", "")
+  | Aborted msg -> ("aborted", msg)
+  | Action_error e -> ("error", Printexc.to_string e)
+
+let record t rule (inst : Detector.instance) outcome =
+  t.total <- t.total + 1;
+  let entry =
+    {
+      e_rule = rule.Rule.oid;
+      e_rule_name = rule.Rule.name;
+      e_at = inst.t_end;
+      e_outcome = outcome;
+      e_instance = inst;
+    }
+  in
+  t.log <- entry :: t.log;
+  t.stored <- t.stored + 1;
+  if t.stored > t.a_limit then begin
+    let keep = max 1 (t.a_limit / 2) in
+    t.log <- List.filteri (fun i _ -> i < keep) t.log;
+    t.stored <- keep
+  end;
+  if t.a_persist && outcome = Fired then begin
+    let db = System.db t.a_sys in
+    let detail = Format.asprintf "%a" Detector.pp_instance inst in
+    let oname, _ = outcome_strings outcome in
+    ignore
+      (Db.new_object db firing_class
+         ~attrs:
+           [
+             ("rule", Value.Obj rule.Rule.oid);
+             ("name", Value.Str rule.Rule.name);
+             ("at", Value.Int inst.t_end);
+             ("outcome", Value.Str oname);
+             ("detail", Value.Str detail);
+           ])
+  end
+
+let attach ?(limit = 4096) ?(persist = false) sys =
+  let t =
+    { a_sys = sys; a_limit = max 1 limit; a_persist = persist; log = []; stored = 0; total = 0 }
+  in
+  System.set_execution_hook sys (fun rule inst outcome ->
+      record t rule inst outcome);
+  t
+
+let detach t = System.clear_execution_hook t.a_sys
+let entries t = List.rev t.log
+
+let entries_for t rule =
+  List.rev (List.filter (fun e -> Oid.equal e.e_rule rule) t.log)
+
+let count t = t.total
+
+let clear t =
+  t.log <- [];
+  t.stored <- 0
+
+let stored_firings sys =
+  let db = System.db sys in
+  if Db.has_class db firing_class then Db.extent db ~deep:false firing_class
+  else []

@@ -1,0 +1,53 @@
+open Import
+
+(** Audit trail of rule executions.
+
+    Everything in Sentinel is an object — including, with this module, the
+    history of rule firings.  An attached audit keeps
+
+    - an {e in-memory} chronological log of every execution attempt
+      (fired / condition-false / aborted / errored), bounded by [limit];
+    - optionally ([persist]), a stored ["__firing"] object per successful
+      firing, created in the triggering transaction — so the durable audit
+      reflects exactly the committed history (an aborted transaction takes
+      its audit record down with it), and is queryable like any extent.
+
+    One audit per system; attaching replaces the system's execution hook. *)
+
+type outcome = System.execution_outcome =
+  | Fired
+  | Condition_false
+  | Aborted of string
+  | Action_error of exn
+
+type entry = {
+  e_rule : Oid.t;
+  e_rule_name : string;
+  e_at : Oodb.Types.timestamp;  (** detection time of the triggering instance *)
+  e_outcome : outcome;
+  e_instance : Detector.instance;
+}
+
+type t
+
+val attach : ?limit:int -> ?persist:bool -> System.t -> t
+(** [limit] (default 4096) bounds the in-memory log; [persist] (default
+    false) also stores ["__firing"] objects for [Fired] outcomes. *)
+
+val detach : t -> unit
+(** Clears the system's execution hook. *)
+
+val entries : t -> entry list
+(** Chronological (oldest first). *)
+
+val entries_for : t -> Oid.t -> entry list
+(** The log filtered to one rule. *)
+
+val count : t -> int
+(** Total attempts observed (including dropped entries). *)
+
+val clear : t -> unit
+
+val stored_firings : System.t -> Oid.t list
+(** The persistent ["__firing"] objects, in OID (= chronological) order.
+    Usable without an attached audit, e.g. after reloading a store. *)

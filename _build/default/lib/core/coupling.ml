@@ -1,0 +1,16 @@
+type t = Immediate | Deferred | Detached
+
+let all = [ Immediate; Deferred; Detached ]
+
+let to_string = function
+  | Immediate -> "immediate"
+  | Deferred -> "deferred"
+  | Detached -> "detached"
+
+let of_string = function
+  | "immediate" -> Immediate
+  | "deferred" -> Deferred
+  | "detached" -> Detached
+  | s -> raise (Oodb.Errors.Parse_error ("unknown coupling mode: " ^ s))
+
+let pp ppf c = Format.pp_print_string ppf (to_string c)

@@ -1,0 +1,22 @@
+(** Coupling modes — when a triggered rule's condition/action run relative
+    to the triggering transaction (the paper's rule attribute [mode],
+    Figure 7 / Figure 9's [M: Immediate]). *)
+
+type t =
+  | Immediate
+      (** condition and action run synchronously, inside the triggering
+          transaction, at the point the event is detected *)
+  | Deferred
+      (** execution is postponed to just before the outermost commit, still
+          inside the transaction (so the action can abort it) *)
+  | Detached
+      (** execution runs in its own transaction after the triggering
+          transaction commits; it dies with an aborted trigger *)
+
+val all : t list
+val to_string : t -> string
+
+val of_string : string -> t
+(** @raise Oodb.Errors.Parse_error *)
+
+val pp : Format.formatter -> t -> unit

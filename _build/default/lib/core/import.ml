@@ -1,0 +1,13 @@
+(* Aliases for the substrate and event-algebra modules; opened by the other
+   modules of this library. *)
+
+module Oid = Oodb.Oid
+module Value = Oodb.Value
+module Occurrence = Oodb.Occurrence
+module Errors = Oodb.Errors
+module Db = Oodb.Db
+module Transaction = Oodb.Transaction
+module Expr = Events.Expr
+module Detector = Events.Detector
+module Context = Events.Context
+module Codec = Events.Codec

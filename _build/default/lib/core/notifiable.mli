@@ -1,0 +1,24 @@
+open Import
+
+(** The Record behaviour of notifiable objects (paper §4.2): a bounded log
+    of the primitive occurrences delivered to a consumer, with the
+    parameters computed when each event was raised. *)
+
+type t
+
+val create : ?limit:int -> unit -> t
+(** [limit] (default 1024) bounds the log; the oldest entries are dropped
+    first.  [limit = 0] disables recording entirely. *)
+
+val record : t -> Occurrence.t -> unit
+
+val all : t -> Occurrence.t list
+(** Chronological (oldest first). *)
+
+val recent : t -> int -> Occurrence.t list
+(** The last [n] recorded occurrences, chronological. *)
+
+val count : t -> int
+(** Total recorded since creation (including dropped entries). *)
+
+val clear : t -> unit

@@ -1,0 +1,60 @@
+open Import
+
+type t = {
+  oid : Oid.t;
+  name : string;
+  event : Expr.t;
+  detector : Detector.t;
+  condition_name : string;
+  action_name : string;
+  condition : Function_registry.condition;
+  action : Function_registry.action;
+  mutable coupling : Coupling.t;
+  mutable priority : int;
+  mutable enabled : bool;
+  mutable fired : int;
+  mutable triggered : int;
+  recorder : Notifiable.t;
+}
+
+let make ~oid ~name ~event ~context ~subsumes ~coupling ~priority ~enabled
+    ~condition_name ~condition ~action_name ~action ~fire =
+  (* The detector's signal callback must reach the rule record that owns the
+     detector; tie the knot through a cell. *)
+  let cell = ref None in
+  let on_signal inst =
+    match !cell with
+    | Some rule ->
+      rule.triggered <- rule.triggered + 1;
+      fire rule inst
+    | None -> ()
+  in
+  let detector = Detector.create ~context ~subsumes ~on_signal event in
+  let rule =
+    {
+      oid;
+      name;
+      event;
+      detector;
+      condition_name;
+      action_name;
+      condition;
+      action;
+      coupling;
+      priority;
+      enabled;
+      fired = 0;
+      triggered = 0;
+      recorder = Notifiable.create ();
+    }
+  in
+  cell := Some rule;
+  rule
+
+let deliver rule occ =
+  if rule.enabled then begin
+    Notifiable.record rule.recorder occ;
+    Detector.feed rule.detector occ
+  end
+
+let context rule = Detector.context rule.detector

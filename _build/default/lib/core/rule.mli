@@ -1,0 +1,54 @@
+open Import
+
+(** The runtime half of a rule object.
+
+    A rule is a first-class object: its durable state (name, event
+    expression, condition/action names, coupling mode, context, priority,
+    enabled flag, firing count) lives as attributes of an ordinary database
+    object of class {!Sentinel_classes.rule_class}, created and mutated
+    under the usual transaction semantics.  This module holds the
+    non-persistable runtime half — the compiled detector, the bound
+    condition/action closures, and the occurrence recorder — and is rebuilt
+    from the durable half on {!System.rehydrate}. *)
+
+type t = {
+  oid : Oid.t;  (** the persistent rule object *)
+  name : string;
+  event : Expr.t;
+  detector : Detector.t;
+  condition_name : string;
+  action_name : string;
+  condition : Function_registry.condition;
+  action : Function_registry.action;
+  mutable coupling : Coupling.t;
+  mutable priority : int;
+  mutable enabled : bool;
+  mutable fired : int;  (** times the action ran *)
+  mutable triggered : int;  (** times the event was detected *)
+  recorder : Notifiable.t;
+}
+
+val make :
+  oid:Oid.t ->
+  name:string ->
+  event:Expr.t ->
+  context:Context.t ->
+  subsumes:(sub:string -> super:string -> bool) ->
+  coupling:Coupling.t ->
+  priority:int ->
+  enabled:bool ->
+  condition_name:string ->
+  condition:Function_registry.condition ->
+  action_name:string ->
+  action:Function_registry.action ->
+  fire:(t -> Detector.instance -> unit) ->
+  t
+(** Compile the event expression into a detector whose signals invoke
+    [fire] on this rule.  [fire] is the scheduler entry point. *)
+
+val deliver : t -> Occurrence.t -> unit
+(** Offer one primitive occurrence: recorded and fed to the detector when
+    the rule is enabled; ignored otherwise (a disabled rule neither records
+    nor detects — paper §4.4). *)
+
+val context : t -> Context.t

@@ -1,0 +1,175 @@
+open Import
+
+let fail lineno fmt =
+  Printf.ksprintf
+    (fun m -> raise (Errors.Parse_error (Printf.sprintf "line %d: %s" lineno m)))
+    fmt
+
+type block = {
+  b_name : string;
+  b_event : Expr.t;
+  b_condition : string;
+  b_action : string;
+  b_coupling : Coupling.t;
+  b_context : Context.t;
+  b_priority : int;
+  b_enabled : bool;
+  b_monitor_classes : string list;
+  b_monitor_objects : Oid.t list;
+}
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let split_head line =
+  let line = String.trim line in
+  match String.index_opt line ' ' with
+  | None -> (String.lowercase_ascii line, "")
+  | Some i ->
+    ( String.lowercase_ascii (String.sub line 0 i),
+      String.trim (String.sub line i (String.length line - i)) )
+
+let parse_blocks text =
+  let lines = String.split_on_char '\n' text in
+  let blocks = ref [] in
+  let current = ref None in
+  let start lineno name =
+    if name = "" then fail lineno "rule needs a name";
+    match !current with
+    | Some _ -> fail lineno "nested 'rule' (missing 'end'?)"
+    | None ->
+      current :=
+        Some
+          ( lineno,
+            {
+              b_name = name;
+              b_event = Expr.eom "__unset__";
+              b_condition = "true";
+              b_action = "";
+              b_coupling = Coupling.Immediate;
+              b_context = Context.Recent;
+              b_priority = 0;
+              b_enabled = true;
+              b_monitor_classes = [];
+              b_monitor_objects = [];
+            },
+            false (* saw an 'on' line *) )
+  in
+  let update lineno f =
+    match !current with
+    | None -> fail lineno "directive outside a rule block"
+    | Some (start_line, b, saw_on) -> current := Some (start_line, f b, saw_on)
+  in
+  let mark_on lineno e =
+    match !current with
+    | None -> fail lineno "'on' outside a rule block"
+    | Some (start_line, b, _) ->
+      current := Some (start_line, { b with b_event = e }, true)
+  in
+  let finish lineno =
+    match !current with
+    | None -> fail lineno "'end' without 'rule'"
+    | Some (start_line, b, saw_on) ->
+      if not saw_on then fail start_line "rule %s has no 'on' line" b.b_name;
+      if b.b_action = "" then fail start_line "rule %s has no 'then' line" b.b_name;
+      blocks := b :: !blocks;
+      current := None
+  in
+  List.iteri
+    (fun i raw ->
+      let lineno = i + 1 in
+      let line = String.trim (strip_comment raw) in
+      if line <> "" then begin
+        let head, rest = split_head line in
+        match head with
+        | "rule" -> start lineno rest
+        | "on" -> mark_on lineno (Events.Parser.parse rest)
+        | "if" -> update lineno (fun b -> { b with b_condition = rest })
+        | "then" -> update lineno (fun b -> { b with b_action = rest })
+        | "mode" ->
+          let coupling = Coupling.of_string (String.lowercase_ascii rest) in
+          update lineno (fun b -> { b with b_coupling = coupling })
+        | "context" ->
+          let context = Context.of_string (String.lowercase_ascii rest) in
+          update lineno (fun b -> { b with b_context = context })
+        | "priority" -> (
+          match int_of_string_opt rest with
+          | Some p -> update lineno (fun b -> { b with b_priority = p })
+          | None -> fail lineno "bad priority %S" rest)
+        | "disabled" -> update lineno (fun b -> { b with b_enabled = false })
+        | "monitor" -> (
+          let kind, target = split_head rest in
+          match kind with
+          | "class" ->
+            update lineno (fun b ->
+                { b with b_monitor_classes = b.b_monitor_classes @ [ target ] })
+          | "object" -> (
+            match int_of_string_opt target with
+            | Some n ->
+              update lineno (fun b ->
+                  {
+                    b with
+                    b_monitor_objects = b.b_monitor_objects @ [ Oid.of_int n ];
+                  })
+            | None -> fail lineno "bad object id %S" target)
+          | other -> fail lineno "monitor what? %S (class|object)" other)
+        | "end" -> finish lineno
+        | other -> fail lineno "unknown directive %S" other
+      end)
+    lines;
+  (match !current with
+  | Some (start_line, b, _) -> fail start_line "rule %s not closed by 'end'" b.b_name
+  | None -> ());
+  List.rev !blocks
+
+let create_block sys b =
+  System.create_rule sys ~name:b.b_name ~coupling:b.b_coupling
+    ~context:b.b_context ~priority:b.b_priority ~enabled:b.b_enabled
+    ~monitor:b.b_monitor_objects ~monitor_classes:b.b_monitor_classes
+    ~event:b.b_event ~condition:b.b_condition ~action:b.b_action ()
+
+let load_string sys text =
+  let blocks = parse_blocks text in
+  let db = System.db sys in
+  match
+    Transaction.atomically db (fun () -> List.map (create_block sys) blocks)
+  with
+  | Ok oids -> oids
+  | Error e ->
+    (* runtimes for rolled-back rule objects must not linger *)
+    System.prune_runtimes sys;
+    raise e
+
+let load_file sys path =
+  load_string sys (In_channel.with_open_text path In_channel.input_all)
+
+let render sys oid =
+  let db = System.db sys in
+  let info = System.rule_info sys oid in
+  let buf = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "rule %s" info.Rule.name;
+  line "on %s" (Events.Parser.to_syntax info.Rule.event);
+  line "if %s" info.Rule.condition_name;
+  line "then %s" info.Rule.action_name;
+  line "mode %s" (Coupling.to_string info.Rule.coupling);
+  line "context %s" (Context.to_string (Rule.context info));
+  if info.Rule.priority <> 0 then line "priority %d" info.Rule.priority;
+  if not info.Rule.enabled then line "disabled";
+  List.iter
+    (fun cls ->
+      if List.exists (Oid.equal oid) (Db.class_consumers_of db cls) then
+        line "monitor class %s" cls)
+    (List.sort compare (Db.classes db));
+  List.iter
+    (fun target ->
+      if Db.exists db target
+         && List.exists (Oid.equal oid) (Db.consumers_of db target)
+      then line "monitor object %d" (Oid.to_int target))
+    (List.concat_map
+       (fun cls -> Db.extent db ~deep:false cls)
+       (List.sort compare (Db.classes db)));
+  line "end";
+  Buffer.contents buf

@@ -1,0 +1,44 @@
+open Import
+
+(** A declarative surface syntax for rules, mirroring the paper's rule
+    sections (Figure 9's R/E/C/A/M structure):
+
+    {v # the Figure 10 rule, declaratively
+       rule IncomeLevel
+       on   end employee::change_income or end manager::change_income
+       if   incomes-differ
+       then make-equal
+       mode immediate
+       context recent
+       priority 3
+       monitor object 4
+       monitor object 7
+       end
+
+       rule Marriage
+       on   begin person::marry
+       then abort
+       monitor class person
+       end v}
+
+    One [rule]…[end] block per rule; [#] starts a comment; blank lines are
+    ignored.  [if] defaults to the built-in ["true"] condition; [mode],
+    [context] and [priority] default like {!System.create_rule}; a
+    [disabled] line creates the rule disabled.  [on] uses the
+    {!Events.Parser} expression syntax.  Condition and action names must be
+    registered with the system before loading. *)
+
+val load_string : System.t -> string -> Oid.t list
+(** Parse and create every rule block; returns the new rule objects in
+    declaration order.  Creation is transactional per call: if any block is
+    invalid, no rule is created.
+    @raise Errors.Parse_error on syntax errors (with line numbers)
+    @raise Errors.Type_error on unknown condition/action names
+    @raise Errors.No_such_class / {!Errors.No_such_object} on bad monitor
+    targets *)
+
+val load_file : System.t -> string -> Oid.t list
+
+val render : System.t -> Oid.t -> string
+(** Render an existing rule back to the declarative syntax (monitor lines
+    are reconstructed from the current subscription state). *)

@@ -1,0 +1,30 @@
+type strategy = Fifo | Lifo | Priority_fifo | Priority_lifo
+
+let default = Priority_fifo
+
+let to_string = function
+  | Fifo -> "fifo"
+  | Lifo -> "lifo"
+  | Priority_fifo -> "priority-fifo"
+  | Priority_lifo -> "priority-lifo"
+
+let of_string = function
+  | "fifo" -> Fifo
+  | "lifo" -> Lifo
+  | "priority-fifo" -> Priority_fifo
+  | "priority-lifo" -> Priority_lifo
+  | s -> raise (Oodb.Errors.Parse_error ("unknown scheduling strategy: " ^ s))
+
+let order strategy entries =
+  let cmp (p1, s1, _) (p2, s2, _) =
+    match strategy with
+    | Fifo -> Int.compare s1 s2
+    | Lifo -> Int.compare s2 s1
+    | Priority_fifo ->
+      let c = Int.compare p2 p1 in
+      if c <> 0 then c else Int.compare s1 s2
+    | Priority_lifo ->
+      let c = Int.compare p2 p1 in
+      if c <> 0 then c else Int.compare s2 s1
+  in
+  List.map (fun (_, _, x) -> x) (List.stable_sort cmp entries)

@@ -1,0 +1,26 @@
+(** Conflict resolution for simultaneously triggered rules.
+
+    The paper's design rationale (§3) calls for new conflict-resolution
+    strategies to be pluggable "without modifications to application code";
+    a strategy here is a pure ordering over the set of rule firings queued
+    for the same execution point (the deferred queue at commit, and the
+    detached queue after commit). *)
+
+type strategy =
+  | Fifo  (** detection order *)
+  | Lifo  (** most recently detected first *)
+  | Priority_fifo  (** highest priority first, detection order within *)
+  | Priority_lifo  (** highest priority first, reverse detection within *)
+
+val default : strategy
+(** [Priority_fifo]. *)
+
+val to_string : strategy -> string
+
+val of_string : string -> strategy
+(** @raise Oodb.Errors.Parse_error *)
+
+val order : strategy -> (int * int * 'a) list -> 'a list
+(** [order s entries] sorts [(priority, detection_seq, x)] triples according
+    to [s] and returns the payloads.  Higher priority wins; [detection_seq]
+    is a monotonically increasing arrival stamp. *)

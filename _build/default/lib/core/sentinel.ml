@@ -1,0 +1,24 @@
+(** Sentinel: ECA rules over the object substrate.
+
+    {!System} is the facade: create it over a database, register named
+    conditions/actions ({!Function_registry}), create first-class rule and
+    event objects, and subscribe them to instances or classes.  Supporting
+    modules: {!Coupling} (when rules run relative to the transaction),
+    {!Scheduler} (conflict resolution), {!Rule} (the runtime half of a rule
+    object), {!Notifiable} (the Record behaviour), {!Rule_dsl} (declarative
+    blocks), {!Template} (declare-once / bind-per-instance rules),
+    {!Analysis} (static triggering-graph checks), {!Audit} (execution
+    history) and {!Sentinel_classes} (the stored class hierarchy from the
+    paper's Figure 3). *)
+
+module Coupling = Coupling
+module Function_registry = Function_registry
+module Notifiable = Notifiable
+module Scheduler = Scheduler
+module Sentinel_classes = Sentinel_classes
+module Rule = Rule
+module System = System
+module Rule_dsl = Rule_dsl
+module Template = Template
+module Analysis = Analysis
+module Audit = Audit

@@ -1,0 +1,72 @@
+open Import
+
+let notifiable_class = "__notifiable"
+let event_class = "__event"
+let rule_class = "__rule"
+let a_name = "name"
+let a_event = "event"
+let a_event_ref = "event_ref"
+let a_condition = "condition"
+let a_action = "action"
+let a_coupling = "coupling"
+let a_context = "context"
+let a_priority = "priority"
+let a_enabled = "enabled"
+let a_fired = "fired"
+
+let install db =
+  if not (Db.has_class db notifiable_class) then begin
+    Db.define_class db
+      (Oodb.Schema.define notifiable_class ~attrs:[ (a_name, Value.Str "") ]);
+    Db.define_class db
+      (Oodb.Schema.define event_class ~super:notifiable_class
+         ~attrs:[ (a_event, Value.Str "") ]);
+    (* Rule objects are themselves reactive: Enable/Disable are methods in
+       the event interface, so rules can monitor other rules (the paper's
+       "specification of rules on any set of objects, including rules
+       themselves"). *)
+    let set_enabled flag db self _args =
+      Db.set db self a_enabled (Value.Bool flag);
+      Value.Null
+    in
+    Db.define_class db
+      (Oodb.Schema.define rule_class ~super:notifiable_class
+         ~attrs:
+           [
+             (a_event, Value.Str "");
+             (a_event_ref, Value.Null);
+             (a_condition, Value.Str "true");
+             (a_action, Value.Str "abort");
+             (a_coupling, Value.Str (Coupling.to_string Coupling.Immediate));
+             (a_context, Value.Str (Context.to_string Context.Recent));
+             (a_priority, Value.Int 0);
+             (a_enabled, Value.Bool true);
+             (a_fired, Value.Int 0);
+           ]
+         ~methods:
+           [ ("enable", set_enabled true); ("disable", set_enabled false) ]
+         ~events:[ ("enable", Oodb.Schema.On_end); ("disable", Oodb.Schema.On_end) ]);
+    (* Committed rule-firing audit records (see Audit). *)
+    Db.define_class db
+      (Oodb.Schema.define "__firing"
+         ~attrs:
+           [
+             ("rule", Value.Null);
+             (a_name, Value.Str "");
+             ("at", Value.Int 0);
+             ("outcome", Value.Str "");
+             ("detail", Value.Str "");
+           ]);
+    (* Parameterized rule templates (see Template). *)
+    Db.define_class db
+      (Oodb.Schema.define "__template" ~super:notifiable_class
+         ~attrs:
+           [
+             (a_event, Value.Str "");
+             (a_condition, Value.Str "true");
+             (a_action, Value.Str "abort");
+             (a_coupling, Value.Str (Coupling.to_string Coupling.Immediate));
+             (a_context, Value.Str (Context.to_string Context.Recent));
+             (a_priority, Value.Int 0);
+           ])
+  end

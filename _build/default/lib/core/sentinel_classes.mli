@@ -1,0 +1,41 @@
+open Import
+
+(** The class hierarchy the paper adds to Zeitgeist (Figure 3):
+    zg-pos → Notifiable → {Event, Rule}.
+
+    In this reproduction persistence is ambient (every stored object
+    persists), so the zg-pos root is implicit; [Notifiable] and its [Event]
+    and [Rule] subclasses are ordinary registered classes whose instances
+    hold the durable half of events and rules.  The [Reactive] side of the
+    paper's hierarchy is realised as the [reactive] class flag plus the
+    event interface in {!Oodb.Schema}. *)
+
+val notifiable_class : string
+(** ["__notifiable"] *)
+
+val event_class : string
+(** ["__event"], subclass of notifiable *)
+
+val rule_class : string
+(** ["__rule"], subclass of notifiable *)
+
+val install : Db.t -> unit
+(** Register the three classes; idempotent. *)
+
+(** {1 Attribute names of rule objects} *)
+
+val a_name : string
+
+val a_event : string
+(** encoded {!Events.Codec} expression *)
+
+val a_event_ref : string
+(** OID of a named event object, or [Null] *)
+
+val a_condition : string
+val a_action : string
+val a_coupling : string
+val a_context : string
+val a_priority : string
+val a_enabled : string
+val a_fired : string

@@ -1,0 +1,363 @@
+open Import
+module C = Sentinel_classes
+
+type sys_stats = {
+  mutable dispatched : int;
+  mutable conditions_checked : int;
+  mutable actions_executed : int;
+  mutable rule_aborts : int;
+}
+
+type t = {
+  sys_db : Db.t;
+  sys_registry : Function_registry.t;
+  rule_table : Rule.t Oid.Table.t;
+  handlers : (Occurrence.t -> unit) Oid.Table.t;
+  mutable sys_strategy : Scheduler.strategy;
+  cascade_limit : int;
+  mutable depth : int;
+  (* Deferred firings for the current outermost transaction. *)
+  mutable pending : (int * int * (Rule.t * Detector.instance)) list;
+  mutable pending_txn : int option;
+  mutable pending_hooked : bool;
+  mutable seq : int;
+  mutable failures : (string * exn) list; (* newest first *)
+  mutable execution_hook :
+    (Rule.t -> Detector.instance -> execution_outcome -> unit) option;
+  sys_stats : sys_stats;
+}
+
+and execution_outcome =
+  | Fired
+  | Condition_false
+  | Aborted of string
+  | Action_error of exn
+
+let db t = t.sys_db
+let registry t = t.sys_registry
+let register_condition t = Function_registry.register_condition t.sys_registry
+
+let register_action ?may_send t name f =
+  Function_registry.register_action ?may_send t.sys_registry name f
+let strategy t = t.sys_strategy
+let set_strategy t s = t.sys_strategy <- s
+let detached_failures t = List.rev t.failures
+let stats t = t.sys_stats
+let set_execution_hook t hook = t.execution_hook <- Some hook
+let clear_execution_hook t = t.execution_hook <- None
+
+let reset_stats t =
+  let s = t.sys_stats in
+  s.dispatched <- 0;
+  s.conditions_checked <- 0;
+  s.actions_executed <- 0;
+  s.rule_aborts <- 0
+
+(* Class subsumption backed by the schema; synthetic classes (the detector's
+   "<clock>") only match themselves. *)
+let subsumes_of db ~sub ~super =
+  String.equal sub super
+  || Db.has_class db sub
+     && Db.has_class db super
+     && Oodb.Schema.is_subclass db ~sub ~super
+
+(* --- execution ----------------------------------------------------------- *)
+
+let execute t rule inst =
+  if rule.Rule.enabled && Db.exists t.sys_db rule.oid then begin
+    if t.depth >= t.cascade_limit then
+      raise
+        (Errors.Rule_abort
+           (Printf.sprintf "rule cascade exceeded limit %d (at rule %S)"
+              t.cascade_limit rule.name));
+    t.depth <- t.depth + 1;
+    Fun.protect
+      ~finally:(fun () -> t.depth <- t.depth - 1)
+      (fun () ->
+        let report outcome =
+          match t.execution_hook with
+          | Some hook -> hook rule inst outcome
+          | None -> ()
+        in
+        t.sys_stats.conditions_checked <- t.sys_stats.conditions_checked + 1;
+        if rule.condition t.sys_db inst then begin
+          t.sys_stats.actions_executed <- t.sys_stats.actions_executed + 1;
+          rule.fired <- rule.fired + 1;
+          (* Keep the persistent firing counter in step when the rule object
+             still has the attribute (it always does unless deleted). *)
+          Db.set t.sys_db rule.oid C.a_fired (Value.Int rule.fired);
+          match rule.action t.sys_db inst with
+          | () -> report Fired
+          | exception (Errors.Rule_abort msg as e) ->
+            t.sys_stats.rule_aborts <- t.sys_stats.rule_aborts + 1;
+            report (Aborted msg);
+            raise e
+          | exception e ->
+            report (Action_error e);
+            raise e
+        end
+        else report Condition_false)
+  end
+
+let run_detached t rule inst =
+  match Transaction.atomically t.sys_db (fun () -> execute t rule inst) with
+  | Ok () -> ()
+  | Error e -> t.failures <- (rule.Rule.name, e) :: t.failures
+
+let rec drain_pending t =
+  match t.pending with
+  | [] -> ()
+  | entries ->
+    t.pending <- [];
+    let batch = Scheduler.order t.sys_strategy (List.rev entries) in
+    List.iter (fun (rule, inst) -> execute t rule inst) batch;
+    drain_pending t
+
+let enqueue_deferred t rule inst =
+  let outer = Transaction.outermost_id t.sys_db in
+  if t.pending_txn <> outer then begin
+    (* A previous transaction ended without draining (it aborted); its
+       queued firings die with it. *)
+    t.pending <- [];
+    t.pending_hooked <- false;
+    t.pending_txn <- outer
+  end;
+  t.seq <- t.seq + 1;
+  t.pending <- (rule.Rule.priority, t.seq, (rule, inst)) :: t.pending;
+  if not t.pending_hooked then begin
+    t.pending_hooked <- true;
+    Transaction.add_deferred t.sys_db (fun () ->
+        t.pending_hooked <- false;
+        t.pending_txn <- None;
+        drain_pending t)
+  end
+
+let fire t rule inst =
+  match rule.Rule.coupling with
+  | Coupling.Immediate -> execute t rule inst
+  | Coupling.Deferred ->
+    if Transaction.in_progress t.sys_db then enqueue_deferred t rule inst
+    else execute t rule inst
+  | Coupling.Detached ->
+    if Transaction.in_progress t.sys_db then
+      Transaction.add_detached t.sys_db (fun () -> run_detached t rule inst)
+    else run_detached t rule inst
+
+(* --- delivery ------------------------------------------------------------ *)
+
+let dispatch t _db ~consumer occ =
+  t.sys_stats.dispatched <- t.sys_stats.dispatched + 1;
+  match Oid.Table.find_opt t.rule_table consumer with
+  | Some rule -> if Db.exists t.sys_db rule.Rule.oid then Rule.deliver rule occ
+  | None -> (
+    match Oid.Table.find_opt t.handlers consumer with
+    | Some handler -> handler occ
+    | None -> () (* stale subscription; ignore *))
+
+let create ?(strategy = Scheduler.default) ?(cascade_limit = 64) db =
+  C.install db;
+  let t =
+    {
+      sys_db = db;
+      sys_registry = Function_registry.create ();
+      rule_table = Oid.Table.create 64;
+      handlers = Oid.Table.create 16;
+      sys_strategy = strategy;
+      cascade_limit;
+      depth = 0;
+      pending = [];
+      pending_txn = None;
+      pending_hooked = false;
+      seq = 0;
+      failures = [];
+      execution_hook = None;
+      sys_stats =
+        { dispatched = 0; conditions_checked = 0; actions_executed = 0; rule_aborts = 0 };
+    }
+  in
+  Db.set_notify db (dispatch t);
+  t
+
+(* --- event objects -------------------------------------------------------- *)
+
+let create_event t ?(name = "") expr =
+  Db.new_object t.sys_db C.event_class
+    ~attrs:[ (C.a_name, Value.Str name); (C.a_event, Value.Str (Codec.encode expr)) ]
+
+let event_expr t oid =
+  if not (Db.is_instance_of t.sys_db oid C.event_class) then
+    Errors.type_error "%s is not an event object" (Oid.to_string oid);
+  Codec.decode (Value.to_str (Db.get t.sys_db oid C.a_event))
+
+(* --- rules ---------------------------------------------------------------- *)
+
+let build_runtime t ~oid ~name ~event ~context ~coupling ~priority ~enabled
+    ~condition_name ~action_name =
+  let condition = Function_registry.find_condition t.sys_registry condition_name in
+  let action = Function_registry.find_action t.sys_registry action_name in
+  let rule =
+    Rule.make ~oid ~name ~event ~context
+      ~subsumes:(fun ~sub ~super -> subsumes_of t.sys_db ~sub ~super)
+      ~coupling ~priority ~enabled ~condition_name ~condition ~action_name
+      ~action ~fire:(fire t)
+  in
+  Oid.Table.replace t.rule_table oid rule;
+  rule
+
+let fresh_rule_name t = Printf.sprintf "rule-%d" (Oid.Table.length t.rule_table + 1)
+
+let create_rule_common t ?name ?(coupling = Coupling.Immediate)
+    ?(context = Context.Recent) ?(priority = 0) ?(enabled = true)
+    ?(monitor = []) ?(monitor_classes = []) ~event ~event_ref ~condition ~action
+    () =
+  let name = match name with Some n -> n | None -> fresh_rule_name t in
+  (* Fail on unknown functions before creating the object. *)
+  let (_ : Function_registry.condition) =
+    Function_registry.find_condition t.sys_registry condition
+  and (_ : Function_registry.action) =
+    Function_registry.find_action t.sys_registry action
+  in
+  let oid =
+    Db.new_object t.sys_db C.rule_class
+      ~attrs:
+        [
+          (C.a_name, Value.Str name);
+          (C.a_event, Value.Str (Codec.encode event));
+          ( C.a_event_ref,
+            match event_ref with Some o -> Value.Obj o | None -> Value.Null );
+          (C.a_condition, Value.Str condition);
+          (C.a_action, Value.Str action);
+          (C.a_coupling, Value.Str (Coupling.to_string coupling));
+          (C.a_context, Value.Str (Context.to_string context));
+          (C.a_priority, Value.Int priority);
+          (C.a_enabled, Value.Bool enabled);
+          (C.a_fired, Value.Int 0);
+        ]
+  in
+  ignore
+    (build_runtime t ~oid ~name ~event ~context ~coupling ~priority ~enabled
+       ~condition_name:condition ~action_name:action);
+  List.iter (fun target -> Db.subscribe t.sys_db ~reactive:target ~consumer:oid) monitor;
+  List.iter (fun cls -> Db.subscribe_class t.sys_db ~cls ~consumer:oid) monitor_classes;
+  oid
+
+let create_rule t ?name ?coupling ?context ?priority ?enabled ?monitor
+    ?monitor_classes ~event ~condition ~action () =
+  create_rule_common t ?name ?coupling ?context ?priority ?enabled ?monitor
+    ?monitor_classes ~event ~event_ref:None ~condition ~action ()
+
+let create_rule_on t ?name ?coupling ?context ?priority ?enabled ?monitor
+    ?monitor_classes ~event_obj ~condition ~action () =
+  let event = event_expr t event_obj in
+  create_rule_common t ?name ?coupling ?context ?priority ?enabled ?monitor
+    ?monitor_classes ~event ~event_ref:(Some event_obj) ~condition ~action ()
+
+let rule_info t oid =
+  match Oid.Table.find_opt t.rule_table oid with
+  | Some r -> r
+  | None -> Errors.type_error "%s has no rule runtime" (Oid.to_string oid)
+
+let subscribe t ~rule ~to_ =
+  ignore (rule_info t rule);
+  Db.subscribe t.sys_db ~reactive:to_ ~consumer:rule
+
+let unsubscribe t ~rule ~from =
+  Db.unsubscribe t.sys_db ~reactive:from ~consumer:rule
+
+let subscribe_class t ~rule ~cls =
+  ignore (rule_info t rule);
+  Db.subscribe_class t.sys_db ~cls ~consumer:rule
+
+let unsubscribe_class t ~rule ~cls =
+  Db.unsubscribe_class t.sys_db ~cls ~consumer:rule
+
+(* Enable/disable go through message dispatch so that rule objects generate
+   their own primitive events — rules can monitor rules. *)
+let enable t oid =
+  let r = rule_info t oid in
+  r.Rule.enabled <- true;
+  ignore (Db.send t.sys_db oid "enable" [])
+
+let disable t oid =
+  let r = rule_info t oid in
+  r.Rule.enabled <- false;
+  ignore (Db.send t.sys_db oid "disable" [])
+
+let set_priority t oid p =
+  let r = rule_info t oid in
+  r.Rule.priority <- p;
+  Db.set t.sys_db oid C.a_priority (Value.Int p)
+
+let prune_runtimes t =
+  let stale =
+    Oid.Table.fold
+      (fun oid _ acc -> if Db.exists t.sys_db oid then acc else oid :: acc)
+      t.rule_table []
+  in
+  List.iter (Oid.Table.remove t.rule_table) stale
+
+let delete_rule t oid =
+  ignore (rule_info t oid);
+  Oid.Table.remove t.rule_table oid;
+  Db.delete_object t.sys_db oid
+
+let rules t =
+  Oid.Table.fold (fun oid _ acc -> oid :: acc) t.rule_table []
+  |> List.sort Oid.compare
+
+let find_rule t name =
+  let found =
+    Oid.Table.fold
+      (fun oid r acc ->
+        if String.equal r.Rule.name name then oid :: acc else acc)
+      t.rule_table []
+  in
+  match List.sort Oid.compare found with [] -> None | oid :: _ -> Some oid
+
+(* --- ad-hoc notifiables ---------------------------------------------------- *)
+
+let create_notifiable t ?(name = "") handler =
+  let oid =
+    Db.new_object t.sys_db C.notifiable_class ~attrs:[ (C.a_name, Value.Str name) ]
+  in
+  Oid.Table.replace t.handlers oid handler;
+  oid
+
+let attach_handler t oid handler =
+  if not (Db.is_instance_of t.sys_db oid C.notifiable_class) then
+    Errors.type_error "%s is not a notifiable object" (Oid.to_string oid);
+  Oid.Table.replace t.handlers oid handler
+
+(* --- time, rehydration ------------------------------------------------------ *)
+
+let expire_partial_state t ~max_age =
+  let before = Db.now t.sys_db - max_age in
+  Oid.Table.iter
+    (fun _ r -> Detector.expire r.Rule.detector ~before)
+    t.rule_table
+
+let advance_time t now =
+  Db.advance_clock t.sys_db now;
+  Oid.Table.iter
+    (fun _ r -> if r.Rule.enabled then Detector.advance r.Rule.detector now)
+    t.rule_table
+
+let rehydrate t =
+  let restore oid =
+    if not (Oid.Table.mem t.rule_table oid) then begin
+      let get a = Db.get t.sys_db oid a in
+      let rule =
+        build_runtime t ~oid
+          ~name:(Value.to_str (get C.a_name))
+          ~event:(Codec.decode (Value.to_str (get C.a_event)))
+          ~context:(Context.of_string (Value.to_str (get C.a_context)))
+          ~coupling:(Coupling.of_string (Value.to_str (get C.a_coupling)))
+          ~priority:(Value.to_int (get C.a_priority))
+          ~enabled:(Value.to_bool (get C.a_enabled))
+          ~condition_name:(Value.to_str (get C.a_condition))
+          ~action_name:(Value.to_str (get C.a_action))
+      in
+      rule.Rule.fired <- Value.to_int (get C.a_fired)
+    end
+  in
+  List.iter restore (Db.extent t.sys_db C.rule_class)

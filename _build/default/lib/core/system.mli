@@ -1,0 +1,173 @@
+open Import
+
+(** The Sentinel rule system over one database.
+
+    [System.create db] installs the delivery hook for subscribed consumers
+    and registers the Notifiable/Event/Rule classes; thereafter:
+
+    - rules and events are created at runtime as first-class objects
+      ({!create_rule}, {!create_event}), enabled/disabled/deleted like any
+      object, and persist with the database;
+    - a rule monitors objects through the subscription mechanism — either
+      specific instances, possibly of different classes (instance-level
+      rules, paper §4.7), or whole classes (class-level rules);
+    - detected events run the rule's condition and action under its coupling
+      mode, ordered by the pluggable conflict-resolution {!Scheduler.strategy};
+    - after {!Oodb.Persist.load}, {!rehydrate} re-links the stored rules to
+      their registered condition/action functions and rebuilds detectors. *)
+
+type t
+
+type execution_outcome =
+  | Fired  (** condition held, action completed *)
+  | Condition_false
+  | Aborted of string  (** the action raised [Rule_abort] *)
+  | Action_error of exn
+
+type sys_stats = {
+  mutable dispatched : int;  (** occurrences delivered to consumers *)
+  mutable conditions_checked : int;
+  mutable actions_executed : int;
+  mutable rule_aborts : int;  (** actions that raised [Rule_abort] *)
+}
+
+val create : ?strategy:Scheduler.strategy -> ?cascade_limit:int -> Db.t -> t
+(** [cascade_limit] (default 64) bounds immediate-rule recursion depth:
+    actions that send messages can trigger further rules; exceeding the
+    limit raises {!Errors.Rule_abort}. *)
+
+val db : t -> Db.t
+val registry : t -> Function_registry.t
+
+val register_condition : t -> string -> Function_registry.condition -> unit
+
+val register_action :
+  ?may_send:(string * Oodb.Types.modifier) list ->
+  t ->
+  string ->
+  Function_registry.action ->
+  unit
+(** [may_send] feeds the static triggering-graph analysis; see
+    {!Function_registry.register_action}. *)
+
+(** {1 Event objects} *)
+
+val create_event : t -> ?name:string -> Expr.t -> Oid.t
+(** Store an event expression as a first-class event object. *)
+
+val event_expr : t -> Oid.t -> Expr.t
+(** @raise Errors.Type_error when the OID is not an event object. *)
+
+(** {1 Rules} *)
+
+val create_rule :
+  t ->
+  ?name:string ->
+  ?coupling:Coupling.t ->
+  ?context:Context.t ->
+  ?priority:int ->
+  ?enabled:bool ->
+  ?monitor:Oid.t list ->
+  ?monitor_classes:string list ->
+  event:Expr.t ->
+  condition:string ->
+  action:string ->
+  unit ->
+  Oid.t
+(** Create a rule object and its runtime.  [condition]/[action] name
+    registered functions (checked immediately).  [monitor] subscribes the
+    rule to specific reactive instances and [monitor_classes] to whole
+    classes; both can also be done later with {!subscribe} /
+    {!subscribe_class}.  Higher [priority] (default 0) runs first under the
+    priority strategies. *)
+
+val create_rule_on :
+  t ->
+  ?name:string ->
+  ?coupling:Coupling.t ->
+  ?context:Context.t ->
+  ?priority:int ->
+  ?enabled:bool ->
+  ?monitor:Oid.t list ->
+  ?monitor_classes:string list ->
+  event_obj:Oid.t ->
+  condition:string ->
+  action:string ->
+  unit ->
+  Oid.t
+(** Like {!create_rule} but the event comes from a stored event object,
+    recorded as the rule's [event_ref]. *)
+
+val subscribe : t -> rule:Oid.t -> to_:Oid.t -> unit
+val unsubscribe : t -> rule:Oid.t -> from:Oid.t -> unit
+val subscribe_class : t -> rule:Oid.t -> cls:string -> unit
+val unsubscribe_class : t -> rule:Oid.t -> cls:string -> unit
+
+val enable : t -> Oid.t -> unit
+val disable : t -> Oid.t -> unit
+(** A disabled rule neither records nor detects; partial detector state is
+    kept and detection resumes on {!enable}. *)
+
+val delete_rule : t -> Oid.t -> unit
+(** Remove the rule object and its runtime.  Stale subscriptions pointing at
+    the deleted OID are ignored at delivery time. *)
+
+val set_priority : t -> Oid.t -> int -> unit
+
+val rules : t -> Oid.t list
+val find_rule : t -> string -> Oid.t option
+(** Look a rule up by name (first match). *)
+
+val rule_info : t -> Oid.t -> Rule.t
+(** Runtime record (detector counters, recorder, firing counts).
+    @raise Errors.Type_error for OIDs without a rule runtime. *)
+
+(** {1 Ad-hoc notifiable objects}
+
+    Arbitrary application objects can consume events (the paper's
+    Figure 2): the handler runs for each delivered occurrence.  Handlers
+    are runtime-only: after a reload the object persists but is inert until
+    a handler is attached again with {!attach_handler}. *)
+
+val create_notifiable : t -> ?name:string -> (Occurrence.t -> unit) -> Oid.t
+val attach_handler : t -> Oid.t -> (Occurrence.t -> unit) -> unit
+
+(** {1 Time, persistence, control} *)
+
+val expire_partial_state : t -> max_age:int -> unit
+(** Drop, in every rule's detector, buffered partial composite-event state
+    whose newest constituent is more than [max_age] logical time units old
+    (see {!Events.Detector.expire}).  Call periodically in long-running
+    systems to bound memory. *)
+
+val advance_time : t -> int -> unit
+(** Advance the logical clock (see {!Db.advance_clock}) and let every
+    enabled rule's detector fire due periodic/relative events. *)
+
+val prune_runtimes : t -> unit
+(** Drop runtimes whose rule object no longer exists (e.g. rule creation
+    rolled back by an aborted transaction).  Stale runtimes are harmless —
+    delivery checks object existence — but this reclaims them. *)
+
+val rehydrate : t -> unit
+(** Rebuild rule runtimes for every stored rule object lacking one.  Call
+    after {!Oodb.Persist.load}, once all condition/action functions are
+    registered.
+    @raise Errors.Type_error when a stored rule names an unregistered
+    condition/action. *)
+
+val strategy : t -> Scheduler.strategy
+val set_strategy : t -> Scheduler.strategy -> unit
+
+val detached_failures : t -> (string * exn) list
+(** Detached executions whose own transaction failed, oldest first. *)
+
+val set_execution_hook :
+  t -> (Rule.t -> Events.Detector.instance -> execution_outcome -> unit) -> unit
+(** Observe every rule execution attempt (used by {!Audit}).  The hook runs
+    synchronously inside the execution; exceptions it raises propagate. *)
+
+val clear_execution_hook : t -> unit
+
+val stats : t -> sys_stats
+val reset_stats : t -> unit

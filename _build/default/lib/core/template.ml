@@ -1,0 +1,103 @@
+open Import
+module C = Sentinel_classes
+
+type t = Oid.t
+
+let template_class = "__template"
+
+let ensure_class db =
+  if not (Db.has_class db template_class) then
+    Db.define_class db
+      (Oodb.Schema.define template_class ~super:C.notifiable_class
+         ~attrs:
+           [
+             (C.a_event, Value.Str "");
+             (C.a_condition, Value.Str "true");
+             (C.a_action, Value.Str "abort");
+             (C.a_coupling, Value.Str (Coupling.to_string Coupling.Immediate));
+             (C.a_context, Value.Str (Context.to_string Context.Recent));
+             (C.a_priority, Value.Int 0);
+           ])
+
+let templates sys =
+  let db = System.db sys in
+  ensure_class db;
+  Db.extent db ~deep:false template_class
+
+let find sys name =
+  let db = System.db sys in
+  templates sys
+  |> List.find_opt (fun oid ->
+         String.equal (Value.to_str (Db.get db oid C.a_name)) name)
+
+let check_is_template sys oid =
+  let db = System.db sys in
+  if
+    (not (Db.exists db oid))
+    || not (String.equal (Db.class_of db oid) template_class)
+  then Errors.type_error "%s is not a rule template" (Oid.to_string oid)
+
+let declare sys ~name ?(coupling = Coupling.Immediate)
+    ?(context = Context.Recent) ?(priority = 0) ~event ~condition ~action () =
+  let db = System.db sys in
+  ensure_class db;
+  if find sys name <> None then
+    Errors.type_error "template %S already declared" name;
+  let registry = System.registry sys in
+  let (_ : Function_registry.condition) =
+    Function_registry.find_condition registry condition
+  and (_ : Function_registry.action) =
+    Function_registry.find_action registry action
+  in
+  Db.new_object db template_class
+    ~attrs:
+      [
+        (C.a_name, Value.Str name);
+        (C.a_event, Value.Str (Codec.encode event));
+        (C.a_condition, Value.Str condition);
+        (C.a_action, Value.Str action);
+        (C.a_coupling, Value.Str (Coupling.to_string coupling));
+        (C.a_context, Value.Str (Context.to_string context));
+        (C.a_priority, Value.Int priority);
+      ]
+
+let instance_name sys tpl objs =
+  let db = System.db sys in
+  Printf.sprintf "%s@%s"
+    (Value.to_str (Db.get db tpl C.a_name))
+    (String.concat "," (List.map (fun o -> string_of_int (Oid.to_int o)) objs))
+
+let bind sys tpl objs =
+  check_is_template sys tpl;
+  if objs = [] then Errors.type_error "bind: no objects given";
+  let db = System.db sys in
+  let get a = Db.get db tpl a in
+  let event =
+    Expr.restrict_sources (Codec.decode (Value.to_str (get C.a_event))) objs
+  in
+  System.create_rule sys
+    ~name:(instance_name sys tpl objs)
+    ~coupling:(Coupling.of_string (Value.to_str (get C.a_coupling)))
+    ~context:(Context.of_string (Value.to_str (get C.a_context)))
+    ~priority:(Value.to_int (get C.a_priority))
+    ~monitor:objs ~event
+    ~condition:(Value.to_str (get C.a_condition))
+    ~action:(Value.to_str (get C.a_action))
+    ()
+
+let unbind sys tpl objs =
+  check_is_template sys tpl;
+  match System.find_rule sys (instance_name sys tpl objs) with
+  | Some rule -> System.delete_rule sys rule
+  | None -> ()
+
+let bindings sys tpl =
+  check_is_template sys tpl;
+  let db = System.db sys in
+  let prefix = Value.to_str (Db.get db tpl C.a_name) ^ "@" in
+  let plen = String.length prefix in
+  List.filter
+    (fun rule ->
+      let name = (System.rule_info sys rule).Rule.name in
+      String.length name >= plen && String.sub name 0 plen = prefix)
+    (System.rules sys)

@@ -1,0 +1,51 @@
+open Import
+
+(** Parameterized rule templates — the synthesis of the paper's two
+    approaches (§1: "rules that are specified at class definition time (Ode
+    style) and rules that can be constructed at runtime (ADAM style) …
+    compile both using a uniform framework").
+
+    A template is a rule specification declared once — typically alongside
+    a class definition — without being attached to anything.  At runtime it
+    is {e bound} to specific instances: binding creates an ordinary
+    instance-level rule whose event expression is narrowed to the bound
+    objects and which subscribes to them.  Unbinding deletes that rule.
+    Templates are first-class persistent objects (class ["__template"]), so
+    they reload with the database and can be re-bound after
+    {!System.rehydrate}. *)
+
+type t = Oid.t
+(** A template is identified by its object. *)
+
+val declare :
+  System.t ->
+  name:string ->
+  ?coupling:Coupling.t ->
+  ?context:Context.t ->
+  ?priority:int ->
+  event:Expr.t ->
+  condition:string ->
+  action:string ->
+  unit ->
+  t
+(** Store a template.  The event expression's source filters are ignored;
+    binding supplies them.  Condition/action names are checked immediately.
+    @raise Errors.Type_error on unknown names or duplicate template name. *)
+
+val find : System.t -> string -> t option
+
+val bind : System.t -> t -> Oid.t list -> Oid.t
+(** [bind sys tpl objs] instantiates the template for the given objects:
+    creates an enabled rule named ["<template>@<oid>,…"], restricted and
+    subscribed to exactly [objs].
+    @raise Errors.Type_error when [objs] is empty or the template OID is
+    not a template. *)
+
+val unbind : System.t -> t -> Oid.t list -> unit
+(** Delete the rule a previous [bind] with the same objects created; no-op
+    when none exists. *)
+
+val bindings : System.t -> t -> Oid.t list
+(** Rule objects currently instantiated from this template. *)
+
+val templates : System.t -> t list

@@ -1,0 +1,1 @@
+lib/events/events.ml: Codec Context Detector Event_graph Expr Parser Signature

@@ -1,0 +1,1 @@
+lib/events/codec.ml: Buffer Char Errors Expr Import List Occurrence Oid Oodb Printf String

@@ -1,0 +1,1 @@
+lib/events/context.mli: Format

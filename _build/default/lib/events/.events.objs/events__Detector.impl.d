@@ -1,0 +1,1 @@
+lib/events/detector.ml: Array Context Expr Format Import List Occurrence Oid Oodb String Value

@@ -1,0 +1,1 @@
+lib/events/detector.mli: Context Expr Format Import Occurrence Oodb

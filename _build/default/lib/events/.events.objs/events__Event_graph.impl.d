@@ -1,0 +1,1 @@
+lib/events/event_graph.ml: Detector Expr Hashtbl Import List Occurrence Oodb String

@@ -1,0 +1,1 @@
+lib/events/event_graph.mli: Context Detector Expr Import Occurrence Oodb

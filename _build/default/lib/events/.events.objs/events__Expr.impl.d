@@ -1,0 +1,1 @@
+lib/events/expr.ml: Errors Format Import Int List Occurrence Oid Oodb Option Printf Signature String Value

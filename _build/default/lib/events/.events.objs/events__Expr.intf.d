@@ -1,0 +1,1 @@
+lib/events/expr.mli: Format Import Oid Oodb Value

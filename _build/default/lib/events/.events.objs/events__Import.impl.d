@@ -1,0 +1,1 @@
+lib/events/import.ml: Oodb

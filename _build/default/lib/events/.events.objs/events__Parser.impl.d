@@ -1,0 +1,1 @@
+lib/events/parser.ml: Buffer Errors Expr Import List Occurrence Printf String Value

@@ -1,0 +1,1 @@
+lib/events/parser.mli: Expr

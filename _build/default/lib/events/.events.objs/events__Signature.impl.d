@@ -1,0 +1,1 @@
+lib/events/signature.ml: Format Oodb Option Printf String

@@ -1,0 +1,1 @@
+lib/events/signature.mli: Format Oodb

@@ -1,0 +1,222 @@
+open Import
+
+(* Grammar (whitespace-free):
+     e ::= prim(<mod>,<cls>,<meth>,<oid>*...)     cls may be empty
+         | and(e,e) | or(e,e) | seq(e,e)
+         | any(<m>,e,...)
+         | not(e,e,e) | ap(e,e,e) | apstar(e,e,e)
+         | per(e,<dt>,<limit-or-dash>,e) | plus(e,<dt>)
+   Names are %XX-escaped so that [,()] never appear raw. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' ->
+        Buffer.add_char buf c
+      | _ -> Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c)))
+    s;
+  Buffer.contents buf
+
+let unescape t =
+  let buf = Buffer.create (String.length t) in
+  let i = ref 0 in
+  let m = String.length t in
+  while !i < m do
+    if t.[!i] = '%' && !i + 2 < m then begin
+      (match int_of_string_opt ("0x" ^ String.sub t (!i + 1) 2) with
+      | Some code -> Buffer.add_char buf (Char.chr code)
+      | None -> raise (Errors.Parse_error ("bad escape in " ^ t)));
+      i := !i + 3
+    end
+    else begin
+      Buffer.add_char buf t.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let rec encode (e : Expr.t) =
+  match e with
+  | Prim p ->
+    let sources =
+      Oid.Set.elements p.p_sources
+      |> List.map (fun o -> string_of_int (Oid.to_int o))
+      |> String.concat ";"
+    in
+    let filters =
+      List.map
+        (fun (f : Expr.param_filter) ->
+          Printf.sprintf "%d~%s~%s" f.pf_index
+            (Expr.cmp_to_string f.pf_cmp)
+            (escape (Oodb.Persist.encode_value f.pf_value)))
+        p.p_filters
+      |> String.concat ";"
+    in
+    Printf.sprintf "prim(%s,%s,%s,%s,%s)"
+      (Occurrence.modifier_to_string p.p_modifier)
+      (match p.p_class with Some c -> escape c | None -> "")
+      (escape p.p_meth) sources filters
+  | And (a, b) -> Printf.sprintf "and(%s,%s)" (encode a) (encode b)
+  | Or (a, b) -> Printf.sprintf "or(%s,%s)" (encode a) (encode b)
+  | Seq (a, b) -> Printf.sprintf "seq(%s,%s)" (encode a) (encode b)
+  | Any (m, es) ->
+    Printf.sprintf "any(%d,%s)" m (String.concat "," (List.map encode es))
+  | Not (a, b, c) ->
+    Printf.sprintf "not(%s,%s,%s)" (encode a) (encode b) (encode c)
+  | Aperiodic (a, b, c) ->
+    Printf.sprintf "ap(%s,%s,%s)" (encode a) (encode b) (encode c)
+  | Aperiodic_star (a, b, c) ->
+    Printf.sprintf "apstar(%s,%s,%s)" (encode a) (encode b) (encode c)
+  | Periodic (a, dt, limit, b) ->
+    Printf.sprintf "per(%s,%d,%s,%s)" (encode a) dt
+      (match limit with Some l -> string_of_int l | None -> "-")
+      (encode b)
+  | Plus (a, dt) -> Printf.sprintf "plus(%s,%d)" (encode a) dt
+
+exception Bad of string
+
+let decode input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let expect c =
+    match peek () with
+    | Some x when x = c -> incr pos
+    | _ -> raise (Bad (Printf.sprintf "expected '%c' at %d" c !pos))
+  in
+  (* a bare token: up to the next ',' or ')' *)
+  let token () =
+    let start = !pos in
+    while !pos < n && input.[!pos] <> ',' && input.[!pos] <> ')' do
+      incr pos
+    done;
+    String.sub input start (!pos - start)
+  in
+  let head () =
+    let start = !pos in
+    while !pos < n && input.[!pos] <> '(' do
+      incr pos
+    done;
+    String.sub input start (!pos - start)
+  in
+  let int_token what =
+    let t = token () in
+    match int_of_string_opt t with
+    | Some v -> v
+    | None -> raise (Bad (Printf.sprintf "bad %s: %S" what t))
+  in
+  let rec expr () =
+    let h = head () in
+    expect '(';
+    let e =
+      match h with
+      | "prim" ->
+        let m = Occurrence.modifier_of_string (token ()) in
+        expect ',';
+        let cls = token () in
+        expect ',';
+        let meth = unescape (token ()) in
+        expect ',';
+        let sources_tok = token () in
+        let sources =
+          if sources_tok = "" then []
+          else
+            String.split_on_char ';' sources_tok
+            |> List.map (fun s ->
+                 match int_of_string_opt s with
+                 | Some v -> Oid.of_int v
+                 | None -> raise (Bad ("bad oid " ^ s)))
+        in
+        (* optional fifth field: parameter filters (older encodings have
+           only four fields) *)
+        let filters =
+          match peek () with
+          | Some ',' ->
+            expect ',';
+            let tok = token () in
+            if tok = "" then []
+            else
+              String.split_on_char ';' tok
+              |> List.map (fun part ->
+                   match String.split_on_char '~' part with
+                   | [ idx; op; v ] -> (
+                     match int_of_string_opt idx with
+                     | Some pf_index ->
+                       {
+                         Expr.pf_index;
+                         pf_cmp = Expr.cmp_of_string op;
+                         pf_value = Oodb.Persist.decode_value (unescape v);
+                       }
+                     | None -> raise (Bad ("bad filter index " ^ idx)))
+                   | _ -> raise (Bad ("bad filter " ^ part)))
+          | _ -> []
+        in
+        Expr.prim
+          ?cls:(if cls = "" then None else Some (unescape cls))
+          ~sources ~filters m meth
+      | "and" | "or" | "seq" ->
+        let a = expr () in
+        expect ',';
+        let b = expr () in
+        let op = match h with
+          | "and" -> Expr.conj
+          | "or" -> Expr.disj
+          | _ -> Expr.seq
+        in
+        op a b
+      | "any" ->
+        let m = int_token "count" in
+        let items = ref [] in
+        let rec more () =
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            items := expr () :: !items;
+            more ()
+          | _ -> ()
+        in
+        more ();
+        Expr.any m (List.rev !items)
+      | "not" | "ap" | "apstar" ->
+        let a = expr () in
+        expect ',';
+        let b = expr () in
+        expect ',';
+        let c = expr () in
+        (match h with
+        | "not" -> Expr.not_between a b c
+        | "ap" -> Expr.aperiodic a b c
+        | _ -> Expr.aperiodic_star a b c)
+      | "per" ->
+        let a = expr () in
+        expect ',';
+        let dt = int_token "period" in
+        expect ',';
+        let limit_tok = token () in
+        let limit =
+          if limit_tok = "-" then None
+          else
+            match int_of_string_opt limit_tok with
+            | Some v -> Some v
+            | None -> raise (Bad ("bad limit " ^ limit_tok))
+        in
+        expect ',';
+        let b = expr () in
+        Expr.periodic ?limit a dt b
+      | "plus" ->
+        let a = expr () in
+        expect ',';
+        let dt = int_token "delay" in
+        Expr.plus a dt
+      | other -> raise (Bad ("unknown operator " ^ other))
+    in
+    expect ')';
+    e
+  in
+  try
+    let e = expr () in
+    if !pos <> n then raise (Bad "trailing garbage");
+    e
+  with Bad msg -> raise (Errors.Parse_error (Printf.sprintf "expr %S: %s" input msg))

@@ -1,0 +1,12 @@
+(** Serialization of event expressions.
+
+    Rule and event objects are first-class persistent objects; their event
+    expressions are stored as an attribute in this compact textual form and
+    decoded when the rule layer rehydrates a loaded database.
+
+    [decode (encode e)] is structurally equal to [e] ({!Expr.equal}). *)
+
+val encode : Expr.t -> string
+
+val decode : string -> Expr.t
+(** @raise Oodb.Errors.Parse_error on malformed input. *)

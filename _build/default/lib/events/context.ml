@@ -1,0 +1,18 @@
+type t = Recent | Chronicle | Continuous | Cumulative
+
+let all = [ Recent; Chronicle; Continuous; Cumulative ]
+
+let to_string = function
+  | Recent -> "recent"
+  | Chronicle -> "chronicle"
+  | Continuous -> "continuous"
+  | Cumulative -> "cumulative"
+
+let of_string = function
+  | "recent" -> Recent
+  | "chronicle" -> Chronicle
+  | "continuous" -> Continuous
+  | "cumulative" -> Cumulative
+  | s -> raise (Oodb.Errors.Parse_error ("unknown parameter context: " ^ s))
+
+let pp ppf c = Format.pp_print_string ppf (to_string c)

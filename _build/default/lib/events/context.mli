@@ -1,0 +1,32 @@
+(** Parameter contexts for composite-event detection.
+
+    The paper treats the parameters computed when an event is raised as part
+    of the event object's state (§3.3).  When a composite event has several
+    candidate constituent occurrences, a {e parameter context} — the notion
+    Sentinel's event algebra (Snoop) introduced — picks which ones form the
+    composite occurrence and which are consumed.  The precise semantics this
+    library implements for the binary operators (conjunction, sequence) are:
+
+    - {b Recent}: each side buffers only its most recent instance.  A
+      detection pairs the two recent instances and {e retains} them, so a
+      newer occurrence on either side can pair again (sliding, sensor-style
+      semantics).
+    - {b Chronicle}: both sides are FIFO queues; a detection pairs and
+      {e consumes} the oldest compatible instances (stream-join semantics).
+    - {b Continuous}: every buffered instance on the opposite side pairs
+      with the arriving instance; all of them, and the arriving instance,
+      are consumed (each initiator starts its own window; one terminator
+      closes them all).
+    - {b Cumulative}: all buffered instances on both sides are folded into a
+      single composite occurrence and consumed.
+
+    Disjunction is context-insensitive. *)
+
+type t = Recent | Chronicle | Continuous | Cumulative
+
+val all : t list
+val to_string : t -> string
+val of_string : string -> t
+(** @raise Oodb.Errors.Parse_error on unknown names. *)
+
+val pp : Format.formatter -> t -> unit

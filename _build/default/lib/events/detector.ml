@@ -1,0 +1,499 @@
+open Import
+
+type instance = {
+  constituents : Occurrence.t list;
+  t_start : Oodb.Types.timestamp;
+  t_end : Oodb.Types.timestamp;
+}
+
+let instance_of_occurrence (o : Occurrence.t) =
+  { constituents = [ o ]; t_start = o.at; t_end = o.at }
+
+let merge a b =
+  let constituents =
+    List.sort Occurrence.compare (a.constituents @ b.constituents)
+  in
+  {
+    constituents;
+    t_start = min a.t_start b.t_start;
+    t_end = max a.t_end b.t_end;
+  }
+
+let merge_all = function
+  | [] -> invalid_arg "Detector.merge_all: empty"
+  | i :: rest -> List.fold_left merge i rest
+
+let pp_instance ppf i =
+  Format.fprintf ppf "[%a]@@[%d,%d]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       Occurrence.pp)
+    i.constituents i.t_start i.t_end
+
+(* A synthetic occurrence produced by the temporal operators. *)
+let synthetic meth k at =
+  Occurrence.make ~source:(Oid.of_int 0) ~source_class:"<clock>" ~meth
+    ~modifier:Oodb.Types.After
+    ~params:[ Value.Int k ]
+    ~at
+
+(* One compiled operator node.  [accept] offers a primitive occurrence to
+   the leaves below; [advance] moves logical time forward; [reset] clears
+   partial state. *)
+type node = {
+  accept : Occurrence.t -> unit;
+  advance : int -> unit;
+  reset : unit -> unit;
+  (* drop buffered partial state whose latest constituent is older than the
+     given instant (Detector.expire) *)
+  expire : int -> unit;
+}
+
+type leaf = { leaf_prim : Expr.prim; leaf_accept : Occurrence.t -> unit }
+
+type t = {
+  d_expr : Expr.t;
+  d_context : Context.t;
+  root : node;
+  d_leaves : leaf list;
+  mutable now : int;
+  mutable n_fed : int;
+  mutable n_signalled : int;
+}
+
+let expr t = t.d_expr
+let context t = t.d_context
+let fed t = t.n_fed
+let signalled t = t.n_signalled
+
+(* --- compilation --------------------------------------------------------- *)
+
+let prim_matches subsumes (p : Expr.prim) (o : Occurrence.t) =
+  p.p_modifier = o.modifier
+  && String.equal p.p_meth o.meth
+  && (match p.p_class with
+     | None -> true
+     | Some c -> subsumes ~sub:o.source_class ~super:c)
+  && (Oid.Set.is_empty p.p_sources || Oid.Set.mem o.source p.p_sources)
+  && List.for_all (fun f -> Expr.filter_matches f o.params) p.p_filters
+
+let no_op_advance (_ : int) = ()
+let no_op_reset () = ()
+let no_op_expire (_ : int) = ()
+
+let keep_fresh before instances =
+  List.filter (fun i -> i.t_end >= before) instances
+
+let fresh_opt before = function
+  | Some i when i.t_end < before -> None
+  | keep -> keep
+
+(* Binary conjunction under each parameter context; [ordered] adds the
+   sequence constraint left.t_end < right.t_start and makes the right side
+   the sole terminator (rights are never buffered). *)
+let binary_node ctx ~ordered compile_child a b out =
+  let buf_l : instance list ref = ref [] (* oldest first *)
+  and buf_r : instance list ref = ref [] in
+  let pair l r = out (merge l r) in
+  let on_left i =
+    match ctx with
+    | Context.Recent ->
+      buf_l := [ i ];
+      if not ordered then (
+        match !buf_r with [ r ] -> pair i r | _ -> ())
+    | Context.Chronicle ->
+      if (not ordered) && !buf_r <> [] then (
+        match !buf_r with
+        | r :: rest ->
+          buf_r := rest;
+          pair i r
+        | [] -> assert false)
+      else buf_l := !buf_l @ [ i ]
+    | Context.Continuous ->
+      if (not ordered) && !buf_r <> [] then begin
+        let rs = !buf_r in
+        buf_r := [];
+        List.iter (fun r -> pair i r) rs
+      end
+      else buf_l := !buf_l @ [ i ]
+    | Context.Cumulative ->
+      if (not ordered) && !buf_r <> [] then begin
+        let everything = !buf_l @ [ i ] @ !buf_r in
+        buf_l := [];
+        buf_r := [];
+        out (merge_all everything)
+      end
+      else buf_l := !buf_l @ [ i ]
+  in
+  let compatible l r = (not ordered) || l.t_end < r.t_start in
+  let on_right j =
+    match ctx with
+    | Context.Recent -> (
+      (match !buf_l with
+      | [ l ] when compatible l j -> pair l j
+      | _ -> ());
+      if not ordered then buf_r := [ j ])
+    | Context.Chronicle -> (
+      (* consume the oldest compatible left *)
+      let rec take acc = function
+        | [] -> None
+        | l :: rest ->
+          if compatible l j then Some (l, List.rev_append acc rest)
+          else take (l :: acc) rest
+      in
+      match take [] !buf_l with
+      | Some (l, rest) ->
+        buf_l := rest;
+        pair l j
+      | None -> if not ordered then buf_r := !buf_r @ [ j ])
+    | Context.Continuous ->
+      let ready, keep = List.partition (fun l -> compatible l j) !buf_l in
+      buf_l := keep;
+      if ready <> [] then List.iter (fun l -> pair l j) ready
+      else if not ordered then buf_r := !buf_r @ [ j ]
+    | Context.Cumulative ->
+      let ready, keep = List.partition (fun l -> compatible l j) !buf_l in
+      if ready <> [] then begin
+        buf_l := keep;
+        out (merge_all (ready @ [ j ] @ !buf_r));
+        buf_r := []
+      end
+      else if not ordered then buf_r := !buf_r @ [ j ]
+  in
+  let na = compile_child a on_left and nb = compile_child b on_right in
+  {
+    accept =
+      (fun o ->
+        na.accept o;
+        nb.accept o);
+    advance =
+      (fun t ->
+        na.advance t;
+        nb.advance t);
+    reset =
+      (fun () ->
+        buf_l := [];
+        buf_r := [];
+        na.reset ();
+        nb.reset ());
+    expire =
+      (fun before ->
+        buf_l := keep_fresh before !buf_l;
+        buf_r := keep_fresh before !buf_r;
+        na.expire before;
+        nb.expire before);
+  }
+
+let rec compile subsumes ctx leaves e (out : instance -> unit) : node =
+  let compile_child c out = compile subsumes ctx leaves c out in
+  match e with
+  | Expr.Prim p ->
+    let accept o =
+      if prim_matches subsumes p o then out (instance_of_occurrence o)
+    in
+    leaves := { leaf_prim = p; leaf_accept = accept } :: !leaves;
+    { accept; advance = no_op_advance; reset = no_op_reset; expire = no_op_expire }
+  | Expr.Or (a, b) ->
+    let na = compile_child a out and nb = compile_child b out in
+    {
+      accept =
+        (fun o ->
+          na.accept o;
+          nb.accept o);
+      advance =
+        (fun t ->
+          na.advance t;
+          nb.advance t);
+      reset =
+        (fun () ->
+          na.reset ();
+          nb.reset ());
+      expire =
+        (fun before ->
+          na.expire before;
+          nb.expire before);
+    }
+  | Expr.And (a, b) -> binary_node ctx ~ordered:false compile_child a b out
+  | Expr.Seq (a, b) -> binary_node ctx ~ordered:true compile_child a b out
+  | Expr.Any (m, es) ->
+    let n = List.length es in
+    let latest : instance option array = Array.make n None in
+    let distinct () =
+      Array.fold_left (fun k s -> if s = None then k else k + 1) 0 latest
+    in
+    let on_child k i =
+      latest.(k) <- Some i;
+      if distinct () >= m then begin
+        let parts =
+          Array.to_list latest |> List.filter_map (fun x -> x)
+        in
+        Array.fill latest 0 n None;
+        out (merge_all parts)
+      end
+    in
+    let children = List.mapi (fun k c -> compile_child c (on_child k)) es in
+    {
+      accept = (fun o -> List.iter (fun nd -> nd.accept o) children);
+      advance = (fun t -> List.iter (fun nd -> nd.advance t) children);
+      reset =
+        (fun () ->
+          Array.fill latest 0 n None;
+          List.iter (fun nd -> nd.reset ()) children);
+      expire =
+        (fun before ->
+          Array.iteri (fun i s -> latest.(i) <- fresh_opt before s) latest;
+          List.iter (fun nd -> nd.expire before) children);
+    }
+  | Expr.Not (e1, e2, e3) ->
+    let init : instance option ref = ref None in
+    let on_e1 i = init := Some i in
+    let on_e2 _ = init := None in
+    let on_e3 j =
+      match !init with
+      | Some i when i.t_end < j.t_start ->
+        init := None;
+        out (merge i j)
+      | _ -> ()
+    in
+    let n1 = compile_child e1 on_e1
+    and n2 = compile_child e2 on_e2
+    and n3 = compile_child e3 on_e3 in
+    {
+      accept =
+        (fun o ->
+          (* order matters when one occurrence matches several roles:
+             an interposed e2 must cancel before a later e3 terminates,
+             and a fresh e1 must not be cancelled by the same occurrence. *)
+          n3.accept o;
+          n2.accept o;
+          n1.accept o);
+      advance =
+        (fun t ->
+          n1.advance t;
+          n2.advance t;
+          n3.advance t);
+      reset =
+        (fun () ->
+          init := None;
+          n1.reset ();
+          n2.reset ();
+          n3.reset ());
+      expire =
+        (fun before ->
+          init := fresh_opt before !init;
+          n1.expire before;
+          n2.expire before;
+          n3.expire before);
+    }
+  | Expr.Aperiodic (e1, e2, e3) ->
+    let window : instance option ref = ref None in
+    let on_e1 i = window := Some i in
+    let on_e2 m =
+      match !window with Some i -> out (merge i m) | None -> ()
+    in
+    let on_e3 _ = window := None in
+    let n1 = compile_child e1 on_e1
+    and n2 = compile_child e2 on_e2
+    and n3 = compile_child e3 on_e3 in
+    {
+      accept =
+        (fun o ->
+          n3.accept o;
+          n2.accept o;
+          n1.accept o);
+      advance =
+        (fun t ->
+          n1.advance t;
+          n2.advance t;
+          n3.advance t);
+      reset =
+        (fun () ->
+          window := None;
+          n1.reset ();
+          n2.reset ();
+          n3.reset ());
+      expire =
+        (fun before ->
+          n1.expire before;
+          n2.expire before;
+          n3.expire before);
+    }
+  | Expr.Aperiodic_star (e1, e2, e3) ->
+    let window : instance option ref = ref None in
+    let acc : instance list ref = ref [] in
+    let on_e1 i =
+      window := Some i;
+      acc := []
+    in
+    let on_e2 m = if !window <> None then acc := !acc @ [ m ] in
+    let on_e3 j =
+      match !window with
+      | Some i ->
+        out (merge_all ((i :: !acc) @ [ j ]));
+        window := None;
+        acc := []
+      | None -> ()
+    in
+    let n1 = compile_child e1 on_e1
+    and n2 = compile_child e2 on_e2
+    and n3 = compile_child e3 on_e3 in
+    {
+      accept =
+        (fun o ->
+          n3.accept o;
+          n2.accept o;
+          n1.accept o);
+      advance =
+        (fun t ->
+          n1.advance t;
+          n2.advance t;
+          n3.advance t);
+      reset =
+        (fun () ->
+          window := None;
+          acc := [];
+          n1.reset ();
+          n2.reset ();
+          n3.reset ());
+      expire =
+        (fun before ->
+          n1.expire before;
+          n2.expire before;
+          n3.expire before);
+    }
+  | Expr.Periodic (e1, dt, limit, e3) ->
+    let next : int option ref = ref None in
+    let remaining = ref limit in
+    let tick_no = ref 0 in
+    let on_e1 i =
+      next := Some (i.t_end + dt);
+      remaining := limit;
+      tick_no := 0
+    in
+    let on_e3 _ = next := None in
+    let fire_due now =
+      let rec loop () =
+        match !next with
+        | Some due when due <= now ->
+          incr tick_no;
+          out (instance_of_occurrence (synthetic "<periodic>" !tick_no due));
+          (match !remaining with
+          | Some r when r <= 1 -> next := None
+          | Some r ->
+            remaining := Some (r - 1);
+            next := Some (due + dt);
+            loop ()
+          | None ->
+            next := Some (due + dt);
+            loop ())
+        | _ -> ()
+      in
+      loop ()
+    in
+    let n1 = compile_child e1 on_e1 and n3 = compile_child e3 on_e3 in
+    {
+      accept =
+        (fun o ->
+          n3.accept o;
+          n1.accept o);
+      advance =
+        (fun t ->
+          n1.advance t;
+          n3.advance t;
+          fire_due t);
+      reset =
+        (fun () ->
+          next := None;
+          tick_no := 0;
+          remaining := limit;
+          n1.reset ();
+          n3.reset ());
+      expire =
+        (fun before ->
+          n1.expire before;
+          n3.expire before);
+    }
+  | Expr.Plus (e, dt) ->
+    let pending : (instance * int) list ref = ref [] in
+    let on_e i = pending := !pending @ [ (i, i.t_end + dt) ] in
+    let fire_due now =
+      let due, keep = List.partition (fun (_, d) -> d <= now) !pending in
+      pending := keep;
+      List.iter
+        (fun (i, d) -> out (merge i (instance_of_occurrence (synthetic "<plus>" dt d))))
+        due
+    in
+    let n = compile_child e on_e in
+    {
+      accept = n.accept;
+      advance =
+        (fun t ->
+          n.advance t;
+          fire_due t);
+      reset =
+        (fun () ->
+          pending := [];
+          n.reset ());
+      (* pending (instance, due) pairs are scheduled future events, not
+         stale partials; only forward *)
+      expire = (fun before -> n.expire before);
+    }
+
+let default_subsumes ~sub ~super = String.equal sub super
+
+let create ?(context = Context.Recent) ?(subsumes = default_subsumes) ~on_signal
+    e =
+  (* The record is tied into the compiled tree through a forward ref so the
+     root's [out] can bump the counter. *)
+  let self = ref None in
+  let out i =
+    (match !self with
+    | Some t -> t.n_signalled <- t.n_signalled + 1
+    | None -> ());
+    on_signal i
+  in
+  let leaves = ref [] in
+  let root = compile subsumes context leaves e out in
+  let t =
+    {
+      d_expr = e;
+      d_context = context;
+      root;
+      d_leaves = List.rev !leaves;
+      now = 0;
+      n_fed = 0;
+      n_signalled = 0;
+    }
+  in
+  self := Some t;
+  t
+
+let advance t now =
+  if now > t.now then begin
+    t.now <- now;
+    t.root.advance now
+  end
+
+let feed t (o : Occurrence.t) =
+  t.n_fed <- t.n_fed + 1;
+  advance t o.at;
+  t.root.accept o
+
+let reset t = t.root.reset ()
+let expire t ~before = t.root.expire before
+let leaves t = t.d_leaves
+let leaf_prim leaf = leaf.leaf_prim
+
+let offer_leaf t leaf (o : Occurrence.t) =
+  t.n_fed <- t.n_fed + 1;
+  advance t o.at;
+  leaf.leaf_accept o
+
+let rec has_temporal (e : Expr.t) =
+  match e with
+  | Prim _ -> false
+  | And (a, b) | Or (a, b) | Seq (a, b) -> has_temporal a || has_temporal b
+  | Any (_, es) -> List.exists has_temporal es
+  | Not (a, b, c) | Aperiodic (a, b, c) | Aperiodic_star (a, b, c) ->
+    has_temporal a || has_temporal b || has_temporal c
+  | Periodic _ | Plus _ -> true

@@ -1,0 +1,98 @@
+open Import
+
+type entry = {
+  e_sub_id : int;
+  e_detector : Detector.t;
+  e_leaf : Detector.leaf;
+}
+
+type subscription = {
+  s_id : int;
+  s_detector : Detector.t;
+  s_keys : (string * Oodb.Types.modifier) list;
+  s_temporal : bool;
+}
+
+type t = {
+  g_subsumes : sub:string -> super:string -> bool;
+  index : (string * Oodb.Types.modifier, entry list ref) Hashtbl.t;
+  temporal : (int, Detector.t) Hashtbl.t;
+  mutable next_id : int;
+  mutable n_subs : int;
+  mutable n_routed : int;
+}
+
+let create ?(subsumes = fun ~sub ~super -> String.equal sub super) () =
+  {
+    g_subsumes = subsumes;
+    index = Hashtbl.create 64;
+    temporal = Hashtbl.create 8;
+    next_id = 1;
+    n_subs = 0;
+    n_routed = 0;
+  }
+
+let bucket t key =
+  match Hashtbl.find_opt t.index key with
+  | Some b -> b
+  | None ->
+    let b = ref [] in
+    Hashtbl.replace t.index key b;
+    b
+
+let subscribe t ?context ~on_signal expr =
+  let d = Detector.create ?context ~subsumes:t.g_subsumes ~on_signal expr in
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let keys =
+    List.map
+      (fun leaf ->
+        let p = Detector.leaf_prim leaf in
+        let key = (p.Expr.p_meth, p.Expr.p_modifier) in
+        let b = bucket t key in
+        b := { e_sub_id = id; e_detector = d; e_leaf = leaf } :: !b;
+        key)
+      (Detector.leaves d)
+  in
+  let temporal = Detector.has_temporal expr in
+  if temporal then Hashtbl.replace t.temporal id d;
+  t.n_subs <- t.n_subs + 1;
+  { s_id = id; s_detector = d; s_keys = keys; s_temporal = temporal }
+
+let unsubscribe t sub =
+  let removed = ref false in
+  List.iter
+    (fun key ->
+      match Hashtbl.find_opt t.index key with
+      | None -> ()
+      | Some b ->
+        let before = List.length !b in
+        b := List.filter (fun e -> e.e_sub_id <> sub.s_id) !b;
+        if List.length !b < before then removed := true;
+        if !b = [] then Hashtbl.remove t.index key)
+    sub.s_keys;
+  if sub.s_temporal then Hashtbl.remove t.temporal sub.s_id;
+  if !removed then t.n_subs <- t.n_subs - 1
+
+let detector sub = sub.s_detector
+
+let advance t now = Hashtbl.iter (fun _ d -> Detector.advance d now) t.temporal
+
+let feed t (occ : Occurrence.t) =
+  advance t occ.at;
+  match Hashtbl.find_opt t.index (occ.meth, occ.modifier) with
+  | None -> ()
+  | Some b ->
+    (* oldest subscription first, matching Detector.feed's determinism *)
+    List.iter
+      (fun e ->
+        t.n_routed <- t.n_routed + 1;
+        Detector.offer_leaf e.e_detector e.e_leaf occ)
+      (List.rev !b)
+
+let subscription_count t = t.n_subs
+
+let leaf_count t =
+  Hashtbl.fold (fun _ b acc -> acc + List.length !b) t.index 0
+
+let routed t = t.n_routed

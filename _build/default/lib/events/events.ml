@@ -1,0 +1,16 @@
+(** The event algebra and composite-event detection.
+
+    {!Expr} builds event expressions (primitives from signatures or
+    constructors, composed with the Snoop operators); {!Parser} gives them
+    a concrete syntax; {!Codec} a persistent encoding.  {!Detector}
+    compiles an expression into a running detector under a parameter
+    {!Context}; {!Event_graph} routes occurrences to many detectors through
+    a (method, modifier) index. *)
+
+module Context = Context
+module Signature = Signature
+module Expr = Expr
+module Detector = Detector
+module Codec = Codec
+module Parser = Parser
+module Event_graph = Event_graph

@@ -1,0 +1,212 @@
+open Import
+
+type cmp = Ceq | Cne | Clt | Cle | Cgt | Cge
+
+(* An event-level mask: compare one actual parameter against a constant.
+   Filters are data (no closures), so they persist with the expression. *)
+type param_filter = { pf_index : int; pf_cmp : cmp; pf_value : Value.t }
+
+type prim = {
+  p_modifier : Oodb.Types.modifier;
+  p_class : string option;
+  p_meth : string;
+  p_sources : Oid.Set.t;
+  p_filters : param_filter list; (* conjunction *)
+}
+
+type t =
+  | Prim of prim
+  | And of t * t
+  | Or of t * t
+  | Seq of t * t
+  | Any of int * t list
+  | Not of t * t * t
+  | Aperiodic of t * t * t
+  | Aperiodic_star of t * t * t
+  | Periodic of t * int * int option * t
+  | Plus of t * int
+
+let prim ?cls ?(sources = []) ?(filters = []) modifier meth =
+  List.iter
+    (fun f ->
+      if f.pf_index < 0 then
+        Errors.type_error "param filter: negative parameter index %d" f.pf_index)
+    filters;
+  Prim
+    {
+      p_modifier = modifier;
+      p_class = cls;
+      p_meth = meth;
+      p_sources = Oid.Set.of_list sources;
+      p_filters = filters;
+    }
+
+let cmp_to_string = function
+  | Ceq -> "="
+  | Cne -> "!="
+  | Clt -> "<"
+  | Cle -> "<="
+  | Cgt -> ">"
+  | Cge -> ">="
+
+let cmp_of_string = function
+  | "=" -> Ceq
+  | "!=" | "<>" -> Cne
+  | "<" -> Clt
+  | "<=" -> Cle
+  | ">" -> Cgt
+  | ">=" -> Cge
+  | s -> raise (Errors.Parse_error ("unknown comparison: " ^ s))
+
+let filter_matches f params =
+  match List.nth_opt params f.pf_index with
+  | None -> false
+  | Some actual ->
+    let c = Value.compare actual f.pf_value in
+    (match f.pf_cmp with
+    | Ceq -> c = 0
+    | Cne -> c <> 0
+    | Clt -> c < 0
+    | Cle -> c <= 0
+    | Cgt -> c > 0
+    | Cge -> c >= 0)
+
+let of_signature ?sources ?filters s =
+  let sg = Signature.parse s in
+  prim ?cls:sg.Signature.s_class ?sources ?filters sg.s_modifier sg.s_meth
+
+let bom ?cls ?sources ?filters meth =
+  prim ?cls ?sources ?filters Oodb.Types.Before meth
+
+let eom ?cls ?sources ?filters meth =
+  prim ?cls ?sources ?filters Oodb.Types.After meth
+let conj a b = And (a, b)
+let disj a b = Or (a, b)
+let seq a b = Seq (a, b)
+
+let any m es =
+  let n = List.length es in
+  if m <= 0 || m > n then
+    Errors.type_error "any: need 0 < m <= %d, got %d" n m;
+  Any (m, es)
+
+let not_between e1 e2 e3 = Not (e1, e2, e3)
+let aperiodic e1 e2 e3 = Aperiodic (e1, e2, e3)
+let aperiodic_star e1 e2 e3 = Aperiodic_star (e1, e2, e3)
+
+let periodic ?limit e1 dt e3 =
+  if dt <= 0 then Errors.type_error "periodic: period must be positive";
+  (match limit with
+  | Some l when l <= 0 -> Errors.type_error "periodic: limit must be positive"
+  | _ -> ());
+  Periodic (e1, dt, limit, e3)
+
+let plus e dt =
+  if dt <= 0 then Errors.type_error "plus: delay must be positive";
+  Plus (e, dt)
+
+let filter_equal f g =
+  f.pf_index = g.pf_index && f.pf_cmp = g.pf_cmp && Value.equal f.pf_value g.pf_value
+
+let prim_equal a b =
+  a.p_modifier = b.p_modifier
+  && Option.equal String.equal a.p_class b.p_class
+  && String.equal a.p_meth b.p_meth
+  && Oid.Set.equal a.p_sources b.p_sources
+  && List.equal filter_equal a.p_filters b.p_filters
+
+let rec equal x y =
+  match (x, y) with
+  | Prim a, Prim b -> prim_equal a b
+  | And (a, b), And (c, d) | Or (a, b), Or (c, d) | Seq (a, b), Seq (c, d) ->
+    equal a c && equal b d
+  | Any (m, es), Any (n, fs) -> m = n && List.equal equal es fs
+  | Not (a, b, c), Not (d, e, f)
+  | Aperiodic (a, b, c), Aperiodic (d, e, f)
+  | Aperiodic_star (a, b, c), Aperiodic_star (d, e, f) ->
+    equal a d && equal b e && equal c f
+  | Periodic (a, p, l, b), Periodic (c, q, m, d) ->
+    equal a c && p = q && Option.equal Int.equal l m && equal b d
+  | Plus (a, p), Plus (b, q) -> equal a b && p = q
+  | ( ( Prim _ | And _ | Or _ | Seq _ | Any _ | Not _ | Aperiodic _
+      | Aperiodic_star _ | Periodic _ | Plus _ ),
+      _ ) ->
+    false
+
+let rec prims = function
+  | Prim p -> [ p ]
+  | And (a, b) | Or (a, b) | Seq (a, b) -> prims a @ prims b
+  | Any (_, es) -> List.concat_map prims es
+  | Not (a, b, c) | Aperiodic (a, b, c) | Aperiodic_star (a, b, c) ->
+    prims a @ prims b @ prims c
+  | Periodic (a, _, _, b) -> prims a @ prims b
+  | Plus (a, _) -> prims a
+
+let restrict_sources e sources =
+  let sources = Oid.Set.of_list sources in
+  let rec walk = function
+    | Prim p -> Prim { p with p_sources = sources }
+    | And (a, b) -> And (walk a, walk b)
+    | Or (a, b) -> Or (walk a, walk b)
+    | Seq (a, b) -> Seq (walk a, walk b)
+    | Any (m, es) -> Any (m, List.map walk es)
+    | Not (a, b, c) -> Not (walk a, walk b, walk c)
+    | Aperiodic (a, b, c) -> Aperiodic (walk a, walk b, walk c)
+    | Aperiodic_star (a, b, c) -> Aperiodic_star (walk a, walk b, walk c)
+    | Periodic (a, dt, limit, b) -> Periodic (walk a, dt, limit, walk b)
+    | Plus (a, dt) -> Plus (walk a, dt)
+  in
+  walk e
+
+let rec size = function
+  | Prim _ -> 1
+  | And (a, b) | Or (a, b) | Seq (a, b) -> 1 + size a + size b
+  | Any (_, es) -> 1 + List.fold_left (fun acc e -> acc + size e) 0 es
+  | Not (a, b, c) | Aperiodic (a, b, c) | Aperiodic_star (a, b, c) ->
+    1 + size a + size b + size c
+  | Periodic (a, _, _, b) -> 1 + size a + size b
+  | Plus (a, _) -> 1 + size a
+
+let rec depth = function
+  | Prim _ -> 1
+  | And (a, b) | Or (a, b) | Seq (a, b) -> 1 + max (depth a) (depth b)
+  | Any (_, es) -> 1 + List.fold_left (fun acc e -> max acc (depth e)) 0 es
+  | Not (a, b, c) | Aperiodic (a, b, c) | Aperiodic_star (a, b, c) ->
+    1 + max (depth a) (max (depth b) (depth c))
+  | Periodic (a, _, _, b) -> 1 + max (depth a) (depth b)
+  | Plus (a, _) -> 1 + depth a
+
+let pp_prim ppf p =
+  Format.fprintf ppf "%s %s%s"
+    (Occurrence.modifier_to_string p.p_modifier)
+    (match p.p_class with Some c -> c ^ "::" | None -> "")
+    p.p_meth;
+  if not (Oid.Set.is_empty p.p_sources) then
+    Format.fprintf ppf "{%s}"
+      (String.concat ","
+         (List.map Oid.to_string (Oid.Set.elements p.p_sources)));
+  List.iter
+    (fun f ->
+      Format.fprintf ppf " where $%d %s %s" f.pf_index (cmp_to_string f.pf_cmp)
+        (Value.to_string f.pf_value))
+    p.p_filters
+
+let rec pp ppf = function
+  | Prim p -> Format.fprintf ppf "(%a)" pp_prim p
+  | And (a, b) -> Format.fprintf ppf "(%a AND %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a OR %a)" pp a pp b
+  | Seq (a, b) -> Format.fprintf ppf "(%a ; %a)" pp a pp b
+  | Any (m, es) ->
+    Format.fprintf ppf "ANY(%d; %a)" m
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp)
+      es
+  | Not (a, b, c) -> Format.fprintf ppf "NOT(%a, %a, %a)" pp b pp a pp c
+  | Aperiodic (a, b, c) -> Format.fprintf ppf "A(%a, %a, %a)" pp a pp b pp c
+  | Aperiodic_star (a, b, c) -> Format.fprintf ppf "A*(%a, %a, %a)" pp a pp b pp c
+  | Periodic (a, dt, limit, b) ->
+    Format.fprintf ppf "P(%a, %d%s, %a)" pp a dt
+      (match limit with Some l -> Printf.sprintf "/%d" l | None -> "")
+      pp b
+  | Plus (a, dt) -> Format.fprintf ppf "(%a + %d)" pp a dt
+
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,117 @@
+open Import
+
+(** Event expressions: primitive events and the operator algebra.
+
+    The paper's §4.3 supports conjunction, disjunction and sequence and
+    builds composite events by applying operators to event objects; this
+    module also provides the further Snoop operators Sentinel grew into
+    (ANY, NOT, aperiodic, periodic, their cumulative variants and relative
+    temporal events), which DESIGN.md lists as implemented extensions. *)
+
+type cmp = Ceq | Cne | Clt | Cle | Cgt | Cge
+
+type param_filter = { pf_index : int; pf_cmp : cmp; pf_value : Value.t }
+(** An event-level mask comparing one actual parameter ([pf_index]th,
+    0-based) against a constant.  Filters are plain data, so — unlike rule
+    conditions, which are named closures — they persist inside the
+    expression and are checked before the occurrence enters the detector. *)
+
+type prim = {
+  p_modifier : Oodb.Types.modifier;
+  p_class : string option;  (** [None] matches any class *)
+  p_meth : string;
+  p_sources : Oid.Set.t;
+      (** restrict to specific instances; empty = any instance.  This is how
+          a primitive event object narrows to the objects a rule subscribed
+          to, e.g. the IBM stock object only. *)
+  p_filters : param_filter list;  (** conjunction of parameter masks *)
+}
+
+type t =
+  | Prim of prim
+  | And of t * t  (** both occur, in any order *)
+  | Or of t * t  (** either occurs *)
+  | Seq of t * t  (** left completes strictly before right starts *)
+  | Any of int * t list
+      (** [Any (m, es)]: occurrences of [m] {e distinct} members of [es] *)
+  | Not of t * t * t
+      (** [Not (e1, e2, e3)]: [e3] after [e1] with no [e2] in between *)
+  | Aperiodic of t * t * t
+      (** [Aperiodic (e1, e2, e3)]: each [e2] inside the window opened by
+          [e1] and closed by [e3] signals *)
+  | Aperiodic_star of t * t * t
+      (** cumulative variant: one signal at [e3] carrying all the [e2]s *)
+  | Periodic of t * int * int option * t
+      (** [Periodic (e1, dt, limit, e3)]: a tick every [dt] logical time
+          units after [e1], until [e3] (or [limit] ticks) *)
+  | Plus of t * int  (** [Plus (e, dt)]: [dt] time units after [e] *)
+
+(** {1 Constructors} *)
+
+val prim :
+  ?cls:string ->
+  ?sources:Oid.t list ->
+  ?filters:param_filter list ->
+  Oodb.Types.modifier ->
+  string ->
+  t
+(** @raise Oodb.Errors.Type_error on negative filter indexes. *)
+
+val filter_matches : param_filter -> Value.t list -> bool
+(** Evaluate one mask against an actual-parameter list; out-of-range
+    indexes fail the filter. *)
+
+val cmp_to_string : cmp -> string
+
+val cmp_of_string : string -> cmp
+(** Accepts [=], [!=], [<>], [<], [<=], [>], [>=].
+    @raise Oodb.Errors.Parse_error otherwise. *)
+
+val of_signature :
+  ?sources:Oid.t list -> ?filters:param_filter list -> string -> t
+(** Parse a paper-style signature, e.g.
+    [of_signature "end Employee::Set-Salary(float x)"].
+    @raise Oodb.Errors.Parse_error *)
+
+val bom : ?cls:string -> ?sources:Oid.t list -> ?filters:param_filter list -> string -> t
+(** begin-of-method primitive *)
+
+val eom : ?cls:string -> ?sources:Oid.t list -> ?filters:param_filter list -> string -> t
+(** end-of-method primitive *)
+
+val conj : t -> t -> t
+val disj : t -> t -> t
+val seq : t -> t -> t
+val any : int -> t list -> t
+(** @raise Oodb.Errors.Type_error unless [0 < m <= length es]. *)
+
+val not_between : t -> t -> t -> t
+(** [not_between e1 e2 e3] = [Not (e1, e2, e3)]. *)
+
+val aperiodic : t -> t -> t -> t
+val aperiodic_star : t -> t -> t -> t
+
+val periodic : ?limit:int -> t -> int -> t -> t
+(** @raise Oodb.Errors.Type_error when the period is not positive. *)
+
+val plus : t -> int -> t
+(** @raise Oodb.Errors.Type_error when the delay is not positive. *)
+
+(** {1 Inspection} *)
+
+val equal : t -> t -> bool
+val prims : t -> prim list
+(** All primitive leaves, left to right. *)
+
+val restrict_sources : t -> Oid.t list -> t
+(** Narrow every primitive leaf to the given instances (replacing existing
+    source filters).  Used to bind a parameterized rule template to
+    specific objects. *)
+
+val size : t -> int
+(** Number of AST nodes. *)
+
+val depth : t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,7 @@
+(* Aliases for the substrate modules this library builds on; opened by the
+   other modules of the library so that types read naturally. *)
+
+module Oid = Oodb.Oid
+module Value = Oodb.Value
+module Occurrence = Oodb.Occurrence
+module Errors = Oodb.Errors

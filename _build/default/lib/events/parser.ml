@@ -1,0 +1,341 @@
+open Import
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Errors.Parse_error m)) fmt
+
+(* --- tokenizer -------------------------------------------------------------- *)
+
+type token =
+  | Word of string (* identifier, possibly with :: *)
+  | Int of int
+  | Float of float
+  | Text of string (* quoted string literal *)
+  | Param of int (* $N *)
+  | Cmp of string (* = != < <= > >= *)
+  | Lparen
+  | Rparen
+  | Comma
+  | Semi
+  | Slash
+
+let is_word_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | ':' | '*' | '.' -> true
+  | _ -> false
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let push t = tokens := t :: !tokens in
+  while !i < n do
+    (match input.[!i] with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | '(' ->
+      push Lparen;
+      incr i
+    | ')' ->
+      push Rparen;
+      incr i
+    | ',' ->
+      push Comma;
+      incr i
+    | ';' ->
+      push Semi;
+      incr i
+    | '/' ->
+      push Slash;
+      incr i
+    | '$' ->
+      incr i;
+      let start = !i in
+      while !i < n && input.[!i] >= '0' && input.[!i] <= '9' do
+        incr i
+      done;
+      let digits = String.sub input start (!i - start) in
+      (match int_of_string_opt digits with
+      | Some v -> push (Param v)
+      | None -> fail "event syntax: bad parameter reference $%s" digits)
+    | '=' ->
+      push (Cmp "=");
+      incr i
+    | '!' when !i + 1 < n && input.[!i + 1] = '=' ->
+      push (Cmp "!=");
+      i := !i + 2
+    | '<' when !i + 1 < n && input.[!i + 1] = '>' ->
+      push (Cmp "!=");
+      i := !i + 2
+    | '<' when !i + 1 < n && input.[!i + 1] = '=' ->
+      push (Cmp "<=");
+      i := !i + 2
+    | '<' ->
+      push (Cmp "<");
+      incr i
+    | '>' when !i + 1 < n && input.[!i + 1] = '=' ->
+      push (Cmp ">=");
+      i := !i + 2
+    | '>' ->
+      push (Cmp ">");
+      incr i
+    | ('\'' | '"') as quote ->
+      incr i;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if input.[!i] = quote then closed := true
+        else Buffer.add_char buf input.[!i];
+        incr i
+      done;
+      if not !closed then fail "event syntax: unterminated string";
+      push (Text (Buffer.contents buf))
+    | c when is_word_char c ->
+      let start = !i in
+      while !i < n && is_word_char input.[!i] do
+        incr i
+      done;
+      let w = String.sub input start (!i - start) in
+      (match int_of_string_opt w with
+      | Some v -> push (Int v)
+      | None -> (
+        match float_of_string_opt w with
+        | Some f when String.contains w '.' -> push (Float f)
+        | _ -> push (Word w)))
+    | c -> fail "event syntax: unexpected character %C at %d" c !i)
+  done;
+  List.rev !tokens
+
+(* --- parser ------------------------------------------------------------------ *)
+
+type state = { mutable rest : token list }
+
+let peek st = match st.rest with [] -> None | t :: _ -> Some t
+
+let next st =
+  match st.rest with
+  | [] -> fail "event syntax: unexpected end of input"
+  | t :: rest ->
+    st.rest <- rest;
+    t
+
+let expect st tok what =
+  let got = next st in
+  if got <> tok then fail "event syntax: expected %s" what
+
+let expect_int st what =
+  match next st with Int v -> v | _ -> fail "event syntax: expected %s" what
+
+let keyword w = String.lowercase_ascii w
+
+let rec parse_expr st =
+  let left = parse_seq st in
+  match peek st with
+  | Some (Word w) when keyword w = "or" ->
+    let _ = next st in
+    Expr.disj left (parse_expr st)
+  | _ -> left
+
+and parse_seq st =
+  let left = parse_conj st in
+  match peek st with
+  | Some Semi ->
+    let _ = next st in
+    Expr.seq left (parse_seq st)
+  | _ -> left
+
+and parse_conj st =
+  let left = parse_atom st in
+  match peek st with
+  | Some (Word w) when keyword w = "and" ->
+    let _ = next st in
+    Expr.conj left (parse_conj st)
+  | _ -> left
+
+and parse_literal st =
+  match next st with
+  | Int v -> Value.Int v
+  | Float f -> Value.Float f
+  | Text s -> Value.Str s
+  | Word w -> (
+    match keyword w with
+    | "true" -> Value.Bool true
+    | "false" -> Value.Bool false
+    | "null" -> Value.Null
+    | other -> fail "event syntax: expected literal, got %S" other)
+  | _ -> fail "event syntax: expected literal"
+
+(* "where $N <op> literal [and $M <op> literal ...]" — a trailing [and]
+   continues the filter list only when a parameter reference follows, so a
+   conjunction of events after a filtered primitive still parses. *)
+and parse_where st expr =
+  match peek st with
+  | Some (Word w) when keyword w = "where" ->
+    let _ = next st in
+    let filters = ref [] in
+    let rec one () =
+      (match next st with
+      | Param pf_index -> (
+        match next st with
+        | Cmp op ->
+          let pf_value = parse_literal st in
+          filters :=
+            { Expr.pf_index; pf_cmp = Expr.cmp_of_string op; pf_value }
+            :: !filters
+        | _ -> fail "event syntax: expected comparison after $%d" pf_index)
+      | _ -> fail "event syntax: expected $N after 'where'");
+      match st.rest with
+      | Word w :: Param _ :: _ when keyword w = "and" ->
+        let _ = next st in
+        one ()
+      | _ -> ()
+    in
+    one ();
+    (match expr with
+    | Expr.Prim p -> Expr.Prim { p with p_filters = List.rev !filters }
+    | _ -> fail "event syntax: 'where' only applies to primitive events")
+  | _ -> expr
+
+and parse_atom st =
+  match next st with
+  | Lparen ->
+    let e = parse_expr st in
+    expect st Rparen "')'";
+    e
+  | Word w -> (
+    match keyword w with
+    | "begin" | "before" | "end" | "after" -> (
+      let modifier = Occurrence.modifier_of_string (keyword w) in
+      match next st with
+      | Word name -> (
+        let plain s = s <> "" && not (String.contains s ':') in
+        (* "cls::meth" or bare "meth" *)
+        match String.index_opt name ':' with
+        | Some i
+          when i + 1 < String.length name
+               && name.[i + 1] = ':'
+               && i > 0
+               && i + 2 < String.length name ->
+          let cls = String.sub name 0 i in
+          let meth = String.sub name (i + 2) (String.length name - i - 2) in
+          if plain cls && plain meth then
+            parse_where st (Expr.prim ~cls modifier meth)
+          else fail "event syntax: bad qualified name %S" name
+        | Some _ -> fail "event syntax: bad qualified name %S" name
+        | None -> parse_where st (Expr.prim modifier name))
+      | _ -> fail "event syntax: expected method name after %S" w)
+    | "any" ->
+      expect st Lparen "'(' after any";
+      let m = expect_int st "count" in
+      let items = ref [] in
+      let rec more () =
+        match next st with
+        | Comma ->
+          items := parse_expr st :: !items;
+          more ()
+        | Rparen -> ()
+        | _ -> fail "event syntax: expected ',' or ')' in any(...)"
+      in
+      more ();
+      Expr.any m (List.rev !items)
+    | "not" | "aperiodic" | "aperiodic*" ->
+      expect st Lparen ("'(' after " ^ w);
+      let a = parse_expr st in
+      expect st Comma "','";
+      let b = parse_expr st in
+      expect st Comma "','";
+      let c = parse_expr st in
+      expect st Rparen "')'";
+      (match keyword w with
+      | "not" -> Expr.not_between a b c
+      | "aperiodic" -> Expr.aperiodic a b c
+      | _ -> Expr.aperiodic_star a b c)
+    | "periodic" ->
+      expect st Lparen "'(' after periodic";
+      let a = parse_expr st in
+      expect st Comma "','";
+      let dt = expect_int st "period" in
+      let limit =
+        match peek st with
+        | Some Slash ->
+          let _ = next st in
+          Some (expect_int st "limit")
+        | _ -> None
+      in
+      expect st Comma "','";
+      let b = parse_expr st in
+      expect st Rparen "')'";
+      Expr.periodic ?limit a dt b
+    | "plus" ->
+      expect st Lparen "'(' after plus";
+      let a = parse_expr st in
+      expect st Comma "','";
+      let dt = expect_int st "delay" in
+      expect st Rparen "')'";
+      Expr.plus a dt
+    | other -> fail "event syntax: unexpected word %S" other)
+  | Int v -> fail "event syntax: unexpected number %d" v
+  | Float f -> fail "event syntax: unexpected number %g" f
+  | Text s -> fail "event syntax: unexpected string %S" s
+  | Param i -> fail "event syntax: unexpected $%d" i
+  | Cmp op -> fail "event syntax: unexpected %s" op
+  | Rparen -> fail "event syntax: unexpected ')'"
+  | Comma -> fail "event syntax: unexpected ','"
+  | Semi -> fail "event syntax: unexpected ';'"
+  | Slash -> fail "event syntax: unexpected '/'"
+
+let parse input =
+  let st = { rest = tokenize input } in
+  let e = parse_expr st in
+  if st.rest <> [] then fail "event syntax: trailing tokens in %S" input;
+  e
+
+(* --- printing ----------------------------------------------------------------- *)
+
+let literal_to_syntax = function
+  | Value.Null -> "null"
+  | Value.Bool b -> string_of_bool b
+  | Value.Int v -> string_of_int v
+  | Value.Float f ->
+    let s = Printf.sprintf "%.17g" f in
+    if String.contains s '.' || String.contains s 'e' then s else s ^ "."
+  | Value.Str str -> "'" ^ str ^ "'"
+  | (Value.Obj _ | Value.List _) as v ->
+    raise
+      (Errors.Parse_error
+         ("event syntax: no literal syntax for " ^ Value.to_string v))
+
+let rec to_syntax (e : Expr.t) =
+  match e with
+  | Prim p ->
+    let filters =
+      match p.p_filters with
+      | [] -> ""
+      | fs ->
+        " where "
+        ^ String.concat " and "
+            (List.map
+               (fun (f : Expr.param_filter) ->
+                 Printf.sprintf "$%d %s %s" f.pf_index
+                   (Expr.cmp_to_string f.pf_cmp)
+                   (literal_to_syntax f.pf_value))
+               fs)
+    in
+    Printf.sprintf "%s %s%s%s"
+      (Occurrence.modifier_to_string p.p_modifier)
+      (match p.p_class with Some c -> c ^ "::" | None -> "")
+      p.p_meth filters
+  | And (a, b) -> Printf.sprintf "(%s and %s)" (to_syntax a) (to_syntax b)
+  | Or (a, b) -> Printf.sprintf "(%s or %s)" (to_syntax a) (to_syntax b)
+  | Seq (a, b) -> Printf.sprintf "(%s ; %s)" (to_syntax a) (to_syntax b)
+  | Any (m, es) ->
+    Printf.sprintf "any(%d, %s)" m (String.concat ", " (List.map to_syntax es))
+  | Not (a, b, c) ->
+    Printf.sprintf "not(%s, %s, %s)" (to_syntax a) (to_syntax b) (to_syntax c)
+  | Aperiodic (a, b, c) ->
+    Printf.sprintf "aperiodic(%s, %s, %s)" (to_syntax a) (to_syntax b)
+      (to_syntax c)
+  | Aperiodic_star (a, b, c) ->
+    Printf.sprintf "aperiodic*(%s, %s, %s)" (to_syntax a) (to_syntax b)
+      (to_syntax c)
+  | Periodic (a, dt, limit, b) ->
+    Printf.sprintf "periodic(%s, %d%s, %s)" (to_syntax a) dt
+      (match limit with Some l -> "/" ^ string_of_int l | None -> "")
+      (to_syntax b)
+  | Plus (a, dt) -> Printf.sprintf "plus(%s, %d)" (to_syntax a) dt

@@ -1,0 +1,40 @@
+(** Concrete syntax for event expressions.
+
+    Grammar (case-insensitive keywords):
+
+    {v expr  ::= seq ("or" seq)*
+       seq   ::= conj (";" conj)*              -- sequence, as in the paper
+       conj  ::= atom ("and" atom)*
+       atom  ::= "(" expr ")"
+               | prim [ "where" mask ("and" mask)* ]
+               | "any" "(" int "," expr {"," expr} ")"
+               | "not" "(" expr "," expr "," expr ")"
+               | "aperiodic"  "(" expr "," expr "," expr ")"
+               | "aperiodic*" "(" expr "," expr "," expr ")"
+               | "periodic" "(" expr "," int ["/" int] "," expr ")"
+               | "plus" "(" expr "," int ")"
+       prim  ::= ("begin"|"end"|"before"|"after") [class "::"] method
+       mask  ::= "$" int op literal            -- parameter filter
+       op    ::= "=" | "!=" | "<>" | "<" | "<=" | ">" | ">="
+       literal ::= integer | float | 'text' | "text" | true | false | null v}
+
+    A [where] clause filters on the event's actual parameters ($0 is the
+    first argument): ["end account::withdraw where $0 > 1000"].  An [and]
+    after a mask continues the mask list when followed by [$]; otherwise it
+    is event conjunction.
+
+    Binding strength: [and] over [;] over [or], so
+    ["end a::m and end b::n or end c::k"] parses as [(a∧b) ∨ c].
+
+    Examples from the paper:
+    - ["end Employee::Change-Income or end Manager::Change-Income"]
+    - ["end Account::Deposit ; begin Account::Withdraw"]
+    - ["end Stock::SetPrice and end FinancialInfo::SetValue"] *)
+
+val parse : string -> Expr.t
+(** @raise Oodb.Errors.Parse_error with position information. *)
+
+val to_syntax : Expr.t -> string
+(** Render an expression back to parsable syntax ([parse (to_syntax e)] is
+    structurally equal to [e] for source-filter-free expressions; instance
+    filters have no concrete syntax and are dropped). *)

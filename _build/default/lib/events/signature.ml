@@ -1,0 +1,60 @@
+type t = {
+  s_modifier : Oodb.Types.modifier;
+  s_class : string option;
+  s_meth : string;
+}
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Oodb.Errors.Parse_error m)) fmt
+
+let is_name_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> true
+  | _ -> false
+
+let valid_name s = s <> "" && String.for_all is_name_char s
+
+let parse input =
+  let s = String.trim input in
+  let space =
+    match String.index_opt s ' ' with
+    | Some i -> i
+    | None -> fail "signature %S: missing modifier" input
+  in
+  let modifier = Oodb.Occurrence.modifier_of_string (String.sub s 0 space) in
+  let rest = String.trim (String.sub s space (String.length s - space)) in
+  (* Strip an optional trailing parameter list. *)
+  let rest =
+    match String.index_opt rest '(' with
+    | Some i ->
+      if s.[String.length s - 1] <> ')' then
+        fail "signature %S: unterminated parameter list" input
+      else String.trim (String.sub rest 0 i)
+    | None -> rest
+  in
+  let cls, meth =
+    match String.index_opt rest ':' with
+    | None -> (None, rest)
+    | Some i ->
+      if i + 1 >= String.length rest || rest.[i + 1] <> ':' then
+        fail "signature %S: expected '::'" input
+      else
+        ( Some (String.sub rest 0 i),
+          String.sub rest (i + 2) (String.length rest - i - 2) )
+  in
+  (match cls with
+  | Some c when not (valid_name c) -> fail "signature %S: bad class name %S" input c
+  | _ -> ());
+  if not (valid_name meth) then fail "signature %S: bad method name %S" input meth;
+  { s_modifier = modifier; s_class = cls; s_meth = meth }
+
+let to_string t =
+  Printf.sprintf "%s %s%s"
+    (Oodb.Occurrence.modifier_to_string t.s_modifier)
+    (match t.s_class with Some c -> c ^ "::" | None -> "")
+    t.s_meth
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let equal a b =
+  a.s_modifier = b.s_modifier
+  && Option.equal String.equal a.s_class b.s_class
+  && String.equal a.s_meth b.s_meth

@@ -1,0 +1,27 @@
+(** Event-signature parsing.
+
+    The paper creates primitive event objects from textual signatures:
+
+    {v Event* empsal = new Primitive ("end Employee::Set-Salary(float x)") v}
+
+    The grammar accepted here:
+
+    {v signature ::= when [class "::"] method [ "(" formals ")" ]
+       when      ::= "begin" | "before" | "end" | "after" v}
+
+    The formal-parameter list is documentation only and is ignored; the
+    class part is optional (omitting it matches the method on any class).
+    Method and class names may contain letters, digits, [_], [-]. *)
+
+type t = {
+  s_modifier : Oodb.Types.modifier;
+  s_class : string option;
+  s_meth : string;
+}
+
+val parse : string -> t
+(** @raise Oodb.Errors.Parse_error *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/oodb/oodb.ml: Btree Db Errors Evolution Gc Introspect Occurrence Oid Persist Query Query_parser Schema Session Transaction Types Value Verify Wal

@@ -1,0 +1,1 @@
+lib/oodb/btree.ml: Array List Oid Printf Value

@@ -1,0 +1,1 @@
+lib/oodb/btree.mli: Oid Value

@@ -1,0 +1,1 @@
+lib/oodb/db.ml: Btree Errors Hashtbl Heap List Oid Option Schema String Transaction Types

@@ -1,0 +1,1 @@
+lib/oodb/db.mli: Oid Schema Types Value

@@ -1,0 +1,1 @@
+lib/oodb/errors.ml: Format Oid Printexc Printf

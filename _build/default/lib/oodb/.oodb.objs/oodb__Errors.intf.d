@@ -1,0 +1,1 @@
+lib/oodb/errors.mli: Format Oid

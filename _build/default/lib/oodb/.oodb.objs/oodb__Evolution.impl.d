@@ -1,0 +1,1 @@
+lib/oodb/evolution.ml: Db Errors Hashtbl Heap Int List Printf Schema String Transaction Types

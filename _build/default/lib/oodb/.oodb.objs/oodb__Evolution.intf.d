@@ -1,0 +1,1 @@
+lib/oodb/evolution.mli: Db Schema Value

@@ -1,0 +1,1 @@
+lib/oodb/gc.ml: Db List Oid Value

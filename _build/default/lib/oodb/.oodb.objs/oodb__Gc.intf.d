@@ -1,0 +1,1 @@
+lib/oodb/gc.mli: Db Oid

@@ -1,0 +1,1 @@
+lib/oodb/heap.ml: Btree Errors Hashtbl List Oid Schema Types

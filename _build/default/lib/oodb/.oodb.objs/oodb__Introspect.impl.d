@@ -1,0 +1,1 @@
+lib/oodb/introspect.ml: Db Format Hashtbl Int List Option Schema Types Value

@@ -1,0 +1,1 @@
+lib/oodb/introspect.mli: Db Format Types Value

@@ -1,0 +1,1 @@
+lib/oodb/occurrence.ml: Errors Format Int List Oid String Types Value

@@ -1,0 +1,1 @@
+lib/oodb/occurrence.mli: Format Oid Types Value

@@ -1,0 +1,1 @@
+lib/oodb/oid.ml: Format Hashtbl Int Set

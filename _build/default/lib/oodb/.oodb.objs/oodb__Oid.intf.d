@@ -1,0 +1,1 @@
+lib/oodb/oid.mli: Format Hashtbl Set

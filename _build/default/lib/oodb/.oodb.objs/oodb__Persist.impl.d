@@ -1,0 +1,1 @@
+lib/oodb/persist.ml: Buffer Char Db Errors Fun Hashtbl Heap In_channel List Oid Printf String Sys Transaction Types Value

@@ -1,0 +1,1 @@
+lib/oodb/persist.mli: Db Value

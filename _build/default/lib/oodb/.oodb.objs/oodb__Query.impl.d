@@ -1,0 +1,1 @@
+lib/oodb/query.ml: Db Format List Value

@@ -1,0 +1,1 @@
+lib/oodb/query.mli: Db Format Oid Value

@@ -1,0 +1,1 @@
+lib/oodb/query_parser.ml: Buffer Errors List Oid Printf Query String Value

@@ -1,0 +1,1 @@
+lib/oodb/query_parser.mli: Query

@@ -1,0 +1,1 @@
+lib/oodb/schema.ml: Errors Hashtbl List Oid String Types Value

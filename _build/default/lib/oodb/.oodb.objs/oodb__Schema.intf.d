@@ -1,0 +1,1 @@
+lib/oodb/schema.mli: Oid Types Value

@@ -1,0 +1,1 @@
+lib/oodb/session.ml: Db Errors Hashtbl Heap List Oid Printf String Transaction Types

@@ -1,0 +1,1 @@
+lib/oodb/session.mli: Db Oid Value

@@ -1,0 +1,1 @@
+lib/oodb/transaction.ml: Errors Hashtbl Heap List Types

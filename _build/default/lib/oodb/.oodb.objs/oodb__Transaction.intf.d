@@ -1,0 +1,1 @@
+lib/oodb/transaction.mli: Types

@@ -1,0 +1,1 @@
+lib/oodb/types.ml: Btree Hashtbl Oid Value

@@ -1,0 +1,1 @@
+lib/oodb/value.ml: Bool Errors Float Format Int List Oid Stdlib String

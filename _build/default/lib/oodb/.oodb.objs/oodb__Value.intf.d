@@ -1,0 +1,1 @@
+lib/oodb/value.mli: Format Oid

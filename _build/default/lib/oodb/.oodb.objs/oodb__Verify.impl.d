@@ -1,0 +1,1 @@
+lib/oodb/verify.ml: Btree Db Errors Hashtbl List Oid Printf Schema Transaction Types Value

@@ -1,0 +1,1 @@
+lib/oodb/verify.mli: Db

@@ -1,0 +1,1 @@
+lib/oodb/wal.ml: Db Errors Fun In_channel List Oid Persist Printf String Sys Types Unix

@@ -1,0 +1,1 @@
+lib/oodb/wal.mli: Db

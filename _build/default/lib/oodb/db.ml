@@ -1,0 +1,328 @@
+open Types
+
+type t = db
+
+let create () =
+  {
+    next_oid = 1;
+    now = 0;
+    next_txn_id = 1;
+    objects = Oid.Table.create 1024;
+    classes = Hashtbl.create 64;
+    extents = Hashtbl.create 64;
+    class_info = Hashtbl.create 64;
+    class_consumers = Hashtbl.create 16;
+    indexes = Hashtbl.create 16;
+    txns = [];
+    notify = (fun _ ~consumer:_ _ -> ());
+    taps = [];
+    on_journal = None;
+    stats =
+      {
+        sends = 0;
+        events_generated = 0;
+        notifications = 0;
+        txns_committed = 0;
+        txns_aborted = 0;
+      };
+  }
+
+let now db = db.now
+
+let tick db =
+  db.now <- db.now + 1;
+  db.now
+
+let advance_clock db t = if t > db.now then db.now <- t
+
+let journal db e = match db.on_journal with Some f -> f e | None -> ()
+
+let stats db = db.stats
+
+let reset_stats db =
+  let s = db.stats in
+  s.sends <- 0;
+  s.events_generated <- 0;
+  s.notifications <- 0;
+  s.txns_committed <- 0;
+  s.txns_aborted <- 0
+
+(* --- schema ------------------------------------------------------------ *)
+
+let info db cls =
+  match Hashtbl.find_opt db.class_info cls with
+  | Some i -> i
+  | None -> raise (Errors.No_such_class cls)
+
+let compute_info db (c : class_def) =
+  let parent = Option.map (info db) c.super in
+  let ri_ancestry =
+    c.cname :: (match parent with Some p -> p.ri_ancestry | None -> [])
+  in
+  let ri_reactive =
+    c.reactive || match parent with Some p -> p.ri_reactive | None -> false
+  in
+  (* Effective event interface: inherited entries, overridden by our own. *)
+  let ri_iface = Hashtbl.create 8 in
+  (match parent with
+  | Some p -> Hashtbl.iter (Hashtbl.replace ri_iface) p.ri_iface
+  | None -> ());
+  Hashtbl.iter (Hashtbl.replace ri_iface) c.interface;
+  { ri_reactive; ri_ancestry; ri_iface }
+
+let define_class db (c : class_def) =
+  if Hashtbl.mem db.classes c.cname then raise (Errors.Duplicate_class c.cname);
+  (match c.super with
+  | Some s when not (Hashtbl.mem db.classes s) ->
+    raise (Errors.No_such_class s)
+  | _ -> ());
+  Hashtbl.replace db.classes c.cname c;
+  let ri = compute_info db c in
+  (* Every event-interface method must resolve along the chain. *)
+  let check_event m _ = ignore (Schema.lookup_method db c.cname m) in
+  (try Hashtbl.iter check_event c.interface
+   with e ->
+     Hashtbl.remove db.classes c.cname;
+     raise e);
+  if Hashtbl.length c.interface > 0 && not ri.ri_reactive then begin
+    Hashtbl.remove db.classes c.cname;
+    Errors.type_error "class %s declares an event interface but is not reactive"
+      c.cname
+  end;
+  Hashtbl.replace db.class_info c.cname ri
+
+let classes db = Hashtbl.fold (fun name _ acc -> name :: acc) db.classes []
+let has_class db name = Hashtbl.mem db.classes name
+
+(* --- objects ------------------------------------------------------------ *)
+
+let new_object db ?(attrs = []) cls =
+  if not (Hashtbl.mem db.classes cls) then raise (Errors.No_such_class cls);
+  let spec = Schema.all_attrs db cls in
+  let tbl = Hashtbl.create (max 4 (List.length spec)) in
+  List.iter (fun (name, default) -> Hashtbl.replace tbl name default) spec;
+  let put (name, v) =
+    if not (Hashtbl.mem tbl name) then raise (Errors.No_such_attribute (cls, name));
+    Hashtbl.replace tbl name v
+  in
+  List.iter put attrs;
+  let id = Oid.of_int db.next_oid in
+  db.next_oid <- db.next_oid + 1;
+  let o = { id; cls; attrs = tbl; consumers = []; alive = true } in
+  Heap.insert_obj db o;
+  Transaction.log_undo db (U_created id);
+  journal db
+    (J_mutation
+       (M_create
+          ( id,
+            cls,
+            Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+            |> List.sort (fun (a, _) (b, _) -> String.compare a b) )));
+  id
+
+let delete_object db oid =
+  let o = Heap.find_obj db oid in
+  Transaction.log_undo db (U_deleted o);
+  o.alive <- false;
+  Heap.remove_obj db o;
+  journal db (J_mutation (M_delete oid))
+
+let exists db oid =
+  match Oid.Table.find_opt db.objects oid with
+  | Some o -> o.alive
+  | None -> false
+
+let class_of db oid = (Heap.find_obj db oid).cls
+
+let is_instance_of db oid cls =
+  let o = Heap.find_obj db oid in
+  List.exists (String.equal cls) (info db o.cls).ri_ancestry
+
+let get db oid name =
+  let o = Heap.find_obj db oid in
+  match Hashtbl.find_opt o.attrs name with
+  | Some v -> v
+  | None -> raise (Errors.No_such_attribute (o.cls, name))
+
+let get_opt db oid name =
+  let o = Heap.find_obj db oid in
+  Hashtbl.find_opt o.attrs name
+
+let set db oid name v =
+  let o = Heap.find_obj db oid in
+  if not (Hashtbl.mem o.attrs name) then
+    raise (Errors.No_such_attribute (o.cls, name));
+  let old = Heap.raw_set_attr db o name (Some v) in
+  Transaction.log_undo db (U_set_attr (oid, name, old));
+  journal db (J_mutation (M_set (oid, name, v)))
+
+let attrs db oid =
+  let o = Heap.find_obj db oid in
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) o.attrs []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* --- subscription ------------------------------------------------------- *)
+
+let subscribe db ~reactive ~consumer =
+  let o = Heap.find_obj db reactive in
+  if not (List.exists (Oid.equal consumer) o.consumers) then begin
+    Transaction.log_undo db (U_consumers (reactive, o.consumers));
+    o.consumers <- o.consumers @ [ consumer ];
+    journal db (J_mutation (M_subscribe (reactive, consumer)))
+  end
+
+let unsubscribe db ~reactive ~consumer =
+  let o = Heap.find_obj db reactive in
+  if List.exists (Oid.equal consumer) o.consumers then begin
+    Transaction.log_undo db (U_consumers (reactive, o.consumers));
+    o.consumers <- List.filter (fun c -> not (Oid.equal c consumer)) o.consumers;
+    journal db (J_mutation (M_unsubscribe (reactive, consumer)))
+  end
+
+let consumers_of db oid = (Heap.find_obj db oid).consumers
+
+let class_consumers_of db cls =
+  if not (Hashtbl.mem db.classes cls) then raise (Errors.No_such_class cls);
+  Option.value ~default:[] (Hashtbl.find_opt db.class_consumers cls)
+
+let subscribe_class db ~cls ~consumer =
+  let old = class_consumers_of db cls in
+  if not (List.exists (Oid.equal consumer) old) then begin
+    Transaction.log_undo db (U_class_consumers (cls, old));
+    Hashtbl.replace db.class_consumers cls (old @ [ consumer ]);
+    journal db (J_mutation (M_subscribe_class (cls, consumer)))
+  end
+
+let unsubscribe_class db ~cls ~consumer =
+  let old = class_consumers_of db cls in
+  if List.exists (Oid.equal consumer) old then begin
+    Transaction.log_undo db (U_class_consumers (cls, old));
+    Hashtbl.replace db.class_consumers cls
+      (List.filter (fun c -> not (Oid.equal c consumer)) old);
+    journal db (J_mutation (M_unsubscribe_class (cls, consumer)))
+  end
+
+let set_notify db f = db.notify <- f
+let add_tap db f = db.taps <- db.taps @ [ f ]
+let clear_taps db = db.taps <- []
+
+(* --- event generation and delivery -------------------------------------- *)
+
+let deliver db (o : obj) occ =
+  db.stats.events_generated <- db.stats.events_generated + 1;
+  List.iter (fun tap -> tap db occ) db.taps;
+  (* Instance-level consumers first, then class-level ones along the chain;
+     a consumer subscribed both ways hears the occurrence once. *)
+  let seen = ref Oid.Set.empty in
+  let notify_once c =
+    if not (Oid.Set.mem c !seen) then begin
+      seen := Oid.Set.add c !seen;
+      db.stats.notifications <- db.stats.notifications + 1;
+      db.notify db ~consumer:c occ
+    end
+  in
+  List.iter notify_once o.consumers;
+  let class_level cls =
+    match Hashtbl.find_opt db.class_consumers cls with
+    | Some cs -> List.iter notify_once cs
+    | None -> ()
+  in
+  List.iter class_level (info db o.cls).ri_ancestry
+
+let make_occurrence db (o : obj) meth modifier params =
+  { source = o.id; source_class = o.cls; meth; modifier; params; at = tick db }
+
+let signal db ~source ~meth ~modifier params =
+  let o = Heap.find_obj db source in
+  deliver db o (make_occurrence db o meth modifier params)
+
+let send db receiver meth args =
+  let o = Heap.find_obj db receiver in
+  db.stats.sends <- db.stats.sends + 1;
+  let m = Schema.lookup_method db o.cls meth in
+  let ri = info db o.cls in
+  if not ri.ri_reactive then m.impl db receiver args
+  else begin
+    match Hashtbl.find_opt ri.ri_iface meth with
+    | None -> m.impl db receiver args
+    | Some entry ->
+      if entry.on_begin then
+        deliver db o (make_occurrence db o meth Before args);
+      let result = m.impl db receiver args in
+      if entry.on_end then deliver db o (make_occurrence db o meth After args);
+      result
+  end
+
+(* --- extents and indexes ------------------------------------------------ *)
+
+let subclasses db cls =
+  Hashtbl.fold
+    (fun name i acc ->
+      if List.exists (String.equal cls) i.ri_ancestry then name :: acc else acc)
+    db.class_info []
+
+let extent db ?(deep = true) cls =
+  if not (Hashtbl.mem db.classes cls) then raise (Errors.No_such_class cls);
+  let of_class c =
+    match Hashtbl.find_opt db.extents c with
+    | None -> []
+    | Some t -> Oid.Table.fold (fun oid () acc -> oid :: acc) t []
+  in
+  let oids = if deep then List.concat_map of_class (subclasses db cls) else of_class cls in
+  List.sort Oid.compare oids
+
+let create_index db ?(kind = `Hash) ~cls ~attr () =
+  if not (Hashtbl.mem db.classes cls) then raise (Errors.No_such_class cls);
+  if not (Hashtbl.mem db.indexes (cls, attr)) then begin
+    let ix_backing =
+      match kind with
+      | `Hash -> Ix_hash (Hashtbl.create 64)
+      | `Ordered -> Ix_ordered (Btree.create ())
+    in
+    let ix = { ix_class = cls; ix_attr = attr; ix_backing } in
+    Hashtbl.replace db.indexes (cls, attr) ix;
+    let add oid =
+      let o = Heap.find_obj db oid in
+      match Hashtbl.find_opt o.attrs attr with
+      | Some v -> Heap.index_add ix v oid
+      | None -> ()
+    in
+    List.iter add (extent db ~deep:true cls);
+    journal db (J_mutation (M_create_index (cls, attr, kind = `Ordered)))
+  end
+
+let drop_index db ~cls ~attr =
+  if Hashtbl.mem db.indexes (cls, attr) then begin
+    Hashtbl.remove db.indexes (cls, attr);
+    journal db (J_mutation (M_drop_index (cls, attr)))
+  end
+let has_index db ~cls ~attr = Hashtbl.mem db.indexes (cls, attr)
+
+let index_kind db ~cls ~attr =
+  match Hashtbl.find_opt db.indexes (cls, attr) with
+  | None -> None
+  | Some { ix_backing = Ix_hash _; _ } -> Some `Hash
+  | Some { ix_backing = Ix_ordered _; _ } -> Some `Ordered
+
+let find_index db ~cls ~attr =
+  match Hashtbl.find_opt db.indexes (cls, attr) with
+  | None -> Errors.type_error "no index on %s.%s" cls attr
+  | Some ix -> ix
+
+let index_lookup db ~cls ~attr v =
+  match (find_index db ~cls ~attr).ix_backing with
+  | Ix_hash entries -> (
+    match Hashtbl.find_opt entries v with
+    | None -> []
+    | Some bucket ->
+      Oid.Table.fold (fun oid () acc -> oid :: acc) bucket []
+      |> List.sort Oid.compare)
+  | Ix_ordered tree -> Btree.find tree v
+
+let index_range db ~cls ~attr ?lo ?hi () =
+  match (find_index db ~cls ~attr).ix_backing with
+  | Ix_hash _ ->
+    Errors.type_error "index on %s.%s is a hash index; ranges need ~kind:`Ordered"
+      cls attr
+  | Ix_ordered tree ->
+    Btree.range tree ?lo ?hi () |> List.concat_map snd |> List.sort Oid.compare

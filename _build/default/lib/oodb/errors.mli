@@ -1,0 +1,30 @@
+(** Exceptions shared by the substrate and the rule layer. *)
+
+exception No_such_class of string
+exception Duplicate_class of string
+exception No_such_object of Oid.t
+exception Dead_object of Oid.t  (** the OID named a deleted object *)
+
+exception No_such_method of string * string
+(** [(class, method)]: message not understood anywhere along the chain. *)
+
+exception No_such_attribute of string * string  (** [(class, attribute)] *)
+
+exception Type_error of string
+
+exception Transaction_error of string
+(** commit/abort without an open transaction, and similar misuse. *)
+
+exception Lock_conflict of Oid.t * string
+(** A session could not acquire a lock (holder description attached).
+    No-wait two-phase locking: the requester should abort and retry. *)
+
+exception Rule_abort of string
+(** Raised by a rule action (or an Ode hard constraint) to abort the
+    triggering transaction — the paper's [A: abort] in Figure 9. *)
+
+exception Parse_error of string
+(** Event-signature or persistence-format syntax errors. *)
+
+val type_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [type_error fmt ...] raises {!Type_error} with a formatted message. *)

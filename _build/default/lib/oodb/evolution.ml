@@ -1,0 +1,102 @@
+open Types
+
+let ddl_guard db what =
+  if Transaction.in_progress db then
+    raise
+      (Errors.Transaction_error
+         (Printf.sprintf "%s is DDL and cannot run inside a transaction" what))
+
+(* Re-derive the flattened class_info caches for [cls] and everything below
+   it.  Parents first, so each recomputation sees fresh parent info. *)
+let refresh_info db cls =
+  let affected =
+    Hashtbl.fold
+      (fun name info acc ->
+        if List.exists (String.equal cls) info.ri_ancestry then
+          (name, List.length info.ri_ancestry) :: acc
+        else acc)
+      db.class_info []
+    |> List.sort (fun (_, d1) (_, d2) -> Int.compare d1 d2)
+  in
+  List.iter
+    (fun (name, _) ->
+      Hashtbl.replace db.class_info name
+        (Db.compute_info db (Schema.find db name)))
+    affected
+
+let declares_attr (c : class_def) attr = List.mem_assoc attr c.attr_spec
+
+let subclasses_declaring db cls attr =
+  Hashtbl.fold
+    (fun name info acc ->
+      if
+        List.exists (String.equal cls) info.ri_ancestry
+        && declares_attr (Schema.find db name) attr
+      then name :: acc
+      else acc)
+    db.class_info []
+
+let add_attribute db ~cls ~attr ~default =
+  ddl_guard db "add_attribute";
+  let c = Schema.find db cls in
+  if List.mem_assoc attr (Schema.all_attrs db cls) then
+    Errors.type_error "class %s already has attribute %s (possibly inherited)"
+      cls attr;
+  (match subclasses_declaring db cls attr with
+  | [] -> ()
+  | sub :: _ ->
+    Errors.type_error "subclass %s already declares attribute %s" sub attr);
+  c.attr_spec <- c.attr_spec @ [ (attr, default) ];
+  (* backfill every stored instance of the class and its subclasses *)
+  let instances = Db.extent db ~deep:true cls in
+  List.iter
+    (fun oid ->
+      let o = Heap.find_obj db oid in
+      if not (Hashtbl.mem o.attrs attr) then
+        ignore (Heap.raw_set_attr db o attr (Some default)))
+    instances;
+  List.length instances
+
+let remove_attribute db ~cls ~attr =
+  ddl_guard db "remove_attribute";
+  let c = Schema.find db cls in
+  if not (declares_attr c attr) then
+    Errors.type_error "class %s does not itself declare attribute %s" cls attr;
+  c.attr_spec <- List.remove_assoc attr c.attr_spec;
+  let instances = Db.extent db ~deep:true cls in
+  List.iter
+    (fun oid ->
+      let o = Heap.find_obj db oid in
+      if Hashtbl.mem o.attrs attr then ignore (Heap.raw_set_attr db o attr None))
+    instances;
+  List.length instances
+
+let add_method db ~cls mname impl =
+  ddl_guard db "add_method";
+  let c = Schema.find db cls in
+  if Hashtbl.mem c.methods mname then
+    Errors.type_error "class %s already defines method %s" cls mname;
+  Hashtbl.replace c.methods mname { mname; impl }
+
+let add_event_generator db ~cls ~meth when_ =
+  ddl_guard db "add_event_generator";
+  let c = Schema.find db cls in
+  (* the method must be understood by instances of this class *)
+  let (_ : method_def) = Schema.lookup_method db cls meth in
+  let entry =
+    match when_ with
+    | Schema.On_begin -> { on_begin = true; on_end = false }
+    | Schema.On_end -> { on_begin = false; on_end = true }
+    | Schema.On_both -> { on_begin = true; on_end = true }
+  in
+  Hashtbl.replace c.interface meth entry;
+  if not c.reactive then c.reactive <- true;
+  refresh_info db cls
+
+let remove_event_generator db ~cls ~meth =
+  ddl_guard db "remove_event_generator";
+  let c = Schema.find db cls in
+  if Hashtbl.mem c.interface meth then begin
+    Hashtbl.remove c.interface meth;
+    refresh_info db cls
+  end

@@ -1,0 +1,46 @@
+(** Runtime schema evolution.
+
+    The paper's §2 motivation: systems that fix behaviour at
+    class-definition time "present some difficulties to already existing
+    and stored instances of the class, thereby compromising the
+    extensibility of the system".  This module evolves live classes:
+
+    - {!add_attribute} extends a class and {e backfills} every stored
+      instance (its own and its subclasses') with the default;
+    - {!add_method} teaches a class a new message;
+    - {!add_event_generator} promotes an existing method to a primitive
+      event generator — the key move: an object designed without monitoring
+      in mind becomes monitorable without touching its definition source or
+      its stored instances;
+    - {!remove_event_generator} demotes it again.
+
+    Schema changes are DDL: they auto-commit and are refused inside a
+    transaction (the attribute backfill is not undoable).  Like class
+    registration itself, they are code-level and therefore not persisted —
+    an application that evolves its schema re-applies the evolution after
+    registering classes, before loading data. *)
+
+val add_attribute : Db.t -> cls:string -> attr:string -> default:Value.t -> int
+(** Returns the number of instances backfilled.
+    @raise Errors.Type_error when the attribute already exists anywhere in
+    the inheritance chain (or is declared by a subclass)
+    @raise Errors.Transaction_error inside a transaction *)
+
+val remove_attribute : Db.t -> cls:string -> attr:string -> int
+(** Drop an attribute declared by exactly this class; removes the stored
+    value from every instance (and any index on it).  Returns instances
+    touched.
+    @raise Errors.Type_error when the class does not itself declare it *)
+
+val add_method : Db.t -> cls:string -> string -> Schema.method_impl -> unit
+(** @raise Errors.Type_error when the class already defines the method
+    (inherited methods may be overridden). *)
+
+val add_event_generator : Db.t -> cls:string -> meth:string -> Schema.event_when -> unit
+(** Declare that invocations of [meth] (which must resolve on [cls])
+    generate events; makes the class reactive if it was passive.
+    Overwrites an existing entry for the method on this class. *)
+
+val remove_event_generator : Db.t -> cls:string -> meth:string -> unit
+(** Remove this class's own interface entry for the method (an inherited
+    entry, if any, becomes visible again).  No-op when absent. *)

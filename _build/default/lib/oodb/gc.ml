@@ -1,0 +1,41 @@
+let rec value_refs acc (v : Value.t) =
+  match v with
+  | Value.Obj o -> o :: acc
+  | Value.List vs -> List.fold_left value_refs acc vs
+  | Value.Null | Value.Bool _ | Value.Int _ | Value.Float _ | Value.Str _ -> acc
+
+(* OIDs directly referenced by one object: attribute values + consumers. *)
+let direct_refs db oid =
+  let attrs = Db.attrs db oid in
+  let from_attrs = List.fold_left (fun acc (_, v) -> value_refs acc v) [] attrs in
+  Db.consumers_of db oid @ from_attrs
+
+let class_level_roots (db : Db.t) =
+  List.concat_map (fun cls -> Db.class_consumers_of db cls) (Db.classes db)
+
+let reachable db ~roots =
+  let seen = ref Oid.Set.empty in
+  let rec visit oid =
+    if Db.exists db oid && not (Oid.Set.mem oid !seen) then begin
+      seen := Oid.Set.add oid !seen;
+      List.iter visit (direct_refs db oid)
+    end
+  in
+  List.iter visit roots;
+  List.iter visit (class_level_roots db);
+  !seen
+
+let garbage db ~roots =
+  let live = reachable db ~roots in
+  List.concat_map
+    (fun cls ->
+      List.filter
+        (fun oid -> not (Oid.Set.mem oid live))
+        (Db.extent db ~deep:false cls))
+    (Db.classes db)
+  |> List.sort Oid.compare
+
+let collect db ~roots =
+  let victims = garbage db ~roots in
+  List.iter (Db.delete_object db) victims;
+  List.length victims

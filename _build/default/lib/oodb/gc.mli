@@ -1,0 +1,27 @@
+(** Reachability analysis and garbage collection of stored objects.
+
+    Objects reference each other through [Obj]-valued attributes (including
+    inside lists), through subscription consumer lists, and through
+    class-level consumer registrations.  Given a set of roots, {!reachable}
+    computes the transitively reachable objects and {!collect} deletes the
+    rest — the persistent-store analogue of tracing collection.
+
+    Class-level consumers are treated as roots themselves: a rule
+    subscribed to a whole class must survive even when no instance
+    currently references it.
+
+    Collection is a bulk delete: it runs through {!Db.delete_object}, so it
+    is undo-logged (collect inside a transaction and abort to preview) and
+    journaled to an attached WAL. *)
+
+val reachable : Db.t -> roots:Oid.t list -> Oid.Set.t
+(** Transitive closure over attribute references, consumer lists and (from
+    any reachable object) nothing else; unknown/dead root OIDs are
+    ignored. *)
+
+val garbage : Db.t -> roots:Oid.t list -> Oid.t list
+(** Live objects not reachable from [roots] ∪ class-level consumers, in
+    OID order. *)
+
+val collect : Db.t -> roots:Oid.t list -> int
+(** Delete all garbage; returns how many objects were removed. *)

@@ -1,0 +1,99 @@
+(* Raw heap mutations shared by Db (the logging, event-raising front door)
+   and Transaction (undo replay).  Nothing here logs undo records or raises
+   events; callers are responsible for that. *)
+
+open Types
+
+let find_obj db oid =
+  match Oid.Table.find_opt db.objects oid with
+  | None -> raise (Errors.No_such_object oid)
+  | Some o when not o.alive -> raise (Errors.Dead_object oid)
+  | Some o -> o
+
+let find_obj_any db oid =
+  (* Used by undo replay, which may legitimately touch dead objects. *)
+  match Oid.Table.find_opt db.objects oid with
+  | None -> raise (Errors.No_such_object oid)
+  | Some o -> o
+
+let extent_table db cls =
+  match Hashtbl.find_opt db.extents cls with
+  | Some t -> t
+  | None ->
+    let t = Oid.Table.create 16 in
+    Hashtbl.replace db.extents cls t;
+    t
+
+let add_to_extent db cls oid = Oid.Table.replace (extent_table db cls) oid ()
+let remove_from_extent db cls oid = Oid.Table.remove (extent_table db cls) oid
+
+(* All indexes that cover attribute [attr] of an instance whose runtime class
+   is [cls]: an index declared on (C, a) covers instances of C and of every
+   subclass of C. *)
+let covering_indexes db cls attr =
+  List.filter_map
+    (fun c -> Hashtbl.find_opt db.indexes (c, attr))
+    (Schema.ancestry db cls)
+
+let index_remove ix v oid =
+  match ix.ix_backing with
+  | Ix_hash entries -> (
+    match Hashtbl.find_opt entries v with
+    | None -> ()
+    | Some bucket ->
+      Oid.Table.remove bucket oid;
+      if Oid.Table.length bucket = 0 then Hashtbl.remove entries v)
+  | Ix_ordered tree -> Btree.remove tree v oid
+
+let index_add ix v oid =
+  match ix.ix_backing with
+  | Ix_hash entries ->
+    let bucket =
+      match Hashtbl.find_opt entries v with
+      | Some b -> b
+      | None ->
+        let b = Oid.Table.create 4 in
+        Hashtbl.replace entries v b;
+        b
+    in
+    Oid.Table.replace bucket oid ()
+  | Ix_ordered tree -> Btree.insert tree v oid
+
+(* Set or remove ([v = None]) an attribute, keeping covering indexes in
+   sync.  Returns the previous binding. *)
+let raw_set_attr db o name v =
+  let old = Hashtbl.find_opt o.attrs name in
+  let ixs = covering_indexes db o.cls name in
+  List.iter
+    (fun ix -> match old with Some ov -> index_remove ix ov o.id | None -> ())
+    ixs;
+  (match v with
+  | Some nv ->
+    Hashtbl.replace o.attrs name nv;
+    List.iter (fun ix -> index_add ix nv o.id) ixs
+  | None -> Hashtbl.remove o.attrs name);
+  old
+
+let index_all_attrs db o =
+  Hashtbl.iter
+    (fun name v ->
+      List.iter (fun ix -> index_add ix v o.id) (covering_indexes db o.cls name))
+    o.attrs
+
+let unindex_all_attrs db o =
+  Hashtbl.iter
+    (fun name v ->
+      List.iter
+        (fun ix -> index_remove ix v o.id)
+        (covering_indexes db o.cls name))
+    o.attrs
+
+let insert_obj db o =
+  Oid.Table.replace db.objects o.id o;
+  add_to_extent db o.cls o.id;
+  index_all_attrs db o
+
+let remove_obj db o =
+  unindex_all_attrs db o;
+  remove_from_extent db o.cls o.id;
+  Oid.Table.remove db.objects o.id

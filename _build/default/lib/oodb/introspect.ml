@@ -1,0 +1,104 @@
+type class_stats = {
+  cs_name : string;
+  cs_super : string option;
+  cs_reactive : bool;
+  cs_attributes : (string * Value.t) list;
+  cs_methods : string list;
+  cs_event_interface : (string * Types.interface_entry) list;
+  cs_direct_instances : int;
+  cs_deep_instances : int;
+}
+
+let class_stats db name =
+  let c = Schema.find db name in
+  let interface =
+    List.filter_map
+      (fun meth ->
+        match Schema.lookup_interface db name meth with
+        | Some e -> Some (meth, e)
+        | None -> None)
+      (Schema.methods_of db name)
+  in
+  {
+    cs_name = name;
+    cs_super = c.Types.super;
+    cs_reactive = Schema.is_reactive db name;
+    cs_attributes = Schema.all_attrs db name;
+    cs_methods = List.sort compare (Schema.methods_of db name);
+    cs_event_interface = interface;
+    cs_direct_instances = List.length (Db.extent db ~deep:false name);
+    cs_deep_instances = List.length (Db.extent db ~deep:true name);
+  }
+
+let attribute_histogram db ~cls ~attr ?(top = 10) () =
+  let counts = Hashtbl.create 32 in
+  List.iter
+    (fun oid ->
+      match Db.get_opt db oid attr with
+      | Some v ->
+        Hashtbl.replace counts v
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+      | None -> ())
+    (Db.extent db ~deep:true cls);
+  Hashtbl.fold (fun v n acc -> (v, n) :: acc) counts []
+  |> List.sort (fun (v1, n1) (v2, n2) ->
+         let c = Int.compare n2 n1 in
+         if c <> 0 then c else Value.compare v1 v2)
+  |> List.filteri (fun i _ -> i < top)
+
+let subscription_count db =
+  List.fold_left
+    (fun acc cls ->
+      List.fold_left
+        (fun acc oid -> acc + List.length (Db.consumers_of db oid))
+        acc
+        (Db.extent db ~deep:false cls))
+    0 (Db.classes db)
+
+let entry_label (e : Types.interface_entry) =
+  match (e.on_begin, e.on_end) with
+  | true, true -> "begin && end"
+  | true, false -> "begin"
+  | false, true -> "end"
+  | false, false -> "none"
+
+let pp_class ppf stats =
+  Format.fprintf ppf "class %s%s%s  (%d direct / %d deep instance(s))@."
+    stats.cs_name
+    (match stats.cs_super with Some s -> " : " ^ s | None -> "")
+    (if stats.cs_reactive then "  [reactive]" else "")
+    stats.cs_direct_instances stats.cs_deep_instances;
+  List.iter
+    (fun (name, default) ->
+      Format.fprintf ppf "  attr %-16s default %s@." name (Value.to_string default))
+    stats.cs_attributes;
+  List.iter
+    (fun meth ->
+      let evt =
+        match List.assoc_opt meth stats.cs_event_interface with
+        | Some e -> "  [event " ^ entry_label e ^ "]"
+        | None -> ""
+      in
+      Format.fprintf ppf "  method %s%s@." meth evt)
+    stats.cs_methods
+
+let pp_schema ppf db =
+  List.iter
+    (fun name -> pp_class ppf (class_stats db name))
+    (List.sort compare (Db.classes db))
+
+let pp_summary ppf db =
+  let total_objects =
+    List.fold_left
+      (fun acc cls -> acc + List.length (Db.extent db ~deep:false cls))
+      0 (Db.classes db)
+  in
+  let s = Db.stats db in
+  Format.fprintf ppf
+    "%d object(s) across %d class(es); logical clock %d; %d subscription \
+     edge(s); stats: %d sends, %d events, %d notifications, %d commits, %d \
+     aborts@."
+    total_objects
+    (List.length (Db.classes db))
+    (Db.now db) (subscription_count db) s.Types.sends s.Types.events_generated
+    s.Types.notifications s.Types.txns_committed s.Types.txns_aborted

@@ -1,0 +1,33 @@
+(** Introspection: human-readable reports over a live database.
+
+    Backs the CLI's [inspect] output and debugging sessions; everything here
+    is read-only. *)
+
+type class_stats = {
+  cs_name : string;
+  cs_super : string option;
+  cs_reactive : bool;
+  cs_attributes : (string * Value.t) list;  (** merged spec with defaults *)
+  cs_methods : string list;
+  cs_event_interface : (string * Types.interface_entry) list;
+  cs_direct_instances : int;
+  cs_deep_instances : int;
+}
+
+val class_stats : Db.t -> string -> class_stats
+(** @raise Errors.No_such_class *)
+
+val attribute_histogram :
+  Db.t -> cls:string -> attr:string -> ?top:int -> unit -> (Value.t * int) list
+(** The [top] (default 10) most frequent values of an attribute over the
+    deep extent, most frequent first. *)
+
+val subscription_count : Db.t -> int
+(** Total instance-level subscription edges. *)
+
+val pp_schema : Format.formatter -> Db.t -> unit
+(** Every class: inheritance, attributes, methods, event interface. *)
+
+val pp_summary : Format.formatter -> Db.t -> unit
+(** One-paragraph database summary: objects, classes, indexes, clock,
+    subscription edges, statistics counters. *)

@@ -1,0 +1,46 @@
+type t = Types.occurrence = {
+  source : Oid.t;
+  source_class : string;
+  meth : string;
+  modifier : Types.modifier;
+  params : Value.t list;
+  at : Types.timestamp;
+}
+
+let make ~source ~source_class ~meth ~modifier ~params ~at =
+  { source; source_class; meth; modifier; params; at }
+
+let modifier_to_string = function Types.Before -> "begin" | Types.After -> "end"
+
+let modifier_of_string = function
+  | "begin" | "before" -> Types.Before
+  | "end" | "after" -> Types.After
+  | s -> raise (Errors.Parse_error ("unknown event modifier: " ^ s))
+
+let equal a b =
+  a.at = b.at
+  && Oid.equal a.source b.source
+  && String.equal a.meth b.meth
+  && a.modifier = b.modifier
+  && String.equal a.source_class b.source_class
+  && List.equal Value.equal a.params b.params
+
+let compare a b =
+  let c = Int.compare a.at b.at in
+  if c <> 0 then c
+  else
+    let c = Oid.compare a.source b.source in
+    if c <> 0 then c else String.compare a.meth b.meth
+
+let pp ppf o =
+  Format.fprintf ppf "%s %s::%s%a@@t%d" (modifier_to_string o.modifier)
+    o.source_class o.meth
+    (fun ppf params ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           Value.pp)
+        params)
+    o.params o.at
+
+let to_string o = Format.asprintf "%a" pp o

@@ -1,0 +1,36 @@
+(** Primitive event occurrences.
+
+    The record itself is defined in {!Types} (it is part of the recursive
+    knot); this module provides construction, comparison and printing. *)
+
+type t = Types.occurrence = {
+  source : Oid.t;
+  source_class : string;
+  meth : string;
+  modifier : Types.modifier;
+  params : Value.t list;
+  at : Types.timestamp;
+}
+
+val make :
+  source:Oid.t ->
+  source_class:string ->
+  meth:string ->
+  modifier:Types.modifier ->
+  params:Value.t list ->
+  at:Types.timestamp ->
+  t
+
+val modifier_to_string : Types.modifier -> string
+(** ["begin"] / ["end"], matching the paper's event-signature syntax. *)
+
+val modifier_of_string : string -> Types.modifier
+(** Accepts ["begin"], ["before"], ["end"], ["after"].
+    @raise Errors.Parse_error otherwise. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Ordered by timestamp, then source, then method. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

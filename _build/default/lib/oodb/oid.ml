@@ -1,0 +1,22 @@
+type t = int
+
+let of_int n = n
+let to_int n = n
+let equal = Int.equal
+let compare = Int.compare
+let hash = Hashtbl.hash
+let pp ppf n = Format.fprintf ppf "@@%d" n
+let to_string n = "@" ^ string_of_int n
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

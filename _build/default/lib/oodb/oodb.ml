@@ -1,0 +1,31 @@
+(** The object-database substrate — the role Zeitgeist plays in the paper.
+
+    Start at {!Db} (object lifecycle, message dispatch, subscription) and
+    {!Schema} (class definitions with event interfaces).  The storage
+    services around them: {!Transaction} (nested, undo-logged), {!Persist}
+    (snapshots), {!Wal} (write-ahead logging and crash recovery), {!Query}
+    / {!Query_parser} (predicate selection with index planning), {!Btree}
+    (ordered index backing), {!Evolution} (runtime schema changes), {!Gc}
+    (reachability collection) and {!Introspect} (reports).
+
+    {!Types} holds the shared record definitions; {!Occurrence} is the
+    primitive-event record the event layer consumes. *)
+
+module Oid = Oid
+module Value = Value
+module Errors = Errors
+module Types = Types
+module Schema = Schema
+module Transaction = Transaction
+module Db = Db
+module Occurrence = Occurrence
+module Query = Query
+module Query_parser = Query_parser
+module Persist = Persist
+module Btree = Btree
+module Wal = Wal
+module Evolution = Evolution
+module Gc = Gc
+module Introspect = Introspect
+module Session = Session
+module Verify = Verify

@@ -1,0 +1,317 @@
+open Types
+
+let magic = "SENTINELDB 1"
+
+(* --- value encoding ------------------------------------------------------
+   Single-token grammar (no whitespace):
+     n | b:t | b:f | i:<int> | f:<hex float> | o:<int>
+     s:<escaped>          %XX-escaping for bytes outside the safe set
+     l(<enc>,<enc>,...)   recursive; l() is the empty list                  *)
+
+let safe_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> true
+  | '.' | '-' | '_' | '/' | '@' | '!' | '?' | '+' | '*' | '=' | '<' | '>' -> true
+  | _ -> false
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if safe_char c then Buffer.add_char buf c
+      else Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c)))
+    s;
+  Buffer.contents buf
+
+let rec encode_value = function
+  | Value.Null -> "n"
+  | Value.Bool true -> "b:t"
+  | Value.Bool false -> "b:f"
+  | Value.Int n -> "i:" ^ string_of_int n
+  | Value.Float f -> Printf.sprintf "f:%h" f
+  | Value.Str s -> "s:" ^ escape s
+  | Value.Obj o -> "o:" ^ string_of_int (Oid.to_int o)
+  | Value.List vs -> "l(" ^ String.concat "," (List.map encode_value vs) ^ ")"
+
+exception Bad of string
+
+let parse_error fmt = Printf.ksprintf (fun s -> raise (Errors.Parse_error s)) fmt
+
+(* Cursor-based recursive descent over the token. *)
+let decode_value s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let expect c =
+    match peek () with
+    | Some x when x = c -> advance ()
+    | _ -> raise (Bad (Printf.sprintf "expected %c at %d" c !pos))
+  in
+  (* scan until one of the delimiters [,)] or end of string *)
+  let scan_token () =
+    let start = !pos in
+    while !pos < n && s.[!pos] <> ',' && s.[!pos] <> ')' do
+      advance ()
+    done;
+    String.sub s start (!pos - start)
+  in
+  let unescape t =
+    let buf = Buffer.create (String.length t) in
+    let i = ref 0 in
+    let m = String.length t in
+    while !i < m do
+      if t.[!i] = '%' then begin
+        if !i + 2 >= m then raise (Bad "truncated escape");
+        let hex = String.sub t (!i + 1) 2 in
+        (match int_of_string_opt ("0x" ^ hex) with
+        | Some code -> Buffer.add_char buf (Char.chr code)
+        | None -> raise (Bad ("bad escape %" ^ hex)));
+        i := !i + 3
+      end
+      else begin
+        Buffer.add_char buf t.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents buf
+  in
+  let rec value () =
+    match peek () with
+    | None -> raise (Bad "empty value")
+    | Some 'n' ->
+      advance ();
+      Value.Null
+    | Some 'b' ->
+      advance ();
+      expect ':';
+      (match peek () with
+      | Some 't' ->
+        advance ();
+        Value.Bool true
+      | Some 'f' ->
+        advance ();
+        Value.Bool false
+      | _ -> raise (Bad "bad bool"))
+    | Some 'i' ->
+      advance ();
+      expect ':';
+      let t = scan_token () in
+      (match int_of_string_opt t with
+      | Some v -> Value.Int v
+      | None -> raise (Bad ("bad int " ^ t)))
+    | Some 'f' ->
+      advance ();
+      expect ':';
+      let t = scan_token () in
+      (match float_of_string_opt t with
+      | Some v -> Value.Float v
+      | None -> raise (Bad ("bad float " ^ t)))
+    | Some 's' ->
+      advance ();
+      expect ':';
+      Value.Str (unescape (scan_token ()))
+    | Some 'o' ->
+      advance ();
+      expect ':';
+      let t = scan_token () in
+      (match int_of_string_opt t with
+      | Some v -> Value.Obj (Oid.of_int v)
+      | None -> raise (Bad ("bad oid " ^ t)))
+    | Some 'l' ->
+      advance ();
+      expect '(';
+      let items = ref [] in
+      (match peek () with
+      | Some ')' -> advance ()
+      | _ ->
+        let rec elems () =
+          items := value () :: !items;
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elems ()
+          | Some ')' -> advance ()
+          | _ -> raise (Bad "unterminated list")
+        in
+        elems ());
+      Value.List (List.rev !items)
+    | Some c -> raise (Bad (Printf.sprintf "unexpected %c" c))
+  in
+  try
+    let v = value () in
+    if !pos <> n then raise (Bad "trailing garbage");
+    v
+  with Bad msg -> parse_error "value %S: %s" s msg
+
+(* --- writing ------------------------------------------------------------ *)
+
+let write db emit =
+  let pr fmt = Printf.ksprintf emit fmt in
+  pr "%s\n" magic;
+  pr "clock %d\n" db.now;
+  pr "nextoid %d\n" db.next_oid;
+  let objs =
+    Oid.Table.fold (fun _ o acc -> o :: acc) db.objects []
+    |> List.sort (fun a b -> Oid.compare a.id b.id)
+  in
+  let write_obj o =
+    pr "obj %d %s\n" (Oid.to_int o.id) o.cls;
+    let attrs =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) o.attrs []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    in
+    List.iter (fun (k, v) -> pr "a %s %s\n" k (encode_value v)) attrs;
+    if o.consumers <> [] then
+      pr "c %s\n"
+        (String.concat " " (List.map (fun c -> string_of_int (Oid.to_int c)) o.consumers));
+    pr "end\n"
+  in
+  List.iter write_obj objs;
+  let ccs =
+    Hashtbl.fold (fun cls cs acc -> (cls, cs) :: acc) db.class_consumers []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (cls, cs) ->
+      if cs <> [] then
+        pr "classcons %s %s\n" cls
+          (String.concat " " (List.map (fun c -> string_of_int (Oid.to_int c)) cs)))
+    ccs;
+  let ixs =
+    Hashtbl.fold (fun key ix acc -> (key, ix) :: acc) db.indexes []
+    |> List.sort compare
+  in
+  List.iter
+    (fun ((cls, attr), ix) ->
+      let kind =
+        match ix.ix_backing with Ix_hash _ -> "hash" | Ix_ordered _ -> "ordered"
+      in
+      pr "index %s %s %s\n" cls attr kind)
+    ixs;
+  pr "EOF\n"
+
+let to_channel db oc = write db (output_string oc)
+
+let to_string db =
+  let buf = Buffer.create 4096 in
+  write db (Buffer.add_string buf);
+  Buffer.contents buf
+
+let save db path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try to_channel db oc
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc;
+  Sys.rename tmp path
+
+(* --- reading ------------------------------------------------------------ *)
+
+let split_words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let read db read_line =
+  if Transaction.in_progress db then
+    raise (Errors.Transaction_error "cannot load during a transaction");
+  if Oid.Table.length db.objects > 0 then
+    raise (Errors.Transaction_error "cannot load into a non-empty database");
+  let lineno = ref 0 in
+  let next_line () =
+    match read_line () with
+    | Some l ->
+      incr lineno;
+      Some l
+    | None -> None
+  in
+  let fail fmt = Printf.ksprintf (fun m -> parse_error "line %d: %s" !lineno m) fmt in
+  (match next_line () with
+  | Some l when l = magic -> ()
+  | _ -> fail "bad magic");
+  let parse_oid w =
+    match int_of_string_opt w with
+    | Some n -> Oid.of_int n
+    | None -> fail "bad oid %s" w
+  in
+  let pending_indexes = ref [] in
+  let read_object oid cls =
+    if not (Db.has_class db cls) then raise (Errors.No_such_class cls);
+    let attrs = Hashtbl.create 8 in
+    let consumers = ref [] in
+    let rec body () =
+      match next_line () with
+      | None -> fail "unterminated object"
+      | Some line -> (
+        match split_words line with
+        | [ "end" ] -> ()
+        | "a" :: name :: [ enc ] ->
+          Hashtbl.replace attrs name (decode_value enc);
+          body ()
+        | "c" :: oids ->
+          consumers := List.map parse_oid oids;
+          body ()
+        | _ -> fail "bad object body: %s" line)
+    in
+    body ();
+    let o = { id = oid; cls; attrs; consumers = !consumers; alive = true } in
+    Heap.insert_obj db o
+  in
+  let rec toplevel () =
+    match next_line () with
+    | None -> fail "missing EOF marker"
+    | Some line -> (
+      match split_words line with
+      | [ "EOF" ] -> ()
+      | [ "clock"; v ] ->
+        db.now <- (match int_of_string_opt v with Some n -> n | None -> fail "bad clock");
+        toplevel ()
+      | [ "nextoid"; v ] ->
+        db.next_oid <-
+          (match int_of_string_opt v with Some n -> n | None -> fail "bad nextoid");
+        toplevel ()
+      | [ "obj"; oid; cls ] ->
+        read_object (parse_oid oid) cls;
+        toplevel ()
+      | "classcons" :: cls :: oids ->
+        if not (Db.has_class db cls) then raise (Errors.No_such_class cls);
+        Hashtbl.replace db.class_consumers cls (List.map parse_oid oids);
+        toplevel ()
+      | [ "index"; cls; attr ] ->
+        pending_indexes := (cls, attr, `Hash) :: !pending_indexes;
+        toplevel ()
+      | [ "index"; cls; attr; kind ] ->
+        let kind =
+          match kind with
+          | "hash" -> `Hash
+          | "ordered" -> `Ordered
+          | other -> fail "unknown index kind %s" other
+        in
+        pending_indexes := (cls, attr, kind) :: !pending_indexes;
+        toplevel ()
+      | [] -> toplevel ()
+      | _ -> fail "bad line: %s" line)
+  in
+  toplevel ();
+  List.iter
+    (fun (cls, attr, kind) -> Db.create_index db ~kind ~cls ~attr ())
+    !pending_indexes
+
+let of_channel db ic = read db (fun () -> In_channel.input_line ic)
+
+let of_string db s =
+  let lines = String.split_on_char '\n' s in
+  let rest = ref lines in
+  let next () =
+    match !rest with
+    | [] -> None
+    | l :: tl ->
+      rest := tl;
+      Some l
+  in
+  read db next
+
+let load db path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> of_channel db ic)

@@ -1,0 +1,39 @@
+(** Persistence — the role Zeitgeist's [zg-pos] class plays in the paper.
+
+    The store is serialized to a line-oriented text format: the logical
+    clock, every live object (OID, class, attributes, consumers list),
+    class-level consumer lists, and index declarations.  Because rule and
+    event objects are ordinary objects, they persist like everything else;
+    what does {e not} persist is executable code — method bodies and rule
+    conditions/actions — which is re-bound from registered classes and the
+    rule layer's function registry after loading, exactly as Sentinel
+    re-links C++ member-function pointers.
+
+    Loading therefore requires the same class definitions to be registered
+    in the target database first; the loader fails on objects of unknown
+    classes. *)
+
+val to_channel : Db.t -> out_channel -> unit
+val to_string : Db.t -> string
+
+val save : Db.t -> string -> unit
+(** [save db path] writes atomically (temp file + rename). *)
+
+val of_channel : Db.t -> in_channel -> unit
+(** [of_channel db ic] populates [db] — which must contain no objects but
+    must already have all needed classes registered — from the stream.
+    @raise Errors.Parse_error on malformed input
+    @raise Errors.No_such_class for objects of unregistered classes
+    @raise Errors.Transaction_error when [db] already contains objects or a
+    transaction is open. *)
+
+val of_string : Db.t -> string -> unit
+val load : Db.t -> string -> unit
+
+(** {1 Value encoding} (exposed for tests) *)
+
+val encode_value : Value.t -> string
+(** Single-token, whitespace-free encoding. *)
+
+val decode_value : string -> Value.t
+(** @raise Errors.Parse_error *)

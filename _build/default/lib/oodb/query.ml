@@ -1,0 +1,117 @@
+type pred =
+  | True
+  | Eq of string * Value.t
+  | Ne of string * Value.t
+  | Lt of string * Value.t
+  | Le of string * Value.t
+  | Gt of string * Value.t
+  | Ge of string * Value.t
+  | Has of string
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+let rec matches db oid p =
+  let attr name = Db.get_opt db oid name in
+  let cmp name v f =
+    match attr name with Some actual -> f (Value.compare actual v) | None -> false
+  in
+  match p with
+  | True -> true
+  | Eq (name, v) -> cmp name v (fun c -> c = 0)
+  | Ne (name, v) -> cmp name v (fun c -> c <> 0)
+  | Lt (name, v) -> cmp name v (fun c -> c < 0)
+  | Le (name, v) -> cmp name v (fun c -> c <= 0)
+  | Gt (name, v) -> cmp name v (fun c -> c > 0)
+  | Ge (name, v) -> cmp name v (fun c -> c >= 0)
+  | Has name -> ( match attr name with Some v -> not (Value.is_null v) | None -> false)
+  | And (a, b) -> matches db oid a && matches db oid b
+  | Or (a, b) -> matches db oid a || matches db oid b
+  | Not a -> not (matches db oid a)
+
+(* Index access-path selection over the predicate's top-level conjuncts:
+   an equality on any index wins; otherwise all comparison conjuncts on one
+   ordered-indexed attribute fold into a single range probe (so
+   [salary >= a AND salary < b] becomes one B+-tree scan). *)
+let rec conjuncts = function
+  | And (a, b) -> conjuncts a @ conjuncts b
+  | p -> [ p ]
+
+(* Tighten (lo, hi) bounds; lo takes the larger lower bound, hi the
+   smaller upper bound.  (value, inclusive) as in Db.index_range. *)
+let tighten_lo current candidate =
+  match (current, candidate) with
+  | None, c -> Some c
+  | Some (v, i), (w, j) ->
+    let cmp = Value.compare v w in
+    if cmp < 0 then Some (w, j)
+    else if cmp > 0 then Some (v, i)
+    else Some (v, i && j)
+
+let tighten_hi current candidate =
+  match (current, candidate) with
+  | None, c -> Some c
+  | Some (v, i), (w, j) ->
+    let cmp = Value.compare v w in
+    if cmp > 0 then Some (w, j)
+    else if cmp < 0 then Some (v, i)
+    else Some (v, i && j)
+
+let indexed_plan db cls p =
+  let cs = conjuncts p in
+  let eq =
+    List.find_map
+      (function
+        | Eq (name, v) when Db.has_index db ~cls ~attr:name -> Some (name, v)
+        | _ -> None)
+      cs
+  in
+  match eq with
+  | Some (attr, v) -> Some (`Eq (attr, v))
+  | None -> (
+    let ordered name = Db.index_kind db ~cls ~attr:name = Some `Ordered in
+    let range_attr =
+      List.find_map
+        (function
+          | (Lt (name, _) | Le (name, _) | Gt (name, _) | Ge (name, _))
+            when ordered name ->
+            Some name
+          | _ -> None)
+        cs
+    in
+    match range_attr with
+    | None -> None
+    | Some attr ->
+      let fold (lo, hi) = function
+        | Lt (name, v) when name = attr -> (lo, tighten_hi hi (v, false))
+        | Le (name, v) when name = attr -> (lo, tighten_hi hi (v, true))
+        | Gt (name, v) when name = attr -> (tighten_lo lo (v, false), hi)
+        | Ge (name, v) when name = attr -> (tighten_lo lo (v, true), hi)
+        | _ -> (lo, hi)
+      in
+      let lo, hi = List.fold_left fold (None, None) cs in
+      Some (`Range (attr, lo, hi)))
+
+let select db ?(deep = true) cls p =
+  let candidates =
+    match if deep then indexed_plan db cls p else None with
+    | Some (`Eq (attr, v)) -> Db.index_lookup db ~cls ~attr v
+    | Some (`Range (attr, lo, hi)) -> Db.index_range db ~cls ~attr ?lo ?hi ()
+    | None -> Db.extent db ~deep cls
+  in
+  List.filter (fun oid -> matches db oid p) candidates
+
+let count db ?deep cls p = List.length (select db ?deep cls p)
+
+let rec pp_pred ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | Eq (a, v) -> Format.fprintf ppf "%s = %a" a Value.pp v
+  | Ne (a, v) -> Format.fprintf ppf "%s <> %a" a Value.pp v
+  | Lt (a, v) -> Format.fprintf ppf "%s < %a" a Value.pp v
+  | Le (a, v) -> Format.fprintf ppf "%s <= %a" a Value.pp v
+  | Gt (a, v) -> Format.fprintf ppf "%s > %a" a Value.pp v
+  | Ge (a, v) -> Format.fprintf ppf "%s >= %a" a Value.pp v
+  | Has a -> Format.fprintf ppf "has %s" a
+  | And (a, b) -> Format.fprintf ppf "(%a and %a)" pp_pred a pp_pred b
+  | Or (a, b) -> Format.fprintf ppf "(%a or %a)" pp_pred a pp_pred b
+  | Not a -> Format.fprintf ppf "(not %a)" pp_pred a

@@ -1,0 +1,34 @@
+(** Predicate-based selection over class extents.
+
+    A small query facility so the substrate is a usable database on its own:
+    conditions and actions of rules, and the examples, select objects by
+    attribute predicates.  Top-level equality conjuncts use a matching hash
+    index when one exists. *)
+
+type pred =
+  | True
+  | Eq of string * Value.t
+  | Ne of string * Value.t
+  | Lt of string * Value.t
+  | Le of string * Value.t
+  | Gt of string * Value.t
+  | Ge of string * Value.t
+  | Has of string  (** attribute present and non-null *)
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+val matches : Db.t -> Oid.t -> pred -> bool
+(** Evaluate a predicate against one object.  A predicate naming an
+    attribute the object lacks is simply false (rather than an error), so
+    queries over heterogeneous deep extents behave sensibly. *)
+
+val select : Db.t -> ?deep:bool -> string -> pred -> Oid.t list
+(** [select db cls p] returns the instances of [cls] (by default including
+    subclasses) satisfying [p], in OID order.  When [p] contains a top-level
+    equality conjunct covered by an index on [cls], candidates come from the
+    index instead of a full extent scan. *)
+
+val count : Db.t -> ?deep:bool -> string -> pred -> int
+
+val pp_pred : Format.formatter -> pred -> unit

@@ -1,0 +1,203 @@
+let fail fmt = Printf.ksprintf (fun m -> raise (Errors.Parse_error m)) fmt
+
+type token =
+  | Word of string
+  | Lit of Value.t
+  | Op of string
+  | Lparen
+  | Rparen
+
+let is_word_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' -> true
+  | _ -> false
+
+let is_num_char = function
+  | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+  | _ -> false
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let push t = tokens := t :: !tokens in
+  while !i < n do
+    (match input.[!i] with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | '(' ->
+      push Lparen;
+      incr i
+    | ')' ->
+      push Rparen;
+      incr i
+    | '=' ->
+      push (Op "=");
+      incr i
+    | '!' when !i + 1 < n && input.[!i + 1] = '=' ->
+      push (Op "!=");
+      i := !i + 2
+    | '<' when !i + 1 < n && input.[!i + 1] = '>' ->
+      push (Op "!=");
+      i := !i + 2
+    | '<' when !i + 1 < n && input.[!i + 1] = '=' ->
+      push (Op "<=");
+      i := !i + 2
+    | '<' ->
+      push (Op "<");
+      incr i
+    | '>' when !i + 1 < n && input.[!i + 1] = '=' ->
+      push (Op ">=");
+      i := !i + 2
+    | '>' ->
+      push (Op ">");
+      incr i
+    | '@' ->
+      incr i;
+      let start = !i in
+      while !i < n && input.[!i] >= '0' && input.[!i] <= '9' do
+        incr i
+      done;
+      let digits = String.sub input start (!i - start) in
+      (match int_of_string_opt digits with
+      | Some v -> push (Lit (Value.Obj (Oid.of_int v)))
+      | None -> fail "query syntax: bad oid literal @%s" digits)
+    | ('\'' | '"') as quote ->
+      incr i;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if input.[!i] = quote then closed := true
+        else Buffer.add_char buf input.[!i];
+        incr i
+      done;
+      if not !closed then fail "query syntax: unterminated string";
+      push (Lit (Value.Str (Buffer.contents buf)))
+    | ('0' .. '9' | '-') ->
+      let start = !i in
+      incr i;
+      while !i < n && is_num_char input.[!i] do
+        incr i
+      done;
+      let text = String.sub input start (!i - start) in
+      (match int_of_string_opt text with
+      | Some v -> push (Lit (Value.Int v))
+      | None -> (
+        match float_of_string_opt text with
+        | Some v -> push (Lit (Value.Float v))
+        | None -> fail "query syntax: bad number %S" text))
+    | c when is_word_char c ->
+      let start = !i in
+      while !i < n && is_word_char input.[!i] do
+        incr i
+      done;
+      push (Word (String.sub input start (!i - start)))
+    | c -> fail "query syntax: unexpected character %C" c)
+  done;
+  List.rev !tokens
+
+type state = { mutable rest : token list }
+
+let peek st = match st.rest with [] -> None | t :: _ -> Some t
+
+let next st =
+  match st.rest with
+  | [] -> fail "query syntax: unexpected end of input"
+  | t :: rest ->
+    st.rest <- rest;
+    t
+
+let keyword = String.lowercase_ascii
+
+let literal_of_word w =
+  match keyword w with
+  | "true" -> Some (Value.Bool true)
+  | "false" -> Some (Value.Bool false)
+  | "null" -> Some Value.Null
+  | _ -> None
+
+let rec parse_pred st =
+  let left = parse_conj st in
+  match peek st with
+  | Some (Word w) when keyword w = "or" ->
+    let _ = next st in
+    Query.Or (left, parse_pred st)
+  | _ -> left
+
+and parse_conj st =
+  let left = parse_unary st in
+  match peek st with
+  | Some (Word w) when keyword w = "and" ->
+    let _ = next st in
+    Query.And (left, parse_conj st)
+  | _ -> left
+
+and parse_unary st =
+  match next st with
+  | Lparen ->
+    let p = parse_pred st in
+    (match next st with
+    | Rparen -> p
+    | _ -> fail "query syntax: expected ')'")
+  | Word w when keyword w = "not" -> Query.Not (parse_unary st)
+  | Word w when keyword w = "true" -> Query.True
+  | Word w when keyword w = "has" -> (
+    match next st with
+    | Word attr -> Query.Has attr
+    | _ -> fail "query syntax: expected attribute after 'has'")
+  | Word attr -> (
+    match next st with
+    | Op op -> (
+      let v =
+        match next st with
+        | Lit v -> v
+        | Word w -> (
+          match literal_of_word w with
+          | Some v -> v
+          | None -> fail "query syntax: expected literal, got %S" w)
+        | _ -> fail "query syntax: expected literal after operator"
+      in
+      match op with
+      | "=" -> Query.Eq (attr, v)
+      | "!=" -> Query.Ne (attr, v)
+      | "<" -> Query.Lt (attr, v)
+      | "<=" -> Query.Le (attr, v)
+      | ">" -> Query.Gt (attr, v)
+      | ">=" -> Query.Ge (attr, v)
+      | _ -> assert false)
+    | _ -> fail "query syntax: expected comparison after %S" attr)
+  | Lit v -> fail "query syntax: dangling literal %s" (Value.to_string v)
+  | Op op -> fail "query syntax: dangling operator %S" op
+  | Rparen -> fail "query syntax: unexpected ')'"
+
+let parse input =
+  let st = { rest = tokenize input } in
+  let p = parse_pred st in
+  if st.rest <> [] then fail "query syntax: trailing tokens in %S" input;
+  p
+
+let literal_to_syntax = function
+  | Value.Null -> "null"
+  | Value.Bool b -> string_of_bool b
+  | Value.Int v -> string_of_int v
+  | Value.Float f ->
+    (* keep the token recognizably a float so it reparses with the same
+       runtime tag *)
+    let s = Printf.sprintf "%.17g" f in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'n' || c = 'i') s then s
+    else s ^ "."
+  | Value.Str s -> "'" ^ s ^ "'"
+  | Value.Obj o -> "@" ^ string_of_int (Oid.to_int o)
+  | Value.List _ ->
+    raise (Errors.Parse_error "query syntax: list literals have no syntax")
+
+let rec to_syntax = function
+  | Query.True -> "true"
+  | Query.Eq (a, v) -> Printf.sprintf "%s = %s" a (literal_to_syntax v)
+  | Query.Ne (a, v) -> Printf.sprintf "%s != %s" a (literal_to_syntax v)
+  | Query.Lt (a, v) -> Printf.sprintf "%s < %s" a (literal_to_syntax v)
+  | Query.Le (a, v) -> Printf.sprintf "%s <= %s" a (literal_to_syntax v)
+  | Query.Gt (a, v) -> Printf.sprintf "%s > %s" a (literal_to_syntax v)
+  | Query.Ge (a, v) -> Printf.sprintf "%s >= %s" a (literal_to_syntax v)
+  | Query.Has a -> "has " ^ a
+  | Query.And (p, q) -> Printf.sprintf "(%s and %s)" (to_syntax p) (to_syntax q)
+  | Query.Or (p, q) -> Printf.sprintf "(%s or %s)" (to_syntax p) (to_syntax q)
+  | Query.Not p -> Printf.sprintf "not (%s)" (to_syntax p)

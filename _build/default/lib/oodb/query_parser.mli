@@ -1,0 +1,22 @@
+(** Concrete syntax for query predicates.
+
+    Grammar (case-insensitive keywords):
+
+    {v pred   ::= conj ("or" conj)*
+       conj   ::= unary ("and" unary)*
+       unary  ::= "not" unary | "(" pred ")" | "true"
+                | "has" attr
+                | attr op literal
+       op     ::= "=" | "!=" | "<>" | "<" | "<=" | ">" | ">="
+       literal::= integer | float | 'text' | "text"
+                | "true" | "false" | "null" | @oid v}
+
+    Examples: ["salary >= 1000 and salary < 2000"],
+    ["not (name = 'bob') or mgr = @7"], ["has mgr and age > 30"]. *)
+
+val parse : string -> Query.pred
+(** @raise Errors.Parse_error *)
+
+val to_syntax : Query.pred -> string
+(** Render back to parsable syntax; [parse (to_syntax p)] is structurally
+    equal to [p]. *)

@@ -1,0 +1,106 @@
+open Types
+
+type t = class_def
+type event_when = On_begin | On_end | On_both
+type method_impl = db -> Oid.t -> Value.t list -> Value.t
+
+let entry_of_when = function
+  | On_begin -> { on_begin = true; on_end = false }
+  | On_end -> { on_begin = false; on_end = true }
+  | On_both -> { on_begin = true; on_end = true }
+
+let define ?super ?reactive ?(attrs = []) ?(methods = []) ?(events = [])
+    ?(all_events = false) cname =
+  let mtbl = Hashtbl.create (max 4 (List.length methods)) in
+  let add_method (mname, impl) =
+    if Hashtbl.mem mtbl mname then
+      Errors.type_error "class %s defines method %s twice" cname mname;
+    Hashtbl.replace mtbl mname { mname; impl }
+  in
+  List.iter add_method methods;
+  let itbl = Hashtbl.create (max 4 (List.length events)) in
+  (* footnote 7: every member function is a potential (bom + eom) event;
+     explicit entries below override per method *)
+  if all_events then
+    List.iter
+      (fun (mname, _) -> Hashtbl.replace itbl mname (entry_of_when On_both))
+      methods;
+  let add_event (mname, w) =
+    if Hashtbl.mem itbl mname && not all_events then
+      Errors.type_error "class %s lists method %s twice in its event interface"
+        cname mname;
+    Hashtbl.replace itbl mname (entry_of_when w)
+  in
+  List.iter add_event events;
+  let reactive =
+    match reactive with
+    | Some r -> r
+    | None -> all_events || not (List.is_empty events)
+  in
+  { cname; super; attr_spec = attrs; methods = mtbl; interface = itbl; reactive }
+
+let find db name =
+  match Hashtbl.find_opt db.classes name with
+  | Some c -> c
+  | None -> raise (Errors.No_such_class name)
+
+let mem db name = Hashtbl.mem db.classes name
+
+let ancestry db name =
+  let rec walk acc name =
+    let c = find db name in
+    let acc = name :: acc in
+    match c.super with None -> List.rev acc | Some s -> walk acc s
+  in
+  walk [] name
+
+let is_subclass db ~sub ~super =
+  List.exists (String.equal super) (ancestry db sub)
+
+let rec lookup_along db name meth =
+  let c = find db name in
+  match Hashtbl.find_opt c.methods meth with
+  | Some m -> Some m
+  | None -> (
+    match c.super with None -> None | Some s -> lookup_along db s meth)
+
+let lookup_method db cls meth =
+  match lookup_along db cls meth with
+  | Some m -> m
+  | None -> raise (Errors.No_such_method (cls, meth))
+
+let rec lookup_interface db cls meth =
+  let c = find db cls in
+  match Hashtbl.find_opt c.interface meth with
+  | Some e -> Some e
+  | None -> (
+    match c.super with None -> None | Some s -> lookup_interface db s meth)
+
+let all_attrs db cls =
+  (* Walk root-first so subclass declarations override. *)
+  let chain = List.rev (ancestry db cls) in
+  let merged = Hashtbl.create 16 in
+  let order = ref [] in
+  let add (name, default) =
+    if not (Hashtbl.mem merged name) then order := name :: !order;
+    Hashtbl.replace merged name default
+  in
+  List.iter (fun c -> List.iter add (find db c).attr_spec) chain;
+  List.rev_map (fun name -> (name, Hashtbl.find merged name)) !order
+
+let is_reactive db cls = List.exists (fun c -> (find db c).reactive) (ancestry db cls)
+
+let methods_of db cls =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let visit c =
+    Hashtbl.iter
+      (fun m _ ->
+        if not (Hashtbl.mem seen m) then begin
+          Hashtbl.replace seen m ();
+          out := m :: !out
+        end)
+      (find db c).methods
+  in
+  List.iter visit (ancestry db cls);
+  List.rev !out

@@ -1,0 +1,75 @@
+(** Class definitions: attributes, methods, the event interface, inheritance.
+
+    A {e reactive class definition} is a traditional class definition plus an
+    event interface specification (paper §3.1).  The event interface names
+    the subset of methods that act as primitive event generators and whether
+    each generates its event at begin-of-method, end-of-method, or both. *)
+
+type t = Types.class_def
+
+type event_when =
+  | On_begin  (** [event begin m(...)] — raised before the body runs *)
+  | On_end    (** [event end m(...)] — raised after the body returns *)
+  | On_both   (** [event begin && end m(...)] *)
+
+type method_impl = Types.db -> Oid.t -> Value.t list -> Value.t
+(** A method body: receives the database, the receiver's OID and the actual
+    parameters; returns the method result. *)
+
+val define :
+  ?super:string ->
+  ?reactive:bool ->
+  ?attrs:(string * Value.t) list ->
+  ?methods:(string * method_impl) list ->
+  ?events:(string * event_when) list ->
+  ?all_events:bool ->
+  string ->
+  t
+(** [define name] builds a class definition.
+    - [super]: single-inheritance parent (must already exist when the class
+      is registered with {!Db.define_class}).
+    - [reactive]: defaults to [true] when [events] is non-empty, [false]
+      otherwise.  Passive classes bypass the event machinery entirely.
+    - [attrs]: attribute names with default values; merged with (and
+      overriding) inherited attributes.
+    - [events]: the event interface.  Every listed method must be defined by
+      this class or an ancestor (checked at registration time).
+    - [all_events]: the paper's footnote-7 alternative — treat {e every}
+      method of this class as a begin-and-end event generator ("the number
+      of events generated will be twice the number of member functions").
+      Explicit [events] entries still override per method. *)
+
+(** {1 Inheritance-aware lookups}
+
+    These take the database because resolution walks the registered
+    superclass chain. *)
+
+val find : Types.db -> string -> t
+(** @raise Errors.No_such_class *)
+
+val mem : Types.db -> string -> bool
+
+val ancestry : Types.db -> string -> string list
+(** [ancestry db c] is [c] followed by its superclasses, root last. *)
+
+val is_subclass : Types.db -> sub:string -> super:string -> bool
+(** Reflexive: [is_subclass db ~sub:c ~super:c = true]. *)
+
+val lookup_method : Types.db -> string -> string -> Types.method_def
+(** [lookup_method db cls m] resolves [m] along the chain starting at [cls].
+    @raise Errors.No_such_method *)
+
+val lookup_interface : Types.db -> string -> string -> Types.interface_entry option
+(** Event-interface entry for method [m] as seen from [cls]; the nearest
+    declaration along the chain wins (a subclass may re-declare when an
+    inherited method generates events). *)
+
+val all_attrs : Types.db -> string -> (string * Value.t) list
+(** Merged attribute specification (name, default) for instances of a class;
+    subclass declarations override superclass ones. *)
+
+val is_reactive : Types.db -> string -> bool
+(** True when the class or any ancestor was declared reactive. *)
+
+val methods_of : Types.db -> string -> string list
+(** All method names understood by instances of the class (deduplicated). *)

@@ -1,0 +1,74 @@
+(** Multi-client isolation: sessions with strict two-phase locking.
+
+    The core {!Transaction} machinery gives one client nested transactions;
+    this layer lets several logical clients (sessions) interleave flat
+    transactions over the same store with serializable isolation:
+
+    - reads take shared locks, writes take exclusive locks (upgrade allowed
+      for a sole holder);
+    - locking is {e no-wait}: a conflicting request raises
+      {!Errors.Lock_conflict} immediately (deadlock-free by construction —
+      the conventional policy is to abort and retry);
+    - locks are held until commit/abort (strict 2PL), so interleaved
+      committed executions are conflict-serializable;
+    - abort undoes the session's own writes.
+
+    Scope and honest limitations, documented up front: sessions are a
+    cooperative-concurrency front end for the in-memory substrate (there is
+    no OS-level parallelism to protect against); {!send} locks the receiver
+    exclusively, but a method body that reaches out to {e other} objects
+    through the raw [Db] API is not tracked — lock coverage is exact for
+    attribute-level access through the session.  Session transactions are
+    independent of the global {!Transaction} stack and must not be mixed
+    with it while active. *)
+
+type manager
+(** The shared lock table over one database. *)
+
+type t
+(** One logical client. *)
+
+val manager : Db.t -> manager
+val session : ?name:string -> manager -> t
+val name : t -> string
+
+val begin_ : t -> unit
+(** @raise Errors.Transaction_error when the session already has an open
+    transaction, or when a global {!Transaction} is in progress. *)
+
+val commit : t -> unit
+(** Keep the session's writes; release its locks. *)
+
+val abort : t -> unit
+(** Undo the session's writes (in reverse order); release its locks. *)
+
+val active : t -> bool
+
+(** {1 Data access}
+
+    Lock lifetimes are explicit: every accessor below requires an open
+    session transaction and raises {!Errors.Transaction_error} otherwise. *)
+
+val get : t -> Oid.t -> string -> Value.t
+(** Shared lock on the object, then read. *)
+
+val set : t -> Oid.t -> string -> Value.t -> unit
+(** Exclusive lock, then write (undo-logged in the session). *)
+
+val send : t -> Oid.t -> string -> Value.t list -> Value.t
+(** Exclusive lock on the receiver, then dispatch. Writes performed by the
+    method body on the receiver are {e not} individually undo-logged; the
+    receiver's full attribute state is snapshotted first and restored on
+    abort. *)
+
+val new_object : t -> ?attrs:(string * Value.t) list -> string -> Oid.t
+(** The fresh object is born exclusively locked by this session. *)
+
+val delete_object : t -> Oid.t -> unit
+(** Exclusive lock, then delete; abort resurrects the object. *)
+
+(** {1 Introspection} *)
+
+val locks_held : t -> (Oid.t * [ `Shared | `Exclusive ]) list
+val conflicts : manager -> int
+(** Total lock conflicts raised so far. *)

@@ -1,0 +1,103 @@
+open Types
+
+let in_progress db = db.txns <> []
+let depth db = List.length db.txns
+
+let outermost_id db =
+  match List.rev db.txns with [] -> None | t :: _ -> Some t.txn_id
+
+let journal db e = match db.on_journal with Some f -> f e | None -> ()
+
+let begin_ db =
+  let txn_id = db.next_txn_id in
+  db.next_txn_id <- txn_id + 1;
+  db.txns <- { log = []; deferred = []; detached = []; txn_id } :: db.txns;
+  journal db J_begin
+
+let current db =
+  match db.txns with
+  | [] -> raise (Errors.Transaction_error "no transaction in progress")
+  | t :: _ -> t
+
+let log_undo db u =
+  match db.txns with [] -> () | t :: _ -> t.log <- u :: t.log
+
+let add_deferred db f =
+  let t = current db in
+  t.deferred <- f :: t.deferred
+
+let add_detached db f =
+  let t = current db in
+  t.detached <- f :: t.detached
+
+let apply_undo db = function
+  | U_set_attr (oid, name, old) ->
+    let o = Heap.find_obj_any db oid in
+    ignore (Heap.raw_set_attr db o name old)
+  | U_created oid ->
+    let o = Heap.find_obj_any db oid in
+    Heap.remove_obj db o
+  | U_deleted o ->
+    o.alive <- true;
+    Heap.insert_obj db o
+  | U_consumers (oid, old) ->
+    let o = Heap.find_obj_any db oid in
+    o.consumers <- old
+  | U_class_consumers (cls, old) -> Hashtbl.replace db.class_consumers cls old
+
+let abort db =
+  let t = current db in
+  List.iter (apply_undo db) t.log;
+  db.txns <- List.tl db.txns;
+  db.stats.txns_aborted <- db.stats.txns_aborted + 1;
+  journal db J_abort
+
+(* Drain the deferred queue FIFO; deferred work may enqueue more. *)
+let run_deferred t =
+  let rec loop () =
+    match List.rev t.deferred with
+    | [] -> ()
+    | fs ->
+      t.deferred <- [];
+      List.iter (fun f -> f ()) fs;
+      loop ()
+  in
+  loop ()
+
+let commit db =
+  let t = current db in
+  match db.txns with
+  | [] -> assert false
+  | [ _ ] ->
+    (* Outermost: deferred work runs inside the transaction so a Rule_abort
+       in a deferred action rolls everything back. *)
+    (try run_deferred t
+     with e ->
+       abort db;
+       raise e);
+    let detached = List.rev t.detached in
+    db.txns <- [];
+    db.stats.txns_committed <- db.stats.txns_committed + 1;
+    journal db (J_mutation (M_clock db.now));
+    journal db J_commit;
+    List.iter (fun f -> f ()) detached
+  | t :: parent :: _ ->
+    (* Inner commit: effects and queued work flow into the parent. *)
+    parent.log <- t.log @ parent.log;
+    parent.deferred <- t.deferred @ parent.deferred;
+    parent.detached <- t.detached @ parent.detached;
+    db.txns <- List.tl db.txns;
+    db.stats.txns_committed <- db.stats.txns_committed + 1;
+    journal db J_commit_inner
+
+let atomically db f =
+  begin_ db;
+  match f () with
+  | v -> (
+    try
+      commit db;
+      Ok v
+    with e -> Error e)
+  | exception e ->
+    abort db;
+    Error e

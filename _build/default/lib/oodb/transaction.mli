@@ -1,0 +1,55 @@
+(** Nested transactions with undo logging.
+
+    Rules and events are subject to the same transaction semantics as other
+    objects (paper §2, §3.4): creating, deleting or mutating them inside a
+    transaction is undone on abort.  A rule action may abort the triggering
+    transaction by raising {!Errors.Rule_abort} (the paper's Figure 9).
+
+    Transactions nest: committing an inner transaction merges its undo log
+    (and any queued deferred/detached work) into the parent; aborting an
+    inner transaction rolls back only its own effects.  Mutations performed
+    outside any transaction are auto-committed and cannot be undone.
+
+    The commit point of the outermost transaction is where deferred rules
+    run (still inside the transaction, so they can abort it); detached work
+    runs immediately after a successful commit. *)
+
+val begin_ : Types.db -> unit
+
+val commit : Types.db -> unit
+(** Commit the innermost open transaction.  For the outermost transaction
+    this first drains the deferred queue (FIFO; deferred work may enqueue
+    more deferred work) and, after the commit takes effect, runs detached
+    work.  If deferred work raises, the transaction is aborted and the
+    exception re-raised.
+    @raise Errors.Transaction_error when no transaction is open. *)
+
+val abort : Types.db -> unit
+(** Roll back the innermost open transaction.
+    @raise Errors.Transaction_error when no transaction is open. *)
+
+val in_progress : Types.db -> bool
+val depth : Types.db -> int
+
+val outermost_id : Types.db -> int option
+(** Identifier of the outermost open transaction, if any.  The rule
+    scheduler uses it to detect that a transaction it queued work for has
+    ended (committed or aborted) without the queue draining. *)
+
+val atomically : Types.db -> (unit -> 'a) -> ('a, exn) result
+(** [atomically db f] runs [f] inside a fresh transaction, committing on
+    normal return and aborting (then returning [Error e]) when [f] — or
+    deferred work at commit — raises [e]. *)
+
+(** {1 Used by [Db] and the rule scheduler} *)
+
+val log_undo : Types.db -> Types.undo -> unit
+(** Record an undo entry in the innermost transaction; no-op outside. *)
+
+val add_deferred : Types.db -> (unit -> unit) -> unit
+(** Queue work for the outermost commit point.
+    @raise Errors.Transaction_error outside a transaction. *)
+
+val add_detached : Types.db -> (unit -> unit) -> unit
+(** Queue work for after the outermost commit.
+    @raise Errors.Transaction_error outside a transaction. *)

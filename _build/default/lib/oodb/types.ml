@@ -1,0 +1,137 @@
+(* The mutually recursive heart of the substrate: databases, class
+   definitions (whose method implementations receive the database), open
+   transactions and undo records.  Higher-level modules (Schema, Transaction,
+   Db, Index) each expose one facet of these types; they live together here
+   because OCaml requires recursive types to be declared in one place. *)
+
+type timestamp = int
+
+type modifier = Before | After
+
+(* One entry of a class's event interface: which primitive events a method
+   generates when invoked (paper §3.1: "event begin", "event end",
+   "event begin && end"). *)
+type interface_entry = { on_begin : bool; on_end : bool }
+
+(* A generated primitive event (paper §3.1):
+   "Generated primitive event = Oid + Class + Method + Actual parameters +
+    Time stamp". *)
+type occurrence = {
+  source : Oid.t;
+  source_class : string; (* runtime class of the generating object *)
+  meth : string;
+  modifier : modifier;
+  params : Value.t list;
+  at : timestamp;
+}
+
+type obj = {
+  id : Oid.t;
+  mutable cls : string;
+  attrs : (string, Value.t) Hashtbl.t;
+  (* The paper's Reactive::consumers data member: notifiable objects that
+     subscribed to this instance's events. *)
+  mutable consumers : Oid.t list;
+  mutable alive : bool;
+}
+
+type method_def = { mname : string; impl : db -> Oid.t -> Value.t list -> Value.t }
+
+and class_def = {
+  cname : string;
+  super : string option;
+  (* These three are mutable to support runtime schema evolution
+     (Db.add_attribute / add_method / add_event_generator). *)
+  mutable attr_spec : (string * Value.t) list; (* attribute name, default *)
+  methods : (string, method_def) Hashtbl.t;
+  interface : (string, interface_entry) Hashtbl.t;
+  mutable reactive : bool; (* passive classes skip all event machinery *)
+}
+
+and undo =
+  | U_set_attr of Oid.t * string * Value.t option (* None: attr was absent *)
+  | U_created of Oid.t
+  | U_deleted of obj (* restore this object wholesale *)
+  | U_consumers of Oid.t * Oid.t list
+  | U_class_consumers of string * Oid.t list
+
+and txn = {
+  mutable log : undo list; (* newest first *)
+  (* Work queued by the rule scheduler for this transaction's boundary:
+     deferred rules run just before commit, detached ones just after. *)
+  mutable deferred : (unit -> unit) list; (* newest first *)
+  mutable detached : (unit -> unit) list;
+  txn_id : int;
+}
+
+and index = { ix_class : string; ix_attr : string; ix_backing : index_backing }
+
+(* Hash indexes serve equality probes; ordered (B+-tree) indexes add range
+   scans for comparison predicates. *)
+and index_backing =
+  | Ix_hash of (Value.t, unit Oid.Table.t) Hashtbl.t
+  | Ix_ordered of Btree.t
+
+(* Flattened, inheritance-resolved view of a class, computed once at
+   registration time so that the dispatch hot path (Db.send) does not walk
+   the superclass chain per message. *)
+and class_info = {
+  ri_reactive : bool;
+  ri_ancestry : string list; (* class first, root last *)
+  ri_iface : (string, interface_entry) Hashtbl.t;
+}
+
+(* Logical mutations, as reported to an attached journal (Wal).  These are
+   pure data — no code — so a log of them can be replayed into a fresh
+   database to reconstruct state (methods and rule code re-bind from the
+   registered classes and the function registry, as with Persist). *)
+and mutation =
+  | M_create of Oid.t * string * (string * Value.t) list
+  | M_delete of Oid.t
+  | M_set of Oid.t * string * Value.t
+  | M_subscribe of Oid.t * Oid.t (* reactive, consumer *)
+  | M_unsubscribe of Oid.t * Oid.t
+  | M_subscribe_class of string * Oid.t
+  | M_unsubscribe_class of string * Oid.t
+  | M_create_index of string * string * bool (* ordered? *)
+  | M_drop_index of string * string
+  | M_clock of timestamp
+
+and journal_event =
+  | J_mutation of mutation
+  | J_begin (* a transaction opened (any nesting level) *)
+  | J_commit_inner (* an inner transaction merged into its parent *)
+  | J_commit (* the outermost transaction committed *)
+  | J_abort (* the innermost open transaction rolled back *)
+
+and stats = {
+  mutable sends : int; (* messages dispatched *)
+  mutable events_generated : int; (* primitive occurrences raised *)
+  mutable notifications : int; (* consumer deliveries *)
+  mutable txns_committed : int;
+  mutable txns_aborted : int;
+}
+
+and db = {
+  mutable next_oid : int;
+  mutable now : timestamp;
+  mutable next_txn_id : int;
+  objects : obj Oid.Table.t;
+  classes : (string, class_def) Hashtbl.t;
+  extents : (string, unit Oid.Table.t) Hashtbl.t; (* direct extent per class *)
+  class_info : (string, class_info) Hashtbl.t;
+  (* Consumers subscribed at the class level (class-level rules apply to all
+     instances, paper §4.7). *)
+  class_consumers : (string, Oid.t list) Hashtbl.t;
+  indexes : (string * string, index) Hashtbl.t;
+  mutable txns : txn list; (* stack, innermost first *)
+  (* Delivery hook installed by the rule layer: called once per (occurrence,
+     subscribed consumer).  The substrate stays rule-agnostic. *)
+  mutable notify : db -> consumer:Oid.t -> occurrence -> unit;
+  (* Global taps receive *every* occurrence regardless of subscription; this
+     is the centralized dispatch the ADAM baseline uses. *)
+  mutable taps : (db -> occurrence -> unit) list;
+  (* Journal hook installed by Wal.attach; None = no journaling. *)
+  mutable on_journal : (journal_event -> unit) option;
+  stats : stats;
+}

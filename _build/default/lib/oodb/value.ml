@@ -1,0 +1,79 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Obj of Oid.t
+  | List of t list
+
+let null = Null
+let bool b = Bool b
+let int n = Int n
+let float f = Float f
+let str s = Str s
+let obj o = Obj o
+let list vs = List vs
+
+let type_name = function
+  | Null -> "null"
+  | Bool _ -> "bool"
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | Str _ -> "str"
+  | Obj _ -> "obj"
+  | List _ -> "list"
+
+let bad expected v =
+  Errors.type_error "expected %s, got %s" expected (type_name v)
+
+let to_bool = function Bool b -> b | v -> bad "bool" v
+let to_int = function Int n -> n | v -> bad "int" v
+
+let to_float = function
+  | Float f -> f
+  | Int n -> Stdlib.float_of_int n
+  | v -> bad "float" v
+
+let to_str = function Str s -> s | v -> bad "str" v
+let to_oid = function Obj o -> o | v -> bad "obj" v
+let to_list = function List vs -> vs | v -> bad "list" v
+let is_null = function Null -> true | _ -> false
+
+let tag_rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Float _ -> 2 (* numeric values compare against each other *)
+  | Str _ -> 3
+  | Obj _ -> 4
+  | List _ -> 5
+
+let rec compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (Stdlib.float_of_int x) y
+  | Float x, Int y -> Float.compare x (Stdlib.float_of_int y)
+  | Str x, Str y -> String.compare x y
+  | Obj x, Obj y -> Oid.compare x y
+  | List x, List y -> List.compare compare x y
+  | _ -> Int.compare (tag_rank a) (tag_rank b)
+
+let equal a b = compare a b = 0
+
+let rec pp ppf = function
+  | Null -> Format.pp_print_string ppf "null"
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int n -> Format.pp_print_int ppf n
+  | Float f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.fprintf ppf "%S" s
+  | Obj o -> Oid.pp ppf o
+  | List vs ->
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp)
+      vs
+
+let to_string v = Format.asprintf "%a" pp v

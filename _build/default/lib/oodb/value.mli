@@ -1,0 +1,61 @@
+(** Dynamically typed attribute values.
+
+    The object layer is dynamically typed, like the C++-with-preprocessor
+    layer the paper builds on once objects are reached through OIDs: an
+    attribute holds one of a small set of runtime-tagged values.  Method
+    parameters, event parameters (the "actual parameters" carried by a
+    generated primitive event) and rule-condition inputs are all values of
+    this type. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Obj of Oid.t  (** a reference to another object *)
+  | List of t list
+
+(** {1 Constructors} *)
+
+val null : t
+val bool : bool -> t
+val int : int -> t
+val float : float -> t
+val str : string -> t
+val obj : Oid.t -> t
+val list : t list -> t
+
+(** {1 Accessors}
+
+    Each accessor raises {!Errors.Type_error} when the value has the wrong
+    tag; [Int] silently widens to [float] in {!to_float} because arithmetic
+    conditions in rules routinely mix the two. *)
+
+val to_bool : t -> bool
+val to_int : t -> int
+val to_float : t -> float
+val to_str : t -> string
+val to_oid : t -> Oid.t
+val to_list : t -> t list
+
+val is_null : t -> bool
+
+(** {1 Comparison}
+
+    [compare] is a total order: values of different tags are ordered by tag;
+    [Int] and [Float] compare numerically against each other so that query
+    predicates behave naturally. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {1 Tag name} *)
+
+val type_name : t -> string
+(** ["null"], ["bool"], ["int"], ["float"], ["str"], ["obj"] or ["list"]. *)

@@ -1,0 +1,104 @@
+open Types
+
+let check ?(quiescent = false) (db : Db.t) =
+  let problems = ref [] in
+  let complain fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+
+  if quiescent && Transaction.in_progress db then
+    complain "transaction still in progress";
+
+  (* objects vs classes and extents *)
+  Oid.Table.iter
+    (fun oid (o : obj) ->
+      if not o.alive then complain "%s: dead object in table" (Oid.to_string oid)
+      else if not (Db.has_class db o.cls) then
+        complain "%s: unregistered class %s" (Oid.to_string oid) o.cls
+      else begin
+        (* extent membership *)
+        (match List.find_opt (Oid.equal oid) (Db.extent db ~deep:false o.cls) with
+        | Some _ -> ()
+        | None -> complain "%s: missing from extent of %s" (Oid.to_string oid) o.cls);
+        (* attribute set = declared set *)
+        let spec = Schema.all_attrs db o.cls in
+        List.iter
+          (fun (attr, _) ->
+            if not (Hashtbl.mem o.attrs attr) then
+              complain "%s: declared attribute %s missing" (Oid.to_string oid) attr)
+          spec;
+        Hashtbl.iter
+          (fun attr _ ->
+            if not (List.mem_assoc attr spec) then
+              complain "%s: undeclared attribute %s present" (Oid.to_string oid) attr)
+          o.attrs
+      end)
+    db.objects;
+
+  (* extents point at live objects of the right class *)
+  Hashtbl.iter
+    (fun cls extent ->
+      Oid.Table.iter
+        (fun oid () ->
+          match Oid.Table.find_opt db.objects oid with
+          | None ->
+            complain "extent %s: dangling entry %s" cls (Oid.to_string oid)
+          | Some o when o.cls <> cls ->
+            complain "extent %s: %s actually of class %s" cls (Oid.to_string oid)
+              o.cls
+          | Some _ -> ())
+        extent)
+    db.extents;
+
+  (* indexes agree with the data *)
+  Hashtbl.iter
+    (fun (cls, attr) ix ->
+      let indexed_pairs =
+        match ix.ix_backing with
+        | Ix_hash entries ->
+          Hashtbl.fold
+            (fun v bucket acc ->
+              Oid.Table.fold (fun oid () acc -> (v, oid) :: acc) bucket acc)
+            entries []
+        | Ix_ordered tree ->
+          (match Btree.check_invariants tree with
+          | Ok () -> ()
+          | Error msg -> complain "index %s.%s: btree invariant: %s" cls attr msg);
+          let out = ref [] in
+          Btree.iter tree (fun v oids ->
+              List.iter (fun oid -> out := (v, oid) :: !out) oids);
+          !out
+      in
+      (* every index entry matches the object *)
+      List.iter
+        (fun (v, oid) ->
+          if not (Db.exists db oid) then
+            complain "index %s.%s: entry for missing object %s" cls attr
+              (Oid.to_string oid)
+          else
+            match Db.get_opt db oid attr with
+            | Some actual when Value.equal actual v -> ()
+            | Some actual ->
+              complain "index %s.%s: %s indexed under %s but holds %s" cls attr
+                (Oid.to_string oid) (Value.to_string v) (Value.to_string actual)
+            | None ->
+              complain "index %s.%s: %s indexed but attribute absent" cls attr
+                (Oid.to_string oid))
+        indexed_pairs;
+      (* every matching object is indexed *)
+      let indexed_oids = List.map snd indexed_pairs in
+      List.iter
+        (fun oid ->
+          match Db.get_opt db oid attr with
+          | Some _ when not (List.exists (Oid.equal oid) indexed_oids) ->
+            complain "index %s.%s: live object %s not indexed" cls attr
+              (Oid.to_string oid)
+          | _ -> ())
+        (Db.extent db ~deep:true cls))
+    db.indexes;
+
+  match List.rev !problems with [] -> Ok () | ps -> Error ps
+
+let check_exn ?quiescent db =
+  match check ?quiescent db with
+  | Ok () -> ()
+  | Error (p :: _) -> raise (Errors.Transaction_error ("integrity: " ^ p))
+  | Error [] -> ()

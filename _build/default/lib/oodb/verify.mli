@@ -1,0 +1,23 @@
+(** Internal-consistency checking.
+
+    Validates the substrate's cross-structure invariants — the checks a
+    production store runs after recovery or in stress tests:
+
+    - every live object's class is registered, and every extent entry
+      points at a live object of exactly that class (and vice versa);
+    - every attribute an object stores is declared by its class chain, and
+      every declared attribute is present;
+    - every index entry agrees with the indexed object's current attribute
+      value, and every matching object is indexed (hash and ordered alike;
+      ordered indexes additionally pass {!Btree.check_invariants});
+    - no transaction state is leaked ([check ~quiescent:true]).
+
+    Consumer lists may reference deleted objects by design (stale
+    subscriptions are ignored at delivery), so they are not flagged. *)
+
+val check : ?quiescent:bool -> Db.t -> (unit, string list) result
+(** All violated invariants, human-readable; [Ok ()] when sound.
+    [quiescent] (default false) additionally requires no open transaction. *)
+
+val check_exn : ?quiescent:bool -> Db.t -> unit
+(** @raise Errors.Transaction_error with the first violation. *)

@@ -1,0 +1,212 @@
+open Types
+
+let magic = "SENTINELWAL 1"
+
+type t = {
+  wal_db : db;
+  path : string;
+  mutable oc : out_channel;
+  (* one buffer per open transaction, innermost first; entries newest
+     first *)
+  mutable stack : string list list;
+  mutable n_batches : int;
+  mutable n_entries : int;
+  mutable attached : bool;
+}
+
+let batches_written t = t.n_batches
+let entries_written t = t.n_entries
+
+(* --- entry codec ----------------------------------------------------------- *)
+
+let oid_s o = string_of_int (Oid.to_int o)
+
+let encode_mutation = function
+  | M_create (oid, cls, attrs) ->
+    let attr (name, v) = name ^ "=" ^ Persist.encode_value v in
+    String.concat " " ([ "c"; oid_s oid; cls ] @ List.map attr attrs)
+  | M_delete oid -> "d " ^ oid_s oid
+  | M_set (oid, name, v) ->
+    Printf.sprintf "s %s %s %s" (oid_s oid) name (Persist.encode_value v)
+  | M_subscribe (r, c) -> Printf.sprintf "+ %s %s" (oid_s r) (oid_s c)
+  | M_unsubscribe (r, c) -> Printf.sprintf "- %s %s" (oid_s r) (oid_s c)
+  | M_subscribe_class (cls, c) -> Printf.sprintf "c+ %s %s" cls (oid_s c)
+  | M_unsubscribe_class (cls, c) -> Printf.sprintf "c- %s %s" cls (oid_s c)
+  | M_create_index (cls, attr, ordered) ->
+    Printf.sprintf "ix %s %s %s" cls attr (if ordered then "o" else "h")
+  | M_drop_index (cls, attr) -> Printf.sprintf "dx %s %s" cls attr
+  | M_clock now -> "k " ^ string_of_int now
+
+let parse_error fmt =
+  Printf.ksprintf (fun s -> raise (Errors.Parse_error s)) fmt
+
+let parse_oid w =
+  match int_of_string_opt w with
+  | Some n -> Oid.of_int n
+  | None -> parse_error "wal: bad oid %S" w
+
+let decode_mutation line =
+  let words = String.split_on_char ' ' line |> List.filter (fun w -> w <> "") in
+  match words with
+  | "c" :: oid :: cls :: attrs ->
+    let attr w =
+      match String.index_opt w '=' with
+      | Some i ->
+        ( String.sub w 0 i,
+          Persist.decode_value (String.sub w (i + 1) (String.length w - i - 1)) )
+      | None -> parse_error "wal: bad attribute %S" w
+    in
+    M_create (parse_oid oid, cls, List.map attr attrs)
+  | [ "d"; oid ] -> M_delete (parse_oid oid)
+  | [ "s"; oid; name; v ] -> M_set (parse_oid oid, name, Persist.decode_value v)
+  | [ "+"; r; c ] -> M_subscribe (parse_oid r, parse_oid c)
+  | [ "-"; r; c ] -> M_unsubscribe (parse_oid r, parse_oid c)
+  | [ "c+"; cls; c ] -> M_subscribe_class (cls, parse_oid c)
+  | [ "c-"; cls; c ] -> M_unsubscribe_class (cls, parse_oid c)
+  | [ "ix"; cls; attr; k ] ->
+    let ordered =
+      match k with
+      | "o" -> true
+      | "h" -> false
+      | other -> parse_error "wal: bad index kind %S" other
+    in
+    M_create_index (cls, attr, ordered)
+  | [ "dx"; cls; attr ] -> M_drop_index (cls, attr)
+  | [ "k"; now ] -> (
+    match int_of_string_opt now with
+    | Some v -> M_clock v
+    | None -> parse_error "wal: bad clock %S" now)
+  | _ -> parse_error "wal: bad entry %S" line
+
+(* --- writing ----------------------------------------------------------------- *)
+
+let write_batch t entries =
+  (* entries arrive newest first *)
+  output_string t.oc "B\n";
+  List.iter
+    (fun e ->
+      output_string t.oc e;
+      output_char t.oc '\n';
+      t.n_entries <- t.n_entries + 1)
+    (List.rev entries);
+  output_string t.oc "E\n";
+  flush t.oc;
+  t.n_batches <- t.n_batches + 1
+
+let on_event t event =
+  if t.attached then
+    match event with
+    | J_begin -> t.stack <- [] :: t.stack
+    | J_mutation m -> (
+      let entry = encode_mutation m in
+      match t.stack with
+      | [] -> write_batch t [ entry ] (* autocommit *)
+      | buf :: rest -> t.stack <- (entry :: buf) :: rest)
+    | J_commit_inner -> (
+      match t.stack with
+      | inner :: parent :: rest -> t.stack <- (inner @ parent) :: rest
+      | _ -> ())
+    | J_commit -> (
+      match t.stack with
+      | [ buf ] ->
+        t.stack <- [];
+        if buf <> [] then write_batch t buf
+      | _ -> ())
+    | J_abort -> (
+      match t.stack with [] -> () | _ :: rest -> t.stack <- rest)
+
+let attach db path =
+  if db.on_journal <> None then
+    raise (Errors.Transaction_error "a journal is already attached");
+  if db.txns <> [] then
+    raise (Errors.Transaction_error "cannot attach a journal mid-transaction");
+  let fresh = not (Sys.file_exists path) || (Unix.stat path).Unix.st_size = 0 in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  if fresh then begin
+    output_string oc (magic ^ "\n");
+    flush oc
+  end;
+  let t =
+    { wal_db = db; path; oc; stack = []; n_batches = 0; n_entries = 0; attached = true }
+  in
+  db.on_journal <- Some (on_event t);
+  t
+
+let detach t =
+  if t.attached then begin
+    t.attached <- false;
+    t.wal_db.on_journal <- None;
+    flush t.oc;
+    close_out_noerr t.oc
+  end
+
+let checkpoint t ~snapshot =
+  Persist.save t.wal_db snapshot;
+  close_out_noerr t.oc;
+  t.oc <- open_out_gen [ Open_trunc; Open_creat; Open_wronly ] 0o644 t.path;
+  output_string t.oc (magic ^ "\n");
+  flush t.oc
+
+(* --- replay ------------------------------------------------------------------- *)
+
+let apply_mutation db m =
+  match m with
+  | M_create (oid, cls, attrs) ->
+    (* force the allocator so replay reproduces the logged OID (aborted
+       transactions may have burned identifiers in the original run) *)
+    db.next_oid <- Oid.to_int oid;
+    let got = Db.new_object db ~attrs cls in
+    if not (Oid.equal got oid) then
+      parse_error "wal: replay allocated %s, expected %s" (Oid.to_string got)
+        (Oid.to_string oid)
+  | M_delete oid -> Db.delete_object db oid
+  | M_set (oid, name, v) -> Db.set db oid name v
+  | M_subscribe (r, c) -> Db.subscribe db ~reactive:r ~consumer:c
+  | M_unsubscribe (r, c) -> Db.unsubscribe db ~reactive:r ~consumer:c
+  | M_subscribe_class (cls, c) -> Db.subscribe_class db ~cls ~consumer:c
+  | M_unsubscribe_class (cls, c) -> Db.unsubscribe_class db ~cls ~consumer:c
+  | M_create_index (cls, attr, ordered) ->
+    Db.create_index db ~kind:(if ordered then `Ordered else `Hash) ~cls ~attr ()
+  | M_drop_index (cls, attr) -> Db.drop_index db ~cls ~attr
+  | M_clock now -> Db.advance_clock db now
+
+let replay db path =
+  if not (Sys.file_exists path) then 0
+  else begin
+    let saved_journal = db.on_journal in
+    db.on_journal <- None;
+    Fun.protect
+      ~finally:(fun () -> db.on_journal <- saved_journal)
+      (fun () ->
+        In_channel.with_open_text path (fun ic ->
+            (match In_channel.input_line ic with
+            | Some l when l = magic -> ()
+            | Some l -> parse_error "wal: bad magic %S" l
+            | None -> parse_error "wal: empty file");
+            let applied = ref 0 in
+            (* read one batch; None = clean EOF or torn tail *)
+            let rec read_batch () =
+              match In_channel.input_line ic with
+              | None -> None
+              | Some "B" -> collect []
+              | Some "" -> read_batch ()
+              | Some l -> parse_error "wal: expected batch start, got %S" l
+            and collect acc =
+              match In_channel.input_line ic with
+              | None -> None (* torn batch: crash mid-write; discard *)
+              | Some "E" -> Some (List.rev_map decode_mutation acc)
+              | Some l -> collect (l :: acc)
+            in
+            let rec loop () =
+              match read_batch () with
+              | None -> ()
+              | Some entries ->
+                (* apply the whole batch atomically; a batch from the log
+                   must replay cleanly or recovery stops *)
+                List.iter (apply_mutation db) entries;
+                incr applied;
+                loop ()
+            in
+            loop ();
+            !applied))
+  end

@@ -1,0 +1,55 @@
+(** Write-ahead logging and crash recovery.
+
+    {!Persist} snapshots the whole store; this module complements it with an
+    append-only log of logical mutations (object creation/deletion,
+    attribute writes, subscriptions, index DDL) grouped into transaction
+    batches.  Recovery = load the latest snapshot (if any) into a fresh
+    database with the same classes registered, then {!replay} the log:
+    committed batches are re-applied, aborted transactions never reach the
+    log, and a torn batch at the tail (a crash mid-write) is ignored.
+
+    The log records data only — method bodies and rule code re-bind from
+    registered classes and the rule layer's registry, exactly as with
+    {!Persist}.  Replay reproduces OIDs and the logical clock, so
+    occurrence timestamps and rule subscriptions stay coherent.
+
+    Typical lifecycle:
+    {[
+      let wal = Wal.attach db "app.wal" in
+      ... transactions ...
+      Wal.checkpoint wal ~snapshot:"app.db";   (* truncates the log *)
+      ... crash ...
+      (* recovery: *)
+      let db = Db.create () in
+      register_classes db;
+      if Sys.file_exists "app.db" then Persist.load db "app.db";
+      let applied = Wal.replay db "app.wal" in
+      ...
+    ]} *)
+
+type t
+
+val attach : Db.t -> string -> t
+(** Install journaling on the database, appending to (or creating) the log
+    file.  Mutations outside any transaction are logged as single-entry
+    batches; transactional mutations buffer until the outermost commit and
+    are dropped on abort (inner aborts drop only their own entries).
+    @raise Errors.Transaction_error when a journal is already attached or a
+    transaction is open. *)
+
+val detach : t -> unit
+(** Flush, close and uninstall.  Idempotent. *)
+
+val checkpoint : t -> snapshot:string -> unit
+(** Atomically save a {!Persist} snapshot and truncate the log. *)
+
+val batches_written : t -> int
+val entries_written : t -> int
+
+val replay : Db.t -> string -> int
+(** Apply all complete batches from the log to [db]; returns how many were
+    applied.  A truncated final batch is silently discarded.  A missing
+    file counts as an empty log.
+    @raise Errors.Parse_error on structurally corrupt entries
+    @raise Errors.No_such_class when the log references unregistered
+    classes. *)

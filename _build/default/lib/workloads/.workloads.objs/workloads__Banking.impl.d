@@ -1,0 +1,1 @@
+lib/workloads/banking.ml: Array Dsl List Oodb Printf Prng

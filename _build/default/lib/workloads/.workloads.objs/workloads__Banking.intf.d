@@ -1,0 +1,1 @@
+lib/workloads/banking.mli: Oodb Prng

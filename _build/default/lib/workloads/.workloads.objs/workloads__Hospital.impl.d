@@ -1,0 +1,1 @@
+lib/workloads/hospital.ml: Array List Oodb Printf Prng

@@ -1,0 +1,1 @@
+lib/workloads/hospital.mli: Oodb Prng

@@ -1,0 +1,1 @@
+lib/workloads/payroll.ml: Array Dsl List Oodb Printf Prng

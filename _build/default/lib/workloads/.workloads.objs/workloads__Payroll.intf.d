@@ -1,0 +1,1 @@
+lib/workloads/payroll.mli: Oodb Prng

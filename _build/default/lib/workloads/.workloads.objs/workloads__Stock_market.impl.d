@@ -1,0 +1,1 @@
+lib/workloads/stock_market.ml: Array Dsl List Oodb Printf Prng

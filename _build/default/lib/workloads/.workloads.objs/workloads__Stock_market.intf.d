@@ -1,0 +1,1 @@
+lib/workloads/stock_market.mli: Oodb Prng

@@ -1,0 +1,46 @@
+module Db = Oodb.Db
+module Value = Oodb.Value
+module Schema = Oodb.Schema
+
+let account_class = "account"
+
+let deposit_impl db self args =
+  let amount = Value.to_float (Dsl.one_arg "deposit" args) in
+  let balance = Value.to_float (Db.get db self "balance") in
+  Db.set db self "balance" (Value.Float (balance +. amount));
+  Value.Null
+
+let withdraw_impl db self args =
+  let amount = Value.to_float (Dsl.one_arg "withdraw" args) in
+  let balance = Value.to_float (Db.get db self "balance") in
+  Db.set db self "balance" (Value.Float (balance -. amount));
+  Value.Null
+
+let install db =
+  if not (Db.has_class db account_class) then
+    Db.define_class db
+      (Schema.define account_class
+         ~attrs:[ ("owner", Value.Str ""); ("balance", Value.Float 0.) ]
+         ~methods:
+           [
+             ("deposit", deposit_impl);
+             ("withdraw", withdraw_impl);
+             ("get_balance", Dsl.getter "balance");
+           ]
+         ~events:[ ("deposit", Schema.On_end); ("withdraw", Schema.On_both) ])
+
+let populate db rng ~accounts =
+  Array.init accounts (fun i ->
+      Db.new_object db account_class
+        ~attrs:
+          [
+            ("owner", Value.Str (Printf.sprintf "acct-%d" i));
+            ("balance", Value.Float (Prng.float rng 1000.));
+          ])
+
+let transactions rng accounts ~n ?(withdraw_rate = 0.4) () =
+  List.init n (fun _ ->
+      let account = Prng.choice rng accounts in
+      let amount = Value.Float (1. +. Prng.float rng 499.) in
+      if Prng.bool rng withdraw_rate then (account, "withdraw", [ amount ])
+      else (account, "deposit", [ amount ]))

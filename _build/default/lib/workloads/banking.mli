@@ -1,0 +1,25 @@
+(** The paper's §4.6 account scenario: the composite event
+    "deposit followed by an attempt to withdraw"
+
+    {v Event* deposit  = new Primitive ("end Account::Deposit(float x)")
+       Event* withdraw = new Primitive ("before Account::Withdraw(float x)")
+       Event* DepWit   = new Sequence (deposit, withdraw) v} *)
+
+val account_class : string
+(** ["account"]: attr [balance]; reactive [deposit] (eom) and [withdraw]
+    (bom {e and} eom — the "attempt" is the begin-of-method event). *)
+
+val install : Oodb.Db.t -> unit
+
+val populate : Oodb.Db.t -> Prng.t -> accounts:int -> Oodb.Oid.t array
+
+val transactions :
+  Prng.t ->
+  Oodb.Oid.t array ->
+  n:int ->
+  ?withdraw_rate:float ->
+  unit ->
+  (Oodb.Oid.t * string * Oodb.Value.t list) list
+(** Deposit/withdraw mix ([withdraw_rate] defaults to 0.4); amounts in
+    [\[1, 500)].  Withdrawals may overdraw — rules are expected to police
+    that. *)

@@ -1,0 +1,22 @@
+module Db = Oodb.Db
+module Value = Oodb.Value
+module Errors = Oodb.Errors
+
+let one_arg meth = function
+  | [ v ] -> v
+  | args -> Errors.type_error "%s expects 1 argument, got %d" meth (List.length args)
+
+let setter attr db self args =
+  Db.set db self attr (one_arg attr args);
+  Value.Null
+
+let getter attr db self _args = Db.get db self attr
+
+let adder attr db self args =
+  let delta = Value.to_float (one_arg attr args) in
+  let current = Value.to_float (Db.get db self attr) in
+  Db.set db self attr (Value.Float (current +. delta));
+  Value.Null
+
+let apply_ops db ops =
+  List.iter (fun (oid, meth, args) -> ignore (Db.send db oid meth args)) ops

@@ -1,0 +1,85 @@
+module Db = Oodb.Db
+module Value = Oodb.Value
+module Errors = Oodb.Errors
+module Schema = Oodb.Schema
+
+let patient_class = "patient"
+let physician_class = "physician"
+
+let record_vitals_impl db self args =
+  match args with
+  | [ temperature; pulse ] ->
+    Db.set db self "temperature" temperature;
+    Db.set db self "pulse" pulse;
+    Value.Null
+  | _ -> Errors.type_error "record_vitals expects (temperature, pulse)"
+
+let set_admitted flag db self _args =
+  Db.set db self "admitted" (Value.Bool flag);
+  Value.Null
+
+let alert_impl db self _args =
+  let n = Value.to_int (Db.get db self "alerts") in
+  Db.set db self "alerts" (Value.Int (n + 1));
+  Value.Null
+
+let install db =
+  if not (Db.has_class db patient_class) then begin
+    Db.define_class db
+      (Schema.define patient_class
+         ~attrs:
+           [
+             ("name", Value.Str "");
+             ("temperature", Value.Float 36.8);
+             ("pulse", Value.Int 70);
+             ("admitted", Value.Bool true);
+           ]
+         ~methods:
+           [
+             ("record_vitals", record_vitals_impl);
+             ("admit", set_admitted true);
+             ("discharge", set_admitted false);
+           ]
+         ~events:
+           [
+             ("record_vitals", Schema.On_end);
+             ("admit", Schema.On_end);
+             ("discharge", Schema.On_end);
+           ]);
+    Db.define_class db
+      (Schema.define physician_class
+         ~attrs:[ ("name", Value.Str ""); ("alerts", Value.Int 0) ]
+         ~methods:[ ("alert", alert_impl) ])
+  end
+
+type ward = { patients : Oodb.Oid.t array; physicians : Oodb.Oid.t array }
+
+let populate db rng ~patients ~physicians =
+  ignore rng;
+  let mk_patient i =
+    Db.new_object db patient_class
+      ~attrs:[ ("name", Value.Str (Printf.sprintf "patient-%d" i)) ]
+  in
+  let mk_physician i =
+    Db.new_object db physician_class
+      ~attrs:[ ("name", Value.Str (Printf.sprintf "dr-%d" i)) ]
+  in
+  {
+    patients = Array.init patients mk_patient;
+    physicians = Array.init physicians mk_physician;
+  }
+
+let vitals_stream rng ward ~n ?(fever_rate = 0.05) () =
+  List.init n (fun _ ->
+      let patient = Prng.choice rng ward.patients in
+      let febrile = Prng.bool rng fever_rate in
+      let temperature =
+        if febrile then 39.0 +. Prng.float rng 2.0
+        else 36.0 +. Prng.float rng 1.5
+      in
+      let pulse =
+        if febrile then 95 + Prng.int rng 40 else 55 + Prng.int rng 40
+      in
+      ( patient,
+        "record_vitals",
+        [ Value.Float temperature; Value.Int pulse ] ))

@@ -1,0 +1,29 @@
+(** The paper's §2.1 patient-database motivation: patients are defined long
+    before anyone knows who will monitor them; physicians and monitoring
+    groups attach rules at runtime, depending on diagnoses. *)
+
+val patient_class : string
+(** ["patient"]: attrs [name], [temperature], [pulse], [admitted];
+    reactive [record_vitals] (eom, args (temperature, pulse)), [admit]
+    (eom), [discharge] (eom). *)
+
+val physician_class : string
+(** ["physician"]: attrs [name], [alerts] (int counter); passive method
+    [alert] increments the counter. *)
+
+val install : Oodb.Db.t -> unit
+
+type ward = { patients : Oodb.Oid.t array; physicians : Oodb.Oid.t array }
+
+val populate : Oodb.Db.t -> Prng.t -> patients:int -> physicians:int -> ward
+
+val vitals_stream :
+  Prng.t ->
+  ward ->
+  n:int ->
+  ?fever_rate:float ->
+  unit ->
+  (Oodb.Oid.t * string * Oodb.Value.t list) list
+(** [n] [record_vitals] messages; with probability [fever_rate] (default
+    0.05) a reading is febrile (temperature ≥ 39.0), otherwise normal
+    (36.0–37.5). *)

@@ -1,0 +1,85 @@
+module Db = Oodb.Db
+module Value = Oodb.Value
+module Schema = Oodb.Schema
+
+let employee_class = "employee"
+let manager_class = "manager"
+
+let install db =
+  if not (Db.has_class db employee_class) then begin
+    Db.define_class db
+      (Schema.define employee_class
+         ~attrs:
+           [
+             ("name", Value.Str "");
+             ("salary", Value.Float 0.);
+             ("income", Value.Float 0.);
+             ("age", Value.Int 30);
+             ("mgr", Value.Null);
+           ]
+         ~methods:
+           [
+             ("set_salary", Dsl.setter "salary");
+             ("get_salary", Dsl.getter "salary");
+             ("change_income", Dsl.setter "income");
+             ("get_age", Dsl.getter "age");
+             ("get_name", Dsl.getter "name");
+           ]
+         ~events:
+           [
+             ("set_salary", Schema.On_end);
+             ("change_income", Schema.On_end);
+             ("get_salary", Schema.On_end);
+             ("get_age", Schema.On_both);
+           ]);
+    Db.define_class db (Schema.define manager_class ~super:employee_class)
+  end
+
+type population = { managers : Oodb.Oid.t array; employees : Oodb.Oid.t array }
+
+let populate db rng ~managers ~employees =
+  let mk cls i salary =
+    Db.new_object db cls
+      ~attrs:
+        [
+          ("name", Value.Str (Printf.sprintf "%s-%d" cls i));
+          ("salary", Value.Float salary);
+          ("income", Value.Float salary);
+          ("age", Value.Int (25 + Prng.int rng 40));
+        ]
+  in
+  let mgrs =
+    Array.init managers (fun i ->
+        mk manager_class i (5000. +. Prng.float rng 5000.))
+  in
+  let emps =
+    Array.init employees (fun i ->
+        let e = mk employee_class i (1000. +. Prng.float rng 3000.) in
+        if managers > 0 then
+          Db.set db e "mgr" (Value.Obj (Prng.choice rng mgrs));
+        e)
+  in
+  { managers = mgrs; employees = emps }
+
+let pick_target rng pop =
+  let nm = Array.length pop.managers and ne = Array.length pop.employees in
+  let k = Prng.int rng (nm + ne) in
+  if k < nm then (pop.managers.(k), true) else (pop.employees.(k - nm), false)
+
+let salary_updates rng pop ~n =
+  List.init n (fun _ ->
+      let target, is_mgr = pick_target rng pop in
+      let salary =
+        if is_mgr then 5000. +. Prng.float rng 5000.
+        else 1000. +. Prng.float rng 3000.
+      in
+      (target, "set_salary", [ Value.Float salary ]))
+
+let income_updates rng pop ~n =
+  List.init n (fun _ ->
+      let target, is_mgr = pick_target rng pop in
+      let income =
+        if is_mgr then 5000. +. Prng.float rng 5000.
+        else 1000. +. Prng.float rng 3000.
+      in
+      (target, "change_income", [ Value.Float income ]))

@@ -1,0 +1,40 @@
+(** The paper's running payroll example (Figures 8–13): [employee] with a
+    [manager] subclass, salary/income updates, and the Salary-check and
+    IncomeLevel rules built on them. *)
+
+val employee_class : string
+(** ["employee"]: attrs [name], [salary], [income], [mgr] (manager OID or
+    null); reactive methods [set_salary] (eom), [change_income] (eom),
+    [get_salary] (eom), [get_age] (bom+eom) — the Figure 8 interface —
+    plus passive [get_name]. *)
+
+val manager_class : string
+(** ["manager"], subclass of employee. *)
+
+val install : Oodb.Db.t -> unit
+
+type population = {
+  managers : Oodb.Oid.t array;
+  employees : Oodb.Oid.t array;  (** each wired to a manager via [mgr] *)
+}
+
+val populate :
+  Oodb.Db.t -> Prng.t -> managers:int -> employees:int -> population
+(** Managers get salaries in [\[5000, 10000)], employees in [\[1000, 4000)]. *)
+
+val salary_updates :
+  Prng.t ->
+  population ->
+  n:int ->
+  (Oodb.Oid.t * string * Oodb.Value.t list) list
+(** [n] random [set_salary] messages over the whole population; targets and
+    amounts are drawn deterministically from the PRNG.  Updates stay within
+    each role's salary band so they do not violate the Salary-check
+    constraint (violation injection is up to the caller). *)
+
+val income_updates :
+  Prng.t ->
+  population ->
+  n:int ->
+  (Oodb.Oid.t * string * Oodb.Value.t list) list
+(** Random [change_income] messages (Figure 10's IncomeLevel scenario). *)

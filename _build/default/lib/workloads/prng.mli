@@ -1,0 +1,24 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Workloads must be reproducible across runs and platforms, so they use
+    this self-contained generator rather than [Stdlib.Random]. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator; equal seeds yield equal streams. *)
+
+val next : t -> int64
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)].  @raise Invalid_argument if [n <= 0]. *)
+
+val float : t -> float -> float
+(** Uniform in [\[0, bound)]. *)
+
+val bool : t -> float -> bool
+(** [bool t p] is true with probability [p]. *)
+
+val choice : t -> 'a array -> 'a
+(** @raise Invalid_argument on an empty array. *)
+
+val shuffle : t -> 'a array -> unit

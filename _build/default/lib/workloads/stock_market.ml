@@ -1,0 +1,100 @@
+module Db = Oodb.Db
+module Value = Oodb.Value
+module Errors = Oodb.Errors
+module Schema = Oodb.Schema
+
+let stock_class = "stock"
+let financial_info_class = "financial_info"
+let portfolio_class = "portfolio"
+
+let set_value_impl db self args =
+  match args with
+  | [ value; change ] ->
+    Db.set db self "value" value;
+    Db.set db self "change" change;
+    Value.Null
+  | _ -> Errors.type_error "set_value expects (value, change)"
+
+let purchase_impl db self args =
+  match args with
+  | [ Value.Obj stock; Value.Int qty ] ->
+    let price = Value.to_float (Db.get db stock "price") in
+    let cash = Value.to_float (Db.get db self "cash") in
+    let shares = Value.to_int (Db.get db self "shares") in
+    Db.set db self "cash" (Value.Float (cash -. (price *. float_of_int qty)));
+    Db.set db self "shares" (Value.Int (shares + qty));
+    Value.Null
+  | _ -> Errors.type_error "purchase expects (stock, quantity)"
+
+let install db =
+  if not (Db.has_class db stock_class) then begin
+    Db.define_class db
+      (Schema.define stock_class
+         ~attrs:[ ("symbol", Value.Str ""); ("price", Value.Float 100.) ]
+         ~methods:
+           [ ("set_price", Dsl.setter "price"); ("get_price", Dsl.getter "price") ]
+         ~events:[ ("set_price", Schema.On_end) ]);
+    Db.define_class db
+      (Schema.define financial_info_class
+         ~attrs:
+           [
+             ("name", Value.Str "");
+             ("value", Value.Float 3000.);
+             ("change", Value.Float 0.);
+           ]
+         ~methods:
+           [ ("set_value", set_value_impl); ("get_value", Dsl.getter "value") ]
+         ~events:[ ("set_value", Schema.On_end) ]);
+    Db.define_class db
+      (Schema.define portfolio_class
+         ~attrs:
+           [
+             ("owner", Value.Str "");
+             ("cash", Value.Float 100_000.);
+             ("shares", Value.Int 0);
+           ]
+         ~methods:[ ("purchase", purchase_impl) ])
+  end
+
+type market = {
+  stocks : Oodb.Oid.t array;
+  indexes : Oodb.Oid.t array;
+  portfolios : Oodb.Oid.t array;
+}
+
+let populate db rng ~stocks ~indexes ~portfolios =
+  let mk_stock i =
+    Db.new_object db stock_class
+      ~attrs:
+        [
+          ("symbol", Value.Str (Printf.sprintf "STK%d" i));
+          ("price", Value.Float (20. +. Prng.float rng 160.));
+        ]
+  in
+  let mk_index i =
+    Db.new_object db financial_info_class
+      ~attrs:[ ("name", Value.Str (Printf.sprintf "IDX%d" i)) ]
+  in
+  let mk_portfolio i =
+    Db.new_object db portfolio_class
+      ~attrs:[ ("owner", Value.Str (Printf.sprintf "owner%d" i)) ]
+  in
+  {
+    stocks = Array.init stocks mk_stock;
+    indexes = Array.init indexes mk_index;
+    portfolios = Array.init portfolios mk_portfolio;
+  }
+
+let ticks rng market ~n =
+  List.init n (fun _ ->
+      if Array.length market.indexes = 0 || Prng.bool rng 0.8 then
+        let stock = Prng.choice rng market.stocks in
+        (stock, "set_price", [ Value.Float (20. +. Prng.float rng 160.) ])
+      else
+        let index = Prng.choice rng market.indexes in
+        ( index,
+          "set_value",
+          [
+            Value.Float (2000. +. Prng.float rng 2000.);
+            Value.Float (Prng.float rng 10. -. 5.);
+          ] ))

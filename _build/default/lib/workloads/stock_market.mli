@@ -1,0 +1,35 @@
+(** The paper's §2.1 portfolio-management scenario: Stock, Portfolio and
+    FinancialInfo classes and the inter-object Purchase rule
+
+    {v WHEN IBM!SetPrice And DowJones!SetValue
+       IF   IBM!GetPrice < $80 and DowJones!Change < 3.4%
+       THEN Parker!PurchaseIBMStock v} *)
+
+val stock_class : string
+(** ["stock"]: attrs [symbol], [price]; reactive [set_price] (eom). *)
+
+val financial_info_class : string
+(** ["financial_info"]: attrs [name], [value], [change]; reactive
+    [set_value] (eom) taking (value, percent-change). *)
+
+val portfolio_class : string
+(** ["portfolio"]: attrs [owner], [cash], [shares]; passive [purchase]
+    taking (stock-oid, quantity) — it debits cash by quantity × the stock's
+    current price and increments [shares]. *)
+
+val install : Oodb.Db.t -> unit
+
+type market = {
+  stocks : Oodb.Oid.t array;
+  indexes : Oodb.Oid.t array;
+  portfolios : Oodb.Oid.t array;
+}
+
+val populate :
+  Oodb.Db.t -> Prng.t -> stocks:int -> indexes:int -> portfolios:int -> market
+
+val ticks :
+  Prng.t -> market -> n:int -> (Oodb.Oid.t * string * Oodb.Value.t list) list
+(** A stream of [n] market events: ~80% stock [set_price] (prices drawn in
+    [\[20, 180)]), ~20% index [set_value] (value in [\[2000, 4000)], change
+    in [\[-5, +5)] percent). *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Events List Oodb Sentinel String Workloads

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Expr Format Helpers List Oid Oodb Sentinel System

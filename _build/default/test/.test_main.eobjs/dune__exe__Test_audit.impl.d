@@ -1,0 +1,1 @@
+test/test_audit.ml: Alcotest Db Errors Events Expr Helpers List Oodb Sentinel System Transaction Value Workloads

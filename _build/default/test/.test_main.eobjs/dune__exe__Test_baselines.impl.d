@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Db Errors Helpers List Oodb Printf Transaction Value

@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Helpers List Oid Oodb Printf QCheck2 QCheck_alcotest Value

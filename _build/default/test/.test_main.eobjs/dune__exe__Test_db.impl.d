@@ -1,0 +1,1 @@
+test/test_db.ml: Alcotest Db Errors Helpers List Oid Oodb Value

@@ -1,0 +1,1 @@
+test/test_detector.ml: Alcotest Events Expr Helpers List Oid Oodb QCheck2 QCheck_alcotest String

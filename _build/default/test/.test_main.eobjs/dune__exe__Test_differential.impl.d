@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Array Baselines Db Expr Helpers List Oodb Printf QCheck2 QCheck_alcotest System Value Workloads

@@ -1,0 +1,1 @@
+test/test_event_graph.ml: Alcotest Array Events Expr Helpers List Oodb Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_evolution.ml: Alcotest Db Errors Expr Helpers Oodb Schema System Transaction Value Workloads

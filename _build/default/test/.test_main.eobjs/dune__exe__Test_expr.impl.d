@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Errors Events Expr Helpers List Oid Oodb QCheck2 QCheck_alcotest String

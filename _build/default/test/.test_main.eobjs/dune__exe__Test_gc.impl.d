@@ -1,0 +1,1 @@
+test/test_gc.ml: Alcotest Db Expr Helpers List Oid Oodb Schema System Transaction Value

@@ -1,0 +1,1 @@
+test/test_index_query.ml: Alcotest Db Helpers List Oid Oodb Printf QCheck2 QCheck_alcotest Schema Transaction Value

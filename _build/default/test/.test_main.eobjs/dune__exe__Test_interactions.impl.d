@@ -1,0 +1,1 @@
+test/test_interactions.ml: Alcotest Array Db Events Expr Filename Fun Helpers List Oodb Printf QCheck2 QCheck_alcotest Schema Sentinel Sys System Transaction Value Workloads

@@ -1,0 +1,1 @@
+test/test_introspect.ml: Alcotest Db Expr Format Helpers List Oodb Sentinel System Value

@@ -1,0 +1,1 @@
+test/test_paper_examples.ml: Alcotest Array Baselines Db Errors Events Expr Helpers List Oid Oodb Schema Sentinel System Transaction Value Workloads

@@ -1,0 +1,1 @@
+test/test_param_filters.ml: Alcotest Array Db Errors Events Expr Helpers List Oid Oodb Printf System Value Workloads

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Errors Events Expr Helpers List Oid Printf QCheck2 QCheck_alcotest Test_expr

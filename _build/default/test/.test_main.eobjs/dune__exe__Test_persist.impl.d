@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Db Errors Filename Fun Helpers List Oid Oodb QCheck2 QCheck_alcotest Sys System Test_value Transaction Value Workloads

@@ -1,0 +1,1 @@
+test/test_query_parser.ml: Alcotest Db Errors Helpers List Oid Oodb Printf String Value

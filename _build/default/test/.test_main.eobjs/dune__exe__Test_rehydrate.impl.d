@@ -1,0 +1,1 @@
+test/test_rehydrate.ml: Alcotest Db Events Expr Helpers Oodb Sentinel System Value Workloads

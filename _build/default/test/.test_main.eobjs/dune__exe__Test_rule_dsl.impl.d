@@ -1,0 +1,1 @@
+test/test_rule_dsl.ml: Alcotest Db Errors Events Expr Filename Fun Helpers List Oid Out_channel Printf Sentinel String Sys System Value

@@ -1,0 +1,1 @@
+test/test_rule_system.ml: Alcotest Db Errors Events Expr Helpers List Sentinel System Transaction Value

@@ -1,0 +1,1 @@
+test/test_schema.ml: Alcotest Db Errors Helpers List Oodb Schema Value Workloads

@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Db Errors Format Helpers List Oodb Transaction Value

@@ -1,0 +1,1 @@
+test/test_signature.ml: Alcotest Errors Events Helpers List Oodb

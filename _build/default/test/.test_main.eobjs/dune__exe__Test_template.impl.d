@@ -1,0 +1,1 @@
+test/test_template.ml: Alcotest Db Expr Helpers List Oodb Sentinel System Value Workloads

@@ -1,0 +1,1 @@
+test/test_transaction.ml: Alcotest Array Db Errors Helpers List Oid QCheck2 QCheck_alcotest Transaction Value

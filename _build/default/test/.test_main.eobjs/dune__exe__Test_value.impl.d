@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Errors Helpers List Oid Oodb QCheck2 QCheck_alcotest Value

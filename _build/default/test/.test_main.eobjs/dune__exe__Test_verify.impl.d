@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Array Db Errors Hashtbl Helpers List Oodb QCheck2 QCheck_alcotest String Transaction Value Workloads

@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Array Db Errors Expr Filename Fun Helpers List Oid Oodb QCheck2 QCheck_alcotest Sys System Transaction Value

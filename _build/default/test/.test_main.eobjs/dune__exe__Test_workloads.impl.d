@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Db Helpers Int List Value Workloads

@@ -1,0 +1,100 @@
+open Helpers
+module Analysis = Sentinel.Analysis
+
+(* A system where actions declare what they may send. *)
+let fixture () =
+  let db = employee_db () in
+  let sys = System.create db in
+  System.register_action sys "quiet" (fun _ _ -> ());
+  System.register_action sys
+    ~may_send:[ ("change_income", Oodb.Types.After) ]
+    "bump-income"
+    (fun _ _ -> ());
+  (db, sys)
+
+let rule sys name ~on ~action =
+  System.create_rule sys ~name ~event:(Expr.eom ~cls:"employee" on)
+    ~condition:"true" ~action ()
+
+let test_edges_and_termination () =
+  let _db, sys = fixture () in
+  (* salary-rule's action may send change_income; income-rule listens *)
+  let r1 = rule sys "salary-rule" ~on:"set_salary" ~action:"bump-income" in
+  let r2 = rule sys "income-rule" ~on:"change_income" ~action:"quiet" in
+  Alcotest.(check (list (pair oid oid))) "one edge" [ (r1, r2) ] (Analysis.edges sys);
+  Alcotest.(check (list oid)) "successors" [ r2 ] (Analysis.may_trigger sys r1);
+  Alcotest.(check bool) "terminating" true (Analysis.is_terminating sys);
+  match Analysis.strata sys with
+  | Some [ s0; s1 ] ->
+    Alcotest.(check (list oid)) "stratum 0 = leaf" [ r2 ] s0;
+    Alcotest.(check (list oid)) "stratum 1 = trigger" [ r1 ] s1
+  | _ -> Alcotest.fail "expected two strata"
+
+let test_self_loop () =
+  let _db, sys = fixture () in
+  let a = Oodb.Types.After in
+  System.register_action sys ~may_send:[ ("set_salary", a) ] "re-set"
+    (fun _ _ -> ());
+  let r = rule sys "loop" ~on:"set_salary" ~action:"re-set" in
+  Alcotest.(check bool) "not terminating" false (Analysis.is_terminating sys);
+  Alcotest.(check (list (list oid))) "self cycle" [ [ r ] ] (Analysis.cycles sys);
+  Alcotest.(check bool) "no strata" true (Analysis.strata sys = None)
+
+let test_two_rule_cycle () =
+  let _db, sys = fixture () in
+  let a = Oodb.Types.After in
+  System.register_action sys ~may_send:[ ("change_income", a) ] "poke-income"
+    (fun _ _ -> ());
+  System.register_action sys ~may_send:[ ("set_salary", a) ] "poke-salary"
+    (fun _ _ -> ());
+  let r1 = rule sys "r1" ~on:"set_salary" ~action:"poke-income" in
+  let r2 = rule sys "r2" ~on:"change_income" ~action:"poke-salary" in
+  (match Analysis.cycles sys with
+  | [ component ] ->
+    Alcotest.(check (list oid)) "both in the cycle" [ r1; r2 ]
+      (List.sort Oid.compare component)
+  | _ -> Alcotest.fail "expected one cycle");
+  (* breaking the cycle by deleting one rule restores termination *)
+  System.delete_rule sys r2;
+  Alcotest.(check bool) "terminating after delete" true
+    (Analysis.is_terminating sys)
+
+let test_modifier_precision () =
+  let _db, sys = fixture () in
+  (* action sends eom change_income; a rule on BOM change_income is NOT
+     triggered by it *)
+  ignore (rule sys "sender" ~on:"set_salary" ~action:"bump-income");
+  ignore
+    (System.create_rule sys ~name:"bom-listener"
+       ~event:(Expr.bom ~cls:"employee" "change_income")
+       ~condition:"true" ~action:"quiet" ());
+  Alcotest.(check (list (pair oid oid))) "no edge across modifiers" []
+    (Analysis.edges sys)
+
+let test_undeclared_effects_are_silent () =
+  let _db, sys = fixture () in
+  ignore (rule sys "a" ~on:"set_salary" ~action:"quiet");
+  ignore (rule sys "b" ~on:"set_salary" ~action:"quiet");
+  Alcotest.(check (list (pair oid oid))) "no declared effects, no edges" []
+    (Analysis.edges sys);
+  Alcotest.(check bool) "trivially terminating" true (Analysis.is_terminating sys)
+
+let test_report_renders () =
+  let _db, sys = fixture () in
+  ignore (rule sys "salary-rule" ~on:"set_salary" ~action:"bump-income");
+  ignore (rule sys "income-rule" ~on:"change_income" ~action:"quiet");
+  let report = Format.asprintf "%a" Analysis.pp_report sys in
+  Alcotest.(check bool) "mentions edge" true
+    (contains_substring ~sub:"salary-rule may trigger income-rule" report);
+  Alcotest.(check bool) "verdict" true
+    (contains_substring ~sub:"terminating" report)
+
+let suite =
+  [
+    test "edges, termination, strata" test_edges_and_termination;
+    test "self loop detected" test_self_loop;
+    test "two-rule cycle" test_two_rule_cycle;
+    test "modifier precision" test_modifier_precision;
+    test "undeclared effects are silent" test_undeclared_effects_are_silent;
+    test "report renders" test_report_renders;
+  ]

@@ -1,0 +1,113 @@
+open Helpers
+module Audit = Sentinel.Audit
+
+let fixture ?persist () =
+  let db = employee_db () in
+  let sys = System.create db in
+  System.register_action sys "noop" (fun _ _ -> ());
+  System.register_condition sys "big" (fun _db inst ->
+      match inst.Events.Detector.constituents with
+      | [ occ ] -> Value.to_float (List.hd occ.params) > 100.
+      | _ -> false);
+  let audit = Audit.attach ?persist sys in
+  (db, sys, audit)
+
+let watch sys ?(name = "watch") ?(condition = "true") ?(action = "noop") target =
+  System.create_rule sys ~name ~monitor:[ target ]
+    ~event:(Expr.eom ~cls:"employee" "set_salary")
+    ~condition ~action ()
+
+let test_outcomes_logged () =
+  let db, sys, audit = fixture () in
+  let e = new_employee db in
+  let r = watch sys e ~condition:"big" in
+  ignore (Db.send db e "set_salary" [ Value.Float 50. ]); (* condition false *)
+  ignore (Db.send db e "set_salary" [ Value.Float 200. ]); (* fires *)
+  (match Audit.entries audit with
+  | [ a; b ] ->
+    Alcotest.(check bool) "first false" true (a.e_outcome = Audit.Condition_false);
+    Alcotest.(check bool) "second fired" true (b.e_outcome = Audit.Fired);
+    Alcotest.check oid "rule recorded" r a.e_rule;
+    Alcotest.(check string) "name" "watch" a.e_rule_name;
+    Alcotest.(check bool) "chronological" true (a.e_at < b.e_at)
+  | l -> Alcotest.failf "expected 2 entries, got %d" (List.length l));
+  Alcotest.(check int) "count" 2 (Audit.count audit);
+  Alcotest.(check int) "per-rule filter" 2 (List.length (Audit.entries_for audit r));
+  Audit.clear audit;
+  Alcotest.(check int) "cleared" 0 (List.length (Audit.entries audit))
+
+let test_abort_logged () =
+  let db, sys, audit = fixture () in
+  let e = new_employee db in
+  ignore (watch sys e ~action:"abort");
+  (match
+     Transaction.atomically db (fun () ->
+         ignore (Db.send db e "set_salary" [ Value.Float 1. ]))
+   with
+  | Error (Errors.Rule_abort _) -> ()
+  | _ -> Alcotest.fail "expected abort");
+  match Audit.entries audit with
+  | [ { e_outcome = Audit.Aborted _; _ } ] -> ()
+  | _ -> Alcotest.fail "abort not logged"
+
+let test_persistent_firings () =
+  let db, sys, _audit = fixture ~persist:true () in
+  let e = new_employee db in
+  let r = watch sys e in
+  ignore (Db.send db e "set_salary" [ Value.Float 1. ]);
+  ignore (Db.send db e "set_salary" [ Value.Float 2. ]);
+  (match Audit.stored_firings sys with
+  | [ f1; _f2 ] ->
+    Alcotest.check value "references rule" (Value.Obj r) (Db.get db f1 "rule");
+    Alcotest.(check string) "outcome attr" "fired"
+      (Value.to_str (Db.get db f1 "outcome"))
+  | l -> Alcotest.failf "expected 2 firing objects, got %d" (List.length l));
+  (* firing records of an aborted transaction vanish with it *)
+  System.register_action sys "mutate-then-abort" (fun db _ ->
+      Db.set db e "income" (Value.Float 1.);
+      raise (Errors.Rule_abort "no"));
+  ignore (watch sys e ~name:"aborter" ~action:"mutate-then-abort");
+  (match
+     Transaction.atomically db (fun () ->
+         ignore (Db.send db e "set_salary" [ Value.Float 3. ]))
+   with
+  | Error (Errors.Rule_abort _) -> ()
+  | _ -> Alcotest.fail "expected abort");
+  (* the "watch" firing inside the aborted txn must not persist *)
+  Alcotest.(check int) "aborted txn leaves no records" 2
+    (List.length (Audit.stored_firings sys));
+  (* ... and the persistent records survive a save/load round trip *)
+  let db2 = Db.create () in
+  Workloads.Payroll.install db2;
+  let sys2 = System.create db2 in
+  Oodb.Persist.of_string db2 (Oodb.Persist.to_string db);
+  Alcotest.(check int) "audit survives reload" 2
+    (List.length (Audit.stored_firings sys2))
+
+let test_detach () =
+  let db, sys, audit = fixture () in
+  let e = new_employee db in
+  ignore (watch sys e);
+  Audit.detach audit;
+  ignore (Db.send db e "set_salary" [ Value.Float 1. ]);
+  Alcotest.(check int) "no longer observing" 0 (Audit.count audit)
+
+let test_limit () =
+  let db, sys, _ = fixture () in
+  let audit = Audit.attach ~limit:10 sys in
+  let e = new_employee db in
+  ignore (watch sys e);
+  for i = 1 to 100 do
+    ignore (Db.send db e "set_salary" [ Value.Float (float_of_int i) ])
+  done;
+  Alcotest.(check int) "total counted" 100 (Audit.count audit);
+  Alcotest.(check bool) "log bounded" true (List.length (Audit.entries audit) <= 10)
+
+let suite =
+  [
+    test "outcomes logged" test_outcomes_logged;
+    test "abort logged" test_abort_logged;
+    test "persistent firing objects" test_persistent_firings;
+    test "detach" test_detach;
+    test "memory bound" test_limit;
+  ]

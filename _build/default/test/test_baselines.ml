@@ -1,0 +1,198 @@
+open Helpers
+module Ode = Baselines.Ode
+module Adam = Baselines.Adam
+
+let salary db o = Value.to_float (Db.get db o "salary")
+
+(* --- Ode ------------------------------------------------------------------- *)
+
+let ode_fixture () =
+  let db = employee_db () in
+  let ode = Ode.create db in
+  Ode.declare_constraint ode ~cls:"employee" ~name:"non-negative-salary"
+    (fun db o -> salary db o >= 0.);
+  (db, ode)
+
+let test_ode_hard_constraint () =
+  let db, ode = ode_fixture () in
+  let e = new_employee db ~salary:5. in
+  (match
+     Transaction.atomically db (fun () ->
+         ignore (Ode.send ode e "set_salary" [ Value.Float (-1.) ]))
+   with
+  | Ok () -> Alcotest.fail "violation accepted"
+  | Error (Errors.Rule_abort _) -> ()
+  | Error e -> raise e);
+  Alcotest.check value "rolled back" (Value.Float 5.) (Db.get db e "salary");
+  (* a legal update passes *)
+  ignore (Ode.send ode e "set_salary" [ Value.Float 7. ]);
+  Alcotest.check value "accepted" (Value.Float 7.) (Db.get db e "salary")
+
+let test_ode_soft_constraint_repairs () =
+  let db = employee_db () in
+  let ode = Ode.create db in
+  Ode.declare_constraint ode ~cls:"employee" ~name:"salary-cap" ~kind:Ode.Soft
+    ~repair:(fun db o -> Db.set db o "salary" (Value.Float 100.))
+    (fun db o -> salary db o <= 100.);
+  let e = new_employee db ~salary:50. in
+  ignore (Ode.send ode e "set_salary" [ Value.Float 500. ]);
+  Alcotest.check value "repaired to cap" (Value.Float 100.) (Db.get db e "salary")
+
+let test_ode_soft_needs_repair () =
+  let db = employee_db () in
+  let ode = Ode.create db in
+  check_raises_any "soft without repair" (fun () ->
+      Ode.declare_constraint ode ~cls:"employee" ~name:"x" ~kind:Ode.Soft
+        (fun _ _ -> true))
+
+let test_ode_frozen_after_instances () =
+  let db, ode = ode_fixture () in
+  ignore (new_employee db);
+  check_raises_any "compile-time restriction" (fun () ->
+      Ode.declare_constraint ode ~cls:"employee" ~name:"late" (fun _ _ -> true))
+
+let test_ode_rebuild () =
+  let db, ode = ode_fixture () in
+  for _ = 1 to 10 do
+    ignore (new_employee db ~salary:50.)
+  done;
+  let revisited =
+    Ode.add_constraint_with_rebuild ode ~cls:"employee" ~name:"cap"
+      (fun db o -> salary db o <= 60.)
+  in
+  Alcotest.(check int) "all instances revisited" 10 revisited;
+  Alcotest.(check (list string))
+    "constraint active" [ "non-negative-salary"; "cap" ]
+    (Ode.constraints_of ode "employee");
+  (* rebuild against violating data aborts *)
+  ignore (new_employee db ~salary:1000.);
+  check_raises_any "violating instance rejected" (fun () ->
+      ignore
+        (Ode.add_constraint_with_rebuild ode ~cls:"employee" ~name:"cap2"
+           (fun db o -> salary db o <= 500.)))
+
+let test_ode_inheritance () =
+  let db, ode = ode_fixture () in
+  (* the employee constraint applies to manager instances too *)
+  let m = new_employee db ~cls:"manager" ~salary:10. in
+  Alcotest.(check (list string))
+    "inherited" [ "non-negative-salary" ]
+    (Ode.constraints_of ode "manager");
+  match
+    Transaction.atomically db (fun () ->
+        ignore (Ode.send ode m "set_salary" [ Value.Float (-5.) ]))
+  with
+  | Ok () -> Alcotest.fail "subclass escaped the constraint"
+  | Error (Errors.Rule_abort _) -> ()
+  | Error e -> raise e
+
+let test_ode_duplicate_name () =
+  let db, ode = ode_fixture () in
+  ignore db;
+  check_raises_any "duplicate" (fun () ->
+      Ode.declare_constraint ode ~cls:"employee" ~name:"non-negative-salary"
+        (fun _ _ -> true))
+
+let test_ode_counters () =
+  let db, ode = ode_fixture () in
+  let e = new_employee db in
+  ignore (Ode.send ode e "set_salary" [ Value.Float 1. ]);
+  ignore (Ode.send ode e "set_salary" [ Value.Float 2. ]);
+  Alcotest.(check int) "checks counted" 2 (Ode.checks_performed ode);
+  Alcotest.(check int) "no violations" 0 (Ode.violations ode)
+
+(* --- ADAM ------------------------------------------------------------------- *)
+
+let adam_fixture () =
+  let db = employee_db () in
+  let adam = Adam.create db in
+  let fired = ref [] in
+  let rule =
+    Adam.add_rule adam ~name:"watch" ~active_class:"employee" ~meth:"set_salary"
+      ~condition:(fun _ _ -> true)
+      ~action:(fun _db occ -> fired := occ :: !fired)
+      ()
+  in
+  (db, adam, rule, fun () -> List.length !fired)
+
+let test_adam_class_level_dispatch () =
+  let db, _adam, rule, fired = adam_fixture () in
+  let e = new_employee db in
+  let m = new_employee db ~cls:"manager" in
+  ignore (Db.send db e "set_salary" [ Value.Float 1. ]);
+  ignore (Db.send db m "set_salary" [ Value.Float 2. ]); (* subclass matches *)
+  ignore (Db.send db e "change_income" [ Value.Float 3. ]); (* method mismatch *)
+  Alcotest.(check int) "fired" 2 (fired ());
+  Alcotest.(check int) "rule counter" 2 (Adam.fired rule)
+
+let test_adam_disabled_for () =
+  let db, adam, rule, fired = adam_fixture () in
+  let e1 = new_employee db and e2 = new_employee db in
+  Adam.disable_for adam rule e1;
+  ignore (Db.send db e1 "set_salary" [ Value.Float 1. ]);
+  ignore (Db.send db e2 "set_salary" [ Value.Float 2. ]);
+  Alcotest.(check int) "e1 excluded" 1 (fired ());
+  Adam.enable_for adam rule e1;
+  ignore (Db.send db e1 "set_salary" [ Value.Float 3. ]);
+  Alcotest.(check int) "re-included" 2 (fired ())
+
+let test_adam_enable_disable_remove () =
+  let db, adam, rule, fired = adam_fixture () in
+  let e = new_employee db in
+  Adam.disable rule;
+  ignore (Db.send db e "set_salary" [ Value.Float 1. ]);
+  Adam.enable rule;
+  ignore (Db.send db e "set_salary" [ Value.Float 2. ]);
+  Adam.remove_rule adam rule;
+  ignore (Db.send db e "set_salary" [ Value.Float 3. ]);
+  Alcotest.(check int) "only the enabled window" 1 (fired ());
+  Alcotest.(check int) "no rules left" 0 (Adam.rule_count adam)
+
+let test_adam_centralized_scan_cost () =
+  let db, adam, _rule, _fired = adam_fixture () in
+  (* add 9 unrelated rules: every event still scans all 10 *)
+  for i = 1 to 9 do
+    ignore
+      (Adam.add_rule adam
+         ~name:(Printf.sprintf "unrelated-%d" i)
+         ~active_class:"manager" ~meth:"get_age"
+         ~condition:(fun _ _ -> true)
+         ~action:(fun _ _ -> ())
+         ())
+  done;
+  let e = new_employee db in
+  let before = Adam.scans adam in
+  ignore (Db.send db e "set_salary" [ Value.Float 1. ]);
+  Alcotest.(check int) "every rule scanned for one event" 10
+    (Adam.scans adam - before)
+
+let test_adam_modifier () =
+  let db = employee_db () in
+  let adam = Adam.create db in
+  let boms = ref 0 in
+  ignore
+    (Adam.add_rule adam ~name:"bom-watch" ~active_class:"employee" ~meth:"get_age"
+       ~modifier:Oodb.Types.Before
+       ~condition:(fun _ _ -> true)
+       ~action:(fun _ _ -> incr boms)
+       ());
+  let e = new_employee db in
+  ignore (Db.send db e "get_age" []); (* generates bom + eom *)
+  Alcotest.(check int) "only bom matched" 1 !boms
+
+let suite =
+  [
+    test "ode: hard constraint aborts" test_ode_hard_constraint;
+    test "ode: soft constraint repairs" test_ode_soft_constraint_repairs;
+    test "ode: soft requires repair" test_ode_soft_needs_repair;
+    test "ode: frozen after instances" test_ode_frozen_after_instances;
+    test "ode: rebuild revisits instances" test_ode_rebuild;
+    test "ode: constraints inherited" test_ode_inheritance;
+    test "ode: duplicate names rejected" test_ode_duplicate_name;
+    test "ode: counters" test_ode_counters;
+    test "adam: class-level dispatch" test_adam_class_level_dispatch;
+    test "adam: disabled-for list" test_adam_disabled_for;
+    test "adam: enable/disable/remove" test_adam_enable_disable_remove;
+    test "adam: centralized scan cost" test_adam_centralized_scan_cost;
+    test "adam: modifier filter" test_adam_modifier;
+  ]

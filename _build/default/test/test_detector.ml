@@ -1,0 +1,425 @@
+open Helpers
+
+(* Shorthand primitive occurrences: a/b/c are eom events of methods
+   "a"/"b"/"c" with auto-incrementing timestamps. *)
+let occ ?source ?cls meth at = mk_occ ?source ?cls ~at meth Oodb.Types.After
+let bom_occ meth at = mk_occ ~at meth Oodb.Types.Before
+
+let ea = Expr.eom "a"
+let eb = Expr.eom "b"
+let ec = Expr.eom "c"
+
+let stream meths = List.mapi (fun i m -> occ m (i + 1)) meths
+
+let run ?context expr meths = snd (detect ?context expr (stream meths))
+let count ?context expr meths = List.length (run ?context expr meths)
+
+(* --- primitive matching --------------------------------------------------- *)
+
+let test_prim_matching () =
+  Alcotest.(check int) "method match" 2 (count ea [ "a"; "b"; "a" ]);
+  Alcotest.(check int) "modifier mismatch" 0
+    (List.length (snd (detect ea [ bom_occ "a" 1 ])));
+  Alcotest.(check int) "class filter hit" 1
+    (List.length (snd (detect (Expr.eom ~cls:"employee" "a") [ occ "a" 1 ])));
+  Alcotest.(check int) "class filter miss" 0
+    (List.length (snd (detect (Expr.eom ~cls:"stock" "a") [ occ "a" 1 ])));
+  Alcotest.(check int) "source filter hit" 1
+    (List.length
+       (snd (detect (Expr.eom ~sources:[ Oid.of_int 5 ] "a") [ occ ~source:5 "a" 1 ])));
+  Alcotest.(check int) "source filter miss" 0
+    (List.length
+       (snd (detect (Expr.eom ~sources:[ Oid.of_int 5 ] "a") [ occ ~source:6 "a" 1 ])))
+
+let test_prim_subsumption () =
+  (* with a subsumption oracle, an event on the superclass matches
+     subclass occurrences *)
+  let subsumes ~sub ~super =
+    String.equal sub super || (sub = "manager" && super = "employee")
+  in
+  let d, signals =
+    detect ~subsumes (Expr.eom ~cls:"employee" "a") [ occ ~cls:"manager" "a" 1 ]
+  in
+  Alcotest.(check int) "subclass occurrence matches" 1 (List.length signals);
+  Alcotest.(check int) "fed counter" 1 (Events.Detector.fed d);
+  Alcotest.(check int) "signal counter" 1 (Events.Detector.signalled d)
+
+(* --- disjunction ----------------------------------------------------------- *)
+
+let test_disjunction () =
+  Alcotest.(check int) "either side" 3 (count (Expr.disj ea eb) [ "a"; "b"; "a"; "c" ]);
+  (* context-insensitive *)
+  List.iter
+    (fun ctx ->
+      Alcotest.(check int)
+        (Events.Context.to_string ctx)
+        3
+        (count ~context:ctx (Expr.disj ea eb) [ "a"; "b"; "a"; "c" ]))
+    Events.Context.all
+
+(* --- conjunction per context ----------------------------------------------- *)
+
+let conj = Expr.conj ea eb
+
+let test_and_recent () =
+  (* recent instances are retained: every completion re-pairs *)
+  Alcotest.(check int) "b then a" 1 (count ~context:Recent conj [ "b"; "a" ]);
+  Alcotest.(check int) "a a b -> pairs latest a" 1
+    (count ~context:Recent conj [ "a"; "a"; "b" ]);
+  (match run ~context:Recent conj [ "a"; "a"; "b" ] with
+  | [ i ] -> Alcotest.(check (list (pair string int))) "latest initiator"
+      [ ("a", 2); ("b", 3) ] (shape i)
+  | _ -> Alcotest.fail "one signal expected");
+  (* retained: second b pairs with the same recent a *)
+  Alcotest.(check int) "a b b" 2 (count ~context:Recent conj [ "a"; "b"; "b" ])
+
+let test_and_chronicle () =
+  (* FIFO pairing, each instance consumed once *)
+  Alcotest.(check int) "a b b" 1 (count ~context:Chronicle conj [ "a"; "b"; "b" ]);
+  Alcotest.(check int) "a a b b" 2 (count ~context:Chronicle conj [ "a"; "a"; "b"; "b" ]);
+  (match run ~context:Chronicle conj [ "a"; "a"; "b"; "b" ] with
+  | [ i1; i2 ] ->
+    Alcotest.(check (list (pair string int))) "oldest first"
+      [ ("a", 1); ("b", 3) ] (shape i1);
+    Alcotest.(check (list (pair string int))) "then next"
+      [ ("a", 2); ("b", 4) ] (shape i2)
+  | _ -> Alcotest.fail "two signals expected")
+
+let test_and_continuous () =
+  (* one terminator pairs with every buffered initiator, consuming them *)
+  Alcotest.(check int) "a a b" 2 (count ~context:Continuous conj [ "a"; "a"; "b" ]);
+  Alcotest.(check int) "a a b b" 2 (count ~context:Continuous conj [ "a"; "a"; "b"; "b" ]);
+  (* the second b found an empty buffer and is itself buffered *)
+  Alcotest.(check int) "a a b b a" 3
+    (count ~context:Continuous conj [ "a"; "a"; "b"; "b"; "a" ])
+
+let test_and_cumulative () =
+  (* everything folds into one composite *)
+  let signals = run ~context:Cumulative conj [ "a"; "a"; "b" ] in
+  Alcotest.(check int) "one signal" 1 (List.length signals);
+  (match signals with
+  | [ i ] ->
+    Alcotest.(check (list (pair string int))) "all constituents"
+      [ ("a", 1); ("a", 2); ("b", 3) ] (shape i)
+  | _ -> assert false);
+  Alcotest.(check int) "buffers cleared" 2
+    (count ~context:Cumulative conj [ "a"; "b"; "a"; "b" ])
+
+(* --- sequence per context ---------------------------------------------------- *)
+
+let seq = Expr.seq ea eb
+
+let test_seq_ordering () =
+  (* right before left never signals, in any context *)
+  List.iter
+    (fun ctx ->
+      Alcotest.(check int)
+        ("b a " ^ Events.Context.to_string ctx)
+        0
+        (count ~context:ctx seq [ "b"; "a" ]))
+    Events.Context.all;
+  Alcotest.(check int) "a b" 1 (count seq [ "a"; "b" ])
+
+let test_seq_contexts () =
+  Alcotest.(check int) "recent: a a b uses latest" 1
+    (count ~context:Recent seq [ "a"; "a"; "b" ]);
+  (match run ~context:Recent seq [ "a"; "a"; "b" ] with
+  | [ i ] ->
+    Alcotest.(check (list (pair string int))) "latest a" [ ("a", 2); ("b", 3) ] (shape i)
+  | _ -> Alcotest.fail "one expected");
+  Alcotest.(check int) "recent: initiator retained" 2
+    (count ~context:Recent seq [ "a"; "b"; "b" ]);
+  Alcotest.(check int) "chronicle: consumed" 1
+    (count ~context:Chronicle seq [ "a"; "b"; "b" ]);
+  Alcotest.(check int) "chronicle: pairs in order" 2
+    (count ~context:Chronicle seq [ "a"; "a"; "b"; "b" ]);
+  Alcotest.(check int) "continuous: both initiators" 2
+    (count ~context:Continuous seq [ "a"; "a"; "b" ]);
+  Alcotest.(check int) "continuous: consumed" 2
+    (count ~context:Continuous seq [ "a"; "a"; "b"; "b" ]);
+  Alcotest.(check int) "cumulative: one signal" 1
+    (count ~context:Cumulative seq [ "a"; "a"; "b" ]);
+  match run ~context:Cumulative seq [ "a"; "a"; "b" ] with
+  | [ i ] ->
+    Alcotest.(check (list (pair string int)))
+      "cumulative constituents"
+      [ ("a", 1); ("a", 2); ("b", 3) ]
+      (shape i)
+  | _ -> Alcotest.fail "one expected"
+
+let test_seq_nested () =
+  (* (a ; b) ; c needs a < b < c *)
+  let e = Expr.seq (Expr.seq ea eb) ec in
+  Alcotest.(check int) "in order" 1 (count e [ "a"; "b"; "c" ]);
+  Alcotest.(check int) "inner out of order" 0 (count e [ "b"; "a"; "c" ]);
+  Alcotest.(check int) "outer out of order" 0 (count e [ "c"; "a"; "b" ])
+
+(* --- any ---------------------------------------------------------------------- *)
+
+let test_any () =
+  let e = Expr.any 2 [ ea; eb; ec ] in
+  Alcotest.(check int) "two distinct" 1 (count e [ "a"; "c" ]);
+  Alcotest.(check int) "same child twice is not enough" 0 (count e [ "a"; "a" ]);
+  Alcotest.(check int) "resets after signal" 2 (count e [ "a"; "b"; "c"; "a" ]);
+  match run e [ "a"; "c" ] with
+  | [ i ] ->
+    Alcotest.(check (list (pair string int))) "constituents" [ ("a", 1); ("c", 2) ] (shape i)
+  | _ -> Alcotest.fail "one expected"
+
+(* --- not ----------------------------------------------------------------------- *)
+
+let test_not () =
+  let e = Expr.not_between ea eb ec in
+  Alcotest.(check int) "a c with no b" 1 (count e [ "a"; "c" ]);
+  Alcotest.(check int) "interposed b cancels" 0 (count e [ "a"; "b"; "c" ]);
+  Alcotest.(check int) "initiator consumed" 1 (count e [ "a"; "c"; "c" ]);
+  Alcotest.(check int) "no initiator" 0 (count e [ "c" ]);
+  Alcotest.(check int) "fresh initiator after cancel" 1
+    (count e [ "a"; "b"; "a"; "c" ])
+
+(* --- aperiodic ------------------------------------------------------------------ *)
+
+let test_aperiodic () =
+  let e = Expr.aperiodic ea eb ec in
+  Alcotest.(check int) "b inside window" 2 (count e [ "a"; "b"; "b"; "c" ]);
+  Alcotest.(check int) "b outside window" 0 (count e [ "b"; "c"; "b" ]);
+  Alcotest.(check int) "window closes" 1 (count e [ "a"; "b"; "c"; "b" ]);
+  Alcotest.(check int) "window reopens" 2 (count e [ "a"; "b"; "c"; "a"; "b" ]);
+  match run e [ "a"; "b"; "c" ] with
+  | [ i ] ->
+    Alcotest.(check (list (pair string int)))
+      "carries opener and the b" [ ("a", 1); ("b", 2) ] (shape i)
+  | _ -> Alcotest.fail "one expected"
+
+let test_aperiodic_star () =
+  let e = Expr.aperiodic_star ea eb ec in
+  (match run e [ "a"; "b"; "b"; "c" ] with
+  | [ i ] ->
+    Alcotest.(check (list (pair string int)))
+      "one cumulative signal"
+      [ ("a", 1); ("b", 2); ("b", 3); ("c", 4) ]
+      (shape i)
+  | _ -> Alcotest.fail "one expected");
+  Alcotest.(check int) "signals even with zero b" 1 (count e [ "a"; "c" ]);
+  Alcotest.(check int) "nothing without opener" 0 (count e [ "b"; "c" ])
+
+(* --- periodic / plus -------------------------------------------------------------- *)
+
+let test_periodic () =
+  let e = Expr.periodic ea 10 ec in
+  let signals = ref [] in
+  let d = Events.Detector.create ~on_signal:(fun i -> signals := i :: !signals) e in
+  Events.Detector.feed d (occ "a" 5); (* opens: ticks at 15, 25, ... *)
+  Events.Detector.advance d 14;
+  Alcotest.(check int) "not due yet" 0 (List.length !signals);
+  Events.Detector.advance d 26;
+  Alcotest.(check int) "two ticks due" 2 (List.length !signals);
+  Events.Detector.feed d (occ "c" 27); (* closes *)
+  Events.Detector.advance d 100;
+  Alcotest.(check int) "closed" 2 (List.length !signals);
+  (* tick timestamps are the due instants *)
+  let ats =
+    List.rev_map (fun (i : Events.Detector.instance) -> i.t_end) !signals
+  in
+  Alcotest.(check (list int)) "due instants" [ 15; 25 ] ats
+
+let test_periodic_limit () =
+  let e = Expr.periodic ~limit:3 ea 10 ec in
+  let signals = ref 0 in
+  let d = Events.Detector.create ~on_signal:(fun _ -> incr signals) e in
+  Events.Detector.feed d (occ "a" 0);
+  Events.Detector.advance d 1000;
+  Alcotest.(check int) "limit respected" 3 !signals
+
+let test_plus () =
+  let e = Expr.plus ea 10 in
+  let signals = ref [] in
+  let d = Events.Detector.create ~on_signal:(fun i -> signals := i :: !signals) e in
+  Events.Detector.feed d (occ "a" 5);
+  Events.Detector.feed d (occ "a" 7);
+  Events.Detector.advance d 14;
+  Alcotest.(check int) "not due" 0 (List.length !signals);
+  Events.Detector.advance d 15;
+  Alcotest.(check int) "first due" 1 (List.length !signals);
+  Events.Detector.advance d 17;
+  Alcotest.(check int) "second due" 2 (List.length !signals)
+
+(* --- machinery --------------------------------------------------------------------- *)
+
+let test_reset () =
+  let d, _ = detect conj [ occ "a" 1 ] in
+  Events.Detector.reset d;
+  let signals = ref 0 in
+  ignore signals;
+  (* after reset the buffered 'a' is gone: a lone b does not signal *)
+  Events.Detector.feed d (occ "b" 2);
+  Alcotest.(check int) "no stale state" 0 (Events.Detector.signalled d)
+
+let test_expire () =
+  (* chronicle conjunction: stale lefts are pruned, fresh ones kept *)
+  let signals = ref 0 in
+  let d =
+    Events.Detector.create ~context:Chronicle
+      ~on_signal:(fun _ -> incr signals)
+      conj
+  in
+  Events.Detector.feed d (occ "a" 1);
+  Events.Detector.feed d (occ "a" 100);
+  Events.Detector.expire d ~before:50;
+  (* the t=1 'a' is gone; the t=100 one pairs *)
+  Events.Detector.feed d (occ "b" 101);
+  Events.Detector.feed d (occ "b" 102);
+  Alcotest.(check int) "only the fresh initiator paired" 1 !signals;
+  (* windows survive expiry: an open aperiodic window still fires *)
+  let signals2 = ref 0 in
+  let d2 =
+    Events.Detector.create
+      ~on_signal:(fun _ -> incr signals2)
+      (Expr.aperiodic ea eb ec)
+  in
+  Events.Detector.feed d2 (occ "a" 1);
+  Events.Detector.expire d2 ~before:1000;
+  Events.Detector.feed d2 (occ "b" 1001);
+  Alcotest.(check int) "window intact" 1 !signals2;
+  (* scheduled plus events survive too *)
+  let signals3 = ref 0 in
+  let d3 =
+    Events.Detector.create ~on_signal:(fun _ -> incr signals3) (Expr.plus ea 10)
+  in
+  Events.Detector.feed d3 (occ "a" 1);
+  Events.Detector.expire d3 ~before:1000;
+  Events.Detector.advance d3 2000;
+  Alcotest.(check int) "scheduled event fired" 1 !signals3
+
+let test_advance_monotone () =
+  let e = Expr.plus ea 10 in
+  let signals = ref 0 in
+  let d = Events.Detector.create ~on_signal:(fun _ -> incr signals) e in
+  Events.Detector.feed d (occ "a" 5);
+  Events.Detector.advance d 100;
+  Events.Detector.advance d 50; (* ignored: time never goes back *)
+  Alcotest.(check int) "fired once" 1 !signals
+
+let test_instance_times () =
+  match run (Expr.conj ea eb) [ "b"; "a" ] with
+  | [ i ] ->
+    Alcotest.(check int) "t_start" 1 i.t_start;
+    Alcotest.(check int) "t_end" 2 i.t_end;
+    Alcotest.(check bool) "chronological constituents" true
+      (shape i = [ ("b", 1); ("a", 2) ])
+  | _ -> Alcotest.fail "one expected"
+
+(* --- more edge cases ------------------------------------------------------ *)
+
+let test_overlapping_children () =
+  (* one occurrence matching both children of a conjunction completes it
+     only together with a distinct partner occurrence *)
+  let e = Expr.conj (Expr.eom "a") (Expr.eom "a") in
+  Alcotest.(check int) "single a pairs with itself per semantics" 1
+    (count ~context:Recent e [ "a" ]);
+  (* in chronicle the same occurrence enters both sides' queues and pairs *)
+  Alcotest.(check int) "chronicle" 1 (count ~context:Chronicle e [ "a" ])
+
+let test_any_n_of_n () =
+  let e = Expr.any 3 [ ea; eb; ec ] in
+  Alcotest.(check int) "needs all three" 0 (count e [ "a"; "b" ]);
+  Alcotest.(check int) "all three" 1 (count e [ "a"; "b"; "c" ]);
+  Alcotest.(check int) "order free" 1 (count e [ "c"; "a"; "b" ])
+
+let test_deep_mixed_tree () =
+  (* ((a;b) AND c) OR not(a, b, c) over a scripted stream *)
+  let e =
+    Expr.disj
+      (Expr.conj (Expr.seq ea eb) ec)
+      (Expr.not_between ea eb ec)
+  in
+  (* stream: a b c — seq(a,b) completes at b; AND completes at c;
+     NOT is cancelled by the interposed b.  Total: 1 *)
+  Alcotest.(check int) "left arm only" 1 (count e [ "a"; "b"; "c" ]);
+  (* stream: a c — seq never completes; NOT fires at c.  Total: 1 *)
+  Alcotest.(check int) "right arm only" 1 (count e [ "a"; "c" ])
+
+let test_composite_inside_window () =
+  (* aperiodic whose middle event is itself composite: each completed
+     (a;b) inside the window signals *)
+  let e = Expr.aperiodic (Expr.eom "open") (Expr.seq ea eb) (Expr.eom "close") in
+  Alcotest.(check int) "composite middle" 2
+    (count e [ "open"; "a"; "b"; "a"; "b"; "close"; "a"; "b" ])
+
+let test_counters_accumulate () =
+  let d, signals = detect (Expr.disj ea eb) (stream [ "a"; "b"; "c"; "a" ]) in
+  Alcotest.(check int) "fed counts everything" 4 (Events.Detector.fed d);
+  Alcotest.(check int) "signalled matches list" (List.length signals)
+    (Events.Detector.signalled d);
+  Alcotest.(check int) "three signals" 3 (Events.Detector.signalled d)
+
+(* Properties *)
+
+let meths_gen = QCheck2.Gen.(list_size (int_bound 30) (oneofl [ "a"; "b"; "c" ]))
+
+let prop_disjunction_additive =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"|A or B| = |A| + |B| for disjoint prims" ~count:100
+       meths_gen (fun ms ->
+         count (Expr.disj ea eb) ms = count ea ms + count eb ms))
+
+let prop_seq_respects_order =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"sequence constituents always ordered" ~count:100
+       (QCheck2.Gen.pair meths_gen (QCheck2.Gen.oneofl Events.Context.all))
+       (fun (ms, ctx) ->
+         run ~context:ctx (Expr.seq ea eb) ms
+         |> List.for_all (fun (i : Events.Detector.instance) ->
+                match (i.constituents, List.rev i.constituents) with
+                | first :: _, last :: _ -> first.at < last.at
+                | _ -> false)))
+
+let prop_chronicle_consumes_once =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"chronicle conjunction consumes each occurrence once"
+       ~count:100 meths_gen (fun ms ->
+         let signals = run ~context:Chronicle (Expr.conj ea eb) ms in
+         let used = List.concat_map (fun (i : Events.Detector.instance) -> i.constituents) signals in
+         let distinct = List.sort_uniq Oodb.Occurrence.compare used in
+         List.length used = List.length distinct))
+
+let prop_cumulative_at_most_min =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"cumulative signals <= min(|A|,|B|)" ~count:100
+       meths_gen (fun ms ->
+         count ~context:Cumulative (Expr.conj ea eb) ms
+         <= min (count ea ms) (count eb ms)))
+
+let suite =
+  [
+    test "primitive matching" test_prim_matching;
+    test "primitive subsumption" test_prim_subsumption;
+    test "disjunction" test_disjunction;
+    test "conjunction: recent" test_and_recent;
+    test "conjunction: chronicle" test_and_chronicle;
+    test "conjunction: continuous" test_and_continuous;
+    test "conjunction: cumulative" test_and_cumulative;
+    test "sequence ordering" test_seq_ordering;
+    test "sequence contexts" test_seq_contexts;
+    test "nested sequence" test_seq_nested;
+    test "any" test_any;
+    test "not" test_not;
+    test "aperiodic" test_aperiodic;
+    test "aperiodic star" test_aperiodic_star;
+    test "periodic" test_periodic;
+    test "periodic with limit" test_periodic_limit;
+    test "plus" test_plus;
+    test "overlapping children" test_overlapping_children;
+    test "any n of n" test_any_n_of_n;
+    test "deep mixed tree" test_deep_mixed_tree;
+    test "composite inside window" test_composite_inside_window;
+    test "counters accumulate" test_counters_accumulate;
+    test "reset" test_reset;
+    test "expire" test_expire;
+    test "advance is monotone" test_advance_monotone;
+    test "instance timing" test_instance_times;
+    prop_disjunction_additive;
+    prop_seq_respects_order;
+    prop_chronicle_consumes_once;
+    prop_cumulative_at_most_min;
+  ]

@@ -1,0 +1,123 @@
+(* Differential testing: for the rule shapes that both engines can express
+   — class-level rules on single primitive events with stateless conditions
+   — Sentinel (subscription dispatch) and ADAM (centralized scan) must make
+   identical firing decisions on identical workloads.  The architectures
+   differ; the semantics must not. *)
+
+open Helpers
+module Prng = Workloads.Prng
+
+(* A random workload: n messages over a small population of employees and
+   managers, each message one of the reactive methods. *)
+type spec = {
+  sp_seed : int;
+  sp_rules : (string * string * Oodb.Types.modifier) list;
+      (* active_class, method, modifier *)
+  sp_ops : int;
+}
+
+let spec_gen =
+  let open QCheck2.Gen in
+  let rule_gen =
+    let* cls = oneofl [ "employee"; "manager" ] in
+    let* meth = oneofl [ "set_salary"; "change_income"; "get_age" ] in
+    let* modifier = oneofl [ Oodb.Types.Before; Oodb.Types.After ] in
+    return (cls, meth, modifier)
+  in
+  let* sp_seed = int_bound 10_000 in
+  let* sp_rules = list_size (int_range 1 6) rule_gen in
+  let* sp_ops = int_range 10 200 in
+  return { sp_seed; sp_rules; sp_ops }
+
+let build_population db rng =
+  let pop = Workloads.Payroll.populate db rng ~managers:3 ~employees:10 in
+  Array.append pop.managers pop.employees
+
+let run_ops db rng objs n =
+  for _ = 1 to n do
+    let target = Prng.choice rng objs in
+    match Prng.int rng 3 with
+    | 0 -> ignore (Db.send db target "set_salary" [ Value.Float (Prng.float rng 100.) ])
+    | 1 ->
+      ignore (Db.send db target "change_income" [ Value.Float (Prng.float rng 100.) ])
+    | _ -> ignore (Db.send db target "get_age" [])
+  done
+
+(* Events only fire for interface-listed (method, modifier) pairs; both
+   engines see the same stream, so rules on non-generating pairs fire zero
+   times in both. *)
+
+let sentinel_counts spec =
+  let db = employee_db () in
+  let sys = System.create db in
+  let counts = List.map (fun _ -> ref 0) spec.sp_rules in
+  List.iteri
+    (fun i (cls, meth, modifier) ->
+      let cell = List.nth counts i in
+      System.register_action sys (Printf.sprintf "count-%d" i) (fun _ _ -> incr cell);
+      ignore
+        (System.create_rule sys
+           ~name:(Printf.sprintf "r%d" i)
+           ~monitor_classes:[ cls ]
+           ~event:(Expr.prim ~cls modifier meth)
+           ~condition:"true"
+           ~action:(Printf.sprintf "count-%d" i)
+           ()))
+    spec.sp_rules;
+  let rng = Prng.create spec.sp_seed in
+  let objs = build_population db rng in
+  run_ops db rng objs spec.sp_ops;
+  List.map (fun r -> !r) counts
+
+let adam_counts spec =
+  let db = employee_db () in
+  let adam = Baselines.Adam.create db in
+  let rules =
+    List.mapi
+      (fun i (cls, meth, modifier) ->
+        Baselines.Adam.add_rule adam
+          ~name:(Printf.sprintf "r%d" i)
+          ~active_class:cls ~meth ~modifier
+          ~condition:(fun _ _ -> true)
+          ~action:(fun _ _ -> ())
+          ())
+      spec.sp_rules
+  in
+  let rng = Prng.create spec.sp_seed in
+  let objs = build_population db rng in
+  run_ops db rng objs spec.sp_ops;
+  List.map Baselines.Adam.fired rules
+
+let prop_engines_agree =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"sentinel and adam fire identically" ~count:100
+       spec_gen (fun spec -> sentinel_counts spec = adam_counts spec))
+
+(* And a pinned concrete case so a property-shrink failure has a readable
+   sibling. *)
+let test_concrete_agreement () =
+  let spec =
+    {
+      sp_seed = 7;
+      sp_rules =
+        [
+          ("employee", "set_salary", Oodb.Types.After);
+          ("manager", "set_salary", Oodb.Types.After);
+          ("employee", "get_age", Oodb.Types.Before);
+          ("employee", "set_salary", Oodb.Types.Before); (* never generated *)
+        ];
+      sp_ops = 500;
+    }
+  in
+  let s = sentinel_counts spec and a = adam_counts spec in
+  Alcotest.(check (list int)) "identical firing counts" a s;
+  (* sanity: the workload actually fired things *)
+  Alcotest.(check bool) "non-trivial" true (List.exists (fun c -> c > 0) s);
+  (* bom set_salary is not in the event interface: both silent *)
+  Alcotest.(check int) "non-generating pair silent" 0 (List.nth s 3)
+
+let suite =
+  [
+    test "concrete agreement" test_concrete_agreement;
+    prop_engines_agree;
+  ]

@@ -1,0 +1,150 @@
+open Helpers
+module Graph = Events.Event_graph
+
+let occ ?(source = 1) ?(cls = "employee") ~at meth =
+  mk_occ ~source ~cls ~at meth Oodb.Types.After
+
+let test_routing_equivalence () =
+  (* the graph must produce exactly what independent detectors produce *)
+  let exprs =
+    [
+      Expr.eom "a";
+      Expr.conj (Expr.eom "a") (Expr.eom "b");
+      Expr.seq (Expr.eom "b") (Expr.eom "c");
+      Expr.disj (Expr.eom "a") (Expr.eom "c");
+    ]
+  in
+  let stream = List.init 60 (fun i ->
+      occ ~at:(i + 1) (List.nth [ "a"; "b"; "c"; "d" ] (i mod 4)))
+  in
+  (* naive: every detector sees every occurrence *)
+  let naive =
+    List.map
+      (fun e ->
+        let n = ref 0 in
+        let d = Events.Detector.create ~on_signal:(fun _ -> incr n) e in
+        List.iter (Events.Detector.feed d) stream;
+        !n)
+      exprs
+  in
+  (* graph: indexed routing *)
+  let g = Graph.create () in
+  let counts = List.map (fun _ -> ref 0) exprs in
+  List.iter2
+    (fun e n -> ignore (Graph.subscribe g ~on_signal:(fun _ -> incr n) e))
+    exprs counts;
+  List.iter (Graph.feed g) stream;
+  Alcotest.(check (list int)) "same detections" naive
+    (List.map (fun r -> !r) counts)
+
+let test_routing_is_selective () =
+  let g = Graph.create () in
+  (* 50 subscriptions on methods m0..m49 *)
+  let hits = Array.make 50 0 in
+  for i = 0 to 49 do
+    ignore
+      (Graph.subscribe g
+         ~on_signal:(fun _ -> hits.(i) <- hits.(i) + 1)
+         (Expr.eom (Printf.sprintf "m%d" i)))
+  done;
+  Alcotest.(check int) "leaves indexed" 50 (Graph.leaf_count g);
+  (* one occurrence of m7: only one leaf offer happens *)
+  Graph.feed g (occ ~at:1 "m7");
+  Alcotest.(check int) "routed once" 1 (Graph.routed g);
+  Alcotest.(check int) "m7 fired" 1 hits.(7);
+  (* an occurrence nothing listens to routes nowhere *)
+  Graph.feed g (occ ~at:2 "unknown");
+  Alcotest.(check int) "still one" 1 (Graph.routed g)
+
+let test_unsubscribe () =
+  let g = Graph.create () in
+  let n = ref 0 in
+  let sub = Graph.subscribe g ~on_signal:(fun _ -> incr n) (Expr.eom "a") in
+  Graph.feed g (occ ~at:1 "a");
+  Graph.unsubscribe g sub;
+  Graph.unsubscribe g sub; (* idempotent *)
+  Graph.feed g (occ ~at:2 "a");
+  Alcotest.(check int) "stopped" 1 !n;
+  Alcotest.(check int) "no subs" 0 (Graph.subscription_count g);
+  Alcotest.(check int) "no leaves" 0 (Graph.leaf_count g)
+
+let test_modifier_keying () =
+  let g = Graph.create () in
+  let boms = ref 0 and eoms = ref 0 in
+  ignore (Graph.subscribe g ~on_signal:(fun _ -> incr boms) (Expr.bom "m"));
+  ignore (Graph.subscribe g ~on_signal:(fun _ -> incr eoms) (Expr.eom "m"));
+  Graph.feed g (mk_occ ~at:1 "m" Oodb.Types.Before);
+  Graph.feed g (mk_occ ~at:2 "m" Oodb.Types.After);
+  Alcotest.(check int) "bom" 1 !boms;
+  Alcotest.(check int) "eom" 1 !eoms;
+  (* each occurrence routed to exactly the matching-modifier leaf *)
+  Alcotest.(check int) "routed" 2 (Graph.routed g)
+
+let test_temporal_advance () =
+  let g = Graph.create () in
+  let ticks = ref 0 in
+  ignore
+    (Graph.subscribe g
+       ~on_signal:(fun _ -> incr ticks)
+       (Expr.periodic (Expr.eom "open") 10 (Expr.eom "close")));
+  Graph.feed g (occ ~at:5 "open");
+  (* unrelated traffic advances the clock and fires due ticks *)
+  Graph.feed g (occ ~at:26 "noise");
+  Alcotest.(check int) "ticks at 15 and 25" 2 !ticks;
+  Graph.advance g 40;
+  Alcotest.(check int) "explicit advance" 3 !ticks
+
+let test_shared_contexts_independent () =
+  (* two subscriptions on the same expression detect independently *)
+  let g = Graph.create () in
+  let a = ref 0 and b = ref 0 in
+  let e = Expr.conj (Expr.eom "x") (Expr.eom "y") in
+  ignore (Graph.subscribe g ~on_signal:(fun _ -> incr a) e);
+  let sub_b = Graph.subscribe g ~on_signal:(fun _ -> incr b) e in
+  Graph.feed g (occ ~at:1 "x");
+  (* resetting one detector must not affect the other *)
+  Events.Detector.reset (Graph.detector sub_b);
+  Graph.feed g (occ ~at:2 "y");
+  Alcotest.(check int) "a detected" 1 !a;
+  Alcotest.(check int) "b was reset" 0 !b
+
+let prop_graph_equals_naive =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"graph routing = naive feeding" ~count:100
+       QCheck2.Gen.(list_size (int_bound 40) (oneofl [ "a"; "b"; "c" ]))
+       (fun meths ->
+         let stream = List.mapi (fun i m -> occ ~at:(i + 1) m) meths in
+         let exprs =
+           [
+             Expr.seq (Expr.eom "a") (Expr.eom "b");
+             Expr.conj (Expr.eom "b") (Expr.eom "c");
+             Expr.any 2 [ Expr.eom "a"; Expr.eom "b"; Expr.eom "c" ];
+           ]
+         in
+         let naive =
+           List.map
+             (fun e ->
+               let n = ref 0 in
+               let d = Events.Detector.create ~on_signal:(fun _ -> incr n) e in
+               List.iter (Events.Detector.feed d) stream;
+               !n)
+             exprs
+         in
+         let g = Graph.create () in
+         let counts = List.map (fun _ -> ref 0) exprs in
+         List.iter2
+           (fun e n -> ignore (Graph.subscribe g ~on_signal:(fun _ -> incr n) e))
+           exprs counts;
+         List.iter (Graph.feed g) stream;
+         naive = List.map (fun r -> !r) counts))
+
+let suite =
+  [
+    test "routing equivalence" test_routing_equivalence;
+    test "routing is selective" test_routing_is_selective;
+    test "unsubscribe" test_unsubscribe;
+    test "modifier keying" test_modifier_keying;
+    test "temporal advance" test_temporal_advance;
+    test "subscriptions are independent" test_shared_contexts_independent;
+    prop_graph_equals_naive;
+  ]

@@ -1,0 +1,115 @@
+open Helpers
+module Evolution = Oodb.Evolution
+
+let test_add_attribute_backfills () =
+  let db = employee_db () in
+  let e = new_employee db in
+  let m = new_employee db ~cls:"manager" in
+  let n = Evolution.add_attribute db ~cls:"employee" ~attr:"bonus" ~default:(Value.Float 0.) in
+  Alcotest.(check int) "both instances backfilled" 2 n;
+  Alcotest.check value "employee has it" (Value.Float 0.) (Db.get db e "bonus");
+  Alcotest.check value "subclass instance too" (Value.Float 0.) (Db.get db m "bonus");
+  (* new instances get the default *)
+  let e2 = new_employee db in
+  Alcotest.check value "new instance" (Value.Float 0.) (Db.get db e2 "bonus");
+  (* and the attribute is settable/indexable like any other *)
+  Db.set db e "bonus" (Value.Float 50.);
+  Db.create_index db ~cls:"employee" ~attr:"bonus" ();
+  Alcotest.(check (list oid)) "indexed" [ e ]
+    (Db.index_lookup db ~cls:"employee" ~attr:"bonus" (Value.Float 50.))
+
+let test_add_attribute_conflicts () =
+  let db = employee_db () in
+  check_raises_any "existing attr" (fun () ->
+      ignore (Evolution.add_attribute db ~cls:"employee" ~attr:"salary" ~default:Value.Null));
+  check_raises_any "inherited attr" (fun () ->
+      ignore (Evolution.add_attribute db ~cls:"manager" ~attr:"salary" ~default:Value.Null));
+  (* a subclass already declaring the name blocks the superclass *)
+  Db.define_class db
+    (Schema.define "contractor" ~super:"employee" ~attrs:[ ("agency", Value.Str "") ]);
+  check_raises_any "subclass declares it" (fun () ->
+      ignore (Evolution.add_attribute db ~cls:"employee" ~attr:"agency" ~default:Value.Null));
+  Transaction.begin_ db;
+  check_raises_any "DDL in txn" (fun () ->
+      ignore (Evolution.add_attribute db ~cls:"employee" ~attr:"x" ~default:Value.Null));
+  Transaction.abort db
+
+let test_remove_attribute () =
+  let db = employee_db () in
+  let e = new_employee db in
+  ignore (Evolution.add_attribute db ~cls:"employee" ~attr:"bonus" ~default:(Value.Int 1));
+  Db.create_index db ~cls:"employee" ~attr:"bonus" ();
+  let n = Evolution.remove_attribute db ~cls:"employee" ~attr:"bonus" in
+  Alcotest.(check int) "touched" 1 n;
+  Alcotest.check_raises "gone" (Errors.No_such_attribute ("employee", "bonus"))
+    (fun () -> ignore (Db.get db e "bonus"));
+  Alcotest.(check (list oid)) "unindexed" []
+    (Db.index_lookup db ~cls:"employee" ~attr:"bonus" (Value.Int 1));
+  check_raises_any "not declared here" (fun () ->
+      ignore (Evolution.remove_attribute db ~cls:"manager" ~attr:"salary"))
+
+let test_add_method () =
+  let db = employee_db () in
+  let e = new_employee db ~salary:100. in
+  Evolution.add_method db ~cls:"employee" "double_salary" (fun db self _ ->
+      let v = Value.to_float (Db.get db self "salary") in
+      Db.set db self "salary" (Value.Float (v *. 2.));
+      Db.get db self "salary");
+  Alcotest.check value "new method runs" (Value.Float 200.)
+    (Db.send db e "double_salary" []);
+  check_raises_any "duplicate" (fun () ->
+      Evolution.add_method db ~cls:"employee" "double_salary" (fun _ _ _ -> Value.Null))
+
+let test_promote_method_to_event_generator () =
+  let db = Db.create () in
+  let sys = System.create db in
+  (* a PASSIVE legacy class, defined with no monitoring in mind *)
+  Db.define_class db
+    (Schema.define "legacy"
+       ~attrs:[ ("x", Value.Int 0) ]
+       ~methods:[ ("poke", Workloads.Dsl.setter "x") ]);
+  let o = Db.new_object db "legacy" in
+  let fired = ref 0 in
+  System.register_action sys "count" (fun _ _ -> incr fired);
+  ignore
+    (System.create_rule sys ~monitor:[ o ]
+       ~event:(Expr.eom ~cls:"legacy" "poke")
+       ~condition:"true" ~action:"count" ());
+  ignore (Db.send db o "poke" [ Value.Int 1 ]);
+  Alcotest.(check int) "passive: no events" 0 !fired;
+  (* promote at runtime; the stored instance is untouched *)
+  Evolution.add_event_generator db ~cls:"legacy" ~meth:"poke" Schema.On_end;
+  ignore (Db.send db o "poke" [ Value.Int 2 ]);
+  Alcotest.(check int) "now reactive" 1 !fired;
+  (* demote again *)
+  Evolution.remove_event_generator db ~cls:"legacy" ~meth:"poke";
+  ignore (Db.send db o "poke" [ Value.Int 3 ]);
+  Alcotest.(check int) "demoted" 1 !fired
+
+let test_event_generator_inheritance_refresh () =
+  let db = Db.create () in
+  Db.define_class db
+    (Schema.define "base"
+       ~methods:[ ("m", fun _ _ _ -> Value.Null) ]);
+  Db.define_class db (Schema.define "derived" ~super:"base");
+  let d = Db.new_object db "derived" in
+  let count = ref 0 in
+  Db.add_tap db (fun _ _ -> incr count);
+  ignore (Db.send db d "m" []);
+  Alcotest.(check int) "passive" 0 !count;
+  (* promoting on the BASE must refresh the subclass's flattened cache *)
+  Evolution.add_event_generator db ~cls:"base" ~meth:"m" Schema.On_both;
+  ignore (Db.send db d "m" []);
+  Alcotest.(check int) "subclass inherits promotion" 2 !count;
+  check_raises_any "unknown method" (fun () ->
+      Evolution.add_event_generator db ~cls:"base" ~meth:"ghost" Schema.On_end)
+
+let suite =
+  [
+    test "add attribute backfills" test_add_attribute_backfills;
+    test "add attribute conflicts" test_add_attribute_conflicts;
+    test "remove attribute" test_remove_attribute;
+    test "add method" test_add_method;
+    test "promote method to event generator" test_promote_method_to_event_generator;
+    test "promotion refreshes subclasses" test_event_generator_inheritance_refresh;
+  ]

@@ -1,0 +1,138 @@
+open Helpers
+module Codec = Events.Codec
+
+let e1 = Expr.eom ~cls:"employee" "set_salary"
+let e2 = Expr.bom ~cls:"manager" "set_salary"
+let e3 = Expr.eom "tick"
+
+let test_constructors () =
+  (match Expr.prim ~cls:"c" ~sources:[ Oid.of_int 1 ] Oodb.Types.After "m" with
+  | Expr.Prim p ->
+    Alcotest.(check string) "meth" "m" p.p_meth;
+    Alcotest.(check int) "sources" 1 (Oid.Set.cardinal p.p_sources)
+  | _ -> Alcotest.fail "not a prim");
+  match Expr.of_signature ~sources:[ Oid.of_int 9 ] "end stock::set_price(float p)" with
+  | Expr.Prim p ->
+    Alcotest.(check (option string)) "cls" (Some "stock") p.p_class;
+    Alcotest.(check bool) "source filter" true
+      (Oid.Set.mem (Oid.of_int 9) p.p_sources)
+  | _ -> Alcotest.fail "not a prim"
+
+let test_validation () =
+  check_raises_any "any m=0" (fun () -> Expr.any 0 [ e1 ]);
+  check_raises_any "any m>n" (fun () -> Expr.any 3 [ e1; e2 ]);
+  check_raises_any "periodic dt=0" (fun () -> Expr.periodic e1 0 e2);
+  check_raises_any "periodic limit=0" (fun () -> Expr.periodic ~limit:0 e1 5 e2);
+  check_raises_any "plus dt<0" (fun () -> Expr.plus e1 (-1))
+
+let test_equal () =
+  Alcotest.(check bool) "same" true (Expr.equal (Expr.conj e1 e2) (Expr.conj e1 e2));
+  Alcotest.(check bool) "operator matters" false
+    (Expr.equal (Expr.conj e1 e2) (Expr.disj e1 e2));
+  Alcotest.(check bool) "order matters" false
+    (Expr.equal (Expr.seq e1 e2) (Expr.seq e2 e1));
+  Alcotest.(check bool) "sources matter" false
+    (Expr.equal (Expr.eom ~cls:"c" "m") (Expr.eom ~cls:"c" ~sources:[ Oid.of_int 1 ] "m"))
+
+let test_inspection () =
+  let e = Expr.conj (Expr.seq e1 e2) (Expr.disj e3 e1) in
+  Alcotest.(check int) "prims" 4 (List.length (Expr.prims e));
+  Alcotest.(check int) "size" 7 (Expr.size e);
+  Alcotest.(check int) "depth" 3 (Expr.depth e);
+  Alcotest.(check int) "not size" 4 (Expr.size (Expr.not_between e1 e2 e3));
+  Alcotest.(check bool) "pp mentions operator" true
+    (let s = Expr.to_string (Expr.conj e1 e2) in
+     String.length s > 0
+     &&
+     let rec contains i =
+       i + 3 <= String.length s && (String.sub s i 3 = "AND" || contains (i + 1))
+     in
+     contains 0)
+
+let test_codec_cases () =
+  let roundtrip e =
+    Alcotest.(check bool)
+      (Expr.to_string e)
+      true
+      (Expr.equal e (Codec.decode (Codec.encode e)))
+  in
+  roundtrip e1;
+  roundtrip (Expr.eom "anyclass_method");
+  roundtrip (Expr.eom ~cls:"weird class!" ~sources:[ Oid.of_int 3; Oid.of_int 7 ] "odd,meth()");
+  roundtrip (Expr.conj e1 e2);
+  roundtrip (Expr.disj (Expr.seq e1 e2) e3);
+  roundtrip (Expr.any 2 [ e1; e2; e3 ]);
+  roundtrip (Expr.not_between e1 e2 e3);
+  roundtrip (Expr.aperiodic e1 e2 e3);
+  roundtrip (Expr.aperiodic_star e1 e2 e3);
+  roundtrip (Expr.periodic e1 10 e3);
+  roundtrip (Expr.periodic ~limit:5 e1 10 e3);
+  roundtrip (Expr.plus e1 42)
+
+let test_codec_errors () =
+  let bad s =
+    match Codec.decode s with
+    | _ -> Alcotest.failf "%S should not decode" s
+    | exception Errors.Parse_error _ -> ()
+  in
+  bad "";
+  bad "frob(a,b)";
+  bad "and(prim(end,,m,))"; (* missing second operand *)
+  bad "prim(end,,m,)x"; (* trailing garbage *)
+  bad "per(prim(end,,m,),x,-,prim(end,,m,))"
+
+(* Random expression generator for the roundtrip property. *)
+let expr_gen =
+  let open QCheck2.Gen in
+  let name = oneofl [ "m1"; "m2"; "set_salary"; "deposit" ] in
+  let prim_gen =
+    let* meth = name in
+    let* cls = opt (oneofl [ "employee"; "manager"; "account" ]) in
+    let* srcs = list_size (int_bound 2) (map (fun i -> Oid.of_int (1 + abs i)) small_signed_int) in
+    let* modifier = oneofl [ Oodb.Types.Before; Oodb.Types.After ] in
+    return (Expr.prim ?cls ~sources:srcs modifier meth)
+  in
+  sized
+  @@ fix (fun self n ->
+         if n <= 1 then prim_gen
+         else
+           let sub = self (n / 2) in
+           oneof
+             [
+               prim_gen;
+               map2 Expr.conj sub sub;
+               map2 Expr.disj sub sub;
+               map2 Expr.seq sub sub;
+               map3 Expr.not_between sub sub sub;
+               map3 Expr.aperiodic sub sub sub;
+               map3 Expr.aperiodic_star sub sub sub;
+               (let* a = sub and* b = sub and* dt = int_range 1 100 in
+                return (Expr.periodic a dt b));
+               (let* a = sub and* dt = int_range 1 100 in
+                return (Expr.plus a dt));
+               (let* es = list_size (int_range 1 3) sub in
+                let* m = int_range 1 (List.length es) in
+                return (Expr.any m es));
+             ])
+
+let prop_codec_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"expr codec roundtrip" ~count:300 expr_gen (fun e ->
+         Expr.equal e (Codec.decode (Codec.encode e))))
+
+let prop_size_depth =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"depth <= size" ~count:200 expr_gen (fun e ->
+         Expr.depth e <= Expr.size e && Expr.size e >= 1))
+
+let suite =
+  [
+    test "constructors" test_constructors;
+    test "validation" test_validation;
+    test "structural equality" test_equal;
+    test "inspection" test_inspection;
+    test "codec cases" test_codec_cases;
+    test "codec rejects garbage" test_codec_errors;
+    prop_codec_roundtrip;
+    prop_size_depth;
+  ]

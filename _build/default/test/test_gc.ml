@@ -1,0 +1,95 @@
+open Helpers
+module Gc = Oodb.Gc
+
+let test_reachability () =
+  let db = employee_db () in
+  let a = new_employee db and b = new_employee db and c = new_employee db in
+  let d = new_employee db in
+  Db.set db a "mgr" (Value.Obj b); (* a -> b *)
+  Db.set db b "mgr" (Value.Obj c); (* b -> c *)
+  ignore d; (* unreferenced *)
+  let live = Gc.reachable db ~roots:[ a ] in
+  Alcotest.(check int) "three reachable" 3 (Oid.Set.cardinal live);
+  Alcotest.(check bool) "d unreachable" false (Oid.Set.mem d live);
+  Alcotest.(check (list oid)) "garbage" [ d ] (Gc.garbage db ~roots:[ a ])
+
+let test_refs_inside_lists () =
+  let db = Db.create () in
+  Db.define_class db
+    (Schema.define "container" ~attrs:[ ("items", Value.List []) ]);
+  let inner = Db.new_object db "container" in
+  let outer =
+    Db.new_object db "container"
+      ~attrs:[ ("items", Value.List [ Value.Int 1; Value.List [ Value.Obj inner ] ]) ]
+  in
+  Alcotest.(check bool) "nested list reference found" true
+    (Oid.Set.mem inner (Gc.reachable db ~roots:[ outer ]))
+
+let test_consumers_keep_alive () =
+  let db, sys, collector, _ = sys_with_collector () in
+  ignore sys;
+  let e = new_employee db in
+  Db.subscribe db ~reactive:e ~consumer:collector;
+  (* the collector is reachable through e's consumers list *)
+  Alcotest.(check bool) "consumer reachable" true
+    (Oid.Set.mem collector (Gc.reachable db ~roots:[ e ]))
+
+let test_class_consumers_are_roots () =
+  let db = employee_db () in
+  let sys = System.create db in
+  System.register_action sys "noop" (fun _ _ -> ());
+  let rule =
+    System.create_rule sys ~monitor_classes:[ "employee" ]
+      ~event:(Expr.eom ~cls:"employee" "set_salary")
+      ~condition:"true" ~action:"noop" ()
+  in
+  (* no explicit root references the rule, yet it must survive *)
+  Alcotest.(check (list oid)) "no garbage" [] (Gc.garbage db ~roots:[]);
+  Alcotest.(check bool) "rule is live" true
+    (Oid.Set.mem rule (Gc.reachable db ~roots:[]))
+
+let test_collect () =
+  let db = employee_db () in
+  let keep = new_employee db in
+  let child = new_employee db in
+  Db.set db keep "mgr" (Value.Obj child);
+  for _ = 1 to 10 do
+    ignore (new_employee db)
+  done;
+  let removed = Gc.collect db ~roots:[ keep ] in
+  Alcotest.(check int) "ten collected" 10 removed;
+  Alcotest.(check bool) "root kept" true (Db.exists db keep);
+  Alcotest.(check bool) "referenced kept" true (Db.exists db child);
+  Alcotest.(check int) "extent shrank" 2
+    (List.length (Db.extent db ~deep:true "employee"));
+  Alcotest.(check int) "idempotent" 0 (Gc.collect db ~roots:[ keep ])
+
+let test_collect_is_undoable () =
+  let db = employee_db () in
+  let keep = new_employee db in
+  let stray = new_employee db in
+  Transaction.begin_ db;
+  Alcotest.(check int) "collected in txn" 1 (Gc.collect db ~roots:[ keep ]);
+  Alcotest.(check bool) "gone inside" false (Db.exists db stray);
+  Transaction.abort db;
+  Alcotest.(check bool) "restored by abort" true (Db.exists db stray)
+
+let test_cycles_collected_together () =
+  let db = employee_db () in
+  let a = new_employee db and b = new_employee db in
+  (* a and b reference each other but nothing roots them *)
+  Db.set db a "mgr" (Value.Obj b);
+  Db.set db b "mgr" (Value.Obj a);
+  let keep = new_employee db in
+  Alcotest.(check int) "cycle collected" 2 (Gc.collect db ~roots:[ keep ])
+
+let suite =
+  [
+    test "reachability" test_reachability;
+    test "references inside lists" test_refs_inside_lists;
+    test "consumers keep alive" test_consumers_keep_alive;
+    test "class consumers are roots" test_class_consumers_are_roots;
+    test "collect" test_collect;
+    test "collect is undoable" test_collect_is_undoable;
+    test "cycles collected" test_cycles_collected_together;
+  ]

@@ -1,0 +1,79 @@
+open Helpers
+module Introspect = Oodb.Introspect
+module Analysis = Sentinel.Analysis
+
+let test_class_stats () =
+  let db = employee_db () in
+  ignore (new_employee db);
+  ignore (new_employee db ~cls:"manager");
+  let s = Introspect.class_stats db "employee" in
+  Alcotest.(check (option string)) "no super" None s.cs_super;
+  Alcotest.(check bool) "reactive" true s.cs_reactive;
+  Alcotest.(check int) "direct" 1 s.cs_direct_instances;
+  Alcotest.(check int) "deep" 2 s.cs_deep_instances;
+  Alcotest.(check bool) "has set_salary method" true
+    (List.mem "set_salary" s.cs_methods);
+  Alcotest.(check bool) "event interface lists it" true
+    (List.mem_assoc "set_salary" s.cs_event_interface);
+  Alcotest.(check bool) "get_name not an event" false
+    (List.mem_assoc "get_name" s.cs_event_interface);
+  let m = Introspect.class_stats db "manager" in
+  Alcotest.(check (option string)) "manager super" (Some "employee") m.cs_super;
+  Alcotest.(check bool) "inherits attrs" true (List.mem_assoc "salary" m.cs_attributes)
+
+let test_histogram () =
+  let db = employee_db () in
+  ignore (new_employee db ~salary:1.);
+  ignore (new_employee db ~salary:2.);
+  ignore (new_employee db ~salary:2.);
+  ignore (new_employee db ~salary:3.);
+  (match Introspect.attribute_histogram db ~cls:"employee" ~attr:"salary" () with
+  | (v, n) :: _ ->
+    Alcotest.check value "most frequent" (Value.Float 2.) v;
+    Alcotest.(check int) "count" 2 n
+  | [] -> Alcotest.fail "empty histogram");
+  Alcotest.(check int) "top limits" 2
+    (List.length
+       (Introspect.attribute_histogram db ~cls:"employee" ~attr:"salary" ~top:2 ()))
+
+let test_reports_render () =
+  let db, sys, collector, _ = sys_with_collector () in
+  ignore sys;
+  let e = new_employee db in
+  Db.subscribe db ~reactive:e ~consumer:collector;
+  Alcotest.(check int) "subscription edges" 1 (Introspect.subscription_count db);
+  let schema = Format.asprintf "%a" Introspect.pp_schema db in
+  Alcotest.(check bool) "schema mentions class" true
+    (contains_substring ~sub:"class employee" schema);
+  Alcotest.(check bool) "schema mentions event" true
+    (contains_substring ~sub:"[event" schema);
+  let summary = Format.asprintf "%a" Introspect.pp_summary db in
+  Alcotest.(check bool) "summary mentions edges" true
+    (contains_substring ~sub:"1 subscription edge" summary)
+
+let test_dot_export () =
+  let db = employee_db () in
+  let sys = System.create db in
+  System.register_action sys
+    ~may_send:[ ("set_salary", Oodb.Types.After) ]
+    "loop-action"
+    (fun _ _ -> ());
+  ignore
+    (System.create_rule sys ~name:"looper"
+       ~event:(Expr.eom ~cls:"employee" "set_salary")
+       ~condition:"true" ~action:"loop-action" ());
+  let dot = Analysis.to_dot sys in
+  Alcotest.(check bool) "digraph" true (contains_substring ~sub:"digraph" dot);
+  Alcotest.(check bool) "node labelled" true
+    (contains_substring ~sub:"\"looper\"" dot);
+  Alcotest.(check bool) "self loop in red" true
+    (contains_substring ~sub:"color=red" dot);
+  Alcotest.(check bool) "edge drawn" true (contains_substring ~sub:" -> " dot)
+
+let suite =
+  [
+    test "class stats" test_class_stats;
+    test "attribute histogram" test_histogram;
+    test "reports render" test_reports_render;
+    test "triggering graph dot export" test_dot_export;
+  ]

@@ -1,0 +1,35 @@
+let () =
+  Alcotest.run "sentinel"
+    [
+      ("value", Test_value.suite);
+      ("schema", Test_schema.suite);
+      ("db", Test_db.suite);
+      ("transaction", Test_transaction.suite);
+      ("btree", Test_btree.suite);
+      ("index-query", Test_index_query.suite);
+      ("query-parser", Test_query_parser.suite);
+      ("persist", Test_persist.suite);
+      ("wal", Test_wal.suite);
+      ("evolution", Test_evolution.suite);
+      ("gc", Test_gc.suite);
+      ("session", Test_session.suite);
+      ("verify", Test_verify.suite);
+      ("introspect", Test_introspect.suite);
+      ("signature", Test_signature.suite);
+      ("expr", Test_expr.suite);
+      ("detector", Test_detector.suite);
+      ("event-graph", Test_event_graph.suite);
+      ("rule-system", Test_rule_system.suite);
+      ("parser", Test_parser.suite);
+      ("param-filters", Test_param_filters.suite);
+      ("rule-dsl", Test_rule_dsl.suite);
+      ("template", Test_template.suite);
+      ("analysis", Test_analysis.suite);
+      ("audit", Test_audit.suite);
+      ("rehydrate", Test_rehydrate.suite);
+      ("baselines", Test_baselines.suite);
+      ("workloads", Test_workloads.suite);
+      ("paper-examples", Test_paper_examples.suite);
+      ("differential", Test_differential.suite);
+      ("interactions", Test_interactions.suite);
+    ]

@@ -1,0 +1,264 @@
+(* Integration tests reproducing the paper's worked examples end to end:
+   - §2.1 / Figure 2: the Purchase rule (inter-object, inter-class event)
+   - Figure 9: the class-level Marriage rule with Immediate coupling + abort
+   - Figure 10: the instance-level IncomeLevel rule across two classes
+   - §4.6: the Deposit;Withdraw sequence event from signatures
+   - §5.1: Salary-check enforced identically by Sentinel, Ode and ADAM *)
+
+open Helpers
+module Coupling = Sentinel.Coupling
+module Rule = Sentinel.Rule
+
+(* --- §2.1 Purchase ----------------------------------------------------------- *)
+
+let test_purchase_rule () =
+  let db = Db.create () in
+  let sys = System.create db in
+  Workloads.Stock_market.install db;
+  let ibm =
+    Db.new_object db "stock"
+      ~attrs:[ ("symbol", Value.Str "IBM"); ("price", Value.Float 100.) ]
+  in
+  let other_stock = Db.new_object db "stock" in
+  let dow = Db.new_object db "financial_info" ~attrs:[ ("name", Value.Str "DowJones") ] in
+  let parker = Db.new_object db "portfolio" in
+  System.register_condition sys "purchase-cond" (fun db _ ->
+      Value.to_float (Db.get db ibm "price") < 80.
+      && Value.to_float (Db.get db dow "change") < 3.4);
+  System.register_action sys "purchase-act" (fun db _ ->
+      ignore (Db.send db parker "purchase" [ Value.Obj ibm; Value.Int 1 ]));
+  ignore
+    (System.create_rule sys ~name:"Purchase" ~monitor:[ ibm; dow ]
+       ~event:
+         (Expr.conj
+            (Expr.eom ~cls:"stock" ~sources:[ ibm ] "set_price")
+            (Expr.eom ~cls:"financial_info" ~sources:[ dow ] "set_value"))
+       ~condition:"purchase-cond" ~action:"purchase-act" ());
+  let shares () = Value.to_int (Db.get db parker "shares") in
+  (* other stocks' prices are irrelevant even though the class matches *)
+  ignore (Db.send db other_stock "set_price" [ Value.Float 10. ]);
+  ignore (Db.send db dow "set_value" [ Value.Float 3000.; Value.Float 1.0 ]);
+  Alcotest.(check int) "unsubscribed source ignored" 0 (shares ());
+  ignore (Db.send db ibm "set_price" [ Value.Float 75. ]);
+  Alcotest.(check int) "conjunction completed, condition true" 1 (shares ());
+  (* condition false: dow change too high *)
+  ignore (Db.send db dow "set_value" [ Value.Float 3000.; Value.Float 5.0 ]);
+  Alcotest.(check int) "condition filters" 1 (shares ())
+
+(* --- Figure 9: Marriage (class-level, abort) ----------------------------------- *)
+
+let test_marriage_rule () =
+  let db = Db.create () in
+  let sys = System.create db in
+  Db.define_class db
+    (Schema.define "person"
+       ~attrs:[ ("name", Value.Str ""); ("sex", Value.Str ""); ("spouse", Value.Null) ]
+       ~methods:
+         [
+           ( "marry",
+             fun db self args ->
+               match args with
+               | [ (Value.Obj other as spouse) ] ->
+                 Db.set db self "spouse" spouse;
+                 Db.set db other "spouse" (Value.Obj self);
+                 Value.Null
+               | _ -> Errors.type_error "marry expects a person" );
+         ]
+       ~events:[ ("marry", Schema.On_begin) ]);
+  System.register_condition sys "same-sex" (fun db inst ->
+      match inst.Events.Detector.constituents with
+      | [ occ ] -> (
+        match occ.params with
+        | [ Value.Obj spouse ] ->
+          Value.to_str (Db.get db occ.source "sex")
+          = Value.to_str (Db.get db spouse "sex")
+        | _ -> false)
+      | _ -> false);
+  ignore
+    (System.create_rule sys ~name:"Marriage" ~coupling:Coupling.Immediate
+       ~monitor_classes:[ "person" ]
+       ~event:(Expr.bom ~cls:"person" "marry")
+       ~condition:"same-sex" ~action:"abort" ());
+  let mk name sex =
+    Db.new_object db "person" ~attrs:[ ("name", Value.Str name); ("sex", Value.Str sex) ]
+  in
+  let alice = mk "alice" "f" and bob = mk "bob" "m" and carol = mk "carol" "f" in
+  (match
+     Transaction.atomically db (fun () ->
+         ignore (Db.send db alice "marry" [ Value.Obj bob ]))
+   with
+  | Ok () -> ()
+  | Error e -> raise e);
+  Alcotest.check value "married" (Value.Obj bob) (Db.get db alice "spouse");
+  (match
+     Transaction.atomically db (fun () ->
+         ignore (Db.send db carol "marry" [ Value.Obj alice ]))
+   with
+  | Ok () -> Alcotest.fail "rule should abort"
+  | Error (Errors.Rule_abort _) -> ()
+  | Error e -> raise e);
+  (* bom means the abort happened before the method body could mutate *)
+  Alcotest.check value "carol unmarried" Value.Null (Db.get db carol "spouse");
+  Alcotest.check value "alice untouched" (Value.Obj bob) (Db.get db alice "spouse")
+
+(* --- Figure 10: IncomeLevel ------------------------------------------------------ *)
+
+let test_income_level_rule () =
+  let db = employee_db () in
+  let sys = System.create db in
+  let fred = new_employee db ~name:"fred" in
+  let mike = new_employee db ~cls:"manager" ~name:"mike" in
+  System.register_condition sys "unequal" (fun db _ ->
+      not
+        (Value.equal (Db.get db fred "income") (Db.get db mike "income")));
+  System.register_action sys "equalize" (fun db inst ->
+      match inst.Events.Detector.constituents with
+      | [ occ ] ->
+        let target = if Oid.equal occ.source fred then mike else fred in
+        Db.set db target "income" (Db.get db occ.source "income")
+      | _ -> ());
+  ignore
+    (System.create_rule sys ~name:"IncomeLevel" ~monitor:[ fred; mike ]
+       ~event:
+         (Expr.disj
+            (Expr.eom ~cls:"employee" "change_income")
+            (Expr.eom ~cls:"manager" "change_income"))
+       ~condition:"unequal" ~action:"equalize" ());
+  ignore (Db.send db fred "change_income" [ Value.Float 4000. ]);
+  Alcotest.check value "mike follows fred" (Value.Float 4000.)
+    (Db.get db mike "income");
+  ignore (Db.send db mike "change_income" [ Value.Float 5000. ]);
+  Alcotest.check value "fred follows mike" (Value.Float 5000.)
+    (Db.get db fred "income");
+  (* a third employee's income changes are invisible to the rule *)
+  let eve = new_employee db in
+  ignore (Db.send db eve "change_income" [ Value.Float 1. ]);
+  Alcotest.check value "rule scoped to its instances" (Value.Float 5000.)
+    (Db.get db fred "income")
+
+(* --- §4.6 Deposit;Withdraw --------------------------------------------------------- *)
+
+let test_depwit_sequence () =
+  let db = Db.create () in
+  let sys = System.create db in
+  Workloads.Banking.install db;
+  let rng = Workloads.Prng.create 1 in
+  let accounts = Workloads.Banking.populate db rng ~accounts:1 in
+  let acct = accounts.(0) in
+  let detections = ref [] in
+  System.register_action sys "record" (fun _db inst ->
+      detections := shape inst :: !detections);
+  ignore
+    (System.create_rule sys ~name:"DepWit" ~monitor:[ acct ]
+       ~event:
+         (Expr.seq
+            (Expr.of_signature "end account::deposit(float x)")
+            (Expr.of_signature "before account::withdraw(float x)"))
+       ~condition:"true" ~action:"record" ());
+  (* withdraw before any deposit: no detection *)
+  ignore (Db.send db acct "withdraw" [ Value.Float 5. ]);
+  Alcotest.(check int) "no premature detection" 0 (List.length !detections);
+  ignore (Db.send db acct "deposit" [ Value.Float 10. ]);
+  ignore (Db.send db acct "withdraw" [ Value.Float 5. ]);
+  Alcotest.(check int) "detected" 1 (List.length !detections);
+  match !detections with
+  | [ [ ("deposit", _); ("withdraw", _) ] ] -> ()
+  | _ -> Alcotest.fail "wrong constituents"
+
+(* --- §5.1 Salary-check across all three engines -------------------------------------- *)
+
+(* Run the same violation scenario against each engine and observe that all
+   three reject it, while all three accept the legal update. *)
+let salary_check_parity () =
+  let prepare () =
+    let db = employee_db () in
+    let mgr = new_employee db ~cls:"manager" ~name:"mgr" ~salary:5000. in
+    let emp = new_employee db ~name:"emp" ~salary:1000. in
+    Db.set db emp "mgr" (Value.Obj mgr);
+    (db, emp)
+  in
+  let employee_ok db emp =
+    match Db.get db emp "mgr" with
+    | Value.Obj m ->
+      Value.to_float (Db.get db emp "salary")
+      < Value.to_float (Db.get db m "salary")
+    | _ -> true
+  in
+  let results = ref [] in
+  (* Sentinel *)
+  (let db, emp = prepare () in
+   let sys = System.create db in
+   System.register_condition sys "viol" (fun db inst ->
+       match inst.Events.Detector.constituents with
+       | [ occ ] -> not (employee_ok db occ.source)
+       | _ -> false);
+   ignore
+     (System.create_rule sys ~name:"salary-check" ~monitor_classes:[ "employee" ]
+        ~event:(Expr.eom ~cls:"employee" "set_salary")
+        ~condition:"viol" ~action:"abort" ());
+   let attempt v =
+     match
+       Transaction.atomically db (fun () ->
+           ignore (Db.send db emp "set_salary" [ Value.Float v ]))
+     with
+     | Ok () -> `Accepted
+     | Error (Errors.Rule_abort _) -> `Rejected
+     | Error e -> raise e
+   in
+   results := ("sentinel", attempt 2000., attempt 9999.) :: !results);
+  (* Ode *)
+  (let db = employee_db () in
+   let ode = Baselines.Ode.create db in
+   Baselines.Ode.declare_constraint ode ~cls:"employee" ~name:"lt-mgr" employee_ok;
+   let mgr = new_employee db ~cls:"manager" ~salary:5000. in
+   let emp = new_employee db ~salary:1000. in
+   Db.set db emp "mgr" (Value.Obj mgr);
+   let attempt v =
+     match
+       Transaction.atomically db (fun () ->
+           ignore (Baselines.Ode.send ode emp "set_salary" [ Value.Float v ]))
+     with
+     | Ok () -> `Accepted
+     | Error (Errors.Rule_abort _) -> `Rejected
+     | Error e -> raise e
+   in
+   results := ("ode", attempt 2000., attempt 9999.) :: !results);
+  (* ADAM *)
+  (let db, emp = prepare () in
+   let adam = Baselines.Adam.create db in
+   ignore
+     (Baselines.Adam.add_rule adam ~name:"salary-check" ~active_class:"employee"
+        ~meth:"set_salary"
+        ~condition:(fun db occ -> not (employee_ok db occ.Oodb.Types.source))
+        ~action:(fun _ _ -> raise (Errors.Rule_abort "Invalid Salary"))
+        ());
+   let attempt v =
+     match
+       Transaction.atomically db (fun () ->
+           ignore (Db.send db emp "set_salary" [ Value.Float v ]))
+     with
+     | Ok () -> `Accepted
+     | Error (Errors.Rule_abort _) -> `Rejected
+     | Error e -> raise e
+   in
+   results := ("adam", attempt 2000., attempt 9999.) :: !results);
+  List.rev !results
+
+let test_salary_check_parity () =
+  List.iter
+    (fun (engine, legal, violation) ->
+      Alcotest.(check bool) (engine ^ " accepts legal") true (legal = `Accepted);
+      Alcotest.(check bool)
+        (engine ^ " rejects violation")
+        true
+        (violation = `Rejected))
+    (salary_check_parity ())
+
+let suite =
+  [
+    test "purchase rule (§2.1)" test_purchase_rule;
+    test "marriage rule (Figure 9)" test_marriage_rule;
+    test "income-level rule (Figure 10)" test_income_level_rule;
+    test "deposit;withdraw sequence (§4.6)" test_depwit_sequence;
+    test "salary-check parity across engines (§5.1)" test_salary_check_parity;
+  ]

@@ -1,0 +1,175 @@
+open Helpers
+module Codec = Events.Codec
+module Parser = Events.Parser
+
+let gt0 v = { Expr.pf_index = 0; pf_cmp = Expr.Cgt; pf_value = Value.Float v }
+let eq1 s = { Expr.pf_index = 1; pf_cmp = Expr.Ceq; pf_value = Value.Str s }
+
+let test_filter_matches () =
+  let f = gt0 100. in
+  Alcotest.(check bool) "above" true (Expr.filter_matches f [ Value.Float 150. ]);
+  Alcotest.(check bool) "below" false (Expr.filter_matches f [ Value.Float 50. ]);
+  Alcotest.(check bool) "numeric cross-tag" true
+    (Expr.filter_matches f [ Value.Int 200 ]);
+  Alcotest.(check bool) "missing param" false (Expr.filter_matches f []);
+  let ops =
+    [
+      (Expr.Ceq, [ true; false; false ]);
+      (Expr.Cne, [ false; true; true ]);
+      (Expr.Clt, [ false; true; false ]);
+      (Expr.Cle, [ true; true; false ]);
+      (Expr.Cgt, [ false; false; true ]);
+      (Expr.Cge, [ true; false; true ]);
+    ]
+  in
+  (* against values equal / below / above the constant 5 *)
+  List.iter
+    (fun (cmp, expected) ->
+      let f = { Expr.pf_index = 0; pf_cmp = cmp; pf_value = Value.Int 5 } in
+      List.iter2
+        (fun v exp ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s vs %s" (Expr.cmp_to_string cmp) (Value.to_string v))
+            exp
+            (Expr.filter_matches f [ v ]))
+        [ Value.Int 5; Value.Int 4; Value.Int 6 ]
+        expected)
+    ops
+
+let test_detector_applies_filters () =
+  let e = Expr.prim ~filters:[ gt0 100. ] Oodb.Types.After "set_price" in
+  let _, signals =
+    detect e
+      [
+        mk_occ ~at:1 ~params:[ Value.Float 50. ] "set_price" Oodb.Types.After;
+        mk_occ ~at:2 ~params:[ Value.Float 150. ] "set_price" Oodb.Types.After;
+        mk_occ ~at:3 ~params:[] "set_price" Oodb.Types.After;
+      ]
+  in
+  Alcotest.(check int) "only the passing occurrence" 1 (List.length signals)
+
+let test_codec_roundtrip () =
+  let cases =
+    [
+      Expr.prim ~filters:[ gt0 100. ] Oodb.Types.After "m";
+      Expr.prim ~cls:"stock"
+        ~filters:[ gt0 1.5; eq1 "weird, (value)!" ]
+        ~sources:[ Oid.of_int 3 ] Oodb.Types.Before "m2";
+      Expr.conj
+        (Expr.prim ~filters:[ eq1 "x" ] Oodb.Types.After "a")
+        (Expr.eom "b");
+    ]
+  in
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (Expr.to_string e)
+        true
+        (Expr.equal e (Codec.decode (Codec.encode e))))
+    cases;
+  (* filters participate in structural equality *)
+  Alcotest.(check bool) "filters distinguish" false
+    (Expr.equal
+       (Expr.prim ~filters:[ gt0 1. ] Oodb.Types.After "m")
+       (Expr.prim Oodb.Types.After "m"))
+
+let test_parser_where () =
+  let parses s e =
+    Alcotest.(check bool) s true (Expr.equal (Parser.parse s) e)
+  in
+  parses "end account::withdraw where $0 > 1000"
+    (Expr.prim ~cls:"account"
+       ~filters:[ { Expr.pf_index = 0; pf_cmp = Expr.Cgt; pf_value = Value.Int 1000 } ]
+       Oodb.Types.After "withdraw");
+  parses "end m where $0 >= 1.5 and $1 = 'abc'"
+    (Expr.prim
+       ~filters:
+         [
+           { Expr.pf_index = 0; pf_cmp = Expr.Cge; pf_value = Value.Float 1.5 };
+           { Expr.pf_index = 1; pf_cmp = Expr.Ceq; pf_value = Value.Str "abc" };
+         ]
+       Oodb.Types.After "m");
+  (* 'and' after a mask resumes event conjunction when not followed by $ *)
+  parses "end a where $0 = true and end b"
+    (Expr.conj
+       (Expr.prim
+          ~filters:[ { Expr.pf_index = 0; pf_cmp = Expr.Ceq; pf_value = Value.Bool true } ]
+          Oodb.Types.After "a")
+       (Expr.eom "b"));
+  parses "end a where $0 != null ; end b"
+    (Expr.seq
+       (Expr.prim
+          ~filters:[ { Expr.pf_index = 0; pf_cmp = Expr.Cne; pf_value = Value.Null } ]
+          Oodb.Types.After "a")
+       (Expr.eom "b"));
+  let bad s =
+    match Parser.parse s with
+    | _ -> Alcotest.failf "%S should not parse" s
+    | exception Errors.Parse_error _ -> ()
+  in
+  bad "end m where";
+  bad "end m where 0 > 1";
+  bad "end m where $0";
+  bad "end m where $0 > ";
+  bad "(end a and end b) where $0 > 1"
+
+let test_parser_roundtrip () =
+  let cases =
+    [
+      Expr.prim ~cls:"c" ~filters:[ gt0 10.5 ] Oodb.Types.After "m";
+      Expr.prim ~filters:[ eq1 "hello world" ] Oodb.Types.Before "m";
+      Expr.seq
+        (Expr.prim ~filters:[ gt0 1. ] Oodb.Types.After "a")
+        (Expr.prim
+           ~filters:[ { Expr.pf_index = 2; pf_cmp = Expr.Cle; pf_value = Value.Int 7 } ]
+           Oodb.Types.After "b");
+    ]
+  in
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (Parser.to_syntax e)
+        true
+        (Expr.equal e (Parser.parse (Parser.to_syntax e))))
+    cases
+
+let test_end_to_end_rule () =
+  (* large-withdrawal watch: the filter keeps small withdrawals out of the
+     detector entirely *)
+  let db = Db.create () in
+  let sys = System.create db in
+  Workloads.Banking.install db;
+  let acct = Workloads.Banking.populate db (Workloads.Prng.create 1) ~accounts:1 in
+  let acct = acct.(0) in
+  let fired = ref 0 in
+  System.register_action sys "count" (fun _ _ -> incr fired);
+  let rule =
+    System.create_rule sys ~name:"large-withdrawal" ~monitor:[ acct ]
+      ~event:(Events.Parser.parse "begin account::withdraw where $0 >= 500")
+      ~condition:"true" ~action:"count" ()
+  in
+  ignore (Db.send db acct "withdraw" [ Value.Float 100. ]);
+  ignore (Db.send db acct "withdraw" [ Value.Float 900. ]);
+  Alcotest.(check int) "only the large one" 1 !fired;
+  (* the filtered expression persists and rehydrates *)
+  let text = Oodb.Persist.to_string db in
+  let db2 = Db.create () in
+  Workloads.Banking.install db2;
+  let sys2 = System.create db2 in
+  System.register_action sys2 "count" (fun _ _ -> incr fired);
+  Oodb.Persist.of_string db2 text;
+  System.rehydrate sys2;
+  ignore (Db.send db2 acct "withdraw" [ Value.Float 50. ]);
+  ignore (Db.send db2 acct "withdraw" [ Value.Float 5000. ]);
+  Alcotest.(check int) "filter survived reload" 2 !fired;
+  ignore rule
+
+let suite =
+  [
+    test "filter matching" test_filter_matches;
+    test "detector applies filters" test_detector_applies_filters;
+    test "codec roundtrip with filters" test_codec_roundtrip;
+    test "parser where clauses" test_parser_where;
+    test "parser roundtrip with filters" test_parser_roundtrip;
+    test "end-to-end filtered rule" test_end_to_end_rule;
+  ]

@@ -1,0 +1,126 @@
+open Helpers
+module Parser = Events.Parser
+
+let parses s e =
+  Alcotest.(check bool)
+    (Printf.sprintf "%S" s)
+    true
+    (Expr.equal (Parser.parse s) e)
+
+let ea = Expr.eom ~cls:"a" "m"
+let eb = Expr.bom ~cls:"b" "n"
+let ec = Expr.eom "k"
+
+let test_primitives () =
+  parses "end a::m" ea;
+  parses "begin b::n" eb;
+  parses "before b::n" eb;
+  parses "after a::m" ea;
+  parses "end k" ec;
+  parses "END A::M" (Expr.eom ~cls:"A" "M") (* keywords fold, names don't *)
+
+let test_operators () =
+  parses "end a::m and begin b::n" (Expr.conj ea eb);
+  parses "end a::m or begin b::n" (Expr.disj ea eb);
+  parses "end a::m ; begin b::n" (Expr.seq ea eb);
+  parses "any(2, end a::m, begin b::n, end k)" (Expr.any 2 [ ea; eb; ec ]);
+  parses "not(end a::m, begin b::n, end k)" (Expr.not_between ea eb ec);
+  parses "aperiodic(end a::m, begin b::n, end k)" (Expr.aperiodic ea eb ec);
+  parses "aperiodic*(end a::m, begin b::n, end k)" (Expr.aperiodic_star ea eb ec);
+  parses "periodic(end a::m, 10, end k)" (Expr.periodic ea 10 ec);
+  parses "periodic(end a::m, 10/3, end k)" (Expr.periodic ~limit:3 ea 10 ec);
+  parses "plus(end a::m, 5)" (Expr.plus ea 5)
+
+let test_precedence () =
+  (* and > ; > or *)
+  parses "end a::m and begin b::n or end k" (Expr.disj (Expr.conj ea eb) ec);
+  parses "end a::m or begin b::n and end k" (Expr.disj ea (Expr.conj eb ec));
+  parses "end a::m ; begin b::n and end k" (Expr.seq ea (Expr.conj eb ec));
+  parses "end a::m and begin b::n ; end k" (Expr.seq (Expr.conj ea eb) ec);
+  parses "end a::m ; begin b::n or end k" (Expr.disj (Expr.seq ea eb) ec);
+  (* parentheses override *)
+  parses "end a::m and (begin b::n or end k)" (Expr.conj ea (Expr.disj eb ec));
+  parses "(end a::m or begin b::n) ; end k" (Expr.seq (Expr.disj ea eb) ec)
+
+let test_paper_expressions () =
+  parses "end Employee::Change-Income or end Manager::Change-Income"
+    (Expr.disj
+       (Expr.eom ~cls:"Employee" "Change-Income")
+       (Expr.eom ~cls:"Manager" "Change-Income"));
+  parses "end Account::Deposit ; begin Account::Withdraw"
+    (Expr.seq
+       (Expr.eom ~cls:"Account" "Deposit")
+       (Expr.bom ~cls:"Account" "Withdraw"))
+
+let test_errors () =
+  let bad s =
+    match Parser.parse s with
+    | _ -> Alcotest.failf "%S should not parse" s
+    | exception (Errors.Parse_error _ | Errors.Type_error _) -> ()
+  in
+  bad "";
+  bad "end";
+  bad "wiggle a::m";
+  bad "end a::m and";
+  bad "end a::m)";
+  bad "(end a::m";
+  bad "end a::m end b::n";
+  bad "any(0)";
+  bad "any(5, end a::m)";
+  bad "periodic(end a::m, x, end k)";
+  bad "end a:::m";
+  bad "end a::m trailing"
+
+let test_roundtrip () =
+  let cases =
+    [
+      ea;
+      Expr.conj ea (Expr.seq eb ec);
+      Expr.disj (Expr.conj ea eb) ec;
+      Expr.any 2 [ ea; eb; ec ];
+      Expr.not_between ea eb ec;
+      Expr.aperiodic_star ea eb ec;
+      Expr.periodic ~limit:2 ea 7 ec;
+      Expr.plus (Expr.seq ea eb) 3;
+    ]
+  in
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (Parser.to_syntax e)
+        true
+        (Expr.equal e (Parser.parse (Parser.to_syntax e))))
+    cases
+
+let prop_roundtrip =
+  (* reuse the expression generator but strip instance filters, which have
+     no concrete syntax *)
+  let rec strip (e : Expr.t) : Expr.t =
+    match e with
+    | Prim p -> Expr.Prim { p with p_sources = Oid.Set.empty }
+    | And (a, b) -> And (strip a, strip b)
+    | Or (a, b) -> Or (strip a, strip b)
+    | Seq (a, b) -> Seq (strip a, strip b)
+    | Any (m, es) -> Any (m, List.map strip es)
+    | Not (a, b, c) -> Not (strip a, strip b, strip c)
+    | Aperiodic (a, b, c) -> Aperiodic (strip a, strip b, strip c)
+    | Aperiodic_star (a, b, c) -> Aperiodic_star (strip a, strip b, strip c)
+    | Periodic (a, dt, l, b) -> Periodic (strip a, dt, l, strip b)
+    | Plus (a, dt) -> Plus (strip a, dt)
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"syntax roundtrip" ~count:200 Test_expr.expr_gen
+       (fun e ->
+         let e = strip e in
+         Expr.equal e (Parser.parse (Parser.to_syntax e))))
+
+let suite =
+  [
+    test "primitives" test_primitives;
+    test "operators" test_operators;
+    test "precedence" test_precedence;
+    test "paper expressions" test_paper_expressions;
+    test "rejects malformed input" test_errors;
+    test "roundtrip" test_roundtrip;
+    prop_roundtrip;
+  ]

@@ -1,0 +1,163 @@
+open Helpers
+module Persist = Oodb.Persist
+
+let test_value_codec_cases () =
+  let roundtrip v =
+    Alcotest.check value (Value.to_string v) v
+      (Persist.decode_value (Persist.encode_value v))
+  in
+  roundtrip Value.Null;
+  roundtrip (Value.Bool true);
+  roundtrip (Value.Bool false);
+  roundtrip (Value.Int 0);
+  roundtrip (Value.Int (-123456));
+  roundtrip (Value.Float 3.14159);
+  roundtrip (Value.Float (-0.0));
+  roundtrip (Value.Float infinity);
+  roundtrip (Value.Str "");
+  roundtrip (Value.Str "hello world");
+  roundtrip (Value.Str "commas, (parens) %percent% and\nnewlines\ttabs");
+  roundtrip (Value.Obj (Oid.of_int 42));
+  roundtrip (Value.List []);
+  roundtrip (Value.List [ Value.Int 1; Value.Str "a,b"; Value.List [ Value.Null ] ])
+
+let test_value_codec_errors () =
+  let bad s =
+    match Persist.decode_value s with
+    | _ -> Alcotest.failf "%S should not decode" s
+    | exception Errors.Parse_error _ -> ()
+  in
+  bad "";
+  bad "x";
+  bad "i:abc";
+  bad "b:x";
+  bad "l(";
+  bad "l(n";
+  bad "i:1 trailing";
+  bad "s:%zz"
+
+let prop_value_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"value codec roundtrip" ~count:300
+       Test_value.value_gen (fun v ->
+         Value.equal v (Persist.decode_value (Persist.encode_value v))))
+
+let populated_db () =
+  let db, sys, collector, _ = sys_with_collector () in
+  ignore sys;
+  let e1 = new_employee db ~name:"ann" ~salary:1500. in
+  let e2 = new_employee db ~cls:"manager" ~name:"mgr" ~salary:9000. in
+  Db.set db e1 "mgr" (Value.Obj e2);
+  Db.subscribe db ~reactive:e1 ~consumer:collector;
+  Db.subscribe_class db ~cls:"manager" ~consumer:collector;
+  Db.create_index db ~cls:"employee" ~attr:"salary" ();
+  ignore (Db.tick db);
+  (db, e1, e2, collector)
+
+let reload db =
+  let text = Persist.to_string db in
+  let db2 = Db.create () in
+  Workloads.Payroll.install db2;
+  let _sys2 = System.create db2 in
+  Persist.of_string db2 text;
+  db2
+
+let test_db_roundtrip () =
+  let db, e1, e2, collector = populated_db () in
+  let db2 = reload db in
+  Alcotest.check value "attr" (Value.Str "ann") (Db.get db2 e1 "name");
+  Alcotest.check value "obj-valued attr" (Value.Obj e2) (Db.get db2 e1 "mgr");
+  Alcotest.(check string) "class preserved" "manager" (Db.class_of db2 e2);
+  Alcotest.(check (list oid)) "instance consumers" [ collector ]
+    (Db.consumers_of db2 e1);
+  Alcotest.(check (list oid)) "class consumers" [ collector ]
+    (Db.class_consumers_of db2 "manager");
+  Alcotest.(check bool) "index declared" true
+    (Db.has_index db2 ~cls:"employee" ~attr:"salary");
+  Alcotest.(check (list oid)) "index rebuilt" [ e1 ]
+    (Db.index_lookup db2 ~cls:"employee" ~attr:"salary" (Value.Float 1500.));
+  Alcotest.(check int) "clock preserved" (Db.now db) (Db.now db2);
+  (* OID allocation continues without collisions *)
+  let fresh = new_employee db2 in
+  Alcotest.(check bool) "fresh oid distinct" true
+    (not (List.exists (Oid.equal fresh) [ e1; e2; collector ]))
+
+let test_roundtrip_is_fixpoint () =
+  let db, _, _, _ = populated_db () in
+  let once = Persist.to_string db in
+  let db2 = reload db in
+  Alcotest.(check string) "stable serialization" once (Persist.to_string db2)
+
+let test_load_errors () =
+  let fresh () =
+    let db = Db.create () in
+    Workloads.Payroll.install db;
+    db
+  in
+  (match Persist.of_string (fresh ()) "garbage" with
+  | () -> Alcotest.fail "bad magic accepted"
+  | exception Errors.Parse_error _ -> ());
+  (* object of unregistered class *)
+  let text = "SENTINELDB 1\nclock 0\nnextoid 2\nobj 1 martian\nend\nEOF\n" in
+  (match Persist.of_string (fresh ()) text with
+  | () -> Alcotest.fail "unknown class accepted"
+  | exception Errors.No_such_class "martian" -> ());
+  (* loading into a non-empty database *)
+  let db = fresh () in
+  ignore (new_employee db);
+  (match Persist.of_string db "SENTINELDB 1\nEOF\n" with
+  | () -> Alcotest.fail "non-empty load accepted"
+  | exception Errors.Transaction_error _ -> ());
+  (* loading during a transaction *)
+  let db = fresh () in
+  Transaction.begin_ db;
+  match Persist.of_string db "SENTINELDB 1\nEOF\n" with
+  | () -> Alcotest.fail "load during txn accepted"
+  | exception Errors.Transaction_error _ -> Transaction.abort db
+
+let test_save_load_file () =
+  let db, e1, _, _ = populated_db () in
+  let path = Filename.temp_file "sentinel_test" ".db" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Persist.save db path;
+      let db2 = Db.create () in
+      Workloads.Payroll.install db2;
+      let _sys2 = System.create db2 in
+      Persist.load db2 path;
+      Alcotest.check value "file roundtrip" (Value.Str "ann")
+        (Db.get db2 e1 "name"))
+
+(* Property: a store with random employees roundtrips attribute-exactly. *)
+let prop_db_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"database roundtrip preserves attributes" ~count:40
+       QCheck2.Gen.(list_size (int_bound 20) (pair (string_size (int_bound 6)) small_signed_int))
+       (fun people ->
+         let db = Db.create () in
+         Workloads.Payroll.install db;
+         let oids =
+           List.map
+             (fun (name, sal) ->
+               new_employee db ~name ~salary:(float_of_int sal))
+             people
+         in
+         let db2 = Db.create () in
+         Workloads.Payroll.install db2;
+         Persist.of_string db2 (Persist.to_string db);
+         List.for_all
+           (fun o -> Db.attrs db o = Db.attrs db2 o)
+           oids))
+
+let suite =
+  [
+    test "value codec cases" test_value_codec_cases;
+    test "value codec rejects garbage" test_value_codec_errors;
+    prop_value_roundtrip;
+    test "database roundtrip" test_db_roundtrip;
+    test "serialization is a fixpoint" test_roundtrip_is_fixpoint;
+    test "load error handling" test_load_errors;
+    test "save/load via file" test_save_load_file;
+    prop_db_roundtrip;
+  ]

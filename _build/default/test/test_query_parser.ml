@@ -1,0 +1,112 @@
+open Helpers
+module Query = Oodb.Query
+module QP = Oodb.Query_parser
+
+let rec pred_equal a b =
+  match (a, b) with
+  | Query.True, Query.True -> true
+  | Query.Eq (x, v), Query.Eq (y, w)
+  | Query.Ne (x, v), Query.Ne (y, w)
+  | Query.Lt (x, v), Query.Lt (y, w)
+  | Query.Le (x, v), Query.Le (y, w)
+  | Query.Gt (x, v), Query.Gt (y, w)
+  | Query.Ge (x, v), Query.Ge (y, w) ->
+    String.equal x y && Value.equal v w
+  | Query.Has x, Query.Has y -> String.equal x y
+  | Query.And (p, q), Query.And (r, s) | Query.Or (p, q), Query.Or (r, s) ->
+    pred_equal p r && pred_equal q s
+  | Query.Not p, Query.Not q -> pred_equal p q
+  | _ -> false
+
+let parses s p =
+  Alcotest.(check bool) (Printf.sprintf "%S" s) true (pred_equal (QP.parse s) p)
+
+let test_atoms () =
+  parses "true" Query.True;
+  parses "salary = 100" (Query.Eq ("salary", Value.Int 100));
+  parses "salary = 100.5" (Query.Eq ("salary", Value.Float 100.5));
+  parses "salary != 1" (Query.Ne ("salary", Value.Int 1));
+  parses "salary <> 1" (Query.Ne ("salary", Value.Int 1));
+  parses "salary < -3" (Query.Lt ("salary", Value.Int (-3)));
+  parses "salary <= 0" (Query.Le ("salary", Value.Int 0));
+  parses "salary > 7" (Query.Gt ("salary", Value.Int 7));
+  parses "salary >= 7" (Query.Ge ("salary", Value.Int 7));
+  parses "name = 'bob'" (Query.Eq ("name", Value.Str "bob"));
+  parses "name = \"with space\"" (Query.Eq ("name", Value.Str "with space"));
+  parses "active = true" (Query.Eq ("active", Value.Bool true));
+  parses "active = FALSE" (Query.Eq ("active", Value.Bool false));
+  parses "mgr = null" (Query.Eq ("mgr", Value.Null));
+  parses "mgr = @42" (Query.Eq ("mgr", Value.Obj (Oid.of_int 42)));
+  parses "has mgr" (Query.Has "mgr")
+
+let test_boolean_structure () =
+  parses "a = 1 and b = 2"
+    (Query.And (Query.Eq ("a", Value.Int 1), Query.Eq ("b", Value.Int 2)));
+  parses "a = 1 or b = 2 and c = 3"
+    (Query.Or
+       ( Query.Eq ("a", Value.Int 1),
+         Query.And (Query.Eq ("b", Value.Int 2), Query.Eq ("c", Value.Int 3)) ));
+  parses "(a = 1 or b = 2) and c = 3"
+    (Query.And
+       ( Query.Or (Query.Eq ("a", Value.Int 1), Query.Eq ("b", Value.Int 2)),
+         Query.Eq ("c", Value.Int 3) ));
+  parses "not a = 1" (Query.Not (Query.Eq ("a", Value.Int 1)));
+  parses "not (a = 1 and b = 2)"
+    (Query.Not (Query.And (Query.Eq ("a", Value.Int 1), Query.Eq ("b", Value.Int 2))))
+
+let test_errors () =
+  let bad s =
+    match QP.parse s with
+    | _ -> Alcotest.failf "%S should not parse" s
+    | exception Errors.Parse_error _ -> ()
+  in
+  bad "";
+  bad "salary";
+  bad "salary =";
+  bad "salary = 'unterminated";
+  bad "= 3";
+  bad "salary = 3 and";
+  bad "(salary = 3";
+  bad "salary ~ 3";
+  bad "salary = 3 trailing = 4";
+  bad "mgr = @"
+
+let test_end_to_end () =
+  let db = employee_db () in
+  let e1 = new_employee db ~name:"ann" ~salary:1000. in
+  let _e2 = new_employee db ~name:"bob" ~salary:2000. in
+  let m = new_employee db ~cls:"manager" ~name:"mia" ~salary:9000. in
+  Db.set db e1 "mgr" (Value.Obj m);
+  let q s = Query.select db "employee" (QP.parse s) in
+  Alcotest.(check (list oid)) "comparison" [ e1 ] (q "salary < 1500.0");
+  Alcotest.(check (list oid)) "string and ref" [ e1 ] (q "name = 'ann' and mgr = @3");
+  Alcotest.(check int) "or" 2 (List.length (q "name = 'bob' or name = 'mia'"));
+  Alcotest.(check int) "not" 2 (List.length (q "not (name = 'ann')"))
+
+let test_roundtrip () =
+  let cases =
+    [
+      Query.True;
+      Query.Eq ("a", Value.Str "x y");
+      Query.And (Query.Ge ("s", Value.Float 1.5), Query.Lt ("s", Value.Int 9));
+      Query.Or (Query.Has "mgr", Query.Not (Query.Eq ("b", Value.Bool true)));
+      Query.Eq ("mgr", Value.Obj (Oid.of_int 12));
+      Query.Ne ("x", Value.Null);
+    ]
+  in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (QP.to_syntax p)
+        true
+        (pred_equal p (QP.parse (QP.to_syntax p))))
+    cases
+
+let suite =
+  [
+    test "atoms" test_atoms;
+    test "boolean structure" test_boolean_structure;
+    test "rejects malformed input" test_errors;
+    test "end to end with select" test_end_to_end;
+    test "roundtrip" test_roundtrip;
+  ]

@@ -1,0 +1,121 @@
+open Helpers
+module Coupling = Sentinel.Coupling
+module Rule = Sentinel.Rule
+module Persist = Oodb.Persist
+
+(* Build a store with a rule and an event object, persist it, reload into a
+   fresh database+system, rehydrate, and return the pieces. *)
+let saved_world () =
+  let db = employee_db () in
+  let sys = System.create db in
+  System.register_action sys "noop" (fun _ _ -> ());
+  let e = new_employee db ~name:"ann" ~salary:10. in
+  let event_obj =
+    System.create_event sys ~name:"salary-change"
+      (Expr.eom ~cls:"employee" "set_salary")
+  in
+  let rule =
+    System.create_rule_on sys ~name:"persisted-rule" ~priority:7
+      ~coupling:Coupling.Deferred ~context:Events.Context.Chronicle
+      ~monitor:[ e ] ~event_obj ~condition:"true" ~action:"noop" ()
+  in
+  (* accumulate some history so the fired counter persists non-zero *)
+  ignore (Db.send db e "set_salary" [ Value.Float 20. ]);
+  (Persist.to_string db, e, event_obj, rule)
+
+let reload text =
+  let db = Db.create () in
+  Workloads.Payroll.install db;
+  let sys = System.create db in
+  System.register_action sys "noop" (fun _ _ -> ());
+  Persist.of_string db text;
+  System.rehydrate sys;
+  (db, sys)
+
+let test_rule_object_persists () =
+  let text, _e, event_obj, rule = saved_world () in
+  let db, sys = reload text in
+  Alcotest.(check (list oid)) "rule restored" [ rule ] (System.rules sys);
+  let info = System.rule_info sys rule in
+  Alcotest.(check string) "name" "persisted-rule" info.Rule.name;
+  Alcotest.(check int) "priority" 7 info.Rule.priority;
+  Alcotest.(check bool) "coupling" true (info.Rule.coupling = Coupling.Deferred);
+  Alcotest.(check bool) "context" true
+    (Rule.context info = Events.Context.Chronicle);
+  Alcotest.(check int) "fired counter restored" 1 info.Rule.fired;
+  (* the event object survived and the rule's reference points at it *)
+  Alcotest.check value "event_ref" (Value.Obj event_obj)
+    (Db.get db rule "event_ref");
+  Alcotest.(check bool) "event object expr" true
+    (Expr.equal
+       (System.event_expr sys event_obj)
+       (Expr.eom ~cls:"employee" "set_salary"))
+
+let test_rule_fires_after_reload () =
+  let text, e, _event_obj, rule = saved_world () in
+  let db, sys = reload text in
+  (* subscriptions were persisted with the objects; just send *)
+  ignore (Db.send db e "set_salary" [ Value.Float 30. ]);
+  Alcotest.(check int) "fires on reloaded store" 2
+    (System.rule_info sys rule).Rule.fired
+
+let test_disabled_state_persists () =
+  let db = employee_db () in
+  let sys = System.create db in
+  System.register_action sys "noop" (fun _ _ -> ());
+  let e = new_employee db in
+  let rule =
+    System.create_rule sys ~name:"r" ~monitor:[ e ]
+      ~event:(Expr.eom ~cls:"employee" "set_salary")
+      ~condition:"true" ~action:"noop" ()
+  in
+  System.disable sys rule;
+  let db2, sys2 = reload (Persist.to_string db) in
+  Alcotest.(check bool) "still disabled" false
+    (System.rule_info sys2 rule).Rule.enabled;
+  ignore (Db.send db2 e "set_salary" [ Value.Float 1. ]);
+  Alcotest.(check int) "does not fire" 0 (System.rule_info sys2 rule).Rule.fired;
+  System.enable sys2 rule;
+  ignore (Db.send db2 e "set_salary" [ Value.Float 2. ]);
+  Alcotest.(check int) "fires after enable" 1
+    (System.rule_info sys2 rule).Rule.fired
+
+let test_rehydrate_missing_function_fails () =
+  let text, _, _, _ = saved_world () in
+  let db = Db.create () in
+  Workloads.Payroll.install db;
+  let sys = System.create db in
+  (* "noop" deliberately not registered *)
+  Persist.of_string db text;
+  check_raises_any "unregistered action" (fun () -> System.rehydrate sys)
+
+let test_rehydrate_idempotent () =
+  let text, _, _, rule = saved_world () in
+  let _db, sys = reload text in
+  System.rehydrate sys; (* second call must not duplicate runtimes *)
+  Alcotest.(check (list oid)) "single runtime" [ rule ] (System.rules sys)
+
+let test_class_level_rule_survives () =
+  let db = employee_db () in
+  let sys = System.create db in
+  System.register_action sys "noop" (fun _ _ -> ());
+  let rule =
+    System.create_rule sys ~name:"class-rule" ~monitor_classes:[ "employee" ]
+      ~event:(Expr.eom ~cls:"employee" "set_salary")
+      ~condition:"true" ~action:"noop" ()
+  in
+  let e = new_employee db in
+  let db2, sys2 = reload (Persist.to_string db) in
+  ignore (Db.send db2 e "set_salary" [ Value.Float 1. ]);
+  Alcotest.(check int) "class subscription survived" 1
+    (System.rule_info sys2 rule).Rule.fired
+
+let suite =
+  [
+    test "rule object persists with attributes" test_rule_object_persists;
+    test "rule fires after reload" test_rule_fires_after_reload;
+    test "disabled state persists" test_disabled_state_persists;
+    test "missing function fails rehydration" test_rehydrate_missing_function_fails;
+    test "rehydrate is idempotent" test_rehydrate_idempotent;
+    test "class-level rule survives" test_class_level_rule_survives;
+  ]

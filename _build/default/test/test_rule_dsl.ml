@@ -1,0 +1,177 @@
+open Helpers
+module Rule_dsl = Sentinel.Rule_dsl
+module Rule = Sentinel.Rule
+module Coupling = Sentinel.Coupling
+
+let fixture () =
+  let db = employee_db () in
+  let sys = System.create db in
+  let fired = ref 0 in
+  System.register_action sys "count" (fun _ _ -> incr fired);
+  System.register_condition sys "never" (fun _ _ -> false);
+  (db, sys, fired)
+
+let test_basic_block () =
+  let db, sys, fired = fixture () in
+  let e = new_employee db in
+  let text =
+    Printf.sprintf
+      {|# watch one employee
+        rule watcher
+        on end employee::set_salary
+        then count
+        monitor object %d
+        end|}
+      (Oid.to_int e)
+  in
+  (match Rule_dsl.load_string sys text with
+  | [ r ] ->
+    Alcotest.(check string) "name" "watcher" (System.rule_info sys r).Rule.name
+  | _ -> Alcotest.fail "expected one rule");
+  ignore (Db.send db e "set_salary" [ Value.Float 1. ]);
+  Alcotest.(check int) "fires" 1 !fired
+
+let test_all_directives () =
+  let _db, sys, _ = fixture () in
+  let text =
+    {|rule fancy
+      on (end employee::set_salary and end manager::set_salary) or end employee::change_income
+      if never
+      then count
+      mode deferred
+      context chronicle
+      priority 9
+      disabled
+      monitor class employee
+      end|}
+  in
+  match Rule_dsl.load_string sys text with
+  | [ r ] ->
+    let info = System.rule_info sys r in
+    Alcotest.(check bool) "coupling" true (info.Rule.coupling = Coupling.Deferred);
+    Alcotest.(check bool) "context" true
+      (Rule.context info = Events.Context.Chronicle);
+    Alcotest.(check int) "priority" 9 info.Rule.priority;
+    Alcotest.(check bool) "disabled" false info.Rule.enabled;
+    Alcotest.(check string) "condition" "never" info.Rule.condition_name;
+    Alcotest.(check bool) "class subscription" true
+      (List.exists (Oid.equal r) (Db.class_consumers_of (System.db sys) "employee"))
+  | _ -> Alcotest.fail "expected one rule"
+
+let test_multiple_blocks () =
+  let _db, sys, _ = fixture () in
+  let text =
+    {|rule one
+      on end employee::set_salary
+      then count
+      end
+
+      rule two
+      on begin employee::get_age
+      then count
+      end|}
+  in
+  Alcotest.(check int) "two rules" 2 (List.length (Rule_dsl.load_string sys text));
+  Alcotest.(check bool) "both findable" true
+    (System.find_rule sys "one" <> None && System.find_rule sys "two" <> None)
+
+let test_errors_and_atomicity () =
+  let _db, sys, _ = fixture () in
+  let bad text expect =
+    match Rule_dsl.load_string sys text with
+    | _ -> Alcotest.failf "%s: should fail" expect
+    | exception (Errors.Parse_error _ | Errors.Type_error _) -> ()
+  in
+  bad "on end a::m" "directive outside block";
+  bad "rule x\nthen count\nend" "missing on";
+  bad "rule x\non end employee::set_salary\nend" "missing then";
+  bad "rule x\non end employee::set_salary\nthen count" "missing end";
+  bad "rule x\non bogus syntax here\nthen count\nend" "bad event";
+  bad "rule x\non end employee::set_salary\nthen no-such-action\nend"
+    "unknown action";
+  bad "rule x\non end employee::set_salary\nthen count\nmode sometimes\nend"
+    "bad mode";
+  bad "rule x\non end employee::set_salary\nthen count\nmonitor robot y\nend"
+    "bad monitor kind";
+  (* atomicity: a file with one good and one bad block creates nothing *)
+  let mixed =
+    {|rule good
+      on end employee::set_salary
+      then count
+      end
+      rule bad
+      on end employee::set_salary
+      then missing-action
+      end|}
+  in
+  (match Rule_dsl.load_string sys mixed with
+  | _ -> Alcotest.fail "mixed file should fail"
+  | exception _ -> ());
+  Alcotest.(check (list oid)) "nothing created" [] (System.rules sys)
+
+let test_render_roundtrip () =
+  let db, sys, _ = fixture () in
+  let e = new_employee db in
+  let text =
+    Printf.sprintf
+      {|rule roundtrip
+        on end employee::set_salary ; begin employee::get_age
+        if never
+        then count
+        mode detached
+        context cumulative
+        priority 4
+        monitor class manager
+        monitor object %d
+        end|}
+      (Oid.to_int e)
+  in
+  let r =
+    match Rule_dsl.load_string sys text with [ r ] -> r | _ -> assert false
+  in
+  let rendered = Rule_dsl.render sys r in
+  (* rendering parses back into an equivalent rule *)
+  let sys2 = System.create (let db2 = employee_db () in db2) in
+  System.register_action sys2 "count" (fun _ _ -> ());
+  System.register_condition sys2 "never" (fun _ _ -> false);
+  (* monitor object lines reference OIDs of the original store; strip them *)
+  let stripped =
+    String.split_on_char '\n' rendered
+    |> List.filter (fun l ->
+           not (String.length (String.trim l) > 14
+                && String.sub (String.trim l) 0 14 = "monitor object"))
+    |> String.concat "\n"
+  in
+  match Rule_dsl.load_string sys2 stripped with
+  | [ r2 ] ->
+    let i1 = System.rule_info sys r and i2 = System.rule_info sys2 r2 in
+    Alcotest.(check bool) "event" true (Expr.equal i1.Rule.event i2.Rule.event);
+    Alcotest.(check bool) "coupling" true (i1.Rule.coupling = i2.Rule.coupling);
+    Alcotest.(check int) "priority" i1.Rule.priority i2.Rule.priority
+  | _ -> Alcotest.fail "render did not parse back"
+
+let test_load_file () =
+  let db, sys, fired = fixture () in
+  let e = new_employee db in
+  let path = Filename.temp_file "sentinel_rules" ".rules" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          Printf.fprintf oc
+            "rule from-file\non end employee::set_salary\nthen count\nmonitor \
+             object %d\nend\n"
+            (Oid.to_int e));
+      ignore (Rule_dsl.load_file sys path);
+      ignore (Db.send db e "set_salary" [ Value.Float 1. ]);
+      Alcotest.(check int) "fires" 1 !fired)
+
+let suite =
+  [
+    test "basic block" test_basic_block;
+    test "all directives" test_all_directives;
+    test "multiple blocks" test_multiple_blocks;
+    test "errors and atomicity" test_errors_and_atomicity;
+    test "render roundtrip" test_render_roundtrip;
+    test "load from file" test_load_file;
+  ]

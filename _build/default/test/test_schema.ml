@@ -1,0 +1,146 @@
+open Helpers
+
+let base_db () =
+  let db = Db.create () in
+  Db.define_class db
+    (Schema.define "person"
+       ~attrs:[ ("name", Value.Str ""); ("age", Value.Int 0) ]
+       ~methods:
+         [ ("get_name", Workloads.Dsl.getter "name"); ("set_age", Workloads.Dsl.setter "age") ]
+       ~events:[ ("set_age", Schema.On_end) ]);
+  Db.define_class db
+    (Schema.define "student" ~super:"person"
+       ~attrs:[ ("school", Value.Str ""); ("age", Value.Int 18) ]
+       ~methods:[ ("get_school", Workloads.Dsl.getter "school") ]);
+  Db.define_class db (Schema.define "grad_student" ~super:"student");
+  db
+
+let test_define_and_find () =
+  let db = base_db () in
+  Alcotest.(check bool) "has person" true (Db.has_class db "person");
+  Alcotest.(check bool) "has student" true (Db.has_class db "student");
+  Alcotest.(check bool) "no teacher" false (Db.has_class db "teacher");
+  Alcotest.(check (list string))
+    "ancestry" [ "grad_student"; "student"; "person" ]
+    (Schema.ancestry db "grad_student")
+
+let test_duplicate_class () =
+  let db = base_db () in
+  Alcotest.check_raises "duplicate" (Errors.Duplicate_class "person") (fun () ->
+      Db.define_class db (Schema.define "person"))
+
+let test_missing_super () =
+  let db = base_db () in
+  Alcotest.check_raises "missing super" (Errors.No_such_class "ghost") (fun () ->
+      Db.define_class db (Schema.define "orphan" ~super:"ghost"))
+
+let test_event_interface_checks () =
+  let db = base_db () in
+  (* event interface naming an unresolvable method is rejected *)
+  Alcotest.check_raises "unknown event method"
+    (Errors.No_such_method ("broken", "no_such"))
+    (fun () ->
+      Db.define_class db
+        (Schema.define "broken" ~events:[ ("no_such", Schema.On_end) ]));
+  (* ... and the failed class is not half-registered *)
+  Alcotest.(check bool) "rolled back" false (Db.has_class db "broken");
+  (* an inherited method may appear in a subclass's event interface *)
+  Db.define_class db
+    (Schema.define "monitored_student" ~super:"student"
+       ~events:[ ("get_name", Schema.On_both) ]);
+  Alcotest.(check bool) "registered" true (Db.has_class db "monitored_student")
+
+let test_reactive_inference () =
+  let db = base_db () in
+  (* events imply reactive by default *)
+  Alcotest.(check bool) "person reactive" true (Schema.is_reactive db "person");
+  (* subclasses inherit reactivity *)
+  Alcotest.(check bool) "student reactive" true (Schema.is_reactive db "student");
+  Db.define_class db (Schema.define "rock");
+  Alcotest.(check bool) "rock passive" false (Schema.is_reactive db "rock");
+  (* explicitly passive + events is a contradiction *)
+  check_raises_any "passive with events" (fun () ->
+      Db.define_class db
+        (Schema.define "contradiction" ~reactive:false
+           ~methods:[ ("m", fun _ _ _ -> Value.Null) ]
+           ~events:[ ("m", Schema.On_end) ]))
+
+let test_method_resolution () =
+  let db = base_db () in
+  let m = Schema.lookup_method db "grad_student" "get_name" in
+  Alcotest.(check string) "inherited method" "get_name" m.Oodb.Types.mname;
+  Alcotest.check_raises "unknown method"
+    (Errors.No_such_method ("grad_student", "fly"))
+    (fun () -> ignore (Schema.lookup_method db "grad_student" "fly"));
+  Alcotest.(check bool) "methods_of includes both" true
+    (let ms = Schema.methods_of db "student" in
+     List.mem "get_name" ms && List.mem "get_school" ms)
+
+let test_interface_resolution () =
+  let db = base_db () in
+  (match Schema.lookup_interface db "grad_student" "set_age" with
+  | Some e ->
+    Alcotest.(check bool) "eom" true e.Oodb.Types.on_end;
+    Alcotest.(check bool) "not bom" false e.Oodb.Types.on_begin
+  | None -> Alcotest.fail "interface entry not inherited");
+  Alcotest.(check bool) "get_name not an event" true
+    (Schema.lookup_interface db "person" "get_name" = None)
+
+let test_attr_merging () =
+  let db = base_db () in
+  let attrs = Schema.all_attrs db "grad_student" in
+  (* subclass default for age overrides person's *)
+  Alcotest.check value "age overridden" (Value.Int 18) (List.assoc "age" attrs);
+  Alcotest.(check bool) "has school" true (List.mem_assoc "school" attrs);
+  Alcotest.(check bool) "has name" true (List.mem_assoc "name" attrs)
+
+let test_subclass_relation () =
+  let db = base_db () in
+  Alcotest.(check bool) "reflexive" true
+    (Schema.is_subclass db ~sub:"person" ~super:"person");
+  Alcotest.(check bool) "deep" true
+    (Schema.is_subclass db ~sub:"grad_student" ~super:"person");
+  Alcotest.(check bool) "not inverse" false
+    (Schema.is_subclass db ~sub:"person" ~super:"student")
+
+let test_all_events () =
+  let db = base_db () in
+  Db.define_class db
+    (Schema.define "chatty" ~all_events:true
+       ~methods:
+         [
+           ("m1", fun _ _ _ -> Value.Null);
+           ("m2", fun _ _ _ -> Value.Null);
+         ]
+       (* explicit entry overrides the blanket both-events default *)
+       ~events:[ ("m2", Schema.On_end) ]);
+  Alcotest.(check bool) "reactive inferred" true (Schema.is_reactive db "chatty");
+  let o = Db.new_object db "chatty" in
+  Db.reset_stats db;
+  ignore (Db.send db o "m1" []); (* bom + eom *)
+  ignore (Db.send db o "m2" []); (* eom only, overridden *)
+  Alcotest.(check int) "event counts" 3 (Db.stats db).events_generated
+
+let test_duplicate_members_rejected () =
+  check_raises_any "duplicate method" (fun () ->
+      Schema.define "bad"
+        ~methods:[ ("m", fun _ _ _ -> Value.Null); ("m", fun _ _ _ -> Value.Null) ]);
+  check_raises_any "duplicate event" (fun () ->
+      Schema.define "bad2"
+        ~methods:[ ("m", fun _ _ _ -> Value.Null) ]
+        ~events:[ ("m", Schema.On_end); ("m", Schema.On_begin) ])
+
+let suite =
+  [
+    test "define and find" test_define_and_find;
+    test "duplicate class rejected" test_duplicate_class;
+    test "missing superclass rejected" test_missing_super;
+    test "event interface validation" test_event_interface_checks;
+    test "reactive inference" test_reactive_inference;
+    test "method resolution" test_method_resolution;
+    test "interface resolution" test_interface_resolution;
+    test "attribute merging" test_attr_merging;
+    test "subclass relation" test_subclass_relation;
+    test "all_events (footnote 7)" test_all_events;
+    test "duplicate members rejected" test_duplicate_members_rejected;
+  ]

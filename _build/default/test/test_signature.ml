@@ -1,0 +1,59 @@
+open Helpers
+module Signature = Events.Signature
+
+let parse = Signature.parse
+
+let test_paper_signatures () =
+  (* The exact strings the paper constructs Primitive events from. *)
+  let s = parse "end Employee::Set-Salary(float x)" in
+  Alcotest.(check bool) "modifier" true (s.s_modifier = Oodb.Types.After);
+  Alcotest.(check (option string)) "class" (Some "Employee") s.s_class;
+  Alcotest.(check string) "method" "Set-Salary" s.s_meth;
+  let s = parse "begin Person::Marry (Person* spouse)" in
+  Alcotest.(check bool) "bom" true (s.s_modifier = Oodb.Types.Before);
+  Alcotest.(check string) "marry" "Marry" s.s_meth;
+  let s = parse "before Account::Withdraw(float x)" in
+  Alcotest.(check bool) "before = begin" true (s.s_modifier = Oodb.Types.Before);
+  let s = parse "after Account::Deposit(float x)" in
+  Alcotest.(check bool) "after = end" true (s.s_modifier = Oodb.Types.After)
+
+let test_optional_parts () =
+  let s = parse "end set_price" in
+  Alcotest.(check (option string)) "no class" None s.s_class;
+  Alcotest.(check string) "method only" "set_price" s.s_meth;
+  let s = parse "  begin   stock::set_price  " in
+  Alcotest.(check (option string)) "whitespace tolerated" (Some "stock") s.s_class
+
+let test_to_string_roundtrip () =
+  let cases = [ "end Employee::Set-Salary"; "begin Marry"; "end account::deposit" ] in
+  List.iter
+    (fun c ->
+      let s = parse c in
+      Alcotest.(check bool)
+        (c ^ " roundtrip")
+        true
+        (Signature.equal s (parse (Signature.to_string s))))
+    cases
+
+let test_errors () =
+  let bad s =
+    match parse s with
+    | _ -> Alcotest.failf "%S should not parse" s
+    | exception Errors.Parse_error _ -> ()
+  in
+  bad "";
+  bad "set_price"; (* missing modifier *)
+  bad "during stock::set_price"; (* unknown modifier *)
+  bad "end stock::set_price(unterminated";
+  bad "end stock:set_price"; (* single colon *)
+  bad "end ::set_price";
+  bad "end stock::";
+  bad "end sto ck::m"
+
+let suite =
+  [
+    test "paper signatures" test_paper_signatures;
+    test "optional parts" test_optional_parts;
+    test "to_string roundtrip" test_to_string_roundtrip;
+    test "rejects malformed input" test_errors;
+  ]

@@ -1,0 +1,116 @@
+open Helpers
+module Template = Sentinel.Template
+
+let fixture () =
+  let db = employee_db () in
+  let sys = System.create db in
+  let fired = ref 0 in
+  System.register_action sys "count" (fun _ _ -> incr fired);
+  (db, sys, fired)
+
+let declare sys =
+  Template.declare sys ~name:"salary-watch"
+    ~event:(Expr.eom ~cls:"employee" "set_salary")
+    ~condition:"true" ~action:"count" ()
+
+let test_declare_and_find () =
+  let db, sys, _ = fixture () in
+  let tpl = declare sys in
+  Alcotest.(check bool) "stored object" true (Db.exists db tpl);
+  Alcotest.(check string) "class" "__template" (Db.class_of db tpl);
+  Alcotest.(check (option oid)) "findable" (Some tpl)
+    (Template.find sys "salary-watch");
+  Alcotest.(check (list oid)) "listed" [ tpl ] (Template.templates sys);
+  Alcotest.(check (list oid)) "no bindings yet" [] (Template.bindings sys tpl);
+  check_raises_any "duplicate name" (fun () -> ignore (declare sys));
+  check_raises_any "unknown action" (fun () ->
+      ignore
+        (Template.declare sys ~name:"x" ~event:(Expr.eom "m") ~condition:"true"
+           ~action:"nope" ()))
+
+let test_bind_scopes_to_instance () =
+  let db, sys, fired = fixture () in
+  let tpl = declare sys in
+  let e1 = new_employee db and e2 = new_employee db in
+  let rule = Template.bind sys tpl [ e1 ] in
+  ignore (Db.send db e1 "set_salary" [ Value.Float 1. ]);
+  ignore (Db.send db e2 "set_salary" [ Value.Float 2. ]);
+  Alcotest.(check int) "only bound instance" 1 !fired;
+  Alcotest.(check (list oid)) "binding listed" [ rule ] (Template.bindings sys tpl);
+  (* a second binding is independent *)
+  ignore (Template.bind sys tpl [ e2 ]);
+  ignore (Db.send db e2 "set_salary" [ Value.Float 3. ]);
+  Alcotest.(check int) "second binding fires" 2 !fired;
+  Alcotest.(check int) "two bindings" 2 (List.length (Template.bindings sys tpl))
+
+let test_unbind () =
+  let db, sys, fired = fixture () in
+  let tpl = declare sys in
+  let e = new_employee db in
+  ignore (Template.bind sys tpl [ e ]);
+  Template.unbind sys tpl [ e ];
+  Template.unbind sys tpl [ e ]; (* idempotent *)
+  ignore (Db.send db e "set_salary" [ Value.Float 1. ]);
+  Alcotest.(check int) "deactivated" 0 !fired;
+  Alcotest.(check (list oid)) "no bindings" [] (Template.bindings sys tpl)
+
+let test_multi_object_binding () =
+  let db, sys, fired = fixture () in
+  (* an IncomeLevel-style template over a pair of objects *)
+  let tpl =
+    Template.declare sys ~name:"pairwise"
+      ~event:
+        (Expr.conj
+           (Expr.eom ~cls:"employee" "set_salary")
+           (Expr.eom ~cls:"employee" "change_income"))
+      ~condition:"true" ~action:"count" ()
+  in
+  let e1 = new_employee db and e2 = new_employee db and e3 = new_employee db in
+  ignore (Template.bind sys tpl [ e1; e2 ]);
+  ignore (Db.send db e1 "set_salary" [ Value.Float 1. ]);
+  ignore (Db.send db e2 "change_income" [ Value.Float 2. ]);
+  Alcotest.(check int) "pair completes" 1 !fired;
+  (* a fresh e1 event re-pairs with the retained e2 instance (recent
+     context) ... *)
+  ignore (Db.send db e1 "set_salary" [ Value.Float 3. ]);
+  Alcotest.(check int) "recent re-pairing" 2 !fired;
+  (* ... but the unbound third object cannot contribute at all *)
+  ignore (Db.send db e3 "change_income" [ Value.Float 4. ]);
+  Alcotest.(check int) "outsider ignored" 2 !fired
+
+let test_templates_persist () =
+  let db, sys, _ = fixture () in
+  let tpl = declare sys in
+  let e = new_employee db in
+  let text = Oodb.Persist.to_string db in
+  let db2 = Db.create () in
+  Workloads.Payroll.install db2;
+  let sys2 = System.create db2 in
+  let fired2 = ref 0 in
+  System.register_action sys2 "count" (fun _ _ -> incr fired2);
+  Oodb.Persist.of_string db2 text;
+  System.rehydrate sys2;
+  (* Template.templates needs the class; ensure it's registered on reload
+     by declaring-table access *)
+  Alcotest.(check (list oid)) "template survived" [ tpl ] (Template.templates sys2);
+  ignore (Template.bind sys2 tpl [ e ]);
+  ignore (Db.send db2 e "set_salary" [ Value.Float 1. ]);
+  Alcotest.(check int) "bindable after reload" 1 !fired2
+
+let test_bind_misuse () =
+  let db, sys, _ = fixture () in
+  let tpl = declare sys in
+  check_raises_any "empty binding" (fun () -> ignore (Template.bind sys tpl []));
+  let not_a_template = new_employee db in
+  check_raises_any "not a template" (fun () ->
+      ignore (Template.bind sys not_a_template [ not_a_template ]))
+
+let suite =
+  [
+    test "declare and find" test_declare_and_find;
+    test "bind scopes to instance" test_bind_scopes_to_instance;
+    test "unbind" test_unbind;
+    test "multi-object binding" test_multi_object_binding;
+    test "templates persist" test_templates_persist;
+    test "bind misuse" test_bind_misuse;
+  ]

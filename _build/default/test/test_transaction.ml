@@ -1,0 +1,234 @@
+open Helpers
+
+let test_commit_keeps_changes () =
+  let db = employee_db () in
+  let e = new_employee db ~salary:100. in
+  Transaction.begin_ db;
+  Db.set db e "salary" (Value.Float 200.);
+  Transaction.commit db;
+  Alcotest.check value "kept" (Value.Float 200.) (Db.get db e "salary")
+
+let test_abort_restores_attrs () =
+  let db = employee_db () in
+  let e = new_employee db ~salary:100. ~name:"bob" in
+  Transaction.begin_ db;
+  Db.set db e "salary" (Value.Float 200.);
+  Db.set db e "salary" (Value.Float 300.);
+  Db.set db e "name" (Value.Str "robert");
+  Transaction.abort db;
+  Alcotest.check value "salary restored" (Value.Float 100.) (Db.get db e "salary");
+  Alcotest.check value "name restored" (Value.Str "bob") (Db.get db e "name")
+
+let test_abort_removes_created () =
+  let db = employee_db () in
+  Transaction.begin_ db;
+  let e = new_employee db in
+  Alcotest.(check bool) "visible inside" true (Db.exists db e);
+  Transaction.abort db;
+  Alcotest.(check bool) "gone after abort" false (Db.exists db e);
+  Alcotest.(check int) "extent empty" 0 (List.length (Db.extent db "employee"))
+
+let test_abort_restores_deleted () =
+  let db = employee_db () in
+  let e = new_employee db ~salary:42. in
+  Transaction.begin_ db;
+  Db.delete_object db e;
+  Alcotest.(check bool) "gone inside" false (Db.exists db e);
+  Transaction.abort db;
+  Alcotest.(check bool) "restored" true (Db.exists db e);
+  Alcotest.check value "attrs restored" (Value.Float 42.) (Db.get db e "salary");
+  Alcotest.(check int) "back in extent" 1 (List.length (Db.extent db "employee"))
+
+let test_abort_restores_subscriptions () =
+  let db, sys, collector, _seen = sys_with_collector () in
+  ignore sys;
+  let e = new_employee db in
+  Transaction.begin_ db;
+  Db.subscribe db ~reactive:e ~consumer:collector;
+  Db.subscribe_class db ~cls:"employee" ~consumer:collector;
+  Transaction.abort db;
+  Alcotest.(check int) "instance subs rolled back" 0
+    (List.length (Db.consumers_of db e));
+  Alcotest.(check int) "class subs rolled back" 0
+    (List.length (Db.class_consumers_of db "employee"))
+
+let test_nested_commit_then_outer_abort () =
+  let db = employee_db () in
+  let e = new_employee db ~salary:1. in
+  Transaction.begin_ db;
+  Db.set db e "salary" (Value.Float 2.);
+  Transaction.begin_ db;
+  Db.set db e "salary" (Value.Float 3.);
+  Transaction.commit db; (* inner commit folds into parent *)
+  Alcotest.(check int) "depth back to 1" 1 (Transaction.depth db);
+  Transaction.abort db; (* outer abort undoes both *)
+  Alcotest.check value "both undone" (Value.Float 1.) (Db.get db e "salary")
+
+let test_nested_abort_keeps_outer () =
+  let db = employee_db () in
+  let e = new_employee db ~salary:1. in
+  Transaction.begin_ db;
+  Db.set db e "salary" (Value.Float 2.);
+  Transaction.begin_ db;
+  Db.set db e "salary" (Value.Float 3.);
+  Transaction.abort db; (* inner only *)
+  Alcotest.check value "inner undone" (Value.Float 2.) (Db.get db e "salary");
+  Transaction.commit db;
+  Alcotest.check value "outer kept" (Value.Float 2.) (Db.get db e "salary")
+
+let test_atomically () =
+  let db = employee_db () in
+  let e = new_employee db ~salary:10. in
+  (match
+     Transaction.atomically db (fun () ->
+         Db.set db e "salary" (Value.Float 20.);
+         "done")
+   with
+  | Ok s -> Alcotest.(check string) "result" "done" s
+  | Error _ -> Alcotest.fail "unexpected error");
+  Alcotest.check value "committed" (Value.Float 20.) (Db.get db e "salary");
+  (match
+     Transaction.atomically db (fun () ->
+         Db.set db e "salary" (Value.Float 99.);
+         raise (Errors.Rule_abort "nope"))
+   with
+  | Ok () -> Alcotest.fail "should have failed"
+  | Error (Errors.Rule_abort m) -> Alcotest.(check string) "error" "nope" m
+  | Error e -> raise e);
+  Alcotest.check value "rolled back" (Value.Float 20.) (Db.get db e "salary");
+  Alcotest.(check bool) "no txn left open" false (Transaction.in_progress db)
+
+let test_deferred_runs_at_commit () =
+  let db = employee_db () in
+  let order = ref [] in
+  Transaction.begin_ db;
+  Transaction.add_deferred db (fun () -> order := "d1" :: !order);
+  Transaction.begin_ db;
+  Transaction.add_deferred db (fun () -> order := "d2" :: !order);
+  Transaction.commit db;
+  Alcotest.(check (list string)) "not yet" [] (List.rev !order);
+  Transaction.commit db;
+  Alcotest.(check (list string)) "fifo at outer commit" [ "d1"; "d2" ]
+    (List.rev !order)
+
+let test_deferred_can_enqueue_more () =
+  let db = employee_db () in
+  let ran = ref [] in
+  Transaction.begin_ db;
+  Transaction.add_deferred db (fun () ->
+      ran := "first" :: !ran;
+      Transaction.add_deferred db (fun () -> ran := "second" :: !ran));
+  Transaction.commit db;
+  Alcotest.(check (list string)) "chained" [ "first"; "second" ] (List.rev !ran)
+
+let test_deferred_failure_aborts () =
+  let db = employee_db () in
+  let e = new_employee db ~salary:1. in
+  Transaction.begin_ db;
+  Db.set db e "salary" (Value.Float 2.);
+  Transaction.add_deferred db (fun () -> raise (Errors.Rule_abort "deferred"));
+  (match Transaction.commit db with
+  | () -> Alcotest.fail "commit should raise"
+  | exception Errors.Rule_abort _ -> ());
+  Alcotest.check value "aborted" (Value.Float 1.) (Db.get db e "salary");
+  Alcotest.(check bool) "txn closed" false (Transaction.in_progress db)
+
+let test_detached_runs_after_commit () =
+  let db = employee_db () in
+  let observed = ref None in
+  let e = new_employee db ~salary:1. in
+  Transaction.begin_ db;
+  Db.set db e "salary" (Value.Float 2.);
+  Transaction.add_detached db (fun () ->
+      (* runs outside the transaction, seeing committed state *)
+      observed := Some (Transaction.in_progress db, Db.get db e "salary"));
+  Alcotest.(check bool) "not yet" true (!observed = None);
+  Transaction.commit db;
+  match !observed with
+  | Some (in_txn, v) ->
+    Alcotest.(check bool) "outside txn" false in_txn;
+    Alcotest.check value "sees committed value" (Value.Float 2.) v
+  | None -> Alcotest.fail "detached did not run"
+
+let test_detached_dies_with_abort () =
+  let db = employee_db () in
+  let ran = ref false in
+  Transaction.begin_ db;
+  Transaction.add_detached db (fun () -> ran := true);
+  Transaction.abort db;
+  Alcotest.(check bool) "discarded" false !ran
+
+let test_misuse () =
+  let db = Db.create () in
+  check_raises_any "commit without begin" (fun () -> Transaction.commit db);
+  check_raises_any "abort without begin" (fun () -> Transaction.abort db);
+  check_raises_any "add_deferred outside" (fun () ->
+      Transaction.add_deferred db (fun () -> ()))
+
+let test_outermost_id () =
+  let db = Db.create () in
+  Alcotest.(check bool) "none" true (Transaction.outermost_id db = None);
+  Transaction.begin_ db;
+  let outer = Transaction.outermost_id db in
+  Transaction.begin_ db;
+  Alcotest.(check bool) "stable across nesting" true
+    (Transaction.outermost_id db = outer);
+  Transaction.abort db;
+  Transaction.abort db
+
+(* Property: any interleaving of sets/creates/deletes inside an aborted
+   transaction leaves the observable store unchanged. *)
+let ops_gen =
+  let open QCheck2.Gen in
+  list_size (int_bound 20)
+    (oneof
+       [
+         map (fun (i, v) -> `Set (i, v)) (pair (int_bound 4) small_signed_int);
+         return `Create;
+         map (fun i -> `Delete i) (int_bound 4);
+       ])
+
+let snapshot db =
+  Db.extent db ~deep:true "employee"
+  |> List.map (fun o -> (Oid.to_int o, Db.attrs db o))
+
+let prop_abort_is_identity =
+  QCheck2.Test.make ~name:"abort restores observable state" ~count:100 ops_gen
+    (fun ops ->
+      let db = employee_db () in
+      let base = Array.init 5 (fun i -> new_employee db ~salary:(float_of_int i)) in
+      let before = snapshot db in
+      Transaction.begin_ db;
+      List.iter
+        (fun op ->
+          try
+            match op with
+            | `Set (i, v) ->
+              Db.set db base.(i) "salary" (Value.Float (float_of_int v))
+            | `Create -> ignore (new_employee db)
+            | `Delete i -> Db.delete_object db base.(i)
+          with Errors.Dead_object _ | Errors.No_such_object _ ->
+            () (* op on an already-deleted object: fine *))
+        ops;
+      Transaction.abort db;
+      snapshot db = before)
+
+let suite =
+  [
+    test "commit keeps changes" test_commit_keeps_changes;
+    test "abort restores attributes" test_abort_restores_attrs;
+    test "abort removes created objects" test_abort_removes_created;
+    test "abort restores deleted objects" test_abort_restores_deleted;
+    test "abort restores subscriptions" test_abort_restores_subscriptions;
+    test "nested commit then outer abort" test_nested_commit_then_outer_abort;
+    test "nested abort keeps outer" test_nested_abort_keeps_outer;
+    test "atomically" test_atomically;
+    test "deferred runs at outer commit" test_deferred_runs_at_commit;
+    test "deferred can enqueue more" test_deferred_can_enqueue_more;
+    test "deferred failure aborts" test_deferred_failure_aborts;
+    test "detached runs after commit" test_detached_runs_after_commit;
+    test "detached dies with abort" test_detached_dies_with_abort;
+    test "misuse raises" test_misuse;
+    test "outermost id" test_outermost_id;
+    QCheck_alcotest.to_alcotest prop_abort_is_identity;
+  ]

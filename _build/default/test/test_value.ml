@@ -1,0 +1,133 @@
+open Helpers
+
+let v = Alcotest.check value
+
+let test_constructors () =
+  v "null" Value.Null Value.null;
+  v "bool" (Value.Bool true) (Value.bool true);
+  v "int" (Value.Int 42) (Value.int 42);
+  v "float" (Value.Float 1.5) (Value.float 1.5);
+  v "str" (Value.Str "x") (Value.str "x");
+  v "obj" (Value.Obj (Oid.of_int 7)) (Value.obj (Oid.of_int 7));
+  v "list"
+    (Value.List [ Value.Int 1; Value.Str "a" ])
+    (Value.list [ Value.int 1; Value.str "a" ])
+
+let test_accessors () =
+  Alcotest.(check bool) "to_bool" true (Value.to_bool (Value.bool true));
+  Alcotest.(check int) "to_int" 5 (Value.to_int (Value.int 5));
+  Alcotest.(check (float 0.)) "to_float" 2.5 (Value.to_float (Value.float 2.5));
+  Alcotest.(check (float 0.)) "int widens" 3. (Value.to_float (Value.int 3));
+  Alcotest.(check string) "to_str" "hi" (Value.to_str (Value.str "hi"));
+  Alcotest.check oid "to_oid" (Oid.of_int 9) (Value.to_oid (Value.obj (Oid.of_int 9)));
+  Alcotest.(check int) "to_list" 2
+    (List.length (Value.to_list (Value.list [ Value.null; Value.null ])));
+  Alcotest.(check bool) "is_null yes" true (Value.is_null Value.null);
+  Alcotest.(check bool) "is_null no" false (Value.is_null (Value.int 0))
+
+let test_accessor_errors () =
+  let expect_type_error name f =
+    match f () with
+    | _ -> Alcotest.failf "%s: expected Type_error" name
+    | exception Errors.Type_error _ -> ()
+  in
+  expect_type_error "bool of int" (fun () -> Value.to_bool (Value.int 1));
+  expect_type_error "int of str" (fun () -> Value.to_int (Value.str "1"));
+  expect_type_error "float of str" (fun () -> Value.to_float (Value.str "1."));
+  expect_type_error "str of null" (fun () -> Value.to_str Value.null);
+  expect_type_error "oid of int" (fun () -> Value.to_oid (Value.int 1));
+  expect_type_error "list of str" (fun () -> Value.to_list (Value.str ""))
+
+let test_compare_numeric () =
+  Alcotest.(check int) "int = float" 0 (Value.compare (Value.int 2) (Value.float 2.));
+  Alcotest.(check bool) "int < float" true
+    (Value.compare (Value.int 2) (Value.float 2.5) < 0);
+  Alcotest.(check bool) "float > int" true
+    (Value.compare (Value.float 3.5) (Value.int 3) > 0);
+  Alcotest.(check bool) "equal across tags" true
+    (Value.equal (Value.int 4) (Value.float 4.))
+
+let test_compare_structural () =
+  Alcotest.(check bool) "str order" true
+    (Value.compare (Value.str "a") (Value.str "b") < 0);
+  Alcotest.(check bool) "list lexicographic" true
+    (Value.compare
+       (Value.list [ Value.int 1; Value.int 2 ])
+       (Value.list [ Value.int 1; Value.int 3 ])
+    < 0);
+  Alcotest.(check bool) "tag ordering stable" true
+    (Value.compare Value.null (Value.bool false) < 0);
+  Alcotest.(check bool) "nested equal" true
+    (Value.equal
+       (Value.list [ Value.list [ Value.str "x" ] ])
+       (Value.list [ Value.list [ Value.str "x" ] ]))
+
+let test_printing () =
+  Alcotest.(check string) "null" "null" (Value.to_string Value.null);
+  Alcotest.(check string) "int" "42" (Value.to_string (Value.int 42));
+  Alcotest.(check string) "str quoted" "\"hi\"" (Value.to_string (Value.str "hi"));
+  Alcotest.(check string) "list" "[1; 2]"
+    (Value.to_string (Value.list [ Value.int 1; Value.int 2 ]));
+  Alcotest.(check string) "oid" "@3" (Value.to_string (Value.obj (Oid.of_int 3)));
+  Alcotest.(check string) "type names" "list"
+    (Value.type_name (Value.list []))
+
+let test_oid_module () =
+  let a = Oid.of_int 1 and b = Oid.of_int 2 in
+  Alcotest.(check bool) "equal" true (Oid.equal a (Oid.of_int 1));
+  Alcotest.(check bool) "not equal" false (Oid.equal a b);
+  Alcotest.(check bool) "compare" true (Oid.compare a b < 0);
+  Alcotest.(check int) "roundtrip" 5 (Oid.to_int (Oid.of_int 5));
+  Alcotest.(check string) "to_string" "@8" (Oid.to_string (Oid.of_int 8));
+  let tbl = Oid.Table.create 4 in
+  Oid.Table.replace tbl a ();
+  Alcotest.(check bool) "table" true (Oid.Table.mem tbl (Oid.of_int 1));
+  let s = Oid.Set.of_list [ a; b; a ] in
+  Alcotest.(check int) "set dedupes" 2 (Oid.Set.cardinal s)
+
+(* Property: Value.compare is a total order consistent with equal. *)
+let value_gen =
+  let open QCheck2.Gen in
+  sized @@ fix (fun self n ->
+      let base =
+        oneof
+          [
+            return Value.Null;
+            map Value.bool bool;
+            map Value.int small_signed_int;
+            map (fun f -> Value.Float f) (float_bound_inclusive 1000.);
+            map Value.str (string_size (int_bound 8));
+            map (fun i -> Value.Obj (Oodb.Oid.of_int (abs i))) small_signed_int;
+          ]
+      in
+      if n <= 1 then base
+      else oneof [ base; map Value.list (list_size (int_bound 4) (self (n / 2))) ])
+
+let prop_compare_reflexive =
+  QCheck2.Test.make ~name:"Value.compare reflexive" ~count:200 value_gen
+    (fun a -> Value.compare a a = 0)
+
+let prop_compare_antisymmetric =
+  QCheck2.Test.make ~name:"Value.compare antisymmetric" ~count:200
+    (QCheck2.Gen.pair value_gen value_gen) (fun (a, b) ->
+      let c1 = Value.compare a b and c2 = Value.compare b a in
+      (c1 = 0 && c2 = 0) || (c1 < 0 && c2 > 0) || (c1 > 0 && c2 < 0))
+
+let prop_equal_matches_compare =
+  QCheck2.Test.make ~name:"Value.equal consistent with compare" ~count:200
+    (QCheck2.Gen.pair value_gen value_gen) (fun (a, b) ->
+      Value.equal a b = (Value.compare a b = 0))
+
+let suite =
+  [
+    test "constructors" test_constructors;
+    test "accessors" test_accessors;
+    test "accessor errors" test_accessor_errors;
+    test "numeric comparison" test_compare_numeric;
+    test "structural comparison" test_compare_structural;
+    test "printing" test_printing;
+    test "oid module" test_oid_module;
+    QCheck_alcotest.to_alcotest prop_compare_reflexive;
+    QCheck_alcotest.to_alcotest prop_compare_antisymmetric;
+    QCheck_alcotest.to_alcotest prop_equal_matches_compare;
+  ]

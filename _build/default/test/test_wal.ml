@@ -1,0 +1,250 @@
+open Helpers
+module Wal = Oodb.Wal
+module Persist = Oodb.Persist
+
+let with_tmp f =
+  let path = Filename.temp_file "sentinel_wal" ".wal" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let fresh_db () =
+  let db = employee_db () in
+  let _sys = System.create db in
+  db
+
+let snapshot db =
+  List.concat_map
+    (fun cls ->
+      List.map
+        (fun o -> (Oid.to_int o, cls, Db.attrs db o, Db.consumers_of db o))
+        (Db.extent db ~deep:false cls))
+    (List.sort compare (Db.classes db))
+
+let recover path =
+  let db = fresh_db () in
+  let applied = Wal.replay db path in
+  (db, applied)
+
+let test_autocommit_logging () =
+  with_tmp (fun path ->
+      let db = fresh_db () in
+      let wal = Wal.attach db path in
+      let e = new_employee db ~name:"ann" ~salary:5. in
+      Db.set db e "salary" (Value.Float 10.);
+      let e2 = new_employee db in
+      Db.delete_object db e2;
+      Wal.detach wal;
+      let db2, applied = recover path in
+      Alcotest.(check int) "four autocommit batches" 4 applied;
+      Alcotest.(check bool) "object restored" true (Db.exists db2 e);
+      Alcotest.check value "attr restored" (Value.Float 10.) (Db.get db2 e "salary");
+      Alcotest.(check bool) "deleted stays deleted" false (Db.exists db2 e2);
+      Alcotest.(check bool) "full state equal" true (snapshot db = snapshot db2))
+
+let test_committed_txn_replayed () =
+  with_tmp (fun path ->
+      let db = fresh_db () in
+      let wal = Wal.attach db path in
+      Transaction.begin_ db;
+      let e = new_employee db ~salary:1. in
+      Db.set db e "salary" (Value.Float 2.);
+      Transaction.commit db;
+      Wal.detach wal;
+      let db2, applied = recover path in
+      Alcotest.(check int) "one batch" 1 applied;
+      Alcotest.check value "committed state" (Value.Float 2.) (Db.get db2 e "salary"))
+
+let test_aborted_txn_not_logged () =
+  with_tmp (fun path ->
+      let db = fresh_db () in
+      let wal = Wal.attach db path in
+      let keeper = new_employee db ~salary:1. in
+      Transaction.begin_ db;
+      ignore (new_employee db);
+      Db.set db keeper "salary" (Value.Float 99.);
+      Transaction.abort db;
+      (* OIDs burned by the abort must not break later replay *)
+      let after = new_employee db ~salary:7. in
+      Wal.detach wal;
+      let db2, _ = recover path in
+      Alcotest.check value "abort invisible" (Value.Float 1.)
+        (Db.get db2 keeper "salary");
+      Alcotest.(check bool) "post-abort object restored with same oid" true
+        (Db.exists db2 after);
+      Alcotest.check value "its attr" (Value.Float 7.) (Db.get db2 after "salary");
+      Alcotest.(check bool) "states equal" true (snapshot db = snapshot db2))
+
+let test_inner_abort_partial () =
+  with_tmp (fun path ->
+      let db = fresh_db () in
+      let wal = Wal.attach db path in
+      let e = new_employee db ~salary:1. in
+      Transaction.begin_ db;
+      Db.set db e "salary" (Value.Float 2.);
+      Transaction.begin_ db;
+      Db.set db e "salary" (Value.Float 3.);
+      Transaction.abort db; (* inner only *)
+      Transaction.begin_ db;
+      Db.set db e "income" (Value.Float 4.);
+      Transaction.commit db; (* inner commit *)
+      Transaction.commit db;
+      Wal.detach wal;
+      let db2, _ = recover path in
+      Alcotest.check value "outer write survived" (Value.Float 2.)
+        (Db.get db2 e "salary");
+      Alcotest.check value "inner-committed write survived" (Value.Float 4.)
+        (Db.get db2 e "income");
+      Alcotest.(check bool) "states equal" true (snapshot db = snapshot db2))
+
+let test_subscriptions_and_indexes_replayed () =
+  with_tmp (fun path ->
+      let db = fresh_db () in
+      let sys = System.create (Db.create ()) in
+      ignore sys;
+      let wal = Wal.attach db path in
+      let e = new_employee db in
+      let consumer = new_employee db in
+      Db.subscribe db ~reactive:e ~consumer;
+      Db.subscribe_class db ~cls:"manager" ~consumer;
+      Db.create_index db ~kind:`Ordered ~cls:"employee" ~attr:"salary" ();
+      Wal.detach wal;
+      let db2, _ = recover path in
+      Alcotest.(check (list oid)) "instance sub" [ consumer ]
+        (Db.consumers_of db2 e);
+      Alcotest.(check (list oid)) "class sub" [ consumer ]
+        (Db.class_consumers_of db2 "manager");
+      Alcotest.(check bool) "ordered index back" true
+        (Db.index_kind db2 ~cls:"employee" ~attr:"salary" = Some `Ordered))
+
+let test_torn_tail_ignored () =
+  with_tmp (fun path ->
+      let db = fresh_db () in
+      let wal = Wal.attach db path in
+      let e = new_employee db ~salary:1. in
+      Db.set db e "salary" (Value.Float 2.);
+      Wal.detach wal;
+      (* simulate a crash mid-batch: append an unterminated batch *)
+      let oc = open_out_gen [ Open_append ] 0o644 path in
+      output_string oc "B\ns 1 salary f:0x1.8p1\n"; (* no E *)
+      close_out oc;
+      let db2, applied = recover path in
+      Alcotest.(check int) "only complete batches" 2 applied;
+      Alcotest.check value "torn write discarded" (Value.Float 2.)
+        (Db.get db2 e "salary"))
+
+let test_checkpoint_truncates () =
+  with_tmp (fun wal_path ->
+      with_tmp (fun snap_path ->
+          let db = fresh_db () in
+          let wal = Wal.attach db wal_path in
+          let e = new_employee db ~salary:1. in
+          Wal.checkpoint wal ~snapshot:snap_path;
+          (* post-checkpoint activity lands in the fresh log *)
+          Db.set db e "salary" (Value.Float 5.);
+          Wal.detach wal;
+          (* recovery: snapshot + log *)
+          let db2 = fresh_db () in
+          Oodb.Persist.load db2 snap_path;
+          let applied = Wal.replay db2 wal_path in
+          Alcotest.(check int) "only the post-checkpoint batch" 1 applied;
+          Alcotest.check value "final state" (Value.Float 5.)
+            (Db.get db2 e "salary")))
+
+let test_rule_abort_keeps_log_clean () =
+  with_tmp (fun path ->
+      (* a rule that aborts the transaction: the WAL must contain nothing
+         from the aborted attempt *)
+      let db = employee_db () in
+      let sys = System.create db in
+      let e = new_employee db ~salary:10. in
+      ignore
+        (System.create_rule sys ~monitor:[ e ]
+           ~event:(Expr.eom ~cls:"employee" "set_salary")
+           ~condition:"true" ~action:"abort" ());
+      let wal = Wal.attach db path in
+      (match
+         Transaction.atomically db (fun () ->
+             ignore (Db.send db e "set_salary" [ Value.Float 999. ]))
+       with
+      | Ok () -> Alcotest.fail "expected abort"
+      | Error (Errors.Rule_abort _) -> ()
+      | Error exn -> raise exn);
+      Alcotest.(check int) "nothing written" 0 (Wal.batches_written wal);
+      Wal.detach wal)
+
+let test_attach_misuse () =
+  with_tmp (fun path ->
+      let db = fresh_db () in
+      let wal = Wal.attach db path in
+      check_raises_any "double attach" (fun () -> ignore (Wal.attach db path));
+      Wal.detach wal;
+      Wal.detach wal; (* idempotent *)
+      Transaction.begin_ db;
+      check_raises_any "attach mid-txn" (fun () -> ignore (Wal.attach db path));
+      Transaction.abort db)
+
+let test_missing_log_is_empty () =
+  let db = fresh_db () in
+  Alcotest.(check int) "no file, no batches" 0
+    (Wal.replay db "/nonexistent/definitely_missing.wal")
+
+(* Property: for random committed workloads, replaying the WAL into a fresh
+   database reproduces the exact observable state. *)
+let prop_replay_equals_original =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"wal replay reproduces state" ~count:60
+       QCheck2.Gen.(
+         list_size (int_bound 40)
+           (oneof
+              [
+                map (fun (i, v) -> `Set (i, v)) (pair (int_bound 6) small_signed_int);
+                return `Create;
+                map (fun i -> `Delete i) (int_bound 6);
+                map (fun b -> `Txn b) bool; (* true = commit, false = abort *)
+              ]))
+       (fun ops ->
+         with_tmp (fun path ->
+             let db = fresh_db () in
+             let wal = Wal.attach db path in
+             let created = ref [] in
+             let base = Array.init 7 (fun _ -> new_employee db) in
+             Array.iter (fun o -> created := o :: !created) base;
+             let apply op =
+               try
+                 match op with
+                 | `Set (i, v) ->
+                   Db.set db base.(i) "salary" (Value.Float (float_of_int v))
+                 | `Create -> created := new_employee db :: !created
+                 | `Delete i -> Db.delete_object db base.(i)
+                 | `Txn _ -> ()
+               with Errors.No_such_object _ | Errors.Dead_object _ -> ()
+             in
+             (* interleave flat ops and short transactions *)
+             List.iter
+               (fun op ->
+                 match op with
+                 | `Txn commit ->
+                   Transaction.begin_ db;
+                   apply `Create;
+                   if commit then Transaction.commit db else Transaction.abort db
+                 | other -> apply other)
+               ops;
+             Wal.detach wal;
+             let db2, _ = recover path in
+             snapshot db = snapshot db2)))
+
+let suite =
+  [
+    test "autocommit logging" test_autocommit_logging;
+    test "committed transaction replayed" test_committed_txn_replayed;
+    test "aborted transaction not logged" test_aborted_txn_not_logged;
+    test "inner abort, outer commit" test_inner_abort_partial;
+    test "subscriptions and indexes replayed" test_subscriptions_and_indexes_replayed;
+    test "torn tail ignored" test_torn_tail_ignored;
+    test "checkpoint truncates" test_checkpoint_truncates;
+    test "rule abort keeps log clean" test_rule_abort_keeps_log_clean;
+    test "attach misuse" test_attach_misuse;
+    test "missing log is empty" test_missing_log_is_empty;
+    prop_replay_equals_original;
+  ]

@@ -1,0 +1,109 @@
+open Helpers
+module Prng = Workloads.Prng
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  let seq g = List.init 20 (fun _ -> Prng.int g 1000) in
+  Alcotest.(check (list int)) "same seed same stream" (seq a) (seq b);
+  let c = Prng.create 43 in
+  Alcotest.(check bool) "different seed differs" true
+    (seq (Prng.create 42) <> seq c)
+
+let test_prng_bounds () =
+  let g = Prng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 7 in
+    if v < 0 || v >= 7 then Alcotest.failf "int out of range: %d" v;
+    let f = Prng.float g 2.5 in
+    if f < 0. || f >= 2.5 then Alcotest.failf "float out of range: %f" f
+  done;
+  check_raises_any "non-positive bound" (fun () -> ignore (Prng.int g 0))
+
+let test_prng_choice_shuffle () =
+  let g = Prng.create 5 in
+  let arr = [| 1; 2; 3; 4; 5 |] in
+  for _ = 1 to 50 do
+    let v = Prng.choice g arr in
+    if not (Array.exists (Int.equal v) arr) then Alcotest.fail "choice not member"
+  done;
+  let arr2 = Array.init 20 (fun i -> i) in
+  Prng.shuffle g arr2;
+  Alcotest.(check (list int)) "shuffle is a permutation"
+    (List.init 20 (fun i -> i))
+    (List.sort compare (Array.to_list arr2))
+
+let test_payroll_population () =
+  let db = employee_db () in
+  let rng = Prng.create 9 in
+  let pop = Workloads.Payroll.populate db rng ~managers:4 ~employees:20 in
+  Alcotest.(check int) "managers" 4 (List.length (Db.extent db "manager"));
+  Alcotest.(check int) "employees deep" 24
+    (List.length (Db.extent db ~deep:true "employee"));
+  (* every employee is wired to a manager of the manager class *)
+  Array.iter
+    (fun e ->
+      match Db.get db e "mgr" with
+      | Value.Obj m ->
+        Alcotest.(check bool) "mgr is a manager" true (Db.is_instance_of db m "manager")
+      | _ -> Alcotest.fail "employee without manager")
+    pop.employees;
+  (* streams apply cleanly *)
+  Workloads.Dsl.apply_ops db (Workloads.Payroll.salary_updates rng pop ~n:100);
+  Workloads.Dsl.apply_ops db (Workloads.Payroll.income_updates rng pop ~n:100)
+
+let test_market_population () =
+  let db = Db.create () in
+  Workloads.Stock_market.install db;
+  let rng = Prng.create 9 in
+  let market =
+    Workloads.Stock_market.populate db rng ~stocks:10 ~indexes:2 ~portfolios:3
+  in
+  Alcotest.(check int) "stocks" 10 (List.length (Db.extent db "stock"));
+  let ops = Workloads.Stock_market.ticks rng market ~n:500 in
+  Alcotest.(check int) "ops count" 500 (List.length ops);
+  Workloads.Dsl.apply_ops db ops;
+  (* a portfolio can purchase *)
+  let p = market.portfolios.(0) and s = market.stocks.(0) in
+  ignore (Db.send db p "purchase" [ Value.Obj s; Value.Int 5 ]);
+  Alcotest.check value "shares" (Value.Int 5) (Db.get db p "shares")
+
+let test_hospital_stream_rates () =
+  let db = Db.create () in
+  Workloads.Hospital.install db;
+  let rng = Prng.create 13 in
+  let ward = Workloads.Hospital.populate db rng ~patients:5 ~physicians:2 in
+  let ops = Workloads.Hospital.vitals_stream rng ward ~n:2000 ~fever_rate:0.2 () in
+  let fevers =
+    List.length
+      (List.filter
+         (fun (_, _, args) ->
+           match args with t :: _ -> Value.to_float t >= 39.0 | [] -> false)
+         ops)
+  in
+  (* 2000 draws at 20%: expect ~400, allow generous slack *)
+  Alcotest.(check bool) "fever rate ballpark" true (fevers > 300 && fevers < 500);
+  Workloads.Dsl.apply_ops db ops
+
+let test_banking_stream () =
+  let db = Db.create () in
+  Workloads.Banking.install db;
+  let rng = Prng.create 17 in
+  let accounts = Workloads.Banking.populate db rng ~accounts:5 in
+  let ops = Workloads.Banking.transactions rng accounts ~n:1000 () in
+  let withdraws =
+    List.length (List.filter (fun (_, m, _) -> m = "withdraw") ops)
+  in
+  Alcotest.(check bool) "withdraw rate ballpark" true
+    (withdraws > 300 && withdraws < 500);
+  Workloads.Dsl.apply_ops db ops
+
+let suite =
+  [
+    test "prng deterministic" test_prng_deterministic;
+    test "prng bounds" test_prng_bounds;
+    test "prng choice and shuffle" test_prng_choice_shuffle;
+    test "payroll population" test_payroll_population;
+    test "market population" test_market_population;
+    test "hospital stream rates" test_hospital_stream_rates;
+    test "banking stream" test_banking_stream;
+  ]
