@@ -817,11 +817,93 @@ let e15 () =
   row "  2PL session per write (2 clients)%10s  (%d conflicts)\n" (fmt_ms ms)
     (Oodb.Session.conflicts m - conflicts_before)
 
+(* ------------------------------------------------------------------------- *)
+(* E-routing: discrimination-indexed delivery vs per-rule broadcast           *)
+(* ------------------------------------------------------------------------- *)
+
+(* One rule matches the workload's method; the rest are class-level rules on
+   a method the workload never calls.  Broadcast pays every rule's detector
+   on every event; the index probes only the (method, modifier) bucket, so
+   throughput should be flat in the number of non-matching rules. *)
+let e_routing () =
+  header "E-routing: indexed vs broadcast delivery, 10k payroll updates";
+  let n_updates = 10_000 in
+  let sweep = [ 1; 10; 100; 1000 ] in
+  let run routing n_rules =
+    let db = Db.create () in
+    Workloads.Payroll.install db;
+    let sys = System.create ~routing db in
+    System.register_action sys "noop" (fun _ _ -> ());
+    ignore
+      (System.create_rule sys ~name:"match"
+         ~monitor_classes:[ "employee" ]
+         ~event:(Expr.eom ~cls:"employee" "set_salary")
+         ~condition:"true" ~action:"noop" ());
+    for i = 2 to n_rules do
+      ignore
+        (System.create_rule sys
+           ~name:(Printf.sprintf "miss-%d" i)
+           ~monitor_classes:[ "employee" ]
+           ~event:(Expr.eom ~cls:"employee" "change_income")
+           ~condition:"true" ~action:"noop" ())
+    done;
+    let rng = Prng.create 42 in
+    let pop = Workloads.Payroll.populate db rng ~managers:10 ~employees:90 in
+    let objs = Array.append pop.managers pop.employees in
+    System.reset_stats sys;
+    let (), ms =
+      time_ms (fun () ->
+          for _ = 1 to n_updates do
+            ignore
+              (Db.send db (Prng.choice rng objs) "set_salary"
+                 [ Value.Float 1. ])
+          done)
+    in
+    let s = System.stats sys in
+    ( float_of_int n_updates /. (ms /. 1000.),
+      s.System.actions_executed,
+      s.System.candidates_probed,
+      s.System.leaves_offered,
+      s.System.index_hits )
+  in
+  row "  %6s  %14s  %14s  %8s  %10s  %8s\n" "rules" "broadcast ev/s"
+    "indexed ev/s" "speedup" "probed" "offered";
+  let rows =
+    List.map
+      (fun n_rules ->
+        let b_eps, b_fired, _, _, _ = run System.Broadcast n_rules in
+        let i_eps, i_fired, probed, offered, hits = run System.Indexed n_rules in
+        assert (b_fired = i_fired);
+        let speedup = i_eps /. b_eps in
+        row "  %6d  %14.0f  %14.0f  %7.1fx  %10d  %8d\n" n_rules b_eps i_eps
+          speedup probed offered;
+        (n_rules, b_eps, i_eps, speedup, probed, offered, hits))
+      sweep
+  in
+  let oc = open_out "BENCH_routing.json" in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"E-routing\",\n  \"updates\": %d,\n  \"population\": 100,\n  \"workload\": \"payroll set_salary; 1 matching rule + (n-1) non-matching class-level rules\",\n  \"rows\": [\n"
+    n_updates;
+  List.iteri
+    (fun i (n_rules, b_eps, i_eps, speedup, probed, offered, hits) ->
+      Printf.fprintf oc
+        "    {\"rules\": %d, \"broadcast_events_per_sec\": %.0f, \
+         \"indexed_events_per_sec\": %.0f, \"speedup\": %.2f, \
+         \"candidates_probed\": %d, \"leaves_offered\": %d, \"index_hits\": \
+         %d}%s\n"
+        n_rules b_eps i_eps speedup probed offered hits
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  row "  wrote BENCH_routing.json\n"
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
     ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
     ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
+    ("routing", e_routing);
   ]
 
 let () =

@@ -9,5 +9,6 @@ module Db = Oodb.Db
 module Transaction = Oodb.Transaction
 module Expr = Events.Expr
 module Detector = Events.Detector
+module Route = Events.Route
 module Context = Events.Context
 module Codec = Events.Codec

@@ -1,11 +1,16 @@
 open Import
 module C = Sentinel_classes
 
+type routing = Indexed | Broadcast
+
 type sys_stats = {
   mutable dispatched : int;
   mutable conditions_checked : int;
   mutable actions_executed : int;
   mutable rule_aborts : int;
+  mutable candidates_probed : int;
+  mutable leaves_offered : int;
+  mutable index_hits : int;
 }
 
 type t = {
@@ -25,6 +30,9 @@ type t = {
   mutable execution_hook :
     (Rule.t -> Detector.instance -> execution_outcome -> unit) option;
   sys_stats : sys_stats;
+  (* [Some _] when delivery goes through the shared discrimination index
+     (Events.Route); [None] is the legacy per-consumer broadcast path. *)
+  sys_route : Route.t option;
 }
 
 and execution_outcome =
@@ -42,16 +50,35 @@ let register_action ?may_send t name f =
 let strategy t = t.sys_strategy
 let set_strategy t s = t.sys_strategy <- s
 let detached_failures t = List.rev t.failures
-let stats t = t.sys_stats
 let set_execution_hook t hook = t.execution_hook <- Some hook
 let clear_execution_hook t = t.execution_hook <- None
+
+let routing t = match t.sys_route with Some _ -> Indexed | None -> Broadcast
+let route_index t = t.sys_route
+
+let stats t =
+  (match t.sys_route with
+  | Some route ->
+    let c = Route.counters route in
+    let s = t.sys_stats in
+    s.candidates_probed <- c.Route.candidates_probed;
+    s.leaves_offered <- c.Route.leaves_offered;
+    s.index_hits <- c.Route.index_hits
+  | None -> ());
+  t.sys_stats
 
 let reset_stats t =
   let s = t.sys_stats in
   s.dispatched <- 0;
   s.conditions_checked <- 0;
   s.actions_executed <- 0;
-  s.rule_aborts <- 0
+  s.rule_aborts <- 0;
+  s.candidates_probed <- 0;
+  s.leaves_offered <- 0;
+  s.index_hits <- 0;
+  match t.sys_route with
+  | Some route -> Route.reset_counters route
+  | None -> ()
 
 (* Class subsumption backed by the schema; synthetic classes (the detector's
    "<clock>") only match themselves. *)
@@ -154,7 +181,29 @@ let dispatch t _db ~consumer occ =
     | Some handler -> handler occ
     | None -> () (* stale subscription; ignore *))
 
-let create ?(strategy = Scheduler.default) ?(cascade_limit = 64) db =
+(* Indexed mode: put the rule's detector leaves in the shared index.  The
+   guard covers rules whose object vanished underneath the runtime (deleted
+   mid-flight, or creation rolled back); enable/disable register and
+   unregister outright so disabled rules are not even probed. *)
+let register_rule t rule =
+  match t.sys_route with
+  | None -> ()
+  | Some route ->
+    let oid = rule.Rule.oid in
+    Route.register route ~consumer:oid
+      ~guard:(fun () -> rule.Rule.enabled && Db.exists t.sys_db oid)
+      ~on_receive:(fun occ ->
+        t.sys_stats.dispatched <- t.sys_stats.dispatched + 1;
+        Notifiable.record rule.Rule.recorder occ)
+      rule.Rule.detector
+
+let unregister_rule t oid =
+  match t.sys_route with
+  | None -> ()
+  | Some route -> Route.unregister route oid
+
+let create ?(strategy = Scheduler.default) ?(cascade_limit = 64)
+    ?(routing = Indexed) db =
   C.install db;
   let t =
     {
@@ -172,10 +221,25 @@ let create ?(strategy = Scheduler.default) ?(cascade_limit = 64) db =
       failures = [];
       execution_hook = None;
       sys_stats =
-        { dispatched = 0; conditions_checked = 0; actions_executed = 0; rule_aborts = 0 };
+        {
+          dispatched = 0;
+          conditions_checked = 0;
+          actions_executed = 0;
+          rule_aborts = 0;
+          candidates_probed = 0;
+          leaves_offered = 0;
+          index_hits = 0;
+        };
+      sys_route =
+        (match routing with
+        | Indexed -> Some (Route.create db)
+        | Broadcast -> None);
     }
   in
   Db.set_notify db (dispatch t);
+  (match t.sys_route with
+  | Some route -> Db.set_route db (Some (fun _db o occ -> Route.deliver route o occ))
+  | None -> Db.set_route db None);
   t
 
 (* --- event objects -------------------------------------------------------- *)
@@ -202,6 +266,7 @@ let build_runtime t ~oid ~name ~event ~context ~coupling ~priority ~enabled
       ~action ~fire:(fire t)
   in
   Oid.Table.replace t.rule_table oid rule;
+  if enabled then register_rule t rule;
   rule
 
 let fresh_rule_name t = Printf.sprintf "rule-%d" (Oid.Table.length t.rule_table + 1)
@@ -276,11 +341,13 @@ let unsubscribe_class t ~rule ~cls =
 let enable t oid =
   let r = rule_info t oid in
   r.Rule.enabled <- true;
+  register_rule t r;
   ignore (Db.send t.sys_db oid "enable" [])
 
 let disable t oid =
   let r = rule_info t oid in
   r.Rule.enabled <- false;
+  unregister_rule t oid;
   ignore (Db.send t.sys_db oid "disable" [])
 
 let set_priority t oid p =
@@ -294,11 +361,16 @@ let prune_runtimes t =
       (fun oid _ acc -> if Db.exists t.sys_db oid then acc else oid :: acc)
       t.rule_table []
   in
-  List.iter (Oid.Table.remove t.rule_table) stale
+  List.iter
+    (fun oid ->
+      Oid.Table.remove t.rule_table oid;
+      unregister_rule t oid)
+    stale
 
 let delete_rule t oid =
   ignore (rule_info t oid);
   Oid.Table.remove t.rule_table oid;
+  unregister_rule t oid;
   Db.delete_object t.sys_db oid
 
 let rules t =
@@ -316,17 +388,28 @@ let find_rule t name =
 
 (* --- ad-hoc notifiables ---------------------------------------------------- *)
 
+(* Handlers have no leaves to index, so in indexed mode they get a wildcard
+   registration: every occurrence they are subscribed to reaches them. *)
+let register_handler t oid handler =
+  Oid.Table.replace t.handlers oid handler;
+  match t.sys_route with
+  | None -> ()
+  | Some route ->
+    Route.register_wildcard route ~consumer:oid (fun occ ->
+        t.sys_stats.dispatched <- t.sys_stats.dispatched + 1;
+        handler occ)
+
 let create_notifiable t ?(name = "") handler =
   let oid =
     Db.new_object t.sys_db C.notifiable_class ~attrs:[ (C.a_name, Value.Str name) ]
   in
-  Oid.Table.replace t.handlers oid handler;
+  register_handler t oid handler;
   oid
 
 let attach_handler t oid handler =
   if not (Db.is_instance_of t.sys_db oid C.notifiable_class) then
     Errors.type_error "%s is not a notifiable object" (Oid.to_string oid);
-  Oid.Table.replace t.handlers oid handler
+  register_handler t oid handler
 
 (* --- time, rehydration ------------------------------------------------------ *)
 

@@ -24,17 +24,46 @@ type execution_outcome =
   | Aborted of string  (** the action raised [Rule_abort] *)
   | Action_error of exn
 
+type routing =
+  | Indexed
+      (** Deliver through the shared discrimination index
+          ({!Events.Route}): an occurrence's (method, modifier) maps
+          straight to the candidate detector leaves across all rules.  The
+          default. *)
+  | Broadcast
+      (** Legacy path: fan each occurrence out to every subscribed
+          consumer, each rule's detector re-testing all of its leaves. *)
+
 type sys_stats = {
   mutable dispatched : int;  (** occurrences delivered to consumers *)
   mutable conditions_checked : int;
   mutable actions_executed : int;
   mutable rule_aborts : int;  (** actions that raised [Rule_abort] *)
+  mutable candidates_probed : int;
+      (** indexed routing: candidate leaves examined *)
+  mutable leaves_offered : int;
+      (** indexed routing: candidates that passed every check *)
+  mutable index_hits : int;
+      (** indexed routing: deliveries whose key had candidates *)
 }
 
-val create : ?strategy:Scheduler.strategy -> ?cascade_limit:int -> Db.t -> t
+val create :
+  ?strategy:Scheduler.strategy ->
+  ?cascade_limit:int ->
+  ?routing:routing ->
+  Db.t ->
+  t
 (** [cascade_limit] (default 64) bounds immediate-rule recursion depth:
     actions that send messages can trigger further rules; exceeding the
-    limit raises {!Errors.Rule_abort}. *)
+    limit raises {!Errors.Rule_abort}.  [routing] (default {!Indexed})
+    selects the event-delivery path; see {!routing} and
+    [test/test_differential.ml] for the equivalence the two paths keep. *)
+
+val routing : t -> routing
+
+val route_index : t -> Events.Route.t option
+(** The shared index when routing is {!Indexed}; exposed for tests and
+    introspection. *)
 
 val db : t -> Db.t
 val registry : t -> Function_registry.t

@@ -30,6 +30,49 @@ let pp_instance ppf i =
        Occurrence.pp)
     i.constituents i.t_start i.t_end
 
+(* Mutable two-stack FIFO for operator buffers.  The hot operation is
+   appending a newly arrived constituent; the old [buf := !buf @ [i]] made
+   that O(buffer) and a long-buffering conjunction quadratic overall.  Push
+   is O(1) here; consuming operations normalize once and were already linear
+   in the buffer they inspect. *)
+type 'a fifo = {
+  mutable front : 'a list; (* oldest first *)
+  mutable back : 'a list; (* newest first *)
+}
+
+let fifo_create () = { front = []; back = [] }
+let fifo_push q x = q.back <- x :: q.back
+let fifo_is_empty q = q.front = [] && q.back = []
+
+(* All elements oldest-first; leaves the queue normalized. *)
+let fifo_all q =
+  if q.back <> [] then begin
+    q.front <- q.front @ List.rev q.back;
+    q.back <- []
+  end;
+  q.front
+
+let fifo_set q l =
+  q.front <- l;
+  q.back <- []
+
+let fifo_clear q =
+  q.front <- [];
+  q.back <- []
+
+let fifo_pop q =
+  match q.front with
+  | x :: tl ->
+    q.front <- tl;
+    Some x
+  | [] -> (
+    match List.rev q.back with
+    | [] -> None
+    | x :: tl ->
+      q.front <- tl;
+      q.back <- [];
+      Some x)
+
 (* A synthetic occurrence produced by the temporal operators. *)
 let synthetic meth k at =
   Occurrence.make ~source:(Oid.of_int 0) ~source_class:"<clock>" ~meth
@@ -92,47 +135,46 @@ let fresh_opt before = function
    sequence constraint left.t_end < right.t_start and makes the right side
    the sole terminator (rights are never buffered). *)
 let binary_node ctx ~ordered compile_child a b out =
-  let buf_l : instance list ref = ref [] (* oldest first *)
-  and buf_r : instance list ref = ref [] in
+  let buf_l : instance fifo = fifo_create ()
+  and buf_r : instance fifo = fifo_create () in
   let pair l r = out (merge l r) in
   let on_left i =
     match ctx with
     | Context.Recent ->
-      buf_l := [ i ];
+      fifo_set buf_l [ i ];
       if not ordered then (
-        match !buf_r with [ r ] -> pair i r | _ -> ())
+        match fifo_all buf_r with [ r ] -> pair i r | _ -> ())
     | Context.Chronicle ->
-      if (not ordered) && !buf_r <> [] then (
-        match !buf_r with
-        | r :: rest ->
-          buf_r := rest;
-          pair i r
-        | [] -> assert false)
-      else buf_l := !buf_l @ [ i ]
+      if (not ordered) && not (fifo_is_empty buf_r) then (
+        (* consume the oldest buffered right *)
+        match fifo_pop buf_r with
+        | Some r -> pair i r
+        | None -> assert false)
+      else fifo_push buf_l i
     | Context.Continuous ->
-      if (not ordered) && !buf_r <> [] then begin
-        let rs = !buf_r in
-        buf_r := [];
+      if (not ordered) && not (fifo_is_empty buf_r) then begin
+        let rs = fifo_all buf_r in
+        fifo_clear buf_r;
         List.iter (fun r -> pair i r) rs
       end
-      else buf_l := !buf_l @ [ i ]
+      else fifo_push buf_l i
     | Context.Cumulative ->
-      if (not ordered) && !buf_r <> [] then begin
-        let everything = !buf_l @ [ i ] @ !buf_r in
-        buf_l := [];
-        buf_r := [];
+      if (not ordered) && not (fifo_is_empty buf_r) then begin
+        let everything = fifo_all buf_l @ [ i ] @ fifo_all buf_r in
+        fifo_clear buf_l;
+        fifo_clear buf_r;
         out (merge_all everything)
       end
-      else buf_l := !buf_l @ [ i ]
+      else fifo_push buf_l i
   in
   let compatible l r = (not ordered) || l.t_end < r.t_start in
   let on_right j =
     match ctx with
     | Context.Recent -> (
-      (match !buf_l with
+      (match fifo_all buf_l with
       | [ l ] when compatible l j -> pair l j
       | _ -> ());
-      if not ordered then buf_r := [ j ])
+      if not ordered then fifo_set buf_r [ j ])
     | Context.Chronicle -> (
       (* consume the oldest compatible left *)
       let rec take acc = function
@@ -141,61 +183,31 @@ let binary_node ctx ~ordered compile_child a b out =
           if compatible l j then Some (l, List.rev_append acc rest)
           else take (l :: acc) rest
       in
-      match take [] !buf_l with
+      match take [] (fifo_all buf_l) with
       | Some (l, rest) ->
-        buf_l := rest;
+        fifo_set buf_l rest;
         pair l j
-      | None -> if not ordered then buf_r := !buf_r @ [ j ])
+      | None -> if not ordered then fifo_push buf_r j)
     | Context.Continuous ->
-      let ready, keep = List.partition (fun l -> compatible l j) !buf_l in
-      buf_l := keep;
+      let ready, keep =
+        List.partition (fun l -> compatible l j) (fifo_all buf_l)
+      in
+      fifo_set buf_l keep;
       if ready <> [] then List.iter (fun l -> pair l j) ready
-      else if not ordered then buf_r := !buf_r @ [ j ]
+      else if not ordered then fifo_push buf_r j
     | Context.Cumulative ->
-      let ready, keep = List.partition (fun l -> compatible l j) !buf_l in
+      let ready, keep =
+        List.partition (fun l -> compatible l j) (fifo_all buf_l)
+      in
       if ready <> [] then begin
-        buf_l := keep;
-        out (merge_all (ready @ [ j ] @ !buf_r));
-        buf_r := []
+        fifo_set buf_l keep;
+        out (merge_all (ready @ [ j ] @ fifo_all buf_r));
+        fifo_clear buf_r
       end
-      else if not ordered then buf_r := !buf_r @ [ j ]
+      else if not ordered then fifo_push buf_r j
   in
-  let na = compile_child a on_left and nb = compile_child b on_right in
-  {
-    accept =
-      (fun o ->
-        na.accept o;
-        nb.accept o);
-    advance =
-      (fun t ->
-        na.advance t;
-        nb.advance t);
-    reset =
-      (fun () ->
-        buf_l := [];
-        buf_r := [];
-        na.reset ();
-        nb.reset ());
-    expire =
-      (fun before ->
-        buf_l := keep_fresh before !buf_l;
-        buf_r := keep_fresh before !buf_r;
-        na.expire before;
-        nb.expire before);
-  }
-
-let rec compile subsumes ctx leaves e (out : instance -> unit) : node =
-  let compile_child c out = compile subsumes ctx leaves c out in
-  match e with
-  | Expr.Prim p ->
-    let accept o =
-      if prim_matches subsumes p o then out (instance_of_occurrence o)
-    in
-    leaves := { leaf_prim = p; leaf_accept = accept } :: !leaves;
-    { accept; advance = no_op_advance; reset = no_op_reset; expire = no_op_expire }
-  | Expr.Or (a, b) ->
-    let na = compile_child a out and nb = compile_child b out in
-    {
+  let na, la = compile_child a on_left and nb, lb = compile_child b on_right in
+  ( {
       accept =
         (fun o ->
           na.accept o;
@@ -206,13 +218,60 @@ let rec compile subsumes ctx leaves e (out : instance -> unit) : node =
           nb.advance t);
       reset =
         (fun () ->
+          fifo_clear buf_l;
+          fifo_clear buf_r;
           na.reset ();
           nb.reset ());
       expire =
         (fun before ->
+          fifo_set buf_l (keep_fresh before (fifo_all buf_l));
+          fifo_set buf_r (keep_fresh before (fifo_all buf_r));
           na.expire before;
           nb.expire before);
-    }
+    },
+    la @ lb )
+
+(* Compilation returns the node together with its primitive leaves in the
+   exact order the node's [accept] visits them.  That order is what the
+   shared predicate index (Route) must preserve when it offers an occurrence
+   leaf-by-leaf instead of through [root.accept]: for the three-role
+   operators the accept path deliberately runs terminator before canceller
+   before initiator, so leaf order is NOT source order. *)
+let rec compile subsumes ctx e (out : instance -> unit) : node * leaf list =
+  let compile_child c out = compile subsumes ctx c out in
+  match e with
+  | Expr.Prim p ->
+    let accept o =
+      if prim_matches subsumes p o then out (instance_of_occurrence o)
+    in
+    ( {
+        accept;
+        advance = no_op_advance;
+        reset = no_op_reset;
+        expire = no_op_expire;
+      },
+      [ { leaf_prim = p; leaf_accept = accept } ] )
+  | Expr.Or (a, b) ->
+    let na, la = compile_child a out and nb, lb = compile_child b out in
+    ( {
+        accept =
+          (fun o ->
+            na.accept o;
+            nb.accept o);
+        advance =
+          (fun t ->
+            na.advance t;
+            nb.advance t);
+        reset =
+          (fun () ->
+            na.reset ();
+            nb.reset ());
+        expire =
+          (fun before ->
+            na.expire before;
+            nb.expire before);
+      },
+      la @ lb )
   | Expr.And (a, b) -> binary_node ctx ~ordered:false compile_child a b out
   | Expr.Seq (a, b) -> binary_node ctx ~ordered:true compile_child a b out
   | Expr.Any (m, es) ->
@@ -231,19 +290,21 @@ let rec compile subsumes ctx leaves e (out : instance -> unit) : node =
         out (merge_all parts)
       end
     in
-    let children = List.mapi (fun k c -> compile_child c (on_child k)) es in
-    {
-      accept = (fun o -> List.iter (fun nd -> nd.accept o) children);
-      advance = (fun t -> List.iter (fun nd -> nd.advance t) children);
-      reset =
-        (fun () ->
-          Array.fill latest 0 n None;
-          List.iter (fun nd -> nd.reset ()) children);
-      expire =
-        (fun before ->
-          Array.iteri (fun i s -> latest.(i) <- fresh_opt before s) latest;
-          List.iter (fun nd -> nd.expire before) children);
-    }
+    let compiled = List.mapi (fun k c -> compile_child c (on_child k)) es in
+    let children = List.map fst compiled in
+    ( {
+        accept = (fun o -> List.iter (fun nd -> nd.accept o) children);
+        advance = (fun t -> List.iter (fun nd -> nd.advance t) children);
+        reset =
+          (fun () ->
+            Array.fill latest 0 n None;
+            List.iter (fun nd -> nd.reset ()) children);
+        expire =
+          (fun before ->
+            Array.iteri (fun i s -> latest.(i) <- fresh_opt before s) latest;
+            List.iter (fun nd -> nd.expire before) children);
+      },
+      List.concat_map snd compiled )
   | Expr.Not (e1, e2, e3) ->
     let init : instance option ref = ref None in
     let on_e1 i = init := Some i in
@@ -255,36 +316,37 @@ let rec compile subsumes ctx leaves e (out : instance -> unit) : node =
         out (merge i j)
       | _ -> ()
     in
-    let n1 = compile_child e1 on_e1
-    and n2 = compile_child e2 on_e2
-    and n3 = compile_child e3 on_e3 in
-    {
-      accept =
-        (fun o ->
-          (* order matters when one occurrence matches several roles:
-             an interposed e2 must cancel before a later e3 terminates,
-             and a fresh e1 must not be cancelled by the same occurrence. *)
-          n3.accept o;
-          n2.accept o;
-          n1.accept o);
-      advance =
-        (fun t ->
-          n1.advance t;
-          n2.advance t;
-          n3.advance t);
-      reset =
-        (fun () ->
-          init := None;
-          n1.reset ();
-          n2.reset ();
-          n3.reset ());
-      expire =
-        (fun before ->
-          init := fresh_opt before !init;
-          n1.expire before;
-          n2.expire before;
-          n3.expire before);
-    }
+    let n1, l1 = compile_child e1 on_e1
+    and n2, l2 = compile_child e2 on_e2
+    and n3, l3 = compile_child e3 on_e3 in
+    ( {
+        accept =
+          (fun o ->
+            (* order matters when one occurrence matches several roles:
+               an interposed e2 must cancel before a later e3 terminates,
+               and a fresh e1 must not be cancelled by the same occurrence. *)
+            n3.accept o;
+            n2.accept o;
+            n1.accept o);
+        advance =
+          (fun t ->
+            n1.advance t;
+            n2.advance t;
+            n3.advance t);
+        reset =
+          (fun () ->
+            init := None;
+            n1.reset ();
+            n2.reset ();
+            n3.reset ());
+        expire =
+          (fun before ->
+            init := fresh_opt before !init;
+            n1.expire before;
+            n2.expire before;
+            n3.expire before);
+      },
+      l3 @ l2 @ l1 )
   | Expr.Aperiodic (e1, e2, e3) ->
     let window : instance option ref = ref None in
     let on_e1 i = window := Some i in
@@ -292,75 +354,77 @@ let rec compile subsumes ctx leaves e (out : instance -> unit) : node =
       match !window with Some i -> out (merge i m) | None -> ()
     in
     let on_e3 _ = window := None in
-    let n1 = compile_child e1 on_e1
-    and n2 = compile_child e2 on_e2
-    and n3 = compile_child e3 on_e3 in
-    {
-      accept =
-        (fun o ->
-          n3.accept o;
-          n2.accept o;
-          n1.accept o);
-      advance =
-        (fun t ->
-          n1.advance t;
-          n2.advance t;
-          n3.advance t);
-      reset =
-        (fun () ->
-          window := None;
-          n1.reset ();
-          n2.reset ();
-          n3.reset ());
-      expire =
-        (fun before ->
-          n1.expire before;
-          n2.expire before;
-          n3.expire before);
-    }
+    let n1, l1 = compile_child e1 on_e1
+    and n2, l2 = compile_child e2 on_e2
+    and n3, l3 = compile_child e3 on_e3 in
+    ( {
+        accept =
+          (fun o ->
+            n3.accept o;
+            n2.accept o;
+            n1.accept o);
+        advance =
+          (fun t ->
+            n1.advance t;
+            n2.advance t;
+            n3.advance t);
+        reset =
+          (fun () ->
+            window := None;
+            n1.reset ();
+            n2.reset ();
+            n3.reset ());
+        expire =
+          (fun before ->
+            n1.expire before;
+            n2.expire before;
+            n3.expire before);
+      },
+      l3 @ l2 @ l1 )
   | Expr.Aperiodic_star (e1, e2, e3) ->
     let window : instance option ref = ref None in
-    let acc : instance list ref = ref [] in
+    let acc : instance fifo = fifo_create () in
     let on_e1 i =
       window := Some i;
-      acc := []
+      fifo_clear acc
     in
-    let on_e2 m = if !window <> None then acc := !acc @ [ m ] in
+    let on_e2 m = if !window <> None then fifo_push acc m in
     let on_e3 j =
       match !window with
       | Some i ->
-        out (merge_all ((i :: !acc) @ [ j ]));
+        out (merge_all ((i :: fifo_all acc) @ [ j ]));
         window := None;
-        acc := []
+        fifo_clear acc
       | None -> ()
     in
-    let n1 = compile_child e1 on_e1
-    and n2 = compile_child e2 on_e2
-    and n3 = compile_child e3 on_e3 in
-    {
-      accept =
-        (fun o ->
-          n3.accept o;
-          n2.accept o;
-          n1.accept o);
-      advance =
-        (fun t ->
-          n1.advance t;
-          n2.advance t;
-          n3.advance t);
-      reset =
-        (fun () ->
-          window := None;
-          acc := [];
-          n1.reset ();
-          n2.reset ();
-          n3.reset ());
-      expire =
-        (fun before ->
-          n1.expire before;
-          n2.expire before;
-          n3.expire before);
-    }
+    let n1, l1 = compile_child e1 on_e1
+    and n2, l2 = compile_child e2 on_e2
+    and n3, l3 = compile_child e3 on_e3 in
+    ( {
+        accept =
+          (fun o ->
+            n3.accept o;
+            n2.accept o;
+            n1.accept o);
+        advance =
+          (fun t ->
+            n1.advance t;
+            n2.advance t;
+            n3.advance t);
+        reset =
+          (fun () ->
+            window := None;
+            fifo_clear acc;
+            n1.reset ();
+            n2.reset ();
+            n3.reset ());
+        expire =
+          (fun before ->
+            n1.expire before;
+            n2.expire before;
+            n3.expire before);
+      },
+      l3 @ l2 @ l1 )
   | Expr.Periodic (e1, dt, limit, e3) ->
     let next : int option ref = ref None in
     let remaining = ref limit in
@@ -390,54 +454,58 @@ let rec compile subsumes ctx leaves e (out : instance -> unit) : node =
       in
       loop ()
     in
-    let n1 = compile_child e1 on_e1 and n3 = compile_child e3 on_e3 in
-    {
-      accept =
-        (fun o ->
-          n3.accept o;
-          n1.accept o);
-      advance =
-        (fun t ->
-          n1.advance t;
-          n3.advance t;
-          fire_due t);
-      reset =
-        (fun () ->
-          next := None;
-          tick_no := 0;
-          remaining := limit;
-          n1.reset ();
-          n3.reset ());
-      expire =
-        (fun before ->
-          n1.expire before;
-          n3.expire before);
-    }
+    let n1, l1 = compile_child e1 on_e1 and n3, l3 = compile_child e3 on_e3 in
+    ( {
+        accept =
+          (fun o ->
+            n3.accept o;
+            n1.accept o);
+        advance =
+          (fun t ->
+            n1.advance t;
+            n3.advance t;
+            fire_due t);
+        reset =
+          (fun () ->
+            next := None;
+            tick_no := 0;
+            remaining := limit;
+            n1.reset ();
+            n3.reset ());
+        expire =
+          (fun before ->
+            n1.expire before;
+            n3.expire before);
+      },
+      l3 @ l1 )
   | Expr.Plus (e, dt) ->
-    let pending : (instance * int) list ref = ref [] in
-    let on_e i = pending := !pending @ [ (i, i.t_end + dt) ] in
+    let pending : (instance * int) fifo = fifo_create () in
+    let on_e i = fifo_push pending (i, i.t_end + dt) in
     let fire_due now =
-      let due, keep = List.partition (fun (_, d) -> d <= now) !pending in
-      pending := keep;
+      let due, keep =
+        List.partition (fun (_, d) -> d <= now) (fifo_all pending)
+      in
+      fifo_set pending keep;
       List.iter
         (fun (i, d) -> out (merge i (instance_of_occurrence (synthetic "<plus>" dt d))))
         due
     in
-    let n = compile_child e on_e in
-    {
-      accept = n.accept;
-      advance =
-        (fun t ->
-          n.advance t;
-          fire_due t);
-      reset =
-        (fun () ->
-          pending := [];
-          n.reset ());
-      (* pending (instance, due) pairs are scheduled future events, not
-         stale partials; only forward *)
-      expire = (fun before -> n.expire before);
-    }
+    let n, l = compile_child e on_e in
+    ( {
+        accept = n.accept;
+        advance =
+          (fun t ->
+            n.advance t;
+            fire_due t);
+        reset =
+          (fun () ->
+            fifo_clear pending;
+            n.reset ());
+        (* pending (instance, due) pairs are scheduled future events, not
+           stale partials; only forward *)
+        expire = (fun before -> n.expire before);
+      },
+      l )
 
 let default_subsumes ~sub ~super = String.equal sub super
 
@@ -452,14 +520,13 @@ let create ?(context = Context.Recent) ?(subsumes = default_subsumes) ~on_signal
     | None -> ());
     on_signal i
   in
-  let leaves = ref [] in
-  let root = compile subsumes context leaves e out in
+  let root, leaves = compile subsumes context e out in
   let t =
     {
       d_expr = e;
       d_context = context;
       root;
-      d_leaves = List.rev !leaves;
+      d_leaves = leaves;
       now = 0;
       n_fed = 0;
       n_signalled = 0;

@@ -80,6 +80,12 @@ val instance_of_occurrence : Occurrence.t -> instance
 type leaf
 
 val leaves : t -> leaf list
+(** The compiled tree's primitive leaves, in the exact order the root's
+    accept path visits them.  For the three-role operators (NOT, aperiodic,
+    periodic) that is terminator, then canceller, then initiator — not
+    source order — and indexes that bypass {!feed} must offer a multi-role
+    occurrence to leaves in this order to stay observationally equivalent. *)
+
 val leaf_prim : leaf -> Expr.prim
 
 val offer_leaf : t -> leaf -> Occurrence.t -> unit

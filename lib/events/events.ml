@@ -5,7 +5,9 @@
     a concrete syntax; {!Codec} a persistent encoding.  {!Detector}
     compiles an expression into a running detector under a parameter
     {!Context}; {!Event_graph} routes occurrences to many detectors through
-    a (method, modifier) index. *)
+    a (method, modifier) index, and {!Route} generalizes that index to the
+    full rule layer (subscription filtering, lifecycle, cached class
+    subsumption). *)
 
 module Context = Context
 module Signature = Signature
@@ -14,3 +16,4 @@ module Detector = Detector
 module Codec = Codec
 module Parser = Parser
 module Event_graph = Event_graph
+module Route = Route

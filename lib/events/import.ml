@@ -5,3 +5,4 @@ module Oid = Oodb.Oid
 module Value = Oodb.Value
 module Occurrence = Oodb.Occurrence
 module Errors = Oodb.Errors
+module Db = Oodb.Db

@@ -1,0 +1,295 @@
+open Import
+
+(* A discrimination (alpha) index over the primitive leaves of every
+   registered detector.  One hashtable keyed by (method, modifier) maps an
+   occurrence to the candidate leaves across all consumers; per-candidate
+   checks are then subscription, class subsumption, source set and parameter
+   filters — each O(1) or O(size of the candidate's own predicate).  The
+   class-derived sets are cached per entry and invalidated by comparing the
+   database's generation stamps, so steady-state delivery never walks the
+   class hierarchy. *)
+
+type counters = {
+  mutable candidates_probed : int;
+  mutable leaves_offered : int;
+  mutable index_hits : int;
+}
+
+type reg = {
+  r_consumer : Oid.t;
+  r_detector : Detector.t option;  (* [None] for wildcard handlers *)
+  r_guard : unit -> bool;
+  r_on_receive : Occurrence.t -> unit;
+  r_keys : (string * Oodb.Types.modifier) list;  (* distinct bucket keys *)
+  r_temporal : bool;
+  mutable r_seen : int;  (* delivery sequence last received; dedups fan-in *)
+  (* Classes whose instances this consumer hears through class-level
+     subscription: for each subscribed class, that class and everything
+     below it.  Stamped against both generations — the set changes when the
+     hierarchy changes or when (un)subscription (including rollback) does. *)
+  mutable r_sub_schema_stamp : int;
+  mutable r_sub_stamp : int;
+  r_sub_accept : (string, unit) Hashtbl.t;
+}
+
+type entry = {
+  e_reg : reg;
+  e_leaf : Detector.leaf;
+  e_prim : Expr.prim;
+  (* [p_class]'s subsumption set — the declared class and its subclasses —
+     resolved once per schema generation.  [None] when the leaf matches any
+     class.  A stamp of -1 means never computed. *)
+  e_classes : (string, unit) Hashtbl.t option;
+  mutable e_class_stamp : int;
+}
+
+type bucket = {
+  mutable b_rev : entry list;  (* newest first: O(1) insertion *)
+  mutable b_ordered : entry list;  (* registration order; rebuilt lazily *)
+}
+
+type t = {
+  rt_db : Db.t;
+  index : ((string * Oodb.Types.modifier), bucket) Hashtbl.t;
+  regs : reg Oid.Table.t;  (* detector registrations, by consumer *)
+  temporal : reg Oid.Table.t;  (* subset whose detectors need clock driving *)
+  wildcards : reg Oid.Table.t;  (* handlers that hear every subscribed event *)
+  mutable seq : int;
+  counters : counters;
+}
+
+let create db =
+  {
+    rt_db = db;
+    index = Hashtbl.create 64;
+    regs = Oid.Table.create 64;
+    temporal = Oid.Table.create 8;
+    wildcards = Oid.Table.create 8;
+    seq = 0;
+    counters = { candidates_probed = 0; leaves_offered = 0; index_hits = 0 };
+  }
+
+let counters t = t.counters
+
+let reset_counters t =
+  let c = t.counters in
+  c.candidates_probed <- 0;
+  c.leaves_offered <- 0;
+  c.index_hits <- 0
+
+(* --- registration ------------------------------------------------------- *)
+
+let bucket t key =
+  match Hashtbl.find_opt t.index key with
+  | Some b -> b
+  | None ->
+    let b = { b_rev = []; b_ordered = [] } in
+    Hashtbl.replace t.index key b;
+    b
+
+let drop_entries t reg =
+  List.iter
+    (fun key ->
+      match Hashtbl.find_opt t.index key with
+      | None -> ()
+      | Some b ->
+        b.b_rev <- List.filter (fun e -> e.e_reg != reg) b.b_rev;
+        b.b_ordered <- [];
+        if b.b_rev = [] then Hashtbl.remove t.index key)
+    reg.r_keys
+
+let unregister t consumer =
+  (match Oid.Table.find_opt t.regs consumer with
+  | Some reg ->
+    drop_entries t reg;
+    Oid.Table.remove t.regs consumer;
+    Oid.Table.remove t.temporal consumer
+  | None -> ());
+  Oid.Table.remove t.wildcards consumer
+
+let default_guard () = true
+
+let make_reg ~consumer ~detector ~guard ~on_receive ~keys ~temporal =
+  {
+    r_consumer = consumer;
+    r_detector = detector;
+    r_guard = guard;
+    r_on_receive = on_receive;
+    r_keys = keys;
+    r_temporal = temporal;
+    r_seen = 0;
+    r_sub_schema_stamp = -1;
+    r_sub_stamp = -1;
+    r_sub_accept = Hashtbl.create 8;
+  }
+
+let register t ~consumer ?(guard = default_guard) ~on_receive detector =
+  if Oid.Table.mem t.regs consumer then unregister t consumer;
+  let leaves = Detector.leaves detector in
+  let keys =
+    List.fold_left
+      (fun acc leaf ->
+        let p = Detector.leaf_prim leaf in
+        let key = (p.Expr.p_meth, p.Expr.p_modifier) in
+        if List.mem key acc then acc else key :: acc)
+      [] leaves
+  in
+  let temporal = Detector.has_temporal (Detector.expr detector) in
+  let reg =
+    make_reg ~consumer ~detector:(Some detector) ~guard ~on_receive ~keys
+      ~temporal
+  in
+  List.iter
+    (fun leaf ->
+      let p = Detector.leaf_prim leaf in
+      let key = (p.Expr.p_meth, p.Expr.p_modifier) in
+      let b = bucket t key in
+      let entry =
+        {
+          e_reg = reg;
+          e_leaf = leaf;
+          e_prim = p;
+          e_classes =
+            (match p.Expr.p_class with
+            | None -> None
+            | Some _ -> Some (Hashtbl.create 8));
+          e_class_stamp = -1;
+        }
+      in
+      b.b_rev <- entry :: b.b_rev;
+      b.b_ordered <- [])
+    leaves;
+  Oid.Table.replace t.regs consumer reg;
+  if temporal then Oid.Table.replace t.temporal consumer reg
+
+let register_wildcard t ~consumer ?(guard = default_guard) handler =
+  let reg =
+    make_reg ~consumer ~detector:None ~guard ~on_receive:handler ~keys:[]
+      ~temporal:false
+  in
+  Oid.Table.replace t.wildcards consumer reg
+
+let registered t consumer =
+  Oid.Table.mem t.regs consumer || Oid.Table.mem t.wildcards consumer
+
+let reg_count t = Oid.Table.length t.regs + Oid.Table.length t.wildcards
+
+let leaf_count t =
+  Hashtbl.fold (fun _ b acc -> acc + List.length b.b_rev) t.index 0
+
+(* --- cached predicate sets ---------------------------------------------- *)
+
+(* The set of runtime classes the consumer hears via class-level
+   subscription: for every class C it subscribes to, C and C's subclasses.
+   Equivalent to the substrate walking the source's ancestry against
+   [class_consumers], but probed with one hash lookup per event. *)
+let refresh_sub_accept t reg =
+  let sg = Db.schema_generation t.rt_db
+  and cg = Db.class_sub_generation t.rt_db in
+  if reg.r_sub_schema_stamp <> sg || reg.r_sub_stamp <> cg then begin
+    Hashtbl.reset reg.r_sub_accept;
+    List.iter
+      (fun cls ->
+        if List.exists (Oid.equal reg.r_consumer) (Db.class_consumers_of t.rt_db cls)
+        then
+          List.iter
+            (fun sub -> Hashtbl.replace reg.r_sub_accept sub ())
+            (Db.subclasses t.rt_db cls))
+      (Db.classes t.rt_db);
+    reg.r_sub_schema_stamp <- sg;
+    reg.r_sub_stamp <- cg
+  end
+
+let subscribed t reg (o : Oodb.Types.obj) =
+  refresh_sub_accept t reg;
+  Hashtbl.mem reg.r_sub_accept o.Oodb.Types.cls
+  || List.exists (Oid.equal reg.r_consumer) o.Oodb.Types.consumers
+
+(* Same subsumption the detector leaf applies ([System.subsumes_of]): the
+   declared class name itself always matches (covering synthetic classes
+   like the detector's "<clock>"), and when it names a defined class so do
+   its subclasses. *)
+let class_ok t entry (occ : Occurrence.t) =
+  match entry.e_classes with
+  | None -> true
+  | Some set ->
+    let sg = Db.schema_generation t.rt_db in
+    if entry.e_class_stamp <> sg then begin
+      Hashtbl.reset set;
+      (match entry.e_prim.Expr.p_class with
+      | None -> ()
+      | Some super ->
+        Hashtbl.replace set super ();
+        List.iter
+          (fun sub -> Hashtbl.replace set sub ())
+          (Db.subclasses t.rt_db super));
+      entry.e_class_stamp <- sg
+    end;
+    Hashtbl.mem set occ.Oodb.Occurrence.source_class
+
+(* --- delivery ----------------------------------------------------------- *)
+
+let deliver t (o : Oodb.Types.obj) (occ : Occurrence.t) =
+  t.seq <- t.seq + 1;
+  let seq = t.seq in
+  let receive reg =
+    if reg.r_seen <> seq then begin
+      reg.r_seen <- seq;
+      let s = Db.stats t.rt_db in
+      s.Oodb.Types.notifications <- s.Oodb.Types.notifications + 1;
+      reg.r_on_receive occ
+    end
+  in
+  (* Ad-hoc handlers hear every occurrence they are subscribed to,
+     whatever its method — they have no leaves to index. *)
+  Oid.Table.iter
+    (fun _ reg -> if reg.r_guard () && subscribed t reg o then receive reg)
+    t.wildcards;
+  (* Temporal detectors must observe the clock from every occurrence their
+     owner is subscribed to, even when no leaf matches — broadcast feeding
+     gave them that for free. *)
+  Oid.Table.iter
+    (fun _ reg ->
+      if reg.r_guard () && subscribed t reg o then begin
+        receive reg;
+        match reg.r_detector with
+        | Some d -> Detector.advance d occ.Oodb.Occurrence.at
+        | None -> ()
+      end)
+    t.temporal;
+  match
+    Hashtbl.find_opt t.index
+      (occ.Oodb.Occurrence.meth, occ.Oodb.Occurrence.modifier)
+  with
+  | None -> ()
+  | Some b ->
+    t.counters.index_hits <- t.counters.index_hits + 1;
+    let entries =
+      match b.b_ordered with
+      | [] ->
+        let l = List.rev b.b_rev in
+        b.b_ordered <- l;
+        l
+      | l -> l
+    in
+    List.iter
+      (fun e ->
+        t.counters.candidates_probed <- t.counters.candidates_probed + 1;
+        let reg = e.e_reg in
+        if reg.r_guard () && subscribed t reg o then begin
+          receive reg;
+          if
+            class_ok t e occ
+            && (Oid.Set.is_empty e.e_prim.Expr.p_sources
+               || Oid.Set.mem occ.Oodb.Occurrence.source e.e_prim.Expr.p_sources)
+            && List.for_all
+                 (fun f -> Expr.filter_matches f occ.Oodb.Occurrence.params)
+                 e.e_prim.Expr.p_filters
+          then begin
+            t.counters.leaves_offered <- t.counters.leaves_offered + 1;
+            match reg.r_detector with
+            | Some d -> Detector.offer_leaf d e.e_leaf occ
+            | None -> ()
+          end
+        end)
+      entries

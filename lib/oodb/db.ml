@@ -15,8 +15,12 @@ let create () =
     indexes = Hashtbl.create 16;
     txns = [];
     notify = (fun _ ~consumer:_ _ -> ());
+    route = None;
     taps = [];
     on_journal = None;
+    schema_gen = 0;
+    class_sub_gen = 0;
+    deliver_scratch = [];
     stats =
       {
         sends = 0;
@@ -36,6 +40,14 @@ let tick db =
 let advance_clock db t = if t > db.now then db.now <- t
 
 let journal db e = match db.on_journal with Some f -> f e | None -> ()
+
+(* Generation stamps: cheap monotone counters that let derived caches (the
+   Events.Route subsumption and subscription sets) detect staleness with one
+   integer compare instead of a change-notification protocol. *)
+let schema_generation db = db.schema_gen
+let bump_schema_gen db = db.schema_gen <- db.schema_gen + 1
+let class_sub_generation db = db.class_sub_gen
+let bump_class_sub_gen db = db.class_sub_gen <- db.class_sub_gen + 1
 
 let stats db = db.stats
 
@@ -89,7 +101,9 @@ let define_class db (c : class_def) =
     Errors.type_error "class %s declares an event interface but is not reactive"
       c.cname
   end;
-  Hashtbl.replace db.class_info c.cname ri
+  Hashtbl.replace db.class_info c.cname ri;
+  (* A new class extends subsumption sets of its ancestors. *)
+  bump_schema_gen db
 
 let classes db = Hashtbl.fold (fun name _ acc -> name :: acc) db.classes []
 let has_class db name = Hashtbl.mem db.classes name
@@ -163,11 +177,23 @@ let attrs db oid =
 
 (* --- subscription ------------------------------------------------------- *)
 
+(* Consumer lists are stored newest-first so subscription is O(1) instead of
+   the former quadratic [old @ [consumer]]; readers that care about
+   subscription order iterate in reverse. *)
+let iter_rev f l =
+  let rec go = function
+    | [] -> ()
+    | x :: tl ->
+      go tl;
+      f x
+  in
+  go l
+
 let subscribe db ~reactive ~consumer =
   let o = Heap.find_obj db reactive in
   if not (List.exists (Oid.equal consumer) o.consumers) then begin
     Transaction.log_undo db (U_consumers (reactive, o.consumers));
-    o.consumers <- o.consumers @ [ consumer ];
+    o.consumers <- consumer :: o.consumers;
     journal db (J_mutation (M_subscribe (reactive, consumer)))
   end
 
@@ -179,55 +205,82 @@ let unsubscribe db ~reactive ~consumer =
     journal db (J_mutation (M_unsubscribe (reactive, consumer)))
   end
 
-let consumers_of db oid = (Heap.find_obj db oid).consumers
+let consumers_of db oid = List.rev (Heap.find_obj db oid).consumers
 
-let class_consumers_of db cls =
+let raw_class_consumers db cls =
   if not (Hashtbl.mem db.classes cls) then raise (Errors.No_such_class cls);
   Option.value ~default:[] (Hashtbl.find_opt db.class_consumers cls)
 
+let class_consumers_of db cls = List.rev (raw_class_consumers db cls)
+
 let subscribe_class db ~cls ~consumer =
-  let old = class_consumers_of db cls in
+  let old = raw_class_consumers db cls in
   if not (List.exists (Oid.equal consumer) old) then begin
     Transaction.log_undo db (U_class_consumers (cls, old));
-    Hashtbl.replace db.class_consumers cls (old @ [ consumer ]);
+    Hashtbl.replace db.class_consumers cls (consumer :: old);
+    bump_class_sub_gen db;
     journal db (J_mutation (M_subscribe_class (cls, consumer)))
   end
 
 let unsubscribe_class db ~cls ~consumer =
-  let old = class_consumers_of db cls in
+  let old = raw_class_consumers db cls in
   if List.exists (Oid.equal consumer) old then begin
     Transaction.log_undo db (U_class_consumers (cls, old));
     Hashtbl.replace db.class_consumers cls
       (List.filter (fun c -> not (Oid.equal c consumer)) old);
+    bump_class_sub_gen db;
     journal db (J_mutation (M_unsubscribe_class (cls, consumer)))
   end
 
 let set_notify db f = db.notify <- f
-let add_tap db f = db.taps <- db.taps @ [ f ]
+let set_route db f = db.route <- f
+let add_tap db f = db.taps <- f :: db.taps
 let clear_taps db = db.taps <- []
 
 (* --- event generation and delivery -------------------------------------- *)
 
-let deliver db (o : obj) occ =
-  db.stats.events_generated <- db.stats.events_generated + 1;
-  List.iter (fun tap -> tap db occ) db.taps;
+(* The per-event dedup table is pooled rather than allocated per delivery;
+   rule actions can generate further events, so deliver is reentrant and a
+   single scratch table would be corrupted mid-iteration. *)
+let scratch_acquire db =
+  match db.deliver_scratch with
+  | t :: rest ->
+    db.deliver_scratch <- rest;
+    t
+  | [] -> Oid.Table.create 32
+
+let scratch_release db t =
+  Oid.Table.reset t;
+  db.deliver_scratch <- t :: db.deliver_scratch
+
+let broadcast db (o : obj) occ =
   (* Instance-level consumers first, then class-level ones along the chain;
      a consumer subscribed both ways hears the occurrence once. *)
-  let seen = ref Oid.Set.empty in
-  let notify_once c =
-    if not (Oid.Set.mem c !seen) then begin
-      seen := Oid.Set.add c !seen;
-      db.stats.notifications <- db.stats.notifications + 1;
-      db.notify db ~consumer:c occ
-    end
-  in
-  List.iter notify_once o.consumers;
-  let class_level cls =
-    match Hashtbl.find_opt db.class_consumers cls with
-    | Some cs -> List.iter notify_once cs
-    | None -> ()
-  in
-  List.iter class_level (info db o.cls).ri_ancestry
+  let seen = scratch_acquire db in
+  Fun.protect
+    ~finally:(fun () -> scratch_release db seen)
+    (fun () ->
+      let notify_once c =
+        if not (Oid.Table.mem seen c) then begin
+          Oid.Table.replace seen c ();
+          db.stats.notifications <- db.stats.notifications + 1;
+          db.notify db ~consumer:c occ
+        end
+      in
+      iter_rev notify_once o.consumers;
+      let class_level cls =
+        match Hashtbl.find_opt db.class_consumers cls with
+        | Some cs -> iter_rev notify_once cs
+        | None -> ()
+      in
+      List.iter class_level (info db o.cls).ri_ancestry)
+
+let deliver db (o : obj) occ =
+  db.stats.events_generated <- db.stats.events_generated + 1;
+  iter_rev (fun tap -> tap db occ) db.taps;
+  match db.route with
+  | Some route -> route db o occ
+  | None -> broadcast db o occ
 
 let make_occurrence db (o : obj) meth modifier params =
   { source = o.id; source_class = o.cls; meth; modifier; params; at = tick db }

@@ -83,12 +83,33 @@ val class_consumers_of : t -> string -> Oid.t list
 val set_notify : t -> (t -> consumer:Oid.t -> Types.occurrence -> unit) -> unit
 (** Install the delivery hook used for subscribed consumers. *)
 
+val set_route : t -> (t -> Types.obj -> Types.occurrence -> unit) option -> unit
+(** Install (or clear, with [None]) a whole-occurrence routing hook.  When
+    set, {!deliver} hands each occurrence to the hook exactly once — with the
+    source object, so the hook can consult its subscription lists — instead
+    of fanning out per subscribed consumer.  The rule layer uses this to
+    route through a shared predicate index ({!Events.Route}); taps still see
+    every occurrence first. *)
+
+val schema_generation : t -> int
+(** Monotone counter bumped by {!define_class} and by {!Evolution} DDL.
+    Caches derived from the class hierarchy (e.g. precomputed subsumption
+    sets) compare stamps instead of subscribing to change notifications. *)
+
+val class_sub_generation : t -> int
+(** Monotone counter bumped whenever any class-level subscription changes,
+    including restoration by transaction rollback. *)
+
 val add_tap : t -> (t -> Types.occurrence -> unit) -> unit
 (** Register a centralized listener that receives every occurrence. *)
 
 val clear_taps : t -> unit
 
 (** {1 Extents, indexes} *)
+
+val subclasses : t -> string -> string list
+(** The class itself plus every class inheriting from it (unsorted).
+    Returns [[]] for undefined classes. *)
 
 val extent : t -> ?deep:bool -> string -> Oid.t list
 (** Instances of a class; [~deep:true] (default) includes subclasses. *)
@@ -138,5 +159,8 @@ val reset_stats : t -> unit
 
 val compute_info : t -> Types.class_def -> Types.class_info
 (** Internal: used by {!Evolution} to refresh flattened class caches. *)
+
+val bump_schema_gen : t -> unit
+(** Internal: {!Evolution} invalidates schema-derived caches after DDL. *)
 
 (**/**)

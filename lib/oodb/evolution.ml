@@ -22,7 +22,8 @@ let refresh_info db cls =
     (fun (name, _) ->
       Hashtbl.replace db.class_info name
         (Db.compute_info db (Schema.find db name)))
-    affected
+    affected;
+  Db.bump_schema_gen db
 
 let declares_attr (c : class_def) attr = List.mem_assoc attr c.attr_spec
 

@@ -43,7 +43,10 @@ let apply_undo db = function
   | U_consumers (oid, old) ->
     let o = Heap.find_obj_any db oid in
     o.consumers <- old
-  | U_class_consumers (cls, old) -> Hashtbl.replace db.class_consumers cls old
+  | U_class_consumers (cls, old) ->
+    Hashtbl.replace db.class_consumers cls old;
+    (* rollback is a subscription change too: stale routing caches must see it *)
+    db.class_sub_gen <- db.class_sub_gen + 1
 
 let abort db =
   let t = current db in

@@ -30,7 +30,8 @@ type obj = {
   mutable cls : string;
   attrs : (string, Value.t) Hashtbl.t;
   (* The paper's Reactive::consumers data member: notifiable objects that
-     subscribed to this instance's events. *)
+     subscribed to this instance's events.  Stored newest-first so subscribe
+     is O(1); subscription order is recovered by reversing. *)
   mutable consumers : Oid.t list;
   mutable alive : bool;
 }
@@ -121,17 +122,32 @@ and db = {
   extents : (string, unit Oid.Table.t) Hashtbl.t; (* direct extent per class *)
   class_info : (string, class_info) Hashtbl.t;
   (* Consumers subscribed at the class level (class-level rules apply to all
-     instances, paper §4.7). *)
+     instances, paper §4.7).  Stored newest-first; subscription order is
+     recovered by reversing (Db.class_consumers_of). *)
   class_consumers : (string, Oid.t list) Hashtbl.t;
   indexes : (string * string, index) Hashtbl.t;
   mutable txns : txn list; (* stack, innermost first *)
   (* Delivery hook installed by the rule layer: called once per (occurrence,
      subscribed consumer).  The substrate stays rule-agnostic. *)
   mutable notify : db -> consumer:Oid.t -> occurrence -> unit;
+  (* Whole-occurrence routing hook (Events.Route): when set, Db.deliver hands
+     each occurrence here once instead of fanning out per consumer, so the
+     rule layer can consult its predicate index.  The substrate still stays
+     rule-agnostic: the hook sees only the source object and the occurrence. *)
+  mutable route : (db -> obj -> occurrence -> unit) option;
   (* Global taps receive *every* occurrence regardless of subscription; this
-     is the centralized dispatch the ADAM baseline uses. *)
+     is the centralized dispatch the ADAM baseline uses.  Newest-first. *)
   mutable taps : (db -> occurrence -> unit) list;
   (* Journal hook installed by Wal.attach; None = no journaling. *)
   mutable on_journal : (journal_event -> unit) option;
+  (* Invalidation stamps for caches derived from the schema (class
+     subsumption sets) and from class-level subscriptions.  Bumped on
+     define_class / Evolution DDL and on (un)subscribe_class — including
+     transaction rollback of the latter. *)
+  mutable schema_gen : int;
+  mutable class_sub_gen : int;
+  (* Reusable scratch tables for Db.deliver's per-event consumer dedup; a
+     pool (not a single table) because rule actions can re-enter deliver. *)
+  mutable deliver_scratch : unit Oid.Table.t list;
   stats : stats;
 }

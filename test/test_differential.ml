@@ -116,8 +116,160 @@ let test_concrete_agreement () =
   (* bom set_salary is not in the event interface: both silent *)
   Alcotest.(check int) "non-generating pair silent" 0 (List.nth s 3)
 
+(* --- indexed vs broadcast routing ---------------------------------------- *)
+
+(* The discrimination index (System.Indexed, the default) must make exactly
+   the same detection decisions as the legacy per-consumer broadcast path:
+   identical triggered/fired counts, identical signalled instances
+   (constituents and timestamps), and identical occurrence streams at ad-hoc
+   handlers — across all four parameter contexts, composite operators,
+   class- and instance-level subscriptions, and enable/disable churn. *)
+
+module Context = Events.Context
+
+type rrule = {
+  rr_monitor : [ `Class of string | `Inst of int ];
+  rr_shape : int;  (* picks the operator shape below *)
+  rr_prims : (string * Oodb.Types.modifier) list;  (* three constituents *)
+}
+
+type rspec = {
+  rs_seed : int;
+  rs_context : Context.t;
+  rs_rules : rrule list;
+  rs_ops : int;
+}
+
+let routing_spec_gen =
+  let open QCheck2.Gen in
+  let prim_gen =
+    let* meth = oneofl [ "set_salary"; "change_income"; "get_age"; "get_salary" ] in
+    let* modifier = oneofl [ Oodb.Types.Before; Oodb.Types.After ] in
+    return (meth, modifier)
+  in
+  let rule_gen =
+    let* rr_monitor =
+      oneofl [ `Class "employee"; `Class "manager"; `Inst 0; `Inst 5 ]
+    in
+    let* rr_shape = int_bound 6 in
+    let* rr_prims = list_size (return 3) prim_gen in
+    return { rr_monitor; rr_shape; rr_prims }
+  in
+  let* rs_seed = int_bound 10_000 in
+  let* rs_context = oneofl Context.all in
+  let* rs_rules = list_size (int_range 1 8) rule_gen in
+  let* rs_ops = int_range 20 150 in
+  return { rs_seed; rs_context; rs_rules; rs_ops }
+
+let routing_event cls r =
+  let p (m, md) = Expr.prim ~cls md m in
+  match r.rr_prims with
+  | [ a; b; c ] -> (
+    match r.rr_shape mod 7 with
+    | 0 -> p a
+    | 1 -> Expr.seq (p a) (p b)
+    | 2 -> Expr.conj (p a) (p b)
+    | 3 -> Expr.disj (p a) (p b)
+    | 4 -> Expr.any 2 [ p a; p b; p c ]
+    | 5 -> Expr.not_between (p a) (p b) (p c)
+    | _ ->
+      let m, md = a in
+      Expr.prim ~cls
+        ~filters:
+          [ { Expr.pf_index = 0; pf_cmp = Expr.Cgt; pf_value = Value.Float 50. } ]
+        md m)
+  | _ -> assert false
+
+let routing_run routing spec =
+  let db = employee_db () in
+  let sys = System.create ~routing db in
+  let rng = Prng.create spec.rs_seed in
+  let objs = build_population db rng in
+  let shapes : (int, (string * int) list list) Hashtbl.t = Hashtbl.create 8 in
+  let oids =
+    List.mapi
+      (fun i r ->
+        let action = Printf.sprintf "shape-%d" i in
+        System.register_action sys action (fun _ inst ->
+            let prev = Option.value ~default:[] (Hashtbl.find_opt shapes i) in
+            Hashtbl.replace shapes i (shape inst :: prev));
+        let monitor, monitor_classes =
+          match r.rr_monitor with
+          | `Class c -> ([], [ c ])
+          | `Inst k -> ([ objs.(k mod Array.length objs) ], [])
+        in
+        System.create_rule sys
+          ~name:(Printf.sprintf "r%d" i)
+          ~context:spec.rs_context ~monitor ~monitor_classes
+          ~event:(routing_event "employee" r)
+          ~condition:"true" ~action ())
+      spec.rs_rules
+  in
+  (* an ad-hoc handler over the whole hierarchy: wildcard path in indexed
+     mode, plain consumer in broadcast mode *)
+  let seen = ref [] in
+  let collector = System.create_notifiable sys (fun occ -> seen := occ :: !seen) in
+  Db.subscribe_class db ~cls:"employee" ~consumer:collector;
+  let rng_ops = Prng.create (spec.rs_seed + 1) in
+  (* churn one rule's registration mid-run *)
+  let victim = List.nth oids (Prng.int rng_ops (List.length oids)) in
+  let third = spec.rs_ops / 3 in
+  run_ops db rng_ops objs third;
+  System.disable sys victim;
+  run_ops db rng_ops objs third;
+  System.enable sys victim;
+  run_ops db rng_ops objs (spec.rs_ops - (2 * third));
+  let per_rule =
+    List.mapi
+      (fun i oid ->
+        let ri = System.rule_info sys oid in
+        ( ri.Sentinel.Rule.triggered,
+          ri.Sentinel.Rule.fired,
+          List.rev (Option.value ~default:[] (Hashtbl.find_opt shapes i)) ))
+      oids
+  in
+  (per_rule, List.rev !seen)
+
+let prop_routing_agree =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"indexed and broadcast routing agree" ~count:60
+       routing_spec_gen (fun spec ->
+         routing_run System.Indexed spec = routing_run System.Broadcast spec))
+
+(* Pinned sibling covering each parameter context with every operator shape
+   and both subscription levels. *)
+let test_routing_concrete () =
+  let rules =
+    [
+      { rr_monitor = `Class "employee"; rr_shape = 0;
+        rr_prims = [ ("set_salary", Oodb.Types.After); ("get_age", Before); ("get_age", After) ] };
+      { rr_monitor = `Class "manager"; rr_shape = 1;
+        rr_prims = [ ("set_salary", After); ("change_income", After); ("get_age", After) ] };
+      { rr_monitor = `Inst 2; rr_shape = 2;
+        rr_prims = [ ("set_salary", After); ("get_age", Before); ("get_age", After) ] };
+      { rr_monitor = `Class "employee"; rr_shape = 5;
+        rr_prims = [ ("change_income", After); ("get_age", Before); ("set_salary", After) ] };
+      { rr_monitor = `Inst 0; rr_shape = 6;
+        rr_prims = [ ("set_salary", After); ("set_salary", After); ("set_salary", After) ] };
+    ]
+  in
+  List.iter
+    (fun ctx ->
+      let spec = { rs_seed = 11; rs_context = ctx; rs_rules = rules; rs_ops = 150 } in
+      let pi, ci = routing_run System.Indexed spec
+      and pb, cb = routing_run System.Broadcast spec in
+      let label fmt = Printf.sprintf fmt (Context.to_string ctx) in
+      Alcotest.(check bool) (label "%s: per-rule counts and instances") true (pi = pb);
+      Alcotest.(check (list occurrence)) (label "%s: handler stream") cb ci;
+      Alcotest.(check bool)
+        (label "%s: workload non-trivial") true
+        (List.exists (fun (t, _, _) -> t > 0) pi))
+    Context.all
+
 let suite =
   [
     test "concrete agreement" test_concrete_agreement;
     prop_engines_agree;
+    test "indexed and broadcast routing agree (concrete)" test_routing_concrete;
+    prop_routing_agree;
   ]

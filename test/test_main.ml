@@ -30,6 +30,7 @@ let () =
       ("baselines", Test_baselines.suite);
       ("workloads", Test_workloads.suite);
       ("paper-examples", Test_paper_examples.suite);
+      ("route", Test_route.suite);
       ("differential", Test_differential.suite);
       ("interactions", Test_interactions.suite);
     ]

@@ -1,0 +1,208 @@
+(* The discrimination index behind System.Indexed routing: registration
+   lifecycle (create/enable/disable/delete/rehydrate), generation-stamped
+   invalidation of the cached class sets, stale-leaf cleanup, and the
+   routing counters. *)
+
+open Helpers
+module Route = Events.Route
+module Rule = Sentinel.Rule
+module Evolution = Oodb.Evolution
+module Persist = Oodb.Persist
+
+let route sys = Option.get (System.route_index sys)
+
+let seq_event =
+  Expr.seq
+    (Expr.eom ~cls:"employee" "set_salary")
+    (Expr.eom ~cls:"employee" "change_income")
+
+let test_lifecycle () =
+  let db = employee_db () in
+  let sys = System.create db in
+  Alcotest.(check bool) "indexed by default" true (System.routing sys = System.Indexed);
+  let rt = route sys in
+  let base = Route.leaf_count rt in
+  System.register_action sys "noop" (fun _ _ -> ());
+  let r =
+    System.create_rule sys ~monitor_classes:[ "employee" ] ~event:seq_event
+      ~condition:"true" ~action:"noop" ()
+  in
+  Alcotest.(check bool) "registered on create" true (Route.registered rt r);
+  Alcotest.(check int) "one leaf entry per primitive" (base + 2)
+    (Route.leaf_count rt);
+  System.disable sys r;
+  Alcotest.(check bool) "unregistered on disable" false (Route.registered rt r);
+  Alcotest.(check int) "leaves dropped on disable" base (Route.leaf_count rt);
+  System.enable sys r;
+  Alcotest.(check bool) "re-registered on enable" true (Route.registered rt r);
+  Alcotest.(check int) "leaves restored on enable" (base + 2)
+    (Route.leaf_count rt);
+  (* enable is idempotent: re-registration replaces, not duplicates *)
+  System.enable sys r;
+  Alcotest.(check int) "enable idempotent" (base + 2) (Route.leaf_count rt);
+  System.delete_rule sys r;
+  Alcotest.(check bool) "unregistered on delete" false (Route.registered rt r);
+  Alcotest.(check int) "leaves dropped on delete" base (Route.leaf_count rt)
+
+let test_disabled_creation () =
+  let db = employee_db () in
+  let sys = System.create db in
+  System.register_action sys "noop" (fun _ _ -> ());
+  let r =
+    System.create_rule sys ~enabled:false ~monitor_classes:[ "employee" ]
+      ~event:seq_event ~condition:"true" ~action:"noop" ()
+  in
+  Alcotest.(check bool) "not registered while disabled" false
+    (Route.registered (route sys) r);
+  System.enable sys r;
+  Alcotest.(check bool) "registered on first enable" true
+    (Route.registered (route sys) r)
+
+let test_rehydrate_registers () =
+  let db = employee_db () in
+  let sys = System.create db in
+  System.register_action sys "noop" (fun _ _ -> ());
+  let e = new_employee db in
+  let r =
+    System.create_rule sys ~name:"reloaded" ~monitor:[ e ]
+      ~event:(Expr.eom ~cls:"employee" "set_salary")
+      ~condition:"true" ~action:"noop" ()
+  in
+  let text = Persist.to_string db in
+  let db2 = Db.create () in
+  Workloads.Payroll.install db2;
+  let sys2 = System.create db2 in
+  System.register_action sys2 "noop" (fun _ _ -> ());
+  Persist.of_string db2 text;
+  Alcotest.(check bool) "nothing indexed before rehydrate" false
+    (Route.registered (route sys2) r);
+  System.rehydrate sys2;
+  Alcotest.(check bool) "indexed after rehydrate" true
+    (Route.registered (route sys2) r);
+  ignore (Db.send db2 e "set_salary" [ Value.Float 1. ]);
+  Alcotest.(check int) "reloaded rule detects through the index" 1
+    (System.rule_info sys2 r).Rule.triggered
+
+(* A class defined after the rule's subsumption sets were first resolved
+   must be picked up: define_class bumps the schema generation, and the
+   cached sets are re-derived on the next delivery. *)
+let test_new_subclass_invalidates () =
+  let db = employee_db () in
+  let sys = System.create db in
+  System.register_action sys "noop" (fun _ _ -> ());
+  let r =
+    System.create_rule sys ~monitor_classes:[ "employee" ]
+      ~event:(Expr.eom ~cls:"employee" "set_salary")
+      ~condition:"true" ~action:"noop" ()
+  in
+  let e = new_employee db in
+  ignore (Db.send db e "set_salary" [ Value.Float 1. ]);
+  Alcotest.(check int) "cache warmed" 1 (System.rule_info sys r).Rule.triggered;
+  Db.define_class db (Oodb.Schema.define "temp_worker" ~super:"employee");
+  let t = Db.new_object db "temp_worker" ~attrs:[ ("name", Value.Str "t") ] in
+  ignore (Db.send db t "set_salary" [ Value.Float 2. ]);
+  Alcotest.(check int) "new subclass instance reaches the rule" 2
+    (System.rule_info sys r).Rule.triggered
+
+(* Evolution DDL invalidates the same way: granting a subclass its own
+   event interface entry changes nothing about subsumption, but the
+   refreshed class_info must not leave the index serving stale sets. *)
+let test_evolution_invalidates () =
+  let db = employee_db () in
+  let sys = System.create db in
+  System.register_action sys "noop" (fun _ _ -> ());
+  let r =
+    System.create_rule sys ~monitor_classes:[ "employee" ]
+      ~event:(Expr.prim ~cls:"employee" Oodb.Types.Before "get_name")
+      ~condition:"true" ~action:"noop" ()
+  in
+  let e = new_employee db in
+  ignore (Db.send db e "get_name" []);
+  Alcotest.(check int) "get_name generates no events yet" 0
+    (System.rule_info sys r).Rule.triggered;
+  Evolution.add_event_generator db ~cls:"employee" ~meth:"get_name"
+    Oodb.Schema.On_begin;
+  ignore (Db.send db e "get_name" []);
+  Alcotest.(check int) "detected after evolution" 1
+    (System.rule_info sys r).Rule.triggered;
+  Evolution.remove_event_generator db ~cls:"employee" ~meth:"get_name";
+  ignore (Db.send db e "get_name" []);
+  Alcotest.(check int) "silent again after removal" 1
+    (System.rule_info sys r).Rule.triggered
+
+(* A rule whose creation is rolled back leaves a stale registration: the
+   guard must keep it silent, and prune_runtimes must reclaim it. *)
+let test_rollback_leaves_then_prune () =
+  let db = employee_db () in
+  let sys = System.create db in
+  System.register_action sys "noop" (fun _ _ -> ());
+  let e = new_employee db in
+  Transaction.begin_ db;
+  let r =
+    System.create_rule sys ~monitor_classes:[ "employee" ]
+      ~event:(Expr.eom ~cls:"employee" "set_salary")
+      ~condition:"true" ~action:"noop" ()
+  in
+  Transaction.abort db;
+  Alcotest.(check bool) "rule object rolled back" false (Db.exists db r);
+  let rt = route sys in
+  Alcotest.(check bool) "registration is stale, not gone" true
+    (Route.registered rt r);
+  ignore (Db.send db e "set_salary" [ Value.Float 1. ]);
+  Alcotest.(check int) "guard keeps the stale rule silent" 0
+    (System.rule_info sys r).Rule.triggered;
+  System.prune_runtimes sys;
+  Alcotest.(check bool) "pruned from the index" false (Route.registered rt r);
+  ignore (Db.send db e "set_salary" [ Value.Float 2. ])
+
+let test_counters () =
+  let db = employee_db () in
+  let sys = System.create db in
+  System.register_action sys "noop" (fun _ _ -> ());
+  ignore
+    (System.create_rule sys ~monitor_classes:[ "employee" ]
+       ~event:(Expr.eom ~cls:"employee" "set_salary")
+       ~condition:"true" ~action:"noop" ());
+  ignore
+    (System.create_rule sys ~monitor_classes:[ "employee" ]
+       ~event:(Expr.prim ~cls:"employee" Oodb.Types.Before "get_age")
+       ~condition:"true" ~action:"noop" ());
+  let e = new_employee db in
+  System.reset_stats sys;
+  ignore (Db.send db e "set_salary" [ Value.Float 1. ]);
+  let s = System.stats sys in
+  Alcotest.(check int) "one bucket hit" 1 s.System.index_hits;
+  Alcotest.(check int) "only the matching rule probed" 1 s.System.candidates_probed;
+  Alcotest.(check int) "one leaf offered" 1 s.System.leaves_offered;
+  ignore (Db.send db e "get_salary" [])
+  (* get_salary has no leaves anywhere: no bucket, no probes *);
+  let s = System.stats sys in
+  Alcotest.(check int) "miss costs nothing" 1 s.System.index_hits;
+  Alcotest.(check int) "no extra probes" 1 s.System.candidates_probed;
+  System.reset_stats sys;
+  let s = System.stats sys in
+  Alcotest.(check int) "counters reset" 0 s.System.index_hits
+
+let test_wildcard_handler () =
+  let db = employee_db () in
+  let sys = System.create db in
+  let seen = ref 0 in
+  let n = System.create_notifiable sys (fun _ -> incr seen) in
+  Db.subscribe_class db ~cls:"employee" ~consumer:n;
+  let e = new_employee db in
+  ignore (Db.send db e "set_salary" [ Value.Float 1. ]);
+  ignore (Db.send db e "get_age" []);
+  (* get_age is On_both: two occurrences *)
+  Alcotest.(check int) "handler hears every subscribed occurrence" 3 !seen
+
+let suite =
+  [
+    test "register on create; enable/disable/delete" test_lifecycle;
+    test "disabled creation stays out of the index" test_disabled_creation;
+    test "rehydrate re-registers" test_rehydrate_registers;
+    test "new subclass invalidates cached sets" test_new_subclass_invalidates;
+    test "evolution DDL invalidates" test_evolution_invalidates;
+    test "rolled-back rule: guarded then pruned" test_rollback_leaves_then_prune;
+    test "routing counters" test_counters;
+    test "wildcard handler delivery" test_wildcard_handler;
+  ]
