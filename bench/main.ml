@@ -693,7 +693,10 @@ let e13 () =
          below replays from an empty store (no snapshot needed) *)
       let db = Db.create () in
       Workloads.Payroll.install db;
-      let wal = Oodb.Wal.attach db wal_path in
+      (* [~sync:false]: E13 measures journaling overhead (encoding + the
+         write path), not the disk's fsync latency — E-recovery prices the
+         durable path separately *)
+      let wal = Oodb.Wal.attach ~sync:false db wal_path in
       let objs =
         Array.init 500 (fun i ->
             Db.new_object db "employee"
@@ -898,12 +901,106 @@ let e_routing () =
   close_out oc;
   row "  wrote BENCH_routing.json\n"
 
+(* ------------------------------------------------------------------------- *)
+(* E-recovery: WAL replay throughput and the price of durability              *)
+(* ------------------------------------------------------------------------- *)
+
+let e_recovery () =
+  header "E-recovery: WAL replay throughput (banking workload)";
+  let module Mem = Oodb.Storage.Mem in
+  let module Banking = Workloads.Banking in
+  let log_path = "bank.wal" in
+  let run_txns db txns =
+    List.iter
+      (fun (acct, meth, args) ->
+        match
+          Transaction.atomically db (fun () -> ignore (Db.send db acct meth args))
+        with
+        | Ok () -> ()
+        | Error e -> raise e)
+      txns
+  in
+  (* replay throughput over in-memory logs of increasing size *)
+  let build n =
+    let fs = Mem.create () in
+    let storage = Mem.storage fs in
+    let db = Db.create () in
+    Banking.install db;
+    let wal = Oodb.Wal.attach ~storage ~sync:false db log_path in
+    let rng = Prng.create 11 in
+    let accts = Banking.populate db rng ~accounts:100 in
+    run_txns db (Banking.transactions rng accts ~n ());
+    Oodb.Wal.detach wal;
+    (fs, storage)
+  in
+  row "  %12s  %10s  %10s  %10s  %14s\n" "transactions" "log bytes" "batches"
+    "replay" "batches/s";
+  let rows =
+    List.map
+      (fun n ->
+        let fs, storage = build n in
+        let bytes = String.length (Mem.durable fs log_path) in
+        let (applied, discarded), ms =
+          time_ms (fun () ->
+              let db2 = Db.create () in
+              Banking.install db2;
+              let applied = Oodb.Wal.replay ~storage db2 log_path in
+              (applied, (Db.stats db2).Oodb.Types.wal_batches_discarded))
+        in
+        assert (discarded = 0);
+        let bps = float_of_int applied /. (ms /. 1000.) in
+        row "  %12d  %10d  %10d  %10s  %14.0f\n" n bytes applied (fmt_ms ms) bps;
+        (n, bytes, applied, ms, bps))
+      [ 1_000; 5_000; 20_000 ]
+  in
+  (* the price of the fsync-per-commit durability contract, on the real fs *)
+  let durability_n = 1_000 in
+  let durable_run sync =
+    let path = Filename.temp_file "sentinel_bench" ".wal" in
+    Fun.protect
+      ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+      (fun () ->
+        let db = Db.create () in
+        Banking.install db;
+        let wal = Oodb.Wal.attach ~sync db path in
+        let rng = Prng.create 3 in
+        let accts = Banking.populate db rng ~accounts:50 in
+        let txns = Banking.transactions rng accts ~n:durability_n () in
+        let (), ms = time_ms (fun () -> run_txns db txns) in
+        let fsyncs = (Db.stats db).Oodb.Types.wal_fsyncs in
+        Oodb.Wal.detach wal;
+        (ms, fsyncs))
+  in
+  let sync_ms, sync_fsyncs = durable_run true in
+  let nosync_ms, _ = durable_run false in
+  row "  durability: %d txns   fsync-per-commit %10s (%d fsyncs)   buffered %10s\n"
+    durability_n (fmt_ms sync_ms) sync_fsyncs (fmt_ms nosync_ms);
+  let oc = open_out "BENCH_recovery.json" in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"E-recovery\",\n  \"workload\": \"banking \
+     deposits/withdrawals, one transaction per batch, 100 accounts\",\n\
+    \  \"durability\": {\"transactions\": %d, \"fsync_per_commit_ms\": %.2f, \
+     \"fsyncs\": %d, \"buffered_ms\": %.2f},\n  \"rows\": [\n"
+    durability_n sync_ms sync_fsyncs nosync_ms;
+  List.iteri
+    (fun i (n, bytes, applied, ms, bps) ->
+      Printf.fprintf oc
+        "    {\"transactions\": %d, \"log_bytes\": %d, \"batches_replayed\": \
+         %d, \"replay_ms\": %.2f, \"batches_per_sec\": %.0f}%s\n"
+        n bytes applied ms bps
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  row "  wrote BENCH_recovery.json\n"
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
     ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
     ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
     ("routing", e_routing);
+    ("recovery", e_recovery);
   ]
 
 let () =

@@ -11,6 +11,10 @@ type sys_stats = {
   mutable candidates_probed : int;
   mutable leaves_offered : int;
   mutable index_hits : int;
+  mutable wal_batches_replayed : int;
+  mutable wal_batches_discarded : int;
+  mutable wal_checksum_failures : int;
+  mutable wal_fsyncs : int;
 }
 
 type t = {
@@ -65,6 +69,14 @@ let stats t =
     s.leaves_offered <- c.Route.leaves_offered;
     s.index_hits <- c.Route.index_hits
   | None -> ());
+  (* Durability counters live on the store; mirror them like the Route
+     counters so one call reports the whole system. *)
+  let d = Db.stats t.sys_db in
+  let s = t.sys_stats in
+  s.wal_batches_replayed <- d.Oodb.Types.wal_batches_replayed;
+  s.wal_batches_discarded <- d.Oodb.Types.wal_batches_discarded;
+  s.wal_checksum_failures <- d.Oodb.Types.wal_checksum_failures;
+  s.wal_fsyncs <- d.Oodb.Types.wal_fsyncs;
   t.sys_stats
 
 let reset_stats t =
@@ -76,6 +88,11 @@ let reset_stats t =
   s.candidates_probed <- 0;
   s.leaves_offered <- 0;
   s.index_hits <- 0;
+  s.wal_batches_replayed <- 0;
+  s.wal_batches_discarded <- 0;
+  s.wal_checksum_failures <- 0;
+  s.wal_fsyncs <- 0;
+  Db.reset_stats t.sys_db;
   match t.sys_route with
   | Some route -> Route.reset_counters route
   | None -> ()
@@ -229,6 +246,10 @@ let create ?(strategy = Scheduler.default) ?(cascade_limit = 64)
           candidates_probed = 0;
           leaves_offered = 0;
           index_hits = 0;
+          wal_batches_replayed = 0;
+          wal_batches_discarded = 0;
+          wal_checksum_failures = 0;
+          wal_fsyncs = 0;
         };
       sys_route =
         (match routing with

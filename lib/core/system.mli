@@ -45,6 +45,13 @@ type sys_stats = {
       (** indexed routing: candidates that passed every check *)
   mutable index_hits : int;
       (** indexed routing: deliveries whose key had candidates *)
+  mutable wal_batches_replayed : int;
+      (** recovery: committed batches re-applied by {!Oodb.Wal.replay} *)
+  mutable wal_batches_discarded : int;
+      (** recovery: torn/corrupt batches (and their successors) dropped *)
+  mutable wal_checksum_failures : int;
+      (** recovery: batches rejected by the CRC-32 check *)
+  mutable wal_fsyncs : int;  (** durability: fsyncs issued by WAL/snapshot *)
 }
 
 val create :

@@ -7,6 +7,7 @@ let create () =
     next_oid = 1;
     now = 0;
     next_txn_id = 1;
+    wal_applied_seq = 0;
     objects = Oid.Table.create 1024;
     classes = Hashtbl.create 64;
     extents = Hashtbl.create 64;
@@ -28,6 +29,10 @@ let create () =
         notifications = 0;
         txns_committed = 0;
         txns_aborted = 0;
+        wal_batches_replayed = 0;
+        wal_batches_discarded = 0;
+        wal_checksum_failures = 0;
+        wal_fsyncs = 0;
       };
   }
 
@@ -57,7 +62,11 @@ let reset_stats db =
   s.events_generated <- 0;
   s.notifications <- 0;
   s.txns_committed <- 0;
-  s.txns_aborted <- 0
+  s.txns_aborted <- 0;
+  s.wal_batches_replayed <- 0;
+  s.wal_batches_discarded <- 0;
+  s.wal_checksum_failures <- 0;
+  s.wal_fsyncs <- 0
 
 (* --- schema ------------------------------------------------------------ *)
 

@@ -10,6 +10,10 @@ exception Lock_conflict of Oid.t * string
 exception Rule_abort of string
 exception Parse_error of string
 
+exception Io_error of string
+(* Transient storage failure (e.g. an injected fault or a short write);
+   callers may retry with bounded backoff (Storage.with_retries). *)
+
 let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
 
 let () =
@@ -27,4 +31,5 @@ let () =
       Some (Printf.sprintf "Lock_conflict on %s: %s" (Oid.to_string o) m)
     | Rule_abort m -> Some ("Rule_abort: " ^ m)
     | Parse_error m -> Some ("Parse_error: " ^ m)
+    | Io_error m -> Some ("Io_error: " ^ m)
     | _ -> None)

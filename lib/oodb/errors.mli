@@ -26,5 +26,9 @@ exception Rule_abort of string
 exception Parse_error of string
 (** Event-signature or persistence-format syntax errors. *)
 
+exception Io_error of string
+(** Transient storage failure (an injected fault, a short write).  Retryable:
+    see {!Storage.with_retries}. *)
+
 val type_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
 (** [type_error fmt ...] raises {!Type_error} with a formatted message. *)

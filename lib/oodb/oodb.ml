@@ -3,7 +3,8 @@
     Start at {!Db} (object lifecycle, message dispatch, subscription) and
     {!Schema} (class definitions with event interfaces).  The storage
     services around them: {!Transaction} (nested, undo-logged), {!Persist}
-    (snapshots), {!Wal} (write-ahead logging and crash recovery), {!Query}
+    (snapshots), {!Wal} (write-ahead logging and crash recovery), {!Storage}
+    (pluggable file I/O with a fault-injecting in-memory backend), {!Query}
     / {!Query_parser} (predicate selection with index planning), {!Btree}
     (ordered index backing), {!Evolution} (runtime schema changes), {!Gc}
     (reachability collection) and {!Introspect} (reports).
@@ -22,6 +23,7 @@ module Occurrence = Occurrence
 module Query = Query
 module Query_parser = Query_parser
 module Persist = Persist
+module Storage = Storage
 module Btree = Btree
 module Wal = Wal
 module Evolution = Evolution

@@ -151,6 +151,7 @@ let write db emit =
   pr "%s\n" magic;
   pr "clock %d\n" db.now;
   pr "nextoid %d\n" db.next_oid;
+  if db.wal_applied_seq > 0 then pr "walseq %d\n" db.wal_applied_seq;
   let objs =
     Oid.Table.fold (fun _ o acc -> o :: acc) db.objects []
     |> List.sort (fun a b -> Oid.compare a.id b.id)
@@ -198,15 +199,31 @@ let to_string db =
   write db (Buffer.add_string buf);
   Buffer.contents buf
 
-let save db path =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  (try to_channel db oc
+(* Temp names carry the pid and a process-local counter so two stores saving
+   to the same path — from this process or another — cannot clobber each
+   other's in-flight file. *)
+let tmp_counter = ref 0
+
+let tmp_name path =
+  incr tmp_counter;
+  Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ()) !tmp_counter
+
+let save ?(storage = Storage.unix) db path =
+  let tmp = tmp_name path in
+  let w = storage.Storage.open_writer ~append:false tmp in
+  (try
+     write db w.Storage.write;
+     w.Storage.fsync ();
+     db.stats.wal_fsyncs <- db.stats.wal_fsyncs + 1;
+     w.Storage.close ()
    with e ->
-     close_out_noerr oc;
+     w.Storage.close ();
+     (try storage.Storage.unlink tmp with _ -> ());
      raise e);
-  close_out oc;
-  Sys.rename tmp path
+  (* The snapshot becomes visible only whole: fsynced temp file, atomic
+     rename, then directory fsync so the rename itself is durable. *)
+  storage.Storage.rename tmp path;
+  storage.Storage.fsync_dir path
 
 (* --- reading ------------------------------------------------------------ *)
 
@@ -271,6 +288,10 @@ let read db read_line =
         db.next_oid <-
           (match int_of_string_opt v with Some n -> n | None -> fail "bad nextoid");
         toplevel ()
+      | [ "walseq"; v ] ->
+        db.wal_applied_seq <-
+          (match int_of_string_opt v with Some n -> n | None -> fail "bad walseq");
+        toplevel ()
       | [ "obj"; oid; cls ] ->
         read_object (parse_oid oid) cls;
         toplevel ()
@@ -312,6 +333,5 @@ let of_string db s =
   in
   read db next
 
-let load db path =
-  let ic = open_in path in
-  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> of_channel db ic)
+let load ?(storage = Storage.unix) db path =
+  of_string db (storage.Storage.read_file path)

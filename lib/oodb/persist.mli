@@ -16,8 +16,15 @@
 val to_channel : Db.t -> out_channel -> unit
 val to_string : Db.t -> string
 
-val save : Db.t -> string -> unit
-(** [save db path] writes atomically (temp file + rename). *)
+val save : ?storage:Storage.t -> Db.t -> string -> unit
+(** [save db path] writes crash-atomically: a per-process-unique temp file
+    is written, fsynced and atomically renamed over [path], then the
+    containing directory is fsynced — a crash at any point leaves either
+    the old snapshot or the new one, never a torn mix, and a failure while
+    serializing removes the temp file.  The snapshot records the store's
+    {!Wal} high-water sequence number ([walseq]), so replaying a log that
+    predates it cannot double-apply batches.  [storage] (default
+    {!Storage.unix}) selects the I/O backend. *)
 
 val of_channel : Db.t -> in_channel -> unit
 (** [of_channel db ic] populates [db] — which must contain no objects but
@@ -28,7 +35,9 @@ val of_channel : Db.t -> in_channel -> unit
     transaction is open. *)
 
 val of_string : Db.t -> string -> unit
-val load : Db.t -> string -> unit
+
+val load : ?storage:Storage.t -> Db.t -> string -> unit
+(** Read a snapshot file through [storage] (default {!Storage.unix}). *)
 
 (** {1 Value encoding} (exposed for tests) *)
 

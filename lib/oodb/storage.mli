@@ -1,0 +1,120 @@
+(** Pluggable effectful file I/O for the persistence layer.
+
+    {!Persist} and {!Wal} perform all file effects — writes, flushes,
+    fsyncs, renames, truncations — through a {!t} value instead of calling
+    the OS directly.  Two backends ship with the substrate:
+
+    - {!unix}: the real filesystem, with durable [fsync] on files and (best
+      effort) on their containing directories;
+    - {!Mem}: an in-memory filesystem with {e fault injection} — it can
+      crash after any byte prefix or operation count, tear the write in
+      flight, and fail writes transiently — used by the crash-point
+      harness in [test/test_crash.ml] to prove recovery correct at every
+      possible crash point.
+
+    The interface is a record of closures rather than a functor so backends
+    can be chosen per call site at runtime ([Wal.attach ~storage:...]). *)
+
+type writer = {
+  write : string -> unit;
+      (** Append the bytes.  May raise {!Errors.Io_error} (transient, fully
+          retryable: a failed write lands nothing) or {!Crash}. *)
+  flush : unit -> unit;  (** Push application buffers to the OS. *)
+  fsync : unit -> unit;  (** Flush, then force the bytes to stable storage. *)
+  close : unit -> unit;  (** Idempotent; never raises. *)
+}
+
+type t = {
+  name : string;  (** backend label, for diagnostics *)
+  exists : string -> bool;
+  size : string -> int;  (** file size in bytes; [0] when missing *)
+  read_file : string -> string;
+      (** Whole contents. @raise Sys_error when missing. *)
+  open_writer : append:bool -> string -> writer;
+      (** [append:false] truncates/creates. *)
+  rename : string -> string -> unit;  (** Atomic replace. *)
+  unlink : string -> unit;  (** Missing file is not an error. *)
+  truncate : string -> int -> unit;
+  fsync_dir : string -> unit;
+      (** Fsync the directory containing [path], making a prior
+          create/rename durable.  Best effort on backends where
+          directories cannot be synced. *)
+}
+
+exception Crash
+(** Raised by the {!Mem} backend when an injected crash point is reached.
+    Everything not yet durable at that instant is lost (see {!Mem}); the
+    test harness then "reboots" and runs recovery against what survived. *)
+
+val unix : t
+(** The real filesystem. *)
+
+val with_retries : ?attempts:int -> ?backoff:(int -> unit) -> (unit -> 'a) -> 'a
+(** Run [f], retrying on {!Errors.Io_error} up to [attempts] times
+    (default 5) with [backoff attempt] between tries (default: exponential
+    sleep starting at 2 ms).  Other exceptions — including {!Crash} —
+    propagate immediately. *)
+
+(** CRC-32 (IEEE 802.3, the zlib polynomial) over strings; guards WAL v2
+    batch payloads against torn writes and bit rot. *)
+module Crc32 : sig
+  val string : ?crc:int32 -> string -> int32
+  (** [string s] is the checksum of [s]; pass [?crc] to continue a running
+      checksum. *)
+
+  val to_hex : int32 -> string
+  (** Fixed-width lowercase hex, e.g. ["0a1b2c3d"]. *)
+end
+
+(** The fault-injecting in-memory backend. *)
+module Mem : sig
+  type fs
+
+  val create : ?cache:bool -> unit -> fs
+  (** A fresh empty filesystem.  With [~cache:false] (default,
+      "writethrough") every write lands durably at once and an injected
+      crash can only tear the write in flight — the model for torn-tail
+      enumeration.  With [~cache:true] writes sit in a volatile page cache
+      until [fsync] promotes them, and a crash drops everything volatile —
+      the model for proving fsync placement. *)
+
+  val storage : fs -> t
+
+  val contents : fs -> string -> string
+  (** Live view (durable + volatile), as a running process would read it. *)
+
+  val durable : fs -> string -> string
+  (** Post-crash view: only what survived.  [""] when missing. *)
+
+  val set_file : fs -> string -> string -> unit
+  (** Install durable contents directly (building crash-point fixtures). *)
+
+  val files : fs -> string list  (** Existing file names, sorted. *)
+
+  val reboot : fs -> fs
+  (** A fresh, fault-free filesystem holding only the durable view of every
+      file — the disk as the next process boot sees it. *)
+
+  (** {2 Fault injection} *)
+
+  val crash_after_bytes : fs -> int -> unit
+  (** Let [n] more written bytes reach the store, tear the write in flight,
+      then raise {!Crash} from that and every subsequent operation. *)
+
+  val crash_after_ops : fs -> int -> unit
+  (** Let [n] more mutating operations (write / fsync / rename / unlink /
+      truncate / create / fsync_dir) complete, then raise {!Crash} from the
+      next one on. *)
+
+  val fail_writes : fs -> int -> unit
+  (** Make the next [n] writes raise {!Errors.Io_error} without landing any
+      bytes (a transient fault; {!with_retries} recovers). *)
+
+  val clear_faults : fs -> unit
+
+  (** {2 Observability} *)
+
+  val fsyncs : fs -> int  (** fsync calls (files only). *)
+
+  val ops : fs -> int  (** mutating operations performed *)
+end

@@ -111,12 +111,23 @@ and stats = {
   mutable notifications : int; (* consumer deliveries *)
   mutable txns_committed : int;
   mutable txns_aborted : int;
+  (* Durability counters, maintained by Wal and Persist. *)
+  mutable wal_batches_replayed : int;
+  mutable wal_batches_discarded : int; (* torn or corrupt batches dropped *)
+  mutable wal_checksum_failures : int;
+  mutable wal_fsyncs : int;
 }
 
 and db = {
   mutable next_oid : int;
   mutable now : timestamp;
   mutable next_txn_id : int;
+  (* Highest WAL batch sequence number already reflected in this store's
+     state.  Written into snapshots (Persist `walseq`) and consulted by
+     Wal.replay, so replaying a log that predates the loaded snapshot can
+     skip the batches the snapshot already contains instead of
+     double-applying them (the checkpoint-crash window). *)
+  mutable wal_applied_seq : int;
   objects : obj Oid.Table.t;
   classes : (string, class_def) Hashtbl.t;
   extents : (string, unit Oid.Table.t) Hashtbl.t; (* direct extent per class *)

@@ -1,11 +1,20 @@
 open Types
 
-let magic = "SENTINELWAL 1"
+let magic_v1 = "SENTINELWAL 1"
+let magic_v2 = "SENTINELWAL 2"
+
+type version = V1 | V2
 
 type t = {
   wal_db : db;
   path : string;
-  mutable oc : out_channel;
+  storage : Storage.t;
+  sync : bool;
+  mutable w : Storage.writer;
+  mutable version : version;
+  (* sequence number the next batch will carry; monotone across the life of
+     the log, never reset by checkpoints *)
+  mutable next_seq : int;
   (* one buffer per open transaction, innermost first; entries newest
      first *)
   mutable stack : string list list;
@@ -78,20 +87,150 @@ let decode_mutation line =
     | None -> parse_error "wal: bad clock %S" now)
   | _ -> parse_error "wal: bad entry %S" line
 
+(* --- log scanning ----------------------------------------------------------
+   One parser serves both replay and attach-time tail repair.  Scanning never
+   raises on damage past the header: it stops at the first torn or corrupt
+   batch and reports how far the log is structurally sound, so recovery can
+   apply the intact prefix and attach can truncate the wreckage. *)
+
+type batch = {
+  b_seq : int; (* 0 in v1 logs *)
+  b_lines : string list;
+  b_end : int; (* byte offset just past this batch *)
+}
+
+type scanned = {
+  s_version : version;
+  s_batches : batch list; (* in file order *)
+  s_valid_end : int; (* offset just past the last intact batch *)
+  s_checksum_failures : int;
+  s_leftover : bool; (* damaged bytes beyond [s_valid_end] *)
+}
+
+let scan data =
+  let len = String.length data in
+  let next_line pos =
+    if pos >= len then None
+    else
+      match String.index_from_opt data pos '\n' with
+      | None -> None (* unterminated tail *)
+      | Some i -> Some (String.sub data pos (i - pos), i + 1)
+  in
+  match next_line 0 with
+  | None -> `Torn_header (* empty, or a crash mid-header: nothing durable *)
+  | Some (l, p0) when l = magic_v1 || l = magic_v2 ->
+    let version = if l = magic_v2 then V2 else V1 in
+    let cksum_fail = ref 0 in
+    (* exactly [k] payload lines, or None on a torn tail *)
+    let rec payload k q lines =
+      if k = 0 then Some (List.rev lines, q)
+      else
+        match next_line q with
+        | None -> None
+        | Some (pl, q') -> payload (k - 1) q' (pl :: lines)
+    in
+    let rec batches acc pos last_seq =
+      match next_line pos with
+      | None -> (List.rev acc, pos)
+      | Some ("", p) -> batches acc p last_seq
+      | Some (line, p) -> (
+        let stop () = (List.rev acc, pos) in
+        match version with
+        | V2 -> (
+          match String.split_on_char ' ' line with
+          | [ "B"; seq_s; count_s; crc_s ] -> (
+            match (int_of_string_opt seq_s, int_of_string_opt count_s) with
+            | Some seq, Some count
+              when count >= 0 && seq >= 1
+                   && (match last_seq with None -> true | Some l -> seq = l + 1)
+              -> (
+              match payload count p [] with
+              | None -> stop () (* torn mid-batch *)
+              | Some (lines, q) -> (
+                match next_line q with
+                | Some ("E", q') ->
+                  let body =
+                    String.concat "" (List.map (fun l -> l ^ "\n") lines)
+                  in
+                  if
+                    String.equal crc_s
+                      (Storage.Crc32.to_hex (Storage.Crc32.string body))
+                  then
+                    batches
+                      ({ b_seq = seq; b_lines = lines; b_end = q' } :: acc)
+                      q' (Some seq)
+                  else begin
+                    incr cksum_fail;
+                    stop ()
+                  end
+                | _ -> stop ()))
+            | _ -> stop ())
+          | _ -> stop ())
+        | V1 ->
+          if line <> "B" then stop ()
+          else
+            let rec collect q lines =
+              match next_line q with
+              | None -> None
+              | Some ("E", q') -> Some (List.rev lines, q')
+              | Some (l, q') -> collect q' (l :: lines)
+            in
+            (match collect p [] with
+            | None -> stop ()
+            | Some (lines, q) ->
+              batches ({ b_seq = 0; b_lines = lines; b_end = q } :: acc) q None))
+    in
+    let bs, valid_end = batches [] p0 None in
+    `Ok
+      {
+        s_version = version;
+        s_batches = bs;
+        s_valid_end = valid_end;
+        s_checksum_failures = !cksum_fail;
+        s_leftover = valid_end < len;
+      }
+  | Some (l, _) -> parse_error "wal: bad magic %S" l
+
 (* --- writing ----------------------------------------------------------------- *)
 
+let count_fsync db = db.stats.wal_fsyncs <- db.stats.wal_fsyncs + 1
+
 let write_batch t entries =
-  (* entries arrive newest first *)
-  output_string t.oc "B\n";
-  List.iter
-    (fun e ->
-      output_string t.oc e;
-      output_char t.oc '\n';
-      t.n_entries <- t.n_entries + 1)
-    (List.rev entries);
-  output_string t.oc "E\n";
-  flush t.oc;
-  t.n_batches <- t.n_batches + 1
+  if t.attached then begin
+    (* entries arrive newest first *)
+    let payload = Buffer.create 256 in
+    let n = ref 0 in
+    List.iter
+      (fun e ->
+        Buffer.add_string payload e;
+        Buffer.add_char payload '\n';
+        incr n)
+      (List.rev entries);
+    let body = Buffer.contents payload in
+    let data =
+      match t.version with
+      | V2 ->
+        Printf.sprintf "B %d %d %s\n%sE\n" t.next_seq !n
+          (Storage.Crc32.to_hex (Storage.Crc32.string body))
+          body
+      | V1 -> "B\n" ^ body ^ "E\n"
+    in
+    (* one write per batch: a transient fault lands nothing, so the bounded
+       retry cannot duplicate a partially-written batch *)
+    Storage.with_retries (fun () -> t.w.Storage.write data);
+    t.w.Storage.flush ();
+    if t.sync then begin
+      t.w.Storage.fsync ();
+      count_fsync t.wal_db
+    end;
+    (* counters and the sequence move only once the batch is safely down *)
+    t.n_batches <- t.n_batches + 1;
+    t.n_entries <- t.n_entries + !n;
+    if t.version = V2 then begin
+      t.wal_db.wal_applied_seq <- t.next_seq;
+      t.next_seq <- t.next_seq + 1
+    end
+  end
 
 let on_event t event =
   if t.attached then
@@ -115,19 +254,63 @@ let on_event t event =
     | J_abort -> (
       match t.stack with [] -> () | _ :: rest -> t.stack <- rest)
 
-let attach db path =
+(* --- attach / detach --------------------------------------------------------- *)
+
+let init_log storage sync db path =
+  let w = storage.Storage.open_writer ~append:false path in
+  Storage.with_retries (fun () -> w.Storage.write (magic_v2 ^ "\n"));
+  w.Storage.flush ();
+  if sync then begin
+    w.Storage.fsync ();
+    count_fsync db
+  end;
+  storage.Storage.fsync_dir path;
+  w
+
+let attach ?(storage = Storage.unix) ?(sync = true) db path =
   if db.on_journal <> None then
     raise (Errors.Transaction_error "a journal is already attached");
   if db.txns <> [] then
     raise (Errors.Transaction_error "cannot attach a journal mid-transaction");
-  let fresh = not (Sys.file_exists path) || (Unix.stat path).Unix.st_size = 0 in
-  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
-  if fresh then begin
-    output_string oc (magic ^ "\n");
-    flush oc
-  end;
+  let fresh =
+    (not (storage.Storage.exists path)) || storage.Storage.size path = 0
+  in
+  let w, version, next_seq =
+    if fresh then (init_log storage sync db path, V2, db.wal_applied_seq + 1)
+    else begin
+      let data = storage.Storage.read_file path in
+      match scan data with
+      | `Torn_header ->
+        (* a crash while creating the log: no batch was ever durable, so
+           reinitialize in place *)
+        (init_log storage sync db path, V2, db.wal_applied_seq + 1)
+      | `Ok s ->
+        (* repair: drop the torn or corrupt tail so appended batches stay
+           reachable by replay *)
+        if s.s_valid_end < String.length data then
+          storage.Storage.truncate path s.s_valid_end;
+        let last =
+          List.fold_left
+            (fun acc b -> max acc b.b_seq)
+            db.wal_applied_seq s.s_batches
+        in
+        (storage.Storage.open_writer ~append:true path, s.s_version, last + 1)
+    end
+  in
   let t =
-    { wal_db = db; path; oc; stack = []; n_batches = 0; n_entries = 0; attached = true }
+    {
+      wal_db = db;
+      path;
+      storage;
+      sync;
+      w;
+      version;
+      next_seq;
+      stack = [];
+      n_batches = 0;
+      n_entries = 0;
+      attached = true;
+    }
   in
   db.on_journal <- Some (on_event t);
   t
@@ -136,16 +319,39 @@ let detach t =
   if t.attached then begin
     t.attached <- false;
     t.wal_db.on_journal <- None;
-    flush t.oc;
-    close_out_noerr t.oc
+    t.w.Storage.flush ();
+    if t.sync then begin
+      t.w.Storage.fsync ();
+      count_fsync t.wal_db
+    end;
+    t.w.Storage.close ()
   end
 
+(* --- checkpoint --------------------------------------------------------------- *)
+
 let checkpoint t ~snapshot =
-  Persist.save t.wal_db snapshot;
-  close_out_noerr t.oc;
-  t.oc <- open_out_gen [ Open_trunc; Open_creat; Open_wronly ] 0o644 t.path;
-  output_string t.oc (magic ^ "\n");
-  flush t.oc
+  if not t.attached then
+    raise (Errors.Transaction_error "cannot checkpoint a detached journal");
+  (* 1. Durable snapshot.  It embeds [walseq] — the sequence number of the
+     last batch this store reflects — so a crash after this point cannot
+     double-apply the not-yet-rotated log: replay skips batches at or below
+     the marker. *)
+  Persist.save ~storage:t.storage t.wal_db snapshot;
+  (* 2. Rotate the log through a temp file + atomic rename: at every crash
+     point the log on disk is either the full old one or the fresh empty
+     one, never a torn truncation. *)
+  t.w.Storage.close ();
+  let tmp = Printf.sprintf "%s.rotate.%d" t.path (Unix.getpid ()) in
+  let w = t.storage.Storage.open_writer ~append:false tmp in
+  Storage.with_retries (fun () -> w.Storage.write (magic_v2 ^ "\n"));
+  w.Storage.fsync ();
+  count_fsync t.wal_db;
+  w.Storage.close ();
+  t.storage.Storage.rename tmp t.path;
+  t.storage.Storage.fsync_dir t.path;
+  t.w <- t.storage.Storage.open_writer ~append:true t.path;
+  (* rotation upgrades a v1-era log; the sequence keeps counting *)
+  t.version <- V2
 
 (* --- replay ------------------------------------------------------------------- *)
 
@@ -154,11 +360,15 @@ let apply_mutation db m =
   | M_create (oid, cls, attrs) ->
     (* force the allocator so replay reproduces the logged OID (aborted
        transactions may have burned identifiers in the original run) *)
+    let saved = db.next_oid in
     db.next_oid <- Oid.to_int oid;
     let got = Db.new_object db ~attrs cls in
     if not (Oid.equal got oid) then
       parse_error "wal: replay allocated %s, expected %s" (Oid.to_string got)
-        (Oid.to_string oid)
+        (Oid.to_string oid);
+    (* never rewind the allocator below its pre-replay high-water mark, or a
+       fresh allocation after recovery could collide with a live OID *)
+    if saved > db.next_oid then db.next_oid <- saved
   | M_delete oid -> Db.delete_object db oid
   | M_set (oid, name, v) -> Db.set db oid name v
   | M_subscribe (r, c) -> Db.subscribe db ~reactive:r ~consumer:c
@@ -170,43 +380,50 @@ let apply_mutation db m =
   | M_drop_index (cls, attr) -> Db.drop_index db ~cls ~attr
   | M_clock now -> Db.advance_clock db now
 
-let replay db path =
-  if not (Sys.file_exists path) then 0
+let replay ?(storage = Storage.unix) db path =
+  if not (storage.Storage.exists path) then 0
   else begin
-    let saved_journal = db.on_journal in
-    db.on_journal <- None;
-    Fun.protect
-      ~finally:(fun () -> db.on_journal <- saved_journal)
-      (fun () ->
-        In_channel.with_open_text path (fun ic ->
-            (match In_channel.input_line ic with
-            | Some l when l = magic -> ()
-            | Some l -> parse_error "wal: bad magic %S" l
-            | None -> parse_error "wal: empty file");
-            let applied = ref 0 in
-            (* read one batch; None = clean EOF or torn tail *)
-            let rec read_batch () =
-              match In_channel.input_line ic with
-              | None -> None
-              | Some "B" -> collect []
-              | Some "" -> read_batch ()
-              | Some l -> parse_error "wal: expected batch start, got %S" l
-            and collect acc =
-              match In_channel.input_line ic with
-              | None -> None (* torn batch: crash mid-write; discard *)
-              | Some "E" -> Some (List.rev_map decode_mutation acc)
-              | Some l -> collect (l :: acc)
-            in
-            let rec loop () =
-              match read_batch () with
-              | None -> ()
-              | Some entries ->
-                (* apply the whole batch atomically; a batch from the log
-                   must replay cleanly or recovery stops *)
-                List.iter (apply_mutation db) entries;
-                incr applied;
-                loop ()
-            in
-            loop ();
-            !applied))
+    let data = storage.Storage.read_file path in
+    if String.length data = 0 then 0
+    else
+      match scan data with
+      | `Torn_header -> 0
+      | `Ok s ->
+        let saved_journal = db.on_journal in
+        db.on_journal <- None;
+        Fun.protect
+          ~finally:(fun () -> db.on_journal <- saved_journal)
+          (fun () ->
+            let applied = ref 0 and discarded = ref 0 in
+            let stopped = ref false in
+            List.iter
+              (fun b ->
+                if !stopped then incr discarded
+                else if s.s_version = V2 && b.b_seq <= db.wal_applied_seq then
+                  (* the loaded snapshot already contains this batch *)
+                  ()
+                else
+                  match List.map decode_mutation b.b_lines with
+                  | exception Errors.Parse_error _ ->
+                    (* v1 logs have no checksum, so entry-level damage is
+                       only caught here; stop cleanly at the first bad
+                       batch instead of half-applying it *)
+                    stopped := true;
+                    incr discarded
+                  | ms ->
+                    (* apply the whole batch atomically; decoding happened
+                       up front so damage cannot strand a half-applied
+                       batch *)
+                    List.iter (apply_mutation db) ms;
+                    incr applied;
+                    if s.s_version = V2 then db.wal_applied_seq <- b.b_seq)
+              s.s_batches;
+            if s.s_leftover then incr discarded;
+            db.stats.wal_batches_replayed <-
+              db.stats.wal_batches_replayed + !applied;
+            db.stats.wal_batches_discarded <-
+              db.stats.wal_batches_discarded + !discarded;
+            db.stats.wal_checksum_failures <-
+              db.stats.wal_checksum_failures + s.s_checksum_failures;
+            !applied)
   end

@@ -3,10 +3,32 @@
     {!Persist} snapshots the whole store; this module complements it with an
     append-only log of logical mutations (object creation/deletion,
     attribute writes, subscriptions, index DDL) grouped into transaction
-    batches.  Recovery = load the latest snapshot (if any) into a fresh
-    database with the same classes registered, then {!replay} the log:
-    committed batches are re-applied, aborted transactions never reach the
-    log, and a torn batch at the tail (a crash mid-write) is ignored.
+    batches.
+
+    {2 Log format (v2)}
+
+    A log starts with the magic line ["SENTINELWAL 2"].  Each batch is
+
+    {v B <seq> <count> <crc32>\n <count entry lines> E\n v}
+
+    where [seq] is a monotonically increasing sequence number (strictly
+    [+1] per batch, never reset — not even by {!checkpoint}), [count] the
+    number of entry lines and [crc32] the checksum of the entry payload.
+    Logs written by the previous version (["SENTINELWAL 1"], bare [B]/[E]
+    framing) remain readable: {!attach} and {!replay} accept both.
+
+    {2 Durability contract}
+
+    With the default [~sync:true], a batch is fsynced before the journal's
+    counters advance, so once a transaction's commit returns, its batch
+    survives any crash.  Recovery stops cleanly at the first torn {e or
+    corrupt} batch — a crash mid-append, a bit flip, or a foreign tail can
+    lose at most uncommitted work, never raise out of {!replay}.
+    {!checkpoint} is crash-atomic end to end: the snapshot goes down via
+    temp file + fsync + atomic rename + directory fsync and embeds the
+    sequence number of the last logged batch ([walseq]), so a crash
+    between snapshot and log rotation cannot double-apply batches — replay
+    skips everything the snapshot already contains.
 
     The log records data only — method bodies and rule code re-bind from
     registered classes and the rule layer's registry, exactly as with
@@ -17,39 +39,62 @@
     {[
       let wal = Wal.attach db "app.wal" in
       ... transactions ...
-      Wal.checkpoint wal ~snapshot:"app.db";   (* truncates the log *)
+      (* snapshot embedding walseq, then atomic log rotation: *)
+      Wal.checkpoint wal ~snapshot:"app.db";
       ... crash ...
       (* recovery: *)
       let db = Db.create () in
       register_classes db;
       if Sys.file_exists "app.db" then Persist.load db "app.db";
+      (* replay applies only batches with seq > the snapshot's walseq,
+         stopping cleanly at the first torn or corrupt batch: *)
       let applied = Wal.replay db "app.wal" in
       ...
     ]} *)
 
 type t
 
-val attach : Db.t -> string -> t
+val attach : ?storage:Storage.t -> ?sync:bool -> Db.t -> string -> t
 (** Install journaling on the database, appending to (or creating) the log
-    file.  Mutations outside any transaction are logged as single-entry
-    batches; transactional mutations buffer until the outermost commit and
-    are dropped on abort (inner aborts drop only their own entries).
+    file through [storage] (default {!Storage.unix}).  Mutations outside
+    any transaction are logged as single-entry batches; transactional
+    mutations buffer until the outermost commit and are dropped on abort
+    (inner aborts drop only their own entries).
+
+    Attaching to an existing log validates the magic line and repairs the
+    tail: a torn or corrupt final batch is truncated away so later appends
+    stay reachable by replay.  With [~sync:false] batches are flushed but
+    not fsynced — faster, but a crash may lose recently committed work.
+    @raise Errors.Parse_error when the file exists, is non-empty and does
+    not start with a known magic line.
     @raise Errors.Transaction_error when a journal is already attached or a
     transaction is open. *)
 
 val detach : t -> unit
-(** Flush, close and uninstall.  Idempotent. *)
+(** Flush, (when [sync]) fsync, close and uninstall.  Idempotent. *)
 
 val checkpoint : t -> snapshot:string -> unit
-(** Atomically save a {!Persist} snapshot and truncate the log. *)
+(** Save a {!Persist} snapshot and rotate the log, each step crash-atomic:
+    the snapshot records [walseq] before the old log is replaced through a
+    temp file + rename, so whichever pair of files a crash leaves behind
+    recovers to exactly the checkpointed state (no lost batch, no batch
+    applied twice).  The sequence numbering continues across the rotation.
+    @raise Errors.Transaction_error on a detached journal. *)
 
 val batches_written : t -> int
+(** Batches durably written by this journal — counted only after the batch
+    has been flushed (and fsynced, when [sync]). *)
+
 val entries_written : t -> int
 
-val replay : Db.t -> string -> int
-(** Apply all complete batches from the log to [db]; returns how many were
-    applied.  A truncated final batch is silently discarded.  A missing
-    file counts as an empty log.
-    @raise Errors.Parse_error on structurally corrupt entries
+val replay : ?storage:Storage.t -> Db.t -> string -> int
+(** Apply the committed batches from the log to [db]; returns how many were
+    applied.  Batches already contained in a loaded snapshot (sequence
+    number at or below the snapshot's [walseq]) are skipped.  Replay stops
+    cleanly at the first torn or corrupt batch — bad checksum, broken
+    framing, an undecodable entry — discarding it and everything after it;
+    corruption never raises.  A missing file counts as an empty log.
+    Recovery counters (batches replayed/discarded, checksum failures) land
+    in {!Db.stats}.
     @raise Errors.No_such_class when the log references unregistered
     classes. *)

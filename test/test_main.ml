@@ -10,6 +10,7 @@ let () =
       ("query-parser", Test_query_parser.suite);
       ("persist", Test_persist.suite);
       ("wal", Test_wal.suite);
+      ("crash", Test_crash.suite);
       ("evolution", Test_evolution.suite);
       ("gc", Test_gc.suite);
       ("session", Test_session.suite);

@@ -129,6 +129,33 @@ let test_save_load_file () =
       Alcotest.check value "file roundtrip" (Value.Str "ann")
         (Db.get db2 e1 "name"))
 
+let test_save_atomic_and_tmp_cleanup () =
+  let module Mem = Oodb.Storage.Mem in
+  let fs = Mem.create () in
+  let storage = Mem.storage fs in
+  let db, e1, _, _ = populated_db () in
+  Persist.save ~storage db "store.db";
+  Alcotest.(check (list string)) "a clean save leaves only the target"
+    [ "store.db" ] (Mem.files fs);
+  (* a save that fails mid-serialization must unlink its temp file and
+     leave the previous snapshot untouched *)
+  let before = Mem.contents fs "store.db" in
+  Mem.fail_writes fs 99;
+  (match Persist.save ~storage db "store.db" with
+  | () -> Alcotest.fail "expected the injected failure to escape"
+  | exception Errors.Io_error _ -> ());
+  Mem.clear_faults fs;
+  Alcotest.(check (list string)) "failed save leaves no temp file"
+    [ "store.db" ] (Mem.files fs);
+  Alcotest.(check string) "previous snapshot untouched" before
+    (Mem.contents fs "store.db");
+  let db2 = Db.create () in
+  Workloads.Payroll.install db2;
+  let _sys2 = System.create db2 in
+  Persist.load ~storage db2 "store.db";
+  Alcotest.check value "old snapshot still loads" (Value.Str "ann")
+    (Db.get db2 e1 "name")
+
 (* Property: a store with random employees roundtrips attribute-exactly. *)
 let prop_db_roundtrip =
   QCheck_alcotest.to_alcotest
@@ -159,5 +186,6 @@ let suite =
     test "serialization is a fixpoint" test_roundtrip_is_fixpoint;
     test "load error handling" test_load_errors;
     test "save/load via file" test_save_load_file;
+    test "atomic save cleans up its temp file" test_save_atomic_and_tmp_cleanup;
     prop_db_roundtrip;
   ]

@@ -189,6 +189,172 @@ let test_missing_log_is_empty () =
   Alcotest.(check int) "no file, no batches" 0
     (Wal.replay db "/nonexistent/definitely_missing.wal")
 
+let test_attach_validates_magic () =
+  with_tmp (fun bad ->
+      with_tmp (fun good ->
+          Out_channel.with_open_bin bad (fun oc ->
+              Out_channel.output_string oc "NOT A WAL FILE\njunk\n");
+          let db = fresh_db () in
+          (match Wal.attach db bad with
+          | exception Errors.Parse_error _ -> ()
+          | _ -> Alcotest.fail "expected Parse_error on foreign magic");
+          (* the failed attach must not leave a journal installed *)
+          let wal = Wal.attach db good in
+          Wal.detach wal))
+
+let test_v1_log_compatible () =
+  with_tmp (fun path ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc
+            "SENTINELWAL 1\nB\nc 1 employee name=s:a salary=f:0x1p0\nE\nB\ns 1 salary f:0x1p3\nE\n");
+      let db2, applied = recover path in
+      Alcotest.(check int) "both v1 batches" 2 applied;
+      Alcotest.check value "v1 state" (Value.Float 8.)
+        (Db.get db2 (Oid.of_int 1) "salary");
+      (* appending to a v1 log keeps it replayable end to end *)
+      let wal = Wal.attach db2 path in
+      Db.set db2 (Oid.of_int 1) "salary" (Value.Float 9.);
+      Wal.detach wal;
+      let db3, applied3 = recover path in
+      Alcotest.(check int) "appended batch replays" 3 applied3;
+      Alcotest.check value "appended state" (Value.Float 9.)
+        (Db.get db3 (Oid.of_int 1) "salary"))
+
+let test_bitflip_tail_discarded () =
+  with_tmp (fun path ->
+      let db = fresh_db () in
+      let wal = Wal.attach db path in
+      let e = new_employee db ~salary:1. in
+      Db.set db e "salary" (Value.Float 2.);
+      Db.set db e "salary" (Value.Float 3.);
+      Wal.detach wal;
+      (* flip a byte inside the last batch's payload *)
+      let data = In_channel.with_open_bin path In_channel.input_all in
+      let b = Bytes.of_string data in
+      let i = String.rindex data 'f' in
+      Bytes.set b i 'g';
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc b);
+      let db2 = fresh_db () in
+      let applied = Wal.replay db2 path in
+      Alcotest.(check int) "stops before the corrupt batch" 2 applied;
+      Alcotest.check value "state at last good batch" (Value.Float 2.)
+        (Db.get db2 e "salary");
+      Alcotest.(check int) "checksum failure counted" 1
+        (Db.stats db2).Oodb.Types.wal_checksum_failures;
+      Alcotest.(check int) "discard counted" 1
+        (Db.stats db2).Oodb.Types.wal_batches_discarded)
+
+let test_counters_only_after_durable_write () =
+  let fs = Oodb.Storage.Mem.create () in
+  let storage = Oodb.Storage.Mem.storage fs in
+  let db = fresh_db () in
+  let wal = Wal.attach ~storage db "log.wal" in
+  (* exhaust the bounded retry: the write fails for good *)
+  Oodb.Storage.Mem.fail_writes fs 99;
+  (match new_employee db with
+  | exception Errors.Io_error _ -> ()
+  | _ -> Alcotest.fail "expected Io_error once retries are exhausted");
+  Alcotest.(check int) "no batch counted" 0 (Wal.batches_written wal);
+  Alcotest.(check int) "no entries counted" 0 (Wal.entries_written wal);
+  Oodb.Storage.Mem.clear_faults fs;
+  (* a transient fault within the retry budget recovers and counts once *)
+  Oodb.Storage.Mem.fail_writes fs 2;
+  let e = new_employee db ~salary:3. in
+  Alcotest.(check int) "one durable batch" 1 (Wal.batches_written wal);
+  Wal.detach wal;
+  (* a detached journal never moves its counters again *)
+  ignore (new_employee db);
+  Alcotest.(check int) "frozen after detach" 1 (Wal.batches_written wal);
+  let db2 = fresh_db () in
+  let applied = Wal.replay ~storage db2 "log.wal" in
+  Alcotest.(check int) "the durable batch replays" 1 applied;
+  Alcotest.check value "its state" (Value.Float 3.) (Db.get db2 e "salary")
+
+let test_nested_inner_abort_outer_commit () =
+  with_tmp (fun path ->
+      let db = fresh_db () in
+      let wal = Wal.attach db path in
+      let e = new_employee db ~salary:1. in
+      Transaction.begin_ db;
+      Db.set db e "salary" (Value.Float 2.);
+      Transaction.begin_ db;
+      ignore (new_employee db ~name:"ghost");
+      Db.set db e "salary" (Value.Float 3.);
+      Transaction.abort db;
+      Db.set db e "income" (Value.Float 4.);
+      Transaction.commit db;
+      Wal.detach wal;
+      let db2, applied = recover path in
+      Alcotest.(check int) "create + the outer batch" 2 applied;
+      Oodb.Verify.check_exn ~quiescent:true db2;
+      Alcotest.check value "outer write survived" (Value.Float 2.)
+        (Db.get db2 e "salary");
+      Alcotest.check value "post-abort write survived" (Value.Float 4.)
+        (Db.get db2 e "income");
+      Alcotest.(check bool) "states equal" true (snapshot db = snapshot db2))
+
+let test_nested_inner_commit_outer_abort () =
+  with_tmp (fun path ->
+      let db = fresh_db () in
+      let wal = Wal.attach db path in
+      let e = new_employee db ~salary:1. in
+      Transaction.begin_ db;
+      Transaction.begin_ db;
+      Db.set db e "salary" (Value.Float 5.);
+      Transaction.commit db; (* folds into the doomed outer transaction *)
+      Transaction.abort db;
+      Wal.detach wal;
+      Alcotest.(check int) "only the create hit the log" 1
+        (Wal.batches_written wal);
+      let db2, applied = recover path in
+      Alcotest.(check int) "one batch" 1 applied;
+      Oodb.Verify.check_exn ~quiescent:true db2;
+      Alcotest.check value "inner commit dropped with the outer abort"
+        (Value.Float 1.) (Db.get db2 e "salary");
+      Alcotest.(check bool) "states equal" true (snapshot db = snapshot db2))
+
+let test_autocommit_interleaved_with_nested () =
+  with_tmp (fun path ->
+      let db = fresh_db () in
+      let wal = Wal.attach db path in
+      let e = new_employee db ~salary:1. in
+      Transaction.begin_ db;
+      Db.set db e "salary" (Value.Float 2.);
+      Transaction.begin_ db;
+      Db.set db e "income" (Value.Float 3.);
+      Transaction.commit db;
+      Transaction.commit db;
+      Db.set db e "salary" (Value.Float 4.); (* autocommit between txns *)
+      Transaction.begin_ db;
+      Db.set db e "income" (Value.Float 9.);
+      Transaction.abort db;
+      Db.set db e "income" (Value.Float 5.); (* autocommit after abort *)
+      Wal.detach wal;
+      let db2, applied = recover path in
+      Alcotest.(check int) "create, outer, two autocommits" 4 applied;
+      Oodb.Verify.check_exn ~quiescent:true db2;
+      Alcotest.check value "final salary" (Value.Float 4.)
+        (Db.get db2 e "salary");
+      Alcotest.check value "final income" (Value.Float 5.)
+        (Db.get db2 e "income");
+      Alcotest.(check bool) "states equal" true (snapshot db = snapshot db2))
+
+let test_sys_stats_mirror_recovery_counters () =
+  with_tmp (fun path ->
+      let src = fresh_db () in
+      let wal = Wal.attach src path in
+      ignore (new_employee src);
+      Wal.detach wal;
+      let db = employee_db () in
+      let sys = System.create db in
+      let applied = Wal.replay db path in
+      Alcotest.(check int) "applied" 1 applied;
+      let s = System.stats sys in
+      Alcotest.(check int) "mirrored into sys stats" 1
+        s.System.wal_batches_replayed;
+      Alcotest.(check bool) "fsyncs counted on the source store" true
+        ((Db.stats src).Oodb.Types.wal_fsyncs > 0))
+
 (* Property: for random committed workloads, replaying the WAL into a fresh
    database reproduces the exact observable state. *)
 let prop_replay_equals_original =
@@ -246,5 +412,17 @@ let suite =
     test "rule abort keeps log clean" test_rule_abort_keeps_log_clean;
     test "attach misuse" test_attach_misuse;
     test "missing log is empty" test_missing_log_is_empty;
+    test "attach validates magic" test_attach_validates_magic;
+    test "v1 logs stay readable" test_v1_log_compatible;
+    test "bit-flipped tail discarded" test_bitflip_tail_discarded;
+    test "counters move only after durable writes"
+      test_counters_only_after_durable_write;
+    test "nested: inner abort inside outer commit"
+      test_nested_inner_abort_outer_commit;
+    test "nested: inner commit inside outer abort"
+      test_nested_inner_commit_outer_abort;
+    test "nested: autocommit interleaved" test_autocommit_interleaved_with_nested;
+    test "system stats mirror recovery counters"
+      test_sys_stats_mirror_recovery_counters;
     prop_replay_equals_original;
   ]
