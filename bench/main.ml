@@ -14,6 +14,7 @@ module Expr = Events.Expr
 module Detector = Events.Detector
 module Context = Events.Context
 module System = Sentinel.System
+module Error_policy = Sentinel.Error_policy
 module Prng = Workloads.Prng
 open Bench_util
 
@@ -994,6 +995,107 @@ let e_recovery () =
   close_out oc;
   row "  wrote BENCH_recovery.json\n"
 
+(* ------------------------------------------------------------------------- *)
+(* E-containment: fault injection — throughput with 0/1/10% failing rules     *)
+(* ------------------------------------------------------------------------- *)
+
+(* 100 class-level rules share every event; a fraction of them have actions
+   that always raise.  Under [Contain] every failure is absorbed and
+   dead-lettered, so the failure overhead is paid on every event; under
+   [Quarantine 3] the breakers trip after 3 failures each and throughput
+   recovers to near the healthy baseline.  Both routings, so containment
+   cost is visible relative to each delivery path. *)
+let e_containment () =
+  header "E-containment: fault-injected rule execution, 100 shared rules";
+  (* BENCH_SMOKE: CI-sized run *)
+  let n_updates =
+    match Sys.getenv_opt "BENCH_SMOKE" with Some _ -> 500 | None -> 5_000
+  in
+  let n_rules = 100 in
+  let run routing policy bad_pct =
+    let db = Db.create () in
+    Workloads.Payroll.install db;
+    let sys = System.create ~routing ~retry_backoff:(fun _ -> ()) db in
+    System.register_action sys "noop" (fun _ _ -> ());
+    System.register_action sys "explode" (fun _ _ -> failwith "boom");
+    let n_bad = n_rules * bad_pct / 100 in
+    for i = 1 to n_rules do
+      ignore
+        (System.create_rule sys
+           ~name:(Printf.sprintf "r-%d" i)
+           ~policy ~monitor_classes:[ "employee" ]
+           ~event:(Expr.eom ~cls:"employee" "set_salary")
+           ~condition:"true"
+           ~action:(if i <= n_bad then "explode" else "noop")
+           ())
+    done;
+    let rng = Prng.create 42 in
+    let pop = Workloads.Payroll.populate db rng ~managers:10 ~employees:90 in
+    let objs = Array.append pop.managers pop.employees in
+    System.reset_stats sys;
+    let (), ms =
+      time_ms (fun () ->
+          for _ = 1 to n_updates do
+            ignore
+              (Db.send db (Prng.choice rng objs) "set_salary"
+                 [ Value.Float 1. ])
+          done)
+    in
+    let s = System.stats sys in
+    ( float_of_int n_updates /. (ms /. 1000.),
+      s.System.contained_failures,
+      s.System.quarantined_rules,
+      s.System.dead_letters )
+  in
+  let configs =
+    [
+      (System.Indexed, "indexed"); (System.Broadcast, "broadcast");
+    ]
+  and policies =
+    [
+      (Error_policy.Contain, "contain");
+      (Error_policy.Quarantine 3, "quarantine:3");
+    ]
+  and pcts = [ 0; 1; 10 ] in
+  row "  %9s  %13s  %5s  %12s  %10s  %12s  %8s\n" "routing" "policy" "bad%"
+    "events/s" "contained" "quarantined" "queued";
+  let rows =
+    List.concat_map
+      (fun (routing, rname) ->
+        List.concat_map
+          (fun (policy, pname) ->
+            List.map
+              (fun pct ->
+                let eps, contained, quarantined, queued =
+                  run routing policy pct
+                in
+                row "  %9s  %13s  %4d%%  %12.0f  %10d  %12d  %8d\n" rname
+                  pname pct eps contained quarantined queued;
+                (rname, pname, pct, eps, contained, quarantined, queued))
+              pcts)
+          policies)
+      configs
+  in
+  let oc = open_out "BENCH_containment.json" in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"E-containment\",\n  \"updates\": %d,\n  \
+     \"rules\": %d,\n  \"workload\": \"payroll set_salary; all rules share \
+     every event; bad%% of rules have always-raising actions\",\n  \"rows\": \
+     [\n"
+    n_updates n_rules;
+  List.iteri
+    (fun i (rname, pname, pct, eps, contained, quarantined, queued) ->
+      Printf.fprintf oc
+        "    {\"routing\": \"%s\", \"policy\": \"%s\", \"failing_pct\": %d, \
+         \"events_per_sec\": %.0f, \"contained_failures\": %d, \
+         \"quarantined_rules\": %d, \"dead_letters\": %d}%s\n"
+        rname pname pct eps contained quarantined queued
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  row "  wrote BENCH_containment.json\n"
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
@@ -1001,6 +1103,7 @@ let experiments =
     ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
     ("routing", e_routing);
     ("recovery", e_recovery);
+    ("containment", e_containment);
   ]
 
 let () =

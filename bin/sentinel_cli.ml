@@ -108,13 +108,17 @@ let cmd_inspect path =
       let r = System.rule_info sys oid in
       Printf.printf
         "  rule %-20s %s  coupling=%s context=%s priority=%d enabled=%b \
-         fired=%d\n"
+         fired=%d policy=%s%s\n"
         r.Sentinel.Rule.name
         (Events.Expr.to_string r.Sentinel.Rule.event)
         (Sentinel.Coupling.to_string r.Sentinel.Rule.coupling)
         (Events.Context.to_string (Sentinel.Rule.context r))
-        r.Sentinel.Rule.priority r.Sentinel.Rule.enabled r.Sentinel.Rule.fired)
-    (System.rules sys)
+        r.Sentinel.Rule.priority r.Sentinel.Rule.enabled r.Sentinel.Rule.fired
+        (Sentinel.Error_policy.to_string r.Sentinel.Rule.policy)
+        (if r.Sentinel.Rule.quarantined then " QUARANTINED" else ""))
+    (System.rules sys);
+  let dls = System.dead_letters sys in
+  if dls <> [] then Printf.printf "  %d dead letter(s) queued\n" (List.length dls)
 
 let cmd_demo scenario =
   let _db, _sys, fired = run_scenario scenario ~seed:42 ~objects:50 ~ops:2000 in
@@ -209,6 +213,63 @@ let cmd_verify path =
     Printf.printf "%s: %d problem(s)\n" path (List.length problems);
     List.iter (fun p -> print_endline ("  " ^ p)) problems;
     exit 1
+
+(* Dead-letter queue maintenance: failed firings contained by a rule's
+   error policy wait in the store as __dead_letter objects until an
+   operator lists, replays, or purges them. *)
+let cmd_dlq path action =
+  let db, sys = load_store path in
+  match action with
+  | "list" ->
+    let dls = System.dead_letters sys in
+    Printf.printf "%s: %d dead letter(s)\n" path (List.length dls);
+    List.iter
+      (fun dl ->
+        let get a = Db.get db dl a in
+        Printf.printf "  %s rule=%s attempts=%d at=%d error=%s\n"
+          (Oodb.Oid.to_string dl)
+          (Value.to_str (get Sentinel.Sentinel_classes.a_name))
+          (Value.to_int (get Sentinel.Sentinel_classes.a_attempts))
+          (Value.to_int (get Sentinel.Sentinel_classes.a_at))
+          (Value.to_str (get Sentinel.Sentinel_classes.a_error));
+        Printf.printf "    instance %s\n"
+          (Value.to_str (get Sentinel.Sentinel_classes.a_instance)))
+      dls
+  | "replay" ->
+    let dls = System.dead_letters sys in
+    let ok = ref 0 and failed = ref 0 in
+    List.iter
+      (fun dl ->
+        match System.replay_dead_letter sys dl with
+        | Ok () -> incr ok
+        | Error e ->
+          incr failed;
+          Printf.printf "  %s still failing: %s\n" (Oodb.Oid.to_string dl)
+            (Printexc.to_string e))
+      dls;
+    Printf.printf "replayed %d dead letter(s): %d succeeded, %d still failing\n"
+      (List.length dls) !ok !failed;
+    Oodb.Persist.save db path;
+    Printf.printf "saved %s\n" path;
+    if !failed > 0 then exit 1
+  | "purge" ->
+    let n = System.purge_dead_letters sys in
+    Oodb.Persist.save db path;
+    Printf.printf "purged %d dead letter(s); saved %s\n" n path
+  | other ->
+    Printf.eprintf "dlq action %S? (list|replay|purge)\n" other;
+    exit 2
+
+let cmd_reinstate path rule_name =
+  let db, sys = load_store path in
+  match System.find_rule sys rule_name with
+  | None ->
+    Printf.eprintf "%s: no rule named %S\n" path rule_name;
+    exit 1
+  | Some oid ->
+    System.reinstate sys oid;
+    Oodb.Persist.save db path;
+    Printf.printf "rule %s reinstated; saved %s\n" rule_name path
 
 let cmd_analyze path dot =
   let _db, sys = load_store path in
@@ -343,13 +404,36 @@ let analyze_cmd =
        ~doc:"Static triggering-graph analysis of a store's rules.")
     Term.(const cmd_analyze $ path_arg $ dot_arg)
 
+let dlq_cmd =
+  let action_arg =
+    Arg.(value & pos 1 string "list" & info [] ~docv:"ACTION"
+         ~doc:"$(b,list), $(b,replay) or $(b,purge).")
+  in
+  Cmd.v
+    (Cmd.info "dlq"
+       ~doc:
+         "Inspect, replay or purge the dead-letter queue of contained \
+          failed rule firings.")
+    Term.(const cmd_dlq $ path_arg $ action_arg)
+
+let reinstate_cmd =
+  let rule_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"RULE")
+  in
+  Cmd.v
+    (Cmd.info "reinstate"
+       ~doc:
+         "Close a quarantined rule's circuit breaker and put it back in \
+          service.")
+    Term.(const cmd_reinstate $ path_arg $ rule_arg)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "sentinel-cli" ~version:"1.0.0"
        ~doc:"Sentinel active object-oriented database, command-line driver.")
     [
       generate_cmd; inspect_cmd; demo_cmd; scenarios_cmd; rules_cmd;
-      compare_cmd; query_cmd; verify_cmd; analyze_cmd;
+      compare_cmd; query_cmd; verify_cmd; analyze_cmd; dlq_cmd; reinstate_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

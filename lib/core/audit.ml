@@ -5,6 +5,8 @@ type outcome = System.execution_outcome =
   | Condition_false
   | Aborted of string
   | Action_error of exn
+  | Contained of exn
+  | Quarantined of exn
 
 type entry = {
   e_rule : Oid.t;
@@ -30,6 +32,8 @@ let outcome_strings = function
   | Condition_false -> ("condition-false", "")
   | Aborted msg -> ("aborted", msg)
   | Action_error e -> ("error", Printexc.to_string e)
+  | Contained e -> ("contained", Printexc.to_string e)
+  | Quarantined e -> ("quarantined", Printexc.to_string e)
 
 let record t rule (inst : Detector.instance) outcome =
   t.total <- t.total + 1;

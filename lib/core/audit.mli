@@ -6,7 +6,8 @@ open Import
     history of rule firings.  An attached audit keeps
 
     - an {e in-memory} chronological log of every execution attempt
-      (fired / condition-false / aborted / errored), bounded by [limit];
+      (fired / condition-false / aborted / errored / contained /
+      quarantined), bounded by [limit];
     - optionally ([persist]), a stored ["__firing"] object per successful
       firing, created in the triggering transaction — so the durable audit
       reflects exactly the committed history (an aborted transaction takes
@@ -19,6 +20,8 @@ type outcome = System.execution_outcome =
   | Condition_false
   | Aborted of string
   | Action_error of exn
+  | Contained of exn  (** failure absorbed by the rule's error policy *)
+  | Quarantined of exn  (** as [Contained], and the circuit breaker tripped *)
 
 type entry = {
   e_rule : Oid.t;

@@ -1,0 +1,22 @@
+type t = Propagate | Contain | Quarantine of int
+
+let to_string = function
+  | Propagate -> "propagate"
+  | Contain -> "contain"
+  | Quarantine n -> Printf.sprintf "quarantine:%d" n
+
+let of_string s =
+  match s with
+  | "propagate" -> Propagate
+  | "contain" -> Contain
+  | _ -> (
+    match String.index_opt s ':' with
+    | Some i when String.sub s 0 i = "quarantine" -> (
+      let arg = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt arg with
+      | Some n when n > 0 -> Quarantine n
+      | _ ->
+        raise (Oodb.Errors.Parse_error ("bad quarantine threshold: " ^ arg)))
+    | _ -> raise (Oodb.Errors.Parse_error ("unknown error policy: " ^ s)))
+
+let pp ppf p = Format.pp_print_string ppf (to_string p)

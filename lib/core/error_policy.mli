@@ -1,0 +1,35 @@
+(** Per-rule error policy: what a failing condition or action does to the
+    rest of the system.
+
+    The policy is a persistent attribute of the rule object (it survives
+    save/load/rehydrate) and governs {e unexpected} exceptions only — an
+    action raising {!Oodb.Errors.Rule_abort} is an intentional abort of the
+    triggering transaction and always propagates, whatever the policy.
+
+    - {!Propagate} — the historical behaviour and the default: the
+      exception escapes the rule layer.  Under immediate coupling it aborts
+      the user's method call; under deferred coupling it aborts the
+      committing transaction (discarding the rest of the deferred batch);
+      under detached coupling it is recorded in the system failure log.
+    - {!Contain} — the exception is caught at the firing boundary, recorded
+      in the failure log and the persistent dead-letter queue, and
+      execution continues: the host transaction, the remaining firings of a
+      deferred batch, and the other rules sharing the triggering event are
+      unaffected.
+    - [Quarantine n] — {!Contain} plus a circuit breaker: after [n]
+      {e consecutive} failed firings the rule is automatically taken out of
+      service (it no longer receives events) until an operator closes the
+      breaker with {!System.reinstate}.  A successful firing resets the
+      streak. *)
+
+type t = Propagate | Contain | Quarantine of int
+
+val to_string : t -> string
+(** ["propagate"], ["contain"], ["quarantine:<n>"] — the persistent
+    encoding stored on rule objects. *)
+
+val of_string : string -> t
+(** @raise Oodb.Errors.Parse_error on unknown policies or a non-positive
+    quarantine threshold. *)
+
+val pp : Format.formatter -> t -> unit

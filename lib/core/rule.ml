@@ -12,13 +12,17 @@ type t = {
   mutable coupling : Coupling.t;
   mutable priority : int;
   mutable enabled : bool;
+  mutable policy : Error_policy.t;
+  mutable max_retries : int;
+  mutable failure_streak : int;
+  mutable quarantined : bool;
   mutable fired : int;
   mutable triggered : int;
   recorder : Notifiable.t;
 }
 
 let make ~oid ~name ~event ~context ~subsumes ~coupling ~priority ~enabled
-    ~condition_name ~condition ~action_name ~action ~fire =
+    ~policy ~max_retries ~condition_name ~condition ~action_name ~action ~fire =
   (* The detector's signal callback must reach the rule record that owns the
      detector; tie the knot through a cell. *)
   let cell = ref None in
@@ -43,6 +47,10 @@ let make ~oid ~name ~event ~context ~subsumes ~coupling ~priority ~enabled
       coupling;
       priority;
       enabled;
+      policy;
+      max_retries;
+      failure_streak = 0;
+      quarantined = false;
       fired = 0;
       triggered = 0;
       recorder = Notifiable.create ();
@@ -52,7 +60,7 @@ let make ~oid ~name ~event ~context ~subsumes ~coupling ~priority ~enabled
   rule
 
 let deliver rule occ =
-  if rule.enabled then begin
+  if rule.enabled && not rule.quarantined then begin
     Notifiable.record rule.recorder occ;
     Detector.feed rule.detector occ
   end

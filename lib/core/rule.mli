@@ -23,6 +23,15 @@ type t = {
   mutable coupling : Coupling.t;
   mutable priority : int;
   mutable enabled : bool;
+  mutable policy : Error_policy.t;
+      (** what a failing condition/action does; see {!Error_policy} *)
+  mutable max_retries : int;
+      (** detached coupling only: re-attempts after a failed firing *)
+  mutable failure_streak : int;
+      (** consecutive failed firings; feeds the [Quarantine] breaker *)
+  mutable quarantined : bool;
+      (** breaker open: the rule receives no events until
+          {!System.reinstate} *)
   mutable fired : int;  (** times the action ran *)
   mutable triggered : int;  (** times the event was detected *)
   recorder : Notifiable.t;
@@ -37,6 +46,8 @@ val make :
   coupling:Coupling.t ->
   priority:int ->
   enabled:bool ->
+  policy:Error_policy.t ->
+  max_retries:int ->
   condition_name:string ->
   condition:Function_registry.condition ->
   action_name:string ->
@@ -48,7 +59,8 @@ val make :
 
 val deliver : t -> Occurrence.t -> unit
 (** Offer one primitive occurrence: recorded and fed to the detector when
-    the rule is enabled; ignored otherwise (a disabled rule neither records
-    nor detects — paper §4.4). *)
+    the rule is enabled and not quarantined; ignored otherwise (a disabled
+    rule neither records nor detects — paper §4.4 — and a quarantined rule
+    behaves the same until reinstated). *)
 
 val context : t -> Context.t

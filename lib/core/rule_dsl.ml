@@ -14,6 +14,8 @@ type block = {
   b_context : Context.t;
   b_priority : int;
   b_enabled : bool;
+  b_policy : Error_policy.t;
+  b_max_retries : int;
   b_monitor_classes : string list;
   b_monitor_objects : Oid.t list;
 }
@@ -52,6 +54,8 @@ let parse_blocks text =
               b_context = Context.Recent;
               b_priority = 0;
               b_enabled = true;
+              b_policy = Error_policy.Propagate;
+              b_max_retries = 0;
               b_monitor_classes = [];
               b_monitor_objects = [];
             },
@@ -99,6 +103,27 @@ let parse_blocks text =
           | Some p -> update lineno (fun b -> { b with b_priority = p })
           | None -> fail lineno "bad priority %S" rest)
         | "disabled" -> update lineno (fun b -> { b with b_enabled = false })
+        | "on-error" -> (
+          let kind, arg = split_head rest in
+          match (kind, arg) with
+          | "propagate", "" ->
+            update lineno (fun b -> { b with b_policy = Error_policy.Propagate })
+          | "contain", "" ->
+            update lineno (fun b -> { b with b_policy = Error_policy.Contain })
+          | "quarantine", n -> (
+            match int_of_string_opt n with
+            | Some n when n > 0 ->
+              update lineno (fun b ->
+                  { b with b_policy = Error_policy.Quarantine n })
+            | _ -> fail lineno "bad quarantine threshold %S" n)
+          | _ ->
+            fail lineno
+              "on-error what? %S (propagate|contain|quarantine N)" rest)
+        | "retries" -> (
+          match int_of_string_opt rest with
+          | Some n when n >= 0 ->
+            update lineno (fun b -> { b with b_max_retries = n })
+          | _ -> fail lineno "bad retries %S" rest)
         | "monitor" -> (
           let kind, target = split_head rest in
           match kind with
@@ -127,6 +152,7 @@ let parse_blocks text =
 let create_block sys b =
   System.create_rule sys ~name:b.b_name ~coupling:b.b_coupling
     ~context:b.b_context ~priority:b.b_priority ~enabled:b.b_enabled
+    ~policy:b.b_policy ~max_retries:b.b_max_retries
     ~monitor:b.b_monitor_objects ~monitor_classes:b.b_monitor_classes
     ~event:b.b_event ~condition:b.b_condition ~action:b.b_action ()
 
@@ -158,6 +184,11 @@ let render sys oid =
   line "context %s" (Context.to_string (Rule.context info));
   if info.Rule.priority <> 0 then line "priority %d" info.Rule.priority;
   if not info.Rule.enabled then line "disabled";
+  (match info.Rule.policy with
+  | Error_policy.Propagate -> ()
+  | Error_policy.Contain -> line "on-error contain"
+  | Error_policy.Quarantine n -> line "on-error quarantine %d" n);
+  if info.Rule.max_retries <> 0 then line "retries %d" info.Rule.max_retries;
   List.iter
     (fun cls ->
       if List.exists (Oid.equal oid) (Db.class_consumers_of db cls) then

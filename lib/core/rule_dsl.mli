@@ -26,7 +26,12 @@ open Import
     [context] and [priority] default like {!System.create_rule}; a
     [disabled] line creates the rule disabled.  [on] uses the
     {!Events.Parser} expression syntax.  Condition and action names must be
-    registered with the system before loading. *)
+    registered with the system before loading.
+
+    Error containment (see {!Error_policy}): an
+    [on-error propagate|contain|quarantine N] line sets the rule's error
+    policy (default [propagate]), and [retries N] bounds re-attempts of
+    failed detached firings (default 0). *)
 
 val load_string : System.t -> string -> Oid.t list
 (** Parse and create every rule block; returns the new rule objects in

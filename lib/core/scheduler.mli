@@ -4,7 +4,13 @@
     strategies to be pluggable "without modifications to application code";
     a strategy here is a pure ordering over the set of rule firings queued
     for the same execution point (the deferred queue at commit, and the
-    detached queue after commit). *)
+    detached queue after commit).
+
+    An ordered batch runs front to back; whether a failing firing takes the
+    rest of the batch down depends on the failing rule's {!Error_policy}: a
+    [Propagate] failure aborts the surrounding transaction (later firings
+    die with it), while [Contain]/[Quarantine] failures are absorbed by
+    {!System} and the batch continues in order. *)
 
 type strategy =
   | Fifo  (** detection order *)

@@ -12,6 +12,7 @@
     paper's Figure 3). *)
 
 module Coupling = Coupling
+module Error_policy = Error_policy
 module Function_registry = Function_registry
 module Notifiable = Notifiable
 module Scheduler = Scheduler

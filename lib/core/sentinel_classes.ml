@@ -3,6 +3,7 @@ open Import
 let notifiable_class = "__notifiable"
 let event_class = "__event"
 let rule_class = "__rule"
+let dead_letter_class = "__dead_letter"
 let a_name = "name"
 let a_event = "event"
 let a_event_ref = "event_ref"
@@ -13,6 +14,15 @@ let a_context = "context"
 let a_priority = "priority"
 let a_enabled = "enabled"
 let a_fired = "fired"
+let a_policy = "error_policy"
+let a_max_retries = "max_retries"
+let a_failure_streak = "failure_streak"
+let a_quarantined = "quarantined"
+let a_rule = "rule"
+let a_instance = "instance"
+let a_error = "error"
+let a_attempts = "attempts"
+let a_at = "at"
 
 let install db =
   if not (Db.has_class db notifiable_class) then begin
@@ -42,10 +52,26 @@ let install db =
              (a_priority, Value.Int 0);
              (a_enabled, Value.Bool true);
              (a_fired, Value.Int 0);
+             (a_policy, Value.Str (Error_policy.to_string Error_policy.Propagate));
+             (a_max_retries, Value.Int 0);
+             (a_failure_streak, Value.Int 0);
+             (a_quarantined, Value.Bool false);
            ]
          ~methods:
            [ ("enable", set_enabled true); ("disable", set_enabled false) ]
          ~events:[ ("enable", Oodb.Schema.On_end); ("disable", Oodb.Schema.On_end) ]);
+    (* Failed firings contained by a rule's error policy (see System). *)
+    Db.define_class db
+      (Oodb.Schema.define dead_letter_class
+         ~attrs:
+           [
+             (a_rule, Value.Null);
+             (a_name, Value.Str "");
+             (a_instance, Value.Str "");
+             (a_error, Value.Str "");
+             (a_attempts, Value.Int 0);
+             (a_at, Value.Int 0);
+           ]);
     (* Committed rule-firing audit records (see Audit). *)
     Db.define_class db
       (Oodb.Schema.define "__firing"

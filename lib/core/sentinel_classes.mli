@@ -19,8 +19,12 @@ val event_class : string
 val rule_class : string
 (** ["__rule"], subclass of notifiable *)
 
+val dead_letter_class : string
+(** ["__dead_letter"]: a failed firing contained by a rule's error policy
+    (see {!System}).  Not notifiable — dead letters are inert records. *)
+
 val install : Db.t -> unit
-(** Register the three classes; idempotent. *)
+(** Register the classes; idempotent. *)
 
 (** {1 Attribute names of rule objects} *)
 
@@ -39,3 +43,32 @@ val a_context : string
 val a_priority : string
 val a_enabled : string
 val a_fired : string
+
+val a_policy : string
+(** encoded {!Error_policy} ({!Error_policy.to_string}) *)
+
+val a_max_retries : string
+(** bounded re-attempts for failing detached firings *)
+
+val a_failure_streak : string
+(** consecutive failed firings — the circuit-breaker state *)
+
+val a_quarantined : string
+(** breaker open: set when a [Quarantine n] rule trips *)
+
+(** {1 Attribute names of dead-letter objects} *)
+
+val a_rule : string
+(** OID of the failing rule *)
+
+val a_instance : string
+(** the triggering composite-event instance, {!Events.Codec.encode_instance} *)
+
+val a_error : string
+(** printed exception *)
+
+val a_attempts : string
+(** execution attempts so far (initial firing + retries + replays) *)
+
+val a_at : string
+(** logical detection time of the failed firing *)

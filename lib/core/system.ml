@@ -15,6 +15,10 @@ type sys_stats = {
   mutable wal_batches_discarded : int;
   mutable wal_checksum_failures : int;
   mutable wal_fsyncs : int;
+  mutable contained_failures : int;
+  mutable quarantined_rules : int;
+  mutable dead_letters : int;
+  mutable retries : int;
 }
 
 type t = {
@@ -30,7 +34,16 @@ type t = {
   mutable pending_txn : int option;
   mutable pending_hooked : bool;
   mutable seq : int;
-  mutable failures : (string * exn) list; (* newest first *)
+  (* Capped ring buffer of execution failures (detached and contained),
+     written at [failure_next]; [failure_stored] <= capacity. *)
+  failure_log : (string * exn) array;
+  mutable failure_next : int;
+  mutable failure_stored : int;
+  (* Dead-letter OIDs, newest first; mirrors the __dead_letter extent (see
+     [dead_letters] for how divergence after aborts is reconciled). *)
+  mutable dlq : Oid.t list;
+  dead_letter_limit : int;
+  retry_backoff : int -> unit;
   mutable execution_hook :
     (Rule.t -> Detector.instance -> execution_outcome -> unit) option;
   sys_stats : sys_stats;
@@ -44,6 +57,8 @@ and execution_outcome =
   | Condition_false
   | Aborted of string
   | Action_error of exn
+  | Contained of exn
+  | Quarantined of exn
 
 let db t = t.sys_db
 let registry t = t.sys_registry
@@ -53,12 +68,41 @@ let register_action ?may_send t name f =
   Function_registry.register_action ?may_send t.sys_registry name f
 let strategy t = t.sys_strategy
 let set_strategy t s = t.sys_strategy <- s
-let detached_failures t = List.rev t.failures
+
+(* --- failure ring buffer -------------------------------------------------- *)
+
+let log_failure t name e =
+  let cap = Array.length t.failure_log in
+  if cap > 0 then begin
+    t.failure_log.(t.failure_next) <- (name, e);
+    t.failure_next <- (t.failure_next + 1) mod cap;
+    if t.failure_stored < cap then t.failure_stored <- t.failure_stored + 1
+  end
+
+let recent_failures t =
+  let cap = Array.length t.failure_log in
+  List.init t.failure_stored (fun i ->
+      t.failure_log.((t.failure_next - 1 - i + (2 * cap)) mod cap))
+
+let detached_failures t = List.rev (recent_failures t)
 let set_execution_hook t hook = t.execution_hook <- Some hook
 let clear_execution_hook t = t.execution_hook <- None
 
 let routing t = match t.sys_route with Some _ -> Indexed | None -> Broadcast
 let route_index t = t.sys_route
+
+(* Oldest first.  The cache can briefly hold OIDs whose creating transaction
+   aborted (the dead letter died with it); filtering on existence here
+   reconciles the cache with the committed extent. *)
+let dead_letters t =
+  t.dlq <- List.filter (Db.exists t.sys_db) t.dlq;
+  List.rev t.dlq
+
+let quarantined_rules t =
+  Oid.Table.fold
+    (fun oid r acc -> if r.Rule.quarantined then oid :: acc else acc)
+    t.rule_table []
+  |> List.sort Oid.compare
 
 let stats t =
   (match t.sys_route with
@@ -77,6 +121,9 @@ let stats t =
   s.wal_batches_discarded <- d.Oodb.Types.wal_batches_discarded;
   s.wal_checksum_failures <- d.Oodb.Types.wal_checksum_failures;
   s.wal_fsyncs <- d.Oodb.Types.wal_fsyncs;
+  (* Containment gauges are derived from live state the same way. *)
+  s.quarantined_rules <- List.length (quarantined_rules t);
+  s.dead_letters <- List.length (dead_letters t);
   t.sys_stats
 
 let reset_stats t =
@@ -92,6 +139,10 @@ let reset_stats t =
   s.wal_batches_discarded <- 0;
   s.wal_checksum_failures <- 0;
   s.wal_fsyncs <- 0;
+  s.contained_failures <- 0;
+  s.quarantined_rules <- 0;
+  s.dead_letters <- 0;
+  s.retries <- 0;
   Db.reset_stats t.sys_db;
   match t.sys_route with
   | Some route -> Route.reset_counters route
@@ -105,49 +156,200 @@ let subsumes_of db ~sub ~super =
      && Db.has_class db super
      && Oodb.Schema.is_subclass db ~sub ~super
 
-(* --- execution ----------------------------------------------------------- *)
+(* --- delivery registration ------------------------------------------------ *)
 
-let execute t rule inst =
-  if rule.Rule.enabled && Db.exists t.sys_db rule.oid then begin
-    if t.depth >= t.cascade_limit then
-      raise
-        (Errors.Rule_abort
-           (Printf.sprintf "rule cascade exceeded limit %d (at rule %S)"
-              t.cascade_limit rule.name));
-    t.depth <- t.depth + 1;
-    Fun.protect
-      ~finally:(fun () -> t.depth <- t.depth - 1)
-      (fun () ->
-        let report outcome =
-          match t.execution_hook with
-          | Some hook -> hook rule inst outcome
-          | None -> ()
-        in
-        t.sys_stats.conditions_checked <- t.sys_stats.conditions_checked + 1;
-        if rule.condition t.sys_db inst then begin
-          t.sys_stats.actions_executed <- t.sys_stats.actions_executed + 1;
-          rule.fired <- rule.fired + 1;
-          (* Keep the persistent firing counter in step when the rule object
-             still has the attribute (it always does unless deleted). *)
-          Db.set t.sys_db rule.oid C.a_fired (Value.Int rule.fired);
-          match rule.action t.sys_db inst with
-          | () -> report Fired
-          | exception (Errors.Rule_abort msg as e) ->
-            t.sys_stats.rule_aborts <- t.sys_stats.rule_aborts + 1;
-            report (Aborted msg);
-            raise e
-          | exception e ->
-            report (Action_error e);
-            raise e
-        end
-        else report Condition_false)
+(* Indexed mode: put the rule's detector leaves in the shared index.  The
+   guard covers rules whose object vanished underneath the runtime (deleted
+   mid-flight, or creation rolled back); enable/disable and the quarantine
+   breaker register and unregister outright so out-of-service rules are not
+   even probed. *)
+let register_rule t rule =
+  match t.sys_route with
+  | None -> ()
+  | Some route ->
+    if rule.Rule.enabled && not rule.Rule.quarantined then begin
+      let oid = rule.Rule.oid in
+      Route.register route ~consumer:oid
+        ~guard:(fun () ->
+          rule.Rule.enabled && (not rule.Rule.quarantined)
+          && Db.exists t.sys_db oid)
+        ~on_receive:(fun occ ->
+          t.sys_stats.dispatched <- t.sys_stats.dispatched + 1;
+          Notifiable.record rule.Rule.recorder occ)
+        rule.Rule.detector
+    end
+
+let unregister_rule t oid =
+  match t.sys_route with
+  | None -> ()
+  | Some route -> Route.unregister route oid
+
+(* --- fault containment ---------------------------------------------------- *)
+
+let report t rule inst outcome =
+  match t.execution_hook with
+  | Some hook -> hook rule inst outcome
+  | None -> ()
+
+(* Append to the bounded persistent dead-letter queue, evicting the oldest
+   entries beyond the cap.  Inside a transaction the dead letter commits (or
+   dies) with its host — the durable queue reflects committed history only,
+   like the audit trail; detached failures append post-abort, outside any
+   transaction, and are durable at once. *)
+let append_dead_letter t rule inst e ~attempts =
+  let db = t.sys_db in
+  let keep = t.dead_letter_limit - 1 in
+  if List.length t.dlq > keep then begin
+    let doomed = List.filteri (fun i _ -> i >= keep) t.dlq in
+    t.dlq <- List.filteri (fun i _ -> i < keep) t.dlq;
+    List.iter
+      (fun o -> if Db.exists db o then Db.delete_object db o)
+      doomed
+  end;
+  let dl =
+    Db.new_object db C.dead_letter_class
+      ~attrs:
+        [
+          (C.a_rule, Value.Obj rule.Rule.oid);
+          (C.a_name, Value.Str rule.Rule.name);
+          (C.a_instance, Value.Str (Codec.encode_instance inst));
+          (C.a_error, Value.Str (Printexc.to_string e));
+          (C.a_attempts, Value.Int attempts);
+          (C.a_at, Value.Int inst.Detector.t_end);
+        ]
+  in
+  t.dlq <- dl :: t.dlq
+
+let note_success t rule =
+  if rule.Rule.failure_streak <> 0 then begin
+    rule.Rule.failure_streak <- 0;
+    if Db.exists t.sys_db rule.Rule.oid then
+      Db.set t.sys_db rule.Rule.oid C.a_failure_streak (Value.Int 0)
   end
 
-let run_detached t rule inst =
-  match Transaction.atomically t.sys_db (fun () -> execute t rule inst) with
-  | Ok () -> ()
-  | Error e -> t.failures <- (rule.Rule.name, e) :: t.failures
+let trip_breaker t rule =
+  rule.Rule.quarantined <- true;
+  unregister_rule t rule.Rule.oid;
+  if Db.exists t.sys_db rule.Rule.oid then
+    Db.set t.sys_db rule.Rule.oid C.a_quarantined (Value.Bool true)
 
+(* A firing failed and the rule's policy contains it: log, dead-letter,
+   advance the breaker, and report the containment decision to the hook. *)
+let contain_failure t rule inst e ~attempts =
+  log_failure t rule.Rule.name e;
+  t.sys_stats.contained_failures <- t.sys_stats.contained_failures + 1;
+  rule.Rule.failure_streak <- rule.Rule.failure_streak + 1;
+  if Db.exists t.sys_db rule.Rule.oid then
+    Db.set t.sys_db rule.Rule.oid C.a_failure_streak
+      (Value.Int rule.Rule.failure_streak);
+  append_dead_letter t rule inst e ~attempts;
+  match rule.Rule.policy with
+  | Error_policy.Quarantine n when rule.Rule.failure_streak >= n ->
+    trip_breaker t rule;
+    report t rule inst (Quarantined e)
+  | _ -> report t rule inst (Contained e)
+
+(* --- execution ----------------------------------------------------------- *)
+
+(* Condition + action with no enabled/quarantine gates: the shared body of
+   gated execution and dead-letter replay.  Reports Fired / Condition_false
+   / Aborted itself; a generic exception escapes unreported — the caller's
+   policy layer decides whether it is an Action_error (propagated),
+   Contained or Quarantined. *)
+let execute_body t rule inst =
+  if t.depth >= t.cascade_limit then
+    raise
+      (Errors.Rule_abort
+         (Printf.sprintf "rule cascade exceeded limit %d (at rule %S)"
+            t.cascade_limit rule.Rule.name));
+  t.depth <- t.depth + 1;
+  Fun.protect
+    ~finally:(fun () -> t.depth <- t.depth - 1)
+    (fun () ->
+      t.sys_stats.conditions_checked <- t.sys_stats.conditions_checked + 1;
+      if rule.Rule.condition t.sys_db inst then begin
+        t.sys_stats.actions_executed <- t.sys_stats.actions_executed + 1;
+        rule.Rule.fired <- rule.Rule.fired + 1;
+        (* Keep the persistent firing counter in step.  The existence guard
+           matters: the condition just ran arbitrary code that may have
+           deleted the rule object (even the rule deleting itself). *)
+        if Db.exists t.sys_db rule.Rule.oid then
+          Db.set t.sys_db rule.Rule.oid C.a_fired (Value.Int rule.Rule.fired);
+        match rule.Rule.action t.sys_db inst with
+        | () -> report t rule inst Fired; note_success t rule
+        | exception (Errors.Rule_abort msg as e) ->
+          t.sys_stats.rule_aborts <- t.sys_stats.rule_aborts + 1;
+          report t rule inst (Aborted msg);
+          raise e
+      end
+      else begin
+        report t rule inst Condition_false;
+        note_success t rule
+      end)
+
+(* Immediate/deferred entry point: gates, then the rule's error policy.
+   Rule_abort is an intentional abort and always propagates. *)
+let execute t rule inst =
+  if
+    rule.Rule.enabled
+    && (not rule.Rule.quarantined)
+    && Db.exists t.sys_db rule.Rule.oid
+  then begin
+    match execute_body t rule inst with
+    | () -> ()
+    | exception (Errors.Rule_abort _ as e) -> raise e
+    | exception e -> (
+      match rule.Rule.policy with
+      | Error_policy.Propagate ->
+        report t rule inst (Action_error e);
+        raise e
+      | Error_policy.Contain | Error_policy.Quarantine _ ->
+        contain_failure t rule inst e ~attempts:1)
+  end
+
+(* Detached entry point: each attempt runs in its own transaction; a failed
+   attempt (the transaction aborted) is retried up to the rule's bounded
+   retry budget with backoff between attempts, then handed to the error
+   policy.  Detached failures never propagate to the application — there is
+   no caller left to propagate to — so Propagate degenerates to logging, the
+   pre-containment behaviour. *)
+let run_detached t rule inst =
+  if
+    rule.Rule.enabled
+    && (not rule.Rule.quarantined)
+    && Db.exists t.sys_db rule.Rule.oid
+  then begin
+    let max_attempts = 1 + max 0 rule.Rule.max_retries in
+    let rec go attempt =
+      match
+        Transaction.atomically t.sys_db (fun () -> execute_body t rule inst)
+      with
+      | Ok () -> ()
+      | Error (Errors.Rule_abort _ as e) ->
+        (* The action aborted its own detached transaction on purpose; not a
+           fault, so no retry, no dead letter, no breaker. *)
+        log_failure t rule.Rule.name e
+      | Error e ->
+        if attempt < max_attempts then begin
+          t.sys_stats.retries <- t.sys_stats.retries + 1;
+          t.retry_backoff attempt;
+          go (attempt + 1)
+        end
+        else begin
+          match rule.Rule.policy with
+          | Error_policy.Propagate ->
+            log_failure t rule.Rule.name e;
+            report t rule inst (Action_error e)
+          | Error_policy.Contain | Error_policy.Quarantine _ ->
+            contain_failure t rule inst e ~attempts:max_attempts
+        end
+    in
+    go 1
+  end
+
+(* An ordered deferred batch keeps going past contained failures: only a
+   propagated exception (or Rule_abort) escapes [execute] and takes the
+   remaining firings down with the aborting transaction. *)
 let rec drain_pending t =
   match t.pending with
   | [] -> ()
@@ -198,29 +400,14 @@ let dispatch t _db ~consumer occ =
     | Some handler -> handler occ
     | None -> () (* stale subscription; ignore *))
 
-(* Indexed mode: put the rule's detector leaves in the shared index.  The
-   guard covers rules whose object vanished underneath the runtime (deleted
-   mid-flight, or creation rolled back); enable/disable register and
-   unregister outright so disabled rules are not even probed. *)
-let register_rule t rule =
-  match t.sys_route with
-  | None -> ()
-  | Some route ->
-    let oid = rule.Rule.oid in
-    Route.register route ~consumer:oid
-      ~guard:(fun () -> rule.Rule.enabled && Db.exists t.sys_db oid)
-      ~on_receive:(fun occ ->
-        t.sys_stats.dispatched <- t.sys_stats.dispatched + 1;
-        Notifiable.record rule.Rule.recorder occ)
-      rule.Rule.detector
-
-let unregister_rule t oid =
-  match t.sys_route with
-  | None -> ()
-  | Some route -> Route.unregister route oid
+(* Exponential backoff between detached retry attempts: 2ms, 4ms, 8ms, ...
+   capped at ~128ms.  Overridable (e.g. to a no-op) for tests and benches. *)
+let default_retry_backoff attempt =
+  Unix.sleepf (0.001 *. float_of_int (1 lsl min attempt 7))
 
 let create ?(strategy = Scheduler.default) ?(cascade_limit = 64)
-    ?(routing = Indexed) db =
+    ?(routing = Indexed) ?(failure_log_limit = 128) ?(dead_letter_limit = 256)
+    ?(retry_backoff = default_retry_backoff) db =
   C.install db;
   let t =
     {
@@ -235,7 +422,12 @@ let create ?(strategy = Scheduler.default) ?(cascade_limit = 64)
       pending_txn = None;
       pending_hooked = false;
       seq = 0;
-      failures = [];
+      failure_log = Array.make (max 0 failure_log_limit) ("", Not_found);
+      failure_next = 0;
+      failure_stored = 0;
+      dlq = [];
+      dead_letter_limit = max 1 dead_letter_limit;
+      retry_backoff;
       execution_hook = None;
       sys_stats =
         {
@@ -250,6 +442,10 @@ let create ?(strategy = Scheduler.default) ?(cascade_limit = 64)
           wal_batches_discarded = 0;
           wal_checksum_failures = 0;
           wal_fsyncs = 0;
+          contained_failures = 0;
+          quarantined_rules = 0;
+          dead_letters = 0;
+          retries = 0;
         };
       sys_route =
         (match routing with
@@ -257,6 +453,9 @@ let create ?(strategy = Scheduler.default) ?(cascade_limit = 64)
         | Broadcast -> None);
     }
   in
+  (* On a reloaded store, adopt whatever dead letters survive from earlier
+     runs (newest first, matching append order). *)
+  t.dlq <- List.rev (List.sort Oid.compare (Db.extent db C.dead_letter_class));
   Db.set_notify db (dispatch t);
   (match t.sys_route with
   | Some route -> Db.set_route db (Some (fun _db o occ -> Route.deliver route o occ))
@@ -277,25 +476,25 @@ let event_expr t oid =
 (* --- rules ---------------------------------------------------------------- *)
 
 let build_runtime t ~oid ~name ~event ~context ~coupling ~priority ~enabled
-    ~condition_name ~action_name =
+    ~policy ~max_retries ~condition_name ~action_name =
   let condition = Function_registry.find_condition t.sys_registry condition_name in
   let action = Function_registry.find_action t.sys_registry action_name in
   let rule =
     Rule.make ~oid ~name ~event ~context
       ~subsumes:(fun ~sub ~super -> subsumes_of t.sys_db ~sub ~super)
-      ~coupling ~priority ~enabled ~condition_name ~condition ~action_name
-      ~action ~fire:(fire t)
+      ~coupling ~priority ~enabled ~policy ~max_retries ~condition_name
+      ~condition ~action_name ~action ~fire:(fire t)
   in
   Oid.Table.replace t.rule_table oid rule;
-  if enabled then register_rule t rule;
+  register_rule t rule;
   rule
 
 let fresh_rule_name t = Printf.sprintf "rule-%d" (Oid.Table.length t.rule_table + 1)
 
 let create_rule_common t ?name ?(coupling = Coupling.Immediate)
     ?(context = Context.Recent) ?(priority = 0) ?(enabled = true)
-    ?(monitor = []) ?(monitor_classes = []) ~event ~event_ref ~condition ~action
-    () =
+    ?(policy = Error_policy.Propagate) ?(max_retries = 0) ?(monitor = [])
+    ?(monitor_classes = []) ~event ~event_ref ~condition ~action () =
   let name = match name with Some n -> n | None -> fresh_rule_name t in
   (* Fail on unknown functions before creating the object. *)
   let (_ : Function_registry.condition) =
@@ -318,25 +517,31 @@ let create_rule_common t ?name ?(coupling = Coupling.Immediate)
           (C.a_priority, Value.Int priority);
           (C.a_enabled, Value.Bool enabled);
           (C.a_fired, Value.Int 0);
+          (C.a_policy, Value.Str (Error_policy.to_string policy));
+          (C.a_max_retries, Value.Int max_retries);
+          (C.a_failure_streak, Value.Int 0);
+          (C.a_quarantined, Value.Bool false);
         ]
   in
   ignore
     (build_runtime t ~oid ~name ~event ~context ~coupling ~priority ~enabled
-       ~condition_name:condition ~action_name:action);
+       ~policy ~max_retries ~condition_name:condition ~action_name:action);
   List.iter (fun target -> Db.subscribe t.sys_db ~reactive:target ~consumer:oid) monitor;
   List.iter (fun cls -> Db.subscribe_class t.sys_db ~cls ~consumer:oid) monitor_classes;
   oid
 
-let create_rule t ?name ?coupling ?context ?priority ?enabled ?monitor
-    ?monitor_classes ~event ~condition ~action () =
-  create_rule_common t ?name ?coupling ?context ?priority ?enabled ?monitor
-    ?monitor_classes ~event ~event_ref:None ~condition ~action ()
+let create_rule t ?name ?coupling ?context ?priority ?enabled ?policy
+    ?max_retries ?monitor ?monitor_classes ~event ~condition ~action () =
+  create_rule_common t ?name ?coupling ?context ?priority ?enabled ?policy
+    ?max_retries ?monitor ?monitor_classes ~event ~event_ref:None ~condition
+    ~action ()
 
-let create_rule_on t ?name ?coupling ?context ?priority ?enabled ?monitor
-    ?monitor_classes ~event_obj ~condition ~action () =
+let create_rule_on t ?name ?coupling ?context ?priority ?enabled ?policy
+    ?max_retries ?monitor ?monitor_classes ~event_obj ~condition ~action () =
   let event = event_expr t event_obj in
-  create_rule_common t ?name ?coupling ?context ?priority ?enabled ?monitor
-    ?monitor_classes ~event ~event_ref:(Some event_obj) ~condition ~action ()
+  create_rule_common t ?name ?coupling ?context ?priority ?enabled ?policy
+    ?max_retries ?monitor ?monitor_classes ~event ~event_ref:(Some event_obj)
+    ~condition ~action ()
 
 let rule_info t oid =
   match Oid.Table.find_opt t.rule_table oid with
@@ -370,6 +575,20 @@ let disable t oid =
   r.Rule.enabled <- false;
   unregister_rule t oid;
   ignore (Db.send t.sys_db oid "disable" [])
+
+(* Close a tripped circuit breaker: the operator has (presumably) fixed the
+   underlying fault.  Clears the streak so the rule gets a full [Quarantine n]
+   budget again.  A no-op for rules that are not quarantined beyond resetting
+   the streak. *)
+let reinstate t oid =
+  let r = rule_info t oid in
+  r.Rule.quarantined <- false;
+  r.Rule.failure_streak <- 0;
+  if Db.exists t.sys_db oid then begin
+    Db.set t.sys_db oid C.a_quarantined (Value.Bool false);
+    Db.set t.sys_db oid C.a_failure_streak (Value.Int 0)
+  end;
+  register_rule t r
 
 let set_priority t oid p =
   let r = rule_info t oid in
@@ -406,6 +625,48 @@ let find_rule t name =
       t.rule_table []
   in
   match List.sort Oid.compare found with [] -> None | oid :: _ -> Some oid
+
+(* --- dead-letter operations ------------------------------------------------ *)
+
+(* Re-run a failed firing in its own transaction.  Deliberately bypasses the
+   enabled/quarantine gates: replay is an operator action, and draining the
+   queue of a quarantined rule (after fixing its action) is exactly the
+   workflow the breaker exists to support. *)
+let replay_dead_letter t dl =
+  if not (Db.is_instance_of t.sys_db dl C.dead_letter_class) then
+    Errors.type_error "%s is not a dead letter" (Oid.to_string dl);
+  let rule_oid =
+    match Db.get t.sys_db dl C.a_rule with
+    | Value.Obj o -> o
+    | _ -> Errors.type_error "dead letter %s has no rule" (Oid.to_string dl)
+  in
+  match Oid.Table.find_opt t.rule_table rule_oid with
+  | None ->
+    Error
+      (Errors.Type_error
+         (Printf.sprintf "rule %s of dead letter %s has no runtime (deleted?)"
+            (Oid.to_string rule_oid) (Oid.to_string dl)))
+  | Some rule -> (
+    let inst =
+      Codec.decode_instance (Value.to_str (Db.get t.sys_db dl C.a_instance))
+    in
+    match
+      Transaction.atomically t.sys_db (fun () -> execute_body t rule inst)
+    with
+    | Ok () ->
+      t.dlq <- List.filter (fun o -> not (Oid.equal o dl)) t.dlq;
+      if Db.exists t.sys_db dl then Db.delete_object t.sys_db dl;
+      Ok ()
+    | Error e ->
+      let attempts = Value.to_int (Db.get t.sys_db dl C.a_attempts) in
+      Db.set t.sys_db dl C.a_attempts (Value.Int (attempts + 1));
+      Error e)
+
+let purge_dead_letters t =
+  let all = dead_letters t in
+  List.iter (Db.delete_object t.sys_db) all;
+  t.dlq <- [];
+  List.length all
 
 (* --- ad-hoc notifiables ---------------------------------------------------- *)
 
@@ -450,6 +711,14 @@ let rehydrate t =
   let restore oid =
     if not (Oid.Table.mem t.rule_table oid) then begin
       let get a = Db.get t.sys_db oid a in
+      (* Containment attrs default when absent: stores written before the
+         error-policy layer existed rehydrate as Propagate rules. *)
+      let get_or a d =
+        match Db.get_opt t.sys_db oid a with Some v -> v | None -> d
+      in
+      let quarantined =
+        Value.to_bool (get_or C.a_quarantined (Value.Bool false))
+      in
       let rule =
         build_runtime t ~oid
           ~name:(Value.to_str (get C.a_name))
@@ -458,10 +727,25 @@ let rehydrate t =
           ~coupling:(Coupling.of_string (Value.to_str (get C.a_coupling)))
           ~priority:(Value.to_int (get C.a_priority))
           ~enabled:(Value.to_bool (get C.a_enabled))
+          ~policy:
+            (Error_policy.of_string
+               (Value.to_str (get_or C.a_policy (Value.Str "propagate"))))
+          ~max_retries:(Value.to_int (get_or C.a_max_retries (Value.Int 0)))
           ~condition_name:(Value.to_str (get C.a_condition))
           ~action_name:(Value.to_str (get C.a_action))
       in
-      rule.Rule.fired <- Value.to_int (get C.a_fired)
+      rule.Rule.fired <- Value.to_int (get C.a_fired);
+      rule.Rule.failure_streak <-
+        Value.to_int (get_or C.a_failure_streak (Value.Int 0));
+      if quarantined then begin
+        (* build_runtime registered the rule before we knew it was tripped;
+           set the breaker and take it back out of the index. *)
+        rule.Rule.quarantined <- true;
+        unregister_rule t oid
+      end
     end
   in
-  List.iter restore (Db.extent t.sys_db C.rule_class)
+  List.iter restore (Db.extent t.sys_db C.rule_class);
+  (* Adopt dead letters persisted by earlier runs (newest first). *)
+  t.dlq <-
+    List.rev (List.sort Oid.compare (Db.extent t.sys_db C.dead_letter_class))

@@ -23,6 +23,14 @@ type execution_outcome =
   | Condition_false
   | Aborted of string  (** the action raised [Rule_abort] *)
   | Action_error of exn
+      (** the action raised and the rule's policy is [Propagate] *)
+  | Contained of exn
+      (** the action raised; the failure was contained (dead-lettered) and
+          execution of the surrounding batch/transaction continued *)
+  | Quarantined of exn
+      (** as [Contained], and this failure tripped the rule's [Quarantine]
+          circuit breaker: the rule is now out of service until
+          {!reinstate} *)
 
 type routing =
   | Indexed
@@ -52,19 +60,34 @@ type sys_stats = {
   mutable wal_checksum_failures : int;
       (** recovery: batches rejected by the CRC-32 check *)
   mutable wal_fsyncs : int;  (** durability: fsyncs issued by WAL/snapshot *)
+  mutable contained_failures : int;
+      (** failed firings absorbed by a [Contain]/[Quarantine] policy *)
+  mutable quarantined_rules : int;
+      (** rules currently out of service with a tripped breaker (gauge) *)
+  mutable dead_letters : int;  (** dead letters currently queued (gauge) *)
+  mutable retries : int;  (** detached re-attempts after a failed attempt *)
 }
 
 val create :
   ?strategy:Scheduler.strategy ->
   ?cascade_limit:int ->
   ?routing:routing ->
+  ?failure_log_limit:int ->
+  ?dead_letter_limit:int ->
+  ?retry_backoff:(int -> unit) ->
   Db.t ->
   t
 (** [cascade_limit] (default 64) bounds immediate-rule recursion depth:
     actions that send messages can trigger further rules; exceeding the
     limit raises {!Errors.Rule_abort}.  [routing] (default {!Indexed})
     selects the event-delivery path; see {!routing} and
-    [test/test_differential.ml] for the equivalence the two paths keep. *)
+    [test/test_differential.ml] for the equivalence the two paths keep.
+    [failure_log_limit] (default 128) caps the in-memory failure ring
+    buffer behind {!recent_failures}; [dead_letter_limit] (default 256,
+    minimum 1) caps the persistent dead-letter queue, evicting oldest
+    first.  [retry_backoff] is called between detached retry attempts with
+    the 1-based attempt number just failed; the default sleeps
+    exponentially from 2ms — pass [(fun _ -> ())] in tests. *)
 
 val routing : t -> routing
 
@@ -103,6 +126,8 @@ val create_rule :
   ?context:Context.t ->
   ?priority:int ->
   ?enabled:bool ->
+  ?policy:Error_policy.t ->
+  ?max_retries:int ->
   ?monitor:Oid.t list ->
   ?monitor_classes:string list ->
   event:Expr.t ->
@@ -115,7 +140,10 @@ val create_rule :
     rule to specific reactive instances and [monitor_classes] to whole
     classes; both can also be done later with {!subscribe} /
     {!subscribe_class}.  Higher [priority] (default 0) runs first under the
-    priority strategies. *)
+    priority strategies.  [policy] (default {!Error_policy.Propagate})
+    governs what a failed firing does to its surroundings — see
+    {!Error_policy}; [max_retries] (default 0) bounds re-attempts of failed
+    detached firings. *)
 
 val create_rule_on :
   t ->
@@ -124,6 +152,8 @@ val create_rule_on :
   ?context:Context.t ->
   ?priority:int ->
   ?enabled:bool ->
+  ?policy:Error_policy.t ->
+  ?max_retries:int ->
   ?monitor:Oid.t list ->
   ?monitor_classes:string list ->
   event_obj:Oid.t ->
@@ -143,6 +173,13 @@ val enable : t -> Oid.t -> unit
 val disable : t -> Oid.t -> unit
 (** A disabled rule neither records nor detects; partial detector state is
     kept and detection resumes on {!enable}. *)
+
+val reinstate : t -> Oid.t -> unit
+(** Close a tripped [Quarantine] circuit breaker: clear the quarantine flag
+    and failure streak (in memory and on the rule object) and put the rule
+    back in service.  The breaker only opens again after a fresh run of [n]
+    consecutive failures.  Harmless on rules that are not quarantined.
+    @raise Errors.Type_error for OIDs without a rule runtime. *)
 
 val delete_rule : t -> Oid.t -> unit
 (** Remove the rule object and its runtime.  Stale subscriptions pointing at
@@ -195,8 +232,37 @@ val rehydrate : t -> unit
 val strategy : t -> Scheduler.strategy
 val set_strategy : t -> Scheduler.strategy -> unit
 
+(** {1 Failures, quarantine and the dead-letter queue} *)
+
+val recent_failures : t -> (string * exn) list
+(** The in-memory failure log — (rule name, exception) for detached
+    executions whose own transaction failed and for contained failures —
+    newest first.  A bounded ring buffer ([failure_log_limit]); older
+    entries are overwritten. *)
+
 val detached_failures : t -> (string * exn) list
-(** Detached executions whose own transaction failed, oldest first. *)
+(** {!recent_failures}, oldest first (the pre-containment accessor). *)
+
+val quarantined_rules : t -> Oid.t list
+(** Rules currently out of service with a tripped circuit breaker. *)
+
+val dead_letters : t -> Oid.t list
+(** The persistent dead-letter queue, oldest first: one [__dead_letter]
+    object per contained failed firing, recording the rule, the encoded
+    triggering instance ({!Events.Codec.encode_instance}), the printed
+    exception, the attempt count and the detection time (see
+    {!Sentinel_classes}). *)
+
+val replay_dead_letter : t -> Oid.t -> (unit, exn) result
+(** Re-run a dead letter's firing in its own transaction, bypassing the
+    enabled/quarantine gates (replay is an operator action).  On success the
+    dead letter is deleted; on failure its attempt count is bumped and the
+    raised exception returned.  [Error] is also returned when the rule's
+    runtime is gone (rule deleted, or not yet {!rehydrate}d).
+    @raise Errors.Type_error when the OID is not a dead letter. *)
+
+val purge_dead_letters : t -> int
+(** Drop every queued dead letter; returns how many were deleted. *)
 
 val set_execution_hook :
   t -> (Rule.t -> Events.Detector.instance -> execution_outcome -> unit) -> unit

@@ -220,3 +220,88 @@ let decode input =
     if !pos <> n then raise (Bad "trailing garbage");
     e
   with Bad msg -> raise (Errors.Parse_error (Printf.sprintf "expr %S: %s" input msg))
+
+(* --- occurrences and detected instances ----------------------------------
+
+   Dead-letter objects persist the composite-event instance that triggered
+   the failed firing so it can be replayed after a reload.  Same escaping
+   discipline as expressions: every free-form field is %XX-escaped, so
+   [,()|] never appear raw and the frames split on single characters.
+
+     occ  ::= occ(<mod>,<cls>,<meth>,<oid>,<at>,<param>;<param>...)
+     inst ::= inst(<t_start>,<t_end>,<occ>|<occ>...)                        *)
+
+let encode_occurrence (o : Occurrence.t) =
+  let params =
+    List.map (fun v -> escape (Oodb.Persist.encode_value v)) o.params
+    |> String.concat ";"
+  in
+  Printf.sprintf "occ(%s,%s,%s,%d,%d,%s)"
+    (Occurrence.modifier_to_string o.modifier)
+    (escape o.source_class) (escape o.meth)
+    (Oid.to_int o.source) o.at params
+
+let occ_error input msg =
+  raise (Errors.Parse_error (Printf.sprintf "occurrence %S: %s" input msg))
+
+let decode_occurrence input =
+  let n = String.length input in
+  let inner =
+    if n >= 5 && String.sub input 0 4 = "occ(" && input.[n - 1] = ')' then
+      String.sub input 4 (n - 5)
+    else occ_error input "missing occ(...) frame"
+  in
+  match String.split_on_char ',' inner with
+  | [ m; cls; meth; source; at; params ] ->
+    let int_field what s =
+      match int_of_string_opt s with
+      | Some v -> v
+      | None -> occ_error input (Printf.sprintf "bad %s: %S" what s)
+    in
+    Occurrence.make
+      ~modifier:(Occurrence.modifier_of_string m)
+      ~source_class:(unescape cls) ~meth:(unescape meth)
+      ~source:(Oid.of_int (int_field "oid" source))
+      ~at:(int_field "timestamp" at)
+      ~params:
+        (if params = "" then []
+         else
+           String.split_on_char ';' params
+           |> List.map (fun p -> Oodb.Persist.decode_value (unescape p)))
+  | _ -> occ_error input "expected 6 fields"
+
+let encode_instance (i : Detector.instance) =
+  Printf.sprintf "inst(%d,%d,%s)" i.t_start i.t_end
+    (String.concat "|" (List.map encode_occurrence i.constituents))
+
+let decode_instance input =
+  let fail msg =
+    raise (Errors.Parse_error (Printf.sprintf "instance %S: %s" input msg))
+  in
+  let n = String.length input in
+  let inner =
+    if n >= 7 && String.sub input 0 5 = "inst(" && input.[n - 1] = ')' then
+      String.sub input 5 (n - 6)
+    else fail "missing inst(...) frame"
+  in
+  let int_field what s =
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> fail (Printf.sprintf "bad %s: %S" what s)
+  in
+  match String.index_opt inner ',' with
+  | None -> fail "missing t_start"
+  | Some i1 -> (
+    match String.index_from_opt inner (i1 + 1) ',' with
+    | None -> fail "missing t_end"
+    | Some i2 ->
+      let t_start = int_field "t_start" (String.sub inner 0 i1) in
+      let t_end =
+        int_field "t_end" (String.sub inner (i1 + 1) (i2 - i1 - 1))
+      in
+      let rest = String.sub inner (i2 + 1) (String.length inner - i2 - 1) in
+      let constituents =
+        if rest = "" then []
+        else String.split_on_char '|' rest |> List.map decode_occurrence
+      in
+      { Detector.constituents; t_start; t_end })

@@ -10,3 +10,19 @@ val encode : Expr.t -> string
 
 val decode : string -> Expr.t
 (** @raise Oodb.Errors.Parse_error on malformed input. *)
+
+(** {1 Occurrences and detected instances}
+
+    The rule layer's dead-letter queue persists the composite-event
+    instance that triggered a failed firing, so the firing can be replayed
+    after a reload.  [decode_occurrence (encode_occurrence o)] is
+    {!Oodb.Occurrence.equal} to [o], and likewise for instances
+    field-by-field. *)
+
+val encode_occurrence : Oodb.Occurrence.t -> string
+val decode_occurrence : string -> Oodb.Occurrence.t
+(** @raise Oodb.Errors.Parse_error on malformed input. *)
+
+val encode_instance : Detector.instance -> string
+val decode_instance : string -> Detector.instance
+(** @raise Oodb.Errors.Parse_error on malformed input. *)

@@ -1,0 +1,434 @@
+open Helpers
+module Coupling = Sentinel.Coupling
+module Rule = Sentinel.Rule
+module Error_policy = Sentinel.Error_policy
+module Audit = Sentinel.Audit
+module Persist = Oodb.Persist
+module Codec = Events.Codec
+module Occurrence = Oodb.Occurrence
+
+let set_salary db e v = ignore (Db.send db e "set_salary" [ Value.Float v ])
+let salary_event = Expr.eom ~cls:"employee" "set_salary"
+
+(* --- the headline scenario: 100 rules, 10 of them broken ------------------ *)
+
+(* One event shared by 100 class-level rules; 10 have always-raising actions
+   under [Quarantine 3].  Every healthy rule must fire on every event, the
+   broken rules must trip their breakers after exactly 3 failures each, the
+   3 x 10 contained firings must be replayable dead letters, and the host
+   transactions must commit throughout. *)
+let test_blast_radius () =
+  let db = employee_db () in
+  let sys = System.create db in
+  let e = new_employee db in
+  let healthy_runs = ref 0 in
+  let bomb_armed = ref true in
+  System.register_action sys "tick" (fun _ _ -> incr healthy_runs);
+  System.register_action sys "explode" (fun _ _ ->
+      if !bomb_armed then failwith "boom");
+  let bad = ref [] and good = ref [] in
+  for i = 1 to 100 do
+    let broken = i mod 10 = 0 in
+    let oid =
+      System.create_rule sys
+        ~name:(Printf.sprintf "r%03d" i)
+        ~policy:(Error_policy.Quarantine 3) ~monitor_classes:[ "employee" ]
+        ~event:salary_event ~condition:"true"
+        ~action:(if broken then "explode" else "tick")
+        ()
+    in
+    if broken then bad := oid :: !bad else good := oid :: !good
+  done;
+  for ev = 1 to 5 do
+    match
+      Transaction.atomically db (fun () -> set_salary db e (float_of_int ev))
+    with
+    | Ok () -> ()
+    | Error exn ->
+      Alcotest.failf "host transaction %d aborted: %s" ev
+        (Printexc.to_string exn)
+  done;
+  Alcotest.check value "all updates committed" (Value.Float 5.)
+    (Db.get db e "salary");
+  List.iter
+    (fun oid ->
+      let r = System.rule_info sys oid in
+      Alcotest.(check int) "healthy rule saw every event" 5 r.Rule.fired;
+      Alcotest.(check bool) "healthy rule in service" false r.Rule.quarantined)
+    !good;
+  Alcotest.(check int) "healthy actions ran" (90 * 5) !healthy_runs;
+  List.iter
+    (fun oid ->
+      let r = System.rule_info sys oid in
+      Alcotest.(check bool) "bad rule quarantined" true r.Rule.quarantined;
+      Alcotest.(check int) "exactly 3 attempts" 3 r.Rule.fired;
+      Alcotest.(check int) "streak at threshold" 3 r.Rule.failure_streak;
+      Alcotest.check value "breaker state persisted" (Value.Bool true)
+        (Db.get db oid Sentinel.Sentinel_classes.a_quarantined))
+    !bad;
+  Alcotest.(check int) "10 rules out of service" 10
+    (List.length (System.quarantined_rules sys));
+  let dls = System.dead_letters sys in
+  Alcotest.(check int) "30 dead letters" 30 (List.length dls);
+  let s = System.stats sys in
+  Alcotest.(check int) "contained counter" 30 s.System.contained_failures;
+  Alcotest.(check int) "quarantined gauge" 10 s.System.quarantined_rules;
+  Alcotest.(check int) "dead-letter gauge" 30 s.System.dead_letters;
+  (* fix the fault, replay the queue *)
+  bomb_armed := false;
+  List.iter
+    (fun dl ->
+      match System.replay_dead_letter sys dl with
+      | Ok () -> ()
+      | Error exn -> Alcotest.failf "replay failed: %s" (Printexc.to_string exn))
+    dls;
+  Alcotest.(check int) "queue drained" 0 (List.length (System.dead_letters sys));
+  (* reinstate: back in service with a fresh breaker budget *)
+  List.iter (System.reinstate sys) !bad;
+  Alcotest.(check int) "none quarantined" 0
+    (List.length (System.quarantined_rules sys));
+  set_salary db e 6.;
+  List.iter
+    (fun oid ->
+      let r = System.rule_info sys oid in
+      (* 3 original attempts + 3 replays + 1 live firing *)
+      Alcotest.(check int) "reinstated rule fires" 7 r.Rule.fired;
+      Alcotest.(check int) "streak reset" 0 r.Rule.failure_streak)
+    !bad
+
+(* --- deferred batches ------------------------------------------------------ *)
+
+(* Two healthy deferred rules queued behind a failing one (higher priority,
+   so it runs first).  Contained: the rest of the ordered batch still runs
+   and the transaction commits.  Propagate: the batch dies with the
+   transaction, as before. *)
+let deferred_world policy =
+  let db = employee_db () in
+  let sys = System.create db in
+  let e = new_employee db in
+  let log = ref [] in
+  System.register_action sys "explode" (fun _ _ ->
+      log := "bomb" :: !log;
+      failwith "boom");
+  System.register_action sys "note-a" (fun _ _ -> log := "a" :: !log);
+  System.register_action sys "note-b" (fun _ _ -> log := "b" :: !log);
+  let mk name priority action policy =
+    ignore
+      (System.create_rule sys ~name ~priority ~policy
+         ~coupling:Coupling.Deferred ~monitor:[ e ] ~event:salary_event
+         ~condition:"true" ~action ())
+  in
+  mk "bomb" 10 "explode" policy;
+  mk "a" 5 "note-a" Error_policy.Propagate;
+  mk "b" 0 "note-b" Error_policy.Propagate;
+  let result = Transaction.atomically db (fun () -> set_salary db e 1.) in
+  (db, e, result, List.rev !log)
+
+let test_deferred_batch_survives_contained_failure () =
+  let db, e, result, log = deferred_world Error_policy.Contain in
+  (match result with
+  | Ok () -> ()
+  | Error exn -> Alcotest.failf "committed? %s" (Printexc.to_string exn));
+  Alcotest.(check (list string)) "ordered batch completed" [ "bomb"; "a"; "b" ]
+    log;
+  Alcotest.check value "host change committed" (Value.Float 1.)
+    (Db.get db e "salary")
+
+let test_deferred_batch_dies_under_propagate () =
+  let db, e, result, log = deferred_world Error_policy.Propagate in
+  (match result with
+  | Ok () -> Alcotest.fail "transaction should have aborted"
+  | Error (Failure msg) -> Alcotest.(check string) "the bomb" "boom" msg
+  | Error exn -> Alcotest.failf "unexpected: %s" (Printexc.to_string exn));
+  Alcotest.(check (list string)) "batch cut short" [ "bomb" ] log;
+  Alcotest.check value "host change rolled back" (Value.Float 1000.)
+    (Db.get db e "salary")
+
+(* --- detached retry -------------------------------------------------------- *)
+
+let test_detached_retry_until_success () =
+  let db = employee_db () in
+  let backoffs = ref [] in
+  let sys =
+    System.create ~retry_backoff:(fun n -> backoffs := n :: !backoffs) db
+  in
+  let e = new_employee db in
+  let tries = ref 0 in
+  System.register_action sys "flaky" (fun _ _ ->
+      incr tries;
+      if !tries < 3 then failwith "transient");
+  ignore
+    (System.create_rule sys ~name:"flaky" ~coupling:Coupling.Detached
+       ~policy:Error_policy.Contain ~max_retries:3 ~monitor:[ e ]
+       ~event:salary_event ~condition:"true" ~action:"flaky" ());
+  set_salary db e 1.;
+  Alcotest.(check int) "succeeded on third attempt" 3 !tries;
+  Alcotest.(check (list int)) "backoff between attempts" [ 2; 1 ] !backoffs;
+  Alcotest.(check int) "retries counted" 2 (System.stats sys).System.retries;
+  Alcotest.(check int) "no dead letter" 0
+    (List.length (System.dead_letters sys));
+  Alcotest.(check int) "streak clean" 0
+    (System.rule_info sys (Option.get (System.find_rule sys "flaky")))
+      .Rule.failure_streak
+
+let test_detached_retry_exhaustion_dead_letters () =
+  let db = employee_db () in
+  let sys = System.create ~retry_backoff:(fun _ -> ()) db in
+  let e = new_employee db in
+  System.register_action sys "explode" (fun _ _ -> failwith "boom");
+  let rule =
+    System.create_rule sys ~name:"bomb" ~coupling:Coupling.Detached
+      ~policy:Error_policy.Contain ~max_retries:1 ~monitor:[ e ]
+      ~event:salary_event ~condition:"true" ~action:"explode" ()
+  in
+  set_salary db e 1.;
+  Alcotest.(check int) "one retry" 1 (System.stats sys).System.retries;
+  (match System.dead_letters sys with
+  | [ dl ] ->
+    Alcotest.check value "attempts recorded" (Value.Int 2)
+      (Db.get db dl Sentinel.Sentinel_classes.a_attempts);
+    Alcotest.check value "culprit recorded" (Value.Obj rule)
+      (Db.get db dl Sentinel.Sentinel_classes.a_rule)
+  | dls -> Alcotest.failf "expected 1 dead letter, got %d" (List.length dls));
+  match System.recent_failures sys with
+  | (name, Failure _) :: _ -> Alcotest.(check string) "logged" "bomb" name
+  | _ -> Alcotest.fail "failure not in the ring buffer"
+
+(* --- quarantine survives reload -------------------------------------------- *)
+
+let test_quarantine_survives_rehydrate () =
+  let db = employee_db () in
+  let sys = System.create db in
+  let bomb_armed = ref true in
+  System.register_action sys "explode" (fun _ _ ->
+      if !bomb_armed then failwith "boom");
+  let e = new_employee db in
+  let rule =
+    System.create_rule sys ~name:"bomb" ~policy:(Error_policy.Quarantine 2)
+      ~monitor:[ e ] ~event:salary_event ~condition:"true" ~action:"explode" ()
+  in
+  set_salary db e 1.;
+  set_salary db e 2.;
+  Alcotest.(check bool) "tripped" true (System.rule_info sys rule).Rule.quarantined;
+  let text = Persist.to_string db in
+  let db2 = Db.create () in
+  Workloads.Payroll.install db2;
+  let sys2 = System.create db2 in
+  let armed2 = ref false in
+  System.register_action sys2 "explode" (fun _ _ ->
+      if !armed2 then failwith "boom");
+  Persist.of_string db2 text;
+  System.rehydrate sys2;
+  let r2 = System.rule_info sys2 rule in
+  Alcotest.(check bool) "still quarantined after reload" true r2.Rule.quarantined;
+  Alcotest.(check int) "streak restored" 2 r2.Rule.failure_streak;
+  Alcotest.(check bool) "policy restored" true
+    (r2.Rule.policy = Error_policy.Quarantine 2);
+  Alcotest.(check int) "dead letters restored" 2
+    (List.length (System.dead_letters sys2));
+  set_salary db2 e 3.;
+  Alcotest.(check int) "stays out of service" 2 r2.Rule.fired;
+  System.reinstate sys2 rule;
+  set_salary db2 e 4.;
+  Alcotest.(check int) "fires after reinstate" 3 r2.Rule.fired;
+  Alcotest.(check int) "streak reset" 0 r2.Rule.failure_streak
+
+(* --- rule deletion racing the firing counter ------------------------------- *)
+
+let test_rule_deletes_itself_from_action () =
+  let db = employee_db () in
+  let sys = System.create db in
+  let e = new_employee db in
+  let self = ref None in
+  System.register_action sys "self-destruct" (fun db _ ->
+      Db.delete_object db (Option.get !self));
+  let rule =
+    System.create_rule sys ~name:"once" ~monitor:[ e ] ~event:salary_event
+      ~condition:"true" ~action:"self-destruct" ()
+  in
+  self := Some rule;
+  set_salary db e 1.;
+  Alcotest.(check bool) "rule object gone" false (Db.exists db rule);
+  (* the post-action a_fired/streak writes must not resurrect or crash *)
+  System.prune_runtimes sys;
+  set_salary db e 2.;
+  Alcotest.check value "later events unaffected" (Value.Float 2.)
+    (Db.get db e "salary")
+
+let test_rule_deleted_by_own_condition () =
+  let db = employee_db () in
+  let sys = System.create db in
+  let e = new_employee db in
+  let self = ref None in
+  System.register_condition sys "drop-self" (fun db _ ->
+      Db.delete_object db (Option.get !self);
+      true);
+  System.register_action sys "count" (fun _ _ -> ());
+  let rule =
+    System.create_rule sys ~name:"drop" ~monitor:[ e ] ~event:salary_event
+      ~condition:"drop-self" ~action:"count" ()
+  in
+  self := Some rule;
+  (* the condition deletes the rule object before the a_fired write; the
+     guarded write must skip rather than raise No_such_object *)
+  set_salary db e 1.;
+  Alcotest.(check bool) "rule object gone" false (Db.exists db rule);
+  Alcotest.(check int) "runtime counted the firing" 1
+    (System.rule_info sys rule).Rule.fired
+
+(* --- bounds ----------------------------------------------------------------- *)
+
+let test_failure_log_is_bounded () =
+  let db = employee_db () in
+  let sys = System.create ~failure_log_limit:4 db in
+  let e = new_employee db in
+  let n = ref 0 in
+  System.register_action sys "explode" (fun _ _ ->
+      incr n;
+      failwith (Printf.sprintf "boom-%d" !n));
+  ignore
+    (System.create_rule sys ~name:"bomb" ~policy:Error_policy.Contain
+       ~monitor:[ e ] ~event:salary_event ~condition:"true" ~action:"explode" ());
+  for i = 1 to 6 do
+    set_salary db e (float_of_int i)
+  done;
+  let recent = System.recent_failures sys in
+  Alcotest.(check int) "capped" 4 (List.length recent);
+  (match recent with
+  | ("bomb", Failure msg) :: _ ->
+    Alcotest.(check string) "newest first" "boom-6" msg
+  | _ -> Alcotest.fail "unexpected head");
+  match List.rev (System.detached_failures sys) with
+  | newest :: _ ->
+    Alcotest.(check bool) "same log, oldest first" true
+      (newest == List.hd recent)
+  | [] -> Alcotest.fail "empty"
+
+let test_dead_letter_queue_is_bounded () =
+  let db = employee_db () in
+  let sys = System.create ~dead_letter_limit:3 db in
+  let e = new_employee db in
+  System.register_action sys "explode" (fun _ _ -> failwith "boom");
+  ignore
+    (System.create_rule sys ~name:"bomb" ~policy:Error_policy.Contain
+       ~monitor:[ e ] ~event:salary_event ~condition:"true" ~action:"explode" ());
+  for i = 1 to 5 do
+    set_salary db e (float_of_int i)
+  done;
+  let dls = System.dead_letters sys in
+  Alcotest.(check int) "capped at 3" 3 (List.length dls);
+  (* oldest were evicted: the survivors are the last three failures *)
+  let ats =
+    List.map
+      (fun dl -> Value.to_int (Db.get db dl Sentinel.Sentinel_classes.a_at))
+      dls
+  in
+  Alcotest.(check bool) "oldest first, later events" true
+    (ats = List.sort compare ats);
+  Alcotest.(check int) "evicted objects deleted" 3
+    (List.length (Db.extent db ~deep:false "__dead_letter"));
+  Alcotest.(check int) "purge clears the rest" 3 (System.purge_dead_letters sys);
+  Alcotest.(check int) "empty" 0 (List.length (System.dead_letters sys))
+
+(* --- audit + stats integration --------------------------------------------- *)
+
+let test_audit_records_containment () =
+  let db = employee_db () in
+  let sys = System.create db in
+  let e = new_employee db in
+  System.register_action sys "explode" (fun _ _ -> failwith "boom");
+  let rule =
+    System.create_rule sys ~name:"bomb" ~policy:(Error_policy.Quarantine 2)
+      ~monitor:[ e ] ~event:salary_event ~condition:"true" ~action:"explode" ()
+  in
+  let audit = Audit.attach sys in
+  set_salary db e 1.;
+  set_salary db e 2.;
+  (match List.map (fun en -> en.Audit.e_outcome) (Audit.entries_for audit rule) with
+  | [ Audit.Contained (Failure _); Audit.Quarantined (Failure _) ] -> ()
+  | other -> Alcotest.failf "unexpected outcomes (%d)" (List.length other));
+  Audit.detach audit
+
+(* --- DSL surface ------------------------------------------------------------ *)
+
+let test_dsl_policy_roundtrip () =
+  let db = employee_db () in
+  let sys = System.create db in
+  System.register_action sys "noop" (fun _ _ -> ());
+  let text =
+    "rule Guarded\n\
+     on end employee::set_salary\n\
+     then noop\n\
+     mode detached\n\
+     on-error quarantine 3\n\
+     retries 2\n\
+     monitor class employee\n\
+     end\n"
+  in
+  (match Sentinel.Rule_dsl.load_string sys text with
+  | [ oid ] ->
+    let r = System.rule_info sys oid in
+    Alcotest.(check bool) "policy parsed" true
+      (r.Rule.policy = Error_policy.Quarantine 3);
+    Alcotest.(check int) "retries parsed" 2 r.Rule.max_retries;
+    let rendered = Sentinel.Rule_dsl.render sys oid in
+    Alcotest.(check bool) "renders on-error" true
+      (contains_substring ~sub:"on-error quarantine 3" rendered);
+    Alcotest.(check bool) "renders retries" true
+      (contains_substring ~sub:"retries 2" rendered)
+  | oids -> Alcotest.failf "expected 1 rule, got %d" (List.length oids));
+  check_raises_any "bad threshold" (fun () ->
+      Sentinel.Rule_dsl.load_string sys
+        "rule X\non end employee::set_salary\nthen noop\non-error quarantine \
+         0\nend\n")
+
+let test_error_policy_strings () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "roundtrip" true
+        (Error_policy.of_string (Error_policy.to_string p) = p))
+    [ Error_policy.Propagate; Error_policy.Contain; Error_policy.Quarantine 5 ];
+  check_raises_any "negative threshold" (fun () ->
+      Error_policy.of_string "quarantine:-1");
+  check_raises_any "garbage" (fun () -> Error_policy.of_string "explode")
+
+(* --- instance codec --------------------------------------------------------- *)
+
+let test_instance_codec_roundtrip () =
+  let occ1 =
+    mk_occ ~source:7 ~cls:"weird,class(name)" ~at:3
+      ~params:[ Value.Str "a,b|c"; Value.Int 9; Value.Null ]
+      "set_salary" Oodb.Types.After
+  in
+  let occ2 = mk_occ ~source:8 ~at:5 "promote" Oodb.Types.Before in
+  let inst = { Detector.constituents = [ occ1; occ2 ]; t_start = 3; t_end = 5 } in
+  let decoded = Codec.decode_instance (Codec.encode_instance inst) in
+  Alcotest.(check int) "t_start" inst.Detector.t_start decoded.Detector.t_start;
+  Alcotest.(check int) "t_end" inst.Detector.t_end decoded.Detector.t_end;
+  Alcotest.(check (list occurrence)) "constituents" inst.Detector.constituents
+    decoded.Detector.constituents;
+  Alcotest.check occurrence "single occurrence" occ1
+    (Codec.decode_occurrence (Codec.encode_occurrence occ1));
+  check_raises_any "garbage rejected" (fun () ->
+      Codec.decode_instance "inst(1,2,")
+
+let suite =
+  [
+    test "90 healthy rules survive 10 broken ones" test_blast_radius;
+    test "deferred batch survives contained failure"
+      test_deferred_batch_survives_contained_failure;
+    test "deferred batch dies under propagate"
+      test_deferred_batch_dies_under_propagate;
+    test "detached retry until success" test_detached_retry_until_success;
+    test "detached retry exhaustion dead-letters"
+      test_detached_retry_exhaustion_dead_letters;
+    test "quarantine survives rehydrate" test_quarantine_survives_rehydrate;
+    test "rule deletes itself from action" test_rule_deletes_itself_from_action;
+    test "rule deleted by own condition" test_rule_deleted_by_own_condition;
+    test "failure log is bounded" test_failure_log_is_bounded;
+    test "dead-letter queue is bounded" test_dead_letter_queue_is_bounded;
+    test "audit records containment" test_audit_records_containment;
+    test "dsl on-error/retries roundtrip" test_dsl_policy_roundtrip;
+    test "error-policy strings" test_error_policy_strings;
+    test "instance codec roundtrip" test_instance_codec_roundtrip;
+  ]

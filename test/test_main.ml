@@ -33,5 +33,6 @@ let () =
       ("paper-examples", Test_paper_examples.suite);
       ("route", Test_route.suite);
       ("differential", Test_differential.suite);
+      ("containment", Test_containment.suite);
       ("interactions", Test_interactions.suite);
     ]
