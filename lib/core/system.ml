@@ -191,6 +191,15 @@ let report t rule inst outcome =
   | Some hook -> hook rule inst outcome
   | None -> ()
 
+(* Every cache mutation rolls back with the transaction it ran in: the
+   object creations/deletions it mirrors are undo-logged, and the
+   existence filter in [dead_letters] can only drop entries, never
+   resurrect evicted ones. *)
+let set_dlq t dlq =
+  let old = t.dlq in
+  Transaction.on_abort t.sys_db (fun () -> t.dlq <- old);
+  t.dlq <- dlq
+
 (* Append to the bounded persistent dead-letter queue, evicting the oldest
    entries beyond the cap.  Inside a transaction the dead letter commits (or
    dies) with its host — the durable queue reflects committed history only,
@@ -201,7 +210,7 @@ let append_dead_letter t rule inst e ~attempts =
   let keep = t.dead_letter_limit - 1 in
   if List.length t.dlq > keep then begin
     let doomed = List.filteri (fun i _ -> i >= keep) t.dlq in
-    t.dlq <- List.filteri (fun i _ -> i < keep) t.dlq;
+    set_dlq t (List.filteri (fun i _ -> i < keep) t.dlq);
     List.iter
       (fun o -> if Db.exists db o then Db.delete_object db o)
       doomed
@@ -218,30 +227,47 @@ let append_dead_letter t rule inst e ~attempts =
           (C.a_at, Value.Int inst.Detector.t_end);
         ]
   in
-  t.dlq <- dl :: t.dlq
+  set_dlq t (dl :: t.dlq)
+
+(* In-memory breaker state ([failure_streak], [quarantined], and the index
+   registration gated on them) shadows the persistent a_failure_streak /
+   a_quarantined attributes.  Each mutation made inside a transaction logs
+   an abort hook restoring the previous runtime state, so that when the
+   host transaction rolls the attributes back, the runtime follows —
+   otherwise an aborted transaction would leave a rule silently
+   quarantined/unregistered with no committed record of why. *)
+let set_streak t rule streak =
+  let old = rule.Rule.failure_streak in
+  Transaction.on_abort t.sys_db (fun () -> rule.Rule.failure_streak <- old);
+  rule.Rule.failure_streak <- streak;
+  if Db.exists t.sys_db rule.Rule.oid then
+    Db.set t.sys_db rule.Rule.oid C.a_failure_streak (Value.Int streak)
 
 let note_success t rule =
-  if rule.Rule.failure_streak <> 0 then begin
-    rule.Rule.failure_streak <- 0;
-    if Db.exists t.sys_db rule.Rule.oid then
-      Db.set t.sys_db rule.Rule.oid C.a_failure_streak (Value.Int 0)
-  end
+  if rule.Rule.failure_streak <> 0 then set_streak t rule 0
 
 let trip_breaker t rule =
+  Transaction.on_abort t.sys_db (fun () ->
+      rule.Rule.quarantined <- false;
+      register_rule t rule);
   rule.Rule.quarantined <- true;
   unregister_rule t rule.Rule.oid;
   if Db.exists t.sys_db rule.Rule.oid then
     Db.set t.sys_db rule.Rule.oid C.a_quarantined (Value.Bool true)
 
 (* A firing failed and the rule's policy contains it: log, dead-letter,
-   advance the breaker, and report the containment decision to the hook. *)
+   advance the breaker, and report the containment decision to the hook.
+   The failed firing ran in (and was rolled back with) a transaction of its
+   own, taking the body's a_fired write with it; the runtime [fired]
+   counter deliberately still counts the attempt (a quarantine threshold of
+   n means n attempts, not n persisted firings), so re-sync the attribute
+   here, next to the rest of the breaker bookkeeping. *)
 let contain_failure t rule inst e ~attempts =
   log_failure t rule.Rule.name e;
   t.sys_stats.contained_failures <- t.sys_stats.contained_failures + 1;
-  rule.Rule.failure_streak <- rule.Rule.failure_streak + 1;
   if Db.exists t.sys_db rule.Rule.oid then
-    Db.set t.sys_db rule.Rule.oid C.a_failure_streak
-      (Value.Int rule.Rule.failure_streak);
+    Db.set t.sys_db rule.Rule.oid C.a_fired (Value.Int rule.Rule.fired);
+  set_streak t rule (rule.Rule.failure_streak + 1);
   append_dead_letter t rule inst e ~attempts;
   match rule.Rule.policy with
   | Error_policy.Quarantine n when rule.Rule.failure_streak >= n ->
@@ -288,24 +314,36 @@ let execute_body t rule inst =
       end)
 
 (* Immediate/deferred entry point: gates, then the rule's error policy.
-   Rule_abort is an intentional abort and always propagates. *)
+   Rule_abort is an intentional abort and always propagates.
+
+   Propagate runs on the direct path: an exception aborts the host
+   transaction, which rolls back the firing's partial writes along with
+   everything else.  Contain/Quarantine keep the host alive, so the firing
+   runs in a nested transaction of its own: a contained failure first rolls
+   back whatever the half-finished condition/action wrote, and only the
+   dead letter (recording a clean slate that [replay_dead_letter] can
+   re-run without double-applying) survives into the host. *)
 let execute t rule inst =
   if
     rule.Rule.enabled
     && (not rule.Rule.quarantined)
     && Db.exists t.sys_db rule.Rule.oid
-  then begin
-    match execute_body t rule inst with
-    | () -> ()
-    | exception (Errors.Rule_abort _ as e) -> raise e
-    | exception e -> (
-      match rule.Rule.policy with
-      | Error_policy.Propagate ->
+  then
+    match rule.Rule.policy with
+    | Error_policy.Propagate -> (
+      match execute_body t rule inst with
+      | () -> ()
+      | exception (Errors.Rule_abort _ as e) -> raise e
+      | exception e ->
         report t rule inst (Action_error e);
-        raise e
-      | Error_policy.Contain | Error_policy.Quarantine _ ->
-        contain_failure t rule inst e ~attempts:1)
-  end
+        raise e)
+    | Error_policy.Contain | Error_policy.Quarantine _ -> (
+      match
+        Transaction.atomically t.sys_db (fun () -> execute_body t rule inst)
+      with
+      | Ok () -> ()
+      | Error (Errors.Rule_abort _ as e) -> raise e
+      | Error e -> contain_failure t rule inst e ~attempts:1)
 
 (* Detached entry point: each attempt runs in its own transaction; a failed
    attempt (the transaction aborted) is retried up to the rule's bounded
@@ -368,6 +406,18 @@ let enqueue_deferred t rule inst =
     t.pending_hooked <- false;
     t.pending_txn <- outer
   end;
+  (* If the innermost transaction aborts (e.g. a contained firing rolled
+     back after triggering this one), the enqueue — and, when this call
+     registered it, the drain hook, which dies with that transaction —
+     must roll back too, or the firing would outlive its trigger (or, for
+     later enqueues in the same outer transaction, never drain at all). *)
+  (let old_pending = t.pending
+   and old_hooked = t.pending_hooked
+   and old_txn = t.pending_txn in
+   Transaction.on_abort t.sys_db (fun () ->
+       t.pending <- old_pending;
+       t.pending_hooked <- old_hooked;
+       t.pending_txn <- old_txn));
   t.seq <- t.seq + 1;
   t.pending <- (rule.Rule.priority, t.seq, (rule, inst)) :: t.pending;
   if not t.pending_hooked then begin
@@ -400,10 +450,13 @@ let dispatch t _db ~consumer occ =
     | Some handler -> handler occ
     | None -> () (* stale subscription; ignore *))
 
-(* Exponential backoff between detached retry attempts: 2ms, 4ms, 8ms, ...
-   capped at ~128ms.  Overridable (e.g. to a no-op) for tests and benches. *)
+(* Exponential backoff between detached retry attempts: 2ms, 4ms, ... capped
+   at 32ms.  This *blocks the committing caller* — detached firings run
+   synchronously right after the outermost commit — which is why the cap is
+   low and the whole thing overridable (e.g. to a no-op) for tests, benches
+   and throughput-sensitive applications. *)
 let default_retry_backoff attempt =
-  Unix.sleepf (0.001 *. float_of_int (1 lsl min attempt 7))
+  Unix.sleepf (0.001 *. float_of_int (1 lsl min attempt 5))
 
 let create ?(strategy = Scheduler.default) ?(cascade_limit = 64)
     ?(routing = Indexed) ?(failure_log_limit = 128) ?(dead_letter_limit = 256)
@@ -582,6 +635,15 @@ let disable t oid =
    the streak. *)
 let reinstate t oid =
   let r = rule_info t oid in
+  let was_quarantined = r.Rule.quarantined
+  and old_streak = r.Rule.failure_streak in
+  (* Mirror of [trip_breaker]: if the enclosing transaction aborts, the
+     attribute writes revert, so the runtime breaker must revert with
+     them. *)
+  Transaction.on_abort t.sys_db (fun () ->
+      r.Rule.quarantined <- was_quarantined;
+      r.Rule.failure_streak <- old_streak;
+      if was_quarantined then unregister_rule t oid);
   r.Rule.quarantined <- false;
   r.Rule.failure_streak <- 0;
   if Db.exists t.sys_db oid then begin
@@ -654,7 +716,7 @@ let replay_dead_letter t dl =
       Transaction.atomically t.sys_db (fun () -> execute_body t rule inst)
     with
     | Ok () ->
-      t.dlq <- List.filter (fun o -> not (Oid.equal o dl)) t.dlq;
+      set_dlq t (List.filter (fun o -> not (Oid.equal o dl)) t.dlq);
       if Db.exists t.sys_db dl then Db.delete_object t.sys_db dl;
       Ok ()
     | Error e ->
@@ -665,7 +727,7 @@ let replay_dead_letter t dl =
 let purge_dead_letters t =
   let all = dead_letters t in
   List.iter (Db.delete_object t.sys_db) all;
-  t.dlq <- [];
+  set_dlq t [];
   List.length all
 
 (* --- ad-hoc notifiables ---------------------------------------------------- *)

@@ -26,7 +26,10 @@ type execution_outcome =
       (** the action raised and the rule's policy is [Propagate] *)
   | Contained of exn
       (** the action raised; the failure was contained (dead-lettered) and
-          execution of the surrounding batch/transaction continued *)
+          execution of the surrounding batch/transaction continued.  The
+          firing ran in a nested transaction of its own, so any partial
+          writes the failed condition/action made were rolled back before
+          the dead letter was recorded *)
   | Quarantined of exn
       (** as [Contained], and this failure tripped the rule's [Quarantine]
           circuit breaker: the rule is now out of service until
@@ -87,7 +90,12 @@ val create :
     minimum 1) caps the persistent dead-letter queue, evicting oldest
     first.  [retry_backoff] is called between detached retry attempts with
     the 1-based attempt number just failed; the default sleeps
-    exponentially from 2ms — pass [(fun _ -> ())] in tests. *)
+    exponentially from 2ms, capped at 32ms per gap.  Beware that detached
+    firings run synchronously at the outermost commit point, so the
+    backoff {e blocks the committing caller} for the whole backoff sum of
+    a persistently failing rule (e.g. ~62ms at [max_retries:5]) — pass
+    [(fun _ -> ())] (as the tests and benches do) or your own
+    scheduler-friendly delay where commit latency matters. *)
 
 val routing : t -> routing
 
@@ -255,10 +263,13 @@ val dead_letters : t -> Oid.t list
 
 val replay_dead_letter : t -> Oid.t -> (unit, exn) result
 (** Re-run a dead letter's firing in its own transaction, bypassing the
-    enabled/quarantine gates (replay is an operator action).  On success the
-    dead letter is deleted; on failure its attempt count is bumped and the
-    raised exception returned.  [Error] is also returned when the rule's
-    runtime is gone (rule deleted, or not yet {!rehydrate}d).
+    enabled/quarantine gates (replay is an operator action).  Replay starts
+    from a clean slate: the failed firing's partial writes were rolled back
+    when it was contained, so a successful replay applies the firing's
+    effects exactly once.  On success the dead letter is deleted; on
+    failure its attempt count is bumped and the raised exception returned.
+    [Error] is also returned when the rule's runtime is gone (rule deleted,
+    or not yet {!rehydrate}d).
     @raise Errors.Type_error when the OID is not a dead letter. *)
 
 val purge_dead_letters : t -> int

@@ -30,6 +30,8 @@ let add_detached db f =
   let t = current db in
   t.detached <- f :: t.detached
 
+let on_abort db f = log_undo db (U_runtime f)
+
 let apply_undo db = function
   | U_set_attr (oid, name, old) ->
     let o = Heap.find_obj_any db oid in
@@ -47,6 +49,7 @@ let apply_undo db = function
     Hashtbl.replace db.class_consumers cls old;
     (* rollback is a subscription change too: stale routing caches must see it *)
     db.class_sub_gen <- db.class_sub_gen + 1
+  | U_runtime f -> f ()
 
 let abort db =
   let t = current db in

@@ -53,3 +53,13 @@ val add_deferred : Types.db -> (unit -> unit) -> unit
 val add_detached : Types.db -> (unit -> unit) -> unit
 (** Queue work for after the outermost commit.
     @raise Errors.Transaction_error outside a transaction. *)
+
+val on_abort : Types.db -> (unit -> unit) -> unit
+(** [on_abort db f] records [f] as an undo entry of the innermost open
+    transaction: [f] runs if (and only if) that transaction — or, after an
+    inner commit merges the log upward, an enclosing one — aborts.  Hooks
+    interleave with ordinary undo entries newest-first, so a hook observes
+    database state as of the moment it was registered.  Used by runtime
+    caches that shadow persistent state (e.g. the rule scheduler's circuit
+    breaker) to roll back in step with the attribute writes they mirror.
+    No-op outside a transaction, where mutations are final anyway. *)

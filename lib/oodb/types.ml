@@ -55,6 +55,11 @@ and undo =
   | U_deleted of obj (* restore this object wholesale *)
   | U_consumers of Oid.t * Oid.t list
   | U_class_consumers of string * Oid.t list
+  | U_runtime of (unit -> unit)
+      (* Run on abort: lets runtime caches that shadow persistent state
+         (the rule scheduler's breaker flags, dead-letter cache, pending
+         queue) roll back alongside the attribute writes they mirror.
+         Never serialized — the undo log is in-memory only. *)
 
 and txn = {
   mutable log : undo list; (* newest first *)

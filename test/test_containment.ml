@@ -392,6 +392,156 @@ let test_error_policy_strings () =
       Error_policy.of_string "quarantine:-1");
   check_raises_any "garbage" (fun () -> Error_policy.of_string "explode")
 
+(* --- containment is atomic --------------------------------------------------- *)
+
+(* A contained firing runs in a nested transaction: the partial writes a
+   half-finished action made before raising must roll back (they would
+   otherwise commit with the host and then be double-applied by replay). *)
+let test_contained_failure_rolls_back_partial_writes () =
+  let db = employee_db () in
+  let sys = System.create db in
+  let e = new_employee db in
+  let armed = ref true in
+  System.register_action sys "half-done" (fun db _ ->
+      Db.set db e "name" (Value.Str "tainted");
+      if !armed then failwith "boom");
+  ignore
+    (System.create_rule sys ~name:"half" ~policy:Error_policy.Contain
+       ~monitor:[ e ] ~event:salary_event ~condition:"true" ~action:"half-done"
+       ());
+  (match Transaction.atomically db (fun () -> set_salary db e 1.) with
+  | Ok () -> ()
+  | Error exn -> Alcotest.failf "host aborted: %s" (Printexc.to_string exn));
+  Alcotest.check value "host write committed" (Value.Float 1.)
+    (Db.get db e "salary");
+  Alcotest.check value "partial action write rolled back" (Value.Str "emp")
+    (Db.get db e "name");
+  (* same containment outside any host transaction *)
+  set_salary db e 2.;
+  Alcotest.check value "rolled back outside a transaction too" (Value.Str "emp")
+    (Db.get db e "name");
+  (* fix the fault: replay starts from a clean slate, applies exactly once *)
+  armed := false;
+  let dls = System.dead_letters sys in
+  Alcotest.(check int) "two dead letters" 2 (List.length dls);
+  List.iter
+    (fun dl ->
+      match System.replay_dead_letter sys dl with
+      | Ok () -> ()
+      | Error exn -> Alcotest.failf "replay: %s" (Printexc.to_string exn))
+    dls;
+  Alcotest.check value "replay applied the action" (Value.Str "tainted")
+    (Db.get db e "name")
+
+(* Tripping the breaker inside a transaction that later aborts must not
+   leave the rule silently quarantined/unregistered in memory while the
+   rolled-back attributes say it is in service. *)
+let test_breaker_reconciles_on_host_abort () =
+  let db = employee_db () in
+  let sys = System.create db in
+  let e = new_employee db in
+  System.register_action sys "explode" (fun _ _ -> failwith "boom");
+  let rule =
+    System.create_rule sys ~name:"bomb" ~policy:(Error_policy.Quarantine 1)
+      ~monitor:[ e ] ~event:salary_event ~condition:"true" ~action:"explode" ()
+  in
+  (match
+     Transaction.atomically db (fun () ->
+         set_salary db e 1.;
+         (* the breaker just tripped inside this transaction *)
+         failwith "user abort")
+   with
+  | Ok () -> Alcotest.fail "should have aborted"
+  | Error (Failure msg) -> Alcotest.(check string) "user abort" "user abort" msg
+  | Error exn -> Alcotest.failf "unexpected: %s" (Printexc.to_string exn));
+  let r = System.rule_info sys rule in
+  Alcotest.(check bool) "runtime breaker rolled back" false r.Rule.quarantined;
+  Alcotest.(check int) "runtime streak rolled back" 0 r.Rule.failure_streak;
+  Alcotest.check value "attribute rolled back" (Value.Bool false)
+    (Db.get db rule Sentinel.Sentinel_classes.a_quarantined);
+  Alcotest.(check int) "no quarantined rules" 0
+    (List.length (System.quarantined_rules sys));
+  Alcotest.(check int) "dead letter died with its transaction" 0
+    (List.length (System.dead_letters sys));
+  (match System.route_index sys with
+  | Some route ->
+    Alcotest.(check bool) "re-registered in the index" true
+      (Events.Route.registered route rule)
+  | None -> ());
+  (* still in service: the next committed failure trips it for real *)
+  set_salary db e 2.;
+  Alcotest.(check bool) "tripped durably this time" true r.Rule.quarantined;
+  Alcotest.check value "attribute persisted" (Value.Bool true)
+    (Db.get db rule Sentinel.Sentinel_classes.a_quarantined);
+  Alcotest.(check int) "one committed dead letter" 1
+    (List.length (System.dead_letters sys))
+
+(* Eviction inside an aborting transaction: the deletion of the evicted
+   entry rolls back, and the cache must report it again. *)
+let test_dead_letter_eviction_rolls_back_with_abort () =
+  let db = employee_db () in
+  let sys = System.create ~dead_letter_limit:1 db in
+  let e = new_employee db in
+  System.register_action sys "explode" (fun _ _ -> failwith "boom");
+  ignore
+    (System.create_rule sys ~name:"bomb" ~policy:Error_policy.Contain
+       ~monitor:[ e ] ~event:salary_event ~condition:"true" ~action:"explode" ());
+  set_salary db e 1.;
+  let survivor =
+    match System.dead_letters sys with
+    | [ dl ] -> dl
+    | dls -> Alcotest.failf "setup: expected 1 dead letter, got %d"
+               (List.length dls)
+  in
+  (match
+     Transaction.atomically db (fun () ->
+         (* contained failure: evicts [survivor], appends a fresh entry *)
+         set_salary db e 2.;
+         failwith "user abort")
+   with
+  | Error (Failure msg) -> Alcotest.(check string) "user abort" "user abort" msg
+  | _ -> Alcotest.fail "should have aborted");
+  Alcotest.(check bool) "evicted object restored" true (Db.exists db survivor);
+  (match System.dead_letters sys with
+  | [ dl ] -> Alcotest.check oid "cache reports the restored entry" survivor dl
+  | dls -> Alcotest.failf "expected 1 dead letter, got %d" (List.length dls));
+  Alcotest.check value "attempts preserved" (Value.Int 1)
+    (Db.get db survivor Sentinel.Sentinel_classes.a_attempts)
+
+(* A deferred firing triggered from inside a contained firing dies with its
+   trigger's rollback; deferred firings enqueued later in the same host
+   transaction still drain at commit. *)
+let test_deferred_trigger_dies_with_contained_firing () =
+  let db = employee_db () in
+  let sys = System.create db in
+  let e = new_employee db in
+  let notes = ref 0 in
+  System.register_action sys "poke-and-raise" (fun db _ ->
+      ignore (Db.send db e "change_income" [ Value.Float 9. ]);
+      failwith "boom");
+  System.register_action sys "note" (fun _ _ -> incr notes);
+  ignore
+    (System.create_rule sys ~name:"bomb" ~policy:Error_policy.Contain
+       ~monitor:[ e ] ~event:salary_event ~condition:"true"
+       ~action:"poke-and-raise" ());
+  ignore
+    (System.create_rule sys ~name:"echo" ~coupling:Coupling.Deferred
+       ~monitor:[ e ]
+       ~event:(Expr.eom ~cls:"employee" "change_income")
+       ~condition:"true" ~action:"note" ());
+  (match
+     Transaction.atomically db (fun () ->
+         (* the contained firing enqueues "echo", then rolls back with it *)
+         set_salary db e 1.;
+         (* a healthy enqueue in the same host transaction must survive *)
+         ignore (Db.send db e "change_income" [ Value.Float 10. ]))
+   with
+  | Ok () -> ()
+  | Error exn -> Alcotest.failf "host aborted: %s" (Printexc.to_string exn));
+  Alcotest.(check int) "only the healthy enqueue drained" 1 !notes;
+  Alcotest.check value "rolled-back income write undone" (Value.Float 10.)
+    (Db.get db e "income")
+
 (* --- instance codec --------------------------------------------------------- *)
 
 let test_instance_codec_roundtrip () =
@@ -428,6 +578,13 @@ let suite =
     test "failure log is bounded" test_failure_log_is_bounded;
     test "dead-letter queue is bounded" test_dead_letter_queue_is_bounded;
     test "audit records containment" test_audit_records_containment;
+    test "contained failure rolls back partial writes"
+      test_contained_failure_rolls_back_partial_writes;
+    test "breaker reconciles on host abort" test_breaker_reconciles_on_host_abort;
+    test "dead-letter eviction rolls back with abort"
+      test_dead_letter_eviction_rolls_back_with_abort;
+    test "deferred trigger dies with contained firing"
+      test_deferred_trigger_dies_with_contained_firing;
     test "dsl on-error/retries roundtrip" test_dsl_policy_roundtrip;
     test "error-policy strings" test_error_policy_strings;
     test "instance codec roundtrip" test_instance_codec_roundtrip;

@@ -158,6 +158,47 @@ let test_detached_dies_with_abort () =
   Transaction.abort db;
   Alcotest.(check bool) "discarded" false !ran
 
+let test_on_abort_hooks () =
+  let db = employee_db () in
+  let e = new_employee db ~salary:100. in
+  let fired = ref [] in
+  (* outside a transaction: mutations are final, hook is a no-op *)
+  Transaction.on_abort db (fun () -> fired := "outside" :: !fired);
+  (* runs only on abort, not commit *)
+  Transaction.begin_ db;
+  Transaction.on_abort db (fun () -> fired := "committed" :: !fired);
+  Transaction.commit db;
+  Alcotest.(check (list string)) "no hook on commit" [] !fired;
+  (* interleaves with undo entries newest-first: a hook observes database
+     state as of the moment it was registered *)
+  let seen = ref Value.Null in
+  Transaction.begin_ db;
+  Transaction.on_abort db (fun () -> fired := "first" :: !fired);
+  Db.set db e "salary" (Value.Float 200.);
+  Transaction.on_abort db (fun () ->
+      seen := Db.get db e "salary";
+      fired := "second" :: !fired);
+  Transaction.abort db;
+  Alcotest.(check (list string)) "applied newest first" [ "first"; "second" ]
+    !fired;
+  Alcotest.check value "hook saw state as of registration" (Value.Float 200.)
+    !seen;
+  Alcotest.check value "attr still restored" (Value.Float 100.)
+    (Db.get db e "salary");
+  (* survives an inner commit into the parent, dies with the inner abort *)
+  fired := [];
+  Transaction.begin_ db;
+  Transaction.begin_ db;
+  Transaction.on_abort db (fun () -> fired := "merged" :: !fired);
+  Transaction.commit db;
+  Transaction.begin_ db;
+  Transaction.on_abort db (fun () -> fired := "inner" :: !fired);
+  Transaction.abort db;
+  Alcotest.(check (list string)) "inner abort ran its hook" [ "inner" ] !fired;
+  Transaction.abort db;
+  Alcotest.(check (list string)) "merged hook ran on outer abort"
+    [ "merged"; "inner" ] !fired
+
 let test_misuse () =
   let db = Db.create () in
   check_raises_any "commit without begin" (fun () -> Transaction.commit db);
@@ -228,6 +269,7 @@ let suite =
     test "deferred failure aborts" test_deferred_failure_aborts;
     test "detached runs after commit" test_detached_runs_after_commit;
     test "detached dies with abort" test_detached_dies_with_abort;
+    test "on_abort hooks" test_on_abort_hooks;
     test "misuse raises" test_misuse;
     test "outermost id" test_outermost_id;
     QCheck_alcotest.to_alcotest prop_abort_is_identity;
