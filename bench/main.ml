@@ -1096,12 +1096,191 @@ let e_containment () =
   close_out oc;
   row "  wrote BENCH_containment.json\n"
 
+(* ------------------------------------------------------------------------- *)
+(* E-oltp: compiled slot layout vs per-object hashtable on get/set/send       *)
+(* ------------------------------------------------------------------------- *)
+
+(* Wide passive classes (10/100/1000 attributes), 1k instances, hot
+   attribute in the middle of the layout.  Accessors go through the
+   pre-resolved slot API — the path rule conditions, the DSL and the rule
+   scheduler actually use — which degrades to the per-object hashtable in
+   `Hashtbl mode, so the two rows compare the representations under the
+   same call shape.  String-keyed access is reported alongside.  Under
+   BENCH_SMOKE the run doubles as a CI regression gate: slot-mode get/set
+   throughput below hashtbl-mode at 100 attributes fails the process. *)
+let e_oltp () =
+  header "E-oltp: slot layout vs hashtbl objects (get/set/send micro-bench)";
+  let smoke = Sys.getenv_opt "BENCH_SMOKE" <> None in
+  let rw_iters = if smoke then 100_000 else 1_000_000 in
+  let send_iters = if smoke then 20_000 else 200_000 in
+  let n_objects = if smoke then 200 else 1_000 in
+  let sizes = [ 10; 100; 1000 ] in
+  (* ops/s and heap bytes allocated per op for [iters] runs of [f] *)
+  let measure iters f =
+    let bytes0 = Gc.allocated_bytes () in
+    let (), ms = time_ms (fun () -> for _ = 1 to iters do f () done) in
+    ((float_of_int iters /. ms) *. 1000., (Gc.allocated_bytes () -. bytes0) /. float_of_int iters)
+  in
+  let layout_name = function `Slots -> "slots" | `Hashtbl -> "hashtbl" in
+  let run layout size =
+    let db = Db.create ~layout () in
+    let hot = Printf.sprintf "a%d" (size / 2) in
+    Db.define_class db
+      (Schema.define "wide"
+         ~attrs:(List.init size (fun i -> (Printf.sprintf "a%d" i, Value.Int 0)))
+         ~methods:
+           [ ("poke", Workloads.Dsl.setter hot); ("peek", Workloads.Dsl.getter hot) ]);
+    (* object creation throughput first: it also populates the working set *)
+    let objs = Array.make n_objects (Oid.of_int 0) in
+    let create_ops, create_bytes =
+      measure n_objects
+        (let i = ref 0 in
+         fun () ->
+           objs.(!i) <- Db.new_object db "wide";
+           incr i)
+    in
+    let slot = Db.resolve db "wide" hot in
+    let next =
+      let i = ref 0 in
+      fun () ->
+        let o = Array.unsafe_get objs (!i land (16 - 1)) in
+        incr i;
+        o
+    in
+    let one = Value.Int 1 in
+    let get_ops, get_bytes =
+      measure rw_iters (fun () -> ignore (Db.slot_get db (next ()) slot))
+    in
+    let set_ops, set_bytes =
+      measure rw_iters (fun () -> Db.slot_set db (next ()) slot one)
+    in
+    let get_str_ops, _ = measure rw_iters (fun () -> ignore (Db.get db (next ()) hot)) in
+    let set_str_ops, _ = measure rw_iters (fun () -> Db.set db (next ()) hot one) in
+    let args = [ one ] in
+    let send_ops, send_bytes =
+      measure send_iters (fun () -> ignore (Db.send db (next ()) "poke" args))
+    in
+    row "  %7s %5d  get %11.0f/s (%3.0fB)  set %11.0f/s (%3.0fB)  send %10.0f/s (%3.0fB)\n"
+      (layout_name layout) size get_ops get_bytes set_ops set_bytes send_ops
+      send_bytes;
+    ( layout_name layout, size, get_ops, get_bytes, set_ops, set_bytes,
+      send_ops, send_bytes, get_str_ops, set_str_ops, create_ops, create_bytes )
+  in
+  row "  %7s %5s\n" "layout" "attrs";
+  let rows =
+    List.concat_map
+      (fun size ->
+        let h = run `Hashtbl size in
+        let s = run `Slots size in
+        [ h; s ])
+      sizes
+  in
+  (* Query.matches contract: one object fetch per candidate, checked here so
+     the bench fails loudly if select regresses to per-attribute fetches. *)
+  let query_probes_ok =
+    let db = Db.create () in
+    Workloads.Payroll.install db;
+    let rng = Prng.create 7 in
+    ignore (Workloads.Payroll.populate db rng ~managers:10 ~employees:90);
+    Oodb.Query.reset_probes ();
+    ignore
+      (Oodb.Query.select db "employee"
+         (Oodb.Query.And
+            ( Oodb.Query.Ge ("salary", Value.Float 0.),
+              Oodb.Query.Has "name" )));
+    let ok = Oodb.Query.probes () = 100 in
+    row "  query probes: %d object fetches for 100 candidates %s\n"
+      (Oodb.Query.probes ())
+      (if ok then "(ok)" else "(REGRESSION: expected 100)");
+    ok
+  in
+  (* The E-routing heavy row (1000 rules) re-run on the slot layout, both
+     routing modes, so the discrimination-index numbers are refreshed
+     against interned occurrence keys. *)
+  let routing_updates = if smoke then 1_000 else 10_000 in
+  let routed routing =
+    let db = Db.create () in
+    Workloads.Payroll.install db;
+    let sys = System.create ~routing db in
+    System.register_action sys "noop" (fun _ _ -> ());
+    ignore
+      (System.create_rule sys ~name:"match" ~monitor_classes:[ "employee" ]
+         ~event:(Expr.eom ~cls:"employee" "set_salary")
+         ~condition:"true" ~action:"noop" ());
+    for i = 2 to 1000 do
+      ignore
+        (System.create_rule sys
+           ~name:(Printf.sprintf "miss-%d" i)
+           ~monitor_classes:[ "employee" ]
+           ~event:(Expr.eom ~cls:"employee" "change_income")
+           ~condition:"true" ~action:"noop" ())
+    done;
+    let rng = Prng.create 42 in
+    let pop = Workloads.Payroll.populate db rng ~managers:10 ~employees:90 in
+    let objs = Array.append pop.managers pop.employees in
+    let (), ms =
+      time_ms (fun () ->
+          for _ = 1 to routing_updates do
+            ignore (Db.send db (Prng.choice rng objs) "set_salary" [ Value.Float 1. ])
+          done)
+    in
+    float_of_int routing_updates /. (ms /. 1000.)
+  in
+  let b_eps = routed System.Broadcast in
+  let i_eps = routed System.Indexed in
+  row "  1000-rule routing: broadcast %.0f ev/s, indexed %.0f ev/s (%.1fx)\n"
+    b_eps i_eps (i_eps /. b_eps);
+  let oc = open_out "BENCH_oltp.json" in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"E-oltp\",\n  \"rw_iters\": %d,\n  \"send_iters\": \
+     %d,\n  \"objects\": %d,\n  \"workload\": \"wide passive class, hot \
+     middle attribute via pre-resolved slot handles; bytes are heap bytes \
+     allocated per op\",\n  \"query_probe_per_candidate\": %b,\n  \
+     \"routing_1000_rules\": {\"broadcast_events_per_sec\": %.0f, \
+     \"indexed_events_per_sec\": %.0f, \"speedup\": %.2f},\n  \"rows\": [\n"
+    rw_iters send_iters n_objects query_probes_ok b_eps i_eps (i_eps /. b_eps);
+  List.iteri
+    (fun i (lname, size, g, gb, s, sb, snd_, sndb, gs, ss, c, cb) ->
+      Printf.fprintf oc
+        "    {\"layout\": \"%s\", \"attrs\": %d, \"get_ops_per_sec\": %.0f, \
+         \"get_bytes_per_op\": %.1f, \"set_ops_per_sec\": %.0f, \
+         \"set_bytes_per_op\": %.1f, \"send_ops_per_sec\": %.0f, \
+         \"send_bytes_per_op\": %.1f, \"get_string_ops_per_sec\": %.0f, \
+         \"set_string_ops_per_sec\": %.0f, \"create_ops_per_sec\": %.0f, \
+         \"create_bytes_per_obj\": %.0f}%s\n"
+        lname size g gb s sb snd_ sndb gs ss c cb
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  row "  wrote BENCH_oltp.json\n";
+  (* CI regression gate (smoke runs only): the compiled layout must not be
+     slower than the representation it replaced. *)
+  if smoke then begin
+    let find lname size =
+      List.find_map
+        (fun (l, n, g, _, s, _, _, _, _, _, _, _) ->
+          if l = lname && n = size then Some (g, s) else None)
+        rows
+      |> Option.get
+    in
+    let sg, ss = find "slots" 100 and hg, hs = find "hashtbl" 100 in
+    if sg < hg || ss < hs then begin
+      row "  FAIL: slot-mode throughput below hashtbl-mode at 100 attrs \
+           (get %.0f vs %.0f, set %.0f vs %.0f)\n"
+        sg hg ss hs;
+      exit 1
+    end
+    else row "  bench-smoke gate: slots >= hashtbl at 100 attrs (ok)\n"
+  end
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
     ("e6", e6); ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10);
     ("e11", e11); ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15);
     ("routing", e_routing);
+    ("oltp", e_oltp);
     ("recovery", e_recovery);
     ("containment", e_containment);
   ]

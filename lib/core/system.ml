@@ -50,6 +50,12 @@ type t = {
   (* [Some _] when delivery goes through the shared discrimination index
      (Events.Route); [None] is the legacy per-consumer broadcast path. *)
   sys_route : Route.t option;
+  (* Rule-object bookkeeping attributes, resolved once against the __rule
+     class (C.install has run by then) — firing bumps a slot instead of
+     hashing an attribute name. *)
+  sl_fired : Db.slot;
+  sl_failure_streak : Db.slot;
+  sl_quarantined : Db.slot;
 }
 
 and execution_outcome =
@@ -241,7 +247,7 @@ let set_streak t rule streak =
   Transaction.on_abort t.sys_db (fun () -> rule.Rule.failure_streak <- old);
   rule.Rule.failure_streak <- streak;
   if Db.exists t.sys_db rule.Rule.oid then
-    Db.set t.sys_db rule.Rule.oid C.a_failure_streak (Value.Int streak)
+    Db.slot_set t.sys_db rule.Rule.oid t.sl_failure_streak (Value.Int streak)
 
 let note_success t rule =
   if rule.Rule.failure_streak <> 0 then set_streak t rule 0
@@ -253,7 +259,7 @@ let trip_breaker t rule =
   rule.Rule.quarantined <- true;
   unregister_rule t rule.Rule.oid;
   if Db.exists t.sys_db rule.Rule.oid then
-    Db.set t.sys_db rule.Rule.oid C.a_quarantined (Value.Bool true)
+    Db.slot_set t.sys_db rule.Rule.oid t.sl_quarantined (Value.Bool true)
 
 (* A firing failed and the rule's policy contains it: log, dead-letter,
    advance the breaker, and report the containment decision to the hook.
@@ -266,7 +272,7 @@ let contain_failure t rule inst e ~attempts =
   log_failure t rule.Rule.name e;
   t.sys_stats.contained_failures <- t.sys_stats.contained_failures + 1;
   if Db.exists t.sys_db rule.Rule.oid then
-    Db.set t.sys_db rule.Rule.oid C.a_fired (Value.Int rule.Rule.fired);
+    Db.slot_set t.sys_db rule.Rule.oid t.sl_fired (Value.Int rule.Rule.fired);
   set_streak t rule (rule.Rule.failure_streak + 1);
   append_dead_letter t rule inst e ~attempts;
   match rule.Rule.policy with
@@ -300,7 +306,7 @@ let execute_body t rule inst =
            matters: the condition just ran arbitrary code that may have
            deleted the rule object (even the rule deleting itself). *)
         if Db.exists t.sys_db rule.Rule.oid then
-          Db.set t.sys_db rule.Rule.oid C.a_fired (Value.Int rule.Rule.fired);
+          Db.slot_set t.sys_db rule.Rule.oid t.sl_fired (Value.Int rule.Rule.fired);
         match rule.Rule.action t.sys_db inst with
         | () -> report t rule inst Fired; note_success t rule
         | exception (Errors.Rule_abort msg as e) ->
@@ -504,6 +510,9 @@ let create ?(strategy = Scheduler.default) ?(cascade_limit = 64)
         (match routing with
         | Indexed -> Some (Route.create db)
         | Broadcast -> None);
+      sl_fired = Db.resolve db C.rule_class C.a_fired;
+      sl_failure_streak = Db.resolve db C.rule_class C.a_failure_streak;
+      sl_quarantined = Db.resolve db C.rule_class C.a_quarantined;
     }
   in
   (* On a reloaded store, adopt whatever dead letters survive from earlier

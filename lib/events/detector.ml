@@ -111,9 +111,11 @@ let signalled t = t.n_signalled
 
 (* --- compilation --------------------------------------------------------- *)
 
-let prim_matches subsumes (p : Expr.prim) (o : Occurrence.t) =
+(* Leaf test with the method name pre-interned ([msym] = [p.p_meth]'s
+   symbol), so the per-occurrence check compares ints instead of strings. *)
+let prim_matches_sym subsumes msym (p : Expr.prim) (o : Occurrence.t) =
   p.p_modifier = o.modifier
-  && String.equal p.p_meth o.meth
+  && Symbol.equal msym o.meth_sym
   && (match p.p_class with
      | None -> true
      | Some c -> subsumes ~sub:o.source_class ~super:c)
@@ -241,8 +243,9 @@ let rec compile subsumes ctx e (out : instance -> unit) : node * leaf list =
   let compile_child c out = compile subsumes ctx c out in
   match e with
   | Expr.Prim p ->
+    let msym = Symbol.intern p.Expr.p_meth in
     let accept o =
-      if prim_matches subsumes p o then out (instance_of_occurrence o)
+      if prim_matches_sym subsumes msym p o then out (instance_of_occurrence o)
     in
     ( {
         accept;

@@ -2,6 +2,7 @@
    other modules of the library so that types read naturally. *)
 
 module Oid = Oodb.Oid
+module Symbol = Oodb.Symbol
 module Value = Oodb.Value
 module Occurrence = Oodb.Occurrence
 module Errors = Oodb.Errors

@@ -15,12 +15,22 @@ type counters = {
   mutable index_hits : int;
 }
 
+(* Bucket keys pack the interned method name and the modifier into one int —
+   [(meth_sym lsl 1) lor modifier_bit] — so a delivery probe neither hashes
+   a string nor allocates a tuple. *)
+let modifier_bit = function Oodb.Types.Before -> 0 | Oodb.Types.After -> 1
+let key_of ~meth_sym ~modifier = (meth_sym lsl 1) lor modifier_bit modifier
+
+let key_of_occ (occ : Occurrence.t) =
+  (occ.Oodb.Occurrence.meth_sym lsl 1)
+  lor modifier_bit occ.Oodb.Occurrence.modifier
+
 type reg = {
   r_consumer : Oid.t;
   r_detector : Detector.t option;  (* [None] for wildcard handlers *)
   r_guard : unit -> bool;
   r_on_receive : Occurrence.t -> unit;
-  r_keys : (string * Oodb.Types.modifier) list;  (* distinct bucket keys *)
+  r_keys : int list;  (* distinct bucket keys *)
   r_temporal : bool;
   mutable r_seen : int;  (* delivery sequence last received; dedups fan-in *)
   (* Classes whose instances this consumer hears through class-level
@@ -29,7 +39,7 @@ type reg = {
      hierarchy changes or when (un)subscription (including rollback) does. *)
   mutable r_sub_schema_stamp : int;
   mutable r_sub_stamp : int;
-  r_sub_accept : (string, unit) Hashtbl.t;
+  r_sub_accept : (Symbol.t, unit) Hashtbl.t;
 }
 
 type entry = {
@@ -39,7 +49,7 @@ type entry = {
   (* [p_class]'s subsumption set — the declared class and its subclasses —
      resolved once per schema generation.  [None] when the leaf matches any
      class.  A stamp of -1 means never computed. *)
-  e_classes : (string, unit) Hashtbl.t option;
+  e_classes : (Symbol.t, unit) Hashtbl.t option;
   mutable e_class_stamp : int;
 }
 
@@ -50,7 +60,7 @@ type bucket = {
 
 type t = {
   rt_db : Db.t;
-  index : ((string * Oodb.Types.modifier), bucket) Hashtbl.t;
+  index : (int, bucket) Hashtbl.t;
   regs : reg Oid.Table.t;  (* detector registrations, by consumer *)
   temporal : reg Oid.Table.t;  (* subset whose detectors need clock driving *)
   wildcards : reg Oid.Table.t;  (* handlers that hear every subscribed event *)
@@ -126,11 +136,13 @@ let make_reg ~consumer ~detector ~guard ~on_receive ~keys ~temporal =
 let register t ~consumer ?(guard = default_guard) ~on_receive detector =
   if Oid.Table.mem t.regs consumer then unregister t consumer;
   let leaves = Detector.leaves detector in
+  let key_of_prim (p : Expr.prim) =
+    key_of ~meth_sym:(Symbol.intern p.Expr.p_meth) ~modifier:p.Expr.p_modifier
+  in
   let keys =
     List.fold_left
       (fun acc leaf ->
-        let p = Detector.leaf_prim leaf in
-        let key = (p.Expr.p_meth, p.Expr.p_modifier) in
+        let key = key_of_prim (Detector.leaf_prim leaf) in
         if List.mem key acc then acc else key :: acc)
       [] leaves
   in
@@ -142,8 +154,7 @@ let register t ~consumer ?(guard = default_guard) ~on_receive detector =
   List.iter
     (fun leaf ->
       let p = Detector.leaf_prim leaf in
-      let key = (p.Expr.p_meth, p.Expr.p_modifier) in
-      let b = bucket t key in
+      let b = bucket t (key_of_prim p) in
       let entry =
         {
           e_reg = reg;
@@ -193,7 +204,7 @@ let refresh_sub_accept t reg =
         if List.exists (Oid.equal reg.r_consumer) (Db.class_consumers_of t.rt_db cls)
         then
           List.iter
-            (fun sub -> Hashtbl.replace reg.r_sub_accept sub ())
+            (fun sub -> Hashtbl.replace reg.r_sub_accept (Symbol.intern sub) ())
             (Db.subclasses t.rt_db cls))
       (Db.classes t.rt_db);
     reg.r_sub_schema_stamp <- sg;
@@ -202,7 +213,8 @@ let refresh_sub_accept t reg =
 
 let subscribed t reg (o : Oodb.Types.obj) =
   refresh_sub_accept t reg;
-  Hashtbl.mem reg.r_sub_accept o.Oodb.Types.cls
+  Hashtbl.mem reg.r_sub_accept
+    o.Oodb.Types.info.Oodb.Types.ri_layout.Oodb.Types.ly_class_sym
   || List.exists (Oid.equal reg.r_consumer) o.Oodb.Types.consumers
 
 (* Same subsumption the detector leaf applies ([System.subsumes_of]): the
@@ -219,13 +231,13 @@ let class_ok t entry (occ : Occurrence.t) =
       (match entry.e_prim.Expr.p_class with
       | None -> ()
       | Some super ->
-        Hashtbl.replace set super ();
+        Hashtbl.replace set (Symbol.intern super) ();
         List.iter
-          (fun sub -> Hashtbl.replace set sub ())
+          (fun sub -> Hashtbl.replace set (Symbol.intern sub) ())
           (Db.subclasses t.rt_db super));
       entry.e_class_stamp <- sg
     end;
-    Hashtbl.mem set occ.Oodb.Occurrence.source_class
+    Hashtbl.mem set occ.Oodb.Occurrence.class_sym
 
 (* --- delivery ----------------------------------------------------------- *)
 
@@ -257,10 +269,7 @@ let deliver t (o : Oodb.Types.obj) (occ : Occurrence.t) =
         | None -> ()
       end)
     t.temporal;
-  match
-    Hashtbl.find_opt t.index
-      (occ.Oodb.Occurrence.meth, occ.Oodb.Occurrence.modifier)
-  with
+  match Hashtbl.find_opt t.index (key_of_occ occ) with
   | None -> ()
   | Some b ->
     t.counters.index_hits <- t.counters.index_hits + 1;

@@ -1,13 +1,15 @@
 open Types
 
 type t = db
+type slot = Types.slot
 
-let create () =
+let create ?(layout = `Slots) () =
   {
     next_oid = 1;
     now = 0;
     next_txn_id = 1;
     wal_applied_seq = 0;
+    slots_mode = (layout = `Slots);
     objects = Oid.Table.create 1024;
     classes = Hashtbl.create 64;
     extents = Hashtbl.create 64;
@@ -21,6 +23,7 @@ let create () =
     on_journal = None;
     schema_gen = 0;
     class_sub_gen = 0;
+    index_gen = 0;
     deliver_scratch = [];
     stats =
       {
@@ -35,6 +38,8 @@ let create () =
         wal_fsyncs = 0;
       };
   }
+
+let layout_mode db = if db.slots_mode then `Slots else `Hashtbl
 
 let now db = db.now
 
@@ -70,10 +75,7 @@ let reset_stats db =
 
 (* --- schema ------------------------------------------------------------ *)
 
-let info db cls =
-  match Hashtbl.find_opt db.class_info cls with
-  | Some i -> i
-  | None -> raise (Errors.No_such_class cls)
+let info = Heap.class_info
 
 let compute_info db (c : class_def) =
   let parent = Option.map (info db) c.super in
@@ -89,7 +91,61 @@ let compute_info db (c : class_def) =
   | Some p -> Hashtbl.iter (Hashtbl.replace ri_iface) p.ri_iface
   | None -> ());
   Hashtbl.iter (Hashtbl.replace ri_iface) c.interface;
-  { ri_reactive; ri_ancestry; ri_iface }
+  (* Slot layout.  Schema.all_attrs walks root-first, so the slots of this
+     class are the parent's slots followed by our own declarations: the
+     subclass prefix invariant that makes a resolved slot index valid across
+     a deep extent. *)
+  let spec = Schema.all_attrs db c.cname in
+  let n = List.length spec in
+  let ly_names = Array.make n "" in
+  let ly_defaults = Array.make n Value.Null in
+  List.iteri
+    (fun i (name, d) ->
+      ly_names.(i) <- name;
+      ly_defaults.(i) <- d)
+    spec;
+  let ly_syms = Array.map Symbol.intern ly_names in
+  let ly_by_name = Hashtbl.create (max 4 n) in
+  let ly_by_sym = Hashtbl.create (max 4 n) in
+  Array.iteri
+    (fun i name ->
+      Hashtbl.replace ly_by_name name i;
+      Hashtbl.replace ly_by_sym ly_syms.(i) i)
+    ly_names;
+  (match parent with
+  | Some p ->
+    (* prefix invariant: cheap to check once per class (re)definition *)
+    let psyms = p.ri_layout.ly_syms in
+    assert (Array.length psyms <= n);
+    Array.iteri (fun i s -> assert (Symbol.equal ly_syms.(i) s)) psyms
+  | None -> ());
+  let ri_layout =
+    {
+      ly_class = c.cname;
+      ly_class_sym = Symbol.intern c.cname;
+      ly_names;
+      ly_syms;
+      ly_defaults;
+      ly_by_name;
+      ly_by_sym;
+      ly_ix_stamp = -1;
+      ly_covering = Array.make n [];
+    }
+  in
+  (* Dispatch cache: implementation, effective interface entry and interned
+     name per understood method, so Db.send resolves a message with one
+     hashtable probe. *)
+  let ri_dispatch = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      Hashtbl.replace ri_dispatch m
+        {
+          de_method = Schema.lookup_method db c.cname m;
+          de_iface = Hashtbl.find_opt ri_iface m;
+          de_sym = Symbol.intern m;
+        })
+    (Schema.methods_of db c.cname);
+  { ri_reactive; ri_ancestry; ri_iface; ri_layout; ri_dispatch }
 
 let define_class db (c : class_def) =
   if Hashtbl.mem db.classes c.cname then raise (Errors.Duplicate_class c.cname);
@@ -120,27 +176,21 @@ let has_class db name = Hashtbl.mem db.classes name
 (* --- objects ------------------------------------------------------------ *)
 
 let new_object db ?(attrs = []) cls =
-  if not (Hashtbl.mem db.classes cls) then raise (Errors.No_such_class cls);
-  let spec = Schema.all_attrs db cls in
-  let tbl = Hashtbl.create (max 4 (List.length spec)) in
-  List.iter (fun (name, default) -> Hashtbl.replace tbl name default) spec;
+  let info = info db cls in
+  let o = Heap.make_obj db ~id:(Oid.of_int 0) ~cls ~info ~seed:`Defaults ~consumers:[] in
   let put (name, v) =
-    if not (Hashtbl.mem tbl name) then raise (Errors.No_such_attribute (cls, name));
-    Hashtbl.replace tbl name v
+    (* the declared attribute set is exactly what `Defaults seeded *)
+    match Heap.obj_get o name with
+    | None -> raise (Errors.No_such_attribute (cls, name))
+    | Some _ -> Heap.store_put_raw o name v
   in
   List.iter put attrs;
   let id = Oid.of_int db.next_oid in
   db.next_oid <- db.next_oid + 1;
-  let o = { id; cls; attrs = tbl; consumers = []; alive = true } in
+  let o = { o with id } in
   Heap.insert_obj db o;
   Transaction.log_undo db (U_created id);
-  journal db
-    (J_mutation
-       (M_create
-          ( id,
-            cls,
-            Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
-            |> List.sort (fun (a, _) (b, _) -> String.compare a b) )));
+  journal db (J_mutation (M_create (id, cls, Heap.sorted_attrs o)));
   id
 
 let delete_object db oid =
@@ -159,44 +209,114 @@ let class_of db oid = (Heap.find_obj db oid).cls
 
 let is_instance_of db oid cls =
   let o = Heap.find_obj db oid in
-  List.exists (String.equal cls) (info db o.cls).ri_ancestry
+  List.exists (String.equal cls) o.info.ri_ancestry
 
 let get db oid name =
   let o = Heap.find_obj db oid in
-  match Hashtbl.find_opt o.attrs name with
-  | Some v -> v
-  | None -> raise (Errors.No_such_attribute (o.cls, name))
+  match o.store with
+  | S_slots slots -> (
+    match Hashtbl.find_opt o.info.ri_layout.ly_by_name name with
+    | Some i ->
+      let v = Array.unsafe_get slots i in
+      if v == absent then raise (Errors.No_such_attribute (o.cls, name)) else v
+    | None -> raise (Errors.No_such_attribute (o.cls, name)))
+  | S_table tbl -> (
+    match Hashtbl.find_opt tbl name with
+    | Some v -> v
+    | None -> raise (Errors.No_such_attribute (o.cls, name)))
 
-let get_opt db oid name =
-  let o = Heap.find_obj db oid in
-  Hashtbl.find_opt o.attrs name
+let get_opt db oid name = Heap.obj_get (Heap.find_obj db oid) name
 
-let set db oid name v =
-  let o = Heap.find_obj db oid in
-  if not (Hashtbl.mem o.attrs name) then
-    raise (Errors.No_such_attribute (o.cls, name));
-  let old = Heap.raw_set_attr db o name (Some v) in
+let log_set db oid name old v =
   Transaction.log_undo db (U_set_attr (oid, name, old));
   journal db (J_mutation (M_set (oid, name, v)))
 
-let attrs db oid =
+let set db oid name v =
   let o = Heap.find_obj db oid in
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) o.attrs []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  match o.store with
+  | S_slots slots -> (
+    match Hashtbl.find_opt o.info.ri_layout.ly_by_name name with
+    | Some i when Array.unsafe_get slots i != absent ->
+      log_set db oid name (Heap.raw_set_slot db o i (Some v)) v
+    | _ -> raise (Errors.No_such_attribute (o.cls, name)))
+  | S_table tbl ->
+    if not (Hashtbl.mem tbl name) then
+      raise (Errors.No_such_attribute (o.cls, name));
+    log_set db oid name (Heap.raw_set_attr db o name (Some v)) v
+
+let attrs db oid = Heap.sorted_attrs (Heap.find_obj db oid)
+
+(* --- pre-resolved slots -------------------------------------------------- *)
+
+let resolve db cls name =
+  let i = info db cls in
+  match Hashtbl.find_opt i.ri_layout.ly_by_name name with
+  | Some idx ->
+    { sl_name = name; sl_sym = i.ri_layout.ly_syms.(idx); sl_index = idx }
+  | None -> raise (Errors.No_such_attribute (cls, name))
+
+(* Validate a handle against the object's current layout: one array read and
+   an int compare on the hot path; a miss (layout evolved, or the handle was
+   resolved against an unrelated class) re-resolves by name. *)
+let slot_index (o : obj) (s : slot) =
+  let syms = o.info.ri_layout.ly_syms in
+  let i = s.sl_index in
+  if i < Array.length syms && Symbol.equal (Array.unsafe_get syms i) s.sl_sym
+  then i
+  else
+    match Hashtbl.find_opt o.info.ri_layout.ly_by_name s.sl_name with
+    | Some j -> j
+    | None -> raise (Errors.No_such_attribute (o.cls, s.sl_name))
+
+let slot_get db oid (s : slot) =
+  let o = Heap.find_obj db oid in
+  match o.store with
+  | S_slots slots ->
+    let v = Array.unsafe_get slots (slot_index o s) in
+    if v == absent then raise (Errors.No_such_attribute (o.cls, s.sl_name))
+    else v
+  | S_table tbl -> (
+    match Hashtbl.find_opt tbl s.sl_name with
+    | Some v -> v
+    | None -> raise (Errors.No_such_attribute (o.cls, s.sl_name)))
+
+let slot_get_opt db oid (s : slot) =
+  let o = Heap.find_obj db oid in
+  match o.store with
+  | S_slots slots -> (
+    match Hashtbl.find_opt o.info.ri_layout.ly_by_name s.sl_name with
+    | exception _ -> None
+    | None -> None
+    | Some _ ->
+      let v = Array.unsafe_get slots (slot_index o s) in
+      if v == absent then None else Some v)
+  | S_table tbl -> Hashtbl.find_opt tbl s.sl_name
+
+let slot_set db oid (s : slot) v =
+  let o = Heap.find_obj db oid in
+  match o.store with
+  | S_slots slots ->
+    let i = slot_index o s in
+    if Array.unsafe_get slots i == absent then
+      raise (Errors.No_such_attribute (o.cls, s.sl_name));
+    log_set db oid s.sl_name (Heap.raw_set_slot db o i (Some v)) v
+  | S_table tbl ->
+    if not (Hashtbl.mem tbl s.sl_name) then
+      raise (Errors.No_such_attribute (o.cls, s.sl_name));
+    log_set db oid s.sl_name (Heap.raw_set_attr db o s.sl_name (Some v)) v
 
 (* --- subscription ------------------------------------------------------- *)
 
 (* Consumer lists are stored newest-first so subscription is O(1) instead of
    the former quadratic [old @ [consumer]]; readers that care about
-   subscription order iterate in reverse. *)
+   subscription order iterate in reverse.  Tail-recursive: consumer and tap
+   lists can be arbitrarily long, so the reversal is materialized instead of
+   borrowed from the call stack. *)
 let iter_rev f l =
-  let rec go = function
-    | [] -> ()
-    | x :: tl ->
-      go tl;
-      f x
-  in
-  go l
+  match l with
+  | [] -> ()
+  | [ x ] -> f x
+  | l -> List.iter f (List.rev l)
 
 let subscribe db ~reactive ~consumer =
   let o = Heap.find_obj db reactive in
@@ -282,7 +402,7 @@ let broadcast db (o : obj) occ =
         | Some cs -> iter_rev notify_once cs
         | None -> ()
       in
-      List.iter class_level (info db o.cls).ri_ancestry)
+      List.iter class_level o.info.ri_ancestry)
 
 let deliver db (o : obj) occ =
   db.stats.events_generated <- db.stats.events_generated + 1;
@@ -291,29 +411,44 @@ let deliver db (o : obj) occ =
   | Some route -> route db o occ
   | None -> broadcast db o occ
 
-let make_occurrence db (o : obj) meth modifier params =
-  { source = o.id; source_class = o.cls; meth; modifier; params; at = tick db }
+let make_occurrence db (o : obj) ~meth ~meth_sym modifier params =
+  {
+    source = o.id;
+    source_class = o.cls;
+    class_sym = o.info.ri_layout.ly_class_sym;
+    meth;
+    meth_sym;
+    modifier;
+    params;
+    at = tick db;
+  }
 
 let signal db ~source ~meth ~modifier params =
   let o = Heap.find_obj db source in
-  deliver db o (make_occurrence db o meth modifier params)
+  deliver db o
+    (make_occurrence db o ~meth ~meth_sym:(Symbol.intern meth) modifier params)
 
 let send db receiver meth args =
   let o = Heap.find_obj db receiver in
   db.stats.sends <- db.stats.sends + 1;
-  let m = Schema.lookup_method db o.cls meth in
-  let ri = info db o.cls in
-  if not ri.ri_reactive then m.impl db receiver args
-  else begin
-    match Hashtbl.find_opt ri.ri_iface meth with
-    | None -> m.impl db receiver args
-    | Some entry ->
-      if entry.on_begin then
-        deliver db o (make_occurrence db o meth Before args);
-      let result = m.impl db receiver args in
-      if entry.on_end then deliver db o (make_occurrence db o meth After args);
-      result
-  end
+  let i = o.info in
+  match Hashtbl.find_opt i.ri_dispatch meth with
+  | None -> raise (Errors.No_such_method (o.cls, meth))
+  | Some de ->
+    if not i.ri_reactive then de.de_method.impl db receiver args
+    else begin
+      match de.de_iface with
+      | None -> de.de_method.impl db receiver args
+      | Some entry ->
+        if entry.on_begin then
+          deliver db o
+            (make_occurrence db o ~meth ~meth_sym:de.de_sym Before args);
+        let result = de.de_method.impl db receiver args in
+        if entry.on_end then
+          deliver db o
+            (make_occurrence db o ~meth ~meth_sym:de.de_sym After args);
+        result
+    end
 
 (* --- extents and indexes ------------------------------------------------ *)
 
@@ -343,9 +478,10 @@ let create_index db ?(kind = `Hash) ~cls ~attr () =
     in
     let ix = { ix_class = cls; ix_attr = attr; ix_backing } in
     Hashtbl.replace db.indexes (cls, attr) ix;
+    db.index_gen <- db.index_gen + 1;
     let add oid =
       let o = Heap.find_obj db oid in
-      match Hashtbl.find_opt o.attrs attr with
+      match Heap.obj_get o attr with
       | Some v -> Heap.index_add ix v oid
       | None -> ()
     in
@@ -356,6 +492,7 @@ let create_index db ?(kind = `Hash) ~cls ~attr () =
 let drop_index db ~cls ~attr =
   if Hashtbl.mem db.indexes (cls, attr) then begin
     Hashtbl.remove db.indexes (cls, attr);
+    db.index_gen <- db.index_gen + 1;
     journal db (J_mutation (M_drop_index (cls, attr)))
   end
 let has_index db ~cls ~attr = Hashtbl.mem db.indexes (cls, attr)

@@ -8,7 +8,14 @@
 
 type t = Types.db
 
-val create : unit -> t
+val create : ?layout:[ `Slots | `Hashtbl ] -> unit -> t
+(** [`Slots] (the default) compiles every object to a flat value array
+    addressed through its class's slot layout; [`Hashtbl] keeps the legacy
+    per-object name-keyed hashtable.  The switch exists so the two
+    representations can be benchmarked against each other in one binary;
+    both honour the same semantics. *)
+
+val layout_mode : t -> [ `Slots | `Hashtbl ]
 
 (** {1 Schema} *)
 
@@ -47,6 +54,37 @@ val set : t -> Oid.t -> string -> Value.t -> unit
     events are method invocations. *)
 
 val attrs : t -> Oid.t -> (string * Value.t) list
+
+(** {1 Pre-resolved attribute slots}
+
+    Hot paths that touch the same attribute for many objects (rule
+    conditions, the Route index, query plans, workload inner loops) resolve
+    the attribute once and then address the compiled slot directly,
+    replacing a string hash per access with an integer compare. *)
+
+type slot = Types.slot
+
+val resolve : t -> string -> string -> slot
+(** [resolve db cls attr] compiles [cls].[attr] into a slot handle.  Thanks
+    to the subclass prefix invariant the handle is valid for every instance
+    in [cls]'s deep extent.  Accessors validate the handle against the
+    object's current layout and silently re-resolve by name when stale
+    (schema evolution) or foreign (resolved against an unrelated class), so
+    holding a handle is always safe — at worst it degrades to the string
+    path.
+    @raise Errors.No_such_class
+    @raise Errors.No_such_attribute *)
+
+val slot_get : t -> Oid.t -> slot -> Value.t
+val slot_get_opt : t -> Oid.t -> slot -> Value.t option
+val slot_set : t -> Oid.t -> slot -> Value.t -> unit
+(** Same semantics (undo logging, index maintenance, absence errors) as the
+    string-keyed {!get}/{!get_opt}/{!set}. *)
+
+val iter_rev : ('a -> unit) -> 'a list -> unit
+(** Iterate a newest-first list in subscription (oldest-first) order.
+    Tail-safe: materializes the reversal, so arbitrarily long consumer and
+    tap lists do not overflow the stack. *)
 
 (** {1 Message dispatch and event generation} *)
 

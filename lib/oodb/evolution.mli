@@ -32,6 +32,14 @@ val remove_attribute : Db.t -> cls:string -> attr:string -> int
     touched.
     @raise Errors.Type_error when the class does not itself declare it *)
 
+val rename_attribute : Db.t -> cls:string -> attr:string -> into:string -> int
+(** Rename an attribute declared by exactly this class, carrying every
+    stored value (and re-keying any index on the attribute) to the new
+    name.  The attribute keeps its declared position, so its slot index in
+    compiled layouts is unchanged.  Returns instances touched.
+    @raise Errors.Type_error when the class does not itself declare [attr],
+    or [into] already exists in the chain or in a subclass *)
+
 val add_method : Db.t -> cls:string -> string -> Schema.method_impl -> unit
 (** @raise Errors.Type_error when the class already defines the method
     (inherited methods may be overridden). *)

@@ -1,6 +1,12 @@
 (* Raw heap mutations shared by Db (the logging, event-raising front door)
    and Transaction (undo replay).  Nothing here logs undo records or raises
-   events; callers are responsible for that. *)
+   events; callers are responsible for that.
+
+   Objects carry one of two attribute stores (Types.attr_store): the
+   compiled S_slots array addressed through the class layout, or the legacy
+   S_table hashtable kept as the measured baseline.  Everything below is
+   polymorphic over the store so the rest of the system never matches on the
+   representation. *)
 
 open Types
 
@@ -15,6 +21,11 @@ let find_obj_any db oid =
   match Oid.Table.find_opt db.objects oid with
   | None -> raise (Errors.No_such_object oid)
   | Some o -> o
+
+let class_info db cls =
+  match Hashtbl.find_opt db.class_info cls with
+  | Some i -> i
+  | None -> raise (Errors.No_such_class cls)
 
 let extent_table db cls =
   match Hashtbl.find_opt db.extents cls with
@@ -34,6 +45,17 @@ let covering_indexes db cls attr =
   List.filter_map
     (fun c -> Hashtbl.find_opt db.indexes (c, attr))
     (Schema.ancestry db cls)
+
+(* Slot-mode covering lookup: cached per layout slot, refreshed when the
+   database's index generation moved. *)
+let covering_of_slot db (ly : layout) i =
+  if ly.ly_ix_stamp <> db.index_gen then begin
+    Array.iteri
+      (fun j name -> ly.ly_covering.(j) <- covering_indexes db ly.ly_class name)
+      ly.ly_names;
+    ly.ly_ix_stamp <- db.index_gen
+  end;
+  Array.unsafe_get ly.ly_covering i
 
 let index_remove ix v oid =
   match ix.ix_backing with
@@ -59,34 +81,149 @@ let index_add ix v oid =
     Oid.Table.replace bucket oid ()
   | Ix_ordered tree -> Btree.insert tree v oid
 
-(* Set or remove ([v = None]) an attribute, keeping covering indexes in
-   sync.  Returns the previous binding. *)
-let raw_set_attr db o name v =
-  let old = Hashtbl.find_opt o.attrs name in
-  let ixs = covering_indexes db o.cls name in
-  List.iter
-    (fun ix -> match old with Some ov -> index_remove ix ov o.id | None -> ())
-    ixs;
-  (match v with
-  | Some nv ->
-    Hashtbl.replace o.attrs name nv;
-    List.iter (fun ix -> index_add ix nv o.id) ixs
-  | None -> Hashtbl.remove o.attrs name);
-  old
+(* --- store access -------------------------------------------------------- *)
+
+let layout_of (o : obj) = o.info.ri_layout
+
+(* Slot index of [name] in the object's layout, or -1. *)
+let slot_by_name (o : obj) name =
+  match Hashtbl.find_opt (layout_of o).ly_by_name name with
+  | Some i -> i
+  | None -> -1
+
+let obj_get (o : obj) name =
+  match o.store with
+  | S_table tbl -> Hashtbl.find_opt tbl name
+  | S_slots slots -> (
+    match Hashtbl.find_opt (layout_of o).ly_by_name name with
+    | None -> None
+    | Some i ->
+      let v = Array.unsafe_get slots i in
+      if v == absent then None else Some v)
+
+let iter_attrs f (o : obj) =
+  match o.store with
+  | S_table tbl -> Hashtbl.iter f tbl
+  | S_slots slots ->
+    let ly = layout_of o in
+    Array.iteri (fun i v -> if v != absent then f ly.ly_names.(i) v) slots
+
+let sorted_attrs (o : obj) =
+  let acc = ref [] in
+  iter_attrs (fun k v -> acc := (k, v) :: !acc) o;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !acc
+
+(* Write without index maintenance or undo logging: object construction and
+   schema-evolution plumbing.  @raise No_such_attribute in slot mode when
+   the layout has no slot for [name]. *)
+let store_put_raw (o : obj) name v =
+  match o.store with
+  | S_table tbl -> Hashtbl.replace tbl name v
+  | S_slots slots ->
+    let i = slot_by_name o name in
+    if i < 0 then raise (Errors.No_such_attribute (o.cls, name))
+    else slots.(i) <- v
+
+(* Lenient variant for snapshot loading: an attribute the current layout
+   does not declare is dropped (the hashtable store keeps it, preserving the
+   legacy behaviour of carrying undeclared snapshot attributes). *)
+let store_put_loose (o : obj) name v =
+  match o.store with
+  | S_table tbl -> Hashtbl.replace tbl name v
+  | S_slots slots ->
+    let i = slot_by_name o name in
+    if i >= 0 then slots.(i) <- v
+
+let store_remove_raw (o : obj) name =
+  match o.store with
+  | S_table tbl -> Hashtbl.remove tbl name
+  | S_slots slots ->
+    let i = slot_by_name o name in
+    if i >= 0 then slots.(i) <- absent
+
+(* --- construction -------------------------------------------------------- *)
+
+(* A fresh store for an instance of [info]'s class: [`Defaults] seeds every
+   declared attribute with its default (object creation), [`Empty] starts
+   all-absent (snapshot loading, which replays the saved attributes on
+   top). *)
+let fresh_store db (info : class_info) seed =
+  let ly = info.ri_layout in
+  if db.slots_mode then
+    S_slots
+      (match seed with
+      | `Defaults -> Array.copy ly.ly_defaults
+      | `Empty -> Array.make (Array.length ly.ly_defaults) absent)
+  else begin
+    let tbl = Hashtbl.create (max 4 (Array.length ly.ly_names)) in
+    (match seed with
+    | `Defaults ->
+      Array.iteri (fun i n -> Hashtbl.replace tbl n ly.ly_defaults.(i)) ly.ly_names
+    | `Empty -> ());
+    S_table tbl
+  end
+
+let make_obj db ~id ~cls ~info ~seed ~consumers =
+  { id; cls; info; store = fresh_store db info seed; consumers; alive = true }
+
+(* --- mutation ------------------------------------------------------------ *)
+
+(* Set or remove ([v = None]) the attribute at slot [i], keeping covering
+   indexes in sync.  Returns the previous binding.  Slot stores only. *)
+let raw_set_slot db (o : obj) i v =
+  match o.store with
+  | S_table _ -> invalid_arg "Heap.raw_set_slot: hashtable store"
+  | S_slots slots ->
+    let cur = Array.unsafe_get slots i in
+    let old = if cur == absent then None else Some cur in
+    let ixs = covering_of_slot db (layout_of o) i in
+    (match (ixs, old) with
+    | [], _ | _, None -> ()
+    | ixs, Some ov -> List.iter (fun ix -> index_remove ix ov o.id) ixs);
+    (match v with
+    | Some nv ->
+      Array.unsafe_set slots i nv;
+      if ixs <> [] then List.iter (fun ix -> index_add ix nv o.id) ixs
+    | None -> Array.unsafe_set slots i absent);
+    old
+
+(* Set or remove ([v = None]) an attribute by name, keeping covering indexes
+   in sync.  Returns the previous binding. *)
+let raw_set_attr db (o : obj) name v =
+  match o.store with
+  | S_slots _ -> (
+    let i = slot_by_name o name in
+    if i >= 0 then raw_set_slot db o i v
+    else
+      match v with
+      | None -> None (* removing an attribute the layout never had *)
+      | Some _ -> raise (Errors.No_such_attribute (o.cls, name)))
+  | S_table tbl ->
+    let old = Hashtbl.find_opt tbl name in
+    let ixs = covering_indexes db o.cls name in
+    List.iter
+      (fun ix -> match old with Some ov -> index_remove ix ov o.id | None -> ())
+      ixs;
+    (match v with
+    | Some nv ->
+      Hashtbl.replace tbl name nv;
+      List.iter (fun ix -> index_add ix nv o.id) ixs
+    | None -> Hashtbl.remove tbl name);
+    old
 
 let index_all_attrs db o =
-  Hashtbl.iter
+  iter_attrs
     (fun name v ->
       List.iter (fun ix -> index_add ix v o.id) (covering_indexes db o.cls name))
-    o.attrs
+    o
 
 let unindex_all_attrs db o =
-  Hashtbl.iter
+  iter_attrs
     (fun name v ->
       List.iter
         (fun ix -> index_remove ix v o.id)
         (covering_indexes db o.cls name))
-    o.attrs
+    o
 
 let insert_obj db o =
   Oid.Table.replace db.objects o.id o;
@@ -97,3 +234,27 @@ let remove_obj db o =
   unindex_all_attrs db o;
   remove_from_extent db o.cls o.id;
   Oid.Table.remove db.objects o.id
+
+(* --- schema evolution support -------------------------------------------- *)
+
+(* Re-point an object at its class's freshly computed info, rewriting the
+   slot array when the layout's attribute set changed.  Values are carried
+   by symbol; slots new to the layout start absent (Evolution backfills and
+   indexes them explicitly), and values whose slot disappeared are dropped
+   (Evolution unindexed them before the spec change). *)
+let migrate_obj (o : obj) (ninfo : class_info) =
+  (match o.store with
+  | S_table _ -> ()
+  | S_slots slots ->
+    let oly = o.info.ri_layout and nly = ninfo.ri_layout in
+    if oly != nly && oly.ly_syms <> nly.ly_syms then begin
+      let fresh = Array.make (Array.length nly.ly_syms) absent in
+      Array.iteri
+        (fun i s ->
+          match Hashtbl.find_opt oly.ly_by_sym s with
+          | Some j -> fresh.(i) <- slots.(j)
+          | None -> ())
+        nly.ly_syms;
+      o.store <- S_slots fresh
+    end);
+  o.info <- ninfo

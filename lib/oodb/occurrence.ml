@@ -1,14 +1,25 @@
 type t = Types.occurrence = {
   source : Oid.t;
   source_class : string;
+  class_sym : Symbol.t;
   meth : string;
+  meth_sym : Symbol.t;
   modifier : Types.modifier;
   params : Value.t list;
   at : Types.timestamp;
 }
 
 let make ~source ~source_class ~meth ~modifier ~params ~at =
-  { source; source_class; meth; modifier; params; at }
+  {
+    source;
+    source_class;
+    class_sym = Symbol.intern source_class;
+    meth;
+    meth_sym = Symbol.intern meth;
+    modifier;
+    params;
+    at;
+  }
 
 let modifier_to_string = function Types.Before -> "begin" | Types.After -> "end"
 
@@ -20,17 +31,28 @@ let modifier_of_string = function
 let equal a b =
   a.at = b.at
   && Oid.equal a.source b.source
-  && String.equal a.meth b.meth
+  && Symbol.equal a.meth_sym b.meth_sym
   && a.modifier = b.modifier
-  && String.equal a.source_class b.source_class
+  && Symbol.equal a.class_sym b.class_sym
   && List.equal Value.equal a.params b.params
+
+let modifier_rank = function Types.Before -> 0 | Types.After -> 1
 
 let compare a b =
   let c = Int.compare a.at b.at in
   if c <> 0 then c
   else
     let c = Oid.compare a.source b.source in
-    if c <> 0 then c else String.compare a.meth b.meth
+    if c <> 0 then c
+    else
+      let c = String.compare a.meth b.meth in
+      if c <> 0 then c
+      else
+        (* A begin and an end of the same method share a timestamp only when
+           raised by distinct sends in one clock tick; order begins first so
+           merged detector streams stay deterministic. *)
+        let c = Int.compare (modifier_rank a.modifier) (modifier_rank b.modifier) in
+        if c <> 0 then c else String.compare a.source_class b.source_class
 
 let pp ppf o =
   Format.fprintf ppf "%s %s::%s%a@@t%d" (modifier_to_string o.modifier)

@@ -1,12 +1,19 @@
 (** Primitive event occurrences.
 
     The record itself is defined in {!Types} (it is part of the recursive
-    knot); this module provides construction, comparison and printing. *)
+    knot); this module provides construction, comparison and printing.
+
+    [class_sym] and [meth_sym] are the interned counterparts of
+    [source_class] and [meth]; {!make} keeps them consistent, and consumers
+    on per-event hot paths (routing, detector leaf matching) compare the
+    symbols instead of the strings. *)
 
 type t = Types.occurrence = {
   source : Oid.t;
   source_class : string;
+  class_sym : Symbol.t;
   meth : string;
+  meth_sym : Symbol.t;
   modifier : Types.modifier;
   params : Value.t list;
   at : Types.timestamp;
@@ -20,6 +27,7 @@ val make :
   params:Value.t list ->
   at:Types.timestamp ->
   t
+(** Builds an occurrence, interning [source_class] and [meth]. *)
 
 val modifier_to_string : Types.modifier -> string
 (** ["begin"] / ["end"], matching the paper's event-signature syntax. *)
@@ -29,8 +37,12 @@ val modifier_of_string : string -> Types.modifier
     @raise Errors.Parse_error otherwise. *)
 
 val equal : t -> t -> bool
+
 val compare : t -> t -> int
-(** Ordered by timestamp, then source, then method. *)
+(** Total over the identifying fields: timestamp, then source, then method,
+    then modifier ([Before] before [After]), then source class.  Detector
+    merge sorts by this, so two distinct occurrences must never compare
+    equal merely because they share a timestamp, source and method. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

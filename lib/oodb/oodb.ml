@@ -13,6 +13,7 @@
     primitive-event record the event layer consumes. *)
 
 module Oid = Oid
+module Symbol = Symbol
 module Value = Value
 module Errors = Errors
 module Types = Types

@@ -158,11 +158,9 @@ let write db emit =
   in
   let write_obj o =
     pr "obj %d %s\n" (Oid.to_int o.id) o.cls;
-    let attrs =
-      Hashtbl.fold (fun k v acc -> (k, v) :: acc) o.attrs []
-      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-    in
-    List.iter (fun (k, v) -> pr "a %s %s\n" k (encode_value v)) attrs;
+    List.iter
+      (fun (k, v) -> pr "a %s %s\n" k (encode_value v))
+      (Heap.sorted_attrs o);
     if o.consumers <> [] then
       pr "c %s\n"
         (String.concat " " (List.map (fun c -> string_of_int (Oid.to_int c)) o.consumers));
@@ -255,8 +253,10 @@ let read db read_line =
   let pending_indexes = ref [] in
   let read_object oid cls =
     if not (Db.has_class db cls) then raise (Errors.No_such_class cls);
-    let attrs = Hashtbl.create 8 in
-    let consumers = ref [] in
+    let info = Heap.class_info db cls in
+    (* `Empty seed: an attribute the snapshot does not carry (it predates an
+       add_attribute) loads as absent, not as the current default *)
+    let o = Heap.make_obj db ~id:oid ~cls ~info ~seed:`Empty ~consumers:[] in
     let rec body () =
       match next_line () with
       | None -> fail "unterminated object"
@@ -264,15 +264,16 @@ let read db read_line =
         match split_words line with
         | [ "end" ] -> ()
         | "a" :: name :: [ enc ] ->
-          Hashtbl.replace attrs name (decode_value enc);
+          (* loose: snapshot attributes the current schema no longer
+             declares are dropped in slot mode, carried in table mode *)
+          Heap.store_put_loose o name (decode_value enc);
           body ()
         | "c" :: oids ->
-          consumers := List.map parse_oid oids;
+          o.consumers <- List.map parse_oid oids;
           body ()
         | _ -> fail "bad object body: %s" line)
     in
     body ();
-    let o = { id = oid; cls; attrs; consumers = !consumers; alive = true } in
     Heap.insert_obj db o
   in
   let rec toplevel () =

@@ -21,7 +21,16 @@ type pred =
 val matches : Db.t -> Oid.t -> pred -> bool
 (** Evaluate a predicate against one object.  A predicate naming an
     attribute the object lacks is simply false (rather than an error), so
-    queries over heterogeneous deep extents behave sensibly. *)
+    queries over heterogeneous deep extents behave sensibly.  The object is
+    fetched once per call; attribute nodes read the pinned object rather
+    than re-resolving the OID. *)
+
+val probes : unit -> int
+(** Process-wide count of object fetches performed by {!matches} — one per
+    evaluated candidate.  The E-oltp benchmark uses it to verify the
+    fetch-once contract. *)
+
+val reset_probes : unit -> unit
 
 val select : Db.t -> ?deep:bool -> string -> pred -> Oid.t list
 (** [select db cls p] returns the instances of [cls] (by default including

@@ -188,10 +188,10 @@ let delete_object s oid =
   let saved = Db.attrs db oid in
   let consumers = Db.consumers_of db oid in
   let resurrect () =
-    let tbl = Hashtbl.create (max 4 (List.length saved)) in
-    List.iter (fun (attr, v) -> Hashtbl.replace tbl attr v) saved;
-    Heap.insert_obj db
-      { Types.id = oid; cls; attrs = tbl; consumers; alive = true }
+    let info = Heap.class_info db cls in
+    let o = Heap.make_obj db ~id:oid ~cls ~info ~seed:`Empty ~consumers in
+    List.iter (fun (attr, v) -> Heap.store_put_raw o attr v) saved;
+    Heap.insert_obj db o
   in
   s.s_undo <- resurrect :: s.s_undo;
   Db.delete_object db oid

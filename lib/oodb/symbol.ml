@@ -1,0 +1,42 @@
+(* Global string interning for attribute, method and class names.
+
+   Symbols are small dense ints handed out in first-intern order, so derived
+   structures (slot resolution tables, routing keys) can compare and hash
+   plain integers on the hot path instead of hashing strings.  The table is
+   process-wide and append-only: a symbol, once interned, never changes its
+   id, which is what lets pre-resolved slot handles and routing keys stay
+   valid across schema evolution (the *mapping* from symbol to slot moves,
+   the symbol itself does not).  Ids are process-local — nothing persistent
+   ever stores one; on-disk formats keep the string names. *)
+
+type t = int
+
+let table : (string, int) Hashtbl.t = Hashtbl.create 256
+let rev : string array ref = ref (Array.make 256 "")
+let next = ref 0
+
+let intern s =
+  match Hashtbl.find_opt table s with
+  | Some id -> id
+  | None ->
+    let id = !next in
+    incr next;
+    Hashtbl.replace table s id;
+    if id >= Array.length !rev then begin
+      let bigger = Array.make (2 * Array.length !rev) "" in
+      Array.blit !rev 0 bigger 0 (Array.length !rev);
+      rev := bigger
+    end;
+    !rev.(id) <- s;
+    id
+
+let find s = Hashtbl.find_opt table s
+
+let name id =
+  if id < 0 || id >= !next then invalid_arg "Symbol.name: unknown symbol"
+  else !rev.(id)
+
+let count () = !next
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Int.compare a b
+let pp ppf id = Format.fprintf ppf "%s#%d" (name id) id

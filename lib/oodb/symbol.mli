@@ -1,0 +1,26 @@
+(** Global string interning for attribute, method and class names.
+
+    A symbol is a small dense integer assigned at first intern and stable
+    for the life of the process.  Hot paths (slot resolution, event routing,
+    detector leaf matching) compare symbols instead of hashing strings.
+    Symbol ids are process-local: on-disk formats (snapshots, WALs) always
+    keep the string names and re-intern on load. *)
+
+type t = int
+
+val intern : string -> t
+(** Return the symbol for [s], allocating a fresh id on first sight. *)
+
+val find : string -> t option
+(** The symbol for [s], if it has ever been interned. *)
+
+val name : t -> string
+(** The string a symbol stands for.
+    @raise Invalid_argument on an id never handed out. *)
+
+val count : unit -> int
+(** Number of symbols interned so far (ids are [0 .. count () - 1]). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -15,26 +15,36 @@ type interface_entry = { on_begin : bool; on_end : bool }
 
 (* A generated primitive event (paper §3.1):
    "Generated primitive event = Oid + Class + Method + Actual parameters +
-    Time stamp". *)
+    Time stamp".
+   The interned [class_sym]/[meth_sym] pair rides along with the strings so
+   downstream consumers (Events.Route discrimination keys, Detector leaf
+   matching) compare ints on the per-event path; the strings remain the
+   source of truth for printing and serialization. *)
 type occurrence = {
   source : Oid.t;
   source_class : string; (* runtime class of the generating object *)
+  class_sym : Symbol.t;
   meth : string;
+  meth_sym : Symbol.t;
   modifier : modifier;
   params : Value.t list;
   at : timestamp;
 }
 
-type obj = {
-  id : Oid.t;
-  mutable cls : string;
-  attrs : (string, Value.t) Hashtbl.t;
-  (* The paper's Reactive::consumers data member: notifiable objects that
-     subscribed to this instance's events.  Stored newest-first so subscribe
-     is O(1); subscription order is recovered by reversing. *)
-  mutable consumers : Oid.t list;
-  mutable alive : bool;
-}
+(* A pre-resolved attribute handle (Db.resolve).  [sl_index] is the slot the
+   attribute occupied in the layout it was resolved against; accessors
+   validate it with one array read ([ly_syms.(sl_index) = sl_sym]) and fall
+   back to re-resolution by name, so a handle survives schema evolution and
+   works across classes thanks to the subclass prefix invariant. *)
+type slot = { sl_name : string; sl_sym : Symbol.t; sl_index : int }
+
+(* Slot-mode "attribute is not stored" marker.  Attributes can be
+   legitimately absent (snapshot predating an add_attribute, undo of a
+   backfill, remove_attribute mid-flight), and [Db.get_opt] must tell
+   absence apart from a stored [Null] — the hashtable representation got
+   that from key presence.  Compare with [==] only; the sentinel is never
+   indexed, never persisted and never escapes through the public API. *)
+let absent : Value.t = Value.Str "\000<absent>\000"
 
 type method_def = { mname : string; impl : db -> Oid.t -> Value.t list -> Value.t }
 
@@ -42,7 +52,7 @@ and class_def = {
   cname : string;
   super : string option;
   (* These three are mutable to support runtime schema evolution
-     (Db.add_attribute / add_method / add_event_generator). *)
+     (Evolution.add_attribute / add_method / add_event_generator). *)
   mutable attr_spec : (string * Value.t) list; (* attribute name, default *)
   methods : (string, method_def) Hashtbl.t;
   interface : (string, interface_entry) Hashtbl.t;
@@ -70,13 +80,66 @@ and txn = {
   txn_id : int;
 }
 
-and index = { ix_class : string; ix_attr : string; ix_backing : index_backing }
+and index = { ix_class : string; mutable ix_attr : string; ix_backing : index_backing }
 
 (* Hash indexes serve equality probes; ordered (B+-tree) indexes add range
    scans for comparison predicates. *)
 and index_backing =
   | Ix_hash of (Value.t, unit Oid.Table.t) Hashtbl.t
   | Ix_ordered of Btree.t
+
+(* The compiled slot layout of one class: attribute [i] of an instance lives
+   at [slots.(i)].  Slot order is Schema.all_attrs order — root-declared
+   attributes first — which makes a subclass layout a prefix-compatible
+   extension of its superclass's: a slot index resolved against class C is
+   valid for every instance in C's deep extent. *)
+and layout = {
+  ly_class : string;
+  ly_class_sym : Symbol.t;
+  ly_names : string array; (* slot -> attribute name *)
+  ly_syms : Symbol.t array; (* slot -> interned name *)
+  ly_defaults : Value.t array; (* slot -> declared default *)
+  ly_by_name : (string, int) Hashtbl.t; (* name -> slot *)
+  ly_by_sym : (Symbol.t, int) Hashtbl.t; (* symbol -> slot *)
+  (* Per-slot covering-index lists, so the set hot path skips the ancestry
+     walk + hashtable probes of Heap.covering_indexes.  Rebuilt lazily when
+     the stamp trails db.index_gen. *)
+  mutable ly_ix_stamp : int;
+  ly_covering : index list array;
+}
+
+(* Attribute storage.  [S_slots] is the compiled representation: a flat
+   value array indexed by the class layout.  [S_table] is the legacy
+   name-keyed hashtable, kept selectable (Db.create ~layout:`Hashtbl) as
+   the measured baseline for the E-oltp benchmark and the CI bench-smoke
+   regression gate. *)
+and attr_store =
+  | S_slots of Value.t array
+  | S_table of (string, Value.t) Hashtbl.t
+
+and obj = {
+  id : Oid.t;
+  mutable cls : string;
+  (* The flattened class cache, denormalized onto the instance so dispatch
+     and slot access skip the class_info hashtable probe.  Evolution keeps
+     it fresh (Heap.migrate_obj) when it replaces a class's info. *)
+  mutable info : class_info;
+  mutable store : attr_store;
+  (* The paper's Reactive::consumers data member: notifiable objects that
+     subscribed to this instance's events.  Stored newest-first so subscribe
+     is O(1); subscription order is recovered by reversing. *)
+  mutable consumers : Oid.t list;
+  mutable alive : bool;
+}
+
+(* One method as seen by Db.send: implementation, effective event-interface
+   entry and interned name resolved together, so dispatch costs a single
+   hashtable probe. *)
+and dispatch_entry = {
+  de_method : method_def;
+  de_iface : interface_entry option;
+  de_sym : Symbol.t;
+}
 
 (* Flattened, inheritance-resolved view of a class, computed once at
    registration time so that the dispatch hot path (Db.send) does not walk
@@ -85,12 +148,16 @@ and class_info = {
   ri_reactive : bool;
   ri_ancestry : string list; (* class first, root last *)
   ri_iface : (string, interface_entry) Hashtbl.t;
+  ri_layout : layout;
+  ri_dispatch : (string, dispatch_entry) Hashtbl.t;
 }
 
 (* Logical mutations, as reported to an attached journal (Wal).  These are
    pure data — no code — so a log of them can be replayed into a fresh
    database to reconstruct state (methods and rule code re-bind from the
-   registered classes and the function registry, as with Persist). *)
+   registered classes and the function registry, as with Persist).
+   Attribute and class names are carried as strings: symbol ids are
+   process-local and never reach the disk. *)
 and mutation =
   | M_create of Oid.t * string * (string * Value.t) list
   | M_delete of Oid.t
@@ -133,6 +200,10 @@ and db = {
      skip the batches the snapshot already contains instead of
      double-applying them (the checkpoint-crash window). *)
   mutable wal_applied_seq : int;
+  (* Slot mode (the default) compiles objects to S_slots arrays; hashtbl
+     mode preserves the legacy per-object S_table representation for
+     baseline measurement. *)
+  slots_mode : bool;
   objects : obj Oid.Table.t;
   classes : (string, class_def) Hashtbl.t;
   extents : (string, unit Oid.Table.t) Hashtbl.t; (* direct extent per class *)
@@ -162,6 +233,9 @@ and db = {
      transaction rollback of the latter. *)
   mutable schema_gen : int;
   mutable class_sub_gen : int;
+  (* Bumped on create_index / drop_index; layouts compare it to refresh
+     their per-slot covering-index caches. *)
+  mutable index_gen : int;
   (* Reusable scratch tables for Db.deliver's per-event consumer dedup; a
      pool (not a single table) because rule actions can re-enter deliver. *)
   mutable deliver_scratch : unit Oid.Table.t list;

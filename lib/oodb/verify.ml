@@ -18,18 +18,43 @@ let check ?(quiescent = false) (db : Db.t) =
         (match List.find_opt (Oid.equal oid) (Db.extent db ~deep:false o.cls) with
         | Some _ -> ()
         | None -> complain "%s: missing from extent of %s" (Oid.to_string oid) o.cls);
-        (* attribute set = declared set *)
-        let spec = Schema.all_attrs db o.cls in
-        List.iter
-          (fun (attr, _) ->
-            if not (Hashtbl.mem o.attrs attr) then
-              complain "%s: declared attribute %s missing" (Oid.to_string oid) attr)
-          spec;
-        Hashtbl.iter
-          (fun attr _ ->
-            if not (List.mem_assoc attr spec) then
-              complain "%s: undeclared attribute %s present" (Oid.to_string oid) attr)
-          o.attrs
+        (* the denormalized info pointer must be the registered one *)
+        (match Hashtbl.find_opt db.class_info o.cls with
+        | Some ci when ci != o.info ->
+          complain "%s: stale class_info cache" (Oid.to_string oid)
+        | _ -> ());
+        (* slot store must match the layout; checked before the attribute
+           walk, which addresses slots through the layout *)
+        let store_ok =
+          match o.store with
+          | S_table _ -> true
+          | S_slots slots ->
+            let n = Array.length o.info.ri_layout.ly_names in
+            if Array.length slots = n then true
+            else begin
+              complain "%s: slot array has %d slots but layout has %d"
+                (Oid.to_string oid) (Array.length slots) n;
+              false
+            end
+        in
+        if store_ok then begin
+          (* attribute set = declared set *)
+          let spec = Schema.all_attrs db o.cls in
+          List.iter
+            (fun (attr, _) ->
+              match Heap.obj_get o attr with
+              | None ->
+                complain "%s: declared attribute %s missing" (Oid.to_string oid)
+                  attr
+              | Some _ -> ())
+            spec;
+          Heap.iter_attrs
+            (fun attr _ ->
+              if not (List.mem_assoc attr spec) then
+                complain "%s: undeclared attribute %s present"
+                  (Oid.to_string oid) attr)
+            o
+        end
       end)
     db.objects;
 

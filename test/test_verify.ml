@@ -63,16 +63,31 @@ let test_detects_corruption () =
       (List.exists (contains_substring ~sub:"not indexed") ps)
   | Ok () -> Alcotest.fail "corruption not detected");
   ignore e;
-  (* corrupt an attribute table: undeclared attribute *)
-  let db2 = employee_db () in
+  (* corrupt an attribute table (hashtbl layout): undeclared attribute *)
+  let db2 = employee_db ~layout:`Hashtbl () in
   let e2 = new_employee db2 in
   let o = Oodb.Oid.Table.find db2.Oodb.Types.objects e2 in
-  Hashtbl.replace o.Oodb.Types.attrs "smuggled" Value.Null;
-  match Verify.check db2 with
+  (match o.Oodb.Types.store with
+  | Oodb.Types.S_table tbl -> Hashtbl.replace tbl "smuggled" Value.Null
+  | Oodb.Types.S_slots _ -> assert false);
+  (match Verify.check db2 with
   | Error ps ->
     Alcotest.(check bool) "flags undeclared attr" true
       (List.exists (contains_substring ~sub:"undeclared") ps)
-  | Ok () -> Alcotest.fail "undeclared attribute not detected"
+  | Ok () -> Alcotest.fail "undeclared attribute not detected");
+  (* corrupt a slot store: truncated array *)
+  let db3 = employee_db () in
+  let e3 = new_employee db3 in
+  let o3 = Oodb.Oid.Table.find db3.Oodb.Types.objects e3 in
+  (match o3.Oodb.Types.store with
+  | Oodb.Types.S_slots slots ->
+    o3.Oodb.Types.store <- Oodb.Types.S_slots (Array.sub slots 0 1)
+  | Oodb.Types.S_table _ -> assert false);
+  match Verify.check db3 with
+  | Error ps ->
+    Alcotest.(check bool) "flags short slot array" true
+      (List.exists (contains_substring ~sub:"slot") ps)
+  | Ok () -> Alcotest.fail "truncated slot array not detected"
 
 (* Property: random committed/aborted workloads never break integrity. *)
 let prop_workloads_stay_sound =
