@@ -1274,6 +1274,171 @@ let e_oltp () =
     else row "  bench-smoke gate: slots >= hashtbl at 100 attrs (ok)\n"
   end
 
+(* ------------------------------------------------------------------------- *)
+(* E-obs: observability overhead (metrics registry + cascade tracer)          *)
+(* ------------------------------------------------------------------------- *)
+
+(* Every instrumented call site shares one disabled-path shape: a
+   [!Obs.armed] load and a branch, then a tail call of the raw
+   implementation.  There is no un-instrumented binary to diff against, so
+   the disabled overhead is *derived*: the measured cost of that gate
+   primitive, times the gates an operation crosses, over the operation's own
+   latency.  The off-vs-off spread of repeated runs is printed next to it as
+   the noise floor — wall-clock diffs in the low single digits at these op
+   rates are dominated by it, which is exactly why the CI gate runs on the
+   derived number.  Enabled overhead (metrics, tracing) is measured
+   directly. *)
+let e_obs () =
+  header "E-obs: observability overhead (metrics + tracing on the oltp micro-bench)";
+  let smoke = Sys.getenv_opt "BENCH_SMOKE" <> None in
+  let iters = if smoke then 200_000 else 1_000_000 in
+  let send_iters = if smoke then 40_000 else 200_000 in
+  let gate_iters = if smoke then 10_000_000 else 50_000_000 in
+  let n_objects = 200 in
+  Obs.Metrics.disable ();
+  Obs.Trace.disable ();
+  let db = Db.create () in
+  let size = 100 in
+  let hot = Printf.sprintf "a%d" (size / 2) in
+  Db.define_class db
+    (Schema.define "wide"
+       ~attrs:(List.init size (fun i -> (Printf.sprintf "a%d" i, Value.Int 0)))
+       ~methods:[ ("poke", Workloads.Dsl.setter hot) ]);
+  let objs = Array.init n_objects (fun _ -> Db.new_object db "wide") in
+  let slot = Db.resolve db "wide" hot in
+  let next =
+    let i = ref 0 in
+    fun () ->
+      let o = Array.unsafe_get objs (!i land (16 - 1)) in
+      incr i;
+      o
+  in
+  let one = Value.Int 1 in
+  (* best of 3: overhead ratios compare each mode's attainable rate, not its
+     scheduling jitter *)
+  let ops iters f =
+    let best = ref 0. in
+    for _ = 1 to 3 do
+      let (), ms = time_ms (fun () -> for _ = 1 to iters do f () done) in
+      best := Float.max !best (float_of_int iters /. ms *. 1000.)
+    done;
+    !best
+  in
+  let get () = ignore (Db.slot_get db (next ()) slot) in
+  let set () = Db.slot_set db (next ()) slot one in
+  let args = [ one ] in
+  let send () = ignore (Db.send db (next ()) "poke" args) in
+  let mode name =
+    let g = ops iters get and s = ops iters set and d = ops send_iters send in
+    row "  %-12s get %11.0f/s  set %11.0f/s  send %10.0f/s\n" name g s d;
+    (g, s, d)
+  in
+  let g0, s0, d0 = mode "off" in
+  let g1, s1, d1 = mode "off-again" in
+  Obs.Metrics.enable ();
+  Obs.Metrics.reset ();
+  let gm, sm, dm = mode "metrics-on" in
+  Obs.Metrics.disable ();
+  Obs.Trace.enable ();
+  Obs.Trace.clear ();
+  let gt, st, dt = mode "trace-on" in
+  Obs.Trace.disable ();
+  (* The gate primitive (one ref load + branch), isolated from its
+     measurement loop by subtracting an empty loop of the same trip count;
+     best of 3 for both, and floored at a conservative 0.1 ns so a noisy
+     subtraction cannot flatter the estimate to zero. *)
+  let sink = ref 0 in
+  let loop_ns body =
+    let best = ref Float.infinity in
+    for _ = 1 to 3 do
+      let (), ms = time_ms (fun () -> for _ = 1 to gate_iters do body () done) in
+      best := Float.min !best (ms *. 1e6 /. float_of_int gate_iters)
+    done;
+    !best
+  in
+  let empty_ns = loop_ns (fun () -> ()) in
+  let gated_ns = loop_ns (fun () -> if !Obs.armed then incr sink) in
+  let gate_ns = Float.max 0.1 (gated_ns -. empty_ns) in
+  (* Gates crossed per operation: slot_get/slot_set are one wrapper each; a
+     send crosses its own wrapper plus the slot write inside the method, with
+     one spare for the occurrence path of reactive receivers. *)
+  let derived base gates = gate_ns *. float_of_int gates /. (1e9 /. base) *. 100. in
+  let dg = derived g0 1 and ds = derived s0 1 and dd = derived d0 3 in
+  let noise base v = Float.abs (v -. base) /. base *. 100. in
+  let enabled base v = (base /. v -. 1.) *. 100. in
+  row "  gate primitive: %.2f ns/check\n" gate_ns;
+  row "  disabled overhead (derived): get %.3f%%  set %.3f%%  send %.3f%%\n" dg ds dd;
+  row "  off-vs-off noise floor:      get %.1f%%  set %.1f%%  send %.1f%%\n"
+    (noise g0 g1) (noise s0 s1) (noise d0 d1);
+  row "  metrics-on overhead:         get %.1f%%  set %.1f%%  send %.1f%%\n"
+    (enabled g0 gm) (enabled s0 sm) (enabled d0 dm);
+  row "  trace-on overhead:           get %.1f%%  set %.1f%%  send %.1f%%\n"
+    (enabled g0 gt) (enabled s0 st) (enabled d0 dt);
+  (* A representative cascade for the CI artifact: banking deposit->withdraw
+     in deferred coupling inside one explicit transaction, so the trace
+     spans send, routing, detection, scheduling and firing. *)
+  let sample_db = Db.create () in
+  let sys = System.create sample_db in
+  Workloads.Banking.install sample_db;
+  let rng = Prng.create 7 in
+  let accounts = Workloads.Banking.populate sample_db rng ~accounts:4 in
+  System.register_action sys "noop" (fun _ _ -> ());
+  ignore
+    (System.create_rule sys ~name:"depwit" ~coupling:Sentinel.Coupling.Deferred
+       ~monitor_classes:[ Workloads.Banking.account_class ]
+       ~event:
+         (Expr.seq
+            (Expr.eom ~cls:Workloads.Banking.account_class "deposit")
+            (Expr.bom ~cls:Workloads.Banking.account_class "withdraw"))
+       ~condition:"true" ~action:"noop" ());
+  Obs.Trace.enable ();
+  Obs.Trace.clear ();
+  (match
+     Transaction.atomically sample_db (fun () ->
+         ignore (Db.send sample_db accounts.(0) "deposit" [ Value.Float 10. ]);
+         ignore (Db.send sample_db accounts.(0) "withdraw" [ Value.Float 5. ]))
+   with
+  | Ok () -> ()
+  | Error e -> raise e);
+  Obs.Trace.disable ();
+  let sample = Obs.Trace.to_chrome_json () in
+  let oc = open_out "TRACE_sample.json" in
+  output_string oc sample;
+  close_out oc;
+  row "  wrote TRACE_sample.json (%d spans)\n" (List.length (Obs.Trace.spans ()));
+  let oc = open_out "BENCH_obs.json" in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"E-obs\",\n  \"rw_iters\": %d,\n  \"send_iters\": \
+     %d,\n  \"workload\": \"E-oltp wide class (100 attrs, slot layout); \
+     disabled overhead derived as gate_ns x gates / op_ns; enabled overhead \
+     measured best-of-3\",\n  \"gate_ns\": %.3f,\n  \
+     \"disabled_overhead_pct\": {\"get\": %.4f, \"set\": %.4f, \"send\": \
+     %.4f},\n  \"noise_floor_pct\": {\"get\": %.2f, \"set\": %.2f, \"send\": \
+     %.2f},\n  \"metrics_on_overhead_pct\": {\"get\": %.2f, \"set\": %.2f, \
+     \"send\": %.2f},\n  \"trace_on_overhead_pct\": {\"get\": %.2f, \"set\": \
+     %.2f, \"send\": %.2f},\n  \"rows\": [\n\
+    \    {\"mode\": \"off\", \"get_ops_per_sec\": %.0f, \"set_ops_per_sec\": \
+     %.0f, \"send_ops_per_sec\": %.0f},\n\
+    \    {\"mode\": \"metrics\", \"get_ops_per_sec\": %.0f, \
+     \"set_ops_per_sec\": %.0f, \"send_ops_per_sec\": %.0f},\n\
+    \    {\"mode\": \"trace\", \"get_ops_per_sec\": %.0f, \
+     \"set_ops_per_sec\": %.0f, \"send_ops_per_sec\": %.0f}\n  ]\n}\n"
+    iters send_iters gate_ns dg ds dd (noise g0 g1) (noise s0 s1) (noise d0 d1)
+    (enabled g0 gm) (enabled s0 sm) (enabled d0 dm) (enabled g0 gt)
+    (enabled s0 st) (enabled d0 dt) g0 s0 d0 gm sm dm gt st dt;
+  close_out oc;
+  row "  wrote BENCH_obs.json\n";
+  (* CI regression gate (smoke runs only): the disabled instrumentation must
+     stay within the 2%% budget on every hot operation. *)
+  if smoke then begin
+    if dg > 2. || ds > 2. || dd > 2. then begin
+      row "  FAIL: derived disabled overhead exceeds 2%% \
+           (get %.3f%%, set %.3f%%, send %.3f%%)\n" dg ds dd;
+      exit 1
+    end
+    else row "  bench-smoke gate: disabled overhead <= 2%% on get/set/send (ok)\n"
+  end
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
@@ -1283,6 +1448,7 @@ let experiments =
     ("oltp", e_oltp);
     ("recovery", e_recovery);
     ("containment", e_containment);
+    ("obs", e_obs);
   ]
 
 let () =

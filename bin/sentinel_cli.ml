@@ -308,6 +308,74 @@ let cmd_compare () =
       if i = 0 then print_endline (String.make 110 '-'))
     rows
 
+(* Run a scenario with the metrics registry enabled and print the per-stage
+   counter/latency table next to the system counters. *)
+let cmd_metrics scenario seed objects ops =
+  Obs.Metrics.enable ();
+  Obs.Metrics.reset ();
+  let _db, sys, fired = run_scenario scenario ~seed ~objects ~ops in
+  let s = System.stats sys in
+  Printf.printf "scenario %s: %d ops, rule fired %d time(s)\n" scenario ops fired;
+  Printf.printf "dispatched=%d conditions_checked=%d actions_executed=%d\n\n"
+    s.System.dispatched s.System.conditions_checked s.System.actions_executed;
+  print_string (Obs.Metrics.report ());
+  Obs.Metrics.disable ()
+
+(* Trace N banking transactions.  The rule is the deposit->withdraw sequence
+   in *deferred* coupling and each transaction is explicit, so one cascade
+   crosses every stage: the triggering send, indexed routing, composite
+   detection, the deferred enqueue, the scheduler batch at commit, and the
+   firing — all under one trace id. *)
+let cmd_trace txns out =
+  let db = Db.create () in
+  let sys = System.create db in
+  install_all db;
+  let rng = Workloads.Prng.create 42 in
+  let accounts = Workloads.Banking.populate db rng ~accounts:8 in
+  System.register_action sys "count" (fun _ _ -> ());
+  ignore
+    (System.create_rule sys ~name:"depwit-watch"
+       ~coupling:Sentinel.Coupling.Deferred
+       ~monitor_classes:[ Workloads.Banking.account_class ]
+       ~event:
+         (Expr.seq
+            (Expr.eom ~cls:Workloads.Banking.account_class "deposit")
+            (Expr.bom ~cls:Workloads.Banking.account_class "withdraw"))
+       ~condition:"true" ~action:"count" ());
+  Obs.Trace.enable ();
+  Obs.Trace.clear ();
+  for _ = 1 to max 1 txns do
+    let acct = Workloads.Prng.choice rng accounts in
+    match
+      Oodb.Transaction.atomically db (fun () ->
+          ignore (Db.send db acct "deposit" [ Value.Float 100. ]);
+          ignore (Db.send db acct "withdraw" [ Value.Float 50. ]))
+    with
+    | Ok () -> ()
+    | Error e -> raise e
+  done;
+  Obs.Trace.disable ();
+  let spans = Obs.Trace.spans () in
+  (* Export the last cascade that reached a firing; fall back to everything
+     if none did. *)
+  let chosen =
+    match
+      List.rev
+        (List.filter (fun s -> String.equal s.Obs.Trace.sp_name "fire") spans)
+    with
+    | f :: _ -> Obs.Trace.find_trace f.Obs.Trace.sp_trace
+    | [] -> spans
+  in
+  let json = Obs.Trace.to_chrome_json ~spans:chosen () in
+  match out with
+  | Some path ->
+    Out_channel.with_open_text path (fun oc -> output_string oc json);
+    Printf.printf "%d span(s) across %d trace(s); one trace (%d span(s)) written to %s\n"
+      (List.length spans)
+      (Obs.Trace.traces_started ())
+      (List.length chosen) path
+  | None -> print_endline json
+
 (* --- cmdliner wiring ------------------------------------------------------ *)
 
 open Cmdliner
@@ -427,6 +495,35 @@ let reinstate_cmd =
           service.")
     Term.(const cmd_reinstate $ path_arg $ rule_arg)
 
+let metrics_cmd =
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run a scenario with the metrics registry enabled and print \
+          per-stage counters and latency percentiles.")
+    Term.(const cmd_metrics $ scenario_arg $ seed_arg $ objects_arg $ ops_arg)
+
+let trace_cmd =
+  let txns_arg =
+    Arg.(
+      value & pos 0 int 10
+      & info [] ~docv:"N" ~doc:"Number of deposit+withdraw transactions to trace.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Write the Chrome-trace JSON here instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Trace banking cascades (send, routing, detection, scheduling, \
+          firing under one trace id) and emit Chrome-trace-format JSON for \
+          chrome://tracing or Perfetto.")
+    Term.(const cmd_trace $ txns_arg $ out_arg)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "sentinel-cli" ~version:"1.0.0"
@@ -434,6 +531,7 @@ let main_cmd =
     [
       generate_cmd; inspect_cmd; demo_cmd; scenarios_cmd; rules_cmd;
       compare_cmd; query_cmd; verify_cmd; analyze_cmd; dlq_cmd; reinstate_cmd;
+      metrics_cmd; trace_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -14,15 +14,13 @@ type entry = {
   e_at : Oodb.Types.timestamp;
   e_outcome : outcome;
   e_instance : Detector.instance;
+  e_trace : int;
 }
 
 type t = {
   a_sys : System.t;
-  a_limit : int;
   a_persist : bool;
-  mutable log : entry list; (* newest first *)
-  mutable stored : int;
-  mutable total : int;
+  log : entry Obs.Ring.t; (* bounded; total survives eviction *)
 }
 
 let firing_class = "__firing"
@@ -36,7 +34,6 @@ let outcome_strings = function
   | Quarantined e -> ("quarantined", Printexc.to_string e)
 
 let record t rule (inst : Detector.instance) outcome =
-  t.total <- t.total + 1;
   let entry =
     {
       e_rule = rule.Rule.oid;
@@ -44,15 +41,11 @@ let record t rule (inst : Detector.instance) outcome =
       e_at = inst.t_end;
       e_outcome = outcome;
       e_instance = inst;
+      (* 0 unless a cascade trace is live at the firing. *)
+      e_trace = Obs.Trace.current ();
     }
   in
-  t.log <- entry :: t.log;
-  t.stored <- t.stored + 1;
-  if t.stored > t.a_limit then begin
-    let keep = max 1 (t.a_limit / 2) in
-    t.log <- List.filteri (fun i _ -> i < keep) t.log;
-    t.stored <- keep
-  end;
+  Obs.Ring.push t.log entry;
   if t.a_persist && outcome = Fired then begin
     let db = System.db t.a_sys in
     let detail = Format.asprintf "%a" Detector.pp_instance inst in
@@ -71,23 +64,20 @@ let record t rule (inst : Detector.instance) outcome =
 
 let attach ?(limit = 4096) ?(persist = false) sys =
   let t =
-    { a_sys = sys; a_limit = max 1 limit; a_persist = persist; log = []; stored = 0; total = 0 }
+    { a_sys = sys; a_persist = persist; log = Obs.Ring.create (max 1 limit) }
   in
   System.set_execution_hook sys (fun rule inst outcome ->
       record t rule inst outcome);
   t
 
 let detach t = System.clear_execution_hook t.a_sys
-let entries t = List.rev t.log
+let entries t = Obs.Ring.to_list t.log
 
 let entries_for t rule =
-  List.rev (List.filter (fun e -> Oid.equal e.e_rule rule) t.log)
+  List.filter (fun e -> Oid.equal e.e_rule rule) (entries t)
 
-let count t = t.total
-
-let clear t =
-  t.log <- [];
-  t.stored <- 0
+let count t = Obs.Ring.total t.log
+let clear t = Obs.Ring.clear t.log
 
 let stored_firings sys =
   let db = System.db sys in

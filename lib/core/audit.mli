@@ -29,13 +29,17 @@ type entry = {
   e_at : Oodb.Types.timestamp;  (** detection time of the triggering instance *)
   e_outcome : outcome;
   e_instance : Detector.instance;
+  e_trace : int;
+      (** cascade trace id live at the firing ({!Obs.Trace.current}); [0]
+          when tracing was off — joins audit entries to trace spans *)
 }
 
 type t
 
 val attach : ?limit:int -> ?persist:bool -> System.t -> t
-(** [limit] (default 4096) bounds the in-memory log; [persist] (default
-    false) also stores ["__firing"] objects for [Fired] outcomes. *)
+(** [limit] (default 4096) bounds the in-memory log — a ring
+    ({!Obs.Ring}) that evicts oldest-first; [persist] (default false) also
+    stores ["__firing"] objects for [Fired] outcomes. *)
 
 val detach : t -> unit
 (** Clears the system's execution hook. *)

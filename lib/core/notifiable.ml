@@ -1,39 +1,13 @@
 open Import
 
-type t = {
-  limit : int;
-  mutable entries : Occurrence.t list; (* newest first *)
-  mutable stored : int;
-  mutable total : int;
-}
+(* One bounded ring (Obs.Ring) behind the Record behaviour: the same
+   eviction policy as the failure log and the audit trail, and O(1) per
+   record on the delivery hot path. *)
+type t = Occurrence.t Obs.Ring.t
 
-let create ?(limit = 1024) () = { limit; entries = []; stored = 0; total = 0 }
-
-let record t o =
-  t.total <- t.total + 1;
-  if t.limit > 0 then begin
-    t.entries <- o :: t.entries;
-    t.stored <- t.stored + 1;
-    if t.stored > t.limit then begin
-      (* Drop the oldest half rather than one-by-one: keeps record O(1)
-         amortized without a ring buffer. *)
-      let keep = max 1 (t.limit / 2) in
-      t.entries <- List.filteri (fun i _ -> i < keep) t.entries;
-      t.stored <- keep
-    end
-  end
-
-let all t = List.rev t.entries
-
-let recent t n =
-  let rec take k = function
-    | [] -> []
-    | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
-  in
-  List.rev (take n t.entries)
-
-let count t = t.total
-
-let clear t =
-  t.entries <- [];
-  t.stored <- 0
+let create ?(limit = 1024) () = Obs.Ring.create limit
+let record t o = Obs.Ring.push t o
+let all t = Obs.Ring.to_list t
+let recent t n = Obs.Ring.recent t n
+let count t = Obs.Ring.total t
+let clear t = Obs.Ring.clear t

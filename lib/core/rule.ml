@@ -34,6 +34,8 @@ let make ~oid ~name ~event ~context ~subsumes ~coupling ~priority ~enabled
     | None -> ()
   in
   let detector = Detector.create ~context ~subsumes ~on_signal event in
+  (* "detect" trace spans carry the owning rule's name *)
+  Detector.set_label detector name;
   let rule =
     {
       oid;

@@ -19,6 +19,8 @@ type sys_stats = {
   mutable quarantined_rules : int;
   mutable dead_letters : int;
   mutable retries : int;
+  mutable traces_started : int;
+  mutable spans_recorded : int;
 }
 
 type t = {
@@ -29,16 +31,15 @@ type t = {
   mutable sys_strategy : Scheduler.strategy;
   cascade_limit : int;
   mutable depth : int;
-  (* Deferred firings for the current outermost transaction. *)
-  mutable pending : (int * int * (Rule.t * Detector.instance)) list;
+  (* Deferred firings for the current outermost transaction; the third
+     component of the payload is the cascade trace id captured at enqueue
+     time (0 when tracing was off), replayed at drain. *)
+  mutable pending : (int * int * (Rule.t * Detector.instance * int)) list;
   mutable pending_txn : int option;
   mutable pending_hooked : bool;
   mutable seq : int;
-  (* Capped ring buffer of execution failures (detached and contained),
-     written at [failure_next]; [failure_stored] <= capacity. *)
-  failure_log : (string * exn) array;
-  mutable failure_next : int;
-  mutable failure_stored : int;
+  (* Bounded ring of execution failures (detached and contained). *)
+  failures : (string * exn) Obs.Ring.t;
   (* Dead-letter OIDs, newest first; mirrors the __dead_letter extent (see
      [dead_letters] for how divergence after aborts is reconciled). *)
   mutable dlq : Oid.t list;
@@ -75,22 +76,29 @@ let register_action ?may_send t name f =
 let strategy t = t.sys_strategy
 let set_strategy t s = t.sys_strategy <- s
 
+(* --- observability stages -------------------------------------------------- *)
+
+(* Execution-layer stages and outcome counters; ids are interned symbols so
+   [Obs.Metrics.find] works from the symbol table.  Rule execution and
+   scheduler batches are rare relative to slot ops, so they are timed on
+   every call (no sampling shift). *)
+let st_execute = Obs.Metrics.register ~id:(Oodb.Symbol.intern "rule.execute") "rule.execute"
+let st_sched = Obs.Metrics.register ~id:(Oodb.Symbol.intern "scheduler.batch") "scheduler.batch"
+let st_fired = Obs.Metrics.register ~id:(Oodb.Symbol.intern "rule.fired") "rule.fired"
+let st_cond_false =
+  Obs.Metrics.register ~id:(Oodb.Symbol.intern "rule.condition_false") "rule.condition_false"
+let st_aborted = Obs.Metrics.register ~id:(Oodb.Symbol.intern "rule.aborted") "rule.aborted"
+let st_error = Obs.Metrics.register ~id:(Oodb.Symbol.intern "rule.error") "rule.error"
+let st_contained =
+  Obs.Metrics.register ~id:(Oodb.Symbol.intern "rule.contained") "rule.contained"
+let st_quarantined =
+  Obs.Metrics.register ~id:(Oodb.Symbol.intern "rule.quarantined") "rule.quarantined"
+
 (* --- failure ring buffer -------------------------------------------------- *)
 
-let log_failure t name e =
-  let cap = Array.length t.failure_log in
-  if cap > 0 then begin
-    t.failure_log.(t.failure_next) <- (name, e);
-    t.failure_next <- (t.failure_next + 1) mod cap;
-    if t.failure_stored < cap then t.failure_stored <- t.failure_stored + 1
-  end
-
-let recent_failures t =
-  let cap = Array.length t.failure_log in
-  List.init t.failure_stored (fun i ->
-      t.failure_log.((t.failure_next - 1 - i + (2 * cap)) mod cap))
-
-let detached_failures t = List.rev (recent_failures t)
+let log_failure t name e = Obs.Ring.push t.failures (name, e)
+let recent_failures t = Obs.Ring.to_list_rev t.failures
+let detached_failures t = Obs.Ring.to_list t.failures
 let set_execution_hook t hook = t.execution_hook <- Some hook
 let clear_execution_hook t = t.execution_hook <- None
 
@@ -130,6 +138,9 @@ let stats t =
   (* Containment gauges are derived from live state the same way. *)
   s.quarantined_rules <- List.length (quarantined_rules t);
   s.dead_letters <- List.length (dead_letters t);
+  (* Tracing gauges come from the process-wide tracer. *)
+  s.traces_started <- Obs.Trace.traces_started ();
+  s.spans_recorded <- Obs.Trace.spans_recorded ();
   t.sys_stats
 
 let reset_stats t =
@@ -149,6 +160,8 @@ let reset_stats t =
   s.quarantined_rules <- 0;
   s.dead_letters <- 0;
   s.retries <- 0;
+  s.traces_started <- 0;
+  s.spans_recorded <- 0;
   Db.reset_stats t.sys_db;
   match t.sys_route with
   | Some route -> Route.reset_counters route
@@ -193,6 +206,19 @@ let unregister_rule t oid =
 (* --- fault containment ---------------------------------------------------- *)
 
 let report t rule inst outcome =
+  if !Obs.armed then begin
+    (match outcome with
+    | Fired -> Obs.Metrics.hit st_fired
+    | Condition_false -> Obs.Metrics.hit st_cond_false
+    | Aborted _ -> Obs.Metrics.hit st_aborted
+    | Action_error _ -> Obs.Metrics.hit st_error
+    | Contained _ ->
+      Obs.Metrics.hit st_contained;
+      Obs.Trace.instant "contained" rule.Rule.name
+    | Quarantined _ ->
+      Obs.Metrics.hit st_quarantined;
+      Obs.Trace.instant "quarantined" rule.Rule.name)
+  end;
   match t.execution_hook with
   | Some hook -> hook rule inst outcome
   | None -> ()
@@ -288,7 +314,7 @@ let contain_failure t rule inst e ~attempts =
    / Aborted itself; a generic exception escapes unreported — the caller's
    policy layer decides whether it is an Action_error (propagated),
    Contained or Quarantined. *)
-let execute_body t rule inst =
+let execute_body_raw t rule inst =
   if t.depth >= t.cascade_limit then
     raise
       (Errors.Rule_abort
@@ -318,6 +344,24 @@ let execute_body t rule inst =
         report t rule inst Condition_false;
         note_success t rule
       end)
+
+(* Gated wrapper: a "fire" span (labelled with the rule name) plus an
+   end-to-end latency sample around condition + action, including any
+   immediate cascade the action triggers. *)
+let execute_body t rule inst =
+  if not !Obs.armed then execute_body_raw t rule inst
+  else begin
+    let t0 = Obs.Metrics.enter st_execute in
+    let tok = Obs.Trace.enter "fire" rule.Rule.name in
+    match execute_body_raw t rule inst with
+    | () ->
+      Obs.Trace.exit tok;
+      Obs.Metrics.exit st_execute t0
+    | exception e ->
+      Obs.Trace.exit tok;
+      Obs.Metrics.exit st_execute t0;
+      raise e
+  end
 
 (* Immediate/deferred entry point: gates, then the rule's error policy.
    Rule_abort is an intentional abort and always propagates.
@@ -400,7 +444,25 @@ let rec drain_pending t =
   | entries ->
     t.pending <- [];
     let batch = Scheduler.order t.sys_strategy (List.rev entries) in
-    List.iter (fun (rule, inst) -> execute t rule inst) batch;
+    if not !Obs.armed then
+      List.iter (fun (rule, inst, _tr) -> execute t rule inst) batch
+    else begin
+      let t0 = Obs.Metrics.enter st_sched in
+      (match
+         List.iter
+           (fun (rule, inst, tr) ->
+             (* Re-enter the cascade the firing was deferred from, and mark
+                the scheduling decision with its own span. *)
+             Obs.Trace.with_trace tr (fun () ->
+                 let tok = Obs.Trace.enter "schedule" rule.Rule.name in
+                 match execute t rule inst with
+                 | () -> Obs.Trace.exit tok
+                 | exception e -> Obs.Trace.exit tok; raise e))
+           batch
+       with
+      | () -> Obs.Metrics.exit st_sched t0
+      | exception e -> Obs.Metrics.exit st_sched t0; raise e)
+    end;
     drain_pending t
 
 let enqueue_deferred t rule inst =
@@ -425,7 +487,9 @@ let enqueue_deferred t rule inst =
        t.pending_hooked <- old_hooked;
        t.pending_txn <- old_txn));
   t.seq <- t.seq + 1;
-  t.pending <- (rule.Rule.priority, t.seq, (rule, inst)) :: t.pending;
+  t.pending <-
+    (rule.Rule.priority, t.seq, (rule, inst, Obs.Trace.current ())) :: t.pending;
+  if !Obs.Trace.on then Obs.Trace.instant "defer" rule.Rule.name;
   if not t.pending_hooked then begin
     t.pending_hooked <- true;
     Transaction.add_deferred t.sys_db (fun () ->
@@ -441,8 +505,13 @@ let fire t rule inst =
     if Transaction.in_progress t.sys_db then enqueue_deferred t rule inst
     else execute t rule inst
   | Coupling.Detached ->
-    if Transaction.in_progress t.sys_db then
-      Transaction.add_detached t.sys_db (fun () -> run_detached t rule inst)
+    if Transaction.in_progress t.sys_db then begin
+      (* The closure runs after commit, outside the dynamic extent of the
+         triggering send; carry the cascade trace id across the gap. *)
+      let tr = Obs.Trace.current () in
+      Transaction.add_detached t.sys_db (fun () ->
+          Obs.Trace.with_trace tr (fun () -> run_detached t rule inst))
+    end
     else run_detached t rule inst
 
 (* --- delivery ------------------------------------------------------------ *)
@@ -481,9 +550,7 @@ let create ?(strategy = Scheduler.default) ?(cascade_limit = 64)
       pending_txn = None;
       pending_hooked = false;
       seq = 0;
-      failure_log = Array.make (max 0 failure_log_limit) ("", Not_found);
-      failure_next = 0;
-      failure_stored = 0;
+      failures = Obs.Ring.create (max 0 failure_log_limit);
       dlq = [];
       dead_letter_limit = max 1 dead_letter_limit;
       retry_backoff;
@@ -505,6 +572,8 @@ let create ?(strategy = Scheduler.default) ?(cascade_limit = 64)
           quarantined_rules = 0;
           dead_letters = 0;
           retries = 0;
+          traces_started = 0;
+          spans_recorded = 0;
         };
       sys_route =
         (match routing with

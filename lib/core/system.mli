@@ -69,6 +69,11 @@ type sys_stats = {
       (** rules currently out of service with a tripped breaker (gauge) *)
   mutable dead_letters : int;  (** dead letters currently queued (gauge) *)
   mutable retries : int;  (** detached re-attempts after a failed attempt *)
+  mutable traces_started : int;
+      (** observability: cascade traces begun since {!Obs.Trace.clear}
+          (process-wide; 0 while tracing is disabled) *)
+  mutable spans_recorded : int;
+      (** observability: spans pushed to the trace ring (process-wide) *)
 }
 
 val create :

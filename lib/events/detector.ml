@@ -102,12 +102,16 @@ type t = {
   mutable now : int;
   mutable n_fed : int;
   mutable n_signalled : int;
+  (* owner's name for observability output; the rule layer sets it *)
+  mutable d_label : string;
 }
 
 let expr t = t.d_expr
 let context t = t.d_context
 let fed t = t.n_fed
 let signalled t = t.n_signalled
+let set_label t label = t.d_label <- label
+let label t = t.d_label
 
 (* --- compilation --------------------------------------------------------- *)
 
@@ -521,7 +525,19 @@ let create ?(context = Context.Recent) ?(subsumes = default_subsumes) ~on_signal
     (match !self with
     | Some t -> t.n_signalled <- t.n_signalled + 1
     | None -> ());
-    on_signal i
+    if not !Obs.Trace.on then on_signal i
+    else begin
+      (* A signal hands the instance to the rule layer; the "detect" span
+         makes the resulting firing (or enqueue) nest under this detector in
+         the cascade trace. *)
+      let lbl = match !self with Some t -> t.d_label | None -> "" in
+      let tok = Obs.Trace.enter "detect" lbl in
+      match on_signal i with
+      | () -> Obs.Trace.exit tok
+      | exception e ->
+        Obs.Trace.exit tok;
+        raise e
+    end
   in
   let root, leaves = compile subsumes context e out in
   let t =
@@ -533,6 +549,7 @@ let create ?(context = Context.Recent) ?(subsumes = default_subsumes) ~on_signal
       now = 0;
       n_fed = 0;
       n_signalled = 0;
+      d_label = "";
     }
   in
   self := Some t;
@@ -544,20 +561,50 @@ let advance t now =
     t.root.advance now
   end
 
-let feed t (o : Occurrence.t) =
+(* One stage for both feeding paths (broadcast [feed], indexed
+   [offer_leaf]): "detector advancement" latency includes any synchronous
+   signal handling the advancement triggers. *)
+let st_feed =
+  Obs.Metrics.register
+    ~id:(Symbol.intern "detector.feed")
+    ~sample_shift:4 "detector.feed"
+
+let feed_raw t (o : Occurrence.t) =
   t.n_fed <- t.n_fed + 1;
   advance t o.at;
   t.root.accept o
+
+let feed t (o : Occurrence.t) =
+  if not !Obs.armed then feed_raw t o
+  else begin
+    let t0 = Obs.Metrics.enter st_feed in
+    match feed_raw t o with
+    | () -> Obs.Metrics.exit st_feed t0
+    | exception e ->
+      Obs.Metrics.exit st_feed t0;
+      raise e
+  end
 
 let reset t = t.root.reset ()
 let expire t ~before = t.root.expire before
 let leaves t = t.d_leaves
 let leaf_prim leaf = leaf.leaf_prim
 
-let offer_leaf t leaf (o : Occurrence.t) =
+let offer_leaf_raw t leaf (o : Occurrence.t) =
   t.n_fed <- t.n_fed + 1;
   advance t o.at;
   leaf.leaf_accept o
+
+let offer_leaf t leaf (o : Occurrence.t) =
+  if not !Obs.armed then offer_leaf_raw t leaf o
+  else begin
+    let t0 = Obs.Metrics.enter st_feed in
+    match offer_leaf_raw t leaf o with
+    | () -> Obs.Metrics.exit st_feed t0
+    | exception e ->
+      Obs.Metrics.exit st_feed t0;
+      raise e
+  end
 
 let rec has_temporal (e : Expr.t) =
   match e with

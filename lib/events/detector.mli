@@ -41,6 +41,12 @@ val create :
 val expr : t -> Expr.t
 val context : t -> Context.t
 
+val set_label : t -> string -> unit
+(** Name this detector in observability output ("detect" trace spans).  The
+    rule layer sets it to the owning rule's name; default [""]. *)
+
+val label : t -> string
+
 val feed : t -> Occurrence.t -> unit
 (** Advance time to the occurrence's timestamp, then offer it to every
     matching primitive leaf.  May call [on_signal] zero or more times,

@@ -241,7 +241,12 @@ let class_ok t entry (occ : Occurrence.t) =
 
 (* --- delivery ----------------------------------------------------------- *)
 
-let deliver t (o : Oodb.Types.obj) (occ : Occurrence.t) =
+let st_route =
+  Obs.Metrics.register
+    ~id:(Symbol.intern "route.deliver")
+    ~sample_shift:4 "route.deliver"
+
+let deliver_raw t (o : Oodb.Types.obj) (occ : Occurrence.t) =
   t.seq <- t.seq + 1;
   let seq = t.seq in
   let receive reg =
@@ -302,3 +307,22 @@ let deliver t (o : Oodb.Types.obj) (occ : Occurrence.t) =
           end
         end)
       entries
+
+(* Immediate-coupled rules execute synchronously inside delivery, so the
+   "route" span (and histogram) covers candidate probing plus whatever the
+   matched rules do — the cascade nests inside it, which is exactly the
+   containment the trace view wants. *)
+let deliver t (o : Oodb.Types.obj) (occ : Occurrence.t) =
+  if not !Obs.armed then deliver_raw t o occ
+  else begin
+    let t0 = Obs.Metrics.enter st_route in
+    let tok = Obs.Trace.enter "route" occ.Oodb.Occurrence.meth in
+    match deliver_raw t o occ with
+    | () ->
+      Obs.Trace.exit tok;
+      Obs.Metrics.exit st_route t0
+    | exception e ->
+      Obs.Trace.exit tok;
+      Obs.Metrics.exit st_route t0;
+      raise e
+  end

@@ -1,0 +1,8 @@
+(* Master switch shared by Metrics and Trace.  [armed] is the one ref the
+   instrumented hot paths read when disabled; it is kept equal to
+   [!metrics_on || !trace_on] by the enable/disable entry points. *)
+
+let metrics_on = ref false
+let trace_on = ref false
+let armed = ref false
+let recompute () = armed := !metrics_on || !trace_on

@@ -1,0 +1,146 @@
+let n_buckets = 48 (* 2^47 ns ≈ 39 h: everything measurable fits *)
+
+type stage = {
+  st_id : int;
+  st_name : string;
+  st_shift : int;
+  mutable st_count : int;
+  st_buckets : int array;
+  mutable st_samples : int;
+  mutable st_sum_ns : float;
+  mutable st_max_ns : float;
+}
+
+let on = Ctl.metrics_on
+
+let enable () =
+  on := true;
+  Ctl.recompute ()
+
+let disable () =
+  on := false;
+  Ctl.recompute ()
+
+let registry : (int, stage) Hashtbl.t = Hashtbl.create 32
+
+let register ~id ?(sample_shift = 0) name =
+  match Hashtbl.find_opt registry id with
+  | Some st -> st
+  | None ->
+    let st =
+      {
+        st_id = id;
+        st_name = name;
+        st_shift = max 0 sample_shift;
+        st_count = 0;
+        st_buckets = Array.make n_buckets 0;
+        st_samples = 0;
+        st_sum_ns = 0.;
+        st_max_ns = 0.;
+      }
+    in
+    Hashtbl.replace registry id st;
+    st
+
+let find id = Hashtbl.find_opt registry id
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+(* The counter doubles as the sampling phase: one increment per call on the
+   enabled path, and a reset merely restarts the 1-in-2^shift stride. *)
+let enter st =
+  if not !on then 0.
+  else begin
+    let c = st.st_count + 1 in
+    st.st_count <- c;
+    if st.st_shift = 0 then now_ns ()
+    else if c land ((1 lsl st.st_shift) - 1) = 0 then now_ns ()
+    else 0.
+  end
+
+let bucket_of ns =
+  let n = int_of_float ns in
+  if n <= 1 then 0
+  else begin
+    let i = ref 0 and v = ref n in
+    while !v > 1 do
+      incr i;
+      v := !v lsr 1
+    done;
+    min !i (n_buckets - 1)
+  end
+
+let observe_ns st ns =
+  let ns = max 0. ns in
+  st.st_buckets.(bucket_of ns) <- st.st_buckets.(bucket_of ns) + 1;
+  st.st_samples <- st.st_samples + 1;
+  st.st_sum_ns <- st.st_sum_ns +. ns;
+  if ns > st.st_max_ns then st.st_max_ns <- ns
+
+let exit st t0 = if t0 <> 0. then observe_ns st (now_ns () -. t0)
+let hit st = if !on then st.st_count <- st.st_count + 1
+
+let name st = st.st_name
+let id st = st.st_id
+let count st = st.st_count
+let samples st = st.st_samples
+
+let percentile st p =
+  if st.st_samples = 0 then Float.nan
+  else begin
+    let rank =
+      let r = int_of_float (ceil (p /. 100. *. float_of_int st.st_samples)) in
+      min (max r 1) st.st_samples
+    in
+    let i = ref 0 and seen = ref 0 in
+    while !seen < rank && !i < n_buckets do
+      seen := !seen + st.st_buckets.(!i);
+      if !seen < rank then incr i
+    done;
+    (* upper bound of the matched bucket: bucket i covers [2^i, 2^(i+1)) *)
+    Float.of_int (1 lsl min (!i + 1) 62)
+  end
+
+let mean_ns st =
+  if st.st_samples = 0 then Float.nan
+  else st.st_sum_ns /. float_of_int st.st_samples
+
+let max_ns st = st.st_max_ns
+
+let stages () =
+  Hashtbl.fold (fun _ st acc -> st :: acc) registry []
+  |> List.sort (fun a b -> String.compare a.st_name b.st_name)
+
+let pp_ns ns =
+  if Float.is_nan ns then "-"
+  else if ns < 1_000. then Printf.sprintf "%.0fns" ns
+  else if ns < 1_000_000. then Printf.sprintf "%.1fus" (ns /. 1_000.)
+  else if ns < 1e9 then Printf.sprintf "%.1fms" (ns /. 1e6)
+  else Printf.sprintf "%.2fs" (ns /. 1e9)
+
+let report () =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "%-24s %12s %10s %8s %8s %8s %8s\n" "stage" "count"
+       "samples" "p50" "p95" "p99" "max");
+  List.iter
+    (fun st ->
+      if st.st_count > 0 then
+        Buffer.add_string b
+          (Printf.sprintf "%-24s %12d %10d %8s %8s %8s %8s\n" st.st_name
+             st.st_count st.st_samples
+             (pp_ns (percentile st 50.))
+             (pp_ns (percentile st 95.))
+             (pp_ns (percentile st 99.))
+             (pp_ns st.st_max_ns)))
+    (stages ());
+  Buffer.contents b
+
+let reset () =
+  Hashtbl.iter
+    (fun _ st ->
+      st.st_count <- 0;
+      st.st_samples <- 0;
+      st.st_sum_ns <- 0.;
+      st.st_max_ns <- 0.;
+      Array.fill st.st_buckets 0 n_buckets 0)
+    registry

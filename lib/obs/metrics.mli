@@ -1,0 +1,82 @@
+(** Low-overhead metrics registry: per-stage monotonic counters and
+    fixed-bucket latency histograms.
+
+    A {e stage} is one instrumented point (e.g. ["db.send"], ["wal.append"]).
+    Stages are registered once at module initialisation, keyed by an interned
+    symbol id supplied by the caller — the layers above pass
+    [Oodb.Symbol.intern name], which keeps the registry int-keyed without a
+    dependency on the substrate.
+
+    Histograms use power-of-two nanosecond buckets: an observation of [d] ns
+    lands in bucket [floor (log2 d)], so a reported percentile is exact to
+    within a factor of two.  Ultra-hot stages register with a
+    [sample_shift]: the counter still counts every call, but only 1 in
+    [2^shift] calls is timed, keeping the enabled cost of a ~50 ns operation
+    bounded.  The clock is [Unix.gettimeofday] (microsecond resolution), so
+    sub-microsecond stages get faithful counters and only coarse latency —
+    the histograms earn their keep on the µs-and-up stages (rule execution,
+    WAL appends, scheduler batches).
+
+    When [!on] is false, {!enter} returns immediately without counting:
+    disabled instrumentation is one ref load and one branch. *)
+
+type stage
+
+val on : bool ref
+(** The metrics switch.  Flip via {!enable}/{!disable} (they also maintain
+    the combined {!Obs.armed} flag); reading it directly is the hot path. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+
+val register : id:int -> ?sample_shift:int -> string -> stage
+(** [register ~id name] returns the stage keyed by interned-symbol [id],
+    creating it on first call (idempotent — later calls return the existing
+    stage and ignore the other arguments).  [sample_shift] (default 0 =
+    time every call) times 1 in [2^shift] calls. *)
+
+val find : int -> stage option
+(** Look a stage up by its symbol id. *)
+
+val enter : stage -> float
+(** Count one hit and, when this call is sampled, return the start
+    timestamp to pass to {!exit}.  Returns [0.] when metrics are off or the
+    call is not sampled — {!exit} treats that as "nothing to record". *)
+
+val exit : stage -> float -> unit
+(** Record the elapsed time for a sampled {!enter}.  No-op on [0.]. *)
+
+val hit : stage -> unit
+(** Count without timing (outcome counters). *)
+
+val observe_ns : stage -> float -> unit
+(** Record a duration directly (bypasses sampling and the [on] gate; used
+    by tests and by callers that already hold a measured duration). *)
+
+(** {1 Reading} *)
+
+val name : stage -> string
+val id : stage -> int
+val count : stage -> int
+(** Calls counted since the last {!reset}. *)
+
+val samples : stage -> int
+(** Timed observations in the histogram. *)
+
+val percentile : stage -> float -> float
+(** [percentile st p] for [p] in [0..100], in nanoseconds: the upper bound
+    of the bucket containing the p-th percentile observation.  [nan] when
+    the histogram is empty. *)
+
+val mean_ns : stage -> float
+val max_ns : stage -> float
+
+val stages : unit -> stage list
+(** All registered stages, sorted by name. *)
+
+val report : unit -> string
+(** A plain-text table of every stage with a non-zero count: count, p50,
+    p95, p99, max. *)
+
+val reset : unit -> unit
+(** Zero every counter and histogram (registrations persist). *)

@@ -1,0 +1,28 @@
+(** Observability primitives for the Sentinel stack.
+
+    This library sits {e below} the object substrate so that every layer —
+    {!Oodb.Db} hot paths, event routing, the rule system — can report into
+    one process-wide registry without a dependency cycle.  It knows nothing
+    about databases: metric identities are plain ints (the layers above pass
+    interned [Oodb.Symbol] ids), and everything else is strings and floats.
+
+    - {!Ring} — the one bounded-ring eviction policy shared by the failure
+      log, the audit trail, notifiable recorders and the span buffer;
+    - {!Metrics} — monotonic counters and power-of-two-bucket latency
+      histograms (p50/p95/p99), optionally sampled on ultra-hot stages;
+    - {!Trace} — cascade tracing: a trace id assigned at the triggering
+      send and threaded through routing, detection, scheduling and firing,
+      with Chrome-trace-format JSON export.
+
+    The overhead contract: when both {!Metrics.on} and {!Trace.on} are
+    false, an instrumented call site costs one ref load and one branch
+    ({!armed}), nothing more. *)
+
+module Ring = Ring
+module Metrics = Metrics
+module Trace = Trace
+
+let armed = Ctl.armed
+(** [!armed] is true when metrics or tracing (or both) are enabled.  Call
+    sites guard the whole instrumented path on this one ref so the disabled
+    cost is a single load+branch. *)

@@ -1,0 +1,53 @@
+type 'a t = {
+  cap : int;
+  (* [| |] until the first push: a ring needs a seed element to build its
+     backing array without boxing everything in options. *)
+  mutable buf : 'a array;
+  mutable next : int; (* write cursor *)
+  mutable stored : int; (* <= cap *)
+  mutable pushed : int; (* monotone total *)
+}
+
+let create cap = { cap = max 0 cap; buf = [||]; next = 0; stored = 0; pushed = 0 }
+let capacity t = t.cap
+let length t = t.stored
+let total t = t.pushed
+
+let push t x =
+  t.pushed <- t.pushed + 1;
+  if t.cap > 0 then begin
+    if Array.length t.buf = 0 then t.buf <- Array.make t.cap x;
+    t.buf.(t.next) <- x;
+    t.next <- (t.next + 1) mod t.cap;
+    if t.stored < t.cap then t.stored <- t.stored + 1
+  end
+
+(* index 0 = oldest retained entry *)
+let nth_oldest t i = t.buf.((t.next - t.stored + i + (2 * t.cap)) mod t.cap)
+
+let to_list t = List.init t.stored (nth_oldest t)
+
+let to_list_rev t =
+  List.init t.stored (fun i -> nth_oldest t (t.stored - 1 - i))
+
+let recent t n =
+  let n = min (max 0 n) t.stored in
+  List.init n (fun i -> nth_oldest t (t.stored - n + i))
+
+let iter f t =
+  for i = 0 to t.stored - 1 do
+    f (nth_oldest t i)
+  done
+
+let fold f init t =
+  let acc = ref init in
+  for i = 0 to t.stored - 1 do
+    acc := f !acc (nth_oldest t i)
+  done;
+  !acc
+
+let clear t =
+  (* release references so cleared rings do not pin old entries *)
+  t.buf <- [||];
+  t.next <- 0;
+  t.stored <- 0

@@ -1,0 +1,46 @@
+(** A bounded ring buffer: O(1) push, oldest entries overwritten.
+
+    This is the single eviction policy behind every capped in-memory log in
+    the system — the execution-failure log, the audit trail, notifiable
+    recorders and the tracer's span buffer — so "bounded" means the same
+    thing everywhere: at most [capacity] entries retained, exactly the
+    newest ones, with a monotone total of everything ever pushed.
+
+    A ring of capacity 0 retains nothing but still counts pushes.  The
+    backing array is allocated lazily on the first push, so idle rings cost
+    one small record. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create cap] — capacity is clamped to [max 0 cap]. *)
+
+val capacity : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+(** Append, overwriting the oldest entry when full. *)
+
+val length : 'a t -> int
+(** Entries currently retained ([<= capacity]). *)
+
+val total : 'a t -> int
+(** Entries ever pushed, including overwritten ones and pushes into a
+    zero-capacity ring.  Survives {!clear}. *)
+
+val to_list : 'a t -> 'a list
+(** Retained entries, oldest first. *)
+
+val to_list_rev : 'a t -> 'a list
+(** Retained entries, newest first. *)
+
+val recent : 'a t -> int -> 'a list
+(** [recent t n] — the [n] newest entries, oldest first. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest first. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Oldest first. *)
+
+val clear : 'a t -> unit
+(** Drop the retained entries; {!total} keeps counting from where it was. *)

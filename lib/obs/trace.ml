@@ -1,0 +1,169 @@
+type span = {
+  sp_trace : int;
+  sp_id : int;
+  sp_parent : int;
+  sp_name : string;
+  sp_label : string;
+  sp_ts : float;
+  sp_dur : float;
+}
+
+(* A token carries everything needed to close the span and restore the
+   tracing context, so enter/exit pairs nest correctly even when the code
+   between them opens further spans or raises. *)
+type token =
+  | No_span
+  | Span of {
+      tk_trace : int;
+      tk_id : int;
+      tk_parent : int;
+      tk_name : string;
+      tk_label : string;
+      tk_ts : float;
+      tk_saved_trace : int;
+      tk_saved_parent : int;
+    }
+
+let on = Ctl.trace_on
+
+let enable () =
+  on := true;
+  Ctl.recompute ()
+
+let disable () =
+  on := false;
+  Ctl.recompute ()
+
+let buffer = ref (Ring.create 4096)
+let set_capacity n = buffer := Ring.create n
+let next_trace = ref 0
+let next_span = ref 0
+let cur_trace = ref 0
+let cur_parent = ref 0
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+let enter tk_name tk_label =
+  if not !on then No_span
+  else begin
+    let tk_saved_trace = !cur_trace and tk_saved_parent = !cur_parent in
+    let tk_trace =
+      if tk_saved_trace = 0 then begin
+        incr next_trace;
+        !next_trace
+      end
+      else tk_saved_trace
+    in
+    let tk_parent = if tk_saved_trace = 0 then 0 else tk_saved_parent in
+    incr next_span;
+    let tk_id = !next_span in
+    cur_trace := tk_trace;
+    cur_parent := tk_id;
+    Span
+      {
+        tk_trace;
+        tk_id;
+        tk_parent;
+        tk_name;
+        tk_label;
+        tk_ts = now_us ();
+        tk_saved_trace;
+        tk_saved_parent;
+      }
+  end
+
+let exit = function
+  | No_span -> ()
+  | Span s ->
+    cur_trace := s.tk_saved_trace;
+    cur_parent := s.tk_saved_parent;
+    Ring.push !buffer
+      {
+        sp_trace = s.tk_trace;
+        sp_id = s.tk_id;
+        sp_parent = s.tk_parent;
+        sp_name = s.tk_name;
+        sp_label = s.tk_label;
+        sp_ts = s.tk_ts;
+        sp_dur = now_us () -. s.tk_ts;
+      }
+
+let instant name label =
+  if !on then begin
+    incr next_span;
+    Ring.push !buffer
+      {
+        sp_trace = !cur_trace;
+        sp_id = !next_span;
+        sp_parent = !cur_parent;
+        sp_name = name;
+        sp_label = label;
+        sp_ts = now_us ();
+        sp_dur = -1.;
+      }
+  end
+
+let current () = !cur_trace
+
+let with_trace trace f =
+  let saved_trace = !cur_trace and saved_parent = !cur_parent in
+  cur_trace := trace;
+  cur_parent := 0;
+  Fun.protect
+    ~finally:(fun () ->
+      cur_trace := saved_trace;
+      cur_parent := saved_parent)
+    f
+
+let spans () = Ring.to_list !buffer
+let find_trace id = List.filter (fun s -> s.sp_trace = id) (spans ())
+let traces_started () = !next_trace
+let spans_recorded () = Ring.total !buffer
+let clear () = Ring.clear !buffer
+
+(* --- Chrome trace-event export ------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_chrome_json ?spans:spec () =
+  let items = match spec with Some l -> l | None -> spans () in
+  let t0 =
+    List.fold_left (fun acc s -> Float.min acc s.sp_ts) Float.infinity items
+  in
+  let t0 = if Float.is_finite t0 then t0 else 0. in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\": [\n";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string b ",\n";
+      let common =
+        Printf.sprintf
+          "\"name\": \"%s\", \"cat\": \"sentinel\", \"pid\": 1, \"tid\": %d, \
+           \"ts\": %.3f, \"args\": {\"label\": \"%s\", \"span\": %d, \
+           \"parent\": %d}"
+          (json_escape s.sp_name) s.sp_trace (s.sp_ts -. t0)
+          (json_escape s.sp_label) s.sp_id s.sp_parent
+      in
+      if s.sp_dur < 0. then
+        Buffer.add_string b
+          (Printf.sprintf "  {\"ph\": \"i\", \"s\": \"t\", %s}" common)
+      else
+        Buffer.add_string b
+          (Printf.sprintf "  {\"ph\": \"X\", \"dur\": %.3f, %s}" s.sp_dur
+             common))
+    items;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b

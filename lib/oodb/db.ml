@@ -248,6 +248,24 @@ let attrs db oid = Heap.sorted_attrs (Heap.find_obj db oid)
 
 (* --- pre-resolved slots -------------------------------------------------- *)
 
+(* Observability stages (lib/obs), registered once at module initialisation
+   and keyed by interned symbols.  The [!Obs.armed] guard keeps the disabled
+   cost of each instrumented entry point to one ref load and one branch; the
+   sample shifts bound the enabled cost of the sub-100ns operations (the
+   counter counts every call, only 1 in 2^shift is timed). *)
+let st_send =
+  Obs.Metrics.register ~id:(Symbol.intern "db.send") ~sample_shift:4 "db.send"
+
+let st_slot_get =
+  Obs.Metrics.register
+    ~id:(Symbol.intern "db.slot_get")
+    ~sample_shift:6 "db.slot_get"
+
+let st_slot_set =
+  Obs.Metrics.register
+    ~id:(Symbol.intern "db.slot_set")
+    ~sample_shift:6 "db.slot_set"
+
 let resolve db cls name =
   let i = info db cls in
   match Hashtbl.find_opt i.ri_layout.ly_by_name name with
@@ -268,7 +286,7 @@ let slot_index (o : obj) (s : slot) =
     | Some j -> j
     | None -> raise (Errors.No_such_attribute (o.cls, s.sl_name))
 
-let slot_get db oid (s : slot) =
+let slot_get_raw db oid (s : slot) =
   let o = Heap.find_obj db oid in
   match o.store with
   | S_slots slots ->
@@ -279,6 +297,19 @@ let slot_get db oid (s : slot) =
     match Hashtbl.find_opt tbl s.sl_name with
     | Some v -> v
     | None -> raise (Errors.No_such_attribute (o.cls, s.sl_name)))
+
+let slot_get db oid (s : slot) =
+  if not !Obs.armed then slot_get_raw db oid s
+  else begin
+    let t0 = Obs.Metrics.enter st_slot_get in
+    match slot_get_raw db oid s with
+    | v ->
+      Obs.Metrics.exit st_slot_get t0;
+      v
+    | exception e ->
+      Obs.Metrics.exit st_slot_get t0;
+      raise e
+  end
 
 let slot_get_opt db oid (s : slot) =
   let o = Heap.find_obj db oid in
@@ -292,7 +323,7 @@ let slot_get_opt db oid (s : slot) =
       if v == absent then None else Some v)
   | S_table tbl -> Hashtbl.find_opt tbl s.sl_name
 
-let slot_set db oid (s : slot) v =
+let slot_set_raw db oid (s : slot) v =
   let o = Heap.find_obj db oid in
   match o.store with
   | S_slots slots ->
@@ -304,6 +335,17 @@ let slot_set db oid (s : slot) v =
     if not (Hashtbl.mem tbl s.sl_name) then
       raise (Errors.No_such_attribute (o.cls, s.sl_name));
     log_set db oid s.sl_name (Heap.raw_set_attr db o s.sl_name (Some v)) v
+
+let slot_set db oid (s : slot) v =
+  if not !Obs.armed then slot_set_raw db oid s v
+  else begin
+    let t0 = Obs.Metrics.enter st_slot_set in
+    match slot_set_raw db oid s v with
+    | () -> Obs.Metrics.exit st_slot_set t0
+    | exception e ->
+      Obs.Metrics.exit st_slot_set t0;
+      raise e
+  end
 
 (* --- subscription ------------------------------------------------------- *)
 
@@ -428,7 +470,7 @@ let signal db ~source ~meth ~modifier params =
   deliver db o
     (make_occurrence db o ~meth ~meth_sym:(Symbol.intern meth) modifier params)
 
-let send db receiver meth args =
+let send_raw db receiver meth args =
   let o = Heap.find_obj db receiver in
   db.stats.sends <- db.stats.sends + 1;
   let i = o.info in
@@ -449,6 +491,25 @@ let send db receiver meth args =
             (make_occurrence db o ~meth ~meth_sym:de.de_sym After args);
         result
     end
+
+(* A traced send is the root of a cascade: Trace.enter assigns a fresh trace
+   id when no span is live, and any rule action sending further messages
+   nests inside this span under the same id. *)
+let send db receiver meth args =
+  if not !Obs.armed then send_raw db receiver meth args
+  else begin
+    let t0 = Obs.Metrics.enter st_send in
+    let tok = Obs.Trace.enter "send" meth in
+    match send_raw db receiver meth args with
+    | r ->
+      Obs.Trace.exit tok;
+      Obs.Metrics.exit st_send t0;
+      r
+    | exception e ->
+      Obs.Trace.exit tok;
+      Obs.Metrics.exit st_send t0;
+      raise e
+  end
 
 (* --- extents and indexes ------------------------------------------------ *)
 

@@ -195,7 +195,13 @@ let scan data =
 
 let count_fsync db = db.stats.wal_fsyncs <- db.stats.wal_fsyncs + 1
 
-let write_batch t entries =
+let st_wal_append =
+  Obs.Metrics.register ~id:(Symbol.intern "wal.append") "wal.append"
+
+let st_wal_checkpoint =
+  Obs.Metrics.register ~id:(Symbol.intern "wal.checkpoint") "wal.checkpoint"
+
+let write_batch_raw t entries =
   if t.attached then begin
     (* entries arrive newest first *)
     let payload = Buffer.create 256 in
@@ -230,6 +236,17 @@ let write_batch t entries =
       t.wal_db.wal_applied_seq <- t.next_seq;
       t.next_seq <- t.next_seq + 1
     end
+  end
+
+let write_batch t entries =
+  if not !Obs.armed then write_batch_raw t entries
+  else begin
+    let t0 = Obs.Metrics.enter st_wal_append in
+    match write_batch_raw t entries with
+    | () -> Obs.Metrics.exit st_wal_append t0
+    | exception e ->
+      Obs.Metrics.exit st_wal_append t0;
+      raise e
   end
 
 let on_event t event =
@@ -329,7 +346,7 @@ let detach t =
 
 (* --- checkpoint --------------------------------------------------------------- *)
 
-let checkpoint t ~snapshot =
+let checkpoint_raw t ~snapshot =
   if not t.attached then
     raise (Errors.Transaction_error "cannot checkpoint a detached journal");
   (* 1. Durable snapshot.  It embeds [walseq] — the sequence number of the
@@ -352,6 +369,17 @@ let checkpoint t ~snapshot =
   t.w <- t.storage.Storage.open_writer ~append:true t.path;
   (* rotation upgrades a v1-era log; the sequence keeps counting *)
   t.version <- V2
+
+let checkpoint t ~snapshot =
+  if not !Obs.armed then checkpoint_raw t ~snapshot
+  else begin
+    let t0 = Obs.Metrics.enter st_wal_checkpoint in
+    match checkpoint_raw t ~snapshot with
+    | () -> Obs.Metrics.exit st_wal_checkpoint t0
+    | exception e ->
+      Obs.Metrics.exit st_wal_checkpoint t0;
+      raise e
+  end
 
 (* --- replay ------------------------------------------------------------------- *)
 

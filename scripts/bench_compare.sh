@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# bench_compare.sh BASELINE.json FRESH.json
+#
+# Flatten every numeric leaf of the two bench JSON files to "path value"
+# pairs and emit a markdown table of baseline / fresh / ratio, for
+# $GITHUB_STEP_SUMMARY.  Paths present on only one side are shown with a
+# "-" on the other; absolute numbers vary by runner, so the ratio column is
+# the thing to read.
+set -euo pipefail
+
+baseline="$1"
+fresh="$2"
+
+flatten() {
+  jq -r '
+    paths(type == "number") as $p
+    | "\($p | map(tostring) | join(".")) \(getpath($p))"
+  ' "$1"
+}
+
+join -a1 -a2 -e '-' -o 0,1.2,2.2 \
+  <(flatten "$baseline" | sort) \
+  <(flatten "$fresh" | sort) |
+  awk -v name="$(basename "$fresh")" '
+    BEGIN {
+      printf "\n### bench-compare: %s\n\n", name
+      printf "| metric | baseline | fresh | ratio |\n"
+      printf "|---|---:|---:|---:|\n"
+    }
+    {
+      ratio = "-"
+      if ($2 != "-" && $3 != "-" && $2 + 0 != 0)
+        ratio = sprintf("%.2f", ($3 + 0) / ($2 + 0))
+      printf "| %s | %s | %s | %s |\n", $1, $2, $3, ratio
+    }'
