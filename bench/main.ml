@@ -952,7 +952,8 @@ let e_recovery () =
         let bps = float_of_int applied /. (ms /. 1000.) in
         row "  %12d  %10d  %10d  %10s  %14.0f\n" n bytes applied (fmt_ms ms) bps;
         (n, bytes, applied, ms, bps))
-      [ 1_000; 5_000; 20_000 ]
+      (if Sys.getenv_opt "BENCH_SMOKE" <> None then [ 500; 2_000 ]
+       else [ 1_000; 5_000; 20_000 ])
   in
   (* the price of the fsync-per-commit durability contract, on the real fs *)
   let durability_n = 1_000 in
@@ -976,13 +977,150 @@ let e_recovery () =
   let nosync_ms, _ = durable_run false in
   row "  durability: %d txns   fsync-per-commit %10s (%d fsyncs)   buffered %10s\n"
     durability_n (fmt_ms sync_ms) sync_fsyncs (fmt_ms nosync_ms);
+  let smoke = Sys.getenv_opt "BENCH_SMOKE" <> None in
+  (* group commit: durable (sync:true) commits/sec on the real fs, with the
+     coordinator coalescing 1 / 8 / 64 commits per WAL batch + fsync *)
+  let group_n = if smoke then 300 else durability_n in
+  let grouped_run g =
+    let path = Filename.temp_file "sentinel_bench" ".wal" in
+    Fun.protect
+      ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+      (fun () ->
+        let db = Db.create () in
+        Banking.install db;
+        let wal =
+          Oodb.Wal.attach ~sync:true
+            ~group_commit:{ Oodb.Wal.max_batch = g; max_wait_us = max_int }
+            db path
+        in
+        let rng = Prng.create 3 in
+        let accts = Banking.populate db rng ~accounts:50 in
+        Oodb.Wal.sync wal;
+        let before_fsyncs = (Db.stats db).Oodb.Types.wal_fsyncs in
+        let txns = Banking.transactions rng accts ~n:group_n () in
+        let (), ms =
+          time_ms (fun () ->
+              run_txns db txns;
+              Oodb.Wal.sync wal)
+        in
+        let fsyncs = (Db.stats db).Oodb.Types.wal_fsyncs - before_fsyncs in
+        Oodb.Wal.detach wal;
+        (float_of_int group_n /. (ms /. 1000.), ms, fsyncs))
+  in
+  row "  %12s  %12s  %10s  %8s\n" "group size" "commits/s" "time" "fsyncs";
+  let group_rows =
+    List.map
+      (fun g ->
+        let cps, ms, fsyncs = grouped_run g in
+        row "  %12d  %12.0f  %10s  %8d\n" g cps (fmt_ms ms) fsyncs;
+        (g, cps, ms, fsyncs))
+      [ 1; 8; 64 ]
+  in
+  (* compaction: recovery time against the same log before and after
+     [Wal.compact] folds it into a base snapshot *)
+  let snap_path = "bank.db" in
+  let recover_ms storage =
+    let _, ms =
+      time_ms (fun () ->
+          let db2 = Db.create () in
+          Banking.install db2;
+          Oodb.Wal.recover ~storage db2 ~snapshot:snap_path ~wal:log_path)
+    in
+    ms
+  in
+  row "  %12s  %10s  %10s  %14s  %12s\n" "transactions" "wal bytes"
+    "recover" "compacted wal" "recover(c)";
+  let compact_rows =
+    List.map
+      (fun n ->
+        let fs = Mem.create () in
+        let storage = Mem.storage fs in
+        let db = Db.create () in
+        Banking.install db;
+        let wal = Oodb.Wal.attach ~storage ~sync:false db log_path in
+        let rng = Prng.create 11 in
+        let accts = Banking.populate db rng ~accounts:100 in
+        run_txns db (Banking.transactions rng accts ~n ());
+        let bytes = String.length (Mem.durable fs log_path) in
+        let ms_before = recover_ms storage in
+        Oodb.Wal.compact wal ~snapshot:snap_path;
+        Oodb.Wal.detach wal;
+        let bytes_after = String.length (Mem.durable fs log_path) in
+        let ms_after = recover_ms storage in
+        row "  %12d  %10d  %10s  %14d  %12s\n" n bytes (fmt_ms ms_before)
+          bytes_after (fmt_ms ms_after);
+        (n, bytes, ms_before, bytes_after, ms_after))
+      (if smoke then [ 500; 2_000 ] else [ 1_000; 5_000; 20_000 ])
+  in
+  (* incremental checkpoints: at 10% dirty, the delta's cost must track the
+     dirty set, not the store *)
+  row "  %12s  %8s  %12s  %10s  %12s  %10s\n" "objects" "dirty" "full bytes"
+    "full ckpt" "delta bytes" "delta ckpt";
+  let scaling_rows =
+    List.map
+      (fun n ->
+        let fs = Mem.create () in
+        let storage = Mem.storage fs in
+        let db = Db.create () in
+        Banking.install db;
+        let wal = Oodb.Wal.attach ~storage ~sync:false db log_path in
+        let rng = Prng.create 17 in
+        let accts = Banking.populate db rng ~accounts:n in
+        let (), full_ms =
+          time_ms (fun () -> Oodb.Wal.checkpoint wal ~snapshot:snap_path)
+        in
+        let full_bytes = String.length (Mem.durable fs snap_path) in
+        let dirty = max 1 (n / 10) in
+        for i = 0 to dirty - 1 do
+          Db.set db accts.(i) "balance" (Value.Float (float_of_int i))
+        done;
+        let (), delta_ms =
+          time_ms (fun () ->
+              Oodb.Wal.checkpoint ~mode:`Delta wal ~snapshot:snap_path)
+        in
+        let delta_bytes =
+          String.length (Mem.durable fs (snap_path ^ ".delta-1"))
+        in
+        Oodb.Wal.detach wal;
+        row "  %12d  %8d  %12d  %10s  %12d  %10s\n" n dirty full_bytes
+          (fmt_ms full_ms) delta_bytes (fmt_ms delta_ms);
+        (n, dirty, full_bytes, full_ms, delta_bytes, delta_ms))
+      (if smoke then [ 500; 2_000 ] else [ 1_000; 5_000; 20_000 ])
+  in
   let oc = open_out "BENCH_recovery.json" in
   Printf.fprintf oc
     "{\n  \"experiment\": \"E-recovery\",\n  \"workload\": \"banking \
      deposits/withdrawals, one transaction per batch, 100 accounts\",\n\
     \  \"durability\": {\"transactions\": %d, \"fsync_per_commit_ms\": %.2f, \
-     \"fsyncs\": %d, \"buffered_ms\": %.2f},\n  \"rows\": [\n"
+     \"fsyncs\": %d, \"buffered_ms\": %.2f},\n  \"group_commit\": [\n"
     durability_n sync_ms sync_fsyncs nosync_ms;
+  List.iteri
+    (fun i (g, cps, ms, fsyncs) ->
+      Printf.fprintf oc
+        "    {\"group\": %d, \"commits_per_sec\": %.0f, \"ms\": %.2f, \
+         \"fsyncs\": %d}%s\n"
+        g cps ms fsyncs
+        (if i = List.length group_rows - 1 then "" else ","))
+    group_rows;
+  Printf.fprintf oc "  ],\n  \"compaction\": [\n";
+  List.iteri
+    (fun i (n, bytes, ms_b, bytes_a, ms_a) ->
+      Printf.fprintf oc
+        "    {\"transactions\": %d, \"wal_bytes\": %d, \"recover_ms\": %.2f, \
+         \"compacted_wal_bytes\": %d, \"recover_compacted_ms\": %.2f}%s\n"
+        n bytes ms_b bytes_a ms_a
+        (if i = List.length compact_rows - 1 then "" else ","))
+    compact_rows;
+  Printf.fprintf oc "  ],\n  \"checkpoint_scaling\": [\n";
+  List.iteri
+    (fun i (n, dirty, fb, fm, db_, dm) ->
+      Printf.fprintf oc
+        "    {\"objects\": %d, \"dirty\": %d, \"full_bytes\": %d, \
+         \"full_ms\": %.2f, \"delta_bytes\": %d, \"delta_ms\": %.2f}%s\n"
+        n dirty fb fm db_ dm
+        (if i = List.length scaling_rows - 1 then "" else ","))
+    scaling_rows;
+  Printf.fprintf oc "  ],\n  \"rows\": [\n";
   List.iteri
     (fun i (n, bytes, applied, ms, bps) ->
       Printf.fprintf oc
@@ -993,7 +1131,38 @@ let e_recovery () =
     rows;
   Printf.fprintf oc "  ]\n}\n";
   close_out oc;
-  row "  wrote BENCH_recovery.json\n"
+  row "  wrote BENCH_recovery.json\n";
+  (* CI regression gates (smoke runs only): group commit must actually buy
+     durable throughput, and the delta checkpoint must be priced by the
+     dirty set, not the store. *)
+  if smoke then begin
+    let cps g =
+      List.find_map
+        (fun (g', cps, _, _) -> if g' = g then Some cps else None)
+        group_rows
+      |> Option.get
+    in
+    if cps 64 < 5. *. cps 1 then begin
+      row "  FAIL: group-64 durable commits/sec below 5x group-1 (%.0f vs %.0f)\n"
+        (cps 64) (cps 1);
+      exit 1
+    end
+    else
+      row "  bench-smoke gate: group-64 >= 5x group-1 durable commits/sec (ok)\n";
+    let n, _, full_bytes, _, delta_bytes, _ =
+      List.nth scaling_rows (List.length scaling_rows - 1)
+    in
+    if delta_bytes * 4 >= full_bytes then begin
+      row
+        "  FAIL: 10%%-dirty delta checkpoint not under 1/4 of the full \
+         snapshot at %d objects (%d vs %d bytes)\n"
+        n delta_bytes full_bytes;
+      exit 1
+    end
+    else
+      row
+        "  bench-smoke gate: 10%%-dirty delta <= 1/4 full snapshot bytes (ok)\n"
+  end
 
 (* ------------------------------------------------------------------------- *)
 (* E-containment: fault injection — throughput with 0/1/10% failing rules     *)

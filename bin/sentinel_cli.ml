@@ -376,6 +376,58 @@ let cmd_trace txns out =
       (List.length chosen) path
   | None -> print_endline json
 
+(* Durability management: recover a store through the full pipeline (base
+   snapshot + delta chain + WAL tail), optionally checkpoint or compact it,
+   and report the on-disk durability state. *)
+let cmd_wal db_path action wal_path delta keep_bytes keep_since =
+  let wal_path =
+    match wal_path with Some p -> p | None -> db_path ^ ".wal"
+  in
+  let db = Db.create () in
+  let sys = System.create db in
+  install_all db;
+  System.register_action sys "count" (fun _ _ -> ());
+  let r = Oodb.Wal.recover db ~snapshot:db_path ~wal:wal_path in
+  System.rehydrate sys;
+  let _wal = System.attach_wal sys wal_path in
+  (match action with
+  | "stats" -> ()
+  | "checkpoint" ->
+    let mode = if delta then `Delta else `Full in
+    System.checkpoint ~mode sys ~snapshot:db_path;
+    Printf.printf "%s checkpoint taken\n" (if delta then "delta" else "full")
+  | "compact" ->
+    let retention =
+      match (keep_bytes, keep_since) with
+      | Some b, _ -> Oodb.Wal.Keep_bytes b
+      | None, Some s -> Oodb.Wal.Keep_since_seq s
+      | None, None -> Oodb.Wal.Keep_none
+    in
+    System.compact_wal ~retention sys ~snapshot:db_path;
+    Printf.printf "compacted %s into %s\n" wal_path db_path
+  | other ->
+    failwith
+      (Printf.sprintf "unknown wal action %S (stats, checkpoint, compact)"
+         other));
+  System.detach_wal sys;
+  let s = System.stats sys in
+  Printf.printf "snapshot   %s: %d bytes%s\n" db_path s.System.snapshot_bytes
+    (if r.Oodb.Wal.r_snapshot_loaded || action <> "stats" then ""
+     else " (none on disk)");
+  let chain = Oodb.Wal.delta_files ~snapshot:db_path () in
+  Printf.printf "delta chain: %d element(s), %d applied at recovery\n"
+    (List.length chain) r.Oodb.Wal.r_deltas_applied;
+  List.iter
+    (fun (p, prev, walseq) ->
+      Printf.printf "  %s  prev=%d walseq=%d\n" p prev walseq)
+    chain;
+  Printf.printf
+    "wal        %s: %d bytes, %d batch(es) past the last snapshot artifact\n"
+    wal_path s.System.wal_bytes r.Oodb.Wal.r_batches_replayed;
+  Printf.printf
+    "durability: %d group seal(s), %d delta checkpoint(s), %d fsync(s)\n"
+    s.System.group_commit_batches s.System.delta_checkpoints s.System.wal_fsyncs
+
 (* --- cmdliner wiring ------------------------------------------------------ *)
 
 open Cmdliner
@@ -524,6 +576,54 @@ let trace_cmd =
           chrome://tracing or Perfetto.")
     Term.(const cmd_trace $ txns_arg $ out_arg)
 
+let wal_cmd =
+  let action_arg =
+    Arg.(value & pos 1 string "stats" & info [] ~docv:"ACTION"
+         ~doc:"$(b,stats), $(b,checkpoint) or $(b,compact).")
+  in
+  let wal_path_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "wal" ] ~docv:"FILE"
+          ~doc:"Log file (default: the snapshot path plus $(b,.wal)).")
+  in
+  let delta_arg =
+    Arg.(
+      value & flag
+      & info [ "delta" ]
+          ~doc:
+            "With $(b,checkpoint): persist only the objects dirtied since \
+             the last snapshot artifact instead of a full snapshot.")
+  in
+  let keep_bytes_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "keep-bytes" ] ~docv:"N"
+          ~doc:
+            "With $(b,compact): retain the largest suffix of whole batches \
+             within N bytes of log tail.")
+  in
+  let keep_since_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "keep-since-seq" ] ~docv:"SEQ"
+          ~doc:
+            "With $(b,compact): retain every batch with sequence number at \
+             or above SEQ.")
+  in
+  Cmd.v
+    (Cmd.info "wal"
+       ~doc:
+         "Recover a store through snapshot + delta chain + log, optionally \
+          checkpoint or compact it, and report WAL/snapshot sizes, the \
+          delta chain and retention state.")
+    Term.(
+      const cmd_wal $ path_arg $ action_arg $ wal_path_arg $ delta_arg
+      $ keep_bytes_arg $ keep_since_arg)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "sentinel-cli" ~version:"1.0.0"
@@ -531,7 +631,7 @@ let main_cmd =
     [
       generate_cmd; inspect_cmd; demo_cmd; scenarios_cmd; rules_cmd;
       compare_cmd; query_cmd; verify_cmd; analyze_cmd; dlq_cmd; reinstate_cmd;
-      metrics_cmd; trace_cmd;
+      metrics_cmd; trace_cmd; wal_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

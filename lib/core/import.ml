@@ -7,6 +7,7 @@ module Occurrence = Oodb.Occurrence
 module Errors = Oodb.Errors
 module Db = Oodb.Db
 module Transaction = Oodb.Transaction
+module Wal = Oodb.Wal
 module Expr = Events.Expr
 module Detector = Events.Detector
 module Route = Events.Route

@@ -15,6 +15,10 @@ type sys_stats = {
   mutable wal_batches_discarded : int;
   mutable wal_checksum_failures : int;
   mutable wal_fsyncs : int;
+  mutable wal_bytes : int;
+  mutable snapshot_bytes : int;
+  mutable group_commit_batches : int;
+  mutable delta_checkpoints : int;
   mutable contained_failures : int;
   mutable quarantined_rules : int;
   mutable dead_letters : int;
@@ -47,6 +51,9 @@ type t = {
   retry_backoff : int -> unit;
   mutable execution_hook :
     (Rule.t -> Detector.instance -> execution_outcome -> unit) option;
+  (* The journal managed through [attach_wal]/[checkpoint]/[compact_wal];
+     None when the embedder drives Wal directly (or not at all). *)
+  mutable sys_wal : Wal.t option;
   sys_stats : sys_stats;
   (* [Some _] when delivery goes through the shared discrimination index
      (Events.Route); [None] is the legacy per-consumer broadcast path. *)
@@ -135,6 +142,10 @@ let stats t =
   s.wal_batches_discarded <- d.Oodb.Types.wal_batches_discarded;
   s.wal_checksum_failures <- d.Oodb.Types.wal_checksum_failures;
   s.wal_fsyncs <- d.Oodb.Types.wal_fsyncs;
+  s.wal_bytes <- d.Oodb.Types.wal_bytes;
+  s.snapshot_bytes <- d.Oodb.Types.snapshot_bytes;
+  s.group_commit_batches <- d.Oodb.Types.group_commit_batches;
+  s.delta_checkpoints <- d.Oodb.Types.delta_checkpoints;
   (* Containment gauges are derived from live state the same way. *)
   s.quarantined_rules <- List.length (quarantined_rules t);
   s.dead_letters <- List.length (dead_letters t);
@@ -156,6 +167,10 @@ let reset_stats t =
   s.wal_batches_discarded <- 0;
   s.wal_checksum_failures <- 0;
   s.wal_fsyncs <- 0;
+  s.wal_bytes <- 0;
+  s.snapshot_bytes <- 0;
+  s.group_commit_batches <- 0;
+  s.delta_checkpoints <- 0;
   s.contained_failures <- 0;
   s.quarantined_rules <- 0;
   s.dead_letters <- 0;
@@ -166,6 +181,33 @@ let reset_stats t =
   match t.sys_route with
   | Some route -> Route.reset_counters route
   | None -> ()
+
+(* --- durability management ------------------------------------------------- *)
+
+let no_wal () =
+  raise (Errors.Transaction_error "System: no journal attached (attach_wal)")
+
+let attach_wal ?storage ?sync ?group_commit t path =
+  let wal = Wal.attach ?storage ?sync ?group_commit t.sys_db path in
+  t.sys_wal <- Some wal;
+  wal
+
+let wal t = t.sys_wal
+
+let detach_wal t =
+  match t.sys_wal with
+  | None -> ()
+  | Some w ->
+    Wal.detach w;
+    t.sys_wal <- None
+
+let checkpoint ?mode t ~snapshot =
+  match t.sys_wal with Some w -> Wal.checkpoint ?mode w ~snapshot | None -> no_wal ()
+
+let compact_wal ?retention t ~snapshot =
+  match t.sys_wal with Some w -> Wal.compact ?retention w ~snapshot | None -> no_wal ()
+
+let sync_wal t = match t.sys_wal with Some w -> Wal.sync w | None -> no_wal ()
 
 (* Class subsumption backed by the schema; synthetic classes (the detector's
    "<clock>") only match themselves. *)
@@ -555,6 +597,7 @@ let create ?(strategy = Scheduler.default) ?(cascade_limit = 64)
       dead_letter_limit = max 1 dead_letter_limit;
       retry_backoff;
       execution_hook = None;
+      sys_wal = None;
       sys_stats =
         {
           dispatched = 0;
@@ -568,6 +611,10 @@ let create ?(strategy = Scheduler.default) ?(cascade_limit = 64)
           wal_batches_discarded = 0;
           wal_checksum_failures = 0;
           wal_fsyncs = 0;
+          wal_bytes = 0;
+          snapshot_bytes = 0;
+          group_commit_batches = 0;
+          delta_checkpoints = 0;
           contained_failures = 0;
           quarantined_rules = 0;
           dead_letters = 0;

@@ -63,6 +63,13 @@ type sys_stats = {
   mutable wal_checksum_failures : int;
       (** recovery: batches rejected by the CRC-32 check *)
   mutable wal_fsyncs : int;  (** durability: fsyncs issued by WAL/snapshot *)
+  mutable wal_bytes : int;  (** durability: current WAL file length (gauge) *)
+  mutable snapshot_bytes : int;
+      (** durability: size of the last full snapshot written or loaded *)
+  mutable group_commit_batches : int;
+      (** durability: groups sealed by the commit coordinator *)
+  mutable delta_checkpoints : int;
+      (** durability: incremental checkpoints taken *)
   mutable contained_failures : int;
       (** failed firings absorbed by a [Contain]/[Quarantine] policy *)
   mutable quarantined_rules : int;
@@ -289,3 +296,39 @@ val clear_execution_hook : t -> unit
 
 val stats : t -> sys_stats
 val reset_stats : t -> unit
+
+(** {1 Durability management}
+
+    Thin wrappers over {!Oodb.Wal} so an embedder holding only the [System]
+    can run the whole durability lifecycle: journaling (with optional group
+    commit), full or incremental checkpoints, and compaction with
+    retention.  All state lives in the underlying {!Oodb.Wal.t}; driving
+    Wal directly remains equivalent. *)
+
+val attach_wal :
+  ?storage:Oodb.Storage.t ->
+  ?sync:bool ->
+  ?group_commit:Wal.group_commit ->
+  t ->
+  string ->
+  Wal.t
+(** Attach a journal to the system's database and remember it for
+    {!checkpoint}/{!compact_wal}/{!sync_wal}.  See {!Oodb.Wal.attach}. *)
+
+val wal : t -> Wal.t option
+
+val detach_wal : t -> unit
+(** Detach the managed journal, if any (seals the open commit group). *)
+
+val checkpoint : ?mode:[ `Full | `Delta ] -> t -> snapshot:string -> unit
+(** {!Oodb.Wal.checkpoint} on the managed journal.
+    @raise Errors.Transaction_error when none is attached. *)
+
+val compact_wal : ?retention:Wal.retention -> t -> snapshot:string -> unit
+(** {!Oodb.Wal.compact} on the managed journal.
+    @raise Errors.Transaction_error when none is attached. *)
+
+val sync_wal : t -> unit
+(** {!Oodb.Wal.sync} on the managed journal: seal the open commit group and
+    force everything committed so far onto the disk.
+    @raise Errors.Transaction_error when none is attached. *)

@@ -79,6 +79,10 @@ let observe_ns st ns =
 let exit st t0 = if t0 <> 0. then observe_ns st (now_ns () -. t0)
 let hit st = if !on then st.st_count <- st.st_count + 1
 
+(* Bulk counter bump for quantity-valued stages (bytes written, commits
+   coalesced): the count is the accumulated quantity, not a call tally. *)
+let add st n = if !on then st.st_count <- st.st_count + n
+
 let name st = st.st_name
 let id st = st.st_id
 let count st = st.st_count

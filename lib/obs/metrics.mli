@@ -49,6 +49,10 @@ val exit : stage -> float -> unit
 val hit : stage -> unit
 (** Count without timing (outcome counters). *)
 
+val add : stage -> int -> unit
+(** [add st n] counts [n] at once, for quantity-valued stages (bytes
+    written, commits coalesced into a group batch).  No-op when off. *)
+
 val observe_ns : stage -> float -> unit
 (** Record a duration directly (bypasses sampling and the [on] gate; used
     by tests and by callers that already hold a measured duration). *)

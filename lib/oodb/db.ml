@@ -9,6 +9,10 @@ let create ?(layout = `Slots) () =
     now = 0;
     next_txn_id = 1;
     wal_applied_seq = 0;
+    snapshot_seq = 0;
+    dirty = Oid.Table.create 256;
+    dirty_dead = Oid.Table.create 64;
+    ckpt_gen = 1;
     slots_mode = (layout = `Slots);
     objects = Oid.Table.create 1024;
     classes = Hashtbl.create 64;
@@ -36,6 +40,10 @@ let create ?(layout = `Slots) () =
         wal_batches_discarded = 0;
         wal_checksum_failures = 0;
         wal_fsyncs = 0;
+        wal_bytes = 0;
+        snapshot_bytes = 0;
+        group_commit_batches = 0;
+        delta_checkpoints = 0;
       };
   }
 
@@ -71,7 +79,11 @@ let reset_stats db =
   s.wal_batches_replayed <- 0;
   s.wal_batches_discarded <- 0;
   s.wal_checksum_failures <- 0;
-  s.wal_fsyncs <- 0
+  s.wal_fsyncs <- 0;
+  s.wal_bytes <- 0;
+  s.snapshot_bytes <- 0;
+  s.group_commit_batches <- 0;
+  s.delta_checkpoints <- 0
 
 (* --- schema ------------------------------------------------------------ *)
 
@@ -365,6 +377,7 @@ let subscribe db ~reactive ~consumer =
   if not (List.exists (Oid.equal consumer) o.consumers) then begin
     Transaction.log_undo db (U_consumers (reactive, o.consumers));
     o.consumers <- consumer :: o.consumers;
+    Heap.mark_dirty db o;
     journal db (J_mutation (M_subscribe (reactive, consumer)))
   end
 
@@ -373,6 +386,7 @@ let unsubscribe db ~reactive ~consumer =
   if List.exists (Oid.equal consumer) o.consumers then begin
     Transaction.log_undo db (U_consumers (reactive, o.consumers));
     o.consumers <- List.filter (fun c -> not (Oid.equal c consumer)) o.consumers;
+    Heap.mark_dirty db o;
     journal db (J_mutation (M_unsubscribe (reactive, consumer)))
   end
 

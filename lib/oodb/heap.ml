@@ -164,9 +164,31 @@ let fresh_store db (info : class_info) seed =
   end
 
 let make_obj db ~id ~cls ~info ~seed ~consumers =
-  { id; cls; info; store = fresh_store db info seed; consumers; alive = true }
+  {
+    id;
+    cls;
+    info;
+    store = fresh_store db info seed;
+    consumers;
+    alive = true;
+    dirty_gen = 0;
+  }
 
 (* --- mutation ------------------------------------------------------------ *)
+
+(* Dirty tracking for incremental checkpoints: the generation stamp keeps
+   the steady-state cost of re-touching an already-dirty object to one
+   load+compare; the hashtable write happens once per object per epoch. *)
+let mark_dirty db (o : obj) =
+  if o.dirty_gen <> db.ckpt_gen then begin
+    o.dirty_gen <- db.ckpt_gen;
+    Oid.Table.replace db.dirty o.id ()
+  end
+
+let clear_dirty db =
+  Oid.Table.reset db.dirty;
+  Oid.Table.reset db.dirty_dead;
+  db.ckpt_gen <- db.ckpt_gen + 1
 
 (* Set or remove ([v = None]) the attribute at slot [i], keeping covering
    indexes in sync.  Returns the previous binding.  Slot stores only. *)
@@ -174,6 +196,7 @@ let raw_set_slot db (o : obj) i v =
   match o.store with
   | S_table _ -> invalid_arg "Heap.raw_set_slot: hashtable store"
   | S_slots slots ->
+    mark_dirty db o;
     let cur = Array.unsafe_get slots i in
     let old = if cur == absent then None else Some cur in
     let ixs = covering_of_slot db (layout_of o) i in
@@ -199,6 +222,7 @@ let raw_set_attr db (o : obj) name v =
       | None -> None (* removing an attribute the layout never had *)
       | Some _ -> raise (Errors.No_such_attribute (o.cls, name)))
   | S_table tbl ->
+    mark_dirty db o;
     let old = Hashtbl.find_opt tbl name in
     let ixs = covering_indexes db o.cls name in
     List.iter
@@ -228,12 +252,18 @@ let unindex_all_attrs db o =
 let insert_obj db o =
   Oid.Table.replace db.objects o.id o;
   add_to_extent db o.cls o.id;
-  index_all_attrs db o
+  index_all_attrs db o;
+  mark_dirty db o;
+  (* undo of a delete resurrects the OID: it is live again, not dead *)
+  Oid.Table.remove db.dirty_dead o.id
 
 let remove_obj db o =
   unindex_all_attrs db o;
   remove_from_extent db o.cls o.id;
-  Oid.Table.remove db.objects o.id
+  Oid.Table.remove db.objects o.id;
+  Oid.Table.remove db.dirty o.id;
+  o.dirty_gen <- 0;
+  Oid.Table.replace db.dirty_dead o.id ()
 
 (* --- schema evolution support -------------------------------------------- *)
 

@@ -146,48 +146,44 @@ let decode_value s =
 
 (* --- writing ------------------------------------------------------------ *)
 
+let oid_list oids =
+  String.concat " " (List.map (fun c -> string_of_int (Oid.to_int c)) oids)
+
+let emit_obj emit o =
+  emit (Printf.sprintf "obj %d %s\n" (Oid.to_int o.id) o.cls);
+  List.iter
+    (fun (k, v) -> emit (Printf.sprintf "a %s %s\n" k (encode_value v)))
+    (Heap.sorted_attrs o);
+  if o.consumers <> [] then emit (Printf.sprintf "c %s\n" (oid_list o.consumers));
+  emit "end\n"
+
+let emit_classcons emit db =
+  Hashtbl.fold (fun cls cs acc -> (cls, cs) :: acc) db.class_consumers []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (cls, cs) ->
+         if cs <> [] then
+           emit (Printf.sprintf "classcons %s %s\n" cls (oid_list cs)))
+
+let emit_indexes emit db =
+  Hashtbl.fold (fun key ix acc -> (key, ix) :: acc) db.indexes []
+  |> List.sort compare
+  |> List.iter (fun ((cls, attr), ix) ->
+         let kind =
+           match ix.ix_backing with Ix_hash _ -> "hash" | Ix_ordered _ -> "ordered"
+         in
+         emit (Printf.sprintf "index %s %s %s\n" cls attr kind))
+
 let write db emit =
   let pr fmt = Printf.ksprintf emit fmt in
   pr "%s\n" magic;
   pr "clock %d\n" db.now;
   pr "nextoid %d\n" db.next_oid;
   if db.wal_applied_seq > 0 then pr "walseq %d\n" db.wal_applied_seq;
-  let objs =
-    Oid.Table.fold (fun _ o acc -> o :: acc) db.objects []
-    |> List.sort (fun a b -> Oid.compare a.id b.id)
-  in
-  let write_obj o =
-    pr "obj %d %s\n" (Oid.to_int o.id) o.cls;
-    List.iter
-      (fun (k, v) -> pr "a %s %s\n" k (encode_value v))
-      (Heap.sorted_attrs o);
-    if o.consumers <> [] then
-      pr "c %s\n"
-        (String.concat " " (List.map (fun c -> string_of_int (Oid.to_int c)) o.consumers));
-    pr "end\n"
-  in
-  List.iter write_obj objs;
-  let ccs =
-    Hashtbl.fold (fun cls cs acc -> (cls, cs) :: acc) db.class_consumers []
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  in
-  List.iter
-    (fun (cls, cs) ->
-      if cs <> [] then
-        pr "classcons %s %s\n" cls
-          (String.concat " " (List.map (fun c -> string_of_int (Oid.to_int c)) cs)))
-    ccs;
-  let ixs =
-    Hashtbl.fold (fun key ix acc -> (key, ix) :: acc) db.indexes []
-    |> List.sort compare
-  in
-  List.iter
-    (fun ((cls, attr), ix) ->
-      let kind =
-        match ix.ix_backing with Ix_hash _ -> "hash" | Ix_ordered _ -> "ordered"
-      in
-      pr "index %s %s %s\n" cls attr kind)
-    ixs;
+  Oid.Table.fold (fun _ o acc -> o :: acc) db.objects []
+  |> List.sort (fun a b -> Oid.compare a.id b.id)
+  |> List.iter (emit_obj emit);
+  emit_classcons emit db;
+  emit_indexes emit db;
   pr "EOF\n"
 
 let to_channel db oc = write db (output_string oc)
@@ -206,11 +202,18 @@ let tmp_name path =
   incr tmp_counter;
   Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ()) !tmp_counter
 
-let save ?(storage = Storage.unix) db path =
+(* Write [emit_body]'s output crash-atomically to [path]: fsynced temp file,
+   atomic rename, directory fsync.  Returns the bytes written. *)
+let save_atomic storage db path emit_body =
   let tmp = tmp_name path in
+  let bytes = ref 0 in
   let w = storage.Storage.open_writer ~append:false tmp in
+  let emit s =
+    bytes := !bytes + String.length s;
+    w.Storage.write s
+  in
   (try
-     write db w.Storage.write;
+     emit_body emit;
      w.Storage.fsync ();
      db.stats.wal_fsyncs <- db.stats.wal_fsyncs + 1;
      w.Storage.close ()
@@ -221,7 +224,16 @@ let save ?(storage = Storage.unix) db path =
   (* The snapshot becomes visible only whole: fsynced temp file, atomic
      rename, then directory fsync so the rename itself is durable. *)
   storage.Storage.rename tmp path;
-  storage.Storage.fsync_dir path
+  storage.Storage.fsync_dir path;
+  !bytes
+
+let save ?(storage = Storage.unix) db path =
+  let bytes = save_atomic storage db path (write db) in
+  db.stats.snapshot_bytes <- bytes;
+  (* The snapshot is the new incremental-checkpoint baseline: it covers
+     every applied WAL batch, and nothing is dirty relative to it. *)
+  db.snapshot_seq <- db.wal_applied_seq;
+  Heap.clear_dirty db
 
 (* --- reading ------------------------------------------------------------ *)
 
@@ -318,7 +330,11 @@ let read db read_line =
   toplevel ();
   List.iter
     (fun (cls, attr, kind) -> Db.create_index db ~kind ~cls ~attr ())
-    !pending_indexes
+    !pending_indexes;
+  (* The loaded snapshot is the incremental-checkpoint baseline: everything
+     it carries is clean relative to it. *)
+  db.snapshot_seq <- db.wal_applied_seq;
+  Heap.clear_dirty db
 
 let of_channel db ic = read db (fun () -> In_channel.input_line ic)
 
@@ -335,4 +351,203 @@ let of_string db s =
   read db next
 
 let load ?(storage = Storage.unix) db path =
-  of_string db (storage.Storage.read_file path)
+  let content = storage.Storage.read_file path in
+  of_string db content;
+  db.stats.snapshot_bytes <- String.length content
+
+(* --- incremental (delta) checkpoints -------------------------------------
+
+   A delta persists only the objects dirtied since the last snapshot
+   artifact, chained to it by WAL sequence number:
+
+     SENTINELDELTA 1
+     prev <P>        sequence the previous chain element covered
+     walseq <D>      sequence this delta covers through
+     clock/nextoid   absolute values at delta time
+     obj ... end     full record per dirty object (replace semantics)
+     del <oid>       objects deleted since the previous element
+     classcons/index full replacement (both sections are small)
+     EOF
+
+   A delta is valid on top of a store exactly when [prev] equals the
+   store's [snapshot_seq]; a stale delta (e.g. left behind by a crashed
+   compaction) fails that check and is ignored by recovery, which is safe
+   because the WAL retains every batch past the base it chains from. *)
+
+let delta_magic = "SENTINELDELTA 1"
+
+let write_delta db emit =
+  let pr fmt = Printf.ksprintf emit fmt in
+  pr "%s\n" delta_magic;
+  pr "prev %d\n" db.snapshot_seq;
+  pr "walseq %d\n" db.wal_applied_seq;
+  pr "clock %d\n" db.now;
+  pr "nextoid %d\n" db.next_oid;
+  Oid.Table.fold
+    (fun oid () acc ->
+      match Oid.Table.find_opt db.objects oid with
+      | Some o when o.alive -> o :: acc
+      | _ -> acc)
+    db.dirty []
+  |> List.sort (fun a b -> Oid.compare a.id b.id)
+  |> List.iter (emit_obj emit);
+  Oid.Table.fold (fun oid () acc -> oid :: acc) db.dirty_dead []
+  |> List.sort Oid.compare
+  |> List.iter (fun oid -> pr "del %d\n" (Oid.to_int oid));
+  emit_classcons emit db;
+  emit_indexes emit db;
+  pr "EOF\n"
+
+let save_delta ?(storage = Storage.unix) db path =
+  let bytes = save_atomic storage db path (write_delta db) in
+  (* This delta is the new baseline: the next one chains from here. *)
+  db.snapshot_seq <- db.wal_applied_seq;
+  Heap.clear_dirty db;
+  bytes
+
+let delta_header ?(storage = Storage.unix) path =
+  if not (storage.Storage.exists path) then None
+  else
+    let content = try storage.Storage.read_file path with _ -> "" in
+    match String.split_on_char '\n' content with
+    | m :: p :: w :: _ when m = delta_magic -> (
+      match (split_words p, split_words w) with
+      | [ "prev"; p ], [ "walseq"; w ] -> (
+        match (int_of_string_opt p, int_of_string_opt w) with
+        | Some p, Some w -> Some (p, w)
+        | _ -> None)
+      | _ -> None)
+    | _ -> None
+
+let apply_delta ?(storage = Storage.unix) db path =
+  if Transaction.in_progress db then
+    raise (Errors.Transaction_error "cannot apply a delta during a transaction");
+  match delta_header ~storage path with
+  | None -> `Stale
+  | Some (prev, dseq) when prev <> db.snapshot_seq || dseq < prev -> `Stale
+  | Some (_, dseq) ->
+    let lines = String.split_on_char '\n' (storage.Storage.read_file path) in
+    let rest = ref lines and lineno = ref 0 in
+    let next_line () =
+      match !rest with
+      | [] -> None
+      | l :: tl ->
+        rest := tl;
+        incr lineno;
+        Some l
+    in
+    let fail fmt =
+      Printf.ksprintf (fun m -> parse_error "delta line %d: %s" !lineno m) fmt
+    in
+    let parse_int w =
+      match int_of_string_opt w with Some n -> n | None -> fail "bad int %s" w
+    in
+    let parse_oid w = Oid.of_int (parse_int w) in
+    (* Replaying mutations below must not re-journal them: the WAL already
+       holds (or held) these batches. *)
+    let saved_journal = db.on_journal in
+    db.on_journal <- None;
+    Fun.protect
+      ~finally:(fun () -> db.on_journal <- saved_journal)
+      (fun () ->
+        let classcons = ref [] and desired_ix = ref [] in
+        let apply_obj oid cls =
+          if not (Db.has_class db cls) then raise (Errors.No_such_class cls);
+          let info = Heap.class_info db cls in
+          let o = Heap.make_obj db ~id:oid ~cls ~info ~seed:`Empty ~consumers:[] in
+          let rec body () =
+            match next_line () with
+            | None -> fail "unterminated object"
+            | Some line -> (
+              match split_words line with
+              | [ "end" ] -> ()
+              | "a" :: name :: [ enc ] ->
+                Heap.store_put_loose o name (decode_value enc);
+                body ()
+              | "c" :: oids ->
+                o.consumers <- List.map parse_oid oids;
+                body ()
+              | _ -> fail "bad object body: %s" line)
+          in
+          body ();
+          (* replace semantics: a base-snapshot version of the object gives
+             way to the delta's newer record *)
+          (match Oid.Table.find_opt db.objects oid with
+          | Some old -> Heap.remove_obj db old
+          | None -> ());
+          Heap.insert_obj db o
+        in
+        let rec toplevel () =
+          match next_line () with
+          | None -> fail "missing EOF marker"
+          | Some line -> (
+            match split_words line with
+            | [ "EOF" ] -> ()
+            | [ "prev"; _ ] | [ "walseq"; _ ] -> toplevel ()
+            | [ "clock"; v ] ->
+              Db.advance_clock db (parse_int v);
+              toplevel ()
+            | [ "nextoid"; v ] ->
+              db.next_oid <- max db.next_oid (parse_int v);
+              toplevel ()
+            | [ "obj"; oid; cls ] ->
+              apply_obj (parse_oid oid) cls;
+              toplevel ()
+            | [ "del"; oid ] ->
+              (* lenient: the object may never have reached the base *)
+              (match Oid.Table.find_opt db.objects (parse_oid oid) with
+              | Some o -> Heap.remove_obj db o
+              | None -> ());
+              toplevel ()
+            | "classcons" :: cls :: oids ->
+              if not (Db.has_class db cls) then raise (Errors.No_such_class cls);
+              classcons := (cls, List.map parse_oid oids) :: !classcons;
+              toplevel ()
+            | [ "index"; cls; attr; kind ] ->
+              let kind =
+                match kind with
+                | "hash" -> `Hash
+                | "ordered" -> `Ordered
+                | other -> fail "unknown index kind %s" other
+              in
+              desired_ix := (cls, attr, kind) :: !desired_ix;
+              toplevel ()
+            | [] -> toplevel ()
+            | _ -> fail "bad line: %s" line)
+        in
+        (match next_line () with
+        | Some l when l = delta_magic -> ()
+        | _ -> fail "bad delta magic");
+        toplevel ();
+        (* full-replacement sections *)
+        Hashtbl.reset db.class_consumers;
+        List.iter
+          (fun (cls, oids) -> Hashtbl.replace db.class_consumers cls oids)
+          !classcons;
+        db.class_sub_gen <- db.class_sub_gen + 1;
+        let current =
+          Hashtbl.fold
+            (fun (cls, attr) ix acc ->
+              let kind =
+                match ix.ix_backing with
+                | Ix_hash _ -> `Hash
+                | Ix_ordered _ -> `Ordered
+              in
+              (cls, attr, kind) :: acc)
+            db.indexes []
+        in
+        List.iter
+          (fun (cls, attr, kind) ->
+            (* kind mismatch drops too: the create pass rebuilds it *)
+            if not (List.mem (cls, attr, kind) !desired_ix) then
+              Db.drop_index db ~cls ~attr)
+          current;
+        List.iter
+          (fun (cls, attr, kind) ->
+            if not (Hashtbl.mem db.indexes (cls, attr)) then
+              Db.create_index db ~kind ~cls ~attr ())
+          !desired_ix);
+    db.wal_applied_seq <- max db.wal_applied_seq dseq;
+    db.snapshot_seq <- dseq;
+    Heap.clear_dirty db;
+    `Applied

@@ -39,6 +39,33 @@ val of_string : Db.t -> string -> unit
 val load : ?storage:Storage.t -> Db.t -> string -> unit
 (** Read a snapshot file through [storage] (default {!Storage.unix}). *)
 
+(** {1 Incremental (delta) checkpoints}
+
+    A delta persists only the objects created, mutated or deleted since the
+    last snapshot artifact (base snapshot or previous delta), chained to it
+    by WAL sequence number: the delta's [prev] header must equal the
+    store's [snapshot_seq] for the delta to apply.  Written with the same
+    tmp+fsync+rename+dir-fsync discipline as {!save}.  {!Wal.checkpoint}
+    with [~mode:`Delta] and {!Wal.recover} drive these; they are exposed
+    here for tests and tooling. *)
+
+val save_delta : ?storage:Storage.t -> Db.t -> string -> int
+(** [save_delta db path] writes the dirty set as a delta chained to the
+    current baseline, makes the delta the new baseline (clears the dirty
+    set, advances [snapshot_seq]) and returns the bytes written. *)
+
+val apply_delta : ?storage:Storage.t -> Db.t -> string -> [ `Applied | `Stale ]
+(** [apply_delta db path] applies the delta on top of the store's current
+    state.  Returns [`Stale] without touching the store when the chain
+    check fails ([prev] does not match [snapshot_seq]) or the file is not a
+    delta — recovery treats that as the end of the usable chain.
+    @raise Errors.Parse_error on a malformed body past the header
+    @raise Errors.Transaction_error when a transaction is open. *)
+
+val delta_header : ?storage:Storage.t -> string -> (int * int) option
+(** [(prev, walseq)] from a delta file's header, or [None] when the file is
+    missing or not a delta. *)
+
 (** {1 Value encoding} (exposed for tests) *)
 
 val encode_value : Value.t -> string

@@ -44,7 +44,8 @@ let apply_undo db = function
     Heap.insert_obj db o
   | U_consumers (oid, old) ->
     let o = Heap.find_obj_any db oid in
-    o.consumers <- old
+    o.consumers <- old;
+    Heap.mark_dirty db o
   | U_class_consumers (cls, old) ->
     Hashtbl.replace db.class_consumers cls old;
     (* rollback is a subscription change too: stale routing caches must see it *)

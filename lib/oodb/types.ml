@@ -130,6 +130,11 @@ and obj = {
      is O(1); subscription order is recovered by reversing. *)
   mutable consumers : Oid.t list;
   mutable alive : bool;
+  (* Dirty-tracking epoch stamp for incremental checkpoints: when it equals
+     [db.ckpt_gen] the object is already in [db.dirty], so the mutation hot
+     path pays one load+compare instead of a hashtable write per set.  0 on
+     freshly built objects (no epoch ever matches). *)
+  mutable dirty_gen : int;
 }
 
 (* One method as seen by Db.send: implementation, effective event-interface
@@ -188,6 +193,11 @@ and stats = {
   mutable wal_batches_discarded : int; (* torn or corrupt batches dropped *)
   mutable wal_checksum_failures : int;
   mutable wal_fsyncs : int;
+  (* Durability-path sizing and group-commit visibility (PR 6). *)
+  mutable wal_bytes : int; (* current WAL file length, maintained by Wal *)
+  mutable snapshot_bytes : int; (* size of the last full snapshot written *)
+  mutable group_commit_batches : int; (* batches sealed by the coordinator *)
+  mutable delta_checkpoints : int; (* incremental checkpoints taken *)
 }
 
 and db = {
@@ -200,6 +210,21 @@ and db = {
      skip the batches the snapshot already contains instead of
      double-applying them (the checkpoint-crash window). *)
   mutable wal_applied_seq : int;
+  (* WAL sequence number covered by the last durable snapshot artifact (base
+     snapshot or delta-chain element).  The next delta checkpoint chains from
+     here (`prev` header), and Wal.recover validates each chain link against
+     it.  0 until a snapshot is saved or loaded. *)
+  mutable snapshot_seq : int;
+  (* Objects created or mutated since the last snapshot artifact, keyed by
+     OID — the working set an incremental checkpoint persists.  Cleared by
+     Persist.save / save_delta / load (each establishes a new baseline). *)
+  dirty : unit Oid.Table.t;
+  (* Objects deleted since the last snapshot artifact: a delta records them
+     as explicit `del` entries so recovery removes them from the base. *)
+  dirty_dead : unit Oid.Table.t;
+  (* Dirty-epoch counter, bumped whenever [dirty] is cleared; see
+     [obj.dirty_gen]. Starts at 1 so a fresh object's 0 stamp never matches. *)
+  mutable ckpt_gen : int;
   (* Slot mode (the default) compiles objects to S_slots arrays; hashtbl
      mode preserves the legacy per-object S_table representation for
      baseline measurement. *)

@@ -5,11 +5,21 @@ let magic_v2 = "SENTINELWAL 2"
 
 type version = V1 | V2
 
+(* Group-commit window: the coordinator coalesces up to [max_batch] commits
+   arriving within [max_wait_us] of the group opening into one WAL batch and
+   one fsync. *)
+type group_commit = { max_batch : int; max_wait_us : int }
+
+(* WAL retention under [compact]: how much of the (already-folded-into-the-
+   base) log tail survives for forensics and point-in-time inspection. *)
+type retention = Keep_none | Keep_bytes of int | Keep_since_seq of int
+
 type t = {
   wal_db : db;
   path : string;
   storage : Storage.t;
   sync : bool;
+  group : group_commit option;
   mutable w : Storage.writer;
   mutable version : version;
   (* sequence number the next batch will carry; monotone across the life of
@@ -18,6 +28,11 @@ type t = {
   (* one buffer per open transaction, innermost first; entries newest
      first *)
   mutable stack : string list list;
+  (* the open commit group: coalesced entries (newest first) and how many
+     commits they came from.  Nothing here has touched the disk yet. *)
+  mutable g_entries : string list;
+  mutable g_txns : int;
+  mutable g_opened_us : float; (* wall-clock when the group opened *)
   mutable n_batches : int;
   mutable n_entries : int;
   mutable attached : bool;
@@ -25,6 +40,7 @@ type t = {
 
 let batches_written t = t.n_batches
 let entries_written t = t.n_entries
+let pending_commits t = t.g_txns
 
 (* --- entry codec ----------------------------------------------------------- *)
 
@@ -201,6 +217,43 @@ let st_wal_append =
 let st_wal_checkpoint =
   Obs.Metrics.register ~id:(Symbol.intern "wal.checkpoint") "wal.checkpoint"
 
+let st_wal_fsync =
+  Obs.Metrics.register ~id:(Symbol.intern "wal.fsync") "wal.fsync"
+
+let st_group_commit =
+  Obs.Metrics.register ~id:(Symbol.intern "wal.group_commit") "wal.group_commit"
+
+let st_wal_compact =
+  Obs.Metrics.register ~id:(Symbol.intern "wal.compact") "wal.compact"
+
+(* Quantity counters (Obs.Metrics.add / hit are self-gated on the metrics
+   switch, so the disabled path stays one load + branch per site). *)
+let st_coalesced =
+  Obs.Metrics.register
+    ~id:(Symbol.intern "wal.batches_coalesced")
+    "wal.batches_coalesced"
+
+let st_delta_bytes =
+  Obs.Metrics.register ~id:(Symbol.intern "wal.delta_bytes") "wal.delta_bytes"
+
+let st_compactions =
+  Obs.Metrics.register ~id:(Symbol.intern "wal.compactions") "wal.compactions"
+
+let fsync_raw t =
+  t.w.Storage.fsync ();
+  count_fsync t.wal_db
+
+let fsync_writer t =
+  if not !Obs.armed then fsync_raw t
+  else begin
+    let t0 = Obs.Metrics.enter st_wal_fsync in
+    match fsync_raw t with
+    | () -> Obs.Metrics.exit st_wal_fsync t0
+    | exception e ->
+      Obs.Metrics.exit st_wal_fsync t0;
+      raise e
+  end
+
 let write_batch_raw t entries =
   if t.attached then begin
     (* entries arrive newest first *)
@@ -225,13 +278,11 @@ let write_batch_raw t entries =
        retry cannot duplicate a partially-written batch *)
     Storage.with_retries (fun () -> t.w.Storage.write data);
     t.w.Storage.flush ();
-    if t.sync then begin
-      t.w.Storage.fsync ();
-      count_fsync t.wal_db
-    end;
+    if t.sync then fsync_writer t;
     (* counters and the sequence move only once the batch is safely down *)
     t.n_batches <- t.n_batches + 1;
     t.n_entries <- t.n_entries + !n;
+    t.wal_db.stats.wal_bytes <- t.wal_db.stats.wal_bytes + String.length data;
     if t.version = V2 then begin
       t.wal_db.wal_applied_seq <- t.next_seq;
       t.next_seq <- t.next_seq + 1
@@ -249,6 +300,56 @@ let write_batch t entries =
       raise e
   end
 
+(* --- group commit -----------------------------------------------------------
+   With [~group_commit] the committed entries do not go to the disk one
+   batch per transaction: they join the open group, and the whole group is
+   written as one WAL batch — one sequence number, one CRC, one fsync —
+   when it reaches [max_batch] commits, its window expires, or a durability
+   point forces a seal ([sync], checkpoint, compact, detach).  Until then
+   the group lives only in memory: a crash loses the open group wholesale
+   and nothing else, so recovery still lands exactly on a batch boundary. *)
+
+let seal_group_raw t =
+  if t.g_txns > 0 then begin
+    let entries = t.g_entries and txns = t.g_txns in
+    t.g_entries <- [];
+    t.g_txns <- 0;
+    t.g_opened_us <- 0.;
+    write_batch t entries;
+    let st = t.wal_db.stats in
+    st.group_commit_batches <- st.group_commit_batches + 1;
+    (* commits beyond the first shared a batch (and an fsync) with it *)
+    Obs.Metrics.add st_coalesced (txns - 1)
+  end
+
+let seal_group t =
+  if t.g_txns > 0 then
+    if not !Obs.armed then seal_group_raw t
+    else begin
+      let t0 = Obs.Metrics.enter st_group_commit in
+      match seal_group_raw t with
+      | () -> Obs.Metrics.exit st_group_commit t0
+      | exception e ->
+        Obs.Metrics.exit st_group_commit t0;
+        raise e
+    end
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+(* One committed transaction's entries (newest first) reach the log, either
+   directly or through the group coordinator. *)
+let commit_batch t entries =
+  match t.group with
+  | None -> write_batch t entries
+  | Some g ->
+    (* a group left open past its window seals before new commits join it *)
+    if t.g_txns > 0 && now_us () -. t.g_opened_us > float_of_int g.max_wait_us
+    then seal_group t;
+    if t.g_txns = 0 then t.g_opened_us <- now_us ();
+    t.g_entries <- entries @ t.g_entries;
+    t.g_txns <- t.g_txns + 1;
+    if t.g_txns >= g.max_batch then seal_group t
+
 let on_event t event =
   if t.attached then
     match event with
@@ -256,7 +357,7 @@ let on_event t event =
     | J_mutation m -> (
       let entry = encode_mutation m in
       match t.stack with
-      | [] -> write_batch t [ entry ] (* autocommit *)
+      | [] -> commit_batch t [ entry ] (* autocommit *)
       | buf :: rest -> t.stack <- (entry :: buf) :: rest)
     | J_commit_inner -> (
       match t.stack with
@@ -266,10 +367,19 @@ let on_event t event =
       match t.stack with
       | [ buf ] ->
         t.stack <- [];
-        if buf <> [] then write_batch t buf
+        if buf <> [] then commit_batch t buf
       | _ -> ())
     | J_abort -> (
       match t.stack with [] -> () | _ :: rest -> t.stack <- rest)
+
+(* Force everything committed so far onto the disk: seal the open group and,
+   for a [sync:false] log, fsync the buffered writes. *)
+let sync t =
+  if not t.attached then
+    raise (Errors.Transaction_error "cannot sync a detached journal");
+  seal_group t;
+  t.w.Storage.flush ();
+  if not t.sync then fsync_writer t
 
 (* --- attach / detach --------------------------------------------------------- *)
 
@@ -284,23 +394,30 @@ let init_log storage sync db path =
   storage.Storage.fsync_dir path;
   w
 
-let attach ?(storage = Storage.unix) ?(sync = true) db path =
+let header_bytes = String.length magic_v2 + 1
+
+let attach ?(storage = Storage.unix) ?(sync = true) ?group_commit db path =
   if db.on_journal <> None then
     raise (Errors.Transaction_error "a journal is already attached");
   if db.txns <> [] then
     raise (Errors.Transaction_error "cannot attach a journal mid-transaction");
+  (match group_commit with
+  | Some g when g.max_batch < 1 || g.max_wait_us < 0 ->
+    invalid_arg "Wal.attach: bad group_commit window"
+  | _ -> ());
   let fresh =
     (not (storage.Storage.exists path)) || storage.Storage.size path = 0
   in
-  let w, version, next_seq =
-    if fresh then (init_log storage sync db path, V2, db.wal_applied_seq + 1)
+  let w, version, next_seq, bytes =
+    if fresh then
+      (init_log storage sync db path, V2, db.wal_applied_seq + 1, header_bytes)
     else begin
       let data = storage.Storage.read_file path in
       match scan data with
       | `Torn_header ->
         (* a crash while creating the log: no batch was ever durable, so
            reinitialize in place *)
-        (init_log storage sync db path, V2, db.wal_applied_seq + 1)
+        (init_log storage sync db path, V2, db.wal_applied_seq + 1, header_bytes)
       | `Ok s ->
         (* repair: drop the torn or corrupt tail so appended batches stay
            reachable by replay *)
@@ -311,7 +428,10 @@ let attach ?(storage = Storage.unix) ?(sync = true) db path =
             (fun acc b -> max acc b.b_seq)
             db.wal_applied_seq s.s_batches
         in
-        (storage.Storage.open_writer ~append:true path, s.s_version, last + 1)
+        ( storage.Storage.open_writer ~append:true path,
+          s.s_version,
+          last + 1,
+          s.s_valid_end )
     end
   in
   let t =
@@ -320,35 +440,79 @@ let attach ?(storage = Storage.unix) ?(sync = true) db path =
       path;
       storage;
       sync;
+      group = group_commit;
       w;
       version;
       next_seq;
       stack = [];
+      g_entries = [];
+      g_txns = 0;
+      g_opened_us = 0.;
       n_batches = 0;
       n_entries = 0;
       attached = true;
     }
   in
+  db.stats.wal_bytes <- bytes;
   db.on_journal <- Some (on_event t);
   t
 
 let detach t =
   if t.attached then begin
+    seal_group t;
     t.attached <- false;
     t.wal_db.on_journal <- None;
     t.w.Storage.flush ();
-    if t.sync then begin
-      t.w.Storage.fsync ();
-      count_fsync t.wal_db
-    end;
+    if t.sync then fsync_writer t;
     t.w.Storage.close ()
   end
 
 (* --- checkpoint --------------------------------------------------------------- *)
 
-let checkpoint_raw t ~snapshot =
+let delta_path snapshot k = Printf.sprintf "%s.delta-%d" snapshot k
+
+(* The storage backend has no directory listing, so the delta chain is
+   discovered by probing [<snapshot>.delta-1], [-2], ... until the first
+   missing index.  Stale files past a gap (a crashed compaction's leftovers)
+   are invisible to recovery and get overwritten by later checkpoints. *)
+let delta_files ?(storage = Storage.unix) ~snapshot () =
+  let rec go k acc =
+    let p = delta_path snapshot k in
+    if not (storage.Storage.exists p) then List.rev acc
+    else
+      match Persist.delta_header ~storage p with
+      | Some (prev, seq) -> go (k + 1) ((p, prev, seq) :: acc)
+      | None -> List.rev acc
+  in
+  go 1 []
+
+let next_delta_index storage snapshot =
+  let rec go k =
+    if storage.Storage.exists (delta_path snapshot k) then go (k + 1) else k
+  in
+  go 1
+
+let remove_deltas storage snapshot =
+  let rec go k =
+    let p = delta_path snapshot k in
+    if storage.Storage.exists p then begin
+      storage.Storage.unlink p;
+      go (k + 1)
+    end
+  in
+  go 1;
+  storage.Storage.fsync_dir snapshot
+
+let guard_checkpoint t op =
   if not t.attached then
-    raise (Errors.Transaction_error "cannot checkpoint a detached journal");
+    raise
+      (Errors.Transaction_error (Printf.sprintf "cannot %s a detached journal" op));
+  if t.wal_db.txns <> [] then
+    raise
+      (Errors.Transaction_error
+         (Printf.sprintf "cannot %s during a transaction" op))
+
+let checkpoint_full_raw t ~snapshot =
   (* 1. Durable snapshot.  It embeds [walseq] — the sequence number of the
      last batch this store reflects — so a crash after this point cannot
      double-apply the not-yet-rotated log: replay skips batches at or below
@@ -368,16 +532,122 @@ let checkpoint_raw t ~snapshot =
   t.storage.Storage.fsync_dir t.path;
   t.w <- t.storage.Storage.open_writer ~append:true t.path;
   (* rotation upgrades a v1-era log; the sequence keeps counting *)
-  t.version <- V2
+  t.version <- V2;
+  t.wal_db.stats.wal_bytes <- header_bytes;
+  (* the new base covers everything any old delta held *)
+  remove_deltas t.storage snapshot
 
-let checkpoint t ~snapshot =
-  if not !Obs.armed then checkpoint_raw t ~snapshot
+let checkpoint_raw ?(mode = `Full) t ~snapshot =
+  guard_checkpoint t "checkpoint";
+  (* the snapshot must cover the open group, or its commits would be both
+     outside the log's retained tail and outside the base *)
+  seal_group t;
+  match mode with
+  | `Full -> checkpoint_full_raw t ~snapshot
+  | `Delta ->
+    let db = t.wal_db in
+    let no_base =
+      (not (t.storage.Storage.exists snapshot))
+      || t.storage.Storage.size snapshot = 0
+      (* snapshot_seq = 0: this store never saved or loaded a snapshot, so
+         nothing on disk is a valid chain base for its dirty set *)
+      || db.snapshot_seq = 0
+    in
+    if no_base then checkpoint_full_raw t ~snapshot
+    else if db.wal_applied_seq = db.snapshot_seq then
+      () (* nothing committed since the last chain element *)
+    else begin
+      let k = next_delta_index t.storage snapshot in
+      let bytes = Persist.save_delta ~storage:t.storage db (delta_path snapshot k) in
+      db.stats.delta_checkpoints <- db.stats.delta_checkpoints + 1;
+      Obs.Metrics.add st_delta_bytes bytes
+      (* the WAL is not rotated: deltas stay cheap because retention is
+         compaction's job *)
+    end
+
+let checkpoint ?mode t ~snapshot =
+  if not !Obs.armed then checkpoint_raw ?mode t ~snapshot
   else begin
     let t0 = Obs.Metrics.enter st_wal_checkpoint in
-    match checkpoint_raw t ~snapshot with
+    match checkpoint_raw ?mode t ~snapshot with
     | () -> Obs.Metrics.exit st_wal_checkpoint t0
     | exception e ->
       Obs.Metrics.exit st_wal_checkpoint t0;
+      raise e
+  end
+
+(* --- compaction --------------------------------------------------------------- *)
+
+(* Fold the whole store — base, deltas, WAL — into a fresh base snapshot and
+   truncate the log under [retention].  Every crash point leaves a
+   recoverable disk: the new base appears atomically; until the log rewrite
+   renames, the full old log coexists with it (replay skips what the base
+   covers); stale deltas fail their chain check and are ignored. *)
+let compact_raw ?(retention = Keep_none) t ~snapshot =
+  guard_checkpoint t "compact";
+  seal_group t;
+  Persist.save ~storage:t.storage t.wal_db snapshot;
+  t.w.Storage.close ();
+  let data = t.storage.Storage.read_file t.path in
+  let kept =
+    match (t.version, scan data) with
+    | V2, `Ok s ->
+      let header_end =
+        match String.index_opt data '\n' with Some i -> i + 1 | None -> 0
+      in
+      (* byte range of each batch, in file order *)
+      let ranges =
+        List.rev
+          (fst
+             (List.fold_left
+                (fun (acc, start) b -> ((b, start, b.b_end) :: acc, b.b_end))
+                ([], header_end) s.s_batches))
+      in
+      let wanted =
+        match retention with
+        | Keep_none -> []
+        | Keep_since_seq seq -> List.filter (fun (b, _, _) -> b.b_seq >= seq) ranges
+        | Keep_bytes budget ->
+          (* the largest suffix of whole batches fitting the byte budget *)
+          let rec suffix acc total = function
+            | [] -> acc
+            | ((_, start, stop) as r) :: older ->
+              let total = total + (stop - start) in
+              if total > budget then acc else suffix (r :: acc) total older
+          in
+          suffix [] 0 (List.rev ranges)
+      in
+      (* byte-exact copies keep the recorded CRCs valid *)
+      List.map (fun (_, start, stop) -> String.sub data start (stop - start)) wanted
+    | _ ->
+      (* a v1-era log has no sequence numbers to retain against; the new
+         base covers it all, so the rewritten log starts empty *)
+      []
+  in
+  let body = String.concat "" ((magic_v2 ^ "\n") :: kept) in
+  let tmp = Printf.sprintf "%s.compact.%d" t.path (Unix.getpid ()) in
+  let w = t.storage.Storage.open_writer ~append:false tmp in
+  Storage.with_retries (fun () -> w.Storage.write body);
+  w.Storage.fsync ();
+  count_fsync t.wal_db;
+  w.Storage.close ();
+  t.storage.Storage.rename tmp t.path;
+  t.storage.Storage.fsync_dir t.path;
+  t.w <- t.storage.Storage.open_writer ~append:true t.path;
+  t.version <- V2;
+  t.wal_db.stats.wal_bytes <- String.length body;
+  (* the deltas are folded into the new base *)
+  remove_deltas t.storage snapshot;
+  Obs.Metrics.hit st_compactions
+
+let compact ?retention t ~snapshot =
+  if not !Obs.armed then compact_raw ?retention t ~snapshot
+  else begin
+    let t0 = Obs.Metrics.enter st_wal_compact in
+    match compact_raw ?retention t ~snapshot with
+    | () -> Obs.Metrics.exit st_wal_compact t0
+    | exception e ->
+      Obs.Metrics.exit st_wal_compact t0;
       raise e
   end
 
@@ -455,3 +725,49 @@ let replay ?(storage = Storage.unix) db path =
               db.stats.wal_checksum_failures + s.s_checksum_failures;
             !applied)
   end
+
+(* --- full recovery ------------------------------------------------------------ *)
+
+type recovery = {
+  r_snapshot_loaded : bool;
+  r_deltas_applied : int;
+  r_batches_replayed : int;
+}
+
+(* Base snapshot, then the delta chain, then the WAL tail — the complete
+   recovery pipeline for a store checkpointed incrementally.  The chain
+   stops at the first missing or stale delta; that is always safe, because
+   the WAL retains every batch past the base until a compaction folds them
+   in (and compaction removes the deltas it folded).  [db] must be fresh
+   (classes registered, no objects), as with {!Persist.load}. *)
+let recover ?(storage = Storage.unix) db ~snapshot ~wal =
+  let loaded =
+    if storage.Storage.exists snapshot && storage.Storage.size snapshot > 0 then begin
+      Persist.load ~storage db snapshot;
+      true
+    end
+    else false
+  in
+  let deltas = ref 0 in
+  (if loaded then
+     try
+       let rec go k =
+         let p = delta_path snapshot k in
+         if storage.Storage.exists p then
+           match Persist.apply_delta ~storage db p with
+           | `Applied ->
+             incr deltas;
+             go (k + 1)
+           | `Stale -> ()
+       in
+       go 1
+     with Errors.Parse_error _ ->
+       (* a damaged delta body ends the chain; the WAL tail below re-applies
+          everything past the last intact element *)
+       ());
+  let batches = replay ~storage db wal in
+  {
+    r_snapshot_loaded = loaded;
+    r_deltas_applied = !deltas;
+    r_batches_replayed = batches;
+  }

@@ -11,6 +11,17 @@ set -euo pipefail
 baseline="$1"
 fresh="$2"
 
+# A bench that gained a JSON file (or a brand-new bench) has no committed
+# baseline yet: nothing to compare, not an error.
+if [ ! -e "$baseline" ]; then
+  echo "bench-compare: no baseline for $(basename "$fresh"), skipping"
+  exit 0
+fi
+if [ ! -e "$fresh" ]; then
+  echo "bench-compare: no fresh results at $fresh, skipping"
+  exit 0
+fi
+
 flatten() {
   jq -r '
     paths(type == "number") as $p

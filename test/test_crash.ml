@@ -230,6 +230,216 @@ let test_checkpoint_crash_points () =
   done;
   Alcotest.(check bool) "enumerated a real operation sequence" true (!n > 10)
 
+(* --- group commit: only whole sealed groups survive a crash -------------- *)
+
+(* Like [run_workload], but commits pass through the group-commit
+   coordinator, so the durable length only moves at a seal.  Boundaries are
+   recorded when the durable length changed: each is (bytes, state as of
+   the last commit the seal covered). *)
+let run_grouped_workload ?(seed = 42) ?(accounts = 8) ~txns fs =
+  let storage = Mem.storage fs in
+  let db = banking_db () in
+  let boundaries = ref [ (0, state db) ] in
+  let record () =
+    let len = String.length (Mem.durable fs log_path) in
+    match !boundaries with
+    | (l, _) :: _ when l = len -> () (* buffered in the open group *)
+    | _ -> boundaries := (len, state db) :: !boundaries
+  in
+  let wal =
+    Wal.attach ~storage
+      ~group_commit:{ Wal.max_batch = 4; max_wait_us = max_int }
+      db log_path
+  in
+  record ();
+  let rng = Prng.create seed in
+  let accts =
+    Array.init accounts (fun i ->
+        let o =
+          Db.new_object db Banking.account_class
+            ~attrs:
+              [
+                ("owner", Value.Str (Printf.sprintf "acct-%d" i));
+                ("balance", Value.Float (Prng.float rng 1000.));
+              ]
+        in
+        record ();
+        o)
+  in
+  let commits = ref accounts in
+  List.iter
+    (fun (acct, meth, args) ->
+      atomically db (fun () -> ignore (Db.send db acct meth args));
+      incr commits;
+      record ())
+    (Banking.transactions rng accts ~n:txns ());
+  Wal.detach wal;
+  record ();
+  (!commits, List.rev !boundaries)
+
+let test_group_commit_byte_prefix () =
+  let fs = Mem.create () in
+  let commits, boundaries = run_grouped_workload ~txns:200 fs in
+  let full = Mem.durable fs log_path in
+  let len = String.length full in
+  (* coalescing really happened: far fewer seal boundaries than commits *)
+  let seals = List.length boundaries - 2 (* initial + attach records *) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d commits sealed into %d groups" commits seals)
+    true
+    (seals * 3 < commits);
+  let bnds = Array.of_list boundaries in
+  let bi = ref 0 in
+  for l = 0 to len do
+    while !bi + 1 < Array.length bnds && fst bnds.(!bi + 1) <= l do
+      incr bi
+    done;
+    let fs2 = Mem.create () in
+    Mem.set_file fs2 log_path (String.sub full 0 l);
+    let db2 = banking_db () in
+    ignore
+      (replay_no_raise ~storage:(Mem.storage fs2)
+         ~at:(Printf.sprintf "grouped prefix %d" l)
+         db2 log_path);
+    (* recovery lands exactly on the greatest seal at or below the crash
+       point: commits coalesced into a torn group vanish wholesale *)
+    if state db2 <> snd bnds.(!bi) then
+      Alcotest.failf
+        "grouped prefix %d: recovered state is not the seal boundary at %d" l
+        (fst bnds.(!bi))
+  done;
+  Alcotest.(check bool) "full log reaches the final state" true
+    (fst bnds.(Array.length bnds - 1) = len)
+
+(* --- delta checkpoint: a crash after any operation count recovers -------- *)
+
+(* Recovery through the full pipeline: base snapshot + delta chain + WAL
+   tail, exactly what a restarted process would run. *)
+let recover_full fs =
+  let fs' = Mem.reboot fs in
+  let storage = Mem.storage fs' in
+  let db = banking_db () in
+  (try ignore (Wal.recover ~storage db ~snapshot:snap_path ~wal:log_path)
+   with e ->
+     Alcotest.failf "Wal.recover raised: %s" (Printexc.to_string e));
+  db
+
+let run_to_delta_checkpoint crash_ops =
+  let fs = Mem.create ~cache:true () in
+  let storage = Mem.storage fs in
+  let db = banking_db () in
+  let wal = Wal.attach ~storage db log_path in
+  let rng = Prng.create 11 in
+  let accts =
+    Array.init 6 (fun i ->
+        Db.new_object db Banking.account_class
+          ~attrs:
+            [
+              ("owner", Value.Str (Printf.sprintf "acct-%d" i));
+              ("balance", Value.Float (Prng.float rng 1000.));
+            ])
+  in
+  let run n =
+    List.iter
+      (fun (acct, meth, args) ->
+        atomically db (fun () -> ignore (Db.send db acct meth args)))
+      (Banking.transactions rng accts ~n ())
+  in
+  run 20;
+  Wal.checkpoint wal ~snapshot:snap_path;
+  (* base *)
+  run 10;
+  Wal.checkpoint ~mode:`Delta wal ~snapshot:snap_path;
+  (* delta-1 completed; the crash hits while delta-2 goes down *)
+  run 10;
+  let committed = state db in
+  Mem.crash_after_ops fs crash_ops;
+  match Wal.checkpoint ~mode:`Delta wal ~snapshot:snap_path with
+  | () -> (fs, committed, `Completed)
+  | exception Storage.Crash -> (fs, committed, `Crashed)
+
+let test_delta_checkpoint_crash_points () =
+  let n = ref 0 in
+  let completed = ref false in
+  while not !completed do
+    if !n > 500 then Alcotest.fail "delta checkpoint never completed";
+    let fs, committed, outcome = run_to_delta_checkpoint !n in
+    if outcome = `Completed then completed := true;
+    let db2 = recover_full fs in
+    Verify.check_exn ~quiescent:true db2;
+    if state db2 <> committed then
+      Alcotest.failf
+        "crash after %d delta-checkpoint ops: recovery diverged from committed"
+        !n;
+    let high = max_oid db2 in
+    let fresh = Db.new_object db2 Banking.account_class in
+    if Oid.to_int fresh <= high then
+      Alcotest.failf "crash after %d ops: fresh OID %d collides (max live %d)"
+        !n (Oid.to_int fresh) high;
+    incr n
+  done;
+  Alcotest.(check bool) "enumerated a real operation sequence" true (!n > 2)
+
+(* --- compaction: a crash after any operation count recovers -------------- *)
+
+let run_to_compact crash_ops =
+  let fs = Mem.create ~cache:true () in
+  let storage = Mem.storage fs in
+  let db = banking_db () in
+  let wal = Wal.attach ~storage db log_path in
+  let rng = Prng.create 13 in
+  let accts =
+    Array.init 6 (fun i ->
+        Db.new_object db Banking.account_class
+          ~attrs:
+            [
+              ("owner", Value.Str (Printf.sprintf "acct-%d" i));
+              ("balance", Value.Float (Prng.float rng 1000.));
+            ])
+  in
+  let run n =
+    List.iter
+      (fun (acct, meth, args) ->
+        atomically db (fun () -> ignore (Db.send db acct meth args)))
+      (Banking.transactions rng accts ~n ())
+  in
+  run 15;
+  Wal.checkpoint wal ~snapshot:snap_path;
+  run 8;
+  Wal.checkpoint ~mode:`Delta wal ~snapshot:snap_path;
+  run 8;
+  let committed = state db in
+  Mem.crash_after_ops fs crash_ops;
+  match Wal.compact wal ~snapshot:snap_path with
+  | () -> (fs, committed, `Completed)
+  | exception Storage.Crash -> (fs, committed, `Crashed)
+
+let test_compaction_crash_points () =
+  let n = ref 0 in
+  let completed = ref false in
+  while not !completed do
+    if !n > 500 then Alcotest.fail "compaction never completed";
+    let fs, committed, outcome = run_to_compact !n in
+    let db2 = recover_full fs in
+    Verify.check_exn ~quiescent:true db2;
+    if state db2 <> committed then
+      Alcotest.failf
+        "crash after %d compaction ops: recovery diverged from committed" !n;
+    if outcome = `Completed then begin
+      completed := true;
+      (* the completed compaction truncated the log and removed the chain *)
+      let fs' = Mem.reboot fs in
+      Alcotest.(check int) "log truncated to the header"
+        (String.length "SENTINELWAL 2\n")
+        (String.length (Mem.durable fs' log_path));
+      Alcotest.(check int) "delta chain removed" 0
+        (List.length
+           (Wal.delta_files ~storage:(Mem.storage fs') ~snapshot:snap_path ()))
+    end;
+    incr n
+  done;
+  Alcotest.(check bool) "enumerated a real operation sequence" true (!n > 2)
+
 (* --- transient write faults are retried, durably ------------------------- *)
 
 let test_transient_faults_retried () =
@@ -282,6 +492,10 @@ let suite =
     test "bit flips never escape replay" test_bit_flips_no_escape;
     test "fsync makes every commit durable" test_fsync_makes_commits_durable;
     test "checkpoint crash points" test_checkpoint_crash_points;
+    test "group commit: every byte prefix recovers"
+      test_group_commit_byte_prefix;
+    test "delta checkpoint crash points" test_delta_checkpoint_crash_points;
+    test "compaction crash points" test_compaction_crash_points;
     test "transient write faults retried" test_transient_faults_retried;
     test "attach repairs a torn tail" test_attach_repairs_torn_tail;
   ]

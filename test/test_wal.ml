@@ -400,6 +400,317 @@ let prop_replay_equals_original =
              let db2, _ = recover path in
              snapshot db = snapshot db2)))
 
+(* --- group commit -------------------------------------------------------- *)
+
+module Storage = Oodb.Storage
+module Mem = Storage.Mem
+
+let log_path = "log.wal"
+let snap_path = "snap.db"
+
+let mem_recover fs =
+  let db = fresh_db () in
+  let r = Wal.recover ~storage:(Mem.storage fs) db ~snapshot:snap_path ~wal:log_path in
+  (db, r)
+
+let test_group_commit_coalesces () =
+  let fs = Mem.create () in
+  let storage = Mem.storage fs in
+  let db = fresh_db () in
+  let wal =
+    Wal.attach ~storage
+      ~group_commit:{ Wal.max_batch = 4; max_wait_us = max_int }
+      db log_path
+  in
+  let es = List.init 8 (fun _ -> new_employee db ~salary:1.) in
+  Alcotest.(check int) "8 commits sealed into 2 batches" 2
+    (Wal.batches_written wal);
+  Alcotest.(check int) "coordinator counted both seals" 2
+    (Db.stats db).Oodb.Types.group_commit_batches;
+  Alcotest.(check int) "nothing pending after a seal" 0 (Wal.pending_commits wal);
+  (* one fsync per sealed group, not per commit (plus the header's) *)
+  Alcotest.(check int) "3 fsyncs: header + 2 group seals" 3 (Mem.fsyncs fs);
+  Wal.detach wal;
+  let db2, r = mem_recover fs in
+  Alcotest.(check int) "both group batches replay" 2 r.Wal.r_batches_replayed;
+  List.iter
+    (fun e -> Alcotest.(check bool) "employee survived" true (Db.exists db2 e))
+    es;
+  Alcotest.(check bool) "states equal" true (snapshot db = snapshot db2)
+
+let test_group_commit_sync_seals () =
+  let fs = Mem.create () in
+  let storage = Mem.storage fs in
+  let db = fresh_db () in
+  let wal =
+    Wal.attach ~storage
+      ~group_commit:{ Wal.max_batch = 100; max_wait_us = max_int }
+      db log_path
+  in
+  ignore (new_employee db ~salary:1.);
+  ignore (new_employee db ~salary:2.);
+  Alcotest.(check int) "2 commits waiting in the open group" 2
+    (Wal.pending_commits wal);
+  (* the open group is memory only: the durable log holds just the header *)
+  let db0 = fresh_db () in
+  Alcotest.(check int) "nothing durable before the seal" 0
+    (Wal.replay ~storage db0 log_path);
+  Wal.sync wal;
+  Alcotest.(check int) "sync sealed the group" 0 (Wal.pending_commits wal);
+  Alcotest.(check int) "one batch for both commits" 1 (Wal.batches_written wal);
+  let db1 = fresh_db () in
+  Alcotest.(check int) "durable after sync" 1 (Wal.replay ~storage db1 log_path);
+  Wal.detach wal;
+  Alcotest.(check bool) "states equal" true (snapshot db = snapshot db1)
+
+let test_group_commit_crash_loses_whole_group () =
+  let fs = Mem.create () in
+  let storage = Mem.storage fs in
+  let db = fresh_db () in
+  let wal =
+    Wal.attach ~storage
+      ~group_commit:{ Wal.max_batch = 3; max_wait_us = max_int }
+      db log_path
+  in
+  let a = new_employee db ~salary:1. in
+  let b = new_employee db ~salary:2. in
+  let c = new_employee db ~salary:3. in
+  (* first group of 3 sealed; these two are the open group *)
+  Db.set db a "salary" (Value.Float 10.);
+  Db.set db b "salary" (Value.Float 20.);
+  (* crash: only the durable bytes survive *)
+  let fs2 = Mem.reboot fs in
+  let db2 = fresh_db () in
+  ignore (Wal.replay ~storage:(Mem.storage fs2) db2 log_path);
+  Alcotest.check value "sealed group survived" (Value.Float 1.)
+    (Db.get db2 a "salary");
+  Alcotest.(check bool) "third create survived with its group" true
+    (Db.exists db2 c);
+  Alcotest.check value "open group lost wholesale" (Value.Float 2.)
+    (Db.get db2 b "salary");
+  Wal.detach wal
+
+let test_group_commit_window_expiry () =
+  let fs = Mem.create () in
+  let storage = Mem.storage fs in
+  let db = fresh_db () in
+  (* a zero-length window: each arriving commit finds the previous group
+     expired and seals it, so grouping degenerates to per-commit batches *)
+  let wal =
+    Wal.attach ~storage
+      ~group_commit:{ Wal.max_batch = 100; max_wait_us = 0 }
+      db log_path
+  in
+  ignore (new_employee db);
+  ignore (new_employee db);
+  ignore (new_employee db);
+  Alcotest.(check int) "two expired groups sealed" 2 (Wal.batches_written wal);
+  Alcotest.(check int) "the third commit holds the group open" 1
+    (Wal.pending_commits wal);
+  Wal.detach wal;
+  Alcotest.(check int) "detach sealed the last group" 3 (Wal.batches_written wal);
+  let db2 = fresh_db () in
+  Alcotest.(check int) "all three batches replay" 3
+    (Wal.replay ~storage db2 log_path);
+  Alcotest.(check bool) "states equal" true (snapshot db = snapshot db2)
+
+(* --- incremental checkpoints --------------------------------------------- *)
+
+let test_delta_checkpoint_and_recover () =
+  let fs = Mem.create () in
+  let storage = Mem.storage fs in
+  let db = fresh_db () in
+  let wal = Wal.attach ~storage db log_path in
+  let es = Array.init 40 (fun _ -> new_employee db ~salary:1.) in
+  (* first checkpoint has no base to chain from: bootstraps a full one *)
+  Wal.checkpoint ~mode:`Delta wal ~snapshot:snap_path;
+  Alcotest.(check bool) "bootstrapped a full base" true
+    (Mem.durable fs snap_path <> "");
+  Alcotest.(check int) "no delta yet" 0
+    (List.length (Wal.delta_files ~storage ~snapshot:snap_path ()));
+  let base_bytes = String.length (Mem.durable fs snap_path) in
+  Db.set db es.(0) "salary" (Value.Float 2.);
+  Db.set db es.(1) "salary" (Value.Float 3.);
+  Wal.checkpoint ~mode:`Delta wal ~snapshot:snap_path;
+  Db.set db es.(2) "salary" (Value.Float 4.);
+  Wal.checkpoint ~mode:`Delta wal ~snapshot:snap_path;
+  (match Wal.delta_files ~storage ~snapshot:snap_path () with
+  | [ (_, p1, w1); (_, p2, w2) ] ->
+    Alcotest.(check bool) "chain links by sequence" true (p2 = w1 && w2 > p2 && p1 > 0)
+  | l -> Alcotest.failf "expected 2 chain elements, got %d" (List.length l));
+  let delta_bytes =
+    String.length (Mem.durable fs (snap_path ^ ".delta-1"))
+  in
+  Alcotest.(check bool) "delta is much smaller than the base" true
+    (delta_bytes * 4 < base_bytes);
+  Alcotest.(check int) "delta checkpoints counted" 2
+    (Db.stats db).Oodb.Types.delta_checkpoints;
+  (* a clean store writes no empty chain element *)
+  Wal.checkpoint ~mode:`Delta wal ~snapshot:snap_path;
+  Alcotest.(check int) "no-op on a clean store" 2
+    (List.length (Wal.delta_files ~storage ~snapshot:snap_path ()));
+  (* work past the last delta lands in the WAL tail *)
+  Db.set db es.(3) "salary" (Value.Float 5.);
+  Wal.detach wal;
+  let db2, r = mem_recover fs in
+  Alcotest.(check bool) "base loaded" true r.Wal.r_snapshot_loaded;
+  Alcotest.(check int) "both deltas applied" 2 r.Wal.r_deltas_applied;
+  Alcotest.(check bool) "tail replayed" true (r.Wal.r_batches_replayed >= 1);
+  Alcotest.(check bool) "states equal" true (snapshot db = snapshot db2)
+
+let test_delta_covers_deletes_and_subscriptions () =
+  let fs = Mem.create () in
+  let storage = Mem.storage fs in
+  let db = fresh_db () in
+  let wal = Wal.attach ~storage db log_path in
+  let a = new_employee db ~salary:1. in
+  let b = new_employee db ~salary:2. in
+  let c = new_employee db ~salary:3. in
+  Wal.checkpoint wal ~snapshot:snap_path;
+  Db.delete_object db b;
+  Db.subscribe db ~reactive:a ~consumer:c;
+  Db.subscribe_class db ~cls:"employee" ~consumer:c;
+  Db.create_index db ~cls:"employee" ~attr:"salary" ();
+  Wal.checkpoint ~mode:`Delta wal ~snapshot:snap_path;
+  Wal.detach wal;
+  let db2, r = mem_recover fs in
+  Alcotest.(check int) "one delta" 1 r.Wal.r_deltas_applied;
+  Alcotest.(check bool) "delete carried by the delta" false (Db.exists db2 b);
+  Alcotest.(check (list oid)) "subscription carried" [ c ]
+    (Db.consumers_of db2 a);
+  Alcotest.(check (list oid)) "class subscription carried" [ c ]
+    (Db.class_consumers_of db2 "employee");
+  Alcotest.(check bool) "index carried" true
+    (Db.index_kind db2 ~cls:"employee" ~attr:"salary" <> None);
+  Alcotest.(check bool) "states equal" true (snapshot db = snapshot db2)
+
+(* --- compaction ----------------------------------------------------------- *)
+
+let test_compact_truncates_and_folds () =
+  let fs = Mem.create () in
+  let storage = Mem.storage fs in
+  let db = fresh_db () in
+  let wal = Wal.attach ~storage db log_path in
+  let es = Array.init 10 (fun _ -> new_employee db ~salary:1.) in
+  Wal.checkpoint ~mode:`Delta wal ~snapshot:snap_path;
+  Db.set db es.(0) "salary" (Value.Float 2.);
+  Wal.checkpoint ~mode:`Delta wal ~snapshot:snap_path;
+  Db.set db es.(1) "salary" (Value.Float 3.);
+  let wal_before = String.length (Mem.durable fs log_path) in
+  Wal.compact wal ~snapshot:snap_path;
+  (* log truncated to the bare header, deltas folded into the new base *)
+  Alcotest.(check int) "log truncated" (String.length "SENTINELWAL 2\n")
+    (String.length (Mem.durable fs log_path));
+  Alcotest.(check bool) "log was non-trivial before" true
+    (wal_before > String.length "SENTINELWAL 2\n");
+  Alcotest.(check int) "delta chain removed" 0
+    (List.length (Wal.delta_files ~storage ~snapshot:snap_path ()));
+  Alcotest.(check int) "wal_bytes tracks the truncation"
+    (String.length (Mem.durable fs log_path))
+    (Db.stats db).Oodb.Types.wal_bytes;
+  (* the log keeps working after compaction *)
+  Db.set db es.(2) "salary" (Value.Float 4.);
+  Wal.detach wal;
+  let db2, r = mem_recover fs in
+  Alcotest.(check int) "post-compact tail replays" 1 r.Wal.r_batches_replayed;
+  Alcotest.(check bool) "states equal" true (snapshot db = snapshot db2)
+
+let test_compact_retention () =
+  let fs = Mem.create () in
+  let storage = Mem.storage fs in
+  let db = fresh_db () in
+  let wal = Wal.attach ~storage db log_path in
+  let e = new_employee db ~salary:0. in
+  for i = 1 to 9 do
+    Db.set db e "salary" (Value.Float (float_of_int i))
+  done;
+  (* keep everything from batch 6 on (create + 9 sets = batches 1..10) *)
+  Wal.compact ~retention:(Wal.Keep_since_seq 6) wal ~snapshot:snap_path;
+  let kept = Mem.durable fs log_path in
+  Alcotest.(check bool) "a real tail survived" true
+    (String.length kept > String.length "SENTINELWAL 2\n");
+  (* retained batches are covered by the base: replay skips them *)
+  let db2, r = mem_recover fs in
+  Alcotest.(check int) "retained tail skipped by recovery" 0
+    r.Wal.r_batches_replayed;
+  Alcotest.(check bool) "states equal" true (snapshot db = snapshot db2);
+  (* appends after a retained tail keep the sequence contiguous *)
+  Db.set db e "salary" (Value.Float 42.);
+  Wal.detach wal;
+  let db3, r3 = mem_recover fs in
+  Alcotest.(check int) "appended batch replays past the tail" 1
+    r3.Wal.r_batches_replayed;
+  Alcotest.check value "final state" (Value.Float 42.) (Db.get db3 e "salary");
+  (* a byte budget keeps only whole batches within it *)
+  let fsb = Mem.create () in
+  let db4 = fresh_db () in
+  let wal4 = Wal.attach ~storage:(Mem.storage fsb) db4 log_path in
+  let e4 = new_employee db4 ~salary:0. in
+  for i = 1 to 9 do
+    Db.set db4 e4 "salary" (Value.Float (float_of_int i))
+  done;
+  Wal.compact ~retention:(Wal.Keep_bytes 120) wal4 ~snapshot:snap_path;
+  let len = String.length (Mem.durable fsb log_path) in
+  Alcotest.(check bool) "within the byte budget" true
+    (len <= String.length "SENTINELWAL 2\n" + 120);
+  Wal.detach wal4;
+  let db5, _ = mem_recover fsb in
+  Alcotest.(check bool) "budget retention states equal" true
+    (snapshot db4 = snapshot db5)
+
+let test_stale_delta_ignored () =
+  let fs = Mem.create () in
+  let storage = Mem.storage fs in
+  let db = fresh_db () in
+  let wal = Wal.attach ~storage db log_path in
+  let e = new_employee db ~salary:1. in
+  Wal.checkpoint wal ~snapshot:snap_path;
+  Db.set db e "salary" (Value.Float 2.);
+  Wal.checkpoint ~mode:`Delta wal ~snapshot:snap_path;
+  (* a compaction folds the delta away... *)
+  let stale = Mem.durable fs (snap_path ^ ".delta-1") in
+  Wal.compact wal ~snapshot:snap_path;
+  Db.set db e "salary" (Value.Float 3.);
+  Wal.detach wal;
+  (* ...but a crashed one could leave the old file behind *)
+  Mem.set_file fs (snap_path ^ ".delta-1") stale;
+  let db2, r = mem_recover fs in
+  Alcotest.(check int) "stale chain element rejected" 0 r.Wal.r_deltas_applied;
+  Alcotest.check value "state correct despite the leftover" (Value.Float 3.)
+    (Db.get db2 e "salary");
+  Alcotest.(check bool) "states equal" true (snapshot db = snapshot db2)
+
+let test_system_durability_wrappers () =
+  let fs = Mem.create () in
+  let storage = Mem.storage fs in
+  let db = employee_db () in
+  let sys = System.create db in
+  let _wal =
+    System.attach_wal ~storage
+      ~group_commit:{ Oodb.Wal.max_batch = 8; max_wait_us = max_int }
+      sys log_path
+  in
+  let e = new_employee db ~salary:1. in
+  System.sync_wal sys;
+  System.checkpoint sys ~snapshot:snap_path;
+  Db.set db e "salary" (Value.Float 2.);
+  System.checkpoint ~mode:`Delta sys ~snapshot:snap_path;
+  Db.set db e "salary" (Value.Float 3.);
+  System.compact_wal ~retention:Oodb.Wal.Keep_none sys ~snapshot:snap_path;
+  let s = System.stats sys in
+  Alcotest.(check bool) "wal_bytes surfaced" true (s.System.wal_bytes > 0);
+  Alcotest.(check bool) "snapshot_bytes surfaced" true
+    (s.System.snapshot_bytes > 0);
+  (* each durability point (sync, delta checkpoint, compact) sealed the
+     group that was open when it ran *)
+  Alcotest.(check int) "group seals surfaced" 3 s.System.group_commit_batches;
+  Alcotest.(check int) "delta checkpoints surfaced" 1 s.System.delta_checkpoints;
+  System.detach_wal sys;
+  Alcotest.(check bool) "journal released" true (System.wal sys = None);
+  let db2, r = mem_recover fs in
+  Alcotest.(check bool) "base loaded" true r.Wal.r_snapshot_loaded;
+  Alcotest.(check bool) "states equal" true (snapshot db = snapshot db2)
+
 let suite =
   [
     test "autocommit logging" test_autocommit_logging;
@@ -424,5 +735,17 @@ let suite =
     test "nested: autocommit interleaved" test_autocommit_interleaved_with_nested;
     test "system stats mirror recovery counters"
       test_sys_stats_mirror_recovery_counters;
+    test "group commit coalesces" test_group_commit_coalesces;
+    test "group commit: sync seals" test_group_commit_sync_seals;
+    test "group commit: crash loses whole group"
+      test_group_commit_crash_loses_whole_group;
+    test "group commit: window expiry" test_group_commit_window_expiry;
+    test "delta checkpoint and recover" test_delta_checkpoint_and_recover;
+    test "delta covers deletes and subscriptions"
+      test_delta_covers_deletes_and_subscriptions;
+    test "compact truncates and folds" test_compact_truncates_and_folds;
+    test "compact retention policies" test_compact_retention;
+    test "stale delta ignored" test_stale_delta_ignored;
+    test "system durability wrappers" test_system_durability_wrappers;
     prop_replay_equals_original;
   ]
