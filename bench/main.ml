@@ -1399,6 +1399,79 @@ let e_oltp () =
   let i_eps = routed System.Indexed in
   row "  1000-rule routing: broadcast %.0f ev/s, indexed %.0f ev/s (%.1fx)\n"
     b_eps i_eps (i_eps /. b_eps);
+  (* Domain-parallel send throughput: one reactive rule per shard, sends
+     routed by OID hash through a Shard_pool at shards={1,2,4}.  A 1-shard
+     pool executes directly on the caller (no domain, no queue), so its row
+     is the single-threaded engine plus the post wrapper — gated within 5%
+     of the raw Db.send path measured in the same run.  The scaling gate
+     only applies when the machine has cores to scale onto. *)
+  let shard_send_iters = if smoke then 40_000 else 200_000 in
+  let cores = Domain.recommended_domain_count () in
+  let shard_init _pool _i =
+    let db = Db.create () in
+    Workloads.Payroll.install db;
+    let sys = System.create db in
+    System.register_action sys "noop" (fun _ _ -> ());
+    ignore
+      (System.create_rule sys ~name:"watch" ~monitor_classes:[ "employee" ]
+         ~event:(Expr.eom ~cls:"employee" "set_salary")
+         ~condition:"true" ~action:"noop" ());
+    sys
+  in
+  let shard_eps n_shards =
+    let pool = Sentinel.Shard_pool.create ~shards:n_shards ~init:shard_init () in
+    let per_shard = 256 / n_shards in
+    let objs =
+      Array.concat
+        (List.init n_shards (fun i ->
+             match
+               Sentinel.Shard_pool.run_on pool i (fun sys ->
+                   Array.init per_shard (fun _ ->
+                       Db.new_object (System.db sys) "employee"))
+             with
+             | Ok a -> a
+             | Error e -> raise e))
+    in
+    let args = [ Value.Float 1. ] in
+    let mask = Array.length objs - 1 in
+    let (), ms =
+      time_ms (fun () ->
+          for k = 0 to shard_send_iters - 1 do
+            Sentinel.Shard_pool.post pool objs.(k land mask) "set_salary" args
+          done;
+          Sentinel.Shard_pool.drain pool)
+    in
+    Sentinel.Shard_pool.stop pool;
+    float_of_int shard_send_iters /. (ms /. 1000.)
+  in
+  let direct_eps =
+    let db = Db.create () in
+    Workloads.Payroll.install db;
+    let sys = System.create db in
+    System.register_action sys "noop" (fun _ _ -> ());
+    ignore
+      (System.create_rule sys ~name:"watch" ~monitor_classes:[ "employee" ]
+         ~event:(Expr.eom ~cls:"employee" "set_salary")
+         ~condition:"true" ~action:"noop" ());
+    let objs = Array.init 256 (fun _ -> Db.new_object db "employee") in
+    let args = [ Value.Float 1. ] in
+    let (), ms =
+      time_ms (fun () ->
+          for k = 0 to shard_send_iters - 1 do
+            ignore (Db.send db objs.(k land 255) "set_salary" args)
+          done)
+    in
+    float_of_int shard_send_iters /. (ms /. 1000.)
+  in
+  let shard_rows = List.map (fun n -> (n, shard_eps n)) [ 1; 2; 4 ] in
+  let shards1 = List.assoc 1 shard_rows in
+  row "  direct (no pool) send %10.0f ev/s on %d core%s\n" direct_eps cores
+    (if cores = 1 then "" else "s");
+  List.iter
+    (fun (n, eps) ->
+      row "  shards=%d  send %10.0f ev/s  (%.2fx vs shards=1)\n" n eps
+        (eps /. shards1))
+    shard_rows;
   let oc = open_out "BENCH_oltp.json" in
   Printf.fprintf oc
     "{\n  \"experiment\": \"E-oltp\",\n  \"rw_iters\": %d,\n  \"send_iters\": \
@@ -1406,8 +1479,19 @@ let e_oltp () =
      middle attribute via pre-resolved slot handles; bytes are heap bytes \
      allocated per op\",\n  \"query_probe_per_candidate\": %b,\n  \
      \"routing_1000_rules\": {\"broadcast_events_per_sec\": %.0f, \
-     \"indexed_events_per_sec\": %.0f, \"speedup\": %.2f},\n  \"rows\": [\n"
-    rw_iters send_iters n_objects query_probes_ok b_eps i_eps (i_eps /. b_eps);
+     \"indexed_events_per_sec\": %.0f, \"speedup\": %.2f},\n  \
+     \"cores\": %d,\n  \"shards\": {\"send_iters\": %d, \
+     \"direct_send_events_per_sec\": %.0f, \"rows\": [%s]},\n  \"rows\": [\n"
+    rw_iters send_iters n_objects query_probes_ok b_eps i_eps (i_eps /. b_eps)
+    cores shard_send_iters direct_eps
+    (String.concat ", "
+       (List.map
+          (fun (n, eps) ->
+            Printf.sprintf
+              "{\"shards\": %d, \"send_events_per_sec\": %.0f, \
+               \"speedup_vs_1\": %.2f}"
+              n eps (eps /. shards1))
+          shard_rows));
   List.iteri
     (fun i (lname, size, g, gb, s, sb, snd_, sndb, gs, ss, c, cb) ->
       Printf.fprintf oc
@@ -1440,7 +1524,27 @@ let e_oltp () =
         sg hg ss hs;
       exit 1
     end
-    else row "  bench-smoke gate: slots >= hashtbl at 100 attrs (ok)\n"
+    else row "  bench-smoke gate: slots >= hashtbl at 100 attrs (ok)\n";
+    (* shards axis gates: the 1-shard pool must not tax the single-threaded
+       path, and adding a shard must actually scale where cores exist. *)
+    if shards1 < 0.95 *. direct_eps then begin
+      row "  FAIL: shards=1 pool send %.0f ev/s below 95%% of the direct \
+           path %.0f ev/s\n"
+        shards1 direct_eps;
+      exit 1
+    end
+    else row "  bench-smoke gate: shards=1 within 5%% of direct sends (ok)\n";
+    let shards2 = List.assoc 2 shard_rows in
+    if cores >= 2 then begin
+      if shards2 < 1.6 *. shards1 then begin
+        row "  FAIL: shards=2 send %.0f ev/s below 1.6x shards=1 %.0f ev/s\n"
+          shards2 shards1;
+        exit 1
+      end
+      else row "  bench-smoke gate: shards=2 >= 1.6x shards=1 (ok)\n"
+    end
+    else
+      row "  bench-smoke gate: shards=2 scaling not gated on %d core\n" cores
   end
 
 (* ------------------------------------------------------------------------- *)

@@ -313,12 +313,21 @@ let cmd_compare () =
 let cmd_metrics scenario seed objects ops =
   Obs.Metrics.enable ();
   Obs.Metrics.reset ();
+  Obs.Trace.enable ();
+  Obs.Trace.clear ();
   let _db, sys, fired = run_scenario scenario ~seed ~objects ~ops in
   let s = System.stats sys in
   Printf.printf "scenario %s: %d ops, rule fired %d time(s)\n" scenario ops fired;
-  Printf.printf "dispatched=%d conditions_checked=%d actions_executed=%d\n\n"
+  Printf.printf "dispatched=%d conditions_checked=%d actions_executed=%d\n"
     s.System.dispatched s.System.conditions_checked s.System.actions_executed;
+  (* spans_dropped is the ring's own eviction count; deriving drops as
+     recorded minus retained over-reports once the ring has been cleared *)
+  Printf.printf "cascades traced=%d spans recorded=%d dropped=%d\n\n"
+    (Obs.Trace.traces_started ())
+    (Obs.Trace.spans_recorded ())
+    (Obs.Trace.spans_dropped ());
   print_string (Obs.Metrics.report ());
+  Obs.Trace.disable ();
   Obs.Metrics.disable ()
 
 (* Trace N banking transactions.  The rule is the deposit->withdraw sequence
@@ -370,11 +379,73 @@ let cmd_trace txns out =
   match out with
   | Some path ->
     Out_channel.with_open_text path (fun oc -> output_string oc json);
-    Printf.printf "%d span(s) across %d trace(s); one trace (%d span(s)) written to %s\n"
+    Printf.printf
+      "%d span(s) across %d trace(s), %d dropped; one trace (%d span(s)) \
+       written to %s\n"
       (List.length spans)
       (Obs.Trace.traces_started ())
+      (Obs.Trace.spans_dropped ())
       (List.length chosen) path
   | None -> print_endline json
+
+(* Domain-parallel execution: run the payroll send workload through an
+   OID-sharded pool and report per-shard activity.  --shards 1 degenerates
+   to inline execution on the calling domain, the baseline the bench's
+   scaling gate compares against. *)
+let cmd_shards shards objects ops =
+  if shards < 1 then failwith "need at least one shard";
+  let fired = Array.init shards (fun _ -> Atomic.make 0) in
+  let pool =
+    Sentinel.Shard_pool.create ~shards
+      ~init:(fun _pool i ->
+        let db = Db.create () in
+        Workloads.Payroll.install db;
+        let sys = System.create db in
+        System.register_action sys "count" (fun _ _ -> Atomic.incr fired.(i));
+        ignore
+          (System.create_rule sys ~name:"salary-watch"
+             ~monitor_classes:[ Workloads.Payroll.employee_class ]
+             ~event:(Expr.eom ~cls:Workloads.Payroll.employee_class "set_salary")
+             ~condition:"true" ~action:"count" ());
+        sys)
+      ()
+  in
+  let per = max 1 (objects / shards) in
+  let oids =
+    Array.concat
+      (List.init shards (fun i ->
+           match
+             Sentinel.Shard_pool.run_on pool i (fun sys ->
+                 Array.init per (fun _ ->
+                     Db.new_object (System.db sys)
+                       Workloads.Payroll.employee_class))
+           with
+           | Ok os -> os
+           | Error e -> raise e))
+  in
+  let n = Array.length oids in
+  let t0 = Obs.Clock.now_ns () in
+  for k = 0 to ops - 1 do
+    Sentinel.Shard_pool.post pool oids.(k mod n) "set_salary"
+      [ Value.Float (float_of_int k) ]
+  done;
+  Sentinel.Shard_pool.drain pool;
+  let dt = (Obs.Clock.now_ns () -. t0) /. 1e9 in
+  let st = Sentinel.Shard_pool.stats pool in
+  Sentinel.Shard_pool.stop pool;
+  Printf.printf
+    "%d send(s) over %d object(s) across %d shard(s): %.0f ev/s, %d \
+     forwarded cross-shard\n"
+    ops n shards
+    (float_of_int ops /. dt)
+    st.Sentinel.Shard_pool.forwarded;
+  Array.iteri
+    (fun i c ->
+      Printf.printf "  shard %d: processed=%d failed=%d fired=%d\n" i
+        st.Sentinel.Shard_pool.shard_processed.(i)
+        st.Sentinel.Shard_pool.shard_failed.(i)
+        (Atomic.get c))
+    fired
 
 (* Durability management: recover a store through the full pipeline (base
    snapshot + delta chain + WAL tail), optionally checkpoint or compact it,
@@ -576,6 +647,22 @@ let trace_cmd =
           chrome://tracing or Perfetto.")
     Term.(const cmd_trace $ txns_arg $ out_arg)
 
+let shards_cmd =
+  let shards_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Number of OID-sharded engine domains ($(b,1) runs inline on \
+             the calling domain).")
+  in
+  Cmd.v
+    (Cmd.info "shards"
+       ~doc:
+         "Run the payroll send workload through a domain-parallel \
+          OID-sharded pool and report throughput and per-shard activity.")
+    Term.(const cmd_shards $ shards_arg $ objects_arg $ ops_arg)
+
 let wal_cmd =
   let action_arg =
     Arg.(value & pos 1 string "stats" & info [] ~docv:"ACTION"
@@ -631,7 +718,7 @@ let main_cmd =
     [
       generate_cmd; inspect_cmd; demo_cmd; scenarios_cmd; rules_cmd;
       compare_cmd; query_cmd; verify_cmd; analyze_cmd; dlq_cmd; reinstate_cmd;
-      metrics_cmd; trace_cmd; wal_cmd;
+      metrics_cmd; trace_cmd; shards_cmd; wal_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

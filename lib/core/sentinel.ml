@@ -8,8 +8,9 @@
     object), {!Notifiable} (the Record behaviour), {!Rule_dsl} (declarative
     blocks), {!Template} (declare-once / bind-per-instance rules),
     {!Analysis} (static triggering-graph checks), {!Audit} (execution
-    history) and {!Sentinel_classes} (the stored class hierarchy from the
-    paper's Figure 3). *)
+    history), {!Sentinel_classes} (the stored class hierarchy from the
+    paper's Figure 3) and {!Shard_pool} (domain-parallel execution over
+    OID-hash-sharded databases). *)
 
 module Coupling = Coupling
 module Error_policy = Error_policy
@@ -23,3 +24,4 @@ module Rule_dsl = Rule_dsl
 module Template = Template
 module Analysis = Analysis
 module Audit = Audit
+module Shard_pool = Shard_pool

@@ -1,0 +1,311 @@
+open Import
+
+(* Domain-parallel execution: N shards, each a full {!System} (database,
+   WAL, detectors, scheduler) owned by one domain.  The only process-wide
+   state a shard touches is the symbol table and the Obs layer, both
+   domain-safe; everything stateful about objects and rules lives inside
+   exactly one shard, so shards never contend on data — they exchange
+   messages.
+
+   Routing invariant: shard [i] of [n] allocates OIDs congruent to
+   [i mod n] (Db.configure_shard), so [Oid.to_int oid mod n] names the
+   owner and a send can always be routed without a directory. *)
+
+(* --- one-shot synchronisation cell --------------------------------------- *)
+
+module Ivar = struct
+  type 'a t = { m : Mutex.t; c : Condition.t; mutable v : 'a option }
+
+  let create () = { m = Mutex.create (); c = Condition.create (); v = None }
+
+  let fill t x =
+    Mutex.lock t.m;
+    t.v <- Some x;
+    Condition.broadcast t.c;
+    Mutex.unlock t.m
+
+  let read t =
+    Mutex.lock t.m;
+    while t.v = None do
+      Condition.wait t.c t.m
+    done;
+    let x = match t.v with Some x -> x | None -> assert false in
+    Mutex.unlock t.m;
+    x
+end
+
+(* --- MPSC mailbox --------------------------------------------------------- *)
+
+(* Treiber stack with batch consume: producers push with one CAS (lock-free,
+   any domain), the consumer exchanges the whole stack and reverses it, which
+   restores per-producer FIFO order.  Parking uses the Dekker store-load
+   pattern — the consumer publishes [sleeping] before its final emptiness
+   check, producers re-read it after their push, and seqcst atomics make it
+   impossible for both to miss each other. *)
+module Mpsc = struct
+  type 'a t = {
+    head : 'a list Atomic.t; (* newest first *)
+    lock : Mutex.t;
+    cond : Condition.t;
+    sleeping : bool Atomic.t;
+  }
+
+  let create () =
+    {
+      head = Atomic.make [];
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      sleeping = Atomic.make false;
+    }
+
+  let rec push t x =
+    let old = Atomic.get t.head in
+    if not (Atomic.compare_and_set t.head old (x :: old)) then push t x
+    else if Atomic.get t.sleeping then begin
+      Mutex.lock t.lock;
+      Condition.signal t.cond;
+      Mutex.unlock t.lock
+    end
+
+  (* consumer only; blocks until at least one message is available *)
+  let rec take_batch t =
+    match Atomic.exchange t.head [] with
+    | [] ->
+      Mutex.lock t.lock;
+      Atomic.set t.sleeping true;
+      (match Atomic.get t.head with
+      | [] -> Condition.wait t.cond t.lock
+      | _ -> ());
+      Atomic.set t.sleeping false;
+      Mutex.unlock t.lock;
+      take_batch t
+    | xs -> List.rev xs
+end
+
+(* --- pool ----------------------------------------------------------------- *)
+
+type msg = Stop | Job of { run : System.t -> unit; trace : int }
+
+type shard = {
+  idx : int;
+  inbox : msg Mpsc.t;
+  mutable system : System.t option; (* written by the shard before ready *)
+  mutable domain : unit Domain.t option;
+  processed : int Atomic.t;
+  failed : int Atomic.t;
+}
+
+type t = {
+  n : int;
+  shards : shard array;
+  enqueued : int Atomic.t; (* jobs ever submitted, pool-wide *)
+  completed : int Atomic.t; (* jobs fully executed (posts they made count
+                               into [enqueued] before this increments) *)
+  forwarded : int Atomic.t; (* jobs that hopped shards *)
+  failures : (int * exn) Obs.Ring.t; (* guarded by failures_lock *)
+  failures_lock : Mutex.t;
+  on_failure : (shard:int -> exn -> unit) option;
+  mutable stopped : bool;
+}
+
+type stats = {
+  shard_processed : int array;
+  shard_failed : int array;
+  forwarded : int;
+  enqueued : int;
+  completed : int;
+}
+
+(* Which shard (of which pool) the current domain is executing for: lets a
+   same-shard post run inline, preserving cascade depth, and identifies
+   cross-shard posts for the forwarded counter. *)
+type ctx = { c_pool : t; c_idx : int; c_sys : System.t }
+
+let current_ctx : ctx option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let shard_count t = t.n
+let shard_of t oid = Oid.to_int oid mod t.n
+
+let system_exn sh =
+  match sh.system with
+  | Some sys -> sys
+  | None -> invalid_arg "Shard_pool: shard not initialised"
+
+let note_failure t sh e =
+  ignore (Atomic.fetch_and_add sh.failed 1);
+  Mutex.protect t.failures_lock (fun () ->
+      Obs.Ring.push t.failures (sh.idx, e));
+  match t.on_failure with Some f -> f ~shard:sh.idx e | None -> ()
+
+(* Shard-level containment backstop: a rule failure that escapes the
+   rule-layer policies (Propagate, or an error outside any firing) is caught
+   at the job boundary, logged, and the shard moves to the next message —
+   it never unwinds the worker loop, so one shard's poison job cannot take
+   down a sibling or the pool. *)
+let run_job t sh sys ~trace run =
+  (try
+     if trace = 0 then run sys
+     else Obs.Trace.with_trace trace (fun () -> run sys)
+   with e -> note_failure t sh e);
+  ignore (Atomic.fetch_and_add sh.processed 1);
+  ignore (Atomic.fetch_and_add t.completed 1)
+
+let post_on t idx run =
+  if idx < 0 || idx >= t.n then invalid_arg "Shard_pool: bad shard index";
+  if t.stopped then invalid_arg "Shard_pool: pool is stopped";
+  ignore (Atomic.fetch_and_add t.enqueued 1);
+  let sh = t.shards.(idx) in
+  match Domain.DLS.get current_ctx with
+  | Some c when c.c_pool == t && c.c_idx = idx ->
+    (* already on the owning shard: run inline under the ambient trace *)
+    run_job t sh c.c_sys ~trace:0 run
+  | Some c when c.c_pool == t ->
+    ignore (Atomic.fetch_and_add t.forwarded 1);
+    Mpsc.push sh.inbox (Job { run; trace = Obs.Trace.current () })
+  | _ ->
+    if t.n = 1 then
+      (* a 1-shard pool degenerates to direct execution on the caller: no
+         domain, no queue, no synchronisation — the single-threaded path *)
+      run_job t sh (system_exn sh) ~trace:0 run
+    else Mpsc.push sh.inbox (Job { run; trace = Obs.Trace.current () })
+
+let run_on t idx f =
+  let iv = Ivar.create () in
+  post_on t idx (fun sys ->
+      Ivar.fill iv (try Ok (f sys) with e -> Error e));
+  Ivar.read iv
+
+let post t oid meth args =
+  post_on t (shard_of t oid) (fun sys ->
+      ignore (Db.send (System.db sys) oid meth args))
+
+let call t oid meth args =
+  run_on t (shard_of t oid) (fun sys -> Db.send (System.db sys) oid meth args)
+
+(* Quiescence barrier: a round posts a no-op through every inbox (per-producer
+   FIFO means it drains everything enqueued before it), then checks that no
+   job is still in flight — jobs spawned *by* jobs (cross-shard cascades)
+   bump [enqueued] before their parent completes, so completed = enqueued
+   really means quiet, and another round runs otherwise. *)
+let drain t =
+  let rec go () =
+    for i = 0 to t.n - 1 do
+      match run_on t i (fun _ -> ()) with Ok () | Error _ -> ()
+    done;
+    let c = Atomic.get t.completed in
+    if c < Atomic.get t.enqueued then go ()
+  in
+  go ()
+
+let stats t =
+  {
+    shard_processed = Array.map (fun sh -> Atomic.get sh.processed) t.shards;
+    shard_failed = Array.map (fun sh -> Atomic.get sh.failed) t.shards;
+    forwarded = Atomic.get t.forwarded;
+    enqueued = Atomic.get t.enqueued;
+    completed = Atomic.get t.completed;
+  }
+
+let recent_failures t =
+  Mutex.protect t.failures_lock (fun () -> Obs.Ring.to_list_rev t.failures)
+
+let worker t sh init ready =
+  match init t sh.idx with
+  | exception e -> Ivar.fill ready (Error e)
+  | sys ->
+    Db.configure_shard (System.db sys) ~index:sh.idx ~of_:t.n;
+    sh.system <- Some sys;
+    Domain.DLS.set current_ctx (Some { c_pool = t; c_idx = sh.idx; c_sys = sys });
+    Ivar.fill ready (Ok ());
+    let rec loop () =
+      let batch = Mpsc.take_batch sh.inbox in
+      let stop =
+        List.fold_left
+          (fun stop msg ->
+            match msg with
+            | Stop -> true
+            | Job { run; trace } ->
+              run_job t sh sys ~trace run;
+              stop)
+          false batch
+      in
+      if not stop then loop ()
+    in
+    loop ()
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Array.iter
+      (fun sh ->
+        match sh.domain with
+        | Some _ -> Mpsc.push sh.inbox Stop
+        | None -> ())
+      t.shards;
+    Array.iter
+      (fun sh ->
+        match sh.domain with
+        | Some d ->
+          Domain.join d;
+          sh.domain <- None
+        | None -> ())
+      t.shards
+  end
+
+let create ?on_failure ?(failure_log_limit = 128) ~shards:n ~init () =
+  if n <= 0 then invalid_arg "Shard_pool.create: shards must be >= 1";
+  let t =
+    {
+      n;
+      shards =
+        Array.init n (fun idx ->
+            {
+              idx;
+              inbox = Mpsc.create ();
+              system = None;
+              domain = None;
+              processed = Atomic.make 0;
+              failed = Atomic.make 0;
+            });
+      enqueued = Atomic.make 0;
+      completed = Atomic.make 0;
+      forwarded = Atomic.make 0;
+      failures = Obs.Ring.create (max 1 failure_log_limit);
+      failures_lock = Mutex.create ();
+      on_failure;
+      stopped = false;
+    }
+  in
+  if n = 1 then begin
+    let sys = init t 0 in
+    Db.configure_shard (System.db sys) ~index:0 ~of_:1;
+    t.shards.(0).system <- Some sys
+  end
+  else begin
+    let readies = Array.init n (fun _ -> Ivar.create ()) in
+    Array.iteri
+      (fun idx sh ->
+        sh.domain <-
+          Some (Domain.spawn (fun () -> worker t sh init readies.(idx))))
+      t.shards;
+    let first_error =
+      Array.fold_left
+        (fun acc iv ->
+          match (acc, Ivar.read iv) with
+          | None, Error e -> Some e
+          | acc, _ -> acc)
+        None readies
+    in
+    match first_error with
+    | None -> ()
+    | Some e ->
+      (* tear down whatever did start, then surface the init failure *)
+      stop t;
+      raise e
+  end;
+  t
+
+let system t idx =
+  if idx < 0 || idx >= t.n then invalid_arg "Shard_pool: bad shard index";
+  system_exn t.shards.(idx)

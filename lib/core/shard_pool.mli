@@ -1,0 +1,101 @@
+(** Domain-parallel execution over OID-hash-sharded databases.
+
+    A pool of [N] {e shards}, each a full {!System} — its own database,
+    extents, WAL, detector state and scheduler — owned by one OCaml 5
+    domain.  Shards share nothing stateful except the (domain-safe) symbol
+    table and Obs layer; they cooperate by exchanging jobs over per-shard
+    MPSC mailboxes.
+
+    {2 The routing invariant}
+
+    Shard [i] allocates OIDs congruent to [i mod N]
+    ({!Oodb.Db.configure_shard}, applied by the pool right after [init]
+    returns), so the owner of any object is [Oid.to_int oid mod N] — sends
+    route by arithmetic, no directory.  Symbol ids stay process-wide
+    (see {!Oodb.Symbol}): routing keys and slot layouts derived from them
+    must mean the same thing on every shard a forwarded occurrence lands on.
+
+    {2 Execution model}
+
+    Jobs posted from outside run on the owning shard's domain in mailbox
+    order.  A job posted from {e inside} a shard to itself runs inline
+    (normal nested-send cascade semantics); to a sibling it is forwarded as
+    a message carrying the current trace id, so a cascade keeps one trace
+    across the hop ({!Obs.Trace.with_trace} on the receiving side).  A job
+    that raises is contained at the job boundary — counted, logged to a
+    bounded failure ring, reported to [on_failure] — and the shard keeps
+    consuming; one shard's poison rule cannot poison a sibling.  (Failures
+    {e inside} a firing are still governed by each rule's
+    {!Error_policy} exactly as in the single-domain engine.)
+
+    A pool created with [shards:1] spawns no domain and no queue: jobs
+    execute directly on the caller, making it semantically and
+    performance-wise the single-threaded engine.
+
+    [init] runs on each shard's own domain and should build the schema,
+    rules and WAL attachment; create objects via {!run_on}/{!post} after
+    {!create} returns (the OID stride is configured when [init] returns).
+    After {!Oodb.Wal.recover} inside [init], the stride realigns
+    automatically. *)
+
+type t
+
+type stats = {
+  shard_processed : int array;  (** jobs executed, per shard *)
+  shard_failed : int array;  (** jobs contained at the job boundary *)
+  forwarded : int;  (** jobs that hopped shards (cross-shard sends) *)
+  enqueued : int;  (** jobs ever submitted, pool-wide *)
+  completed : int;  (** jobs fully executed *)
+}
+
+val create :
+  ?on_failure:(shard:int -> exn -> unit) ->
+  ?failure_log_limit:int ->
+  shards:int ->
+  init:(t -> int -> System.t) ->
+  unit ->
+  t
+(** Spawn the shard domains and run [init pool i] on each.  [init] receives
+    the pool so rule actions can capture it for cross-shard sends; it must
+    not post jobs itself (shards are not all up yet).  If any [init]
+    raises, the started shards are stopped and the exception re-raised.
+    [failure_log_limit] (default 128) bounds the pool-wide failure ring. *)
+
+val shard_count : t -> int
+
+val shard_of : t -> Oodb.Oid.t -> int
+(** The owning shard: [Oid.to_int oid mod shard_count]. *)
+
+val post : t -> Oodb.Oid.t -> string -> Oodb.Value.t list -> unit
+(** Route a send to the owning shard and return without waiting.  The
+    result value is discarded; failures are contained per shard. *)
+
+val call : t -> Oodb.Oid.t -> string -> Oodb.Value.t list ->
+  (Oodb.Value.t, exn) result
+(** Route a send and wait for its result. *)
+
+val post_on : t -> int -> (System.t -> unit) -> unit
+(** Run an arbitrary job on a shard, asynchronously. *)
+
+val run_on : t -> int -> (System.t -> 'a) -> ('a, exn) result
+(** Run a job on a shard and wait for its result (used for object creation,
+    queries, checkpoints).  Runs inline when already on that shard. *)
+
+val drain : t -> unit
+(** Block until the pool is quiescent: every job submitted so far {e and}
+    every job those jobs spawned (cross-shard cascades) has executed. *)
+
+val stats : t -> stats
+
+val recent_failures : t -> (int * exn) list
+(** Job-boundary failures, newest first: [(shard, exn)]. *)
+
+val system : t -> int -> System.t
+(** Direct access to a shard's system, for tests and read-only
+    introspection.  Touching it while the pool is active races with the
+    owning domain — {!drain} (or {!stop}) first. *)
+
+val stop : t -> unit
+(** Stop the workers and join their domains.  Jobs already queued ahead of
+    the stop marker still run; {!drain} first for a clean shutdown.
+    Idempotent.  The pool rejects new jobs afterwards. *)

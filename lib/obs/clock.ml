@@ -1,0 +1,3 @@
+external now_ns : unit -> float = "sentinel_clock_monotonic_ns"
+
+let now_us () = now_ns () /. 1e3

@@ -1,0 +1,12 @@
+(** Monotonic process clock.
+
+    [CLOCK_MONOTONIC] via a C stub: never steps backwards, unaffected by NTP
+    adjustments, zero at an arbitrary epoch (boot, typically).  All span
+    timestamps and latency measurements in this library use it — durations
+    computed from two reads are always non-negative. *)
+
+val now_ns : unit -> float
+(** Nanoseconds on the monotonic clock. *)
+
+val now_us : unit -> float
+(** Microseconds on the monotonic clock. *)

@@ -1,0 +1,19 @@
+/* Monotonic process clock for the observability layer.
+ *
+ * The stdlib shipped with this toolchain exposes no monotonic clock
+ * (Unix.gettimeofday is wall time and steps under NTP), so we bind
+ * clock_gettime(CLOCK_MONOTONIC) directly.  Returned as a double in
+ * nanoseconds: doubles keep 53 bits of mantissa, enough for ~104 days of
+ * uptime at full ns resolution, and the metrics layer only needs
+ * power-of-two bucket precision anyway.
+ */
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value sentinel_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double)ts.tv_sec * 1e9 + (double)ts.tv_nsec);
+}

@@ -1,14 +1,25 @@
 let n_buckets = 48 (* 2^47 ns ≈ 39 h: everything measurable fits *)
 
+(* Per-domain accumulator.  Each domain that touches a stage gets its own —
+   obtained through a DLS key, so the enabled hot path mutates plain fields
+   with no atomics and no sharing.  Readers merge every domain's accumulator
+   with plain loads: merged views are weakly consistent while other domains
+   are actively recording, exact once they quiesce. *)
+type acc = {
+  mutable a_count : int;
+  a_buckets : int array;
+  mutable a_samples : int;
+  mutable a_sum_ns : float;
+  mutable a_max_ns : float;
+}
+
 type stage = {
   st_id : int;
   st_name : string;
   st_shift : int;
-  mutable st_count : int;
-  st_buckets : int array;
-  mutable st_samples : int;
-  mutable st_sum_ns : float;
-  mutable st_max_ns : float;
+  st_lock : Mutex.t; (* guards st_accs *)
+  st_accs : acc list ref; (* one per domain that ever hit this stage *)
+  st_local : acc Domain.DLS.key;
 }
 
 let on = Ctl.metrics_on
@@ -22,36 +33,58 @@ let disable () =
   Ctl.recompute ()
 
 let registry : (int, stage) Hashtbl.t = Hashtbl.create 32
+let registry_lock = Mutex.create ()
+
+let fresh_acc () =
+  {
+    a_count = 0;
+    a_buckets = Array.make n_buckets 0;
+    a_samples = 0;
+    a_sum_ns = 0.;
+    a_max_ns = 0.;
+  }
 
 let register ~id ?(sample_shift = 0) name =
+  Mutex.protect registry_lock @@ fun () ->
   match Hashtbl.find_opt registry id with
   | Some st -> st
   | None ->
+    let lock = Mutex.create () in
+    let accs = ref [] in
+    let local =
+      (* runs on first DLS.get in each domain: allocate the domain's
+         accumulator and register it for the merged read side *)
+      Domain.DLS.new_key (fun () ->
+          let a = fresh_acc () in
+          Mutex.protect lock (fun () -> accs := a :: !accs);
+          a)
+    in
     let st =
       {
         st_id = id;
         st_name = name;
         st_shift = max 0 sample_shift;
-        st_count = 0;
-        st_buckets = Array.make n_buckets 0;
-        st_samples = 0;
-        st_sum_ns = 0.;
-        st_max_ns = 0.;
+        st_lock = lock;
+        st_accs = accs;
+        st_local = local;
       }
     in
     Hashtbl.replace registry id st;
     st
 
-let find id = Hashtbl.find_opt registry id
-let now_ns () = Unix.gettimeofday () *. 1e9
+let find id =
+  Mutex.protect registry_lock (fun () -> Hashtbl.find_opt registry id)
+
+let now_ns () = Clock.now_ns ()
 
 (* The counter doubles as the sampling phase: one increment per call on the
    enabled path, and a reset merely restarts the 1-in-2^shift stride. *)
 let enter st =
   if not !on then 0.
   else begin
-    let c = st.st_count + 1 in
-    st.st_count <- c;
+    let a = Domain.DLS.get st.st_local in
+    let c = a.a_count + 1 in
+    a.a_count <- c;
     if st.st_shift = 0 then now_ns ()
     else if c land ((1 lsl st.st_shift) - 1) = 0 then now_ns ()
     else 0.
@@ -71,47 +104,90 @@ let bucket_of ns =
 
 let observe_ns st ns =
   let ns = max 0. ns in
-  st.st_buckets.(bucket_of ns) <- st.st_buckets.(bucket_of ns) + 1;
-  st.st_samples <- st.st_samples + 1;
-  st.st_sum_ns <- st.st_sum_ns +. ns;
-  if ns > st.st_max_ns then st.st_max_ns <- ns
+  let a = Domain.DLS.get st.st_local in
+  let b = bucket_of ns in
+  a.a_buckets.(b) <- a.a_buckets.(b) + 1;
+  a.a_samples <- a.a_samples + 1;
+  a.a_sum_ns <- a.a_sum_ns +. ns;
+  if ns > a.a_max_ns then a.a_max_ns <- ns
 
 let exit st t0 = if t0 <> 0. then observe_ns st (now_ns () -. t0)
-let hit st = if !on then st.st_count <- st.st_count + 1
+
+let hit st =
+  if !on then begin
+    let a = Domain.DLS.get st.st_local in
+    a.a_count <- a.a_count + 1
+  end
 
 (* Bulk counter bump for quantity-valued stages (bytes written, commits
    coalesced): the count is the accumulated quantity, not a call tally. *)
-let add st n = if !on then st.st_count <- st.st_count + n
+let add st n =
+  if !on then begin
+    let a = Domain.DLS.get st.st_local in
+    a.a_count <- a.a_count + n
+  end
 
 let name st = st.st_name
 let id st = st.st_id
-let count st = st.st_count
-let samples st = st.st_samples
+
+(* --- merged read side ---------------------------------------------------- *)
+
+let accs st = Mutex.protect st.st_lock (fun () -> !(st.st_accs))
+
+let count st = List.fold_left (fun n a -> n + a.a_count) 0 (accs st)
+let samples st = List.fold_left (fun n a -> n + a.a_samples) 0 (accs st)
+
+let merged_buckets st =
+  let out = Array.make n_buckets 0 in
+  List.iter
+    (fun a ->
+      for i = 0 to n_buckets - 1 do
+        out.(i) <- out.(i) + a.a_buckets.(i)
+      done)
+    (accs st);
+  out
+
+(* bucket 0 holds observations <= 1 ns, so its upper bound is 1, not 2;
+   bucket i >= 1 covers [2^i, 2^(i+1)). *)
+let bucket_upper_ns i = if i <= 0 then 1. else Float.of_int (1 lsl min (i + 1) 62)
 
 let percentile st p =
-  if st.st_samples = 0 then Float.nan
+  let buckets = merged_buckets st in
+  let total = Array.fold_left ( + ) 0 buckets in
+  if total = 0 then Float.nan
   else begin
     let rank =
-      let r = int_of_float (ceil (p /. 100. *. float_of_int st.st_samples)) in
-      min (max r 1) st.st_samples
+      let r = int_of_float (ceil (p /. 100. *. float_of_int total)) in
+      min (max r 1) total
     in
+    (* Walk the cumulative histogram to the bucket holding the rank-th
+       observation, clamped to the last populated bucket: the rank is
+       derived from the same merged snapshot, so the scan cannot run off
+       the end of the array and report 2^48 ns for a histogram whose
+       samples all sit far lower. *)
+    let last = ref 0 in
+    Array.iteri (fun i n -> if n > 0 then last := i) buckets;
     let i = ref 0 and seen = ref 0 in
-    while !seen < rank && !i < n_buckets do
-      seen := !seen + st.st_buckets.(!i);
-      if !seen < rank then incr i
+    while !i < !last && !seen + buckets.(!i) < rank do
+      seen := !seen + buckets.(!i);
+      incr i
     done;
-    (* upper bound of the matched bucket: bucket i covers [2^i, 2^(i+1)) *)
-    Float.of_int (1 lsl min (!i + 1) 62)
+    bucket_upper_ns !i
   end
 
 let mean_ns st =
-  if st.st_samples = 0 then Float.nan
-  else st.st_sum_ns /. float_of_int st.st_samples
+  let sum, n =
+    List.fold_left
+      (fun (s, n) a -> (s +. a.a_sum_ns, n + a.a_samples))
+      (0., 0) (accs st)
+  in
+  if n = 0 then Float.nan else sum /. float_of_int n
 
-let max_ns st = st.st_max_ns
+let max_ns st = List.fold_left (fun m a -> Float.max m a.a_max_ns) 0. (accs st)
 
 let stages () =
-  Hashtbl.fold (fun _ st acc -> st :: acc) registry []
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.fold (fun _ st acc -> st :: acc) registry [])
   |> List.sort (fun a b -> String.compare a.st_name b.st_name)
 
 let pp_ns ns =
@@ -128,23 +204,29 @@ let report () =
        "samples" "p50" "p95" "p99" "max");
   List.iter
     (fun st ->
-      if st.st_count > 0 then
+      let c = count st in
+      if c > 0 then
         Buffer.add_string b
-          (Printf.sprintf "%-24s %12d %10d %8s %8s %8s %8s\n" st.st_name
-             st.st_count st.st_samples
+          (Printf.sprintf "%-24s %12d %10d %8s %8s %8s %8s\n" st.st_name c
+             (samples st)
              (pp_ns (percentile st 50.))
              (pp_ns (percentile st 95.))
              (pp_ns (percentile st 99.))
-             (pp_ns st.st_max_ns)))
+             (pp_ns (max_ns st))))
     (stages ());
   Buffer.contents b
 
+(* Zeroing races with domains actively recording (a concurrent increment can
+   survive); callers reset between runs, not during them. *)
 let reset () =
-  Hashtbl.iter
-    (fun _ st ->
-      st.st_count <- 0;
-      st.st_samples <- 0;
-      st.st_sum_ns <- 0.;
-      st.st_max_ns <- 0.;
-      Array.fill st.st_buckets 0 n_buckets 0)
-    registry
+  List.iter
+    (fun st ->
+      List.iter
+        (fun a ->
+          a.a_count <- 0;
+          a.a_samples <- 0;
+          a.a_sum_ns <- 0.;
+          a.a_max_ns <- 0.;
+          Array.fill a.a_buckets 0 n_buckets 0)
+        (accs st))
+    (stages ())

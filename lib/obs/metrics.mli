@@ -12,10 +12,16 @@
     within a factor of two.  Ultra-hot stages register with a
     [sample_shift]: the counter still counts every call, but only 1 in
     [2^shift] calls is timed, keeping the enabled cost of a ~50 ns operation
-    bounded.  The clock is [Unix.gettimeofday] (microsecond resolution), so
-    sub-microsecond stages get faithful counters and only coarse latency —
-    the histograms earn their keep on the µs-and-up stages (rule execution,
-    WAL appends, scheduler batches).
+    bounded.  The clock is {!Clock.now_ns} ([CLOCK_MONOTONIC]), so durations
+    are always non-negative — a wall-clock NTP step can no longer fold
+    garbage into bucket 0.
+
+    Domain-safety: each domain that hits a stage records into its own
+    accumulator (domain-local storage, no atomics on the enabled path); the
+    read side ({!count}, {!percentile}, {!report}, ...) merges every
+    domain's accumulator.  Merged reads are weakly consistent while other
+    domains are actively recording and exact once they quiesce; {!reset}
+    likewise assumes a quiet system.
 
     When [!on] is false, {!enter} returns immediately without counting:
     disabled instrumentation is one ref load and one branch. *)
@@ -69,8 +75,9 @@ val samples : stage -> int
 
 val percentile : stage -> float -> float
 (** [percentile st p] for [p] in [0..100], in nanoseconds: the upper bound
-    of the bucket containing the p-th percentile observation.  [nan] when
-    the histogram is empty. *)
+    of the bucket containing the p-th percentile observation, clamped to
+    the last populated bucket.  Bucket 0 holds observations of at most
+    1 ns and reports 1.  [nan] when the histogram is empty. *)
 
 val mean_ns : stage -> float
 val max_ns : stage -> float

@@ -18,6 +18,7 @@
     false, an instrumented call site costs one ref load and one branch
     ({!armed}), nothing more. *)
 
+module Clock = Clock
 module Ring = Ring
 module Metrics = Metrics
 module Trace = Trace

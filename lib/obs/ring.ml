@@ -6,17 +6,23 @@ type 'a t = {
   mutable next : int; (* write cursor *)
   mutable stored : int; (* <= cap *)
   mutable pushed : int; (* monotone total *)
+  mutable dropped : int; (* monotone: entries evicted by capacity *)
 }
 
-let create cap = { cap = max 0 cap; buf = [||]; next = 0; stored = 0; pushed = 0 }
+let create cap =
+  { cap = max 0 cap; buf = [||]; next = 0; stored = 0; pushed = 0; dropped = 0 }
+
 let capacity t = t.cap
 let length t = t.stored
 let total t = t.pushed
+let dropped t = t.dropped
 
 let push t x =
   t.pushed <- t.pushed + 1;
-  if t.cap > 0 then begin
+  if t.cap = 0 then t.dropped <- t.dropped + 1
+  else begin
     if Array.length t.buf = 0 then t.buf <- Array.make t.cap x;
+    if t.stored = t.cap then t.dropped <- t.dropped + 1;
     t.buf.(t.next) <- x;
     t.next <- (t.next + 1) mod t.cap;
     if t.stored < t.cap then t.stored <- t.stored + 1

@@ -27,6 +27,13 @@ val total : 'a t -> int
 (** Entries ever pushed, including overwritten ones and pushes into a
     zero-capacity ring.  Survives {!clear}. *)
 
+val dropped : 'a t -> int
+(** Entries evicted because the ring was full (or pushed into a
+    zero-capacity ring), monotone since creation.  This — not
+    [total - length] — is the drop count: {!clear} empties the ring without
+    anything having been dropped, so after a clear the subtraction
+    over-reports.  Survives {!clear}. *)
+
 val to_list : 'a t -> 'a list
 (** Retained entries, oldest first. *)
 
@@ -43,4 +50,5 @@ val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
 (** Oldest first. *)
 
 val clear : 'a t -> unit
-(** Drop the retained entries; {!total} keeps counting from where it was. *)
+(** Discard the retained entries (an explicit empty, not an eviction:
+    {!dropped} is unchanged); {!total} keeps counting from where it was. *)

@@ -34,31 +34,76 @@ let disable () =
   on := false;
   Ctl.recompute ()
 
-let buffer = ref (Ring.create 4096)
-let set_capacity n = buffer := Ring.create n
-let next_trace = ref 0
-let next_span = ref 0
-let cur_trace = ref 0
-let cur_parent = ref 0
+(* Trace and span ids are process-wide (a cascade hops domains when a rule
+   action targets an object owned by another shard), so the allocators are
+   atomics.  Everything else is per-domain: each domain owns a span ring and
+   its current trace/parent context, reached through one DLS key. *)
+let next_trace = Atomic.make 0
+let next_span = Atomic.make 0
+let recorded = Atomic.make 0
+let dropped_carry = Atomic.make 0
 
-let now_us () = Unix.gettimeofday () *. 1e6
+let capacity = Atomic.make 4096
+
+(* Bumped by set_capacity/clear: domains lazily swap in a fresh ring when
+   their generation is stale, so the global operations never touch another
+   domain's live ring. *)
+let generation = Atomic.make 0
+let rings_lock = Mutex.create ()
+let rings : span Ring.t list ref = ref []
+
+type dstate = {
+  mutable cur_trace : int;
+  mutable cur_parent : int;
+  mutable ring : span Ring.t;
+  mutable ring_gen : int; (* -1 until the first recorded span *)
+}
+
+let dls : dstate Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { cur_trace = 0; cur_parent = 0; ring = Ring.create 0; ring_gen = -1 })
+
+let my_ring st =
+  let g = Atomic.get generation in
+  if st.ring_gen <> g then begin
+    let r = Ring.create (Atomic.get capacity) in
+    Mutex.protect rings_lock (fun () -> rings := r :: !rings);
+    st.ring <- r;
+    st.ring_gen <- g
+  end;
+  st.ring
+
+let discard_rings () =
+  Mutex.protect rings_lock (fun () ->
+      List.iter
+        (fun r -> ignore (Atomic.fetch_and_add dropped_carry (Ring.dropped r)))
+        !rings;
+      rings := [];
+      Atomic.incr generation)
+
+let set_capacity n =
+  Atomic.set capacity (max 0 n);
+  discard_rings ();
+  Atomic.set recorded 0;
+  Atomic.set dropped_carry 0
+
+let clear () = discard_rings ()
+
+let now_us () = Clock.now_us ()
 
 let enter tk_name tk_label =
   if not !on then No_span
   else begin
-    let tk_saved_trace = !cur_trace and tk_saved_parent = !cur_parent in
+    let st = Domain.DLS.get dls in
+    let tk_saved_trace = st.cur_trace and tk_saved_parent = st.cur_parent in
     let tk_trace =
-      if tk_saved_trace = 0 then begin
-        incr next_trace;
-        !next_trace
-      end
+      if tk_saved_trace = 0 then 1 + Atomic.fetch_and_add next_trace 1
       else tk_saved_trace
     in
     let tk_parent = if tk_saved_trace = 0 then 0 else tk_saved_parent in
-    incr next_span;
-    let tk_id = !next_span in
-    cur_trace := tk_trace;
-    cur_parent := tk_id;
+    let tk_id = 1 + Atomic.fetch_and_add next_span 1 in
+    st.cur_trace <- tk_trace;
+    st.cur_parent <- tk_id;
     Span
       {
         tk_trace;
@@ -75,9 +120,11 @@ let enter tk_name tk_label =
 let exit = function
   | No_span -> ()
   | Span s ->
-    cur_trace := s.tk_saved_trace;
-    cur_parent := s.tk_saved_parent;
-    Ring.push !buffer
+    let st = Domain.DLS.get dls in
+    st.cur_trace <- s.tk_saved_trace;
+    st.cur_parent <- s.tk_saved_parent;
+    Atomic.incr recorded;
+    Ring.push (my_ring st)
       {
         sp_trace = s.tk_trace;
         sp_id = s.tk_id;
@@ -90,12 +137,14 @@ let exit = function
 
 let instant name label =
   if !on then begin
-    incr next_span;
-    Ring.push !buffer
+    let st = Domain.DLS.get dls in
+    let sp_id = 1 + Atomic.fetch_and_add next_span 1 in
+    Atomic.incr recorded;
+    Ring.push (my_ring st)
       {
-        sp_trace = !cur_trace;
-        sp_id = !next_span;
-        sp_parent = !cur_parent;
+        sp_trace = st.cur_trace;
+        sp_id;
+        sp_parent = st.cur_parent;
         sp_name = name;
         sp_label = label;
         sp_ts = now_us ();
@@ -103,23 +152,37 @@ let instant name label =
       }
   end
 
-let current () = !cur_trace
+let current () = (Domain.DLS.get dls).cur_trace
 
 let with_trace trace f =
-  let saved_trace = !cur_trace and saved_parent = !cur_parent in
-  cur_trace := trace;
-  cur_parent := 0;
+  let st = Domain.DLS.get dls in
+  let saved_trace = st.cur_trace and saved_parent = st.cur_parent in
+  st.cur_trace <- trace;
+  st.cur_parent <- 0;
   Fun.protect
     ~finally:(fun () ->
-      cur_trace := saved_trace;
-      cur_parent := saved_parent)
+      st.cur_trace <- saved_trace;
+      st.cur_parent <- saved_parent)
     f
 
-let spans () = Ring.to_list !buffer
+(* Rings are grouped per domain in registration order; within a ring, spans
+   are in exit order exactly as before.  Reading while another domain is
+   recording is safe (OCaml arrays never tear) but best-effort — quiesce for
+   an exact view. *)
+let spans () =
+  let rs = Mutex.protect rings_lock (fun () -> List.rev !rings) in
+  List.concat_map Ring.to_list rs
+
 let find_trace id = List.filter (fun s -> s.sp_trace = id) (spans ())
-let traces_started () = !next_trace
-let spans_recorded () = Ring.total !buffer
-let clear () = Ring.clear !buffer
+let traces_started () = Atomic.get next_trace
+let spans_recorded () = Atomic.get recorded
+
+let spans_dropped () =
+  let live =
+    Mutex.protect rings_lock (fun () ->
+        List.fold_left (fun n r -> n + Ring.dropped r) 0 !rings)
+  in
+  Atomic.get dropped_carry + live
 
 (* --- Chrome trace-event export ------------------------------------------- *)
 

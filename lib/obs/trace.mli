@@ -12,6 +12,12 @@
     Chrome-trace-format JSON (load in [chrome://tracing] or Perfetto; each
     trace renders as its own track via the [tid] field).
 
+    Domain-safety: trace and span ids are process-wide atomics — a cascade
+    keeps its id when it hops domains (capture with {!current}, replay with
+    {!with_trace} on the other side).  The current-trace context and the
+    span ring are per-domain; {!spans} merges every domain's ring, grouped
+    per domain, exact once recording domains quiesce.
+
     When [!on] is false, {!enter} returns a constant token and {!exit} is a
     no-op: one ref load and one branch per call site. *)
 
@@ -21,7 +27,7 @@ type span = {
   sp_parent : int;  (** enclosing span id, 0 at the cascade root *)
   sp_name : string;  (** stage: "send", "route", "detect", "schedule", "fire" *)
   sp_label : string;  (** method or rule name; "" when not applicable *)
-  sp_ts : float;  (** start, µs since epoch *)
+  sp_ts : float;  (** start, µs on the monotonic process clock *)
   sp_dur : float;  (** µs; [-1.] marks an instant event *)
 }
 
@@ -34,8 +40,8 @@ val enable : unit -> unit
 val disable : unit -> unit
 
 val set_capacity : int -> unit
-(** Replace the span buffer with an empty one of the given capacity
-    (default 4096). *)
+(** Replace the span buffers with empty ones of the given per-domain
+    capacity (default 4096) and zero {!spans_recorded}/{!spans_dropped}. *)
 
 val enter : string -> string -> token
 (** [enter name label] opens a span.  Starts a fresh trace when no span is
@@ -62,7 +68,8 @@ val with_trace : int -> (unit -> 'a) -> 'a
 (** {1 Reading} *)
 
 val spans : unit -> span list
-(** Retained spans, oldest first. *)
+(** Retained spans, oldest first within each domain's ring (rings are
+    concatenated in the order domains first recorded). *)
 
 val find_trace : int -> span list
 (** The retained spans of one trace, oldest first. *)
@@ -72,6 +79,11 @@ val traces_started : unit -> int
 
 val spans_recorded : unit -> int
 (** Spans ever recorded, including ones the ring has evicted. *)
+
+val spans_dropped : unit -> int
+(** Spans evicted by ring capacity (see {!Ring.dropped}): the honest drop
+    count for status output — [spans_recorded - length-of-spans] would
+    over-report after a {!clear}. *)
 
 val clear : unit -> unit
 (** Drop retained spans; counters keep their totals. *)

@@ -6,6 +6,7 @@ type slot = Types.slot
 let create ?(layout = `Slots) () =
   {
     next_oid = 1;
+    oid_stride = 1;
     now = 0;
     next_txn_id = 1;
     wal_applied_seq = 0;
@@ -198,12 +199,27 @@ let new_object db ?(attrs = []) cls =
   in
   List.iter put attrs;
   let id = Oid.of_int db.next_oid in
-  db.next_oid <- db.next_oid + 1;
+  db.next_oid <- db.next_oid + db.oid_stride;
   let o = { o with id } in
   Heap.insert_obj db o;
   Transaction.log_undo db (U_created id);
   journal db (J_mutation (M_create (id, cls, Heap.sorted_attrs o)));
   id
+
+(* Align the allocator to the shard's residue class.  Called at shard setup
+   and again after recovery (replay restores next_oid monotonically but not
+   the stride, which is never persisted). *)
+let configure_shard db ~index ~of_ =
+  if of_ <= 0 || index < 0 || index >= of_ then
+    invalid_arg "Db.configure_shard: need 0 <= index < of_";
+  db.oid_stride <- of_;
+  let base = max db.next_oid 1 in
+  let residue = index mod of_ in
+  let k = ref base in
+  while !k mod of_ <> residue do
+    incr k
+  done;
+  db.next_oid <- !k
 
 let delete_object db oid =
   let o = Heap.find_obj db oid in

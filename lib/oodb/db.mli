@@ -39,6 +39,16 @@ val new_object : t -> ?attrs:(string * Value.t) list -> string -> Oid.t
     listing an attribute the class does not declare is a
     {!Errors.No_such_attribute} error. *)
 
+val configure_shard : t -> index:int -> of_:int -> unit
+(** [configure_shard db ~index ~of_] partitions the OID space for an
+    [of_]-way shard pool: this store allocates only OIDs congruent to
+    [index mod of_], striding by [of_], so sibling shards' OID spaces are
+    disjoint and [Oid.to_int oid mod of_] identifies the owning shard.  The
+    stride is not persisted — call again after {!Wal.recover} (alignment
+    resumes above whatever replay restored).  [index] must satisfy
+    [0 <= index < of_].
+    @raise Invalid_argument otherwise. *)
+
 val delete_object : t -> Oid.t -> unit
 val exists : t -> Oid.t -> bool
 val class_of : t -> Oid.t -> string

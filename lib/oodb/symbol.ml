@@ -7,36 +7,65 @@
    id, which is what lets pre-resolved slot handles and routing keys stay
    valid across schema evolution (the *mapping* from symbol to slot moves,
    the symbol itself does not).  Ids are process-local — nothing persistent
-   ever stores one; on-disk formats keep the string names. *)
+   ever stores one; on-disk formats keep the string names.
+
+   Domain-safety: readers are lock-free — they [Atomic.get] an immutable
+   snapshot and probe it with plain reads.  The snapshot's hashtable is
+   frozen (copied-on-write by the next intern, never mutated after publish)
+   and its reverse array is only ever written at indexes >= the published
+   [count], which no reader holding that snapshot will touch; the atomic
+   publish orders those writes before any reader that observes the new
+   count, so there are no torn reads.  Writers serialise on a mutex; the
+   copy-on-write cost is fine because interning happens at class-definition
+   and stage-registration time, not on hot paths. *)
 
 type t = int
 
-let table : (string, int) Hashtbl.t = Hashtbl.create 256
-let rev : string array ref = ref (Array.make 256 "")
-let next = ref 0
+type snap = {
+  tbl : (string, int) Hashtbl.t; (* frozen once published *)
+  rev : string array; (* indexes >= count are unpublished scratch *)
+  count : int;
+}
+
+let current =
+  Atomic.make { tbl = Hashtbl.create 256; rev = Array.make 256 ""; count = 0 }
+
+let lock = Mutex.create ()
 
 let intern s =
-  match Hashtbl.find_opt table s with
+  let snap = Atomic.get current in
+  match Hashtbl.find_opt snap.tbl s with
   | Some id -> id
   | None ->
-    let id = !next in
-    incr next;
-    Hashtbl.replace table s id;
-    if id >= Array.length !rev then begin
-      let bigger = Array.make (2 * Array.length !rev) "" in
-      Array.blit !rev 0 bigger 0 (Array.length !rev);
-      rev := bigger
-    end;
-    !rev.(id) <- s;
-    id
+    Mutex.protect lock @@ fun () ->
+    (* re-probe under the lock: another domain may have won the race *)
+    let snap = Atomic.get current in
+    (match Hashtbl.find_opt snap.tbl s with
+    | Some id -> id
+    | None ->
+      let id = snap.count in
+      let tbl = Hashtbl.copy snap.tbl in
+      Hashtbl.replace tbl s id;
+      let rev =
+        if id < Array.length snap.rev then snap.rev
+        else begin
+          let bigger = Array.make (2 * Array.length snap.rev) "" in
+          Array.blit snap.rev 0 bigger 0 (Array.length snap.rev);
+          bigger
+        end
+      in
+      rev.(id) <- s;
+      Atomic.set current { tbl; rev; count = id + 1 };
+      id)
 
-let find s = Hashtbl.find_opt table s
+let find s = Hashtbl.find_opt (Atomic.get current).tbl s
 
 let name id =
-  if id < 0 || id >= !next then invalid_arg "Symbol.name: unknown symbol"
-  else !rev.(id)
+  let snap = Atomic.get current in
+  if id < 0 || id >= snap.count then invalid_arg "Symbol.name: unknown symbol"
+  else snap.rev.(id)
 
-let count () = !next
+let count () = (Atomic.get current).count
 let equal (a : t) (b : t) = a = b
 let compare (a : t) (b : t) = Int.compare a b
 let pp ppf id = Format.fprintf ppf "%s#%d" (name id) id

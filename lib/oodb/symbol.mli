@@ -4,7 +4,14 @@
     for the life of the process.  Hot paths (slot resolution, event routing,
     detector leaf matching) compare symbols instead of hashing strings.
     Symbol ids are process-local: on-disk formats (snapshots, WALs) always
-    keep the string names and re-intern on load. *)
+    keep the string names and re-intern on load.
+
+    Domain-safe: lookups ({!find}, {!name}, hot-path probes inside
+    {!intern}) are lock-free reads of an immutable snapshot; interning a
+    genuinely new string takes a process-wide mutex and publishes a fresh
+    snapshot.  Ids stay process-wide — shards on different domains must
+    agree on them, since slot layouts and routing keys derived from ids
+    cross shard boundaries inside forwarded occurrences. *)
 
 type t = int
 

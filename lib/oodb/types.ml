@@ -202,6 +202,11 @@ and stats = {
 
 and db = {
   mutable next_oid : int;
+  (* OID allocation stride, 1 for an unsharded store.  A shard member of an
+     N-way pool allocates every N-th OID (next_oid ≡ shard index mod N), so
+     OID spaces of sibling shards are disjoint and [oid mod N] recovers the
+     owner — the shard-routing invariant.  See Db.configure_shard. *)
+  mutable oid_stride : int;
   mutable now : timestamp;
   mutable next_txn_id : int;
   (* Highest WAL batch sequence number already reflected in this store's

@@ -1,12 +1,27 @@
 #!/usr/bin/env bash
-# bench_compare.sh BASELINE.json FRESH.json
+# bench_compare.sh [--fail-below PATH_REGEX MIN_RATIO]... BASELINE.json FRESH.json
 #
 # Flatten every numeric leaf of the two bench JSON files to "path value"
 # pairs and emit a markdown table of baseline / fresh / ratio, for
 # $GITHUB_STEP_SUMMARY.  Paths present on only one side are shown with a
 # "-" on the other; absolute numbers vary by runner, so the ratio column is
 # the thing to read.
+#
+# --fail-below PATH_REGEX MIN_RATIO (repeatable) turns the comparison into
+# a gate: exit 1 if any metric whose flattened path matches PATH_REGEX has
+# a fresh/baseline ratio below MIN_RATIO.  Use generous floors — this is a
+# catastrophic-regression catch, not a benchmark; absolute numbers swing by
+# runner, ratios by tens of percent.  Paths missing on either side are not
+# gated (a renamed metric should fail review, not CI).
 set -euo pipefail
+
+gate_regexes=()
+gate_floors=()
+while [ "${1:-}" = "--fail-below" ]; do
+  gate_regexes+=("$2")
+  gate_floors+=("$3")
+  shift 3
+done
 
 baseline="$1"
 fresh="$2"
@@ -29,10 +44,11 @@ flatten() {
   ' "$1"
 }
 
-join -a1 -a2 -e '-' -o 0,1.2,2.2 \
+joined=$(join -a1 -a2 -e '-' -o 0,1.2,2.2 \
   <(flatten "$baseline" | sort) \
-  <(flatten "$fresh" | sort) |
-  awk -v name="$(basename "$fresh")" '
+  <(flatten "$fresh" | sort))
+
+awk -v name="$(basename "$fresh")" '
     BEGIN {
       printf "\n### bench-compare: %s\n\n", name
       printf "| metric | baseline | fresh | ratio |\n"
@@ -43,4 +59,19 @@ join -a1 -a2 -e '-' -o 0,1.2,2.2 \
       if ($2 != "-" && $3 != "-" && $2 + 0 != 0)
         ratio = sprintf("%.2f", ($3 + 0) / ($2 + 0))
       printf "| %s | %s | %s | %s |\n", $1, $2, $3, ratio
-    }'
+    }' <<<"$joined"
+
+fail=0
+for i in "${!gate_regexes[@]}"; do
+  regex="${gate_regexes[$i]}"
+  floor="${gate_floors[$i]}"
+  while read -r path base_v fresh_v; do
+    [ "$base_v" = "-" ] || [ "$fresh_v" = "-" ] && continue
+    awk -v b="$base_v" -v f="$fresh_v" -v m="$floor" \
+      'BEGIN { exit !(b > 0 && f / b < m) }' || continue
+    echo "bench-compare: FAIL $path ratio $(awk -v b="$base_v" -v f="$fresh_v" \
+      'BEGIN { printf "%.2f", f / b }') below floor $floor" >&2
+    fail=1
+  done < <(grep -E "^${regex} " <<<"$joined" || true)
+done
+exit "$fail"

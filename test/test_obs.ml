@@ -48,6 +48,25 @@ let test_ring_wraparound () =
   Alcotest.(check int) "cap 0 stores nothing" 0 (Ring.length z);
   Alcotest.(check int) "cap 0 still counts" 1 (Ring.total z)
 
+(* dropped counts capacity evictions only: clear empties the ring without
+   dropping anything, which is exactly where total - length over-reports *)
+let test_ring_dropped () =
+  let r = Ring.create 4 in
+  for i = 0 to 9 do
+    Ring.push r i
+  done;
+  Alcotest.(check int) "evictions counted" 6 (Ring.dropped r);
+  Ring.clear r;
+  Alcotest.(check int) "clear is not a drop" 6 (Ring.dropped r);
+  Alcotest.(check int) "total keeps counting" 10 (Ring.total r);
+  Ring.push r 42;
+  Alcotest.(check int) "no new drop until full again" 6 (Ring.dropped r);
+  Alcotest.(check bool) "total - length would over-report" true
+    (Ring.total r - Ring.length r > Ring.dropped r);
+  let z = Ring.create 0 in
+  Ring.push z 1;
+  Alcotest.(check int) "cap 0 drops every push" 1 (Ring.dropped z)
+
 let ring_bound_prop =
   QCheck_alcotest.to_alcotest
     (QCheck2.Test.make ~name:"ring holds exactly the newest min(cap,n)"
@@ -83,6 +102,63 @@ let test_histogram_known () =
   Alcotest.(check (float 1e-6)) "mean is exact" (10_100_000. /. 110.)
     (Metrics.mean_ns st);
   Alcotest.(check (float 0.)) "max is exact" 1_000_000. (Metrics.max_ns st)
+
+(* The two percentile edges the rank scan used to get wrong: bucket 0 holds
+   observations <= 1 ns (upper bound 1, not 2), and the scan must clamp to
+   the last populated bucket instead of running off the end of the
+   histogram and reporting 2^48 ns. *)
+let test_percentile_edges () =
+  Metrics.reset ();
+  let st =
+    Metrics.register ~id:(Oodb.Symbol.intern "test.p.edges") "test.p.edges"
+  in
+  for _ = 1 to 50 do
+    Metrics.observe_ns st 0.5
+  done;
+  Alcotest.(check (float 0.)) "bucket 0 reports 1 ns" 1.
+    (Metrics.percentile st 50.);
+  Alcotest.(check (float 0.)) "p100 of sub-ns samples is still 1 ns" 1.
+    (Metrics.percentile st 100.);
+  Metrics.reset ();
+  for _ = 1 to 3 do
+    Metrics.observe_ns st 1000.
+  done;
+  Alcotest.(check (float 0.)) "p100 clamps to the last populated bucket"
+    1024.
+    (Metrics.percentile st 100.);
+  Alcotest.(check (float 0.)) "p0 clamps to rank 1" 1024.
+    (Metrics.percentile st 0.)
+
+(* Monotonic clock regression: durations are non-negative and nested spans
+   are ordered (child starts after parent, parent outlasts child) — with
+   the old wall-clock stamps an NTP step could violate both. *)
+let test_monotonic_durations () =
+  with_obs (fun () ->
+      Trace.set_capacity 1024;
+      let outer = Trace.enter "outer" "" in
+      let inner = Trace.enter "inner" "" in
+      Unix.sleepf 0.002;
+      Trace.exit inner;
+      Trace.exit outer;
+      let find n =
+        List.find (fun s -> String.equal s.Trace.sp_name n) (Trace.spans ())
+      in
+      let o = find "outer" and i = find "inner" in
+      Alcotest.(check bool) "inner duration >= slept time" true
+        (i.Trace.sp_dur >= 1_500.);
+      Alcotest.(check bool) "durations non-negative" true
+        (o.Trace.sp_dur >= 0. && i.Trace.sp_dur >= 0.);
+      Alcotest.(check bool) "child starts after parent" true
+        (i.Trace.sp_ts >= o.Trace.sp_ts);
+      Alcotest.(check bool) "parent outlasts child" true
+        (o.Trace.sp_dur >= i.Trace.sp_dur);
+      (* the raw clock never goes backwards *)
+      let prev = ref (Obs.Clock.now_ns ()) in
+      for _ = 1 to 10_000 do
+        let t = Obs.Clock.now_ns () in
+        if t < !prev then Alcotest.fail "monotonic clock went backwards";
+        prev := t
+      done)
 
 let test_histogram_timed () =
   with_obs (fun () ->
@@ -322,8 +398,12 @@ let test_differential_firing () =
 let suite =
   [
     test "ring wraparound" test_ring_wraparound;
+    test "ring dropped counts evictions, not clears" test_ring_dropped;
     ring_bound_prop;
     test "histogram percentiles from known durations" test_histogram_known;
+    test "percentile edges: bucket 0 and rank clamp" test_percentile_edges;
+    test "monotonic clock: durations non-negative and ordered"
+      test_monotonic_durations;
     test "histogram times a real wait" test_histogram_timed;
     test "cascade trace spans share one id" test_cascade_trace;
     test "deferred firing keeps its trace" test_deferred_schedule_span;

@@ -1,0 +1,279 @@
+(* Domain-parallelism: the symbol table under concurrent interning, the
+   shard pool (send/fire/commit across 4 shards with per-shard WAL
+   recovery), and a cross-shard cascade whose trace id survives the hop. *)
+
+open Helpers
+module Symbol = Oodb.Symbol
+module Wal = Oodb.Wal
+module Shard_pool = Sentinel.Shard_pool
+module Trace = Obs.Trace
+
+let n_domains = 4
+
+(* --- concurrent interning -------------------------------------------------- *)
+
+(* Each property run gets a fresh namespace so every iteration really
+   exercises the write path, not just snapshot reads. *)
+let intern_run = ref 0
+
+(* Rotate so the domains race on the same strings in different orders. *)
+let rotate k xs =
+  let n = List.length xs in
+  if n = 0 then xs
+  else
+    let k = k mod n in
+    let tail = List.filteri (fun i _ -> i >= k) xs
+    and head = List.filteri (fun i _ -> i < k) xs in
+    tail @ head
+
+let intern_worker strs () =
+  List.map
+    (fun s ->
+      let id = Symbol.intern s in
+      (* read back immediately: a torn rev array would surface here *)
+      if not (String.equal (Symbol.name id) s) then
+        failwith ("torn read: " ^ s);
+      (* probe ids other domains are publishing concurrently: name must
+         never raise or return garbage for any id below count *)
+      let c = Symbol.count () in
+      for i = c - 4 to c - 1 do
+        if i >= 0 && String.length (Symbol.name i) = 0 then
+          failwith "empty name below count"
+      done;
+      (s, id))
+    strs
+
+let intern_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"concurrent intern agrees across 4 domains"
+       ~count:10
+       QCheck2.Gen.(
+         list_size (int_range 1 50)
+           (string_size ~gen:(char_range 'a' 'z') (int_range 1 10)))
+       (fun raw ->
+         incr intern_run;
+         let ns = Printf.sprintf "par%d/" !intern_run in
+         let strs = List.map (fun s -> ns ^ s) raw in
+         let doms =
+           Array.init n_domains (fun k ->
+               Domain.spawn (intern_worker (rotate k strs)))
+         in
+         let results = Array.map Domain.join doms in
+         let reference = Hashtbl.create 64 in
+         List.iter
+           (fun (s, id) -> Hashtbl.replace reference s id)
+           results.(0);
+         Array.for_all
+           (fun pairs ->
+             List.for_all
+               (fun (s, id) ->
+                 Hashtbl.find_opt reference s = Some id
+                 && String.equal (Symbol.name id) s)
+               pairs)
+           results))
+
+(* --- 4-shard send/fire/commit with per-shard WAL recovery ------------------ *)
+
+let with_shard_wals n f =
+  let paths =
+    Array.init n (fun i -> Filename.temp_file (Printf.sprintf "shard%d" i) ".wal")
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun p -> if Sys.file_exists p then Sys.remove p) paths)
+    (fun () -> f paths)
+
+let count_action sys counter =
+  System.register_action sys "count" (fun _ _ -> incr counter)
+
+let test_shard_pool_wal_smoke () =
+  with_shard_wals n_domains (fun paths ->
+      let fired = Array.init n_domains (fun _ -> ref 0) in
+      let wals = Array.make n_domains None in
+      let pool =
+        Shard_pool.create ~shards:n_domains
+          ~init:(fun _pool i ->
+            let db = employee_db () in
+            let sys = System.create db in
+            (* attach before creating rules: rule objects live in the store
+               and their firings update them, so replay needs their creates *)
+            wals.(i) <- Some (Wal.attach db paths.(i));
+            count_action sys fired.(i);
+            ignore
+              (System.create_rule sys ~name:"raise-watch"
+                 ~monitor_classes:[ "employee" ]
+                 ~event:(Expr.eom ~cls:"employee" "set_salary")
+                 ~condition:"true" ~action:"count" ());
+            sys)
+          ()
+      in
+      (* create a handful of objects on every shard; the routing invariant
+         says their OIDs must fall in the shard's residue class *)
+      let oids =
+        Array.init n_domains (fun i ->
+            match
+              Shard_pool.run_on pool i (fun sys ->
+                  List.init 5 (fun _ -> new_employee (System.db sys)))
+            with
+            | Ok os -> os
+            | Error e -> raise e)
+      in
+      Array.iteri
+        (fun i os ->
+          List.iter
+            (fun o ->
+              Alcotest.(check int)
+                "OID residue matches owning shard" i
+                (Oid.to_int o mod n_domains);
+              Alcotest.(check int)
+                "shard_of routes to the allocator" i
+                (Shard_pool.shard_of pool o))
+            os)
+        oids;
+      (* fire rules and commit state through the pool, routed by OID *)
+      Array.iter
+        (fun os ->
+          List.iteri
+            (fun k o ->
+              Shard_pool.post pool o "set_salary"
+                [ Value.Float (100. +. float_of_int k) ])
+            os)
+        oids;
+      Shard_pool.drain pool;
+      Array.iteri
+        (fun i r ->
+          Alcotest.(check int)
+            (Printf.sprintf "shard %d fired once per send" i)
+            5 !r)
+        fired;
+      let st = Shard_pool.stats pool in
+      Alcotest.(check int) "no contained failures" 0
+        (Array.fold_left ( + ) 0 st.Shard_pool.shard_failed);
+      (* flush and close each shard's log on its own domain *)
+      for i = 0 to n_domains - 1 do
+        match
+          Shard_pool.run_on pool i (fun _ ->
+              match wals.(i) with Some w -> Wal.detach w | None -> ())
+        with
+        | Ok () -> ()
+        | Error e -> raise e
+      done;
+      Shard_pool.stop pool;
+      (* per-shard recovery: each WAL replays into a fresh store and must
+         reproduce exactly that shard's objects and final salaries *)
+      Array.iteri
+        (fun i os ->
+          let db2 = employee_db () in
+          let _sys2 = System.create db2 in
+          ignore (Wal.replay db2 paths.(i));
+          Db.configure_shard db2 ~index:i ~of_:n_domains;
+          List.iteri
+            (fun k o ->
+              Alcotest.(check bool) "object recovered" true (Db.exists db2 o);
+              Alcotest.check value "committed salary recovered"
+                (Value.Float (100. +. float_of_int k))
+                (Db.get db2 o "salary"))
+            os;
+          (* allocation resumes in the shard's residue class *)
+          let fresh = new_employee db2 in
+          Alcotest.(check int) "post-recovery OID keeps the residue" i
+            (Oid.to_int fresh mod n_domains))
+        oids)
+
+(* --- cross-shard cascade keeps its trace id -------------------------------- *)
+
+let test_cross_shard_trace () =
+  let partner = Array.make 1 (Oid.of_int 0) in
+  let pool = ref None in
+  let p () = match !pool with Some p -> p | None -> assert false in
+  let created =
+    Shard_pool.create ~shards:n_domains
+      ~init:(fun _ i ->
+        let db = employee_db () in
+        let sys = System.create db in
+        System.register_action sys "forward" (fun _ _ ->
+            (* hop shards: the partner lives in a different residue class *)
+            Shard_pool.post (p ()) partner.(0) "change_income"
+              [ Value.Float 1. ]);
+        System.register_action sys "noop" (fun _ _ -> ());
+        ignore
+          (System.create_rule sys
+             ~name:(Printf.sprintf "hop-out-%d" i)
+             ~monitor_classes:[ "employee" ]
+             ~event:(Expr.eom ~cls:"employee" "set_salary")
+             ~condition:"true" ~action:"forward" ());
+        ignore
+          (System.create_rule sys
+             ~name:(Printf.sprintf "hop-in-%d" i)
+             ~monitor_classes:[ "employee" ]
+             ~event:(Expr.eom ~cls:"employee" "change_income")
+             ~condition:"true" ~action:"noop" ());
+        sys)
+      ()
+  in
+  pool := Some created;
+  let pool = created in
+  let mk shard =
+    match Shard_pool.run_on pool shard (fun sys -> new_employee (System.db sys))
+    with
+    | Ok o -> o
+    | Error e -> raise e
+  in
+  let src = mk 1 in
+  partner.(0) <- mk 3;
+  Trace.set_capacity 4096;
+  Trace.enable ();
+  Fun.protect ~finally:Trace.disable (fun () ->
+      Shard_pool.post pool src "set_salary" [ Value.Float 9. ];
+      Shard_pool.drain pool;
+      Shard_pool.stop pool;
+      let spans = Trace.spans () in
+      let fires label =
+        List.filter
+          (fun s ->
+            String.equal s.Trace.sp_name "fire"
+            && Helpers.contains_substring ~sub:label s.Trace.sp_label)
+          spans
+      in
+      match (fires "hop-out", fires "hop-in") with
+      | out :: _, inn :: _ ->
+        Alcotest.(check bool) "spans on both sides of the hop" true true;
+        Alcotest.(check int) "trace id survives the shard hop"
+          out.Trace.sp_trace inn.Trace.sp_trace;
+        Alcotest.(check bool) "trace id is a real cascade" true
+          (out.Trace.sp_trace > 0)
+      | _ -> Alcotest.fail "expected fire spans on both shards")
+
+(* --- job-boundary containment ---------------------------------------------- *)
+
+let test_shard_failure_contained () =
+  let pool =
+    Shard_pool.create ~shards:2
+      ~init:(fun _ _ ->
+        let db = employee_db () in
+        System.create db)
+      ()
+  in
+  let ok = ref false in
+  Shard_pool.post_on pool 0 (fun _ -> failwith "poison");
+  Shard_pool.post_on pool 0 (fun _ -> ok := true);
+  Shard_pool.drain pool;
+  Alcotest.(check bool) "shard survives a poison job" true !ok;
+  let st = Shard_pool.stats pool in
+  Alcotest.(check int) "failure counted on shard 0" 1
+    st.Shard_pool.shard_failed.(0);
+  (match Shard_pool.recent_failures pool with
+  | (0, e) :: _
+    when contains_substring ~sub:"poison" (Printexc.to_string e) ->
+    ()
+  | _ -> Alcotest.fail "poison job missing from the failure log");
+  Shard_pool.stop pool
+
+let suite =
+  [
+    intern_prop;
+    test "4-shard send/fire/commit with per-shard WAL recovery"
+      test_shard_pool_wal_smoke;
+    test "cross-shard cascade keeps one trace id" test_cross_shard_trace;
+    test "poison job is contained per shard" test_shard_failure_contained;
+  ]
