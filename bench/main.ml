@@ -1418,8 +1418,15 @@ let e_oltp () =
          ~condition:"true" ~action:"noop" ());
     sys
   in
-  let shard_eps n_shards =
-    let pool = Sentinel.Shard_pool.create ~shards:n_shards ~init:shard_init () in
+  let shard_eps ?(supervised = false) n_shards =
+    let supervision =
+      if supervised then Some Sentinel.Shard_pool.default_supervision
+      else None
+    in
+    let pool =
+      Sentinel.Shard_pool.create ~shards:n_shards ?supervision
+        ~init:shard_init ()
+    in
     let per_shard = 256 / n_shards in
     let objs =
       Array.concat
@@ -1437,7 +1444,9 @@ let e_oltp () =
     let (), ms =
       time_ms (fun () ->
           for k = 0 to shard_send_iters - 1 do
-            Sentinel.Shard_pool.post pool objs.(k land mask) "set_salary" args
+            ignore
+              (Sentinel.Shard_pool.post pool objs.(k land mask) "set_salary"
+                 args)
           done;
           Sentinel.Shard_pool.drain pool)
     in
@@ -1465,6 +1474,10 @@ let e_oltp () =
   in
   let shard_rows = List.map (fun n -> (n, shard_eps n)) [ 1; 2; 4 ] in
   let shards1 = List.assoc 1 shard_rows in
+  (* the supervised row prices the watchdog: same workload, same stride,
+     plus a heartbeat-sweeping supervisor domain and the bounded-inbox
+     accounting on every post *)
+  let supervised2 = shard_eps ~supervised:true 2 in
   row "  direct (no pool) send %10.0f ev/s on %d core%s\n" direct_eps cores
     (if cores = 1 then "" else "s");
   List.iter
@@ -1472,6 +1485,9 @@ let e_oltp () =
       row "  shards=%d  send %10.0f ev/s  (%.2fx vs shards=1)\n" n eps
         (eps /. shards1))
     shard_rows;
+  row "  shards=2 supervised %8.0f ev/s  (%.2fx vs unsupervised)\n"
+    supervised2
+    (supervised2 /. List.assoc 2 shard_rows);
   let oc = open_out "BENCH_oltp.json" in
   Printf.fprintf oc
     "{\n  \"experiment\": \"E-oltp\",\n  \"rw_iters\": %d,\n  \"send_iters\": \
@@ -1481,7 +1497,9 @@ let e_oltp () =
      \"routing_1000_rules\": {\"broadcast_events_per_sec\": %.0f, \
      \"indexed_events_per_sec\": %.0f, \"speedup\": %.2f},\n  \
      \"cores\": %d,\n  \"shards\": {\"send_iters\": %d, \
-     \"direct_send_events_per_sec\": %.0f, \"rows\": [%s]},\n  \"rows\": [\n"
+     \"direct_send_events_per_sec\": %.0f, \"rows\": [%s], \
+     \"supervised\": {\"shards\": 2, \"send_events_per_sec\": %.0f, \
+     \"ratio_vs_unsupervised\": %.3f}},\n  \"rows\": [\n"
     rw_iters send_iters n_objects query_probes_ok b_eps i_eps (i_eps /. b_eps)
     cores shard_send_iters direct_eps
     (String.concat ", "
@@ -1491,7 +1509,9 @@ let e_oltp () =
               "{\"shards\": %d, \"send_events_per_sec\": %.0f, \
                \"speedup_vs_1\": %.2f}"
               n eps (eps /. shards1))
-          shard_rows));
+          shard_rows))
+    supervised2
+    (supervised2 /. List.assoc 2 shard_rows);
   List.iteri
     (fun i (lname, size, g, gb, s, sb, snd_, sndb, gs, ss, c, cb) ->
       Printf.fprintf oc
@@ -1541,7 +1561,18 @@ let e_oltp () =
           shards2 shards1;
         exit 1
       end
-      else row "  bench-smoke gate: shards=2 >= 1.6x shards=1 (ok)\n"
+      else row "  bench-smoke gate: shards=2 >= 1.6x shards=1 (ok)\n";
+      (* supervision must be close to free on the happy path: the watchdog
+         sweeps and the bounded-inbox bookkeeping ride on every send *)
+      if supervised2 < 0.95 *. shards2 then begin
+        row "  FAIL: supervised shards=2 send %.0f ev/s below 95%% of \
+             unsupervised %.0f ev/s\n"
+          supervised2 shards2;
+        exit 1
+      end
+      else
+        row "  bench-smoke gate: supervised shards=2 within 5%% of \
+             unsupervised (ok)\n"
     end
     else
       row "  bench-smoke gate: shards=2 scaling not gated on %d core\n" cores
@@ -1712,6 +1743,184 @@ let e_obs () =
     else row "  bench-smoke gate: disabled overhead <= 2%% on get/set/send (ok)\n"
   end
 
+(* ------------------------------------------------------------------------- *)
+(* E-chaos: the price of supervision, restart latency, flood accounting      *)
+(* ------------------------------------------------------------------------- *)
+
+(* Three questions about the supervised shard pool: what the watchdog and
+   the bounded-inbox accounting cost on the happy path (supervised vs plain
+   throughput, best-of-3 to shave scheduler noise), how fast a killed shard
+   is back (detection + teardown + fresh init, median of repeated kills),
+   and whether the flood counters stay honest under overload (every post is
+   accepted, shed, or parked — none unaccounted). *)
+let e_chaos () =
+  header "E-chaos: shard supervision overhead, restart latency, flood accounting";
+  let smoke = Sys.getenv_opt "BENCH_SMOKE" <> None in
+  let iters = if smoke then 20_000 else 100_000 in
+  let cores = Domain.recommended_domain_count () in
+  let init _pool _i =
+    let db = Db.create () in
+    Workloads.Payroll.install db;
+    let sys = System.create db in
+    System.register_action sys "noop" (fun _ _ -> ());
+    ignore
+      (System.create_rule sys ~name:"watch" ~monitor_classes:[ "employee" ]
+         ~event:(Expr.eom ~cls:"employee" "set_salary")
+         ~condition:"true" ~action:"noop" ());
+    sys
+  in
+  let eps ~supervised =
+    let supervision =
+      if supervised then Some Sentinel.Shard_pool.default_supervision
+      else None
+    in
+    let pool = Sentinel.Shard_pool.create ~shards:2 ?supervision ~init () in
+    let objs =
+      Array.concat
+        (List.init 2 (fun i ->
+             match
+               Sentinel.Shard_pool.run_on pool i (fun sys ->
+                   Array.init 128 (fun _ ->
+                       Db.new_object (System.db sys) "employee"))
+             with
+             | Ok a -> a
+             | Error e -> raise e))
+    in
+    let args = [ Value.Float 1. ] in
+    let (), ms =
+      time_ms (fun () ->
+          for k = 0 to iters - 1 do
+            ignore
+              (Sentinel.Shard_pool.post pool objs.(k land 255) "set_salary"
+                 args)
+          done;
+          Sentinel.Shard_pool.drain pool)
+    in
+    Sentinel.Shard_pool.stop pool;
+    float_of_int iters /. (ms /. 1000.)
+  in
+  let best f = max (f ()) (max (f ()) (f ())) in
+  let plain = best (fun () -> eps ~supervised:false) in
+  let supervised = best (fun () -> eps ~supervised:true) in
+  let ratio = supervised /. plain in
+  row "  shards=2 plain      %10.0f ev/s (best of 3)\n" plain;
+  row "  shards=2 supervised %10.0f ev/s (best of 3, %.2fx)\n" supervised
+    ratio;
+  (* restart latency: kill -> heartbeat detects the dead worker -> teardown
+     -> fresh init -> ready.  Median of 5 kills. *)
+  let restart_ms =
+    let pool =
+      Sentinel.Shard_pool.create ~shards:2
+        ~supervision:
+          {
+            Sentinel.Shard_pool.default_supervision with
+            heartbeat_interval_ms = 2;
+            (* repeated deliberate kills must not exhaust the budget and
+               degrade the shard mid-measurement *)
+            max_restarts = 100;
+          }
+        ~init ()
+    in
+    let kills = 5 in
+    let samples =
+      Array.init kills (fun k ->
+          let t0 = Obs.Clock.now_ns () in
+          (match Sentinel.Shard_pool.kill pool 0 with
+          | Ok () -> ()
+          | Error e ->
+            failwith (Sentinel.Shard_pool.error_to_string e));
+          let rec wait () =
+            let st = Sentinel.Shard_pool.stats pool in
+            if
+              st.Sentinel.Shard_pool.shard_restarts.(0) >= k + 1
+              && Sentinel.Shard_pool.shard_state pool 0 = `Ready
+            then ()
+            else begin
+              Unix.sleepf 0.0005;
+              wait ()
+            end
+          in
+          wait ();
+          (Obs.Clock.now_ns () -. t0) /. 1e6)
+    in
+    Sentinel.Shard_pool.drain pool;
+    Sentinel.Shard_pool.stop pool;
+    Array.sort compare samples;
+    samples.(kills / 2)
+  in
+  row "  restart latency (kill -> ready, median of 5): %.1f ms\n" restart_ms;
+  (* flood accounting: hold the worker, overflow a bounded inbox, and check
+     the books — posted = accepted + shed, and every accepted job runs *)
+  let flood_posted = 10_000 in
+  let accepted, shed_count, ran =
+    let pool =
+      Sentinel.Shard_pool.create ~shards:2 ~inbox_capacity:256
+        ~backpressure:Sentinel.Shard_pool.Shed_newest ~init ()
+    in
+    let gate = Atomic.make false in
+    (match
+       Sentinel.Shard_pool.post_on pool 0 (fun _ ->
+           while not (Atomic.get gate) do
+             Domain.cpu_relax ()
+           done)
+     with
+    | Ok () -> ()
+    | Error e -> failwith (Sentinel.Shard_pool.error_to_string e));
+    let ran = Atomic.make 0 in
+    let accepted = ref 0 and shed = ref 0 in
+    for _ = 1 to flood_posted do
+      match Sentinel.Shard_pool.post_on pool 0 (fun _ -> Atomic.incr ran) with
+      | Ok () -> incr accepted
+      | Error _ -> incr shed
+    done;
+    Atomic.set gate true;
+    Sentinel.Shard_pool.drain pool;
+    let st = Sentinel.Shard_pool.stats pool in
+    Sentinel.Shard_pool.stop pool;
+    ignore st;
+    (!accepted, !shed, Atomic.get ran)
+  in
+  row "  flood: %d posted = %d accepted + %d shed; %d accepted jobs ran\n"
+    flood_posted accepted shed_count ran;
+  let oc = open_out "BENCH_chaos.json" in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"E-chaos\",\n  \"cores\": %d,\n  \"send_iters\": \
+     %d,\n  \"plain_events_per_sec\": %.0f,\n  \
+     \"supervised_events_per_sec\": %.0f,\n  \
+     \"supervision_overhead_ratio\": %.3f,\n  \"restart_ms\": %.1f,\n  \
+     \"flood\": {\"posted\": %d, \"accepted\": %d, \"shed\": %d, \"ran\": \
+     %d}\n}\n"
+    cores iters plain supervised ratio restart_ms flood_posted accepted
+    shed_count ran;
+  close_out oc;
+  row "  wrote BENCH_chaos.json\n";
+  if smoke then begin
+    if accepted + shed_count <> flood_posted || ran <> accepted then begin
+      row "  FAIL: flood accounting leaked jobs (%d posted, %d accepted, \
+           %d shed, %d ran)\n"
+        flood_posted accepted shed_count ran;
+      exit 1
+    end
+    else row "  bench-smoke gate: flood accounting exact (ok)\n";
+    if restart_ms > 1_000. then begin
+      row "  FAIL: restart latency %.1f ms exceeds 1000 ms\n" restart_ms;
+      exit 1
+    end
+    else row "  bench-smoke gate: restart under a second (ok)\n";
+    if cores >= 2 then begin
+      if ratio < 0.90 then begin
+        row "  FAIL: supervised throughput %.2fx of plain (floor 0.90)\n"
+          ratio;
+        exit 1
+      end
+      else
+        row "  bench-smoke gate: supervision overhead within 10%% (ok)\n"
+    end
+    else
+      row "  bench-smoke gate: supervision overhead not gated on %d core\n"
+        cores
+  end
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
@@ -1722,6 +1931,7 @@ let experiments =
     ("recovery", e_recovery);
     ("containment", e_containment);
     ("obs", e_obs);
+    ("chaos", e_chaos);
   ]
 
 let () =

@@ -391,12 +391,23 @@ let cmd_trace txns out =
 (* Domain-parallel execution: run the payroll send workload through an
    OID-sharded pool and report per-shard activity.  --shards 1 degenerates
    to inline execution on the calling domain, the baseline the bench's
-   scaling gate compares against. *)
-let cmd_shards shards objects ops =
+   scaling gate compares against.  Multi-shard pools run supervised:
+   --kill demonstrates a mid-batch crash being detected and restarted, and
+   --status renders the per-shard supervision table. *)
+let cmd_shards shards objects ops status kill =
   if shards < 1 then failwith "need at least one shard";
   let fired = Array.init shards (fun _ -> Atomic.make 0) in
+  let supervision =
+    if shards > 1 then
+      Some
+        {
+          Sentinel.Shard_pool.default_supervision with
+          heartbeat_interval_ms = 2;
+        }
+    else None
+  in
   let pool =
-    Sentinel.Shard_pool.create ~shards
+    Sentinel.Shard_pool.create ~shards ?supervision
       ~init:(fun _pool i ->
         let db = Db.create () in
         Workloads.Payroll.install db;
@@ -425,13 +436,50 @@ let cmd_shards shards objects ops =
   in
   let n = Array.length oids in
   let t0 = Obs.Clock.now_ns () in
-  for k = 0 to ops - 1 do
-    Sentinel.Shard_pool.post pool oids.(k mod n) "set_salary"
-      [ Value.Float (float_of_int k) ]
+  let post_one k =
+    match
+      Sentinel.Shard_pool.post pool oids.(k mod n) "set_salary"
+        [ Value.Float (float_of_int k) ]
+    with
+    | Ok () -> ()
+    | Error e -> failwith (Sentinel.Shard_pool.error_to_string e)
+  in
+  let half = ops / 2 in
+  for k = 0 to half - 1 do
+    post_one k
+  done;
+  (match kill with
+  | Some victim ->
+    if shards < 2 then failwith "--kill needs --shards > 1";
+    if victim < 0 || victim >= shards then failwith "--kill: no such shard";
+    (match Sentinel.Shard_pool.kill pool victim with
+    | Ok () -> ()
+    | Error e -> failwith (Sentinel.Shard_pool.error_to_string e));
+    let deadline = Unix.gettimeofday () +. 5. in
+    let rec wait () =
+      let st = Sentinel.Shard_pool.stats pool in
+      if
+        st.Sentinel.Shard_pool.shard_restarts.(victim) >= 1
+        && Sentinel.Shard_pool.shard_state pool victim = `Ready
+      then ()
+      else if Unix.gettimeofday () > deadline then
+        failwith "killed shard was not restarted in time"
+      else begin
+        Unix.sleepf 0.002;
+        wait ()
+      end
+    in
+    wait ();
+    Printf.printf "killed shard %d mid-batch; supervisor restarted it\n"
+      victim
+  | None -> ());
+  for k = half to ops - 1 do
+    post_one k
   done;
   Sentinel.Shard_pool.drain pool;
   let dt = (Obs.Clock.now_ns () -. t0) /. 1e9 in
   let st = Sentinel.Shard_pool.stats pool in
+  let parked = Sentinel.Shard_pool.dead_letter_count pool in
   Sentinel.Shard_pool.stop pool;
   Printf.printf
     "%d send(s) over %d object(s) across %d shard(s): %.0f ev/s, %d \
@@ -445,7 +493,29 @@ let cmd_shards shards objects ops =
         st.Sentinel.Shard_pool.shard_processed.(i)
         st.Sentinel.Shard_pool.shard_failed.(i)
         (Atomic.get c))
-    fired
+    fired;
+  if status then begin
+    Printf.printf "supervision status%s:\n"
+      (if shards = 1 then " (inline pool: no supervisor)" else "");
+    Printf.printf "  %-5s  %-10s  %9s  %6s  %8s  %5s\n" "shard" "state"
+      "processed" "failed" "restarts" "inbox";
+    Array.iteri
+      (fun i state ->
+        Printf.printf "  %-5d  %-10s  %9d  %6d  %8d  %5d\n" i
+          (Sentinel.Shard_pool.state_to_string state)
+          st.Sentinel.Shard_pool.shard_processed.(i)
+          st.Sentinel.Shard_pool.shard_failed.(i)
+          st.Sentinel.Shard_pool.shard_restarts.(i)
+          st.Sentinel.Shard_pool.inbox_depth.(i))
+      st.Sentinel.Shard_pool.shard_state;
+    Printf.printf
+      "  pool: enqueued=%d completed=%d discarded=%d shed=%d \
+       dead-lettered=%d (parked %d) timeouts=%d\n"
+      st.Sentinel.Shard_pool.enqueued st.Sentinel.Shard_pool.completed
+      st.Sentinel.Shard_pool.discarded st.Sentinel.Shard_pool.shed
+      st.Sentinel.Shard_pool.dead_lettered parked
+      st.Sentinel.Shard_pool.timeouts
+  end
 
 (* Durability management: recover a store through the full pipeline (base
    snapshot + delta chain + WAL tail), optionally checkpoint or compact it,
@@ -656,12 +726,33 @@ let shards_cmd =
             "Number of OID-sharded engine domains ($(b,1) runs inline on \
              the calling domain).")
   in
+  let status_arg =
+    Arg.(
+      value & flag
+      & info [ "status" ]
+          ~doc:
+            "Print the supervision status table: per-shard state \
+             (ready/restarting/degraded), restarts, inbox depth, and the \
+             pool's shed / dead-letter / timeout counters.")
+  in
+  let kill_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "kill" ] ~docv:"K"
+          ~doc:
+            "Chaos demo: kill shard K mid-batch and wait for the \
+             supervisor to restart it before finishing the workload.")
+  in
   Cmd.v
     (Cmd.info "shards"
        ~doc:
-         "Run the payroll send workload through a domain-parallel \
-          OID-sharded pool and report throughput and per-shard activity.")
-    Term.(const cmd_shards $ shards_arg $ objects_arg $ ops_arg)
+         "Run the payroll send workload through a supervised \
+          domain-parallel OID-sharded pool and report throughput, \
+          per-shard activity and supervision status.")
+    Term.(
+      const cmd_shards $ shards_arg $ objects_arg $ ops_arg $ status_arg
+      $ kill_arg)
 
 let wal_cmd =
   let action_arg =

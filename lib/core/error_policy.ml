@@ -20,3 +20,24 @@ let of_string s =
     | _ -> raise (Oodb.Errors.Parse_error ("unknown error policy: " ^ s)))
 
 let pp ppf p = Format.pp_print_string ppf (to_string p)
+
+(* --- capped, jittered retry backoff ---------------------------------------- *)
+
+(* Equal-jitter schedule: the [attempt]-th gap is drawn uniformly from
+   [m/2, m] where [m = min cap (base * 2^(attempt-1))].  The deterministic
+   half keeps every gap meaningful (full jitter can draw ~0 and retry in a
+   tight loop); the random half de-synchronises a population of failures
+   that all started retrying at the same instant, so they do not hammer the
+   recovering resource in lockstep. *)
+let retry_delay ?(base = 0.002) ?(cap = 0.032) ~rand attempt =
+  let base = if base <= 0. then 0.000001 else base in
+  let cap = max base cap in
+  let exp = min (max 0 (attempt - 1)) 30 in
+  let m = min cap (base *. float_of_int (1 lsl exp)) in
+  let r = rand () in
+  let r = if r < 0. then 0. else if r > 1. then 1. else r in
+  (m /. 2.) +. ((m /. 2.) *. r)
+
+let jittered_backoff ?base ?cap () attempt =
+  let d = retry_delay ?base ?cap ~rand:(fun () -> Random.float 1.) attempt in
+  try Unix.sleepf d with Unix.Unix_error _ -> ()

@@ -33,3 +33,24 @@ val of_string : string -> t
     quarantine threshold. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Retry backoff}
+
+    The shared backoff schedule behind every retry loop in the engine: the
+    detached-firing retries in {!System}, the bounded-inbox block/retry path
+    and the supervisor restart pacing in {!Shard_pool}. *)
+
+val retry_delay :
+  ?base:float -> ?cap:float -> rand:(unit -> float) -> int -> float
+(** [retry_delay ~rand attempt] is the gap (seconds) before retry
+    [attempt] (1-based): drawn uniformly from [[m/2, m]] where
+    [m = min cap (base * 2^(attempt-1))] — capped exponential growth with
+    {e equal jitter}, so a population of simultaneous failures spreads out
+    instead of retrying in lockstep.  [rand] supplies the uniform sample in
+    [[0, 1)] (injected so the bounds are unit-testable); out-of-range
+    samples are clamped.  Defaults: [base = 0.002] (the old deterministic
+    first gap), [cap = 0.032] (the old 32ms ceiling). *)
+
+val jittered_backoff : ?base:float -> ?cap:float -> unit -> int -> unit
+(** [jittered_backoff () attempt] sleeps for [retry_delay] seconds using the
+    domain-local PRNG — the default [retry_backoff] of {!System.create}. *)

@@ -9,7 +9,110 @@ open Import
 
    Routing invariant: shard [i] of [n] allocates OIDs congruent to
    [i mod n] (Db.configure_shard), so [Oid.to_int oid mod n] names the
-   owner and a send can always be routed without a directory. *)
+   owner and a send can always be routed without a directory.
+
+   Failure discipline (see DESIGN.md "failure model"): inboxes are bounded
+   and overflow is governed by a per-pool backpressure policy; a supervisor
+   domain watches per-shard liveness (an [alive] flag written by the worker)
+   and progress (a [busy_since] heartbeat timestamp refreshed at every job
+   boundary), tears down a dead or wedged shard, and restarts a fresh engine
+   on the same OID stride — the user-supplied [init] re-runs, which is where
+   per-shard [Wal.recover] lives, so acknowledged commits survive the
+   restart.  The message being executed when a shard died is dead-lettered
+   (re-running it would kill the successor too); claimed-but-unstarted
+   messages are replayed.  Restarts are budgeted: too many inside a window
+   and the shard is degraded — sends to it fail fast with a typed error
+   until an operator calls [reinstate]. *)
+
+(* --- observability -------------------------------------------------------- *)
+
+let st_restart =
+  Obs.Metrics.register ~id:(Oodb.Symbol.intern "shard.restart") "shard.restart"
+
+let st_degraded =
+  Obs.Metrics.register
+    ~id:(Oodb.Symbol.intern "shard.degraded")
+    "shard.degraded"
+
+let st_wedge =
+  Obs.Metrics.register ~id:(Oodb.Symbol.intern "shard.wedge") "shard.wedge"
+
+let st_shed =
+  Obs.Metrics.register ~id:(Oodb.Symbol.intern "shard.shed") "shard.shed"
+
+let st_dead_letter =
+  Obs.Metrics.register
+    ~id:(Oodb.Symbol.intern "shard.dead_letter")
+    "shard.dead_letter"
+
+let st_timeout =
+  Obs.Metrics.register ~id:(Oodb.Symbol.intern "shard.timeout") "shard.timeout"
+
+(* duration histogram of one supervisor sweep over every shard *)
+let st_supervise =
+  Obs.Metrics.register
+    ~id:(Oodb.Symbol.intern "shard.supervise")
+    "shard.supervise"
+
+(* value histogram: inbox depth observed at each supervisor sweep *)
+let st_inbox_depth =
+  Obs.Metrics.register
+    ~id:(Oodb.Symbol.intern "shard.inbox_depth")
+    "shard.inbox_depth"
+
+(* --- typed errors ---------------------------------------------------------- *)
+
+type error =
+  | Stopped
+  | Degraded of int
+  | Overloaded of int
+  | Dead_lettered of int
+  | Timed_out of int
+
+exception Shard_error of error
+
+(* Raised by the payload [kill] posts: simulated domain death.  Deliberately
+   NOT contained at the job boundary — it unwinds the worker loop exactly
+   like a crash would, leaving the in-flight message claimed for the
+   supervisor to dead-letter. *)
+exception Shard_kill
+
+let error_to_string = function
+  | Stopped -> "pool stopped"
+  | Degraded i -> Printf.sprintf "shard %d degraded" i
+  | Overloaded i -> Printf.sprintf "shard %d overloaded" i
+  | Dead_lettered i -> Printf.sprintf "dead-lettered for shard %d" i
+  | Timed_out i -> Printf.sprintf "timed out waiting on shard %d" i
+
+let () =
+  Printexc.register_printer (function
+    | Shard_error e -> Some ("Shard_pool.Shard_error: " ^ error_to_string e)
+    | Shard_kill -> Some "Shard_pool.Shard_kill"
+    | _ -> None)
+
+type backpressure = Block of { max_wait_ms : int } | Shed_newest | Dead_letter
+
+type supervision = {
+  heartbeat_interval_ms : int;
+  wedge_timeout_ms : int;
+  max_restarts : int;
+  restart_window_ms : int;
+}
+
+let default_supervision =
+  {
+    heartbeat_interval_ms = 10;
+    wedge_timeout_ms = 500;
+    max_restarts = 3;
+    restart_window_ms = 10_000;
+  }
+
+type shard_state = [ `Ready | `Restarting | `Degraded ]
+
+let state_to_string = function
+  | `Ready -> "ready"
+  | `Restarting -> "restarting"
+  | `Degraded -> "degraded"
 
 (* --- one-shot synchronisation cell --------------------------------------- *)
 
@@ -18,10 +121,15 @@ module Ivar = struct
 
   let create () = { m = Mutex.create (); c = Condition.create (); v = None }
 
+  (* first fill wins: a job that completes after its abort callback already
+     reported a typed error must not overwrite what the caller saw *)
   let fill t x =
     Mutex.lock t.m;
-    t.v <- Some x;
-    Condition.broadcast t.c;
+    (match t.v with
+    | None ->
+      t.v <- Some x;
+      Condition.broadcast t.c
+    | Some _ -> ());
     Mutex.unlock t.m
 
   let read t =
@@ -32,19 +140,52 @@ module Ivar = struct
     let x = match t.v with Some x -> x | None -> assert false in
     Mutex.unlock t.m;
     x
+
+  (* [Condition] has no timed wait, so the deadline variant polls: peek
+     under the mutex, then sleep a capped-jittered gap (50µs doubling to
+     1ms).  Used only on the explicit-timeout path, where the granularity
+     is noise against the timeout itself. *)
+  let read_until t ~deadline_ns =
+    let rec go attempt =
+      Mutex.lock t.m;
+      let v = t.v in
+      Mutex.unlock t.m;
+      match v with
+      | Some x -> Some x
+      | None ->
+        if Obs.Clock.now_ns () >= deadline_ns then None
+        else begin
+          (try
+             Unix.sleepf
+               (Error_policy.retry_delay ~base:0.00005 ~cap:0.001
+                  ~rand:(fun () -> Random.float 1.)
+                  attempt)
+           with Unix.Unix_error _ -> ());
+          go (attempt + 1)
+        end
+    in
+    go 1
 end
 
-(* --- MPSC mailbox --------------------------------------------------------- *)
+(* --- bounded MPSC mailbox -------------------------------------------------- *)
 
 (* Treiber stack with batch consume: producers push with one CAS (lock-free,
    any domain), the consumer exchanges the whole stack and reverses it, which
    restores per-producer FIFO order.  Parking uses the Dekker store-load
    pattern — the consumer publishes [sleeping] before its final emptiness
    check, producers re-read it after their push, and seqcst atomics make it
-   impossible for both to miss each other. *)
+   impossible for both to miss each other.
+
+   Bounding: [size] is reserved with a fetch-and-add before the push CAS, so
+   the capacity is a hard bound on queued messages.  [push] (unbounded)
+   exists for control messages and supervisor replays, which must never be
+   shed.  [take ~cancelled] lets a superseded consumer — a worker whose
+   generation the supervisor bumped while it was parked — wake and leave
+   without stealing from its successor. *)
 module Mpsc = struct
   type 'a t = {
     head : 'a list Atomic.t; (* newest first *)
+    size : int Atomic.t;
     lock : Mutex.t;
     cond : Condition.t;
     sleeping : bool Atomic.t;
@@ -53,67 +194,157 @@ module Mpsc = struct
   let create () =
     {
       head = Atomic.make [];
+      size = Atomic.make 0;
       lock = Mutex.create ();
       cond = Condition.create ();
       sleeping = Atomic.make false;
     }
 
-  let rec push t x =
+  let rec push_raw t x =
     let old = Atomic.get t.head in
-    if not (Atomic.compare_and_set t.head old (x :: old)) then push t x
-    else if Atomic.get t.sleeping then begin
+    if not (Atomic.compare_and_set t.head old (x :: old)) then push_raw t x
+
+  let signal t =
+    if Atomic.get t.sleeping then begin
       Mutex.lock t.lock;
-      Condition.signal t.cond;
+      Condition.broadcast t.cond;
       Mutex.unlock t.lock
     end
 
-  (* consumer only; blocks until at least one message is available *)
-  let rec take_batch t =
+  let push t x =
+    ignore (Atomic.fetch_and_add t.size 1);
+    push_raw t x;
+    signal t
+
+  let try_push t ~capacity x =
+    if Atomic.fetch_and_add t.size 1 >= capacity then begin
+      ignore (Atomic.fetch_and_add t.size (-1));
+      false
+    end
+    else begin
+      push_raw t x;
+      signal t;
+      true
+    end
+
+  let depth t = max 0 (Atomic.get t.size)
+
+  (* consumer or supervisor: everything queued right now, without blocking *)
+  let take_now t =
+    match Atomic.exchange t.head [] with
+    | [] -> []
+    | xs ->
+      ignore (Atomic.fetch_and_add t.size (-List.length xs));
+      List.rev xs
+
+  (* consumer only; blocks until a message is available or [cancelled ()]
+     observes true at a wake-up (then returns []) *)
+  let rec take t ~cancelled =
     match Atomic.exchange t.head [] with
     | [] ->
-      Mutex.lock t.lock;
-      Atomic.set t.sleeping true;
-      (match Atomic.get t.head with
-      | [] -> Condition.wait t.cond t.lock
-      | _ -> ());
-      Atomic.set t.sleeping false;
-      Mutex.unlock t.lock;
-      take_batch t
-    | xs -> List.rev xs
+      if cancelled () then []
+      else begin
+        Mutex.lock t.lock;
+        Atomic.set t.sleeping true;
+        (match Atomic.get t.head with
+        | [] -> if not (cancelled ()) then Condition.wait t.cond t.lock
+        | _ -> ());
+        Atomic.set t.sleeping false;
+        Mutex.unlock t.lock;
+        take t ~cancelled
+      end
+    | xs ->
+      ignore (Atomic.fetch_and_add t.size (-List.length xs));
+      List.rev xs
+
+  (* unconditional wake for cancellation — bypasses the sleeping-flag
+     fast-path check because the target may be mid-park *)
+  let wake t =
+    Mutex.lock t.lock;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.lock
 end
 
 (* --- pool ----------------------------------------------------------------- *)
 
-type msg = Stop | Job of { run : System.t -> unit; trace : int }
+type job = {
+  run : System.t -> unit;
+  trace : int;
+  abort : (error -> unit) option; (* invoked when the job is discarded *)
+}
+
+type msg = Stop | Job of job
+
+(* encoded shard_state for lock-free cross-domain reads *)
+let s_ready = 0
+
+and s_restarting = 1
+
+and s_degraded = 2
 
 type shard = {
   idx : int;
-  inbox : msg Mpsc.t;
+  inbox : msg Mpsc.t; (* owned by the shard slot; survives restarts *)
   mutable system : System.t option; (* written by the shard before ready *)
-  mutable domain : unit Domain.t option;
+  mutable domain : (unit Domain.t * bool Atomic.t) option;
+      (* (domain, finished); supervisor/create/stop only *)
   processed : int Atomic.t;
   failed : int Atomic.t;
+  state : int Atomic.t;
+  alive : bool Atomic.t; (* current-generation worker loop is running *)
+  init_failed : bool Atomic.t; (* a restart's [init] raised *)
+  generation : int Atomic.t; (* bumped by every teardown *)
+  hand : Mutex.t; (* guards the worker<->supervisor job handoff *)
+  mutable pending : msg list; (* claimed batch not yet started; under [hand] *)
+  mutable current : msg option; (* message being executed; under [hand] *)
+  heartbeat : int Atomic.t; (* batches + jobs, monotone *)
+  busy_since : float Atomic.t; (* Clock ns; 0. when idle *)
+  restarts : int Atomic.t;
+  mutable restart_times : float list; (* supervisor domain only *)
+  reinstate_requested : bool Atomic.t;
 }
 
 type t = {
   n : int;
   shards : shard array;
-  enqueued : int Atomic.t; (* jobs ever submitted, pool-wide *)
+  capacity : int;
+  policy : backpressure;
+  supervision : supervision option;
+  init : t -> int -> System.t; (* kept so the supervisor can restart *)
+  enqueued : int Atomic.t; (* jobs accepted, pool-wide *)
   completed : int Atomic.t; (* jobs fully executed (posts they made count
                                into [enqueued] before this increments) *)
+  discarded : int Atomic.t; (* accepted jobs that will never execute:
+                               aborted at teardown, degrade or stop *)
   forwarded : int Atomic.t; (* jobs that hopped shards *)
+  shed : int Atomic.t; (* submissions rejected by backpressure *)
+  timeouts : int Atomic.t; (* run_on deadline expiries *)
   failures : (int * exn) Obs.Ring.t; (* guarded by failures_lock *)
   failures_lock : Mutex.t;
+  dead_letters : (int * job) Obs.Ring.t; (* guarded by dead_letters_lock *)
+  dead_letters_lock : Mutex.t;
   on_failure : (shard:int -> exn -> unit) option;
-  mutable stopped : bool;
+  stopped : bool Atomic.t;
+  mutable supervisor : unit Domain.t option;
+  supervisor_stop : bool Atomic.t;
+  mutable zombies : (unit Domain.t * bool Atomic.t) list;
+      (* abandoned wedged domains; guarded by zombies_lock *)
+  zombies_lock : Mutex.t;
 }
 
 type stats = {
   shard_processed : int array;
   shard_failed : int array;
+  shard_state : shard_state array;
+  shard_restarts : int array;
+  inbox_depth : int array;
   forwarded : int;
   enqueued : int;
   completed : int;
+  discarded : int;
+  shed : int;
+  dead_lettered : int;
+  timeouts : int;
 }
 
 (* Which shard (of which pool) the current domain is executing for: lets a
@@ -127,6 +358,15 @@ let current_ctx : ctx option Domain.DLS.key =
 let shard_count t = t.n
 let shard_of t oid = Oid.to_int oid mod t.n
 
+let get_state sh : shard_state =
+  let s = Atomic.get sh.state in
+  if s = s_ready then `Ready else if s = s_restarting then `Restarting
+  else `Degraded
+
+let shard_state t idx =
+  if idx < 0 || idx >= t.n then invalid_arg "Shard_pool: bad shard index";
+  get_state t.shards.(idx)
+
 let system_exn sh =
   match sh.system with
   | Some sys -> sys
@@ -138,105 +378,547 @@ let note_failure t sh e =
       Obs.Ring.push t.failures (sh.idx, e));
   match t.on_failure with Some f -> f ~shard:sh.idx e | None -> ()
 
+let record_dead_letter t idx j =
+  Mutex.protect t.dead_letters_lock (fun () ->
+      Obs.Ring.push t.dead_letters (idx, j));
+  Obs.Metrics.hit st_dead_letter;
+  if !Obs.Trace.on then Obs.Trace.instant "shard.dead_letter" (string_of_int idx)
+
+let abort_job j err =
+  match j.abort with
+  | Some f -> ( try f err with _ -> ())
+  | None -> ()
+
+(* An accepted message that will never run: dead-letter it (so an operator
+   can replay after the cause clears) and surface the typed error to any
+   synchronous waiter. *)
+let reject (t : t) idx err = function
+  | Stop -> ()
+  | Job j ->
+    ignore (Atomic.fetch_and_add t.discarded 1);
+    record_dead_letter t idx j;
+    abort_job j err
+
+(* Stop is final — no replay possible — so shutdown leftovers are discarded
+   without parking them in the dead-letter ring. *)
+let discard_at_stop (t : t) = function
+  | Stop -> ()
+  | Job j ->
+    ignore (Atomic.fetch_and_add t.discarded 1);
+    abort_job j Stopped
+
 (* Shard-level containment backstop: a rule failure that escapes the
    rule-layer policies (Propagate, or an error outside any firing) is caught
    at the job boundary, logged, and the shard moves to the next message —
    it never unwinds the worker loop, so one shard's poison job cannot take
-   down a sibling or the pool. *)
+   down a sibling or the pool.  [Shard_kill] is the one exception that does
+   unwind: it simulates the domain dying mid-job. *)
 let run_job t sh sys ~trace run =
   (try
      if trace = 0 then run sys
      else Obs.Trace.with_trace trace (fun () -> run sys)
-   with e -> note_failure t sh e);
+   with
+  | Shard_kill -> raise Shard_kill
+  | e -> note_failure t sh e);
   ignore (Atomic.fetch_and_add sh.processed 1);
   ignore (Atomic.fetch_and_add t.completed 1)
 
-let post_on t idx run =
-  if idx < 0 || idx >= t.n then invalid_arg "Shard_pool: bad shard index";
-  if t.stopped then invalid_arg "Shard_pool: pool is stopped";
-  ignore (Atomic.fetch_and_add t.enqueued 1);
-  let sh = t.shards.(idx) in
-  match Domain.DLS.get current_ctx with
-  | Some c when c.c_pool == t && c.c_idx = idx ->
-    (* already on the owning shard: run inline under the ambient trace *)
-    run_job t sh c.c_sys ~trace:0 run
-  | Some c when c.c_pool == t ->
-    ignore (Atomic.fetch_and_add t.forwarded 1);
-    Mpsc.push sh.inbox (Job { run; trace = Obs.Trace.current () })
-  | _ ->
-    if t.n = 1 then
-      (* a 1-shard pool degenerates to direct execution on the caller: no
-         domain, no queue, no synchronisation — the single-threaded path *)
-      run_job t sh (system_exn sh) ~trace:0 run
-    else Mpsc.push sh.inbox (Job { run; trace = Obs.Trace.current () })
+(* --- submission and backpressure ------------------------------------------ *)
 
-let run_on t idx f =
+let accept t sh j =
+  if Mpsc.try_push sh.inbox ~capacity:t.capacity (Job j) then begin
+    ignore (Atomic.fetch_and_add t.enqueued 1);
+    Ok ()
+  end
+  else
+    match t.policy with
+    | Shed_newest ->
+      ignore (Atomic.fetch_and_add t.shed 1);
+      Obs.Metrics.hit st_shed;
+      Error (Overloaded sh.idx)
+    | Dead_letter ->
+      (* parked, not lost: [replay_dead_letters] resubmits it *)
+      ignore (Atomic.fetch_and_add t.shed 1);
+      record_dead_letter t sh.idx j;
+      Error (Dead_lettered sh.idx)
+    | Block { max_wait_ms } ->
+      let deadline =
+        Obs.Clock.now_ns () +. (float_of_int max_wait_ms *. 1e6)
+      in
+      let rec wait attempt =
+        (* a shard blocked on a full sibling is exerting backpressure, not
+           wedged: refresh its own heartbeat so the supervisor stays calm *)
+        (match Domain.DLS.get current_ctx with
+        | Some c when c.c_pool == t ->
+          Atomic.set t.shards.(c.c_idx).busy_since (Obs.Clock.now_ns ())
+        | _ -> ());
+        if Atomic.get t.stopped then Error Stopped
+        else if get_state sh = `Degraded then Error (Degraded sh.idx)
+        else if Mpsc.try_push sh.inbox ~capacity:t.capacity (Job j) then begin
+          ignore (Atomic.fetch_and_add t.enqueued 1);
+          Ok ()
+        end
+        else if Obs.Clock.now_ns () >= deadline then begin
+          ignore (Atomic.fetch_and_add t.shed 1);
+          Obs.Metrics.hit st_shed;
+          Error (Overloaded sh.idx)
+        end
+        else begin
+          (try
+             Unix.sleepf
+               (Error_policy.retry_delay ~base:0.0001 ~cap:0.002
+                  ~rand:(fun () -> Random.float 1.)
+                  attempt)
+           with Unix.Unix_error _ -> ());
+          wait (attempt + 1)
+        end
+      in
+      wait 1
+
+let submit t idx ~run ~abort =
+  if idx < 0 || idx >= t.n then invalid_arg "Shard_pool: bad shard index";
+  if Atomic.get t.stopped then Error Stopped
+  else if t.n = 1 then begin
+    (* a 1-shard pool degenerates to direct execution on the caller: no
+       domain, no queue, no DLS lookup, and none of the queue accounting a
+       drain would reconcile — jobs run synchronously, so the pool is
+       always quiescent.  This keeps the inline path at the seed's cost:
+       one containment frame and one counter bump over a raw call. *)
+    let sh = t.shards.(0) in
+    (try run (system_exn sh) with e -> note_failure t sh e);
+    ignore (Atomic.fetch_and_add sh.processed 1);
+    Ok ()
+  end
+  else begin
+    let sh = t.shards.(idx) in
+    match Domain.DLS.get current_ctx with
+    | Some c when c.c_pool == t && c.c_idx = idx ->
+      (* already on the owning shard: run inline under the ambient trace *)
+      ignore (Atomic.fetch_and_add t.enqueued 1);
+      run_job t sh c.c_sys ~trace:0 run;
+      Ok ()
+    | Some c when c.c_pool == t ->
+      if get_state sh = `Degraded then Error (Degraded idx)
+      else begin
+        ignore (Atomic.fetch_and_add t.forwarded 1);
+        accept t sh { run; trace = Obs.Trace.current (); abort }
+      end
+    | _ ->
+      if get_state sh = `Degraded then Error (Degraded idx)
+      else accept t sh { run; trace = Obs.Trace.current (); abort }
+  end
+
+let post_on t idx run = submit t idx ~run ~abort:None
+
+let run_on ?timeout_ms t idx f =
   let iv = Ivar.create () in
-  post_on t idx (fun sys ->
-      Ivar.fill iv (try Ok (f sys) with e -> Error e));
-  Ivar.read iv
+  let run sys = Ivar.fill iv (try Ok (f sys) with e -> Error e) in
+  let abort = Some (fun err -> Ivar.fill iv (Error (Shard_error err))) in
+  match submit t idx ~run ~abort with
+  | Error err -> Error (Shard_error err)
+  | Ok () -> (
+    match timeout_ms with
+    | None -> Ivar.read iv
+    | Some ms -> (
+      let deadline_ns = Obs.Clock.now_ns () +. (float_of_int ms *. 1e6) in
+      match Ivar.read_until iv ~deadline_ns with
+      | Some r -> r
+      | None ->
+        (* the job may still execute later — a timeout only abandons the
+           wait, it cannot retract a message already accepted *)
+        ignore (Atomic.fetch_and_add t.timeouts 1);
+        Obs.Metrics.hit st_timeout;
+        Error (Shard_error (Timed_out idx))))
 
 let post t oid meth args =
   post_on t (shard_of t oid) (fun sys ->
       ignore (Db.send (System.db sys) oid meth args))
 
-let call t oid meth args =
-  run_on t (shard_of t oid) (fun sys -> Db.send (System.db sys) oid meth args)
+let call ?timeout_ms t oid meth args =
+  run_on ?timeout_ms t (shard_of t oid) (fun sys ->
+      Db.send (System.db sys) oid meth args)
 
-(* Quiescence barrier: a round posts a no-op through every inbox (per-producer
-   FIFO means it drains everything enqueued before it), then checks that no
-   job is still in flight — jobs spawned *by* jobs (cross-shard cascades)
-   bump [enqueued] before their parent completes, so completed = enqueued
-   really means quiet, and another round runs otherwise. *)
-let drain t =
+let kill t idx =
+  if idx < 0 || idx >= t.n then invalid_arg "Shard_pool: bad shard index";
+  if t.n = 1 then
+    invalid_arg "Shard_pool.kill: a 1-shard pool runs inline on the caller";
+  post_on t idx (fun _ -> raise Shard_kill)
+
+(* --- quiescence ------------------------------------------------------------ *)
+
+(* Quiescence barrier: a round posts a no-op through every live shard's inbox
+   (per-producer FIFO means it drains everything enqueued before it), then
+   checks that no accepted job is still in flight — jobs spawned *by* jobs
+   (cross-shard cascades) bump [enqueued] before their parent completes, and
+   jobs the supervisor discarded count into [discarded], so
+   completed + discarded >= enqueued really means quiet.  Degraded shards are
+   skipped (their backlog was discarded when they degraded); a barrier
+   rejected by backpressure just retries next round. *)
+let drain (t : t) =
+  let quiet () =
+    Atomic.get t.completed + Atomic.get t.discarded >= Atomic.get t.enqueued
+  in
+  (* the barrier bypasses the bounded-inbox capacity: it is pool-internal
+     bookkeeping and must neither shed user work nor count against the
+     backpressure policy's counters *)
+  let barrier i =
+    let sh = t.shards.(i) in
+    let iv = Ivar.create () in
+    let j =
+      {
+        run = (fun _ -> Ivar.fill iv (Ok ()));
+        trace = 0;
+        abort = Some (fun err -> Ivar.fill iv (Error (Shard_error err)));
+      }
+    in
+    Mpsc.push sh.inbox (Job j);
+    ignore (Atomic.fetch_and_add t.enqueued 1);
+    ignore (Ivar.read iv)
+  in
+  (* a shard draining the pool must not post a barrier to itself: its own
+     worker is busy running this very job *)
+  let self =
+    match Domain.DLS.get current_ctx with
+    | Some c when c.c_pool == t -> c.c_idx
+    | _ -> -1
+  in
   let rec go () =
-    for i = 0 to t.n - 1 do
-      match run_on t i (fun _ -> ()) with Ok () | Error _ -> ()
-    done;
-    let c = Atomic.get t.completed in
-    if c < Atomic.get t.enqueued then go ()
+    if t.n > 1 then
+      for i = 0 to t.n - 1 do
+        if i <> self && get_state t.shards.(i) <> `Degraded then barrier i
+      done;
+    if not (quiet ()) then begin
+      (try Unix.sleepf 0.0002 with Unix.Unix_error _ -> ());
+      go ()
+    end
   in
   go ()
+
+(* --- introspection --------------------------------------------------------- *)
 
 let stats t =
   {
     shard_processed = Array.map (fun sh -> Atomic.get sh.processed) t.shards;
     shard_failed = Array.map (fun sh -> Atomic.get sh.failed) t.shards;
+    shard_state = Array.map get_state t.shards;
+    shard_restarts = Array.map (fun sh -> Atomic.get sh.restarts) t.shards;
+    inbox_depth = Array.map (fun sh -> Mpsc.depth sh.inbox) t.shards;
     forwarded = Atomic.get t.forwarded;
     enqueued = Atomic.get t.enqueued;
     completed = Atomic.get t.completed;
+    discarded = Atomic.get t.discarded;
+    shed = Atomic.get t.shed;
+    dead_lettered =
+      Mutex.protect t.dead_letters_lock (fun () ->
+          Obs.Ring.total t.dead_letters);
+    timeouts = Atomic.get t.timeouts;
   }
 
 let recent_failures t =
   Mutex.protect t.failures_lock (fun () -> Obs.Ring.to_list_rev t.failures)
 
-let worker t sh init ready =
-  match init t sh.idx with
-  | exception e -> Ivar.fill ready (Error e)
+let dead_letter_count t =
+  Mutex.protect t.dead_letters_lock (fun () -> Obs.Ring.length t.dead_letters)
+
+let purge_dead_letters t =
+  Mutex.protect t.dead_letters_lock (fun () ->
+      let n = Obs.Ring.length t.dead_letters in
+      Obs.Ring.clear t.dead_letters;
+      n)
+
+let replay_dead_letters t =
+  if Atomic.get t.stopped then 0
+  else begin
+    let entries =
+      Mutex.protect t.dead_letters_lock (fun () ->
+          let l = Obs.Ring.to_list t.dead_letters in
+          Obs.Ring.clear t.dead_letters;
+          l)
+    in
+    let replayed = ref 0 in
+    List.iter
+      (fun (idx, j) ->
+        let sh = t.shards.(idx) in
+        let back () =
+          Mutex.protect t.dead_letters_lock (fun () ->
+              Obs.Ring.push t.dead_letters (idx, j))
+        in
+        (* bypass the backpressure policy: a replayed job was already
+           counted (shed or discarded) when it was parked, and the
+           Dead_letter policy would park a rejected replay a second time —
+           plain bounded push, back to the ring exactly once on overflow *)
+        if get_state sh = `Degraded then back ()
+        else if Mpsc.try_push sh.inbox ~capacity:t.capacity (Job j) then begin
+          ignore (Atomic.fetch_and_add t.enqueued 1);
+          incr replayed
+        end
+        else back ())
+      entries;
+    !replayed
+  end
+
+(* --- worker ---------------------------------------------------------------- *)
+
+(* The worker<->supervisor handoff protocol: the worker moves messages
+   inbox -> [pending] -> [current] -> executed, with the pending/current
+   transitions made under [hand] and gated on the worker's generation.  A
+   teardown bumps the generation and claims pending + current atomically
+   under the same lock, so exactly one side owns every message: a superseded
+   worker that wakes mid-transition sees itself stale and hands anything it
+   holds back to the inbox for its successor. *)
+
+let claim sh ~gen =
+  Mutex.protect sh.hand (fun () ->
+      if Atomic.get sh.generation <> gen then `Stale
+      else
+        match sh.pending with
+        | m :: rest ->
+          sh.pending <- rest;
+          sh.current <- Some m;
+          `Run m
+        | [] -> `Empty)
+
+let finish sh ~gen =
+  Mutex.protect sh.hand (fun () ->
+      if Atomic.get sh.generation = gen then sh.current <- None)
+
+let worker t sh ~gen ready =
+  let stale () = Atomic.get sh.generation <> gen in
+  match t.init t sh.idx with
+  | exception e ->
+    note_failure t sh e;
+    Atomic.set sh.init_failed true;
+    (match ready with Some iv -> Ivar.fill iv (Error e) | None -> ());
+    Mutex.protect sh.hand (fun () ->
+        if not (stale ()) then Atomic.set sh.alive false)
   | sys ->
     Db.configure_shard (System.db sys) ~index:sh.idx ~of_:t.n;
-    sh.system <- Some sys;
-    Domain.DLS.set current_ctx (Some { c_pool = t; c_idx = sh.idx; c_sys = sys });
-    Ivar.fill ready (Ok ());
-    let rec loop () =
-      let batch = Mpsc.take_batch sh.inbox in
-      let stop =
-        List.fold_left
-          (fun stop msg ->
-            match msg with
-            | Stop -> true
-            | Job { run; trace } ->
-              run_job t sh sys ~trace run;
-              stop)
-          false batch
+    Domain.DLS.set current_ctx
+      (Some { c_pool = t; c_idx = sh.idx; c_sys = sys });
+    Mutex.protect sh.hand (fun () ->
+        if not (stale ()) then begin
+          sh.system <- Some sys;
+          Atomic.set sh.alive true;
+          Atomic.set sh.state s_ready
+        end);
+    (match ready with Some iv -> Ivar.fill iv (Ok ()) | None -> ());
+    let outcome = ref `Abandoned in
+    (try
+       let rec loop () =
+         match claim sh ~gen with
+         | `Stale -> outcome := `Abandoned
+         | `Run Stop -> outcome := `Stopped
+         | `Run (Job j) ->
+           Atomic.set sh.busy_since (Obs.Clock.now_ns ());
+           ignore (Atomic.fetch_and_add sh.heartbeat 1);
+           run_job t sh sys ~trace:j.trace j.run;
+           Atomic.set sh.busy_since 0.;
+           finish sh ~gen;
+           loop ()
+         | `Empty ->
+           let batch = Mpsc.take sh.inbox ~cancelled:stale in
+           ignore (Atomic.fetch_and_add sh.heartbeat 1);
+           let keep =
+             Mutex.protect sh.hand (fun () ->
+                 if stale () then false
+                 else begin
+                   sh.pending <- batch;
+                   true
+                 end)
+           in
+           if keep then loop ()
+           else begin
+             (* raced a teardown: hand the batch to the successor *)
+             List.iter (Mpsc.push sh.inbox) batch;
+             outcome := `Abandoned
+           end
+       in
+       loop ()
+     with
+    | Shard_kill ->
+      (* simulated domain death: [current] stays claimed — the supervisor
+         dead-letters it and replays the rest of [pending] *)
+      Atomic.set sh.busy_since 0.;
+      outcome := `Died
+    | e ->
+      (* a worker-loop failure outside any job: record it and die; the
+         supervisor treats it like a crash *)
+      note_failure t sh e;
+      Atomic.set sh.busy_since 0.;
+      outcome := `Died);
+    (match !outcome with
+    | `Stopped ->
+      (* shutdown: discard anything behind the stop marker so synchronous
+         waiters get [Stopped] instead of blocking forever *)
+      let leftovers =
+        Mutex.protect sh.hand (fun () ->
+            if stale () then []
+            else begin
+              let p = sh.pending in
+              sh.pending <- [];
+              sh.current <- None;
+              p
+            end)
       in
-      if not stop then loop ()
-    in
-    loop ()
+      List.iter (discard_at_stop t) leftovers;
+      List.iter (discard_at_stop t) (Mpsc.take_now sh.inbox);
+      Mutex.protect sh.hand (fun () ->
+          if not (stale ()) then Atomic.set sh.alive false)
+    | `Died ->
+      Mutex.protect sh.hand (fun () ->
+          if not (stale ()) then Atomic.set sh.alive false)
+    | `Abandoned -> ())
+
+let spawn_worker t sh ready =
+  let gen = Atomic.get sh.generation in
+  let fin = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        Fun.protect
+          ~finally:(fun () -> Atomic.set fin true)
+          (fun () -> worker t sh ~gen ready))
+  in
+  sh.domain <- Some (d, fin)
+
+(* --- supervisor ------------------------------------------------------------ *)
+
+(* Invalidate the current worker generation and claim whatever it held.
+   After this returns the old worker (if still running) sees itself stale at
+   its next transition and exits without touching the inbox. *)
+let teardown sh =
+  Mutex.protect sh.hand (fun () ->
+      ignore (Atomic.fetch_and_add sh.generation 1);
+      Atomic.set sh.alive false;
+      Atomic.set sh.busy_since 0.;
+      Atomic.set sh.init_failed false;
+      let cur = sh.current and rest = sh.pending in
+      sh.current <- None;
+      sh.pending <- [];
+      (cur, rest))
+
+let reap_domain t sh ~wedged =
+  match sh.domain with
+  | None -> ()
+  | Some (d, fin) ->
+    sh.domain <- None;
+    if Atomic.get fin || not wedged then Domain.join d
+    else
+      (* a wedged domain cannot be joined (OCaml domains are not killable);
+         abandon it — its job, when and if it returns, finds itself stale
+         and exits without side effects on the pool *)
+      Mutex.protect t.zombies_lock (fun () ->
+          t.zombies <- (d, fin) :: t.zombies)
+
+let degrade t sh cur rest =
+  Atomic.set sh.state s_degraded;
+  Obs.Metrics.hit st_degraded;
+  if !Obs.Trace.on then Obs.Trace.instant "shard.degraded" (string_of_int sh.idx);
+  let err = Degraded sh.idx in
+  (match cur with Some m -> reject t sh.idx err m | None -> ());
+  List.iter (reject t sh.idx err) rest;
+  List.iter (reject t sh.idx err) (Mpsc.take_now sh.inbox)
+
+let restart t sup sh ~wedged =
+  let now = Obs.Clock.now_ns () in
+  let window = float_of_int sup.restart_window_ms *. 1e6 in
+  sh.restart_times <-
+    List.filter (fun ts -> now -. ts <= window) sh.restart_times;
+  let cur, rest = teardown sh in
+  Mpsc.wake sh.inbox;
+  reap_domain t sh ~wedged;
+  if List.length sh.restart_times >= sup.max_restarts then degrade t sh cur rest
+  else begin
+    sh.restart_times <- now :: sh.restart_times;
+    ignore (Atomic.fetch_and_add sh.restarts 1);
+    Obs.Metrics.hit st_restart;
+    if !Obs.Trace.on then
+      Obs.Trace.instant "shard.restart" (string_of_int sh.idx);
+    Atomic.set sh.state s_restarting;
+    (* preserve arrival order: claimed-but-unstarted messages go back ahead
+       of what queued behind them while the shard was down *)
+    let queued = Mpsc.take_now sh.inbox in
+    List.iter (Mpsc.push sh.inbox) (rest @ queued);
+    (* the in-flight message crashed or wedged this shard: dead-letter it
+       rather than replay it into the fresh engine *)
+    (match cur with
+    | Some (Job _ as m) -> reject t sh.idx (Dead_lettered sh.idx) m
+    | Some Stop -> Mpsc.push sh.inbox Stop
+    | None -> ());
+    spawn_worker t sh None
+  end
+
+let check_shard t sup sh now =
+  match get_state sh with
+  | `Degraded ->
+    (* keep the mailbox honest: reject anything that raced past the
+       degraded check in [submit] *)
+    (match Mpsc.take_now sh.inbox with
+    | [] -> ()
+    | msgs -> List.iter (reject t sh.idx (Degraded sh.idx)) msgs);
+    if Atomic.get sh.reinstate_requested then begin
+      Atomic.set sh.reinstate_requested false;
+      sh.restart_times <- [];
+      restart t sup sh ~wedged:false
+    end
+  | `Restarting ->
+    (* a restart is in flight: wait for its init unless it already failed *)
+    if Atomic.get sh.init_failed then restart t sup sh ~wedged:false
+  | `Ready ->
+    if not (Atomic.get sh.alive) then restart t sup sh ~wedged:false
+    else begin
+      let busy = Atomic.get sh.busy_since in
+      if
+        busy > 0.
+        && now -. busy > float_of_int sup.wedge_timeout_ms *. 1e6
+      then begin
+        Obs.Metrics.hit st_wedge;
+        if !Obs.Trace.on then
+          Obs.Trace.instant "shard.wedge" (string_of_int sh.idx);
+        restart t sup sh ~wedged:true
+      end
+    end
+
+let supervise t sup =
+  let interval = float_of_int sup.heartbeat_interval_ms /. 1000. in
+  while not (Atomic.get t.supervisor_stop) do
+    (try Unix.sleepf interval with Unix.Unix_error _ -> ());
+    if not (Atomic.get t.supervisor_stop) then begin
+      let tok =
+        if !Obs.Trace.on then Some (Obs.Trace.enter "supervise" "") else None
+      in
+      let t0 = Obs.Clock.now_ns () in
+      Array.iter
+        (fun sh ->
+          check_shard t sup sh t0;
+          if !Obs.Metrics.on then
+            Obs.Metrics.observe_ns st_inbox_depth
+              (float_of_int (Mpsc.depth sh.inbox)))
+        t.shards;
+      if !Obs.Metrics.on then
+        Obs.Metrics.observe_ns st_supervise (Obs.Clock.now_ns () -. t0);
+      match tok with Some tok -> Obs.Trace.exit tok | None -> ()
+    end
+  done
+
+let reinstate t idx =
+  if idx < 0 || idx >= t.n then invalid_arg "Shard_pool: bad shard index";
+  if t.supervision = None then
+    invalid_arg "Shard_pool.reinstate: pool has no supervisor";
+  (* only meaningful on a degraded shard — a request recorded against a
+     healthy one would silently cancel a future degrade *)
+  if get_state t.shards.(idx) = `Degraded then
+    Atomic.set t.shards.(idx).reinstate_requested true
+
+(* --- lifecycle ------------------------------------------------------------- *)
 
 let stop t =
-  if not t.stopped then begin
-    t.stopped <- true;
+  if not (Atomic.exchange t.stopped true) then begin
+    (match t.supervisor with
+    | Some d ->
+      Atomic.set t.supervisor_stop true;
+      Domain.join d;
+      t.supervisor <- None
+    | None -> ());
     Array.iter
       (fun sh ->
         match sh.domain with
@@ -246,15 +928,37 @@ let stop t =
     Array.iter
       (fun sh ->
         match sh.domain with
-        | Some d ->
+        | Some (d, _) ->
           Domain.join d;
           sh.domain <- None
         | None -> ())
-      t.shards
+      t.shards;
+    (* degraded shards have no worker; make their typed errors visible to
+       any waiter that raced the degrade *)
+    Array.iter
+      (fun sh -> List.iter (discard_at_stop t) (Mpsc.take_now sh.inbox))
+      t.shards;
+    (* abandoned wedged domains: join the ones whose poisoned job has since
+       returned; a genuinely infinite job leaks its domain (documented) *)
+    let zs =
+      Mutex.protect t.zombies_lock (fun () ->
+          let z = t.zombies in
+          t.zombies <- [];
+          z)
+    in
+    List.iter (fun (d, fin) -> if Atomic.get fin then Domain.join d) zs
   end
 
-let create ?on_failure ?(failure_log_limit = 128) ~shards:n ~init () =
+let create ?on_failure ?(failure_log_limit = 128) ?(dead_letter_limit = 256)
+    ?(inbox_capacity = 4096) ?(backpressure = Block { max_wait_ms = 1_000 })
+    ?supervision ~shards:n ~init () =
   if n <= 0 then invalid_arg "Shard_pool.create: shards must be >= 1";
+  if inbox_capacity < 1 then
+    invalid_arg "Shard_pool.create: inbox_capacity must be >= 1";
+  (match backpressure with
+  | Block { max_wait_ms } when max_wait_ms < 0 ->
+    invalid_arg "Shard_pool.create: Block max_wait_ms must be >= 0"
+  | _ -> ());
   let t =
     {
       n;
@@ -267,28 +971,50 @@ let create ?on_failure ?(failure_log_limit = 128) ~shards:n ~init () =
               domain = None;
               processed = Atomic.make 0;
               failed = Atomic.make 0;
+              state = Atomic.make s_ready;
+              alive = Atomic.make false;
+              init_failed = Atomic.make false;
+              generation = Atomic.make 0;
+              hand = Mutex.create ();
+              pending = [];
+              current = None;
+              heartbeat = Atomic.make 0;
+              busy_since = Atomic.make 0.;
+              restarts = Atomic.make 0;
+              restart_times = [];
+              reinstate_requested = Atomic.make false;
             });
+      capacity = inbox_capacity;
+      policy = backpressure;
+      supervision;
+      init;
       enqueued = Atomic.make 0;
       completed = Atomic.make 0;
+      discarded = Atomic.make 0;
       forwarded = Atomic.make 0;
+      shed = Atomic.make 0;
+      timeouts = Atomic.make 0;
       failures = Obs.Ring.create (max 1 failure_log_limit);
       failures_lock = Mutex.create ();
+      dead_letters = Obs.Ring.create (max 1 dead_letter_limit);
+      dead_letters_lock = Mutex.create ();
       on_failure;
-      stopped = false;
+      stopped = Atomic.make false;
+      supervisor = None;
+      supervisor_stop = Atomic.make false;
+      zombies = [];
+      zombies_lock = Mutex.create ();
     }
   in
   if n = 1 then begin
     let sys = init t 0 in
     Db.configure_shard (System.db sys) ~index:0 ~of_:1;
-    t.shards.(0).system <- Some sys
+    t.shards.(0).system <- Some sys;
+    Atomic.set t.shards.(0).alive true
   end
   else begin
     let readies = Array.init n (fun _ -> Ivar.create ()) in
-    Array.iteri
-      (fun idx sh ->
-        sh.domain <-
-          Some (Domain.spawn (fun () -> worker t sh init readies.(idx))))
-      t.shards;
+    Array.iteri (fun idx sh -> spawn_worker t sh (Some readies.(idx))) t.shards;
     let first_error =
       Array.fold_left
         (fun acc iv ->
@@ -297,12 +1023,15 @@ let create ?on_failure ?(failure_log_limit = 128) ~shards:n ~init () =
           | acc, _ -> acc)
         None readies
     in
-    match first_error with
+    (match first_error with
     | None -> ()
     | Some e ->
       (* tear down whatever did start, then surface the init failure *)
       stop t;
-      raise e
+      raise e);
+    match supervision with
+    | Some sup -> t.supervisor <- Some (Domain.spawn (fun () -> supervise t sup))
+    | None -> ()
   end;
   t
 

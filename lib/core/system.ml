@@ -567,13 +567,15 @@ let dispatch t _db ~consumer occ =
     | Some handler -> handler occ
     | None -> () (* stale subscription; ignore *))
 
-(* Exponential backoff between detached retry attempts: 2ms, 4ms, ... capped
-   at 32ms.  This *blocks the committing caller* — detached firings run
-   synchronously right after the outermost commit — which is why the cap is
-   low and the whole thing overridable (e.g. to a no-op) for tests, benches
-   and throughput-sensitive applications. *)
-let default_retry_backoff attempt =
-  Unix.sleepf (0.001 *. float_of_int (1 lsl min attempt 5))
+(* Jittered exponential backoff between detached retry attempts: uniform in
+   [1ms, 2ms], [2ms, 4ms], ... capped at 32ms (Error_policy.retry_delay), so
+   a mass failure — many rules hitting the same broken dependency in one
+   batch — spreads its retries instead of hammering in lockstep.  This
+   *blocks the committing caller* — detached firings run synchronously right
+   after the outermost commit — which is why the cap is low and the whole
+   thing overridable (e.g. to a no-op) for tests, benches and
+   throughput-sensitive applications. *)
+let default_retry_backoff = Error_policy.jittered_backoff ()
 
 let create ?(strategy = Scheduler.default) ?(cascade_limit = 64)
     ?(routing = Indexed) ?(failure_log_limit = 128) ?(dead_letter_limit = 256)

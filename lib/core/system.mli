@@ -101,8 +101,11 @@ val create :
     buffer behind {!recent_failures}; [dead_letter_limit] (default 256,
     minimum 1) caps the persistent dead-letter queue, evicting oldest
     first.  [retry_backoff] is called between detached retry attempts with
-    the 1-based attempt number just failed; the default sleeps
-    exponentially from 2ms, capped at 32ms per gap.  Beware that detached
+    the 1-based attempt number just failed; the default
+    ({!Error_policy.jittered_backoff}) sleeps a jittered exponential gap —
+    uniform in [m/2, m] for [m] doubling from 2ms, capped at 32ms — so mass
+    failures spread their retries instead of hitting the recovering
+    dependency in lockstep.  Beware that detached
     firings run synchronously at the outermost commit point, so the
     backoff {e blocks the committing caller} for the whole backoff sum of
     a persistently failing rule (e.g. ~62ms at [max_retries:5]) — pass

@@ -120,6 +120,7 @@ module Mem = struct
     cache : bool;
     mutable crash_bytes : int option;
     mutable crash_ops : int option;
+    mutable crash_reads : int option;
     mutable transient : int;
     mutable crashed : bool;
     mutable n_fsyncs : int;
@@ -132,6 +133,7 @@ module Mem = struct
       cache;
       crash_bytes = None;
       crash_ops = None;
+      crash_reads = None;
       transient = 0;
       crashed = false;
       n_fsyncs = 0;
@@ -140,11 +142,13 @@ module Mem = struct
 
   let crash_after_bytes fs n = fs.crash_bytes <- Some n
   let crash_after_ops fs n = fs.crash_ops <- Some n
+  let crash_after_reads fs n = fs.crash_reads <- Some n
   let fail_writes fs n = fs.transient <- n
 
   let clear_faults fs =
     fs.crash_bytes <- None;
     fs.crash_ops <- None;
+    fs.crash_reads <- None;
     fs.transient <- 0;
     fs.crashed <- false
 
@@ -225,6 +229,16 @@ module Mem = struct
       size = (fun path -> String.length (contents fs path));
       read_file =
         (fun path ->
+          (* reads honour their own crash budget: recovery is a read-only
+             pipeline, so interrupting it needs a read-side fault.  The
+             budget stays exhausted (reads keep crashing) until
+             [clear_faults]. *)
+          (match fs.crash_reads with
+          | Some n when n <= 0 ->
+            fs.crashed <- true;
+            raise Crash
+          | Some n -> fs.crash_reads <- Some (n - 1)
+          | None -> ());
           match find fs path with
           | Some f -> live f
           | None -> raise (Sys_error (path ^ ": No such file or directory")));

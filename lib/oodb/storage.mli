@@ -106,6 +106,12 @@ module Mem : sig
       truncate / create / fsync_dir) complete, then raise {!Crash} from the
       next one on. *)
 
+  val crash_after_reads : fs -> int -> unit
+  (** Let [n] more {!type-t.read_file} calls complete, then raise {!Crash}
+      from every subsequent read until {!clear_faults}.  Recovery
+      ({!Wal.recover}) is a read-only pipeline, so this is the fault that
+      interrupts it mid-delta-chain; write-side state is untouched. *)
+
   val fail_writes : fs -> int -> unit
   (** Make the next [n] writes raise {!Errors.Io_error} without landing any
       bytes (a transient fault; {!with_retries} recovers). *)

@@ -13,14 +13,35 @@
 # catastrophic-regression catch, not a benchmark; absolute numbers swing by
 # runner, ratios by tens of percent.  Paths missing on either side are not
 # gated (a renamed metric should fail review, not CI).
+#
+# --fail-ratio-below NUM_PATH DEN_PATH MIN (repeatable) gates on a ratio
+# *within the fresh file*: exit 1 if fresh[NUM_PATH] / fresh[DEN_PATH] is
+# below MIN.  Runner-speed-independent (both sides ran on the same box in
+# the same run), so it suits overhead budgets — e.g. supervised vs plain
+# throughput.  Paths are exact flattened paths, not regexes; a missing
+# path skips the gate.
 set -euo pipefail
 
 gate_regexes=()
 gate_floors=()
-while [ "${1:-}" = "--fail-below" ]; do
-  gate_regexes+=("$2")
-  gate_floors+=("$3")
-  shift 3
+ratio_nums=()
+ratio_dens=()
+ratio_floors=()
+while true; do
+  case "${1:-}" in
+  --fail-below)
+    gate_regexes+=("$2")
+    gate_floors+=("$3")
+    shift 3
+    ;;
+  --fail-ratio-below)
+    ratio_nums+=("$2")
+    ratio_dens+=("$3")
+    ratio_floors+=("$4")
+    shift 4
+    ;;
+  *) break ;;
+  esac
 done
 
 baseline="$1"
@@ -73,5 +94,24 @@ for i in "${!gate_regexes[@]}"; do
       'BEGIN { printf "%.2f", f / b }') below floor $floor" >&2
     fail=1
   done < <(grep -E "^${regex} " <<<"$joined" || true)
+done
+
+fresh_flat=$(flatten "$fresh")
+for i in "${!ratio_nums[@]}"; do
+  num_path="${ratio_nums[$i]}"
+  den_path="${ratio_dens[$i]}"
+  floor="${ratio_floors[$i]}"
+  num=$(awk -v p="$num_path" '$1 == p { print $2 }' <<<"$fresh_flat")
+  den=$(awk -v p="$den_path" '$1 == p { print $2 }' <<<"$fresh_flat")
+  if [ -z "$num" ] || [ -z "$den" ]; then
+    echo "bench-compare: ratio gate $num_path / $den_path skipped (path missing)"
+    continue
+  fi
+  if awk -v n="$num" -v d="$den" -v m="$floor" \
+    'BEGIN { exit !(d > 0 && n / d < m) }'; then
+    echo "bench-compare: FAIL $num_path / $den_path = $(awk -v n="$num" -v d="$den" \
+      'BEGIN { printf "%.3f", n / d }') below floor $floor" >&2
+    fail=1
+  fi
 done
 exit "$fail"

@@ -562,6 +562,49 @@ let test_instance_codec_roundtrip () =
   check_raises_any "garbage rejected" (fun () ->
       Codec.decode_instance "inst(1,2,")
 
+(* --- retry backoff: the jittered schedule honours its documented bounds -- *)
+
+let test_retry_delay_bounds () =
+  let m attempt = min 0.032 (0.002 *. float_of_int (1 lsl (attempt - 1))) in
+  for attempt = 1 to 12 do
+    let mid = m attempt in
+    (* rand = 0 lands exactly on the lower edge m/2 *)
+    Alcotest.(check (float 1e-12))
+      (Printf.sprintf "attempt %d: rand=0 is m/2" attempt)
+      (mid /. 2.)
+      (Error_policy.retry_delay ~rand:(fun () -> 0.) attempt);
+    (* rand = 1 lands exactly on the upper edge m *)
+    Alcotest.(check (float 1e-12))
+      (Printf.sprintf "attempt %d: rand=1 is m" attempt)
+      mid
+      (Error_policy.retry_delay ~rand:(fun () -> 1.) attempt);
+    (* any sample stays inside [m/2, m] *)
+    for k = 0 to 10 do
+      let r = float_of_int k /. 10. in
+      let d = Error_policy.retry_delay ~rand:(fun () -> r) attempt in
+      if d < (mid /. 2.) -. 1e-12 || d > mid +. 1e-12 then
+        Alcotest.failf "attempt %d rand %.1f: %.6f outside [%.6f, %.6f]"
+          attempt r d (mid /. 2.) mid
+    done
+  done;
+  (* growth doubles until the cap, then freezes *)
+  Alcotest.(check (float 1e-12)) "attempt 2 doubles attempt 1"
+    (2. *. Error_policy.retry_delay ~rand:(fun () -> 1.) 1)
+    (Error_policy.retry_delay ~rand:(fun () -> 1.) 2);
+  Alcotest.(check (float 1e-12)) "the cap freezes growth"
+    (Error_policy.retry_delay ~rand:(fun () -> 1.) 6)
+    (Error_policy.retry_delay ~rand:(fun () -> 1.) 60);
+  (* out-of-range samples are clamped, not amplified *)
+  Alcotest.(check (float 1e-12)) "rand below 0 clamps to the lower edge"
+    (Error_policy.retry_delay ~rand:(fun () -> 0.) 3)
+    (Error_policy.retry_delay ~rand:(fun () -> -5.) 3);
+  Alcotest.(check (float 1e-12)) "rand above 1 clamps to the upper edge"
+    (Error_policy.retry_delay ~rand:(fun () -> 1.) 3)
+    (Error_policy.retry_delay ~rand:(fun () -> 7.) 3);
+  (* custom base/cap: huge attempts cannot overflow past the cap *)
+  Alcotest.(check (float 1e-12)) "custom cap bounds huge attempts" 0.5
+    (Error_policy.retry_delay ~base:0.1 ~cap:0.5 ~rand:(fun () -> 1.) 1000)
+
 let suite =
   [
     test "90 healthy rules survive 10 broken ones" test_blast_radius;
@@ -588,4 +631,5 @@ let suite =
     test "dsl on-error/retries roundtrip" test_dsl_policy_roundtrip;
     test "error-policy strings" test_error_policy_strings;
     test "instance codec roundtrip" test_instance_codec_roundtrip;
+    test "retry backoff honours its bounds" test_retry_delay_bounds;
   ]

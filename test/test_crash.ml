@@ -380,6 +380,85 @@ let test_delta_checkpoint_crash_points () =
   done;
   Alcotest.(check bool) "enumerated a real operation sequence" true (!n > 2)
 
+(* --- a crash during recovery itself: the second recovery converges ------- *)
+
+(* Recovery reads the base snapshot, the delta chain, then the WAL tail.  A
+   process can die mid-recovery too (the supervisor restarts a shard whose
+   init is itself recovering); since recovery never writes, an interrupted
+   attempt must leave the disk exactly as it found it, and simply running
+   recovery again from the top must converge to the committed state. *)
+let test_crash_during_recovery () =
+  (* build a store with every pipeline stage populated: base + two deltas +
+     a live WAL tail *)
+  let fs = Mem.create ~cache:true () in
+  let storage = Mem.storage fs in
+  let db = banking_db () in
+  let wal = Wal.attach ~storage db log_path in
+  let rng = Prng.create 17 in
+  let accts =
+    Array.init 6 (fun i ->
+        Db.new_object db Banking.account_class
+          ~attrs:
+            [
+              ("owner", Value.Str (Printf.sprintf "acct-%d" i));
+              ("balance", Value.Float (Prng.float rng 1000.));
+            ])
+  in
+  let run n =
+    List.iter
+      (fun (acct, meth, args) ->
+        atomically db (fun () -> ignore (Db.send db acct meth args)))
+      (Banking.transactions rng accts ~n ())
+  in
+  run 20;
+  Wal.checkpoint wal ~snapshot:snap_path;
+  run 10;
+  Wal.checkpoint ~mode:`Delta wal ~snapshot:snap_path;
+  run 10;
+  Wal.checkpoint ~mode:`Delta wal ~snapshot:snap_path;
+  run 5;
+  Wal.detach wal;
+  let committed = state db in
+  let durable_view fs =
+    List.map (fun p -> (p, Mem.durable fs p)) (Mem.files fs)
+  in
+  let n = ref 0 in
+  let completed = ref false in
+  while not !completed do
+    if !n > 200 then Alcotest.fail "recovery never completed";
+    let fs' = Mem.reboot fs in
+    let before = durable_view fs' in
+    Mem.crash_after_reads fs' !n;
+    let db2 = banking_db () in
+    (match
+       Wal.recover ~storage:(Mem.storage fs') db2 ~snapshot:snap_path
+         ~wal:log_path
+     with
+    | _ -> completed := true
+    | exception Storage.Crash ->
+      (* the interrupted attempt is read-only: disk untouched *)
+      if durable_view fs' <> before then
+        Alcotest.failf "crash after %d reads: recovery mutated the store" !n;
+      Mem.clear_faults fs';
+      let db3 = banking_db () in
+      (match
+         Wal.recover ~storage:(Mem.storage fs') db3 ~snapshot:snap_path
+           ~wal:log_path
+       with
+      | _ -> ()
+      | exception e ->
+        Alcotest.failf "second recovery after %d reads raised: %s" !n
+          (Printexc.to_string e));
+      Verify.check_exn ~quiescent:true db3;
+      if state db3 <> committed then
+        Alcotest.failf
+          "crash after %d reads: second recovery diverged from committed" !n);
+    if !completed && state db2 <> committed then
+      Alcotest.failf "uninterrupted recovery diverged from committed";
+    incr n
+  done;
+  Alcotest.(check bool) "enumerated real read crash points" true (!n > 2)
+
 (* --- compaction: a crash after any operation count recovers -------------- *)
 
 let run_to_compact crash_ops =
@@ -495,6 +574,8 @@ let suite =
     test "group commit: every byte prefix recovers"
       test_group_commit_byte_prefix;
     test "delta checkpoint crash points" test_delta_checkpoint_crash_points;
+    test "crash during recovery: second recovery converges"
+      test_crash_during_recovery;
     test "compaction crash points" test_compaction_crash_points;
     test "transient write faults retried" test_transient_faults_retried;
     test "attach repairs a torn tail" test_attach_repairs_torn_tail;

@@ -10,6 +10,13 @@ module Trace = Obs.Trace
 
 let n_domains = 4
 
+(* post now returns a typed result; in these tests every send must be
+   accepted, so surface a rejection as a test failure. *)
+let post_exn pool o meth args =
+  match Shard_pool.post pool o meth args with
+  | Ok () -> ()
+  | Error e -> raise (Shard_pool.Shard_error e)
+
 (* --- concurrent interning -------------------------------------------------- *)
 
 (* Each property run gets a fresh namespace so every iteration really
@@ -135,7 +142,7 @@ let test_shard_pool_wal_smoke () =
         (fun os ->
           List.iteri
             (fun k o ->
-              Shard_pool.post pool o "set_salary"
+              post_exn pool o "set_salary"
                 [ Value.Float (100. +. float_of_int k) ])
             os)
         oids;
@@ -193,8 +200,7 @@ let test_cross_shard_trace () =
         let sys = System.create db in
         System.register_action sys "forward" (fun _ _ ->
             (* hop shards: the partner lives in a different residue class *)
-            Shard_pool.post (p ()) partner.(0) "change_income"
-              [ Value.Float 1. ]);
+            post_exn (p ()) partner.(0) "change_income" [ Value.Float 1. ]);
         System.register_action sys "noop" (fun _ _ -> ());
         ignore
           (System.create_rule sys
@@ -224,7 +230,7 @@ let test_cross_shard_trace () =
   Trace.set_capacity 4096;
   Trace.enable ();
   Fun.protect ~finally:Trace.disable (fun () ->
-      Shard_pool.post pool src "set_salary" [ Value.Float 9. ];
+      post_exn pool src "set_salary" [ Value.Float 9. ];
       Shard_pool.drain pool;
       Shard_pool.stop pool;
       let spans = Trace.spans () in
@@ -255,8 +261,12 @@ let test_shard_failure_contained () =
       ()
   in
   let ok = ref false in
-  Shard_pool.post_on pool 0 (fun _ -> failwith "poison");
-  Shard_pool.post_on pool 0 (fun _ -> ok := true);
+  (match Shard_pool.post_on pool 0 (fun _ -> failwith "poison") with
+  | Ok () -> ()
+  | Error e -> raise (Shard_pool.Shard_error e));
+  (match Shard_pool.post_on pool 0 (fun _ -> ok := true) with
+  | Ok () -> ()
+  | Error e -> raise (Shard_pool.Shard_error e));
   Shard_pool.drain pool;
   Alcotest.(check bool) "shard survives a poison job" true !ok;
   let st = Shard_pool.stats pool in
