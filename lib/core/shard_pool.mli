@@ -154,6 +154,11 @@ type stats = {
   shed : int;  (** submissions rejected by backpressure *)
   dead_lettered : int;  (** jobs ever parked in the dead-letter ring *)
   timeouts : int;  (** {!run_on} deadline expiries *)
+  mpsc_pushes : int;
+      (** successful mailbox pushes, pool-wide.  A flushed job vector
+          ({!flush}) counts once however many jobs it carries, so
+          [enqueued / mpsc_pushes] measures cross-shard message
+          coalescing. *)
 }
 (** At [shards:1] jobs run synchronously on the caller and only
     [shard_processed]/[shard_failed] are maintained — the queue counters
@@ -214,6 +219,66 @@ val run_on : ?timeout_ms:int -> t -> int -> (System.t -> 'a) -> ('a, exn) result
     [Error (Shard_error (Timed_out i))] — the job itself may still execute.
     A waiter whose job is displaced by a restart, degrade or stop is woken
     with the corresponding typed error instead of blocking forever. *)
+
+(** {2 Cross-shard message batching}
+
+    A {!type:batch} buffers cross-shard submissions per destination shard and
+    flushes each destination's run as one job {e vector} — one mailbox CAS
+    and one worker wakeup for the whole vector instead of one per job.  The
+    receiving shard executes the vector's jobs in order, with per-job
+    heartbeat, failure containment and accounting identical to individually
+    posted jobs; backpressure treats a flush as one all-or-nothing unit of
+    [length] jobs (a shed or dead-lettered flush sheds/parks every job in
+    it).  A batch is single-producer: create one per posting thread. *)
+
+type batch
+
+val batch : ?flush_max:int -> t -> batch
+(** A fresh empty batch over the pool.  A destination's buffer auto-flushes
+    when it reaches [flush_max] jobs (default 64, silently capped at the
+    pool's [inbox_capacity] so a vector always fits the bounded mailbox).
+    [invalid_arg] when [flush_max < 1]. *)
+
+val batch_post :
+  batch -> Oodb.Oid.t -> string -> Oodb.Value.t list -> (unit, error) result
+(** {!post} through the batch: buffered per destination shard rather than
+    pushed immediately.  [Ok ()] means buffered (or, on auto-flush,
+    accepted); errors surface at flush time through {!flush}'s result and
+    each job's waiter.  Per-destination order is preserved; ordering
+    {e across} destinations follows flush order, as with interleaved
+    {!post}s racing distinct mailboxes.  On a 1-shard pool, or posting from
+    the destination shard itself, this degrades to the inline {!post} path
+    (never buffered — buffering behind the running job would deadlock a
+    synchronous waiter). *)
+
+val batch_post_on : batch -> int -> (System.t -> unit) -> (unit, error) result
+(** {!post_on} through the batch; same buffering contract as
+    {!batch_post}. *)
+
+val flush : batch -> (unit, error) result
+(** Push every non-empty destination buffer now (a single-job buffer goes as
+    a plain message, a multi-job buffer as one vector).  Buffered jobs whose
+    shard stopped or degraded since buffering have their waiters woken with
+    the typed error; the first error encountered is returned after {e all}
+    destinations have been attempted.  Idempotent on an empty batch, and the
+    batch is reusable after a flush. *)
+
+val ingest :
+  ?flush_max:int ->
+  t ->
+  (Oodb.Oid.t * string * Oodb.Value.t list) list ->
+  (unit, error) result
+(** Batched ingestion across the pool: partition the occurrence batch by
+    owning shard (preserving per-shard event order) and hand each
+    destination one job that runs {!System.ingest} on its sub-batch — so
+    each shard pays one transaction scope, one cascade trace and one
+    route-coalescing scope for its whole sub-batch, and the posting side
+    ships at most one message per destination.  Asynchronous: [Ok ()] means
+    every sub-batch was accepted; {!drain} to await execution.  A failing
+    sub-batch rolls back on its shard (the {!System.ingest} transaction)
+    and is contained as a shard failure; other shards' sub-batches are
+    unaffected.  At [shards:1] the batch is ingested inline on the
+    caller. *)
 
 val drain : t -> unit
 (** Block until the pool is quiescent: every accepted job has either

@@ -11,6 +11,8 @@ type sys_stats = {
   mutable candidates_probed : int;
   mutable leaves_offered : int;
   mutable index_hits : int;
+  mutable batch_events : int;
+  mutable coalesced_probes : int;
   mutable wal_batches_replayed : int;
   mutable wal_batches_discarded : int;
   mutable wal_checksum_failures : int;
@@ -132,7 +134,9 @@ let stats t =
     let s = t.sys_stats in
     s.candidates_probed <- c.Route.candidates_probed;
     s.leaves_offered <- c.Route.leaves_offered;
-    s.index_hits <- c.Route.index_hits
+    s.index_hits <- c.Route.index_hits;
+    s.batch_events <- c.Route.batch_events;
+    s.coalesced_probes <- c.Route.coalesced_probes
   | None -> ());
   (* Durability counters live on the store; mirror them like the Route
      counters so one call reports the whole system. *)
@@ -163,6 +167,8 @@ let reset_stats t =
   s.candidates_probed <- 0;
   s.leaves_offered <- 0;
   s.index_hits <- 0;
+  s.batch_events <- 0;
+  s.coalesced_probes <- 0;
   s.wal_batches_replayed <- 0;
   s.wal_batches_discarded <- 0;
   s.wal_checksum_failures <- 0;
@@ -609,6 +615,8 @@ let create ?(strategy = Scheduler.default) ?(cascade_limit = 64)
           candidates_probed = 0;
           leaves_offered = 0;
           index_hits = 0;
+          batch_events = 0;
+          coalesced_probes = 0;
           wal_batches_replayed = 0;
           wal_batches_discarded = 0;
           wal_checksum_failures = 0;
@@ -895,6 +903,52 @@ let advance_time t now =
   Oid.Table.iter
     (fun _ r -> if r.Rule.enabled then Detector.advance r.Rule.detector now)
     t.rule_table
+
+(* --- batched ingestion ------------------------------------------------------ *)
+
+(* Batch-size distribution (power-of-two buckets reused as counts) and an
+   events counter, so ingestion rate and typical batch size are readable
+   from the metrics report without the caller keeping its own tallies. *)
+let st_ingest =
+  Obs.Metrics.register ~id:(Oodb.Symbol.intern "system.ingest") "system.ingest"
+
+let st_ingest_batch_size =
+  Obs.Metrics.register
+    ~id:(Oodb.Symbol.intern "system.ingest.batch_size")
+    "system.ingest.batch_size"
+
+let st_ingest_events =
+  Obs.Metrics.register
+    ~id:(Oodb.Symbol.intern "system.ingest.events")
+    "system.ingest.events"
+
+(* One transaction, one cascade trace, one route-key-coalescing scope for
+   the whole batch.  The deferred firings the batch triggers drain at this
+   transaction's commit — inside the "ingest" span, so the entire cascade
+   (sends, immediate firings, deferred drain) shares one trace.  Detached
+   firings still run after the outermost commit, as always. *)
+let ingest t batch =
+  match batch with
+  | [] -> Ok []
+  | _ ->
+    let run () =
+      let send () = Db.send_many t.sys_db batch in
+      match t.sys_route with
+      | Some route -> Route.with_batch route send
+      | None -> send ()
+    in
+    if not !Obs.armed then Transaction.atomically t.sys_db run
+    else begin
+      let n = List.length batch in
+      let t0 = Obs.Metrics.enter st_ingest in
+      let tok = Obs.Trace.enter "ingest" (Printf.sprintf "batch:%d" n) in
+      Obs.Metrics.observe_ns st_ingest_batch_size (float_of_int n);
+      Obs.Metrics.add st_ingest_events n;
+      let r = Transaction.atomically t.sys_db run in
+      Obs.Trace.exit tok;
+      Obs.Metrics.exit st_ingest t0;
+      r
+    end
 
 let rehydrate t =
   let restore oid =

@@ -56,6 +56,12 @@ type sys_stats = {
       (** indexed routing: candidates that passed every check *)
   mutable index_hits : int;
       (** indexed routing: deliveries whose key had candidates *)
+  mutable batch_events : int;
+      (** indexed routing: occurrences delivered under a batch
+          (route-key-coalescing) scope *)
+  mutable coalesced_probes : int;
+      (** indexed routing: index probes skipped because the key's candidate
+          list was already resolved earlier in the same batch *)
   mutable wal_batches_replayed : int;
       (** recovery: committed batches re-applied by {!Oodb.Wal.replay} *)
   mutable wal_batches_discarded : int;
@@ -239,6 +245,23 @@ val expire_partial_state : t -> max_age:int -> unit
 val advance_time : t -> int -> unit
 (** Advance the logical clock (see {!Db.advance_clock}) and let every
     enabled rule's detector fire due periodic/relative events. *)
+
+val ingest :
+  t -> (Oid.t * string * Oodb.Value.t list) list -> (Oodb.Value.t list, exn) result
+(** Batched ingestion: run the whole occurrence batch under {e one}
+    transaction scope, {e one} cascade trace and {e one} route-key-coalescing
+    scope ({!Events.Route.with_batch}).  Events execute in batch order with
+    exactly the per-event semantics of {!Db.send} — same firings, audit
+    entries and detector states as N sequential sends inside one
+    transaction; the batch amortizes the fixed costs (transaction
+    bookkeeping, WAL commit, trace spans, discrimination-index probes — one
+    per distinct route key instead of one per event).  Deferred firings
+    drain at the batch transaction's commit; detached ones run after it.
+    An uncontained mid-batch failure aborts and rolls back the whole batch
+    ([Error]); failures of rules with a [Contain]/[Quarantine] policy are
+    dead-lettered per rule and leave the rest of the batch intact, exactly
+    as on the sequential path.  Composes with {!attach_wal}
+    [~group_commit] for streaming durability. *)
 
 val prune_runtimes : t -> unit
 (** Drop runtimes whose rule object no longer exists (e.g. rule creation

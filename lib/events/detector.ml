@@ -99,6 +99,10 @@ type t = {
   d_context : Context.t;
   root : node;
   d_leaves : leaf list;
+  (* does the expression contain periodic/relative operators?  Decides
+     whether the batched feed path may defer the clock walk to the batch
+     boundary (non-temporal trees treat [advance] as a pure traversal). *)
+  d_temporal : bool;
   mutable now : int;
   mutable n_fed : int;
   mutable n_signalled : int;
@@ -514,6 +518,15 @@ let rec compile subsumes ctx e (out : instance -> unit) : node * leaf list =
       },
       l )
 
+let rec has_temporal (e : Expr.t) =
+  match e with
+  | Prim _ -> false
+  | And (a, b) | Or (a, b) | Seq (a, b) -> has_temporal a || has_temporal b
+  | Any (_, es) -> List.exists has_temporal es
+  | Not (a, b, c) | Aperiodic (a, b, c) | Aperiodic_star (a, b, c) ->
+    has_temporal a || has_temporal b || has_temporal c
+  | Periodic _ | Plus _ -> true
+
 let default_subsumes ~sub ~super = String.equal sub super
 
 let create ?(context = Context.Recent) ?(subsumes = default_subsumes) ~on_signal
@@ -546,6 +559,7 @@ let create ?(context = Context.Recent) ?(subsumes = default_subsumes) ~on_signal
       d_context = context;
       root;
       d_leaves = leaves;
+      d_temporal = has_temporal e;
       now = 0;
       n_fed = 0;
       n_signalled = 0;
@@ -585,6 +599,47 @@ let feed t (o : Occurrence.t) =
       raise e
   end
 
+(* Batched feed.  Occurrences keep their order; a temporal tree still
+   advances the clock per occurrence (intermediate periodic/relative fires
+   must interleave exactly as under N sequential feeds), while a
+   non-temporal tree — where the advance walk is a pure traversal — defers
+   the clock update to the batch boundary.  Either way the final clock and
+   every accept are identical to N calls of {!feed}. *)
+let feed_many_raw t os =
+  if t.d_temporal then
+    List.iter
+      (fun (o : Occurrence.t) ->
+        t.n_fed <- t.n_fed + 1;
+        advance t o.at;
+        t.root.accept o)
+      os
+  else begin
+    let last = ref t.now in
+    List.iter
+      (fun (o : Occurrence.t) ->
+        t.n_fed <- t.n_fed + 1;
+        if o.at > !last then last := o.at;
+        t.root.accept o)
+      os;
+    advance t !last
+  end
+
+let feed_many t os =
+  match os with
+  | [] -> ()
+  | [ o ] -> feed t o
+  | _ ->
+    if not !Obs.armed then feed_many_raw t os
+    else begin
+      (* one sample per batch: the histogram prices the whole vector *)
+      let t0 = Obs.Metrics.enter st_feed in
+      match feed_many_raw t os with
+      | () -> Obs.Metrics.exit st_feed t0
+      | exception e ->
+        Obs.Metrics.exit st_feed t0;
+        raise e
+    end
+
 let reset t = t.root.reset ()
 let expire t ~before = t.root.expire before
 let leaves t = t.d_leaves
@@ -605,12 +660,3 @@ let offer_leaf t leaf (o : Occurrence.t) =
       Obs.Metrics.exit st_feed t0;
       raise e
   end
-
-let rec has_temporal (e : Expr.t) =
-  match e with
-  | Prim _ -> false
-  | And (a, b) | Or (a, b) | Seq (a, b) -> has_temporal a || has_temporal b
-  | Any (_, es) -> List.exists has_temporal es
-  | Not (a, b, c) | Aperiodic (a, b, c) | Aperiodic_star (a, b, c) ->
-    has_temporal a || has_temporal b || has_temporal c
-  | Periodic _ | Plus _ -> true

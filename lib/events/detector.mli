@@ -52,6 +52,13 @@ val feed : t -> Occurrence.t -> unit
     matching primitive leaf.  May call [on_signal] zero or more times,
     synchronously. *)
 
+val feed_many : t -> Occurrence.t list -> unit
+(** Feed a chronologically ordered batch.  Observationally equivalent to
+    feeding each occurrence in order — temporal trees advance the clock per
+    occurrence so intermediate periodic/relative fires interleave exactly;
+    non-temporal trees defer the (pure-traversal) clock walk to the batch
+    boundary.  One metrics sample covers the whole batch. *)
+
 val advance : t -> Oodb.Types.timestamp -> unit
 (** Declare that logical time has reached the given instant (monotone;
     earlier instants are ignored).  Fires any due periodic/plus instances. *)

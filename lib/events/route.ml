@@ -13,6 +13,10 @@ type counters = {
   mutable candidates_probed : int;
   mutable leaves_offered : int;
   mutable index_hits : int;
+  mutable batch_events : int;  (* occurrences delivered through deliver_many *)
+  mutable coalesced_probes : int;
+      (* index probes skipped by batch route-key coalescing: deliveries
+         whose key's candidate list was already resolved this batch *)
 }
 
 (* Bucket keys pack the interned method name and the modifier into one int —
@@ -65,6 +69,16 @@ type t = {
   temporal : reg Oid.Table.t;  (* subset whose detectors need clock driving *)
   wildcards : reg Oid.Table.t;  (* handlers that hear every subscribed event *)
   mutable seq : int;
+  (* bumped whenever the index's buckets change (register/unregister); the
+     batched delivery path stamps its per-batch key memo against it so a
+     mid-batch (un)registration — e.g. a rule action creating a rule —
+     invalidates the memo instead of serving stale candidate lists. *)
+  mutable reg_gen : int;
+  (* the live batch memo, when delivery is running under [with_batch]:
+     distinct route key -> resolved candidate list, stamped against
+     [reg_gen].  [None] outside a batch scope. *)
+  mutable memo : (int, entry list) Hashtbl.t option;
+  mutable memo_gen : int;
   counters : counters;
 }
 
@@ -76,7 +90,17 @@ let create db =
     temporal = Oid.Table.create 8;
     wildcards = Oid.Table.create 8;
     seq = 0;
-    counters = { candidates_probed = 0; leaves_offered = 0; index_hits = 0 };
+    reg_gen = 0;
+    memo = None;
+    memo_gen = 0;
+    counters =
+      {
+        candidates_probed = 0;
+        leaves_offered = 0;
+        index_hits = 0;
+        batch_events = 0;
+        coalesced_probes = 0;
+      };
   }
 
 let counters t = t.counters
@@ -85,7 +109,9 @@ let reset_counters t =
   let c = t.counters in
   c.candidates_probed <- 0;
   c.leaves_offered <- 0;
-  c.index_hits <- 0
+  c.index_hits <- 0;
+  c.batch_events <- 0;
+  c.coalesced_probes <- 0
 
 (* --- registration ------------------------------------------------------- *)
 
@@ -98,6 +124,7 @@ let bucket t key =
     b
 
 let drop_entries t reg =
+  t.reg_gen <- t.reg_gen + 1;
   List.iter
     (fun key ->
       match Hashtbl.find_opt t.index key with
@@ -170,6 +197,7 @@ let register t ~consumer ?(guard = default_guard) ~on_receive detector =
       b.b_rev <- entry :: b.b_rev;
       b.b_ordered <- [])
     leaves;
+  t.reg_gen <- t.reg_gen + 1;
   Oid.Table.replace t.regs consumer reg;
   if temporal then Oid.Table.replace t.temporal consumer reg
 
@@ -246,7 +274,19 @@ let st_route =
     ~id:(Symbol.intern "route.deliver")
     ~sample_shift:4 "route.deliver"
 
-let deliver_raw t (o : Oodb.Types.obj) (occ : Occurrence.t) =
+let entries_of_bucket b =
+  match b.b_ordered with
+  | [] ->
+    let l = List.rev b.b_rev in
+    b.b_ordered <- l;
+    l
+  | l -> l
+
+(* The per-occurrence delivery body, over an already-resolved candidate
+   list.  [entries = []] means the key had no bucket — the single-event path
+   probes the index itself; the batched path resolves each distinct key once
+   and replays the list for every occurrence in the group. *)
+let deliver_entries t (o : Oodb.Types.obj) (occ : Occurrence.t) entries =
   t.seq <- t.seq + 1;
   let seq = t.seq in
   let receive reg =
@@ -274,18 +314,10 @@ let deliver_raw t (o : Oodb.Types.obj) (occ : Occurrence.t) =
         | None -> ()
       end)
     t.temporal;
-  match Hashtbl.find_opt t.index (key_of_occ occ) with
-  | None -> ()
-  | Some b ->
+  match entries with
+  | [] -> ()
+  | entries ->
     t.counters.index_hits <- t.counters.index_hits + 1;
-    let entries =
-      match b.b_ordered with
-      | [] ->
-        let l = List.rev b.b_rev in
-        b.b_ordered <- l;
-        l
-      | l -> l
-    in
     List.iter
       (fun e ->
         t.counters.candidates_probed <- t.counters.candidates_probed + 1;
@@ -308,6 +340,55 @@ let deliver_raw t (o : Oodb.Types.obj) (occ : Occurrence.t) =
         end)
       entries
 
+(* Resolve an occurrence key to its candidate list.  Under a batch scope
+   ([with_batch]) the resolution is memoized per distinct key — that is the
+   route-key coalescing: within a batch, the discrimination index is probed
+   once per distinct key and the candidate list replayed for every later
+   occurrence in that key's group.  The memo is stamped against [reg_gen]:
+   if delivery itself (an immediate rule's action) (un)registers a
+   consumer, the memo is flushed and subsequent keys re-probe, keeping a
+   batch observationally identical to the sequential path. *)
+let resolve_entries t key =
+  match Hashtbl.find_opt t.index key with
+  | None -> []
+  | Some b -> entries_of_bucket b
+
+let entries_for t key =
+  match t.memo with
+  | None -> resolve_entries t key
+  | Some memo ->
+    if t.memo_gen <> t.reg_gen then begin
+      Hashtbl.reset memo;
+      t.memo_gen <- t.reg_gen
+    end;
+    (match Hashtbl.find_opt memo key with
+    | Some es ->
+      t.counters.coalesced_probes <- t.counters.coalesced_probes + 1;
+      es
+    | None ->
+      let es = resolve_entries t key in
+      Hashtbl.replace memo key es;
+      es)
+
+let deliver_raw t (o : Oodb.Types.obj) (occ : Occurrence.t) =
+  if t.memo <> None then
+    t.counters.batch_events <- t.counters.batch_events + 1;
+  deliver_entries t o occ (entries_for t (key_of_occ occ))
+
+(* Open a route-key-coalescing scope: every delivery [f] performs — however
+   it interleaves with method execution and rule actions — shares one
+   per-batch key memo.  Delivery points, ordering and detector interleaving
+   are untouched; only redundant index probes are skipped.  Reentrant: a
+   nested scope (a rule action ingesting a sub-batch) keeps using the
+   outer memo. *)
+let with_batch t f =
+  match t.memo with
+  | Some _ -> f ()
+  | None ->
+    t.memo <- Some (Hashtbl.create 16);
+    t.memo_gen <- t.reg_gen;
+    Fun.protect ~finally:(fun () -> t.memo <- None) f
+
 (* Immediate-coupled rules execute synchronously inside delivery, so the
    "route" span (and histogram) covers candidate probing plus whatever the
    matched rules do — the cascade nests inside it, which is exactly the
@@ -326,3 +407,28 @@ let deliver t (o : Oodb.Types.obj) (occ : Occurrence.t) =
       Obs.Metrics.exit st_route t0;
       raise e
   end
+
+let deliver_many t batch =
+  match batch with
+  | [] -> ()
+  | [ (o, occ) ] -> deliver t o occ
+  | _ ->
+    with_batch t (fun () ->
+        if not !Obs.armed then
+          List.iter (fun (o, occ) -> deliver_raw t o occ) batch
+        else begin
+          (* one route span + one histogram sample covers the whole vector *)
+          let t0 = Obs.Metrics.enter st_route in
+          let tok =
+            Obs.Trace.enter "route"
+              (Printf.sprintf "batch:%d" (List.length batch))
+          in
+          match List.iter (fun (o, occ) -> deliver_raw t o occ) batch with
+          | () ->
+            Obs.Trace.exit tok;
+            Obs.Metrics.exit st_route t0
+          | exception e ->
+            Obs.Trace.exit tok;
+            Obs.Metrics.exit st_route t0;
+            raise e
+        end)

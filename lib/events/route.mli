@@ -39,6 +39,11 @@ type counters = {
   mutable leaves_offered : int;
       (** candidates that passed every check and were offered *)
   mutable index_hits : int;  (** deliveries whose key had a bucket *)
+  mutable batch_events : int;
+      (** occurrences delivered through {!deliver_many} *)
+  mutable coalesced_probes : int;
+      (** index probes skipped by batch route-key coalescing: deliveries in
+          a batch whose key's candidate list was already resolved *)
 }
 
 val create : Db.t -> t
@@ -73,6 +78,25 @@ val deliver : t -> Oodb.Types.obj -> Occurrence.t -> unit
 (** Route one occurrence: wildcard handlers first, then clock advancement
     for subscribed temporal detectors, then the (method, modifier) bucket
     probe.  Installed as the database's {!Db.set_route} hook. *)
+
+val deliver_many : t -> (Oodb.Types.obj * Occurrence.t) list -> unit
+(** Route a batch in order under one {!with_batch} scope: the
+    discrimination index is probed once per {e distinct} (method, modifier)
+    key in the batch and the resolved candidate list replayed for every
+    occurrence in that key's group.  Delivery order, detector interleaving,
+    firings and statistics (bar
+    {!counters}[.batch_events]/[.coalesced_probes]) are identical to
+    calling {!deliver} per pair.  One "route" trace span and one histogram
+    sample cover the whole batch. *)
+
+val with_batch : t -> (unit -> 'a) -> 'a
+(** Open a route-key-coalescing scope around [f]: every delivery inside —
+    however it interleaves with method execution and rule actions — shares
+    one per-batch key memo, so the index is probed once per distinct key.
+    Delivery points and ordering are untouched; a mid-batch
+    (un)registration flushes the memo, keeping the scope observationally
+    identical to unscoped delivery.  Reentrant (a nested scope reuses the
+    outer memo); {!Db.send_many} runs under this via {!System.ingest}. *)
 
 (** {1 Introspection} *)
 

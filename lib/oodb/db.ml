@@ -541,6 +541,64 @@ let send db receiver meth args =
       raise e
   end
 
+(* Vectorized send.  Each event of the batch executes exactly as
+   [send_raw] — begin-occurrence, implementation, end-occurrence, in batch
+   order — so firings, audit entries and detector states are identical to N
+   sequential sends.  What the batch amortizes is the observability
+   envelope: one "send_many" cascade span (the root every event's cascade
+   nests under) and one histogram sample cover the vector, with per-event
+   "send" spans sampled 1-in-16 rather than unconditional.  Route-key
+   coalescing lives one layer up: [System.ingest] wraps this call in
+   [Events.Route.with_batch]. *)
+let st_send_many =
+  Obs.Metrics.register ~id:(Symbol.intern "db.send_many") "db.send_many"
+
+let send_many_raw db batch =
+  List.map (fun (receiver, meth, args) -> send_raw db receiver meth args) batch
+
+let send_many db batch =
+  match batch with
+  | [] -> []
+  | [ (receiver, meth, args) ] -> [ send db receiver meth args ]
+  | _ ->
+    if not !Obs.armed then send_many_raw db batch
+    else begin
+      let t0 = Obs.Metrics.enter st_send_many in
+      let tok =
+        Obs.Trace.enter "send_many"
+          (Printf.sprintf "batch:%d" (List.length batch))
+      in
+      let finish () =
+        Obs.Trace.exit tok;
+        Obs.Metrics.exit st_send_many t0
+      in
+      match
+        List.mapi
+          (fun i (receiver, meth, args) ->
+            (* the send stage still counts every event; only the envelope
+               (span + timing) is per batch *)
+            Obs.Metrics.hit st_send;
+            if i land 15 = 0 && !Obs.Trace.on then begin
+              let tk = Obs.Trace.enter "send" meth in
+              match send_raw db receiver meth args with
+              | r ->
+                Obs.Trace.exit tk;
+                r
+              | exception e ->
+                Obs.Trace.exit tk;
+                raise e
+            end
+            else send_raw db receiver meth args)
+          batch
+      with
+      | rs ->
+        finish ();
+        rs
+      | exception e ->
+        finish ();
+        raise e
+    end
+
 (* --- extents and indexes ------------------------------------------------ *)
 
 let subclasses db cls =

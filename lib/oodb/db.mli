@@ -106,6 +106,18 @@ val send : t -> Oid.t -> string -> Value.t list -> Value.t
     consumers and to class-level consumers of the receiver's class and its
     ancestors (each distinct consumer is notified once per occurrence). *)
 
+val send_many : t -> (Oid.t * string * Value.t list) list -> Value.t list
+(** Vectorized {!send}: run each [(receiver, m, args)] of the batch in
+    order and return the results in order.  Observationally equivalent to N
+    sequential sends — each event still generates and delivers its
+    begin/end occurrences at exactly the same points relative to method
+    execution — but the batch pays one observability envelope (one
+    "send_many" cascade span all the events' cascades nest under, one
+    histogram sample, per-event "send" spans sampled 1-in-16) instead of N.
+    An exception aborts the remainder of the batch and propagates; pair
+    with {!Transaction.atomically} (as {!System.ingest} does) for
+    all-or-nothing ingestion. *)
+
 val signal :
   t -> source:Oid.t -> meth:string -> modifier:Types.modifier -> Value.t list -> unit
 (** Explicitly generate a primitive event from inside a method body (paper

@@ -72,6 +72,19 @@ let tighten_hi current candidate =
     else if cmp < 0 then Some (v, i)
     else Some (v, i && j)
 
+(* A disjunction every branch of which is an equality covered by an index
+   plans as a deduplicated union of index probes instead of a full extent
+   scan.  Any other branch shape poisons the union: the candidate set must
+   be a superset of the matching set, and only full coverage of every
+   disjunct guarantees that. *)
+let rec union_eqs db cls p acc =
+  match (p, acc) with
+  | _, None -> None
+  | Or (a, b), _ -> union_eqs db cls b (union_eqs db cls a acc)
+  | Eq (name, v), Some eqs when Db.has_index db ~cls ~attr:name ->
+    Some ((name, v) :: eqs)
+  | _, Some _ -> None
+
 let indexed_plan db cls p =
   let cs = conjuncts p in
   let eq =
@@ -84,39 +97,62 @@ let indexed_plan db cls p =
   match eq with
   | Some (attr, v) -> Some (`Eq (attr, v))
   | None -> (
-    let ordered name = Db.index_kind db ~cls ~attr:name = Some `Ordered in
-    let range_attr =
+    let union =
       List.find_map
         (function
-          | (Lt (name, _) | Le (name, _) | Gt (name, _) | Ge (name, _))
-            when ordered name ->
-            Some name
+          | Or _ as c -> (
+            match union_eqs db cls c (Some []) with
+            | Some eqs -> Some (`Union eqs)
+            | None -> None)
           | _ -> None)
         cs
     in
-    match range_attr with
-    | None -> None
-    | Some attr ->
-      let fold (lo, hi) = function
-        | Lt (name, v) when name = attr -> (lo, tighten_hi hi (v, false))
-        | Le (name, v) when name = attr -> (lo, tighten_hi hi (v, true))
-        | Gt (name, v) when name = attr -> (tighten_lo lo (v, false), hi)
-        | Ge (name, v) when name = attr -> (tighten_lo lo (v, true), hi)
-        | _ -> (lo, hi)
+    match union with
+    | Some _ as u -> u
+    | None -> (
+      let ordered name = Db.index_kind db ~cls ~attr:name = Some `Ordered in
+      let range_attr =
+        List.find_map
+          (function
+            | (Lt (name, _) | Le (name, _) | Gt (name, _) | Ge (name, _))
+              when ordered name ->
+              Some name
+            | _ -> None)
+          cs
       in
-      let lo, hi = List.fold_left fold (None, None) cs in
-      Some (`Range (attr, lo, hi)))
+      match range_attr with
+      | None -> None
+      | Some attr ->
+        let fold (lo, hi) = function
+          | Lt (name, v) when name = attr -> (lo, tighten_hi hi (v, false))
+          | Le (name, v) when name = attr -> (lo, tighten_hi hi (v, true))
+          | Gt (name, v) when name = attr -> (tighten_lo lo (v, false), hi)
+          | Ge (name, v) when name = attr -> (tighten_lo lo (v, true), hi)
+          | _ -> (lo, hi)
+        in
+        let lo, hi = List.fold_left fold (None, None) cs in
+        Some (`Range (attr, lo, hi))))
+
+let candidates db ~deep cls p =
+  match if deep then indexed_plan db cls p else None with
+  | Some (`Eq (attr, v)) -> Db.index_lookup db ~cls ~attr v
+  | Some (`Union eqs) ->
+    (* distinct probes can return overlapping OID sets (and Or branches can
+       repeat a key): sort_uniq both dedupes and restores OID order *)
+    List.sort_uniq Oid.compare
+      (List.concat_map (fun (attr, v) -> Db.index_lookup db ~cls ~attr v) eqs)
+  | Some (`Range (attr, lo, hi)) -> Db.index_range db ~cls ~attr ?lo ?hi ()
+  | None -> Db.extent db ~deep cls
 
 let select db ?(deep = true) cls p =
-  let candidates =
-    match if deep then indexed_plan db cls p else None with
-    | Some (`Eq (attr, v)) -> Db.index_lookup db ~cls ~attr v
-    | Some (`Range (attr, lo, hi)) -> Db.index_range db ~cls ~attr ?lo ?hi ()
-    | None -> Db.extent db ~deep cls
-  in
-  List.filter (fun oid -> matches db oid p) candidates
+  List.filter (fun oid -> matches db oid p) (candidates db ~deep cls p)
 
-let count db ?deep cls p = List.length (select db ?deep cls p)
+let count db ?(deep = true) cls p =
+  (* counting never needs the result list: fold the scan directly *)
+  List.fold_left
+    (fun n oid -> if matches db oid p then n + 1 else n)
+    0
+    (candidates db ~deep cls p)
 
 let rec pp_pred ppf = function
   | True -> Format.pp_print_string ppf "true"

@@ -36,8 +36,12 @@ val select : Db.t -> ?deep:bool -> string -> pred -> Oid.t list
 (** [select db cls p] returns the instances of [cls] (by default including
     subclasses) satisfying [p], in OID order.  When [p] contains a top-level
     equality conjunct covered by an index on [cls], candidates come from the
-    index instead of a full extent scan. *)
+    index instead of a full extent scan; a top-level disjunction whose every
+    branch is an indexed equality becomes a deduplicated union of index
+    probes. *)
 
 val count : Db.t -> ?deep:bool -> string -> pred -> int
+(** Like {!select} but counts during the scan — the filtered list is never
+    materialized. *)
 
 val pp_pred : Format.formatter -> pred -> unit

@@ -85,16 +85,24 @@ let populate db rng ~stocks ~indexes ~portfolios =
     portfolios = Array.init portfolios mk_portfolio;
   }
 
+let tick rng market ~tickers =
+  if Array.length market.indexes = 0 || Prng.bool rng 0.8 then
+    let stock = market.stocks.(Prng.int rng tickers) in
+    (stock, "set_price", [ Value.Float (20. +. Prng.float rng 160.) ])
+  else
+    let index = Prng.choice rng market.indexes in
+    ( index,
+      "set_value",
+      [
+        Value.Float (2000. +. Prng.float rng 2000.);
+        Value.Float (Prng.float rng 10. -. 5.);
+      ] )
+
 let ticks rng market ~n =
-  List.init n (fun _ ->
-      if Array.length market.indexes = 0 || Prng.bool rng 0.8 then
-        let stock = Prng.choice rng market.stocks in
-        (stock, "set_price", [ Value.Float (20. +. Prng.float rng 160.) ])
-      else
-        let index = Prng.choice rng market.indexes in
-        ( index,
-          "set_value",
-          [
-            Value.Float (2000. +. Prng.float rng 2000.);
-            Value.Float (Prng.float rng 10. -. 5.);
-          ] ))
+  List.init n (fun _ -> tick rng market ~tickers:(Array.length market.stocks))
+
+let tick_batches rng market ~tickers ~rate ~batches =
+  if rate < 1 then invalid_arg "Stock_market.tick_batches: rate must be >= 1";
+  let tickers = max 1 (min tickers (Array.length market.stocks)) in
+  List.init batches (fun _ ->
+      List.init rate (fun _ -> tick rng market ~tickers))

@@ -33,3 +33,18 @@ val ticks :
 (** A stream of [n] market events: ~80% stock [set_price] (prices drawn in
     [\[20, 180)]), ~20% index [set_value] (value in [\[2000, 4000)], change
     in [\[-5, +5)] percent). *)
+
+val tick_batches :
+  Prng.t ->
+  market ->
+  tickers:int ->
+  rate:int ->
+  batches:int ->
+  (Oodb.Oid.t * string * Oodb.Value.t list) list list
+(** A rate-controlled feed: [batches] consecutive arrival windows of [rate]
+    events each, drawn from the first [tickers] stocks (clamped to the
+    market; the index mix is as in {!ticks}).  The generator is the shared
+    driver for the E-ingest and E-cep experiments: same [(seed, tickers,
+    rate)] — same event stream, whatever the consumer's batch size, so
+    batched and per-event ingestion measure the identical workload.
+    @raise Invalid_argument when [rate < 1]. *)
