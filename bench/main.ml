@@ -2135,6 +2135,358 @@ let e_ingest () =
         (p1 / max 1 p64)
   end
 
+(* ------------------------------------------------------------------------- *)
+(* E-net: streaming ingestion over the wire protocol — a TCP server fronting
+   the pool, a fleet of protocol clients, and the slow-consumer books        *)
+(* ------------------------------------------------------------------------- *)
+
+let e_net () =
+  header "E-net: wire-protocol streaming ingestion (clients x batch x shards)";
+  let smoke = Sys.getenv_opt "BENCH_SMOKE" <> None in
+  let events = if smoke then 2_048 else 12_288 in
+  let tickers = 64 in
+  let run ~shards ~clients ~batch =
+    let paths =
+      Array.init shards (fun _ -> Filename.temp_file "sentinel_net" ".wal")
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Array.iter (fun p -> if Sys.file_exists p then Sys.remove p) paths)
+      (fun () ->
+        let fired = Array.init shards (fun _ -> Atomic.make 0) in
+        let pool =
+          (* group-commit journal + the pool's durability hook: a shard
+             seals (and fsyncs) whenever its mailbox drains, so a lone
+             serial client pays one fsync per flush while a concurrent
+             fleet shares one fsync per drained backlog — the axis the
+             16-client gate measures *)
+          Sentinel.Shard_pool.create ~shards
+            ~backpressure:(Block { max_wait_ms = 600_000 })
+            ~on_idle:(fun _ sys ->
+              match System.wal sys with
+              | Some _ ->
+                (* commit delay: linger before sealing so a concurrent
+                   fleet's staggered arrivals pile up behind one fsync;
+                   a lone serial client just pays the window *)
+                (try Unix.sleepf 0.0003 with Unix.Unix_error _ -> ());
+                System.sync_wal sys
+              | None -> ())
+            ~init:(fun _ i ->
+              let db = Db.create () in
+              Workloads.Stock_market.install db;
+              let sys = System.create db in
+              ignore
+                (System.attach_wal ~sync:true
+                   ~group_commit:
+                     { Oodb.Wal.max_batch = 256; max_wait_us = 50_000 }
+                   sys paths.(i));
+              System.register_action sys "count" (fun _ _ ->
+                  Atomic.incr fired.(i));
+              ignore
+                (System.create_rule sys ~name:"price-watch"
+                   ~monitor_classes:[ Workloads.Stock_market.stock_class ]
+                   ~event:
+                     (Expr.eom ~cls:Workloads.Stock_market.stock_class
+                        "set_price")
+                   ~condition:"true" ~action:"count" ());
+              sys)
+            ()
+        in
+        let per = max 1 (tickers / shards) in
+        let markets =
+          List.init shards (fun i ->
+              match
+                Sentinel.Shard_pool.run_on pool i (fun sys ->
+                    Workloads.Stock_market.populate (System.db sys)
+                      (Prng.create (31 + i))
+                      ~stocks:per ~indexes:0 ~portfolios:0)
+              with
+              | Ok m -> m
+              | Error e -> raise e)
+        in
+        let market =
+          {
+            Workloads.Stock_market.stocks =
+              Array.concat
+                (List.map
+                   (fun m -> m.Workloads.Stock_market.stocks)
+                   markets);
+            indexes = [||];
+            portfolios = [||];
+          }
+        in
+        let n_tickers = Array.length market.Workloads.Stock_market.stocks in
+        let server = Net.Server.create ~pool () in
+        let port = Net.Server.port server in
+        let per_client = max 1 (events / clients) in
+        let n_batches = max 1 (per_client / batch) in
+        let total = clients * n_batches * batch in
+        let rtt_sum = Array.make clients 0. in
+        let rtt_n = Array.make clients 0 in
+        let worker k () =
+          let client =
+            Net.Sentinel_client.connect
+              ~client_name:(Printf.sprintf "bench-%d" k)
+              ~buffer_max:(batch + 1) ~host:"127.0.0.1" ~port ()
+          in
+          Fun.protect
+            ~finally:(fun () -> Net.Sentinel_client.close client)
+            (fun () ->
+              let feed =
+                Workloads.Stock_market.tick_batches
+                  (Prng.create (101 + k))
+                  market ~tickers:n_tickers ~rate:batch ~batches:n_batches
+              in
+              List.iter
+                (fun evs ->
+                  List.iter (Net.Sentinel_client.send client) evs;
+                  let t0 = Unix.gettimeofday () in
+                  ignore (Net.Sentinel_client.flush client);
+                  rtt_sum.(k) <- rtt_sum.(k) +. (Unix.gettimeofday () -. t0);
+                  rtt_n.(k) <- rtt_n.(k) + 1)
+                feed)
+        in
+        let (), ms =
+          time_ms (fun () ->
+              let threads =
+                List.init clients (fun k -> Thread.create (worker k) ())
+              in
+              List.iter Thread.join threads;
+              Sentinel.Shard_pool.drain pool)
+        in
+        let st = Net.Server.stats server in
+        Net.Server.stop server;
+        for i = 0 to shards - 1 do
+          match
+            Sentinel.Shard_pool.run_on pool i (fun sys ->
+                System.detach_wal sys)
+          with
+          | Ok () -> ()
+          | Error e -> raise e
+        done;
+        Sentinel.Shard_pool.stop pool;
+        (* wire parity: every event sent was acked, ingested and fired its
+           rule exactly once — the cheap shadow of the differential suite *)
+        let total_fired =
+          Array.fold_left (fun a c -> a + Atomic.get c) 0 fired
+        in
+        if total_fired <> total || st.Net.Server.events_ingested <> total then
+          failwith
+            (Printf.sprintf
+               "E-net parity: %d fired / %d ingested for %d events sent"
+               total_fired st.Net.Server.events_ingested total);
+        let rtt_ms =
+          let s = Array.fold_left ( +. ) 0. rtt_sum in
+          let n = Array.fold_left ( + ) 0 rtt_n in
+          1000. *. s /. float_of_int (max 1 n)
+        in
+        (float_of_int total /. (ms /. 1000.), rtt_ms, total))
+  in
+  row "  %6s %7s %6s  %12s  %11s  %10s\n" "shards" "clients" "batch" "ev/s"
+    "vs 1-client" "flush-rtt";
+  let cells =
+    List.concat_map
+      (fun shards ->
+        List.concat_map
+          (fun batch ->
+            let rows =
+              List.map
+                (fun clients ->
+                  let eps, rtt, total = run ~shards ~clients ~batch in
+                  (shards, clients, batch, eps, rtt, total))
+                [ 1; 4; 16 ]
+            in
+            let base =
+              match rows with (_, _, _, eps, _, _) :: _ -> eps | [] -> 1.
+            in
+            List.iter
+              (fun (shards, clients, batch, eps, rtt, _) ->
+                row "  %6d %7d %6d  %12.0f  %10.2fx  %10s\n" shards clients
+                  batch eps (eps /. base) (fmt_ms rtt))
+              rows;
+            rows)
+          [ 1; 64 ])
+      [ 1; 4 ]
+  in
+  (* slow-consumer mini-run: a raw subscriber that never reads its socket
+     against a tiny outlet — the shed books must balance exactly *)
+  let shed_run () =
+    let pool =
+      Sentinel.Shard_pool.create ~shards:2
+        ~init:(fun _ _ ->
+          let db = Db.create () in
+          Workloads.Stock_market.install db;
+          System.create db)
+        ()
+    in
+    Fun.protect
+      ~finally:(fun () -> Sentinel.Shard_pool.stop pool)
+      (fun () ->
+        let markets =
+          List.init 2 (fun i ->
+              match
+                Sentinel.Shard_pool.run_on pool i (fun sys ->
+                    Workloads.Stock_market.populate (System.db sys)
+                      (Prng.create (41 + i))
+                      ~stocks:8 ~indexes:0 ~portfolios:0)
+              with
+              | Ok m -> m
+              | Error e -> raise e)
+        in
+        let market =
+          {
+            Workloads.Stock_market.stocks =
+              Array.concat
+                (List.map
+                   (fun m -> m.Workloads.Stock_market.stocks)
+                   markets);
+            indexes = [||];
+            portfolios = [||];
+          }
+        in
+        let server =
+          Net.Server.create ~outlet_capacity:4
+            ~outlet_policy:Sentinel.Shard_pool.Shed_newest ~so_sndbuf:4096
+            ~pool ()
+        in
+        Fun.protect
+          ~finally:(fun () -> Net.Server.stop server)
+          (fun () ->
+            let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+            Fun.protect
+              ~finally:(fun () ->
+                try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                Unix.setsockopt_int fd Unix.SO_RCVBUF 4096;
+                Unix.connect fd
+                  (Unix.ADDR_INET
+                     ( Unix.inet_addr_of_string "127.0.0.1",
+                       Net.Server.port server ));
+                ignore
+                  (Net.Frame.write_fd fd
+                     (Net.Frame.Hello
+                        {
+                          version = Net.Frame.version;
+                          client = "bench-lazy";
+                        }));
+                (match Net.Frame.read_fd fd with
+                | Net.Frame.Hello_ack _, _ -> ()
+                | _ -> failwith "E-net shed: expected Hello_ack");
+                ignore
+                  (Net.Frame.write_fd fd
+                     (Net.Frame.Subscribe
+                        {
+                          name = "bench-lazy";
+                          classes = [ Workloads.Stock_market.stock_class ];
+                          expr =
+                            Events.Codec.encode
+                              (Expr.eom
+                                 ~cls:Workloads.Stock_market.stock_class
+                                 "set_price");
+                        }));
+                (match Net.Frame.read_fd fd with
+                | Net.Frame.Sub_ack _, _ -> ()
+                | _ -> failwith "E-net shed: expected Sub_ack");
+                (* bury the non-reading subscriber in notifications *)
+                let feed =
+                  Workloads.Stock_market.tick_batches (Prng.create 5) market
+                    ~tickers:16 ~rate:100 ~batches:40
+                in
+                List.iter
+                  (fun evs ->
+                    match Sentinel.Shard_pool.ingest pool evs with
+                    | Ok () -> ()
+                    | Error e ->
+                      failwith (Sentinel.Shard_pool.error_to_string e))
+                  feed;
+                Sentinel.Shard_pool.drain pool;
+                let deadline = Unix.gettimeofday () +. 5. in
+                let rec wait () =
+                  let s = Net.Server.stats server in
+                  if
+                    s.Net.Server.notifications_produced
+                    = s.Net.Server.notifications_enqueued
+                      + s.Net.Server.notifications_shed
+                      + s.Net.Server.notifications_parked
+                    && s.Net.Server.notifications_produced = 4_000
+                  then s
+                  else if Unix.gettimeofday () > deadline then s
+                  else begin
+                    Thread.delay 0.01;
+                    wait ()
+                  end
+                in
+                let s = wait () in
+                ( s.Net.Server.notifications_produced,
+                  s.Net.Server.notifications_enqueued,
+                  s.Net.Server.notifications_shed,
+                  s.Net.Server.notifications_parked ))))
+  in
+  let produced, enqueued, shed, parked = shed_run () in
+  let exact = produced = enqueued + shed + parked in
+  row "  slow consumer: produced %d = enqueued %d + shed %d + parked %d (%s)\n"
+    produced enqueued shed parked
+    (if exact then "exact" else "LEAK");
+  let eps_of shards clients batch =
+    List.find_map
+      (fun (s, c, b, eps, _, _) ->
+        if s = shards && c = clients && b = batch then Some eps else None)
+      cells
+    |> Option.get
+  in
+  let oc = open_out "BENCH_net.json" in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"E-net\",\n  \"events\": %d,\n  \"tickers\": %d,\n\
+    \  \"workload\": \"stock_market tick batches (seeded PRNG) sent by N \
+     concurrent protocol clients over TCP to one server fronting an \
+     N-shard pool, per-shard WAL attached fsync-per-commit, one reactive \
+     set_price rule per shard; each client flush = one Send_many frame = \
+     one partitioned cross-shard ingest, RTT measured per flush\",\n\
+    \  \"rows\": [\n"
+    events tickers;
+  List.iteri
+    (fun i (shards, clients, batch, eps, rtt, total) ->
+      Printf.fprintf oc
+        "    {\"shards\": %d, \"clients\": %d, \"batch\": %d, \"events\": \
+         %d, \"events_per_sec\": %.0f, \"flush_rtt_ms\": %.3f, \
+         \"speedup_vs_1client\": %.2f}%s\n"
+        shards clients batch total eps rtt
+        (eps /. eps_of shards 1 batch)
+        (if i = List.length cells - 1 then "" else ","))
+    cells;
+  Printf.fprintf oc
+    "  ],\n\
+    \  \"shed_accounting\": {\"produced\": %d, \"enqueued\": %d, \"shed\": \
+     %d, \"parked\": %d, \"exact\": %b}\n\
+     }\n"
+    produced enqueued shed parked exact;
+  close_out oc;
+  row "  wrote BENCH_net.json\n";
+  if smoke then begin
+    (* gate 1: a client fleet must actually pipeline — 16 clients at
+       batch=1 on the 4-shard pool >= 2x one RTT-bound client *)
+    let c1 = eps_of 4 1 1 and c16 = eps_of 4 16 1 in
+    if c16 < 2. *. c1 then begin
+      row "  FAIL: 16 clients %.0f ev/s below 2x 1 client %.0f ev/s\n" c16 c1;
+      exit 1
+    end
+    else
+      row "  bench-smoke gate: 16 clients >= 2x 1 client at batch=1, 4 \
+           shards (%.1fx, ok)\n"
+        (c16 /. c1);
+    (* gate 2: the slow-consumer books must balance to the notification *)
+    if (not exact) || shed = 0 then begin
+      row "  FAIL: shed accounting produced %d <> enqueued %d + shed %d + \
+           parked %d (or nothing shed)\n"
+        produced enqueued shed parked;
+      exit 1
+    end
+    else
+      row "  bench-smoke gate: slow-consumer shed accounting exact (%d shed, \
+           ok)\n"
+        shed
+  end
+
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5);
@@ -2147,6 +2499,7 @@ let experiments =
     ("obs", e_obs);
     ("chaos", e_chaos);
     ("ingest", e_ingest);
+    ("net", e_net);
   ]
 
 let () =

@@ -602,6 +602,133 @@ let cmd_ingest shards batch objects ops seed =
     (fun i c -> Printf.printf "  shard %d: fired=%d\n" i (Atomic.get c))
     fired
 
+(* Network server: front a shard pool with the wire protocol.  Each shard
+   gets the full workload schema plus a populated scenario so remote
+   clients have objects to drive and classes to subscribe to. *)
+let cmd_serve port shards scenario objects seed =
+  if shards < 1 then failwith "need at least one shard";
+  let pool =
+    Sentinel.Shard_pool.create ~shards
+      ~init:(fun _pool i ->
+        let db = Db.create () in
+        install_all db;
+        let sys = System.create db in
+        let rng = Workloads.Prng.create (seed + i) in
+        let per = max 1 (objects / shards) in
+        (match scenario with
+        | "market" ->
+          ignore
+            (Workloads.Stock_market.populate db rng ~stocks:per ~indexes:0
+               ~portfolios:0)
+        | "payroll" ->
+          ignore
+            (Workloads.Payroll.populate db rng
+               ~managers:(max 1 (per / 10))
+               ~employees:per)
+        | "hospital" ->
+          ignore (Workloads.Hospital.populate db rng ~patients:per ~physicians:3)
+        | "banking" -> ignore (Workloads.Banking.populate db rng ~accounts:per)
+        | other -> failwith (Printf.sprintf "unknown scenario %S" other));
+        sys)
+      ()
+  in
+  let server = Net.Server.create ~port ~pool () in
+  Printf.printf
+    "sentinel-cli serve: protocol v%d on port %d, %d shard(s), scenario %s \
+     (%d objects)\n\
+     press Ctrl-C to stop\n\
+     %!"
+    Net.Frame.version (Net.Server.port server) shards scenario objects;
+  (* serve until interrupted *)
+  let rec forever () =
+    Thread.delay 3600.;
+    forever ()
+  in
+  forever ()
+
+(* Exit codes for scripting: 10 connection refused / unreachable,
+   11 protocol version mismatch, 12 server-side degraded shard. *)
+let exit_refused = 10
+let exit_version = 11
+let exit_degraded = 12
+
+let cmd_connect host port status watch drive ops batch duration =
+  let split_target what s =
+    match String.index_opt s '.' with
+    | Some i ->
+      (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+    | None -> failwith (Printf.sprintf "%s expects CLASS.METHOD, got %S" what s)
+  in
+  try
+    let client =
+      Net.Sentinel_client.connect ~client_name:"sentinel-cli" ~max_attempts:3
+        ~host ~port ()
+    in
+    Printf.printf "connected to %s:%d (protocol v%d, %d shard(s))\n%!" host
+      port Net.Frame.version
+      (Net.Sentinel_client.shards client);
+    if status then begin
+      print_endline (Net.Sentinel_client.server_stats client)
+    end;
+    (match watch with
+    | Some target ->
+      let cls, meth = split_target "--watch" target in
+      let seen = Atomic.make 0 in
+      let _sub =
+        Net.Sentinel_client.subscribe client ~name:"cli-watch" ~classes:[ cls ]
+          (Expr.eom ~cls meth)
+          (fun instances ->
+            List.iter
+              (fun inst ->
+                Atomic.incr seen;
+                Printf.printf "firing %d: %s\n%!" (Atomic.get seen)
+                  (Events.Codec.encode_instance inst))
+              instances)
+      in
+      Printf.printf "watching %s.%s for %.1fs...\n%!" cls meth duration;
+      Thread.delay duration;
+      Printf.printf "watched %d firing(s)\n%!" (Atomic.get seen)
+    | None -> ());
+    (match drive with
+    | Some target ->
+      let cls, meth = split_target "--drive" target in
+      let rows = Net.Sentinel_client.query client ~cls ~pred:"true" in
+      if rows = [] then failwith (Printf.sprintf "no %s objects to drive" cls);
+      let oids = Array.of_list (List.map (fun (oid, _, _) -> oid) rows) in
+      let rng = Workloads.Prng.create 42 in
+      let t0 = Unix.gettimeofday () in
+      for i = 0 to ops - 1 do
+        let oid = Oodb.Oid.of_int oids.(i mod Array.length oids) in
+        Net.Sentinel_client.send client
+          (oid, meth, [ Value.Float (20. +. Workloads.Prng.float rng 160.) ]);
+        if (i + 1) mod batch = 0 then ignore (Net.Sentinel_client.flush client)
+      done;
+      ignore (Net.Sentinel_client.flush client);
+      Net.Sentinel_client.drain client;
+      let dt = Unix.gettimeofday () -. t0 in
+      let s = Net.Sentinel_client.stats client in
+      Printf.printf
+        "drove %d %s.%s event(s) in %d-event batches: %.0f ev/s (%d flushes)\n"
+        s.Net.Sentinel_client.events_sent cls meth batch
+        (float_of_int s.Net.Sentinel_client.events_sent /. dt)
+        s.Net.Sentinel_client.flushes
+    | None -> ());
+    if (not status) && watch = None && drive = None then
+      Printf.printf "ping: %.3f ms\n" (Net.Sentinel_client.ping client *. 1e3);
+    Net.Sentinel_client.close client
+  with
+  | Net.Sentinel_client.Connection_failed msg ->
+    Printf.eprintf "connection failed: %s\n" msg;
+    exit exit_refused
+  | Net.Sentinel_client.Version_mismatch { server; client } ->
+    Printf.eprintf "protocol version mismatch: server v%d, client v%d\n" server
+      client;
+    exit exit_version
+  | Net.Sentinel_client.Server_error { code; msg }
+    when code = Net.Frame.err_degraded ->
+    Printf.eprintf "server degraded: %s\n" msg;
+    exit exit_degraded
+
 (* Durability management: recover a store through the full pipeline (base
    snapshot + delta chain + WAL tail), optionally checkpoint or compact it,
    and report the on-disk durability state. *)
@@ -916,6 +1043,85 @@ let wal_cmd =
       const cmd_wal $ path_arg $ action_arg $ wal_path_arg $ delta_arg
       $ keep_bytes_arg $ keep_since_arg)
 
+let serve_cmd =
+  let port_arg =
+    Arg.(
+      value & opt int 7070
+      & info [ "port"; "p" ] ~docv:"PORT"
+          ~doc:"TCP port to listen on ($(b,0) picks an ephemeral port).")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Number of OID-sharded engine domains behind the server.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the Sentinel network server: a shard pool populated with a \
+          workload scenario, fronted by the length-prefixed binary protocol \
+          (streaming ingestion, subscriptions, queries).")
+    Term.(
+      const cmd_serve $ port_arg $ shards_arg $ scenario_arg $ objects_arg
+      $ seed_arg)
+
+let connect_cmd =
+  let host_arg =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"Server host.")
+  in
+  let port_arg =
+    Arg.(
+      value & opt int 7070 & info [ "port"; "p" ] ~docv:"PORT" ~doc:"Server port.")
+  in
+  let status_arg =
+    Arg.(
+      value & flag
+      & info [ "status" ] ~doc:"Print the server's stats counters and exit.")
+  in
+  let watch_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "watch" ] ~docv:"CLASS.METHOD"
+          ~doc:
+            "Subscribe to the method's primitive event and print each rule \
+             firing for $(b,--duration) seconds.")
+  in
+  let drive_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "drive" ] ~docv:"CLASS.METHOD"
+          ~doc:
+            "Stream $(b,--ops) events at the class's objects in \
+             $(b,--batch)-event Send_many frames and report throughput.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "batch" ] ~docv:"N" ~doc:"Events per Send_many frame.")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"How long $(b,--watch) listens before exiting.")
+  in
+  Cmd.v
+    (Cmd.info "connect"
+       ~doc:
+         "Connect to a running $(b,serve) instance: ping it, print its \
+          stats, watch rule firings, or drive an event stream at it.  Exits \
+          $(b,10) when the connection is refused, $(b,11) on a protocol \
+          version mismatch, $(b,12) when the server reports a degraded \
+          shard.")
+    Term.(
+      const cmd_connect $ host_arg $ port_arg $ status_arg $ watch_arg
+      $ drive_arg $ ops_arg $ batch_arg $ duration_arg)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "sentinel-cli" ~version:"1.0.0"
@@ -923,7 +1129,8 @@ let main_cmd =
     [
       generate_cmd; inspect_cmd; demo_cmd; scenarios_cmd; rules_cmd;
       compare_cmd; query_cmd; verify_cmd; analyze_cmd; dlq_cmd; reinstate_cmd;
-      metrics_cmd; trace_cmd; shards_cmd; ingest_cmd; wal_cmd;
+      metrics_cmd; trace_cmd; shards_cmd; ingest_cmd; wal_cmd; serve_cmd;
+      connect_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -318,6 +318,9 @@ type shard = {
   hand : Mutex.t; (* guards the worker<->supervisor job handoff *)
   mutable pending : msg list; (* claimed batch not yet started; under [hand] *)
   mutable current : msg option; (* message being executed; under [hand] *)
+  mutable deferred : (unit -> unit) list;
+      (* completions parked until the next durability point (the idle
+         hook); newest first, under [hand] *)
   heartbeat : int Atomic.t; (* batches + jobs, monotone *)
   busy_since : float Atomic.t; (* Clock ns; 0. when idle *)
   restarts : int Atomic.t;
@@ -342,6 +345,11 @@ type t = {
   timeouts : int Atomic.t; (* run_on deadline expiries *)
   failures : (int * exn) Obs.Ring.t; (* guarded by failures_lock *)
   failures_lock : Mutex.t;
+  on_idle : (int -> System.t -> unit) option;
+      (* runs on the shard domain whenever its mailbox goes empty — the
+         durability hook: sealing a group-commit WAL here means a quiescent
+         shard never holds unsynced commits, while a busy shard coalesces
+         an entire drain run into one fsync *)
   dead_letters : (int * job) Obs.Ring.t; (* guarded by dead_letters_lock *)
   dead_letters_lock : Mutex.t;
   on_failure : (shard:int -> exn -> unit) option;
@@ -437,6 +445,35 @@ let discard_at_stop (t : t) = function
   | Stop -> ()
   | Job j -> discard_job_at_stop t j
   | Jobs js -> List.iter (discard_job_at_stop t) js
+
+(* --- durability-deferred completions ----------------------------------------
+   A job that wants its waiter released only once its commits are sealed
+   parks the release here; the worker runs the parked list right after the
+   idle hook (the seal), and on its way out of the loop so no waiter can
+   hang across a stop or a crash-restart. *)
+
+let defer_on sh f =
+  Mutex.protect sh.hand (fun () -> sh.deferred <- f :: sh.deferred)
+
+let take_deferred sh =
+  Mutex.protect sh.hand (fun () ->
+      match sh.deferred with
+      | [] -> []
+      | l ->
+        sh.deferred <- [];
+        List.rev l)
+
+let run_deferred fs = List.iter (fun f -> try f () with _ -> ()) fs
+
+(* Park [f] until the owning shard's next durability point; [false] means
+   the pool has no idle hook (or runs inline), so the caller completes
+   immediately — deferral only makes sense when something seals on idle. *)
+let defer_durable t idx f =
+  if t.on_idle = None || t.n = 1 then false
+  else begin
+    defer_on t.shards.(idx) f;
+    true
+  end
 
 (* Shard-level containment backstop: a rule failure that escapes the
    rule-layer policies (Propagate, or an error outside any firing) is caught
@@ -624,6 +661,16 @@ let call ?timeout_ms t oid meth args =
   run_on ?timeout_ms t (shard_of t oid) (fun sys ->
       Db.send (System.db sys) oid meth args)
 
+let each ?timeout_ms t f =
+  let rec go i acc =
+    if i >= t.n then Ok (List.rev acc)
+    else
+      match run_on ?timeout_ms t i (fun sys -> f i sys) with
+      | Ok v -> go (i + 1) (v :: acc)
+      | Error e -> Error e
+  in
+  go 0 []
+
 (* --- cross-shard message batching ------------------------------------------ *)
 
 (* A posting-side buffer: cross-shard submissions accumulate per destination
@@ -709,7 +756,7 @@ let batch_post b oid meth args =
 
 (* --- batched ingestion ------------------------------------------------------ *)
 
-let ingest ?flush_max t events =
+let ingest ?flush_max ?(wait = false) t events =
   match events with
   | [] -> Ok ()
   | _ ->
@@ -738,6 +785,7 @@ let ingest ?flush_max t events =
       let b = batch ?flush_max t in
       let err = ref None in
       let note e = if !err = None then err := Some e in
+      let ivs = ref [] in
       Array.iteri
         (fun idx rev ->
           match rev with
@@ -745,16 +793,54 @@ let ingest ?flush_max t events =
           | rev ->
             let sub = List.rev rev in
             let res =
-              batch_post_on b idx (fun sys ->
-                  match System.ingest sys sub with
-                  | Ok _ -> ()
-                  (* re-raise so the job boundary records the shard failure:
-                     the sub-batch transaction already rolled back *)
-                  | Error e -> raise e)
+              if not wait then
+                batch_post_on b idx (fun sys ->
+                    match System.ingest sys sub with
+                    | Ok _ -> ()
+                    (* re-raise so the job boundary records the shard
+                       failure: the sub-batch transaction already rolled
+                       back *)
+                    | Error e -> raise e)
+              else begin
+                (* synchronous sub-batch: the waiter is released from the
+                   shard's next durability point when the pool seals on
+                   idle, from the job itself otherwise.  The ivar is
+                   first-fill-wins, so filling again on a submit error or
+                   an abort is safe. *)
+                let iv = Ivar.create () in
+                ivs := iv :: !ivs;
+                let r =
+                  batch_submit b idx
+                    ~run:(fun sys ->
+                      let r = System.ingest sys sub in
+                      let fin () =
+                        Ivar.fill iv
+                          (match r with
+                          | Ok _ -> Ok ()
+                          | Error _ -> Error (Degraded idx))
+                      in
+                      if not (defer_durable t idx fin) then fin ();
+                      match r with Ok _ -> () | Error e -> raise e)
+                    ~abort:(Some (fun e -> Ivar.fill iv (Error e)))
+                in
+                (* a rejected submit may drop the job without running its
+                   abort (backpressure shed): release this waiter here *)
+                (match r with Error e -> Ivar.fill iv (Error e) | Ok () -> ());
+                r
+              end
             in
             (match res with Ok () -> () | Error e -> note e))
         groups;
-      (match flush b with Ok () -> () | Error e -> note e);
+      (match flush b with
+      | Ok () -> ()
+      | Error e ->
+        (* a flush rejection may have dropped buffered jobs without their
+           abort callbacks: make sure no waiter is left parked *)
+        List.iter (fun iv -> Ivar.fill iv (Error e)) !ivs;
+        note e);
+      List.iter
+        (fun iv -> match Ivar.read iv with Ok () -> () | Error e -> note e)
+        !ivs;
       match !err with None -> Ok () | Some e -> Error e
     end
 
@@ -951,7 +1037,21 @@ let worker t sh ~gen ready =
            finish sh ~gen;
            loop ()
          | `Empty ->
-           let batch = Mpsc.take sh.inbox ~cancelled:stale in
+           let batch =
+             (* grab anything that raced in without blocking first: the
+                idle hook must only fire on a truly quiet mailbox, and a
+                loaded shard must not pay a durability point mid-run *)
+             match Mpsc.take_now sh.inbox with
+             | [] ->
+               (match t.on_idle with
+               | Some f -> ( try f sh.idx sys with e -> note_failure t sh e)
+               | None -> ());
+               (* the seal above made everything committed so far durable:
+                  release the waiters parked on this durability point *)
+               run_deferred (take_deferred sh);
+               Mpsc.take sh.inbox ~cancelled:stale
+             | b -> b
+           in
            ignore (Atomic.fetch_and_add sh.heartbeat 1);
            let keep =
              Mutex.protect sh.hand (fun () ->
@@ -997,9 +1097,12 @@ let worker t sh ~gen ready =
       in
       List.iter (discard_at_stop t) leftovers;
       List.iter (discard_at_stop t) (Mpsc.take_now sh.inbox);
+      (* no seal is coming: release parked waiters rather than hang them *)
+      run_deferred (take_deferred sh);
       Mutex.protect sh.hand (fun () ->
           if not (stale ()) then Atomic.set sh.alive false)
     | `Died ->
+      run_deferred (take_deferred sh);
       Mutex.protect sh.hand (fun () ->
           if not (stale ()) then Atomic.set sh.alive false)
     | `Abandoned -> ())
@@ -1187,9 +1290,10 @@ let stop t =
     List.iter (fun (d, fin) -> if Atomic.get fin then Domain.join d) zs
   end
 
-let create ?on_failure ?(failure_log_limit = 128) ?(dead_letter_limit = 256)
-    ?(inbox_capacity = 4096) ?(backpressure = Block { max_wait_ms = 1_000 })
-    ?supervision ~shards:n ~init () =
+let create ?on_failure ?on_idle ?(failure_log_limit = 128)
+    ?(dead_letter_limit = 256) ?(inbox_capacity = 4096)
+    ?(backpressure = Block { max_wait_ms = 1_000 }) ?supervision ~shards:n
+    ~init () =
   if n <= 0 then invalid_arg "Shard_pool.create: shards must be >= 1";
   if inbox_capacity < 1 then
     invalid_arg "Shard_pool.create: inbox_capacity must be >= 1";
@@ -1216,6 +1320,7 @@ let create ?on_failure ?(failure_log_limit = 128) ?(dead_letter_limit = 256)
               hand = Mutex.create ();
               pending = [];
               current = None;
+              deferred = [];
               heartbeat = Atomic.make 0;
               busy_since = Atomic.make 0.;
               restarts = Atomic.make 0;
@@ -1234,6 +1339,7 @@ let create ?on_failure ?(failure_log_limit = 128) ?(dead_letter_limit = 256)
       timeouts = Atomic.make 0;
       failures = Obs.Ring.create (max 1 failure_log_limit);
       failures_lock = Mutex.create ();
+      on_idle;
       dead_letters = Obs.Ring.create (max 1 dead_letter_limit);
       dead_letters_lock = Mutex.create ();
       on_failure;

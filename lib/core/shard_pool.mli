@@ -166,6 +166,7 @@ type stats = {
 
 val create :
   ?on_failure:(shard:int -> exn -> unit) ->
+  ?on_idle:(int -> System.t -> unit) ->
   ?failure_log_limit:int ->
   ?dead_letter_limit:int ->
   ?inbox_capacity:int ->
@@ -181,6 +182,17 @@ val create :
     raises at creation, the started shards are stopped and the exception
     re-raised; if it raises during a supervised {e restart}, the failure
     counts against the restart budget and is retried on the next sweep.
+
+    [on_idle shard sys] runs on the shard's own domain each time its
+    mailbox goes empty, before the worker parks — the {e durability hook}.
+    Pairing it with {!System.sync_wal} on a [~group_commit] journal gives
+    shard-level group commit: a quiescent shard never holds an unsealed
+    commit group, while under sustained load the whole backlog drained
+    between two idle points shares one seal (and one fsync).  The hook
+    must not post jobs; exceptions it raises are recorded as shard
+    failures and the worker keeps running.  Ignored at [shards:1] (inline
+    execution has no mailbox, so the caller owns its durability points).
+
     [failure_log_limit] (default 128) bounds the pool-wide failure ring;
     [dead_letter_limit] (default 256) the dead-letter ring (oldest evicted
     first); [inbox_capacity] (default 4096) each shard's mailbox;
@@ -211,6 +223,15 @@ val call :
 
 val post_on : t -> int -> (System.t -> unit) -> (unit, error) result
 (** Run an arbitrary job on a shard, asynchronously. *)
+
+val each : ?timeout_ms:int -> t -> (int -> System.t -> 'a) -> ('a list, exn) result
+(** Run a job synchronously on {e every} shard in index order and collect
+    the results — the registration hook for layers that must install the
+    same state on each shard's engine (the network server registers a
+    subscription's rule on every shard this way, and fans a streamed query
+    out shard by shard).  Stops at the first shard that fails; jobs already
+    run are not undone.  Built on {!run_on}, so it runs inline at
+    [shards:1]. *)
 
 val run_on : ?timeout_ms:int -> t -> int -> (System.t -> 'a) -> ('a, exn) result
 (** Run a job on a shard and wait for its result (used for object creation,
@@ -265,6 +286,7 @@ val flush : batch -> (unit, error) result
 
 val ingest :
   ?flush_max:int ->
+  ?wait:bool ->
   t ->
   (Oodb.Oid.t * string * Oodb.Value.t list) list ->
   (unit, error) result
@@ -273,12 +295,22 @@ val ingest :
     destination one job that runs {!System.ingest} on its sub-batch — so
     each shard pays one transaction scope, one cascade trace and one
     route-coalescing scope for its whole sub-batch, and the posting side
-    ships at most one message per destination.  Asynchronous: [Ok ()] means
-    every sub-batch was accepted; {!drain} to await execution.  A failing
-    sub-batch rolls back on its shard (the {!System.ingest} transaction)
-    and is contained as a shard failure; other shards' sub-batches are
-    unaffected.  At [shards:1] the batch is ingested inline on the
-    caller. *)
+    ships at most one message per destination.  By default asynchronous:
+    [Ok ()] means every sub-batch was accepted; {!drain} to await
+    execution.  A failing sub-batch rolls back on its shard (the
+    {!System.ingest} transaction) and is contained as a shard failure;
+    other shards' sub-batches are unaffected.  At [shards:1] the batch is
+    ingested inline on the caller.
+
+    [~wait:true] blocks until every sub-batch has {e executed}: [Ok ()]
+    then means applied, and a failed sub-batch surfaces as
+    [Error (Degraded shard)] instead of a silent contained failure.  On a
+    pool with an [on_idle] durability hook the wait extends through the
+    owning shard's next idle seal — so with a [~group_commit] journal
+    sealed from the hook, [Ok ()] means {e durable}, and concurrent
+    waiting ingests that pile onto one shard share a single seal (and one
+    fsync): shard-level group commit.  The network server acks [Send_many]
+    through this path. *)
 
 val drain : t -> unit
 (** Block until the pool is quiescent: every accepted job has either

@@ -270,6 +270,48 @@ let decode_occurrence input =
            |> List.map (fun p -> Oodb.Persist.decode_value (unescape p)))
   | _ -> occ_error input "expected 6 fields"
 
+(* --- wire events -----------------------------------------------------------
+
+   The network layer ships send requests — (target, method, params) triples,
+   the input of [Db.send]/[System.ingest] — in the same escaped textual
+   form, so the wire protocol's payload codec is this module rather than a
+   second serializer.
+
+     ev ::= ev(<oid>,<meth>,<param>;<param>...)                              *)
+
+let encode_event ((oid, meth, params) : Oid.t * string * Oodb.Value.t list) =
+  let params =
+    List.map (fun v -> escape (Oodb.Persist.encode_value v)) params
+    |> String.concat ";"
+  in
+  Printf.sprintf "ev(%d,%s,%s)" (Oid.to_int oid) (escape meth) params
+
+let decode_event input =
+  let fail msg =
+    raise (Errors.Parse_error (Printf.sprintf "event %S: %s" input msg))
+  in
+  let n = String.length input in
+  let inner =
+    if n >= 4 && String.sub input 0 3 = "ev(" && input.[n - 1] = ')' then
+      String.sub input 3 (n - 4)
+    else fail "missing ev(...) frame"
+  in
+  match String.split_on_char ',' inner with
+  | [ oid_s; meth; params ] ->
+    let oid =
+      match int_of_string_opt oid_s with
+      | Some v -> Oid.of_int v
+      | None -> fail (Printf.sprintf "bad oid: %S" oid_s)
+    in
+    let params =
+      if params = "" then []
+      else
+        String.split_on_char ';' params
+        |> List.map (fun p -> Oodb.Persist.decode_value (unescape p))
+    in
+    (oid, unescape meth, params)
+  | _ -> fail "expected 3 fields"
+
 let encode_instance (i : Detector.instance) =
   Printf.sprintf "inst(%d,%d,%s)" i.t_start i.t_end
     (String.concat "|" (List.map encode_occurrence i.constituents))

@@ -26,3 +26,16 @@ val decode_occurrence : string -> Oodb.Occurrence.t
 val encode_instance : Detector.instance -> string
 val decode_instance : string -> Detector.instance
 (** @raise Oodb.Errors.Parse_error on malformed input. *)
+
+(** {1 Wire events}
+
+    The network layer ships send requests — the [(target, method, params)]
+    triples that feed {!Oodb.Db.send} and [System.ingest] — in the same
+    escaped textual form, so the binary protocol's payload encoding reuses
+    this module instead of introducing a second serializer.
+    [decode_event (encode_event e)] is structurally equal to [e]. *)
+
+val encode_event : Oodb.Oid.t * string * Oodb.Value.t list -> string
+
+val decode_event : string -> Oodb.Oid.t * string * Oodb.Value.t list
+(** @raise Oodb.Errors.Parse_error on malformed input. *)

@@ -154,6 +154,8 @@ let instant name label =
 
 let current () = (Domain.DLS.get dls).cur_trace
 
+let fresh_id () = if !on then 1 + Atomic.fetch_and_add next_trace 1 else 0
+
 let with_trace trace f =
   let st = Domain.DLS.get dls in
   let saved_trace = st.cur_trace and saved_parent = st.cur_parent in

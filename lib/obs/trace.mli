@@ -60,6 +60,14 @@ val current : unit -> int
 (** The live trace id, 0 when none.  Capture at enqueue time and replay via
     {!with_trace} to carry a cascade across a deferred or detached gap. *)
 
+val fresh_id : unit -> int
+(** Mint a cascade id without opening a span — for carrying a trace across a
+    process boundary (e.g. a wire protocol frame): the sender stamps the
+    message with a fresh id, the receiver replays it with {!with_trace} so
+    the remote cascade joins the same trace.  Counts toward
+    {!traces_started}.  Returns [0] (the no-trace id) while tracing is
+    disabled, so a disabled sender costs one load and one branch. *)
+
 val with_trace : int -> (unit -> 'a) -> 'a
 (** Run the thunk with the given trace id current (0 = no trace: spans
     opened inside start fresh traces).  Restores the previous trace state on

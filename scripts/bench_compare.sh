@@ -1,25 +1,31 @@
 #!/usr/bin/env bash
-# bench_compare.sh [--fail-below PATH_REGEX MIN_RATIO]... BASELINE.json FRESH.json
+# bench_compare.sh [GATES]... BASELINE_DIR FRESH_DIR BENCH.json...
 #
-# Flatten every numeric leaf of the two bench JSON files to "path value"
-# pairs and emit a markdown table of baseline / fresh / ratio, for
-# $GITHUB_STEP_SUMMARY.  Paths present on only one side are shown with a
-# "-" on the other; absolute numbers vary by runner, so the ratio column is
-# the thing to read.
+# Compare the listed bench JSON files between a baseline directory (the
+# committed copies, snapshotted before the suite ran) and a fresh
+# directory (where the benches just wrote), and emit ONE merged markdown
+# table for $GITHUB_STEP_SUMMARY.  Every numeric leaf is flattened to a
+# "file.path value" pair with the file's basename (minus .json) as the
+# leading path segment, so gates can address metrics across files:
+# BENCH_oltp.shards.0.send_events_per_sec, BENCH_net.rows.3.events_per_sec.
 #
-# --fail-below PATH_REGEX MIN_RATIO (repeatable) turns the comparison into
-# a gate: exit 1 if any metric whose flattened path matches PATH_REGEX has
-# a fresh/baseline ratio below MIN_RATIO.  Use generous floors — this is a
-# catastrophic-regression catch, not a benchmark; absolute numbers swing by
-# runner, ratios by tens of percent.  Paths missing on either side are not
-# gated (a renamed metric should fail review, not CI).
+# A file listed here is a claim that the suite refreshed it.  A committed
+# baseline whose fresh copy is missing — or byte-identical, which means
+# the bench never actually ran — fails the comparison: a silently skipped
+# bench must not read as a green gate.  A fresh file with no baseline is
+# fine (a brand-new bench has nothing to compare against yet).
 #
-# --fail-ratio-below NUM_PATH DEN_PATH MIN (repeatable) gates on a ratio
-# *within the fresh file*: exit 1 if fresh[NUM_PATH] / fresh[DEN_PATH] is
-# below MIN.  Runner-speed-independent (both sides ran on the same box in
-# the same run), so it suits overhead budgets — e.g. supervised vs plain
-# throughput.  Paths are exact flattened paths, not regexes; a missing
-# path skips the gate.
+# Gates (repeatable, in any order before the directories):
+#   --fail-below PATH_REGEX MIN_RATIO
+#       exit 1 if any metric whose flattened (file-prefixed) path matches
+#       PATH_REGEX has fresh/baseline below MIN_RATIO.  Use generous
+#       floors — this is a catastrophic-regression catch, not a
+#       benchmark; absolute numbers swing by runner.
+#   --fail-ratio-below NUM_PATH DEN_PATH MIN
+#       exit 1 if fresh[NUM_PATH] / fresh[DEN_PATH] is below MIN.  Both
+#       are exact file-prefixed paths within the fresh files; both sides
+#       ran on the same box in the same run, so the floor can be tight.
+#       A missing path skips the gate.
 set -euo pipefail
 
 gate_regexes=()
@@ -44,45 +50,79 @@ while true; do
   esac
 done
 
-baseline="$1"
-fresh="$2"
-
-# A bench that gained a JSON file (or a brand-new bench) has no committed
-# baseline yet: nothing to compare, not an error.
-if [ ! -e "$baseline" ]; then
-  echo "bench-compare: no baseline for $(basename "$fresh"), skipping"
-  exit 0
+if [ "$#" -lt 3 ]; then
+  echo "usage: bench_compare.sh [gates] BASELINE_DIR FRESH_DIR BENCH.json..." >&2
+  exit 2
 fi
-if [ ! -e "$fresh" ]; then
-  echo "bench-compare: no fresh results at $fresh, skipping"
-  exit 0
-fi
+baseline_dir="$1"
+fresh_dir="$2"
+shift 2
 
+fail=0
+
+# Flatten every numeric leaf of $2 to "<prefix>.path value" lines.
 flatten() {
-  jq -r '
+  jq -r --arg prefix "$1" '
     paths(type == "number") as $p
-    | "\($p | map(tostring) | join(".")) \(getpath($p))"
-  ' "$1"
+    | "\($prefix).\($p | map(tostring) | join(".")) \(getpath($p))"
+  ' "$2"
 }
 
-joined=$(join -a1 -a2 -e '-' -o 0,1.2,2.2 \
-  <(flatten "$baseline" | sort) \
-  <(flatten "$fresh" | sort))
+base_flat=""
+fresh_flat=""
+missing=()
+for file in "$@"; do
+  prefix="${file%.json}"
+  base="$baseline_dir/$file"
+  fresh="$fresh_dir/$file"
+  if [ ! -e "$fresh" ]; then
+    if [ -e "$base" ]; then
+      missing+=("$file (no fresh results)")
+      fail=1
+    else
+      echo "bench-compare: $file never ran and has no baseline, skipping"
+    fi
+    continue
+  fi
+  if [ -e "$base" ]; then
+    if cmp -s "$base" "$fresh"; then
+      # bench output embeds measured times; byte-identical means the
+      # committed copy was never overwritten, i.e. the bench didn't run
+      missing+=("$file (fresh copy identical to committed baseline)")
+      fail=1
+      continue
+    fi
+    base_flat+="$(flatten "$prefix" "$base")"$'\n'
+  else
+    echo "bench-compare: no baseline for $file, comparing fresh only"
+  fi
+  fresh_flat+="$(flatten "$prefix" "$fresh")"$'\n'
+done
 
-awk -v name="$(basename "$fresh")" '
+joined=$(join -a1 -a2 -e '-' -o 0,1.2,2.2 \
+  <(printf '%s' "$base_flat" | sort) \
+  <(printf '%s' "$fresh_flat" | sort))
+
+awk '
     BEGIN {
-      printf "\n### bench-compare: %s\n\n", name
+      printf "\n### bench-compare\n\n"
       printf "| metric | baseline | fresh | ratio |\n"
       printf "|---|---:|---:|---:|\n"
     }
-    {
+    NF == 3 {
       ratio = "-"
       if ($2 != "-" && $3 != "-" && $2 + 0 != 0)
         ratio = sprintf("%.2f", ($3 + 0) / ($2 + 0))
       printf "| %s | %s | %s | %s |\n", $1, $2, $3, ratio
     }' <<<"$joined"
 
-fail=0
+if [ "${#missing[@]}" -gt 0 ]; then
+  for m in "${missing[@]}"; do
+    echo "bench-compare: FAIL committed baseline without a fresh run: $m" |
+      tee /dev/stderr
+  done
+fi
+
 for i in "${!gate_regexes[@]}"; do
   regex="${gate_regexes[$i]}"
   floor="${gate_floors[$i]}"
@@ -96,7 +136,6 @@ for i in "${!gate_regexes[@]}"; do
   done < <(grep -E "^${regex} " <<<"$joined" || true)
 done
 
-fresh_flat=$(flatten "$fresh")
 for i in "${!ratio_nums[@]}"; do
   num_path="${ratio_nums[$i]}"
   den_path="${ratio_dens[$i]}"

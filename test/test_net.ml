@@ -1,0 +1,490 @@
+(* The wire layer: frame codec robustness (roundtrip, truncation, CRC
+   bit-flips, version mismatch), the TCP server/client pair, and the
+   differential guarantee — a batch ingested over the wire produces the
+   same firings, audit entries and dead letters as the same batch through
+   the in-process [System.ingest]. *)
+
+open Helpers
+module Prng = Workloads.Prng
+module Audit = Sentinel.Audit
+module Shard_pool = Sentinel.Shard_pool
+module Frame = Net.Frame
+module Server = Net.Server
+module Client = Net.Sentinel_client
+
+(* --- frame codec ----------------------------------------------------------- *)
+
+let gen_str = QCheck2.Gen.(string_size ~gen:printable (int_bound 40))
+
+let gen_frame =
+  let open QCheck2.Gen in
+  let small = int_bound 0xFFFF in
+  oneof
+    [
+      map2 (fun v c -> Frame.Hello { version = v; client = c }) small gen_str;
+      map2
+        (fun t evs -> Frame.Send_many { trace = t; events = evs })
+        nat
+        (list_size (int_bound 8) gen_str);
+      map3
+        (fun n cs e -> Frame.Subscribe { name = n; classes = cs; expr = e })
+        gen_str
+        (list_size (int_bound 4) gen_str)
+        gen_str;
+      map (fun id -> Frame.Unsubscribe { sub_id = id }) small;
+      map2 (fun c p -> Frame.Query { cls = c; pred = p }) gen_str gen_str;
+      return Frame.Drain;
+      return Frame.Stats_req;
+      map (fun tk -> Frame.Ping { token = tk }) nat;
+      map2 (fun v s -> Frame.Hello_ack { version = v; shards = s }) small small;
+      map (fun c -> Frame.Ack { count = c }) small;
+      map (fun id -> Frame.Sub_ack { sub_id = id }) small;
+      map2
+        (fun id is -> Frame.Notify { sub_id = id; instances = is })
+        small
+        (list_size (int_bound 8) gen_str);
+      map
+        (fun rows -> Frame.Rows { rows })
+        (list_size (int_bound 5)
+           (triple nat gen_str (list_size (int_bound 4) (pair gen_str gen_str))));
+      map (fun n -> Frame.Query_done { total = n }) small;
+      return Frame.Drain_done;
+      map (fun s -> Frame.Stats { text = s }) gen_str;
+      map (fun tk -> Frame.Pong { token = tk }) nat;
+      map2 (fun c m -> Frame.Err { code = c; msg = m }) small gen_str;
+    ]
+
+let test_frame_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"frame decode . encode = id" ~count:500 gen_frame
+       (fun msg -> Frame.decode (Frame.encode msg) = msg))
+
+let test_truncated_rejected =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"truncated frames rejected" ~count:100
+       QCheck2.Gen.(pair gen_frame (int_bound 1000))
+       (fun (msg, cut) ->
+         let s = Frame.encode msg in
+         let cut = cut mod max 1 (String.length s) in
+         match Frame.decode (String.sub s 0 cut) with
+         | _ -> false
+         | exception Frame.Frame_error _ -> true))
+
+let test_bitflip_rejected =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"bit-flipped frames rejected" ~count:300
+       QCheck2.Gen.(triple gen_frame (int_bound 10_000) (int_bound 7))
+       (fun (msg, pos, bit) ->
+         let s = Frame.encode msg in
+         let pos = pos mod String.length s in
+         let b = Bytes.of_string s in
+         Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+         let s' = Bytes.unsafe_to_string b in
+         (* any single-bit corruption must fail to decode to the original:
+            header flips break magic/flags/length/tag/CRC checks, payload
+            flips break the CRC, version-byte flips raise Version_mismatch *)
+         match Frame.decode s' with
+         | msg' -> msg' <> msg && pos = 5  (* only a tag flip could decode *)
+         | exception (Frame.Frame_error _ | Frame.Version_mismatch _) -> true))
+
+let test_event_codec_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"wire event codec roundtrips" ~count:300
+       QCheck2.Gen.(
+         triple (int_bound 100_000)
+           (string_size ~gen:printable (int_range 1 20))
+           (list_size (int_bound 4)
+              (oneof
+                 [
+                   map (fun f -> Oodb.Value.Float f) (float_bound_inclusive 1e6);
+                   map (fun i -> Oodb.Value.Int i) (int_bound 1_000_000);
+                   map (fun s -> Oodb.Value.Str s) gen_str;
+                 ])))
+       (fun (o, m, ps) ->
+         let ev = (Oid.of_int o, m, ps) in
+         Events.Codec.decode_event (Events.Codec.encode_event ev) = ev))
+
+(* --- server fixtures ------------------------------------------------------- *)
+
+(* A pool whose every shard carries the employee schema, a counting rule on
+   set_salary, an audit trail, and [objects] employees. *)
+let mk_pool ?(shards = 1) ?(objects = 8) ?(rule = true) () =
+  let audits = Array.make shards None in
+  let fired = Array.init shards (fun _ -> Atomic.make 0) in
+  let pool =
+    Shard_pool.create ~shards
+      ~init:(fun _pool i ->
+        let db = employee_db () in
+        let sys = System.create db in
+        audits.(i) <- Some (Audit.attach sys);
+        System.register_action sys "count" (fun _ _ -> Atomic.incr fired.(i));
+        if rule then
+          ignore
+            (System.create_rule sys ~name:"salary-watch"
+               ~monitor_classes:[ "employee" ]
+               ~event:(Expr.eom ~cls:"employee" "set_salary")
+               ~condition:"true" ~action:"count" ());
+        let rng = Prng.create (97 + i) in
+        ignore
+          (Workloads.Payroll.populate db rng ~managers:1
+             ~employees:(max 1 (objects / shards)));
+        sys)
+      ()
+  in
+  (pool, fired, audits)
+
+let with_server ?shards ?objects ?rule ?outlet_capacity ?outlet_policy
+    ?so_sndbuf f =
+  let pool, fired, audits = mk_pool ?shards ?objects ?rule () in
+  let server =
+    Server.create ?outlet_capacity ?outlet_policy ?so_sndbuf ~pool ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      Shard_pool.stop pool)
+    (fun () -> f server pool fired audits)
+
+let with_client server f =
+  let client =
+    Client.connect ~host:"127.0.0.1" ~port:(Server.port server) ()
+  in
+  Fun.protect ~finally:(fun () -> Client.close client) (fun () -> f client)
+
+(* Poll until the predicate holds or the deadline passes. *)
+let eventually ?(timeout = 5.0) pred =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    if pred () then true
+    else if Unix.gettimeofday () >= deadline then false
+    else begin
+      Thread.delay 0.01;
+      go ()
+    end
+  in
+  go ()
+
+let employee_oids pool =
+  match
+    Shard_pool.each pool (fun _ sys ->
+        Oodb.Db.extent (System.db sys) "employee")
+  with
+  | Ok per_shard -> List.concat per_shard
+  | Error e -> raise e
+
+(* --- handshake and version mismatch ---------------------------------------- *)
+
+let test_handshake_and_ping () =
+  with_server ~shards:2 (fun server _pool _ _ ->
+      with_client server (fun client ->
+          Alcotest.(check int) "shards" 2 (Client.shards client);
+          let rtt = Client.ping client in
+          Alcotest.(check bool) "rtt sane" true (rtt >= 0. && rtt < 5.)))
+
+let test_version_mismatch () =
+  with_server (fun server _pool _ _ ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd
+            (Unix.ADDR_INET
+               (Unix.inet_addr_of_string "127.0.0.1", Server.port server));
+          ignore
+            (Frame.write_fd fd ~version:9
+               (Frame.Hello { version = 9; client = "old" }));
+          match Frame.read_fd fd with
+          | Frame.Err { code; msg }, _ ->
+            Alcotest.(check int) "err_version" Frame.err_version code;
+            Alcotest.(check bool) "names both versions" true
+              (contains_substring ~sub:"protocol 1" msg)
+          | frame, _ ->
+            Alcotest.failf "expected Err, got tag 0x%02x" (Frame.tag frame)))
+
+let test_client_version_exception () =
+  (* the client raises a typed Version_mismatch when the server says no *)
+  with_server (fun server _pool _ _ ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd
+            (Unix.ADDR_INET
+               (Unix.inet_addr_of_string "127.0.0.1", Server.port server));
+          (* a well-framed v1 Hello whose payload claims an old version *)
+          ignore
+            (Frame.write_fd fd (Frame.Hello { version = 9; client = "old" }));
+          match Frame.read_fd fd with
+          | Frame.Err { code; _ }, _ ->
+            Alcotest.(check int) "err_version" Frame.err_version code
+          | _ -> Alcotest.fail "expected Err"))
+
+(* --- wire vs in-process differential --------------------------------------- *)
+
+let outcome_tag = function
+  | Audit.Fired -> "fired"
+  | Audit.Condition_false -> "cond-false"
+  | Audit.Aborted m -> "aborted:" ^ m
+  | Audit.Action_error e -> "action-error:" ^ Printexc.to_string e
+  | Audit.Contained e -> "contained:" ^ Printexc.to_string e
+  | Audit.Quarantined e -> "quarantined:" ^ Printexc.to_string e
+
+let gen_batch rng objs n =
+  List.init n (fun _ ->
+      let target = Prng.choice rng objs in
+      match Prng.int rng 3 with
+      | 0 -> (target, "set_salary", [ Value.Float (Prng.float rng 100.) ])
+      | 1 -> (target, "change_income", [ Value.Float (Prng.float rng 100.) ])
+      | _ -> (target, "get_age", []))
+
+(* Everything observable about a run, from the audit trail and counters. *)
+let observe_sys sys audit fired =
+  let audit_entries =
+    List.map
+      (fun (e : Audit.entry) -> (e.e_rule_name, outcome_tag e.e_outcome, e.e_at))
+      (Audit.entries audit)
+  in
+  (fired, audit_entries, List.length (System.dead_letters sys))
+
+let test_wire_differential () =
+  List.iter
+    (fun (seed, n) ->
+      (* reference: the same fixture driven through in-process ingest *)
+      let ref_obs =
+        let db = employee_db () in
+        let sys = System.create db in
+        let audit = Audit.attach sys in
+        let fired = ref 0 in
+        System.register_action sys "count" (fun _ _ -> incr fired);
+        ignore
+          (System.create_rule sys ~name:"salary-watch"
+             ~monitor_classes:[ "employee" ]
+             ~event:(Expr.eom ~cls:"employee" "set_salary")
+             ~condition:"true" ~action:"count" ());
+        let rng = Prng.create 97 in
+        ignore (Workloads.Payroll.populate db rng ~managers:1 ~employees:8);
+        let objs = Array.of_list (Oodb.Db.extent db "employee") in
+        let batch = gen_batch (Prng.create seed) objs n in
+        (match System.ingest sys batch with
+        | Ok _ -> ()
+        | Error e -> raise e);
+        observe_sys sys audit !fired
+      in
+      (* candidate: identical fixture behind the server, batch over the wire *)
+      let wire_obs =
+        with_server ~shards:1 ~objects:8 (fun server pool fired audits ->
+            let objs = Array.of_list (employee_oids pool) in
+            let batch = gen_batch (Prng.create seed) objs n in
+            with_client server (fun client ->
+                List.iter (fun ev -> Client.send client ev) batch;
+                ignore (Client.flush client);
+                Client.drain client);
+            Shard_pool.drain pool;
+            let sys = Shard_pool.system pool 0 in
+            observe_sys sys (Option.get audits.(0)) (Atomic.get fired.(0)))
+      in
+      let (r_f, r_a, r_d) = ref_obs and (w_f, w_a, w_d) = wire_obs in
+      Alcotest.(check int) "firings" r_f w_f;
+      Alcotest.(check bool) "audit entries" true (r_a = w_a);
+      Alcotest.(check int) "dead letters" r_d w_d;
+      Alcotest.(check bool) "non-trivial" true (r_f > 0))
+    [ (3, 20); (7, 64); (11, 130) ]
+
+(* --- subscribe / notify ---------------------------------------------------- *)
+
+let test_subscribe_notify () =
+  with_server ~shards:2 ~rule:false (fun server pool _ _ ->
+      with_client server (fun client ->
+          let got = Atomic.make 0 in
+          let sub =
+            Client.subscribe client ~name:"watch" ~classes:[ "employee" ]
+              (Expr.eom ~cls:"employee" "set_salary")
+              (fun instances ->
+                ignore (Atomic.fetch_and_add got (List.length instances)))
+          in
+          let objs = employee_oids pool in
+          List.iteri
+            (fun i oid ->
+              Client.send client
+                (oid, "set_salary", [ Value.Float (float_of_int (50 + i)) ]))
+            objs;
+          ignore (Client.flush client);
+          Client.drain client;
+          let expected = List.length objs in
+          Alcotest.(check bool) "all notifications arrive" true
+            (eventually (fun () -> Atomic.get got = expected));
+          (* after unsubscribe, further events stay silent *)
+          Client.unsubscribe client sub;
+          List.iter
+            (fun oid ->
+              Client.send client (oid, "set_salary", [ Value.Float 1. ]))
+            objs;
+          ignore (Client.flush client);
+          Client.drain client;
+          Thread.delay 0.1;
+          Alcotest.(check int) "no post-unsubscribe notifications" expected
+            (Atomic.get got);
+          let s = Server.stats server in
+          Alcotest.(check int) "subscription gauge back to zero" 0
+            s.Server.subscriptions_active))
+
+(* --- query ----------------------------------------------------------------- *)
+
+let test_query_streams_rows () =
+  with_server ~shards:2 ~objects:10 (fun server _pool _ _ ->
+      with_client server (fun client ->
+          let rows = Client.query client ~cls:"employee" ~pred:"true" in
+          Alcotest.(check bool) "rows from every shard" true
+            (List.length rows >= 10);
+          List.iter
+            (fun (_oid, cls, attrs) ->
+              (* the deep employee extent includes the manager subclass *)
+              Alcotest.(check bool) "class" true
+                (cls = "employee" || cls = "manager");
+              Alcotest.(check bool) "has salary attr" true
+                (List.mem_assoc "salary" attrs))
+            rows;
+          (* bad predicate surfaces as a typed request error *)
+          match Client.query client ~cls:"employee" ~pred:"salary >" with
+          | _ -> Alcotest.fail "expected Server_error"
+          | exception Client.Server_error { code; _ } ->
+            Alcotest.(check int) "err_request" Frame.err_request code))
+
+(* --- slow consumer: exact shed accounting ---------------------------------- *)
+
+let test_slow_consumer_shed_accounting () =
+  (* Raw subscriber that never reads its socket + tiny outlet + tiny kernel
+     send buffer: the writer jams against TCP backpressure, the outlet
+     fills, Shed_newest drops the rest — and the books must balance:
+     produced = enqueued + shed + parked. *)
+  with_server ~rule:false ~outlet_capacity:4 ~outlet_policy:Shard_pool.Shed_newest
+    ~so_sndbuf:4096
+    (fun server pool _ _ ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.setsockopt_int fd Unix.SO_RCVBUF 4096;
+          Unix.connect fd
+            (Unix.ADDR_INET
+               (Unix.inet_addr_of_string "127.0.0.1", Server.port server));
+          ignore
+            (Frame.write_fd fd
+               (Frame.Hello { version = Frame.version; client = "lazy" }));
+          (match Frame.read_fd fd with
+          | Frame.Hello_ack _, _ -> ()
+          | _ -> Alcotest.fail "expected Hello_ack");
+          ignore
+            (Frame.write_fd fd
+               (Frame.Subscribe
+                  {
+                    name = "lazy";
+                    classes = [ "employee" ];
+                    expr =
+                      Events.Codec.encode (Expr.eom ~cls:"employee" "set_salary");
+                  }));
+          (match Frame.read_fd fd with
+          | Frame.Sub_ack _, _ -> ()
+          | _ -> Alcotest.fail "expected Sub_ack");
+          (* now stop reading and bury the subscriber in notifications *)
+          let objs = Array.of_list (employee_oids pool) in
+          let rng = Prng.create 5 in
+          for _ = 1 to 40 do
+            let batch =
+              List.init 100 (fun _ ->
+                  ( Prng.choice rng objs,
+                    "set_salary",
+                    [ Value.Float (Prng.float rng 100.) ] ))
+            in
+            match Shard_pool.ingest pool batch with
+            | Ok () -> ()
+            | Error e -> Alcotest.fail (Shard_pool.error_to_string e)
+          done;
+          Shard_pool.drain pool;
+          let ok =
+            eventually (fun () ->
+                let s = Server.stats server in
+                s.Server.notifications_produced
+                = s.Server.notifications_enqueued + s.Server.notifications_shed
+                  + s.Server.notifications_parked)
+          in
+          let s = Server.stats server in
+          Alcotest.(check int) "produced covers the whole run" 4000
+            s.Server.notifications_produced;
+          Alcotest.(check bool) "slow consumer sheds" true
+            (s.Server.notifications_shed > 0);
+          Alcotest.(check bool)
+            (Printf.sprintf "exact accounting: %d = %d + %d + %d"
+               s.Server.notifications_produced s.Server.notifications_enqueued
+               s.Server.notifications_shed s.Server.notifications_parked)
+            true ok))
+
+(* --- reconnection ---------------------------------------------------------- *)
+
+let test_connect_refused_bounded () =
+  (* nothing listens here: the client must give up after max_attempts *)
+  let t0 = Unix.gettimeofday () in
+  (match
+     Client.connect ~max_attempts:3
+       ~rand:(fun () -> 0.5)
+       ~host:"127.0.0.1" ~port:1 ()
+   with
+  | _ -> Alcotest.fail "expected Connection_failed"
+  | exception Client.Connection_failed _ -> ());
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "bounded backoff" true (dt < 2.0)
+
+let test_reconnect_resubscribes () =
+  let pool, _fired, _audits = mk_pool ~rule:false () in
+  Fun.protect
+    ~finally:(fun () -> Shard_pool.stop pool)
+    (fun () ->
+      let server1 = Server.create ~pool () in
+      let port = Server.port server1 in
+      let client = Client.connect ~host:"127.0.0.1" ~port () in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          let got = Atomic.make 0 in
+          ignore
+            (Client.subscribe client ~classes:[ "employee" ]
+               (Expr.eom ~cls:"employee" "set_salary")
+               (fun is -> ignore (Atomic.fetch_and_add got (List.length is))));
+          Server.stop server1;
+          (* same port, fresh server over the same pool: the next request
+             reconnects with backoff and re-registers the subscription *)
+          let server2 = Server.create ~port ~pool () in
+          Fun.protect
+            ~finally:(fun () -> Server.stop server2)
+            (fun () ->
+              let objs = employee_oids pool in
+              List.iter
+                (fun oid ->
+                  Client.send client (oid, "set_salary", [ Value.Float 9. ]))
+                objs;
+              ignore (Client.flush client);
+              Client.drain client;
+              let expected = List.length objs in
+              Alcotest.(check bool) "notifications after reconnect" true
+                (eventually (fun () -> Atomic.get got = expected));
+              let s = Client.stats client in
+              Alcotest.(check bool) "reconnect counted" true
+                (s.Client.reconnects >= 1))))
+
+let suite =
+  [
+    test_frame_roundtrip;
+    test_truncated_rejected;
+    test_bitflip_rejected;
+    test_event_codec_roundtrip;
+    test "handshake and ping" test_handshake_and_ping;
+    test "version mismatch gets a typed reply" test_version_mismatch;
+    test "in-payload version mismatch rejected" test_client_version_exception;
+    test "wire ingest = in-process ingest" test_wire_differential;
+    test "subscribe streams notifications" test_subscribe_notify;
+    test "query streams rows" test_query_streams_rows;
+    test "slow consumer shed accounting is exact"
+      test_slow_consumer_shed_accounting;
+    test "connection refused is bounded" test_connect_refused_bounded;
+    test "reconnect re-registers subscriptions" test_reconnect_resubscribes;
+  ]
